@@ -1,0 +1,184 @@
+//! Alignment derivation and conflict detection.
+//!
+//! The alignment technique of Callahan (and Appelbe & Smith) shifts each
+//! loop's iteration space so that *every* inter-loop dependence becomes
+//! loop-independent: a dependence of distance `d` from nest `j` to nest
+//! `k` demands alignment offsets `a_k = a_j - d`. When the demands are
+//! consistent, the fused loop runs synchronization-free in parallel. When
+//! two dependences between the same chains demand different offsets, an
+//! **alignment conflict** exists (Figure 14 of the paper) and replication
+//! is required to proceed.
+
+use sp_dep::{DepKind, DepMultigraph};
+use sp_ir::ArrayId;
+
+/// One inconsistent alignment demand.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Conflict {
+    /// Source nest of the conflicting dependence.
+    pub src: usize,
+    /// Sink nest.
+    pub dst: usize,
+    /// The offset already established for `dst` (via other dependences).
+    pub have: i64,
+    /// The offset this dependence demands.
+    pub want: i64,
+    /// Kind of the conflicting dependence.
+    pub kind: DepKind,
+    /// Array carrying the conflicting dependence.
+    pub array: ArrayId,
+    /// Alignment offset of the source nest at conflict time.
+    pub a_src: i64,
+}
+
+/// Result of attempting to derive alignment offsets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AlignmentResult {
+    /// Consistent offsets, one per nest (first nest pinned to 0).
+    /// Offsets may be negative; execution normalizes them.
+    Aligned(Vec<i64>),
+    /// The demands conflict; replication is needed before alignment.
+    Conflicts(Vec<Conflict>),
+}
+
+/// Derives alignment offsets for one fused dimension from its dependence
+/// multigraph, or reports every conflicting demand.
+///
+/// Nests with no dependence path from earlier nests keep offset 0.
+pub fn derive_alignment(g: &DepMultigraph) -> AlignmentResult {
+    let mut offset: Vec<Option<i64>> = vec![None; g.n];
+    offset[0] = Some(0);
+    let mut conflicts = Vec::new();
+    // Program order is topological; process edges source-by-source.
+    for v in 0..g.n {
+        let a_v = match offset[v] {
+            Some(a) => a,
+            None => {
+                offset[v] = Some(0);
+                0
+            }
+        };
+        for e in g.edges.iter().filter(|e| e.src == v) {
+            let want = a_v - e.weight;
+            match offset[e.dst] {
+                None => offset[e.dst] = Some(want),
+                Some(have) if have == want => {}
+                Some(have) => conflicts.push(Conflict {
+                    src: e.src,
+                    dst: e.dst,
+                    have,
+                    want,
+                    kind: e.kind,
+                    array: e.array,
+                    a_src: a_v,
+                }),
+            }
+        }
+    }
+    if conflicts.is_empty() {
+        AlignmentResult::Aligned(offset.into_iter().map(|o| o.unwrap_or(0)).collect())
+    } else {
+        AlignmentResult::Conflicts(conflicts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_dep::{analyze_sequence, DepMultigraph};
+    use sp_ir::SeqBuilder;
+
+    #[test]
+    fn forward_only_chain_aligns() {
+        // L1: a[i] = b[i]; L2: c[i] = a[i-1] -> distance +1 -> a_2 = -1.
+        let n = 32usize;
+        let mut b = SeqBuilder::new("fwd");
+        let a = b.array("a", [n]);
+        let bb = b.array("b", [n]);
+        let c = b.array("c", [n]);
+        b.nest("L1", [(1, n as i64 - 1)], |x| {
+            let r = x.ld(bb, [0]);
+            x.assign(a, [0], r);
+        });
+        b.nest("L2", [(1, n as i64 - 1)], |x| {
+            let r = x.ld(a, [-1]);
+            x.assign(c, [0], r);
+        });
+        let seq = b.finish();
+        let deps = analyze_sequence(&seq).unwrap();
+        let g = DepMultigraph::build(&deps, 2, 0);
+        assert_eq!(derive_alignment(&g), AlignmentResult::Aligned(vec![0, -1]));
+    }
+
+    #[test]
+    fn fig14_swap_kernel_conflicts() {
+        // L1: a[i] = b[i-1]; L2: b[i] = a[i-1]: flow +1 demands -1, anti
+        // -1 demands +1 -> conflict.
+        let n = 32usize;
+        let mut b = SeqBuilder::new("swap");
+        let a = b.array("a", [n]);
+        let bb = b.array("b", [n]);
+        b.nest("L1", [(1, n as i64 - 1)], |x| {
+            let r = x.ld(bb, [-1]);
+            x.assign(a, [0], r);
+        });
+        b.nest("L2", [(1, n as i64 - 1)], |x| {
+            let r = x.ld(a, [-1]);
+            x.assign(bb, [0], r);
+        });
+        let seq = b.finish();
+        let deps = analyze_sequence(&seq).unwrap();
+        let g = DepMultigraph::build(&deps, 2, 0);
+        match derive_alignment(&g) {
+            AlignmentResult::Conflicts(cs) => {
+                assert_eq!(cs.len(), 1);
+                assert_eq!((cs[0].src, cs[0].dst), (0, 1));
+                assert_ne!(cs[0].have, cs[0].want);
+            }
+            other => panic!("expected conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stencil_read_conflicts() {
+        // L2 reads a[i+1] and a[i-1] (distances -1 and +1): demands +1
+        // and -1 on the same pair.
+        let n = 32usize;
+        let mut b = SeqBuilder::new("sten");
+        let a = b.array("a", [n]);
+        let bb = b.array("b", [n]);
+        let c = b.array("c", [n]);
+        b.nest("L1", [(1, n as i64 - 2)], |x| {
+            let r = x.ld(bb, [0]);
+            x.assign(a, [0], r);
+        });
+        b.nest("L2", [(1, n as i64 - 2)], |x| {
+            let r = x.ld(a, [1]) + x.ld(a, [-1]);
+            x.assign(c, [0], r);
+        });
+        let seq = b.finish();
+        let deps = analyze_sequence(&seq).unwrap();
+        let g = DepMultigraph::build(&deps, 2, 0);
+        assert!(matches!(derive_alignment(&g), AlignmentResult::Conflicts(_)));
+    }
+
+    #[test]
+    fn independent_nests_align_at_zero() {
+        let n = 16usize;
+        let mut b = SeqBuilder::new("ind");
+        let a = b.array("a", [n]);
+        let c = b.array("c", [n]);
+        b.nest("L1", [(0, n as i64 - 1)], |x| {
+            let r = x.ld(a, [0]);
+            x.assign(a, [0], r);
+        });
+        b.nest("L2", [(0, n as i64 - 1)], |x| {
+            let r = x.ld(c, [0]);
+            x.assign(c, [0], r);
+        });
+        let seq = b.finish();
+        let deps = analyze_sequence(&seq).unwrap();
+        let g = DepMultigraph::build(&deps, 2, 0);
+        assert_eq!(derive_alignment(&g), AlignmentResult::Aligned(vec![0, 0]));
+    }
+}

@@ -1,0 +1,33 @@
+//! Ablation: strip-mined vs direct realization of the fused loop
+//! (Figure 11 of the paper). The direct method pays per-iteration guard
+//! costs; strip-mining pays per-strip bound setup. The paper chooses
+//! strip-mining; this bench checks that choice on the interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shift_peel_core::CodegenMethod;
+use sp_cache::LayoutStrategy;
+use sp_exec::{ExecPlan, Executor, Memory};
+use sp_kernels::ll18;
+
+fn bench_codegen(c: &mut Criterion) {
+    let seq = ll18::sequence(256);
+    let ex = Executor::new(&seq, 1).expect("analysis");
+    let mut g = c.benchmark_group("codegen_method");
+    g.sample_size(10);
+    for (name, method, strip) in [
+        ("strip_mined_16", CodegenMethod::StripMined, 16),
+        ("strip_mined_64", CodegenMethod::StripMined, 64),
+        ("direct", CodegenMethod::Direct, 1),
+    ] {
+        g.bench_function(name, |b| {
+            let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+            mem.init_deterministic(&seq, 1);
+            let plan = ExecPlan::Fused { grid: vec![1], method, strip };
+            b.iter(|| ex.run(&mut mem, &plan).expect("run"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_codegen);
+criterion_main!(benches);

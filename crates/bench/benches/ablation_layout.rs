@@ -1,0 +1,48 @@
+//! Ablation: data layout (contiguous vs inner padding vs cache
+//! partitioning) under the fused schedule, measured as *simulated misses
+//! per wall-clock batch* on the trace-driven simulator. Also benchmarks
+//! the layout construction itself (the greedy algorithm is O(na^2) and
+//! must be cheap enough for a compiler).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sp_cache::{CacheConfig, LayoutStrategy, MemoryLayout};
+use sp_exec::{ExecPlan, Executor, Memory};
+use sp_ir::ArrayDecl;
+use sp_kernels::ll18;
+
+fn bench_layout_exec(c: &mut Criterion) {
+    let seq = ll18::sequence(256);
+    let ex = Executor::new(&seq, 1).expect("analysis");
+    let cache = CacheConfig::new(1 << 20, 32, 1);
+    let mut g = c.benchmark_group("layout_under_fusion");
+    g.sample_size(10);
+    for (name, layout) in [
+        ("contiguous", LayoutStrategy::Contiguous),
+        ("inner_pad_8", LayoutStrategy::InnerPad(8)),
+        ("cache_partition", LayoutStrategy::CachePartition(cache)),
+    ] {
+        g.bench_function(name, |b| {
+            let mut mem = Memory::new(&seq, layout);
+            mem.init_deterministic(&seq, 1);
+            let plan = ExecPlan::Fused {
+                grid: vec![1],
+                method: shift_peel_core::CodegenMethod::StripMined,
+                strip: 16,
+            };
+            b.iter(|| ex.run(&mut mem, &plan).expect("run"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_layout_build(c: &mut Criterion) {
+    let cache = CacheConfig::new(1 << 20, 32, 1);
+    let arrays: Vec<ArrayDecl> =
+        (0..32).map(|i| ArrayDecl::new(format!("a{i}"), [512, 512])).collect();
+    c.bench_function("greedy_partition_layout_32_arrays", |b| {
+        b.iter(|| MemoryLayout::build(&arrays, 8, LayoutStrategy::CachePartition(cache), 0))
+    });
+}
+
+criterion_group!(benches, bench_layout_exec, bench_layout_build);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation: static blocked vs dynamic self-scheduled execution of the
+//! unfused program on real threads.
+//!
+//! The paper restricts shift-and-peel to static blocked scheduling
+//! (Section 3.2) and argues this "is not a serious limitation, as it is
+//! normally the most efficient approach when the computation is regular".
+//! This bench checks that claim on the host: for the regular kernels, the
+//! static schedule should match or beat self-scheduling (which pays
+//! atomic-claim traffic), so the restriction costs nothing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_cache::LayoutStrategy;
+use sp_dep::analyze_sequence;
+use sp_exec::{run_blocked_dynamic, ExecPlan, Executor, Memory};
+use sp_kernels::ll18;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let seq = ll18::sequence(256);
+    let deps = analyze_sequence(&seq).expect("analysis");
+    let ex = Executor::new(&seq, 1).expect("executor");
+    let mut g = c.benchmark_group("scheduling");
+    g.sample_size(10);
+    for threads in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("static_blocked", threads), &threads, |b, &t| {
+            let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+            mem.init_deterministic(&seq, 1);
+            b.iter(|| ex.run_threaded(&mut mem, &ExecPlan::Blocked { grid: vec![t] }).unwrap());
+        });
+        for chunk in [4i64, 32] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("dynamic_chunk{chunk}"), threads),
+                &threads,
+                |b, &t| {
+                    let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+                    mem.init_deterministic(&seq, 1);
+                    b.iter(|| run_blocked_dynamic(&seq, &deps, t, chunk, &mut mem));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Ablation: strip size versus performance for the fused manual LL18.
+//!
+//! Section 4 couples the strip size to the cache partition size: too
+//! large a strip overflows partitions (conflict misses), too small pays
+//! strip setup overhead. On real hardware the sweet spot depends on the
+//! host cache; the bench sweeps a range around the partition-derived
+//! suggestion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shift_peel_core::suggest_strip;
+use sp_kernels::manual::{ll18_fused, Ll18};
+
+fn bench_strip(c: &mut Criterion) {
+    const N: usize = 512;
+    let mut d = Ll18::new(N);
+    d.init(1);
+    let mut g = c.benchmark_group("strip_size");
+    g.sample_size(10);
+    // The partition-derived suggestion for a 1 MB cache, 9 arrays,
+    // 4 KB rows, shift 2.
+    let suggested = suggest_strip(1 << 20, 9, N * 8, 2, N as i64).size;
+    let mut sizes = vec![1i64, 4, 16, 64, 256];
+    if !sizes.contains(&suggested) {
+        sizes.push(suggested);
+        sizes.sort_unstable();
+    }
+    for s in sizes {
+        g.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            b.iter(|| ll18_fused(&mut d, s))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strip);
+criterion_main!(benches);

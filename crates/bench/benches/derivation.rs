@@ -1,0 +1,59 @@
+//! Benchmarks the compile-time cost of the analysis and derivation — the
+//! paper claims the traversal of Figure 8 is linear in the graph size,
+//! so the derivation must scale gently with sequence length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shift_peel_core::{derive_levels, fusion_plan, CodegenMethod};
+use sp_dep::analyze_sequence;
+use sp_ir::{LoopSequence, SeqBuilder};
+
+/// A chain of `n` loops, each a ±1 stencil on the previous output.
+fn chain(nloops: usize) -> LoopSequence {
+    let n = 4 * nloops + 16;
+    let mut b = SeqBuilder::new("chain");
+    let mut prev = b.array("seed", [n]);
+    let (lo, hi) = (nloops as i64, n as i64 - nloops as i64 - 1);
+    for i in 0..nloops {
+        let next = b.array(format!("f{i}"), [n]);
+        b.nest(format!("L{i}"), [(lo, hi)], |x| {
+            let r = x.ld(prev, [1]) + x.ld(prev, [-1]);
+            x.assign(next, [0], r);
+        });
+        prev = next;
+    }
+    b.finish()
+}
+
+fn bench_derivation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("derivation_scaling");
+    for nloops in [4usize, 16, 64] {
+        let seq = chain(nloops);
+        g.bench_with_input(BenchmarkId::new("analyze_and_derive", nloops), &seq, |b, seq| {
+            b.iter(|| {
+                let deps = analyze_sequence(seq).expect("analysis");
+                derive_levels(&deps, seq.len(), 1).expect("derive")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile_time");
+    for (name, seq) in [
+        ("ll18", sp_kernels::ll18::sequence(64)),
+        ("calc", sp_kernels::calc::sequence(64)),
+        ("filter", sp_kernels::filter::sequence(64, 64)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let deps = analyze_sequence(&seq).expect("analysis");
+                fusion_plan(&seq, &deps, 1, CodegenMethod::StripMined, None).expect("plan")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_derivation, bench_full_kernels);
+criterion_main!(benches);

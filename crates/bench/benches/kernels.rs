@@ -1,0 +1,54 @@
+//! Wall-clock benchmarks of the manual kernels on the host machine:
+//! fused (shift-and-peel) versus unfused, serial and parallel.
+//!
+//! These are the real-hardware analogues of the paper's Figures 22/23 —
+//! absolute numbers depend on this machine's cache hierarchy, but fusion
+//! should win whenever the arrays exceed the last-level cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_kernels::manual::{
+    jacobi_fused, jacobi_fused_parallel, jacobi_unfused, jacobi_unfused_parallel, ll18_fused,
+    ll18_fused_parallel, ll18_unfused, ll18_unfused_parallel, Jacobi, Ll18,
+};
+
+const N: usize = 512;
+const STRIP: i64 = 16;
+
+fn bench_ll18(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ll18_manual");
+    g.sample_size(10);
+    let mut d = Ll18::new(N);
+    d.init(1);
+    g.bench_function("unfused_serial", |b| b.iter(|| ll18_unfused(&mut d)));
+    g.bench_function("fused_serial", |b| b.iter(|| ll18_fused(&mut d, STRIP)));
+    for p in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("unfused_parallel", p), &p, |b, &p| {
+            b.iter(|| ll18_unfused_parallel(&mut d, p))
+        });
+        g.bench_with_input(BenchmarkId::new("fused_parallel", p), &p, |b, &p| {
+            b.iter(|| ll18_fused_parallel(&mut d, p, STRIP))
+        });
+    }
+    g.finish();
+}
+
+fn bench_jacobi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jacobi_manual");
+    g.sample_size(10);
+    let mut d = Jacobi::new(2 * N);
+    d.init(1);
+    g.bench_function("unfused_serial", |b| b.iter(|| jacobi_unfused(&mut d)));
+    g.bench_function("fused_serial", |b| b.iter(|| jacobi_fused(&mut d, STRIP)));
+    for p in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("unfused_parallel", p), &p, |b, &p| {
+            b.iter(|| jacobi_unfused_parallel(&mut d, p))
+        });
+        g.bench_with_input(BenchmarkId::new("fused_parallel", p), &p, |b, &p| {
+            b.iter(|| jacobi_fused_parallel(&mut d, p, STRIP))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ll18, bench_jacobi);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Regenerates **Figure 18**: cache misses of the fused LL18 loop
+//! (nine 512x512 arrays) under varying amounts of inner-dimension
+//! padding, against the flat cache-partitioning line.
+//!
+//! Expected shape: padding misses vary erratically with the pad amount;
+//! cache partitioning sits at or below the best padding point.
+
+use sp_bench::{Opts, Table};
+use sp_kernels::ll18;
+use sp_machine::{padding_sweep, CONVEX_SPP1000};
+
+fn main() {
+    let opts = Opts::from_args();
+    let n = opts.size(512);
+    let seq = ll18::sequence(n);
+    let pads: Vec<usize> = if opts.quick {
+        vec![1, 5, 9, 13, 17, 21]
+    } else {
+        (1..=21).step_by(2).collect()
+    };
+    let sweep = padding_sweep(&seq, &CONVEX_SPP1000, &pads, 16).expect("sweep");
+
+    let mut t = Table::new(
+        format!("Figure 18: LL18 ({n}x{n}) fused-loop misses vs padding (1 processor)"),
+        &["padding", "misses (fused, padded)"],
+    );
+    for r in &sweep.rows {
+        t.row(vec![r.pad.to_string(), r.misses_fused.to_string()]);
+    }
+    t.print();
+    println!("misses with cache partitioning: {}", sweep.partitioned_fused);
+
+    let best_pad = sweep.rows.iter().map(|r| r.misses_fused).min().unwrap();
+    let worst_pad = sweep.rows.iter().map(|r| r.misses_fused).max().unwrap();
+    println!(
+        "padding spread: best {best_pad}, worst {worst_pad} ({:.2}x); partitioning vs best padding: {:.2}x",
+        worst_pad as f64 / best_pad as f64,
+        sweep.partitioned_fused as f64 / best_pad as f64,
+    );
+}

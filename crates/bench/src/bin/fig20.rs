@@ -1,0 +1,41 @@
+//! Regenerates **Figure 20**: cache partitioning for LL18 on the KSR2
+//! and the Convex — misses of unfused+padding, fused+padding, and
+//! fused+cache-partitioning for various padding amounts.
+
+use sp_bench::{Opts, Table};
+use sp_kernels::ll18;
+use sp_machine::{padding_sweep, MachineConfig, CONVEX_SPP1000, KSR2};
+
+fn run(machine: &MachineConfig, n: usize, pads: &[usize]) {
+    let seq = ll18::sequence(n);
+    let sweep = padding_sweep(&seq, machine, pads, 16).expect("sweep");
+    let mut t = Table::new(
+        format!("Figure 20 ({}): LL18 {n}x{n} misses", machine.name),
+        &["padding", "no fusion, padding", "fusion, padding"],
+    );
+    for r in &sweep.rows {
+        t.row(vec![
+            r.pad.to_string(),
+            r.misses_unfused.to_string(),
+            r.misses_fused.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "cache partitioning: no fusion {} / fusion {}",
+        sweep.partitioned_unfused, sweep.partitioned_fused
+    );
+    println!();
+}
+
+fn main() {
+    let opts = Opts::from_args();
+    let n = opts.size(512);
+    let pads: Vec<usize> = if opts.quick {
+        vec![1, 5, 9, 13, 17, 21]
+    } else {
+        (1..=21).step_by(2).collect()
+    };
+    run(&KSR2, n, &pads);
+    run(&CONVEX_SPP1000, n, &pads);
+}

@@ -1,0 +1,52 @@
+//! Regenerates **Figure 22**: speedup and misses of the LL18 and calc
+//! kernels (512x512) on the KSR2, fused vs unfused, up to 56 processors.
+//!
+//! Expected shape: fusion wins at small processor counts and loses its
+//! edge (crossover) once per-processor data fits the 256 KB caches.
+
+use sp_bench::{f2, Opts, Table};
+use sp_kernels::{calc, ll18};
+use sp_machine::{speedup_sweep, SweepOptions, KSR2};
+use sp_ir::LoopSequence;
+
+fn run(name: &str, seq: &LoopSequence, procs: &[usize]) {
+    // Fixed 16-row strips reproduce the paper's measured crossovers
+    // (LL18 ~32 procs, calc ~24). Interestingly, the partition-coupled
+    // automatic strip (SweepOptions::for_machine default) shrinks the
+    // per-strip footprint enough that fusion keeps winning across the
+    // whole sweep — see EXPERIMENTS.md.
+    let mut opts = SweepOptions::for_machine(&KSR2);
+    opts.strip = 16;
+    let rows = speedup_sweep(seq, &KSR2, procs, &opts).expect("sweep");
+    let mut t = Table::new(
+        format!("Figure 22 ({name}): KSR2 speedup and misses"),
+        &["procs", "speedup fused", "speedup unfused", "misses fused", "misses unfused"],
+    );
+    let mut crossover = None;
+    for r in &rows {
+        if crossover.is_none() && r.speedup_fused < r.speedup_unfused {
+            crossover = Some(r.procs);
+        }
+        t.row(vec![
+            r.procs.to_string(),
+            f2(r.speedup_fused),
+            f2(r.speedup_unfused),
+            r.fused.misses.to_string(),
+            r.unfused.misses.to_string(),
+        ]);
+    }
+    t.print();
+    match crossover {
+        Some(p) => println!("fusion stops winning at ~{p} processors"),
+        None => println!("fusion wins across the whole sweep"),
+    }
+    println!();
+}
+
+fn main() {
+    let opts = Opts::from_args();
+    let n = opts.size(512);
+    let procs = opts.procs(&[1, 2, 4, 8, 16, 24, 32, 40, 48, 56]);
+    run("LL18", &ll18::sequence(n), &procs);
+    run("calc", &calc::sequence(n), &procs);
+}

@@ -1,0 +1,37 @@
+//! Regenerates the paper's **Table 1**: kernels and applications with
+//! sequence counts, longest sequence, and maximum shift/peel — the
+//! shift/peel columns computed live by the derivation algorithm.
+
+use shift_peel_core::derive_levels;
+use sp_bench::{Opts, Table};
+use sp_dep::analyze_sequence;
+use sp_kernels::all_programs;
+
+fn main() {
+    let opts = Opts::from_args();
+    let mut t = Table::new(
+        "Table 1: Kernels and applications for experimental results",
+        &["name", "paper LoC", "loop seqs", "longest", "max shift/peel", "paper says"],
+    );
+    for entry in all_programs() {
+        let app = (entry.build)(opts.scale.min(0.25)); // structure only; small is fine
+        let mut max_shift = 0;
+        let mut max_peel = 0;
+        for s in &app.sequences {
+            let deps = analyze_sequence(s).expect("analysis");
+            let d = derive_levels(&deps, s.len(), 1).expect("derivation");
+            max_shift = max_shift.max(d.max_shift());
+            max_peel = max_peel.max(d.max_peel());
+        }
+        let longest = app.sequences.iter().map(|s| s.len()).max().unwrap_or(0);
+        t.row(vec![
+            entry.meta.name.to_string(),
+            entry.meta.paper_loc.to_string(),
+            app.sequences.len().to_string(),
+            longest.to_string(),
+            format!("{max_shift}/{max_peel}"),
+            format!("{}/{}", entry.meta.max_shift, entry.meta.max_peel),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,51 @@
+//! Regenerates the paper's **Table 2**: derived per-loop shift and peel
+//! amounts for the LL18, calc, and filter kernels.
+
+use shift_peel_core::derive_levels;
+use sp_bench::Table;
+use sp_dep::analyze_sequence;
+use sp_kernels::{calc, filter, ll18};
+
+fn main() {
+    let programs = [("LL18", ll18::sequence(64), ll18::meta()),
+        ("calc", calc::sequence(64), calc::meta()),
+        ("filter", filter::sequence(64, 64), filter::meta())];
+    let max_loops = programs.iter().map(|(_, s, _)| s.len()).max().unwrap();
+
+    let mut t = Table::new(
+        "Table 2: Derived amounts of shifting and peeling (shifts/peels)",
+        &["loop", "LL18", "calc", "filter"],
+    );
+    let derived: Vec<(Vec<i64>, Vec<i64>)> = programs
+        .iter()
+        .map(|(_, seq, _)| {
+            let deps = analyze_sequence(seq).expect("analysis");
+            let d = derive_levels(&deps, seq.len(), 1).expect("derivation");
+            (d.dims[0].shifts.clone(), d.dims[0].peels.clone())
+        })
+        .collect();
+    for l in 0..max_loops {
+        let mut row = vec![(l + 1).to_string()];
+        for (shifts, peels) in &derived {
+            row.push(if l < shifts.len() {
+                format!("{}/{}", shifts[l], peels[l])
+            } else {
+                String::new()
+            });
+        }
+        t.row(row);
+    }
+    t.print();
+
+    // Verify against the paper's values and report.
+    let mut ok = true;
+    for ((name, _, meta), (shifts, peels)) in programs.iter().zip(&derived) {
+        let match_ = shifts == meta.expected_shifts && peels == meta.expected_peels;
+        println!(
+            "{name}: {}",
+            if match_ { "matches the paper exactly" } else { "MISMATCH vs paper!" }
+        );
+        ok &= match_;
+    }
+    assert!(ok, "Table 2 derivation diverged from the paper");
+}

@@ -1,0 +1,169 @@
+//! Reference compatibility analysis (Section 4).
+//!
+//! Cache partitioning keeps arrays conflict-free *throughout* loop
+//! execution only when their references are **compatible**: same stride
+//! and direction through memory, formally `h_A = h_B` for the subscript
+//! mappings. Compatible references advance their partitions' live windows
+//! in lockstep, so partitions that start disjoint never overlap.
+//!
+//! This module checks compatibility at the level that matters for the
+//! cache — the *address* delta per loop-index increment — and, when
+//! references are incompatible, diagnoses which of the paper's suggested
+//! data transformations would repair them (dimension permutation for
+//! permuted `h` rows, storage reversal for sign differences, compression/
+//! expansion for stride differences).
+
+use sp_ir::{ArrayRef, LoopSequence};
+
+/// Per-loop-level address deltas (in elements of the referenced array's
+/// storage) of one reference: entry `l` is how far the accessed address
+/// moves when loop index `l` increases by one.
+pub fn address_profile(seq: &LoopSequence, r: &ArrayRef) -> Vec<i64> {
+    let decl = seq.array(r.array);
+    let strides = decl.strides();
+    let depth = r.subs.first().map(|s| s.depth()).unwrap_or(0);
+    (0..depth)
+        .map(|l| {
+            r.subs
+                .iter()
+                .zip(&strides)
+                .map(|(s, &st)| s.coeff(l) * st as i64)
+                .sum()
+        })
+        .collect()
+}
+
+/// Verdict of a pairwise compatibility check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Compatibility {
+    /// Same address profile: partitions move in lockstep.
+    Compatible,
+    /// Profiles are a permutation of each other: permuting one array's
+    /// dimensions (a data transformation) restores compatibility.
+    PermutedDims,
+    /// Profiles differ only in sign in some levels: reversing the storage
+    /// order of those dimensions restores compatibility.
+    ReversedDims,
+    /// Profiles differ in magnitude: array compression/expansion along the
+    /// mismatched dimension would be needed.
+    StrideMismatch,
+}
+
+/// Checks whether two references move through memory compatibly.
+pub fn compatibility(seq: &LoopSequence, a: &ArrayRef, b: &ArrayRef) -> Compatibility {
+    let pa = address_profile(seq, a);
+    let pb = address_profile(seq, b);
+    if pa == pb {
+        return Compatibility::Compatible;
+    }
+    if pa.iter().zip(&pb).all(|(x, y)| x.abs() == y.abs()) {
+        return Compatibility::ReversedDims;
+    }
+    let mut sa: Vec<i64> = pa.iter().map(|v| v.abs()).collect();
+    let mut sb: Vec<i64> = pb.iter().map(|v| v.abs()).collect();
+    sa.sort_unstable();
+    sb.sort_unstable();
+    if sa == sb {
+        return Compatibility::PermutedDims;
+    }
+    Compatibility::StrideMismatch
+}
+
+/// Checks that every pair of references in a group of nests is
+/// compatible; returns the first offending pair's verdict, or `None` when
+/// the whole group is compatible (cache partitioning will then be
+/// conflict-free for the fused group).
+pub fn group_compatibility(seq: &LoopSequence, nests: &[usize]) -> Option<Compatibility> {
+    let mut refs: Vec<&ArrayRef> = Vec::new();
+    for &k in nests {
+        for stmt in &seq.nests[k].body {
+            refs.push(&stmt.lhs);
+            refs.extend(stmt.rhs.reads());
+        }
+    }
+    for i in 0..refs.len() {
+        for j in (i + 1)..refs.len() {
+            match compatibility(seq, refs[i], refs[j]) {
+                Compatibility::Compatible => {}
+                other => return Some(other),
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_ir::{AffineExpr, ArrayId, ArrayRef, SeqBuilder};
+
+    fn stencil_seq() -> LoopSequence {
+        let n = 16usize;
+        let mut b = SeqBuilder::new("s");
+        let a = b.array("a", [n, n]);
+        let c = b.array("c", [n, n]);
+        b.nest("L1", [(1, 14), (1, 14)], |x| {
+            let r = x.ld(a, [1, -1]);
+            x.assign(c, [0, 0], r);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn aligned_refs_compatible() {
+        let seq = stencil_seq();
+        let a = ArrayRef::new(
+            ArrayId(0),
+            vec![AffineExpr::var(2, 0, 1), AffineExpr::var(2, 1, -1)],
+        );
+        let c = ArrayRef::new(
+            ArrayId(1),
+            vec![AffineExpr::var(2, 0, 0), AffineExpr::var(2, 1, 0)],
+        );
+        assert_eq!(address_profile(&seq, &a), vec![16, 1]);
+        assert_eq!(compatibility(&seq, &a, &c), Compatibility::Compatible);
+        assert_eq!(group_compatibility(&seq, &[0]), None);
+    }
+
+    #[test]
+    fn transposed_ref_is_permutation() {
+        let seq = stencil_seq();
+        let a = ArrayRef::new(
+            ArrayId(0),
+            vec![AffineExpr::var(2, 0, 0), AffineExpr::var(2, 1, 0)],
+        );
+        let t = ArrayRef::new(
+            ArrayId(1),
+            vec![AffineExpr::var(2, 1, 0), AffineExpr::var(2, 0, 0)],
+        );
+        assert_eq!(compatibility(&seq, &a, &t), Compatibility::PermutedDims);
+    }
+
+    #[test]
+    fn reversed_ref_detected() {
+        let seq = stencil_seq();
+        let a = ArrayRef::new(
+            ArrayId(0),
+            vec![AffineExpr::var(2, 0, 0), AffineExpr::var(2, 1, 0)],
+        );
+        let rev = ArrayRef::new(
+            ArrayId(1),
+            vec![AffineExpr::var(2, 0, 0), AffineExpr::new(vec![0, -1], 15)],
+        );
+        assert_eq!(compatibility(&seq, &a, &rev), Compatibility::ReversedDims);
+    }
+
+    #[test]
+    fn stride_mismatch_detected() {
+        let seq = stencil_seq();
+        let a = ArrayRef::new(
+            ArrayId(0),
+            vec![AffineExpr::var(2, 0, 0), AffineExpr::var(2, 1, 0)],
+        );
+        let strided = ArrayRef::new(
+            ArrayId(1),
+            vec![AffineExpr::var(2, 0, 0), AffineExpr::new(vec![0, 2], 0)],
+        );
+        assert_eq!(compatibility(&seq, &a, &strided), Compatibility::StrideMismatch);
+    }
+}

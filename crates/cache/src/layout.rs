@@ -1,0 +1,277 @@
+//! Memory layout of arrays: contiguous, padded, or cache-partitioned.
+//!
+//! The interpreter executes programs against one flat memory; this module
+//! decides where each array starts and what its row strides are. Three
+//! strategies reproduce the paper's Section 4 comparison:
+//!
+//! * [`LayoutStrategy::Contiguous`] — arrays packed back to back (the
+//!   baseline that suffers cross-conflicts).
+//! * [`LayoutStrategy::InnerPad`] — the classical *array padding*
+//!   technique: the innermost dimension of every array is extended by a
+//!   fixed number of elements, perturbing the cache mapping
+//!   unpredictably (the erratic bars of Figures 18 and 20).
+//! * [`LayoutStrategy::CachePartition`] — the paper's contribution:
+//!   arrays stay unpadded internally, but *gaps* are inserted between
+//!   them so each starts in its own cache partition (Figure 17(b)),
+//!   computed by the greedy algorithm of Figure 19.
+
+use crate::partition::greedy_partition_starts;
+use crate::sim::CacheConfig;
+use sp_ir::{ArrayDecl, ArrayId};
+
+/// How array starting addresses (and internal strides) are chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayoutStrategy {
+    /// Pack arrays contiguously.
+    Contiguous,
+    /// Pad the innermost dimension of every array by this many elements.
+    InnerPad(usize),
+    /// Insert inter-array gaps per the greedy cache-partitioning layout
+    /// for the given cache geometry.
+    CachePartition(CacheConfig),
+}
+
+/// Placement of one array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayPlacement {
+    /// Byte address of element 0.
+    pub start: u64,
+    /// Stride per dimension in *elements* (includes padding).
+    pub strides: Vec<usize>,
+    /// Logical extents (unpadded).
+    pub dims: Vec<usize>,
+    /// Total footprint in bytes including padding.
+    pub bytes: usize,
+    /// When set, the array is *contracted*: only this many outermost-
+    /// dimension planes are physically allocated and logical plane `k`
+    /// lives at physical plane `k % wrap`. Legal only when every value's
+    /// live range spans fewer than `wrap` planes (see
+    /// `shift_peel_core::contract`).
+    pub wrap: Option<usize>,
+}
+
+/// A complete memory layout for a set of arrays.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemoryLayout {
+    /// Per-array placements, indexed by `ArrayId`.
+    pub placements: Vec<ArrayPlacement>,
+    /// Element size in bytes.
+    pub elem_bytes: usize,
+    /// One past the highest byte used.
+    pub total_bytes: u64,
+    /// Bytes lost to padding and gaps (overhead versus contiguous).
+    pub overhead_bytes: u64,
+}
+
+impl MemoryLayout {
+    /// Builds a layout for `arrays` with the given strategy. `base` is the
+    /// byte address of the first array (lets experiments model arbitrary
+    /// allocator placement).
+    pub fn build(
+        arrays: &[ArrayDecl],
+        elem_bytes: usize,
+        strategy: LayoutStrategy,
+        base: u64,
+    ) -> Self {
+        assert!(elem_bytes > 0);
+        let mut placements = Vec::with_capacity(arrays.len());
+        match strategy {
+            LayoutStrategy::Contiguous | LayoutStrategy::InnerPad(_) => {
+                let pad = match strategy {
+                    LayoutStrategy::InnerPad(p) => p,
+                    _ => 0,
+                };
+                let mut q = base;
+                for a in arrays {
+                    let mut padded = a.dims.clone();
+                    *padded.last_mut().expect("non-empty dims") += pad;
+                    let strides = strides_of(&padded);
+                    let bytes = padded.iter().product::<usize>() * elem_bytes;
+                    placements.push(ArrayPlacement {
+                        start: q,
+                        strides,
+                        dims: a.dims.clone(),
+                        bytes,
+                        wrap: None,
+                    });
+                    q += bytes as u64;
+                }
+            }
+            LayoutStrategy::CachePartition(cfg) => {
+                let sizes: Vec<usize> =
+                    arrays.iter().map(|a| a.len() * elem_bytes).collect();
+                let starts = greedy_partition_starts(&sizes, &cfg, base);
+                for (a, &start) in arrays.iter().zip(&starts) {
+                    placements.push(ArrayPlacement {
+                        start,
+                        strides: strides_of(&a.dims),
+                        dims: a.dims.clone(),
+                        bytes: a.len() * elem_bytes,
+                        wrap: None,
+                    });
+                }
+            }
+        }
+        let total_bytes = placements
+            .iter()
+            .map(|p| p.start + p.bytes as u64)
+            .max()
+            .unwrap_or(base);
+        let natural: u64 = arrays.iter().map(|a| (a.len() * elem_bytes) as u64).sum();
+        MemoryLayout {
+            placements,
+            elem_bytes,
+            total_bytes,
+            overhead_bytes: (total_bytes - base) - natural,
+        }
+    }
+
+    /// Byte address of `array[idx]`.
+    #[inline]
+    pub fn addr(&self, array: ArrayId, idx: &[i64]) -> u64 {
+        let p = &self.placements[array.index()];
+        debug_assert_eq!(idx.len(), p.strides.len());
+        let mut off = 0usize;
+        for (d, (&i, &s)) in idx.iter().zip(&p.strides).enumerate() {
+            debug_assert!(
+                i >= 0 && (i as usize) < p.dims[d],
+                "index {i} out of bounds in dim {d} (extent {})",
+                p.dims[d]
+            );
+            let mut i = i as usize;
+            if d == 0 {
+                if let Some(w) = p.wrap {
+                    i %= w;
+                }
+            }
+            off += i * s;
+        }
+        p.start + (off * self.elem_bytes) as u64
+    }
+
+    /// Contracts `array` to `wrap` outermost planes (logical plane `k`
+    /// aliases physical plane `k % wrap`). The backing storage is not
+    /// shrunk — later arrays keep their addresses — but the array's live
+    /// footprint (and hence its cache pressure) drops to `wrap` planes.
+    /// Returns the bytes of footprint saved.
+    ///
+    /// # Panics
+    /// Panics if `wrap` is zero or exceeds the outermost extent.
+    pub fn contract(&mut self, array: ArrayId, wrap: usize) -> usize {
+        let p = &mut self.placements[array.index()];
+        assert!(wrap >= 1 && wrap <= p.dims[0], "invalid contraction window {wrap}");
+        p.wrap = Some(wrap);
+        (p.dims[0] - wrap) * p.strides[0] * self.elem_bytes
+    }
+
+    /// Flat element slot (for backing storage) of `array[idx]`: the byte
+    /// address divided by the element size. The whole layout fits in
+    /// `total_elements()` slots.
+    #[inline]
+    pub fn slot(&self, array: ArrayId, idx: &[i64]) -> usize {
+        (self.addr(array, idx) / self.elem_bytes as u64) as usize
+    }
+
+    /// Number of element slots the backing store needs.
+    pub fn total_elements(&self) -> usize {
+        self.total_bytes.div_ceil(self.elem_bytes as u64) as usize
+    }
+}
+
+fn strides_of(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; dims.len()];
+    for d in (0..dims.len().saturating_sub(1)).rev() {
+        strides[d] = strides[d + 1] * dims[d + 1];
+    }
+    strides
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrays() -> Vec<ArrayDecl> {
+        vec![
+            ArrayDecl::new("a", [4, 8]),
+            ArrayDecl::new("b", [4, 8]),
+            ArrayDecl::new("c", [16]),
+        ]
+    }
+
+    #[test]
+    fn contiguous_packs() {
+        let l = MemoryLayout::build(&arrays(), 8, LayoutStrategy::Contiguous, 0);
+        assert_eq!(l.placements[0].start, 0);
+        assert_eq!(l.placements[1].start, 4 * 8 * 8);
+        assert_eq!(l.placements[2].start, 2 * 4 * 8 * 8);
+        assert_eq!(l.overhead_bytes, 0);
+        assert_eq!(l.addr(ArrayId(0), &[1, 2]), (8 + 2) as u64 * 8);
+        assert_eq!(l.addr(ArrayId(1), &[0, 0]), 4 * 8 * 8);
+    }
+
+    #[test]
+    fn inner_pad_changes_stride_and_size() {
+        let l = MemoryLayout::build(&arrays(), 8, LayoutStrategy::InnerPad(3), 0);
+        // a becomes 4 x 11 elements.
+        assert_eq!(l.placements[0].strides, vec![11, 1]);
+        assert_eq!(l.placements[0].bytes, 4 * 11 * 8);
+        assert_eq!(l.placements[1].start, (4 * 11 * 8) as u64);
+        // 1-D array also padded.
+        assert_eq!(l.placements[2].bytes, 19 * 8);
+        // Logical extents unchanged; element (1,2) honors padded stride.
+        assert_eq!(l.addr(ArrayId(0), &[1, 2]), (11 + 2) as u64 * 8);
+        assert!(l.overhead_bytes > 0);
+    }
+
+    #[test]
+    fn partitioned_starts_map_to_distinct_partitions() {
+        let cfg = CacheConfig::new(1 << 12, 64, 1); // 4 KB direct-mapped
+        let l = MemoryLayout::build(&arrays(), 8, LayoutStrategy::CachePartition(cfg), 0);
+        let sp = cfg.capacity / 3;
+        let mut parts: Vec<usize> = l
+            .placements
+            .iter()
+            .map(|p| (p.start as usize % cfg.map_space()) / sp)
+            .collect();
+        parts.sort_unstable();
+        parts.dedup();
+        assert_eq!(parts.len(), 3, "each array must land in its own partition");
+    }
+
+    #[test]
+    fn base_offsets_respected() {
+        let l = MemoryLayout::build(&arrays(), 8, LayoutStrategy::Contiguous, 4096);
+        assert_eq!(l.placements[0].start, 4096);
+        assert_eq!(l.overhead_bytes, 0);
+        assert_eq!(l.total_bytes, 4096 + (2 * 32 + 16) as u64 * 8);
+    }
+
+    #[test]
+    fn slots_are_disjoint_across_arrays() {
+        let l = MemoryLayout::build(&arrays(), 8, LayoutStrategy::InnerPad(1), 0);
+        let mut seen = std::collections::HashSet::new();
+        for (i, a) in arrays().iter().enumerate() {
+            let id = ArrayId(i as u32);
+            for idx in space_points(&a.dims) {
+                assert!(seen.insert(l.slot(id, &idx)), "overlapping slot");
+            }
+        }
+        assert!(seen.iter().max().unwrap() < &l.total_elements());
+    }
+
+    fn space_points(dims: &[usize]) -> Vec<Vec<i64>> {
+        let mut pts = vec![vec![]];
+        for &d in dims {
+            let mut next = Vec::new();
+            for p in &pts {
+                for i in 0..d as i64 {
+                    let mut q = p.clone();
+                    q.push(i);
+                    next.push(q);
+                }
+            }
+            pts = next;
+        }
+        pts
+    }
+}

@@ -1,0 +1,166 @@
+//! The greedy memory-layout algorithm for cache partitioning
+//! (Figure 19 of the paper).
+//!
+//! The cache's mapping space is divided into `na` equal partitions, one
+//! per array. Arrays are placed in memory one by one; for each, the
+//! algorithm picks the *still-available* partition whose target cache
+//! address minimizes the gap that must be inserted after the previous
+//! array, then claims it. The result maps every array's starting address
+//! into a distinct partition while keeping total gap overhead small
+//! (bounded by `na * sp` in the worst case, typically far less).
+//!
+//! For a set-associative cache of associativity `a`, the partition size is
+//! unchanged but targets are computed as `floor(p / a) * sp` — `a` arrays
+//! share each set range and the hardware's ways keep them apart
+//! (Section 4, last paragraph before Section 5).
+
+use crate::sim::CacheConfig;
+
+/// Computes starting byte addresses for arrays of the given sizes,
+/// beginning at `base`, so each maps into its own cache partition.
+///
+/// `sizes[i]` is the footprint of array `i` in bytes. Arrays are placed in
+/// the order given (the paper notes the selection order is arbitrary).
+///
+/// ```
+/// use sp_cache::{greedy_partition_starts, CacheConfig};
+/// let cache = CacheConfig::new(4096, 64, 1);
+/// let starts = greedy_partition_starts(&[8192, 8192], &cache, 0);
+/// // Two partitions of 2048 bytes: the second array starts in the other
+/// // half of the cache's mapping space.
+/// assert_eq!(starts[0] % 4096 / 2048, 0);
+/// assert_eq!(starts[1] % 4096 / 2048, 1);
+/// ```
+pub fn greedy_partition_starts(sizes: &[usize], cache: &CacheConfig, base: u64) -> Vec<u64> {
+    let na = sizes.len();
+    if na == 0 {
+        return Vec::new();
+    }
+    let map_space = cache.map_space() as u64;
+    let sp = (cache.capacity / na) as u64;
+    // Available partition indices.
+    let mut available: Vec<u64> = (0..na as u64).collect();
+    let mut starts = Vec::with_capacity(na);
+    let mut q = base;
+    for &size in sizes {
+        let mapped = q % map_space;
+        // Choose the available partition minimizing the forward gap.
+        let (best_i, best_gap) = available
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let target = (p / cache.assoc as u64) * sp % map_space;
+                let gap = if target >= mapped {
+                    target - mapped
+                } else {
+                    target + map_space - mapped
+                };
+                (i, gap)
+            })
+            .min_by_key(|&(_, gap)| gap)
+            .expect("partitions available");
+        available.swap_remove(best_i);
+        let start = q + best_gap;
+        starts.push(start);
+        q = start + size as u64;
+    }
+    starts
+}
+
+/// Total bytes of gaps a partitioned placement inserts, versus packing the
+/// same arrays contiguously from `base`.
+pub fn gap_overhead(sizes: &[usize], starts: &[u64], base: u64) -> u64 {
+    debug_assert_eq!(sizes.len(), starts.len());
+    let end = starts
+        .iter()
+        .zip(sizes)
+        .map(|(&s, &z)| s + z as u64)
+        .max()
+        .unwrap_or(base);
+    (end - base) - sizes.iter().map(|&z| z as u64).sum::<u64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_mapped_distinct_partitions() {
+        let cfg = CacheConfig::new(1 << 14, 64, 1); // 16 KB
+        let sizes = vec![40960usize; 4]; // 40 KB arrays (larger than cache)
+        let starts = greedy_partition_starts(&sizes, &cfg, 0);
+        let sp = cfg.capacity as u64 / 4;
+        let mut parts: Vec<u64> = starts
+            .iter()
+            .map(|&s| (s % cfg.map_space() as u64) / sp)
+            .collect();
+        parts.sort_unstable();
+        assert_eq!(parts, vec![0, 1, 2, 3]);
+        // Arrays must not overlap in memory.
+        let mut ranges: Vec<(u64, u64)> = starts
+            .iter()
+            .zip(&sizes)
+            .map(|(&s, &z)| (s, s + z as u64))
+            .collect();
+        ranges.sort_unstable();
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlap: {w:?}");
+        }
+    }
+
+    #[test]
+    fn set_associative_targets_share_ranges() {
+        // 2-way: partitions 0,1 share target 0; 2,3 share target sp.
+        let cfg = CacheConfig::new(1 << 14, 64, 2);
+        let sizes = vec![1 << 13; 4];
+        let starts = greedy_partition_starts(&sizes, &cfg, 0);
+        let sp = cfg.capacity as u64 / 4;
+        let map = cfg.map_space() as u64;
+        let mut targets: Vec<u64> = starts.iter().map(|&s| s % map).collect();
+        targets.sort_unstable();
+        // Two arrays at offset 0 (mod map) and two at sp.
+        assert_eq!(targets, vec![0, 0, sp, sp]);
+    }
+
+    #[test]
+    fn greedy_picks_nearest_partition_first() {
+        // First array starts at base 0 -> partition 0, zero gap.
+        let cfg = CacheConfig::new(1 << 12, 64, 1);
+        let sizes = vec![100usize, 100];
+        let starts = greedy_partition_starts(&sizes, &cfg, 0);
+        assert_eq!(starts[0], 0);
+        // Second array: q = 100, nearest available target is sp = 2048.
+        assert_eq!(starts[1], 2048);
+        assert_eq!(gap_overhead(&sizes, &starts, 0), 2048 - 100);
+    }
+
+    #[test]
+    fn wraparound_gap() {
+        // Base lands past the last partition target: gap wraps around.
+        let cfg = CacheConfig::new(1 << 12, 64, 1);
+        let sizes = vec![64usize];
+        let base = 4000u64; // mapped = 4000; only target 0 -> gap 96
+        let starts = greedy_partition_starts(&sizes, &cfg, base);
+        assert_eq!(starts[0], 4096);
+    }
+
+    #[test]
+    fn empty_input() {
+        let cfg = CacheConfig::new(1 << 12, 64, 1);
+        assert!(greedy_partition_starts(&[], &cfg, 0).is_empty());
+    }
+
+    #[test]
+    fn overhead_bounded_by_na_times_sp() {
+        let cfg = CacheConfig::new(1 << 16, 64, 1);
+        for na in 1..=9usize {
+            let sizes = vec![123_456usize; na];
+            let starts = greedy_partition_starts(&sizes, &cfg, 7);
+            let overhead = gap_overhead(&sizes, &starts, 7);
+            assert!(
+                overhead <= (cfg.capacity as u64 / na as u64 + 1) * na as u64 + cfg.capacity as u64,
+                "na={na} overhead={overhead}"
+            );
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! # sp-cli — the `spfc` command-line tool
+//!
+//! A small driver exposing the library's pipeline over textual loop
+//! programs (the dialect of `sp_ir::parse`):
+//!
+//! ```text
+//! spfc analyze  prog.loop             # dependences + parallelism
+//! spfc derive   prog.loop             # shift/peel amounts per dimension
+//! spfc fuse     prog.loop [--strip N] # emit the fused pseudocode
+//! spfc run      prog.loop [--procs N] # execute fused vs serial, verify
+//! spfc simulate prog.loop [--machine ksr2|convex] [--procs N]
+//! spfc distribute prog.loop           # loop fission, print the result
+//! ```
+//!
+//! The logic lives here (returning strings) so both `main` and the
+//! integration tests drive exactly the same code.
+
+use shift_peel_core::{
+    derive_levels, distribute_sequence, fusion_plan, render_plan, CodegenMethod,
+};
+use sp_cache::LayoutStrategy;
+use sp_dep::{analyze_sequence, describe_deps};
+use sp_exec::{ExecPlan, Executor, Memory};
+use sp_ir::{display::render_sequence, parse_sequence, LoopSequence};
+use sp_machine::{simulate, SimPlan, CONVEX_SPP1000, KSR2};
+use std::fmt::Write as _;
+
+/// A CLI failure: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+fn fail<T>(message: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError { message: message.into(), code: 1 })
+}
+
+fn usage<T>(message: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError { message: message.into(), code: 2 })
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// The subcommand.
+    pub command: String,
+    /// The program source path.
+    pub path: String,
+    /// `--procs N` (default 4).
+    pub procs: usize,
+    /// `--strip N` (default 16).
+    pub strip: i64,
+    /// `--machine ksr2|convex` (default convex).
+    pub machine: String,
+}
+
+impl Options {
+    /// Parses `args` (without the binary name).
+    pub fn parse(args: &[String]) -> Result<Options, CliError> {
+        let mut it = args.iter();
+        let Some(command) = it.next() else {
+            return usage(USAGE);
+        };
+        let Some(path) = it.next() else {
+            return usage(format!("missing program path\n{USAGE}"));
+        };
+        let mut opts = Options {
+            command: command.clone(),
+            path: path.clone(),
+            procs: 4,
+            strip: 16,
+            machine: "convex".to_string(),
+        };
+        while let Some(flag) = it.next() {
+            let mut take = || -> Result<&String, CliError> {
+                match it.next() {
+                    Some(v) => Ok(v),
+                    None => Err(CliError {
+                        message: format!("{flag} needs a value"),
+                        code: 2,
+                    }),
+                }
+            };
+            match flag.as_str() {
+                "--procs" => {
+                    opts.procs = take()?
+                        .parse()
+                        .map_err(|_| CliError { message: "bad --procs".into(), code: 2 })?;
+                }
+                "--strip" => {
+                    opts.strip = take()?
+                        .parse()
+                        .map_err(|_| CliError { message: "bad --strip".into(), code: 2 })?;
+                }
+                "--machine" => {
+                    opts.machine = take()?.clone();
+                }
+                other => return usage(format!("unknown flag {other}\n{USAGE}")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// The usage string.
+pub const USAGE: &str = "usage: spfc <analyze|derive|fuse|distribute|run|simulate> <prog.loop> \
+[--procs N] [--strip N] [--machine ksr2|convex]";
+
+fn load(path: &str) -> Result<LoopSequence, CliError> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CliError { message: format!("cannot read {path}: {e}"), code: 1 })?;
+    let seq = parse_sequence(&src)
+        .map_err(|e| CliError { message: format!("{path}: {e}"), code: 1 })?;
+    if let Err(errs) = seq.validate() {
+        let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+        return fail(format!("{path}: invalid program:\n  {}", msgs.join("\n  ")));
+    }
+    Ok(seq)
+}
+
+/// Executes one CLI invocation, returning the stdout text.
+pub fn run_command(opts: &Options) -> Result<String, CliError> {
+    let seq = load(&opts.path)?;
+    let mut out = String::new();
+    match opts.command.as_str() {
+        "analyze" => {
+            let deps = analyze_sequence(&seq).map_err(|e| CliError {
+                message: e.to_string(),
+                code: 1,
+            })?;
+            let _ = writeln!(out, "program {}: {} nests, {} arrays", seq.name, seq.len(), seq.arrays.len());
+            out.push_str(&describe_deps(&seq, &deps));
+        }
+        "derive" => {
+            let deps = analyze_sequence(&seq)
+                .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            let d = derive_levels(&deps, seq.len(), deps.depth)
+                .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            let _ = write!(out, "{d}");
+            for dim in &d.dims {
+                let _ = writeln!(out, "level {}: Nt = {}", dim.level, dim.nt());
+            }
+        }
+        "distribute" => {
+            let dist = distribute_sequence(&seq);
+            out.push_str(&render_sequence(&dist));
+        }
+        "fuse" => {
+            let deps = analyze_sequence(&seq)
+                .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            let plan = fusion_plan(&seq, &deps, 1, CodegenMethod::StripMined, None)
+                .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            out.push_str(&render_plan(&seq, &plan, opts.strip));
+        }
+        "run" => {
+            let ex = Executor::new(&seq, 1)
+                .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            let mut ref_mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+            ref_mem.init_deterministic(&seq, 42);
+            ex.run(&mut ref_mem, &ExecPlan::Serial)
+                .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+            mem.init_deterministic(&seq, 42);
+            let plan = ExecPlan::Fused {
+                grid: vec![opts.procs],
+                method: CodegenMethod::StripMined,
+                strip: opts.strip,
+            };
+            let counters = ex
+                .run_threaded(&mut mem, &plan)
+                .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            if mem.snapshot_all(&seq) != ref_mem.snapshot_all(&seq) {
+                return fail("MISMATCH: fused execution diverged from the serial original");
+            }
+            let fused: u64 = counters.iter().map(|c| c.iters).sum();
+            let peeled: u64 = counters.iter().map(|c| c.peeled_iters).sum();
+            let _ = writeln!(
+                out,
+                "OK: fused result matches serial on {} threads ({fused} fused + {peeled} peeled iterations)",
+                opts.procs
+            );
+        }
+        "simulate" => {
+            let machine = match opts.machine.as_str() {
+                "ksr2" => KSR2,
+                "convex" => CONVEX_SPP1000,
+                other => return usage(format!("unknown machine {other} (ksr2|convex)")),
+            };
+            let layout = LayoutStrategy::CachePartition(machine.cache);
+            let base = simulate(
+                &seq,
+                &machine,
+                &SimPlan::new(ExecPlan::Blocked { grid: vec![1] }, layout),
+            )
+            .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            let unfused = simulate(
+                &seq,
+                &machine,
+                &SimPlan::new(ExecPlan::Blocked { grid: vec![opts.procs] }, layout),
+            )
+            .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            let fused = simulate(
+                &seq,
+                &machine,
+                &SimPlan::new(
+                    ExecPlan::Fused {
+                        grid: vec![opts.procs],
+                        method: CodegenMethod::StripMined,
+                        strip: opts.strip,
+                    },
+                    layout,
+                ),
+            )
+            .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            let _ = writeln!(out, "machine {} @ {} procs (cache-partitioned layout)", machine.name, opts.procs);
+            let _ = writeln!(
+                out,
+                "unfused: speedup {:.2}, misses {}",
+                base.seconds / unfused.seconds,
+                unfused.misses
+            );
+            let _ = writeln!(
+                out,
+                "fused:   speedup {:.2}, misses {}",
+                base.seconds / fused.seconds,
+                fused.misses
+            );
+            let _ = writeln!(
+                out,
+                "fusion improvement: {:+.1}%",
+                (unfused.seconds / fused.seconds - 1.0) * 100.0
+            );
+        }
+        other => return usage(format!("unknown command {other}\n{USAGE}")),
+    }
+    Ok(out)
+}

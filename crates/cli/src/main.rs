@@ -1,0 +1,13 @@
+//! `spfc` — shift-peel fusion compiler driver. See `sp_cli` for the
+//! command logic and `sp_ir::parse` for the input dialect.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match sp_cli::Options::parse(&args).and_then(|o| sp_cli::run_command(&o)) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("spfc: {e}");
+            std::process::exit(e.code);
+        }
+    }
+}

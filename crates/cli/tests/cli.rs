@@ -1,0 +1,130 @@
+//! End-to-end tests of the `spfc` driver, exercising every subcommand on
+//! a temp program file (through the same code path as the binary).
+
+use sp_cli::{run_command, Options};
+use std::io::Write as _;
+
+const PROGRAM: &str = r"
+! sequence demo
+! array A0 a(96)
+! array A1 b(96)
+! array A2 c(96)
+! array A3 d(96)
+L1:
+  do i0 = 1, 94
+    a[i0] = b[i0]
+  end do
+L2:
+  do i0 = 1, 94
+    c[i0] = (a[i0+1] + a[i0-1])
+  end do
+L3:
+  do i0 = 1, 94
+    d[i0] = (c[i0+1] + c[i0-1])
+  end do
+";
+
+fn with_program(f: impl FnOnce(&str)) {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("spfc-test-{}.loop", std::process::id()));
+    let mut file = std::fs::File::create(&path).expect("create temp program");
+    file.write_all(PROGRAM.as_bytes()).expect("write");
+    drop(file);
+    f(path.to_str().expect("utf-8 path"));
+    let _ = std::fs::remove_file(&path);
+}
+
+fn run(args: &[&str]) -> Result<String, sp_cli::CliError> {
+    let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    run_command(&Options::parse(&owned)?)
+}
+
+#[test]
+fn analyze_reports_dependences() {
+    with_program(|path| {
+        let out = run(&["analyze", path]).expect("analyze");
+        assert!(out.contains("L1 -> L2: flow on a"), "{out}");
+        assert!(out.contains("distance (-1)"), "{out}");
+        assert!(out.contains("i0:doall"), "{out}");
+    });
+}
+
+#[test]
+fn derive_prints_table2_style_amounts() {
+    with_program(|path| {
+        let out = run(&["derive", path]).expect("derive");
+        assert!(out.contains("L2: shift 1, peel 1"), "{out}");
+        assert!(out.contains("L3: shift 2, peel 2"), "{out}");
+        assert!(out.contains("Nt = 4"), "{out}");
+    });
+}
+
+#[test]
+fn fuse_emits_pseudocode() {
+    with_program(|path| {
+        let out = run(&["fuse", path, "--strip", "8"]).expect("fuse");
+        assert!(out.contains("do ii0 = istart0, iend0, 8"), "{out}");
+        assert!(out.contains("<BARRIER>"), "{out}");
+    });
+}
+
+#[test]
+fn run_verifies_fused_execution() {
+    with_program(|path| {
+        let out = run(&["run", path, "--procs", "3"]).expect("run");
+        assert!(out.starts_with("OK:"), "{out}");
+        assert!(out.contains("3 threads"), "{out}");
+    });
+}
+
+#[test]
+fn simulate_reports_both_machines() {
+    with_program(|path| {
+        for machine in ["ksr2", "convex"] {
+            let out =
+                run(&["simulate", path, "--machine", machine, "--procs", "2"]).expect("simulate");
+            assert!(out.contains("speedup"), "{out}");
+            assert!(out.contains("fusion improvement"), "{out}");
+        }
+    });
+}
+
+#[test]
+fn distribute_splits_nothing_here_but_prints() {
+    with_program(|path| {
+        let out = run(&["distribute", path]).expect("distribute");
+        assert!(out.contains("do i0 = 1, 94"), "{out}");
+        assert!(out.contains("demo-distributed"), "{out}");
+    });
+}
+
+#[test]
+fn bad_inputs_are_reported() {
+    // Unknown command.
+    with_program(|path| {
+        let e = run(&["explode", path]).unwrap_err();
+        assert_eq!(e.code, 2);
+    });
+    // Missing file.
+    let e = run(&["analyze", "/nonexistent/prog.loop"]).unwrap_err();
+    assert_eq!(e.code, 1);
+    assert!(e.message.contains("cannot read"));
+    // Missing args.
+    let e = Options::parse(&[]).unwrap_err();
+    assert_eq!(e.code, 2);
+}
+
+#[test]
+fn binary_runs_end_to_end() {
+    // Drive the actual binary once to cover main().
+    with_program(|path| {
+        let exe = env!("CARGO_BIN_EXE_spfc");
+        let out = std::process::Command::new(exe)
+            .args(["derive", path])
+            .output()
+            .expect("spawn spfc");
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("shift 2"), "{text}");
+    });
+}

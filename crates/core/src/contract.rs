@@ -1,0 +1,295 @@
+//! Array contraction after fusion.
+//!
+//! Fusion brings producers and consumers of intermediate arrays into the
+//! same loop, after which a purely-intermediate array needs only a small
+//! *window* of its outermost planes live at any time — the rest can be
+//! folded onto the same storage (`plane k` aliasing `plane k % W`). This
+//! is the array form of the scalar contraction Warren's fusion work
+//! targets (discussed in the paper's related work, Section 2.4); it
+//! shrinks the fused loop's cache footprint on top of what cache
+//! partitioning achieves.
+//!
+//! Legality here is restricted to **serial** fused execution (a single
+//! block): with parallel blocks, a peeled-phase read of a plane near a
+//! block boundary could observe storage already reused by a neighbouring
+//! block's fused phase. The candidates and window computation below apply
+//! to the strip-mined serial schedule of Figure 11(b).
+
+use crate::derive::Derivation;
+use sp_dep::{DepKind, SequenceDeps};
+use sp_ir::{ArrayId, LoopSequence};
+
+/// A contraction opportunity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContractionCandidate {
+    /// The contractable array.
+    pub array: ArrayId,
+    /// The largest producer-to-consumer span in fused traversal order:
+    /// `max(d + shift_consumer - shift_producer)` over the array's flow
+    /// dependences (0 when all reuse is same-iteration).
+    pub max_span: i64,
+    /// Elements saved by contracting to the window for strip size 1.
+    pub elements_saved: usize,
+}
+
+impl ContractionCandidate {
+    /// The contraction window (number of live outermost planes) for a
+    /// given strip size: values must survive `max_span` traversal
+    /// positions plus up to one strip of producer run-ahead.
+    pub fn window(&self, strip: i64) -> usize {
+        (self.max_span.max(0) + strip.max(1) + 1) as usize
+    }
+}
+
+/// Finds the arrays of `seq` that can be contracted after fusing the
+/// whole sequence (serial execution), given the derivation.
+///
+/// An array qualifies when:
+/// * it is **not live-out** (`live_out` lists arrays whose final contents
+///   the program needs),
+/// * it is written by exactly one nest, with an outermost subscript of
+///   the aligned form `i0 + 0` (the common stencil pattern),
+/// * every access to it is a write in the producer or a read in a later
+///   nest with a uniform outer-dimension distance (no reads before the
+///   producer, no other writers), and
+/// * every read's accessed region is **covered** by the producer's
+///   written region in every dimension — a read of an element the
+///   producer never writes consumes the array's *initial* value, which
+///   storage folding would corrupt (stencil halo reads typically fail
+///   this test, e.g. LL18's `zb[k+1, j]` at the last row).
+pub fn find_contractable(
+    seq: &LoopSequence,
+    deps: &SequenceDeps,
+    deriv: &Derivation,
+    live_out: &[ArrayId],
+) -> Vec<ContractionCandidate> {
+    let mut out = Vec::new();
+    'arrays: for (idx, decl) in seq.arrays.iter().enumerate() {
+        let id = ArrayId(idx as u32);
+        if live_out.contains(&id) {
+            continue;
+        }
+        // Writer discovery: exactly one writing nest, aligned outer
+        // subscript with offset 0.
+        let mut writer: Option<usize> = None;
+        let mut read_anywhere = false;
+        for (k, nest) in seq.nests.iter().enumerate() {
+            for stmt in &nest.body {
+                if stmt.lhs.array == id {
+                    if writer.is_some_and(|w| w != k) {
+                        continue 'arrays; // multiple writing nests
+                    }
+                    let s0 = &stmt.lhs.subs[0];
+                    if s0.offset != 0 || s0.coeff(0) != 1 {
+                        continue 'arrays; // non-aligned producer
+                    }
+                    writer = Some(k);
+                }
+                for r in stmt.rhs.reads() {
+                    if r.array == id {
+                        read_anywhere = true;
+                    }
+                }
+            }
+        }
+        let Some(w) = writer else {
+            continue; // pure input: nothing to contract
+        };
+        if !read_anywhere {
+            // Dead store target; window 1 suffices but contraction of
+            // never-read arrays is better handled by dead-code removal.
+            continue;
+        }
+        // Reads must come at or after the producer with uniform outer
+        // distances; track the maximum fused-order span.
+        let mut max_span = 0i64;
+        let mut ok = true;
+        for d in &deps.inter {
+            if d.array != id {
+                continue;
+            }
+            match d.kind {
+                DepKind::Flow if d.src_nest == w => {
+                    let Some(dist) = d.dist[0] else {
+                        ok = false;
+                        break;
+                    };
+                    let span = dist + deriv.dims[0].shifts[d.dst_nest]
+                        - deriv.dims[0].shifts[d.src_nest];
+                    max_span = max_span.max(span);
+                }
+                // Any anti/output dependence or flow from another nest
+                // means the liveness analysis above is wrong — bail.
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // Coverage: every read's region must lie inside the written
+        // region in every dimension (no live-in elements).
+        let producer_bounds: Vec<(i64, i64)> = seq.nests[w]
+            .bounds
+            .iter()
+            .map(|b| (b.lo, b.hi))
+            .collect();
+        let write_ranges: Vec<Vec<(i64, i64)>> = seq.nests[w]
+            .body
+            .iter()
+            .filter(|st| st.lhs.array == id)
+            .map(|st| {
+                st.lhs
+                    .subs
+                    .iter()
+                    .map(|sub| sub.range_over(&producer_bounds))
+                    .collect()
+            })
+            .collect();
+        for (k, nest) in seq.nests.iter().enumerate() {
+            let bounds: Vec<(i64, i64)> = nest.bounds.iter().map(|b| (b.lo, b.hi)).collect();
+            for stmt in &nest.body {
+                for r in stmt.rhs.reads().iter().filter(|r| r.array == id) {
+                    let covered = write_ranges.iter().any(|wr| {
+                        r.subs.iter().zip(wr).all(|(sub, &(wlo, whi))| {
+                            let (rlo, rhi) = sub.range_over(&bounds);
+                            wlo <= rlo && rhi <= whi
+                        })
+                    });
+                    if !covered {
+                        continue 'arrays;
+                    }
+                }
+            }
+            let _ = k;
+        }
+        // Intra-nest reads in the producer itself (e.g. accumulation)
+        // have span 0 and are covered by the window minimum.
+        let elements_saved = decl
+            .len()
+            .saturating_sub(ContractionCandidate { array: id, max_span, elements_saved: 0 }
+                .window(1)
+                * decl.dims[1..].iter().product::<usize>());
+        out.push(ContractionCandidate { array: id, max_span, elements_saved });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::derive_levels;
+    use sp_dep::analyze_sequence;
+    use sp_ir::SeqBuilder;
+
+    /// A pyramid of shrinking interiors, so every stencil read stays
+    /// inside the producer's written region.
+    fn chain() -> LoopSequence {
+        // L1: a = b over [1, n-2]; L2: c = a[+-1] over [2, n-3];
+        // L3: d = c over [2, n-3]. a and c are coverable intermediates.
+        let n = 64usize;
+        let mut b = SeqBuilder::new("chain");
+        let a = b.array("a", [n]);
+        let bb = b.array("b", [n]);
+        let c = b.array("c", [n]);
+        let d = b.array("d", [n]);
+        b.nest("L1", [(1, n as i64 - 2)], |x| {
+            let r = x.ld(bb, [0]);
+            x.assign(a, [0], r);
+        });
+        b.nest("L2", [(2, n as i64 - 3)], |x| {
+            let r = x.ld(a, [1]) + x.ld(a, [-1]);
+            x.assign(c, [0], r);
+        });
+        b.nest("L3", [(2, n as i64 - 3)], |x| {
+            let r = x.ld(c, [0]);
+            x.assign(d, [0], r);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn chain_intermediates_are_contractable() {
+        let seq = chain();
+        let deps = analyze_sequence(&seq).unwrap();
+        let deriv = derive_levels(&deps, seq.len(), 1).unwrap();
+        let cands = find_contractable(&seq, &deps, &deriv, &[ArrayId(3)]);
+        let ids: Vec<u32> = cands.iter().map(|c| c.array.0).collect();
+        assert_eq!(ids, vec![0, 2], "a and c contract; b is input, d live-out");
+        // a: read by L2 at distances -1/+1 with shift(L2)=1, shift(L1)=0:
+        // spans 0 and 2.
+        assert_eq!(cands[0].max_span, 2);
+        assert_eq!(cands[0].window(1), 4);
+        assert!(cands[0].elements_saved > 0);
+    }
+
+    #[test]
+    fn halo_reads_block_contraction() {
+        // Same chain but with equal bounds everywhere: L2's a[i+-1] reads
+        // the halo elements a[0] and a[n-2+1] that L1 never writes —
+        // their initial values are live, so contraction must be refused.
+        let n = 64usize;
+        let mut b = SeqBuilder::new("halo");
+        let a = b.array("a", [n]);
+        let bb = b.array("b", [n]);
+        let c = b.array("c", [n]);
+        let (lo, hi) = (1, n as i64 - 2);
+        b.nest("L1", [(lo, hi)], |x| {
+            let r = x.ld(bb, [0]);
+            x.assign(a, [0], r);
+        });
+        b.nest("L2", [(lo, hi)], |x| {
+            let r = x.ld(a, [1]) + x.ld(a, [-1]);
+            x.assign(c, [0], r);
+        });
+        let seq = b.finish();
+        let deps = analyze_sequence(&seq).unwrap();
+        let deriv = derive_levels(&deps, seq.len(), 1).unwrap();
+        let cands = find_contractable(&seq, &deps, &deriv, &[ArrayId(2)]);
+        assert!(cands.is_empty(), "{cands:?}");
+    }
+
+    #[test]
+    fn live_out_blocks_contraction() {
+        let seq = chain();
+        let deps = analyze_sequence(&seq).unwrap();
+        let deriv = derive_levels(&deps, seq.len(), 1).unwrap();
+        let cands = find_contractable(&seq, &deps, &deriv, &[ArrayId(0), ArrayId(2), ArrayId(3)]);
+        assert!(cands.is_empty());
+    }
+
+    #[test]
+    fn accumulated_array_is_not_contractable() {
+        // a[i] = a[i] + b[i] read-modify-write, then read later; the
+        // anti-style self dependence is fine (distance 0), but here `a`
+        // is also an input (read before its own producer? no — but it is
+        // written and its initial value is consumed), which the analysis
+        // conservatively treats via the flow-only rule: the read of a in
+        // the SAME nest is intra-nest and allowed, but a read in an
+        // EARLIER nest bails.
+        let n = 32usize;
+        let mut b = SeqBuilder::new("acc");
+        let a = b.array("a", [n]);
+        let bb = b.array("b", [n]);
+        let c = b.array("c", [n]);
+        b.nest("L1", [(0, n as i64 - 1)], |x| {
+            let r = x.ld(a, [0]); // read of `a` before its writer
+            x.assign(c, [0], r);
+        });
+        b.nest("L2", [(0, n as i64 - 1)], |x| {
+            let r = x.ld(bb, [0]);
+            x.assign(a, [0], r);
+        });
+        let seq = b.finish();
+        let deps = analyze_sequence(&seq).unwrap();
+        let deriv = derive_levels(&deps, seq.len(), 1).unwrap();
+        let cands = find_contractable(&seq, &deps, &deriv, &[ArrayId(2)]);
+        assert!(
+            !cands.iter().any(|c| c.array == ArrayId(0)),
+            "array read before its producer must not contract"
+        );
+    }
+
+}

@@ -1,0 +1,370 @@
+//! Loop distribution (fission) — the inverse of fusion.
+//!
+//! Kennedy & McKinley's work (paper Section 2.4) uses fusion *and
+//! distribution* together: distributing a multi-statement nest into
+//! single-statement nests first lets the fusion planner regroup the
+//! statements optimally (for example, pulling a serial recurrence out of
+//! an otherwise-parallel body, so the parallel part can still fuse with
+//! its neighbours).
+//!
+//! Distribution is legal when statements are placed in an order
+//! consistent with intra-nest dependences; statements in a dependence
+//! *cycle* must stay together. This module builds the statement-level
+//! dependence graph, condenses it into strongly connected components,
+//! and emits one nest per component in topological order.
+
+use sp_dep::{ref_distance, PairDistance};
+use sp_ir::{LoopNest, LoopSequence};
+
+/// The result of distributing one nest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Distribution {
+    /// The replacement nests, in a legal execution order. Length 1 means
+    /// the nest was not distributable (single statement or one big
+    /// dependence cycle).
+    pub nests: Vec<LoopNest>,
+}
+
+/// Statement-level dependence test: does statement `i` executed (over
+/// the whole iteration space) conflict with statement `j` such that `j`
+/// must not be moved before `i`?
+///
+/// A dependence in *either* direction between two statements constrains
+/// their relative order; we build edges `i -> j` for `i < j` whenever any
+/// conflict exists, plus back-edges `j -> i` when a value flows backwards
+/// (a read in `i` of data written by `j` at an earlier iteration, etc.),
+/// which is what creates cycles.
+fn statement_edges(nest: &LoopNest) -> Vec<(usize, usize)> {
+    let n = nest.body.len();
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let si = &nest.body[i];
+            let sj = &nest.body[j];
+            // Collect conflicting reference pairs (at least one write).
+            let refs_i: Vec<(&sp_ir::ArrayRef, bool)> = si.all_refs();
+            let refs_j: Vec<(&sp_ir::ArrayRef, bool)> = sj.all_refs();
+            let mut depends = false;
+            for &(ri, wi) in &refs_i {
+                for &(rj, wj) in &refs_j {
+                    if ri.array != rj.array || (!wi && !wj) {
+                        continue;
+                    }
+                    match ref_distance(ri, nest, rj, nest) {
+                        PairDistance::Independent => {}
+                        PairDistance::Distance(d) => {
+                            // Statement order constraint exists when the
+                            // dependence flows from i to j: same
+                            // iteration (all-zero distance, textual order
+                            // i < j) or a later iteration of j
+                            // (lexicographically positive distance).
+                            let all_zero = d.iter().all(|&x| x == Some(0));
+                            let lex_positive = d
+                                .iter()
+                                .find_map(|&x| match x {
+                                    Some(0) => None,
+                                    Some(v) => Some(v > 0),
+                                    None => Some(true), // unknown: be conservative
+                                })
+                                .unwrap_or(false);
+                            if lex_positive || (all_zero && i < j) {
+                                depends = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if depends {
+                edges.push((i, j));
+            }
+        }
+    }
+    edges
+}
+
+/// Tarjan's strongly connected components, returned in reverse
+/// topological order of the condensation (so reversing gives a legal
+/// execution order).
+fn sccs(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    struct State {
+        index: Vec<Option<usize>>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        counter: usize,
+        out: Vec<Vec<usize>>,
+    }
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        adj[a].push(b);
+    }
+    let mut st = State {
+        index: vec![None; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        counter: 0,
+        out: Vec::new(),
+    };
+    fn strongconnect(v: usize, adj: &[Vec<usize>], st: &mut State) {
+        st.index[v] = Some(st.counter);
+        st.low[v] = st.counter;
+        st.counter += 1;
+        st.stack.push(v);
+        st.on_stack[v] = true;
+        for &w in &adj[v] {
+            if st.index[w].is_none() {
+                strongconnect(w, adj, st);
+                st.low[v] = st.low[v].min(st.low[w]);
+            } else if st.on_stack[w] {
+                st.low[v] = st.low[v].min(st.index[w].expect("indexed"));
+            }
+        }
+        if st.low[v] == st.index[v].expect("indexed") {
+            let mut comp = Vec::new();
+            loop {
+                let w = st.stack.pop().expect("stack");
+                st.on_stack[w] = false;
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            comp.sort_unstable(); // original statement order within the component
+            st.out.push(comp);
+        }
+    }
+    for v in 0..n {
+        if st.index[v].is_none() {
+            strongconnect(v, &adj, &mut st);
+        }
+    }
+    st.out
+}
+
+/// Distributes one nest into maximal single-component nests.
+pub fn distribute_nest(nest: &LoopNest) -> Distribution {
+    if nest.body.len() <= 1 {
+        return Distribution { nests: vec![nest.clone()] };
+    }
+    let edges = statement_edges(nest);
+    let comps = sccs(nest.body.len(), &edges);
+    let comps = stable_topo_order(comps, &edges);
+    let nests = comps
+        .iter()
+        .enumerate()
+        .map(|(i, comp)| {
+            let body = comp.iter().map(|&s| nest.body[s].clone()).collect();
+            LoopNest::new(
+                if comps.len() == 1 {
+                    nest.label.clone()
+                } else {
+                    format!("{}_{}", nest.label, i + 1)
+                },
+                nest.bounds.clone(),
+                body,
+            )
+        })
+        .collect();
+    Distribution { nests }
+}
+
+/// Orders strongly connected components topologically, breaking ties by
+/// the smallest original statement index — independent statements keep
+/// their textual order instead of inheriting Tarjan's traversal order.
+fn stable_topo_order(comps: Vec<Vec<usize>>, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let nc = comps.len();
+    let mut comp_of = vec![0usize; comps.iter().map(|c| c.len()).sum()];
+    for (ci, comp) in comps.iter().enumerate() {
+        for &s in comp {
+            comp_of[s] = ci;
+        }
+    }
+    let mut indegree = vec![0usize; nc];
+    let mut adj = vec![Vec::new(); nc];
+    for &(a, b) in edges {
+        let (ca, cb) = (comp_of[a], comp_of[b]);
+        if ca != cb {
+            adj[ca].push(cb);
+            indegree[cb] += 1;
+        }
+    }
+    // Min-heap keyed by the component's smallest statement index.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let key = |ci: usize| comps[ci][0];
+    let mut heap: BinaryHeap<Reverse<(usize, usize)>> = (0..nc)
+        .filter(|&c| indegree[c] == 0)
+        .map(|c| Reverse((key(c), c)))
+        .collect();
+    let mut out = Vec::with_capacity(nc);
+    while let Some(Reverse((_, c))) = heap.pop() {
+        out.push(comps[c].clone());
+        for &d in &adj[c] {
+            indegree[d] -= 1;
+            if indegree[d] == 0 {
+                heap.push(Reverse((key(d), d)));
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), nc, "condensation must be acyclic");
+    out
+}
+
+/// Distributes every nest of a sequence, producing a (usually longer)
+/// sequence with identical semantics — the normal preprocessing step
+/// before fusion planning.
+pub fn distribute_sequence(seq: &LoopSequence) -> LoopSequence {
+    let nests = seq
+        .nests
+        .iter()
+        .flat_map(|n| distribute_nest(n).nests)
+        .collect();
+    LoopSequence::new(format!("{}-distributed", seq.name), seq.arrays.clone(), nests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_ir::SeqBuilder;
+
+    #[test]
+    fn independent_statements_split() {
+        let n = 32usize;
+        let mut b = SeqBuilder::new("ind");
+        let a = b.array("a", [n]);
+        let c = b.array("c", [n]);
+        let x = b.array("x", [n]);
+        let y = b.array("y", [n]);
+        b.nest("L1", [(0, n as i64 - 1)], |s| {
+            let r1 = s.ld(x, [0]);
+            s.assign(a, [0], r1);
+            let r2 = s.ld(y, [0]);
+            s.assign(c, [0], r2);
+        });
+        let seq = b.finish();
+        let d = distribute_nest(&seq.nests[0]);
+        assert_eq!(d.nests.len(), 2);
+        assert_eq!(d.nests[0].body.len(), 1);
+        assert_eq!(d.nests[0].label, "L1_1");
+    }
+
+    #[test]
+    fn same_iteration_flow_keeps_order_but_splits() {
+        // S1 writes t[i]; S2 reads t[i]: distance 0 -> distributable with
+        // S1's loop first.
+        let n = 32usize;
+        let mut b = SeqBuilder::new("flow");
+        let t = b.array("t", [n]);
+        let c = b.array("c", [n]);
+        let x = b.array("x", [n]);
+        b.nest("L1", [(0, n as i64 - 1)], |s| {
+            let r1 = s.ld(x, [0]);
+            s.assign(t, [0], r1);
+            let r2 = s.ld(t, [0]);
+            s.assign(c, [0], r2);
+        });
+        let seq = b.finish();
+        let d = distribute_nest(&seq.nests[0]);
+        assert_eq!(d.nests.len(), 2);
+        // Producer first.
+        assert_eq!(d.nests[0].body[0].lhs.array, t);
+        assert_eq!(d.nests[1].body[0].lhs.array, c);
+    }
+
+    #[test]
+    fn dependence_cycle_stays_together() {
+        // S1: t[i] = u[i-1]; S2: u[i] = t[i]  -- t flows S1->S2 at 0,
+        // u flows S2->S1 at +1: a cycle across iterations.
+        let n = 32usize;
+        let mut b = SeqBuilder::new("cycle");
+        let t = b.array("t", [n]);
+        let u = b.array("u", [n]);
+        b.nest("L1", [(1, n as i64 - 1)], |s| {
+            let r1 = s.ld(u, [-1]);
+            s.assign(t, [0], r1);
+            let r2 = s.ld(t, [0]);
+            s.assign(u, [0], r2);
+        });
+        let seq = b.finish();
+        let d = distribute_nest(&seq.nests[0]);
+        assert_eq!(d.nests.len(), 1, "cycle must not be split");
+        assert_eq!(d.nests[0].body.len(), 2);
+        assert_eq!(d.nests[0].label, "L1");
+    }
+
+    #[test]
+    fn distribution_preserves_semantics() {
+        use sp_cache::LayoutStrategy;
+        use sp_exec::{run_original, Memory, NullSink};
+        // LL18-like two-statement bodies distribute into 6 nests; the
+        // distributed program must compute the same values.
+        let n = 40usize;
+        let mut b = SeqBuilder::new("sem");
+        let x = b.array("x", [n]);
+        let t = b.array("t", [n]);
+        let u = b.array("u", [n]);
+        let v = b.array("v", [n]);
+        b.nest("L1", [(1, n as i64 - 2)], |s| {
+            let r1 = s.ld(x, [1]) + s.ld(x, [-1]);
+            s.assign(t, [0], r1);
+            let r2 = s.ld(t, [0]) * 2.0;
+            s.assign(u, [0], r2);
+            let r3 = s.ld(u, [0]) - s.ld(x, [0]);
+            s.assign(v, [0], r3);
+        });
+        let seq = b.finish();
+        let dist = distribute_sequence(&seq);
+        assert_eq!(dist.nests.len(), 3);
+        assert!(dist.validate().is_ok());
+
+        let mut m1 = Memory::new(&seq, LayoutStrategy::Contiguous);
+        m1.init_deterministic(&seq, 6);
+        run_original(&seq, &mut m1, &mut NullSink);
+        let mut m2 = Memory::new(&dist, LayoutStrategy::Contiguous);
+        m2.init_deterministic(&dist, 6);
+        run_original(&dist, &mut m2, &mut NullSink);
+        assert_eq!(m1.snapshot_all(&seq), m2.snapshot_all(&dist));
+    }
+
+    #[test]
+    fn distribute_then_fuse_recovers_parallel_part() {
+        // A nest mixing a serial recurrence with parallel statements:
+        // distribution isolates the recurrence so the parallel statements
+        // can fuse with a neighbouring nest.
+        let n = 48usize;
+        let mut b = SeqBuilder::new("mix");
+        let acc = b.array("acc", [n]);
+        let t = b.array("t", [n]);
+        let x = b.array("x", [n]);
+        let out = b.array("out", [n]);
+        b.nest("L1", [(1, n as i64 - 2)], |s| {
+            let r1 = s.ld(acc, [-1]) + s.ld(x, [0]); // serial recurrence
+            s.assign(acc, [0], r1);
+            let r2 = s.ld(x, [0]) * 2.0; // parallel
+            s.assign(t, [0], r2);
+        });
+        b.nest("L2", [(1, n as i64 - 2)], |s| {
+            let r = s.ld(t, [0]);
+            s.assign(out, [0], r);
+        });
+        let seq = b.finish();
+        // Before distribution, L1 is serial: nothing fuses.
+        let deps = sp_dep::analyze_sequence(&seq).unwrap();
+        let plan =
+            crate::plan::fusion_plan(&seq, &deps, 1, crate::plan::CodegenMethod::StripMined, None)
+                .unwrap();
+        assert_eq!(plan.fused_group_count(), 0);
+        // After distribution, the t-statement's nest fuses with L2.
+        let dist = distribute_sequence(&seq);
+        let deps2 = sp_dep::analyze_sequence(&dist).unwrap();
+        let plan2 =
+            crate::plan::fusion_plan(&dist, &deps2, 1, crate::plan::CodegenMethod::StripMined, None)
+                .unwrap();
+        assert_eq!(plan2.fused_group_count(), 1);
+        assert_eq!(plan2.longest_group(), 2);
+    }
+}

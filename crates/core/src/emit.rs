@@ -1,0 +1,181 @@
+//! Pseudocode emission for transformed programs.
+//!
+//! Renders what the generated code looks like after shift-and-peel — the
+//! strip-mined fused loop, the barrier, and the peeled loops — in the
+//! style of the paper's Figures 12 and 16. Intended for inspection,
+//! diagnostics, and documentation; the executable semantics live in
+//! `sp-exec`.
+
+use crate::plan::{FusedGroup, FusionPlan};
+use sp_ir::display::{render_expr, render_ref};
+use sp_ir::LoopSequence;
+use std::fmt::Write as _;
+
+/// Renders the code a fusion plan generates for `seq`, with `strip` as
+/// the strip size and a symbolic processor block `istart..iend` in each
+/// fused dimension (the paper presents its generated code the same way).
+pub fn render_plan(seq: &LoopSequence, plan: &FusionPlan, strip: i64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "! fused schedule for sequence {}", seq.name);
+    for (gi, group) in plan.groups.iter().enumerate() {
+        if group.len() == 1 {
+            let _ = writeln!(
+                out,
+                "\n! group {}: nest {} left unfused",
+                gi + 1,
+                seq.nests[group.start].label
+            );
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "\n! group {}: nests {}..{} fused (Nt = {})",
+            gi + 1,
+            seq.nests[group.start].label,
+            seq.nests[group.end - 1].label,
+            group.derivation.dims.iter().map(|d| d.nt()).max().unwrap_or(0)
+        );
+        render_group(seq, group, strip, &mut out);
+    }
+    out
+}
+
+fn render_group(seq: &LoopSequence, group: &FusedGroup, strip: i64, out: &mut String) {
+    let deriv = &group.derivation;
+    let levels = deriv.fused_levels();
+    // Strip-control loops over the processor's block.
+    for l in 0..levels {
+        let pad = "  ".repeat(l);
+        let _ = writeln!(out, "{pad}do ii{l} = istart{l}, iend{l}, {strip}");
+    }
+    let body_pad = "  ".repeat(levels);
+    for (k, nid) in group.members().enumerate() {
+        let nest = &seq.nests[nid];
+        let _ = writeln!(out, "{body_pad}! {} (shift {:?}, peel {:?})",
+            nest.label,
+            (0..levels).map(|l| deriv.dims[l].shifts[k]).collect::<Vec<_>>(),
+            (0..levels).map(|l| deriv.dims[l].peels[k]).collect::<Vec<_>>(),
+        );
+        for l in 0..nest.depth() {
+            let pad = "  ".repeat(levels + l);
+            if l < levels {
+                let shift = deriv.dims[l].shifts[k];
+                let peel = deriv.dims[l].peels[k];
+                let lo = if peel > 0 {
+                    format!("max(ii{l}-{shift}, istart{l}+{peel}*interior)")
+                } else {
+                    format!("max(ii{l}-{shift}, {})", nest.bounds[l].lo)
+                };
+                let _ = writeln!(
+                    out,
+                    "{pad}do i{l} = {lo}, min(ii{l}+{}, iend{l}-{shift})",
+                    strip - 1 - shift,
+                );
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{pad}do i{l} = {}, {}",
+                    nest.bounds[l].lo, nest.bounds[l].hi
+                );
+            }
+        }
+        let spad = "  ".repeat(levels + nest.depth());
+        for stmt in &nest.body {
+            let _ = writeln!(
+                out,
+                "{spad}{} = {}",
+                render_ref(seq, &stmt.lhs),
+                render_expr(seq, &stmt.rhs)
+            );
+        }
+        for l in (0..nest.depth()).rev() {
+            let pad = "  ".repeat(levels + l);
+            let _ = writeln!(out, "{pad}end do");
+        }
+    }
+    for l in (0..levels).rev() {
+        let pad = "  ".repeat(l);
+        let _ = writeln!(out, "{pad}end do");
+    }
+    let _ = writeln!(out, "<BARRIER>");
+    let _ = writeln!(out, "! peeled iterations (executed in parallel across blocks)");
+    for (k, nid) in group.members().enumerate() {
+        let nest = &seq.nests[nid];
+        let mut any = false;
+        for l in 0..levels {
+            let shift = deriv.dims[l].shifts[k];
+            let peel = deriv.dims[l].peels[k];
+            if shift + peel > 0 {
+                any = true;
+                let _ = writeln!(
+                    out,
+                    "! {}: dim {l} rows iend{l}-{} .. iend{l}+{} (clipped to [{}, {}])",
+                    nest.label,
+                    shift - 1,
+                    peel,
+                    nest.bounds[l].lo,
+                    nest.bounds[l].hi
+                );
+            }
+        }
+        if !any {
+            let _ = writeln!(out, "! {}: no peeled iterations", nest.label);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{fusion_plan, CodegenMethod};
+    use sp_ir::SeqBuilder;
+
+    #[test]
+    fn renders_fig12_like_structure() {
+        let n = 64usize;
+        let mut b = SeqBuilder::new("fig12");
+        let a = b.array("a", [n]);
+        let bb = b.array("b", [n]);
+        let c = b.array("c", [n]);
+        let d = b.array("d", [n]);
+        let (lo, hi) = (1, n as i64 - 2);
+        b.nest("L1", [(lo, hi)], |x| {
+            let r = x.ld(bb, [0]);
+            x.assign(a, [0], r);
+        });
+        b.nest("L2", [(lo, hi)], |x| {
+            let r = x.ld(a, [1]) + x.ld(a, [-1]);
+            x.assign(c, [0], r);
+        });
+        b.nest("L3", [(lo, hi)], |x| {
+            let r = x.ld(c, [1]) + x.ld(c, [-1]);
+            x.assign(d, [0], r);
+        });
+        let seq = b.finish();
+        let deps = sp_dep::analyze_sequence(&seq).unwrap();
+        let plan = fusion_plan(&seq, &deps, 1, CodegenMethod::StripMined, None).unwrap();
+        let text = render_plan(&seq, &plan, 16);
+        assert!(text.contains("do ii0 = istart0, iend0, 16"), "{text}");
+        assert!(text.contains("<BARRIER>"));
+        assert!(text.contains("shift [2]"), "{text}");
+        assert!(text.contains("Nt = 4"));
+        // Three member loops plus peeled commentary.
+        assert!(text.matches("end do").count() >= 4);
+    }
+
+    #[test]
+    fn singleton_groups_reported_unfused() {
+        let n = 32usize;
+        let mut b = SeqBuilder::new("s");
+        let a = b.array("a", [n]);
+        b.nest("L1", [(1, n as i64 - 1)], |x| {
+            let r = x.ld(a, [-1]); // serial
+            x.assign(a, [0], r);
+        });
+        let seq = b.finish();
+        let deps = sp_dep::analyze_sequence(&seq).unwrap();
+        let plan = fusion_plan(&seq, &deps, 1, CodegenMethod::StripMined, None).unwrap();
+        let text = render_plan(&seq, &plan, 8);
+        assert!(text.contains("left unfused"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Legality of the shift-and-peel transformation (Section 3.5 and
+//! Appendix I of the paper).
+//!
+//! Shift-and-peel applies to an *admissible parallel loop sequence* with
+//! uniform interloop dependences, executed on `P` processors with static
+//! blocked scheduling, provided every block has at least `Nt` iterations
+//! per fused dimension (Theorem 1). This module checks all of those
+//! conditions and reports precise failures.
+
+use crate::derive::{derive_levels, Derivation, DeriveError};
+use crate::schedule::ProcBlock;
+use sp_dep::SequenceDeps;
+use sp_ir::LoopSequence;
+use std::fmt;
+
+/// A reason shift-and-peel cannot be applied (or cannot be applied with a
+/// given processor count).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LegalityError {
+    /// Dependence analysis / derivation failed.
+    Derive(DeriveError),
+    /// A nest is not parallel (`doall`) in a fused level; the paper's
+    /// model requires parallel loop sequences (Definition 1).
+    SerialNest { nest: usize, level: usize },
+    /// A processor block has fewer iterations than the iteration count
+    /// threshold `Nt` in some fused level (Theorem 1's
+    /// `floor((u - l + 1)/P) >= Nt` condition).
+    BlockTooSmall { level: usize, block_iters: i64, nt: i64 },
+}
+
+impl fmt::Display for LegalityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LegalityError::Derive(e) => write!(f, "{e}"),
+            LegalityError::SerialNest { nest, level } => {
+                write!(f, "nest {nest} is serial in fused level {level}")
+            }
+            LegalityError::BlockTooSmall { level, block_iters, nt } => write!(
+                f,
+                "block has {block_iters} iterations in level {level}, below threshold Nt={nt}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LegalityError {}
+
+impl From<DeriveError> for LegalityError {
+    fn from(e: DeriveError) -> Self {
+        LegalityError::Derive(e)
+    }
+}
+
+/// Derives shift/peel amounts for the first `levels` dimensions and checks
+/// the sequence is an admissible parallel loop sequence with uniform
+/// dependences. Block-size legality is checked separately per processor
+/// count by [`check_blocks`].
+pub fn check_sequence(
+    seq: &LoopSequence,
+    deps: &SequenceDeps,
+    levels: usize,
+) -> Result<Derivation, LegalityError> {
+    for (k, info) in deps.nests.iter().enumerate() {
+        for (l, &par) in info.parallel.iter().take(levels).enumerate() {
+            if !par {
+                return Err(LegalityError::SerialNest { nest: k, level: l });
+            }
+        }
+    }
+    Ok(derive_levels(deps, seq.len(), levels)?)
+}
+
+/// Verifies Theorem 1's block-size condition for a concrete block
+/// decomposition: every block must span at least `Nt` iterations in every
+/// fused dimension.
+pub fn check_blocks(deriv: &Derivation, blocks: &[ProcBlock]) -> Result<(), LegalityError> {
+    for dim in &deriv.dims {
+        let nt = dim.nt();
+        for b in blocks {
+            let (lo, hi) = b.range[dim.level];
+            let iters = hi - lo + 1;
+            if iters < nt {
+                return Err(LegalityError::BlockTooSmall {
+                    level: dim.level,
+                    block_iters: iters,
+                    nt,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The largest processor count along one fused dimension for which the
+/// transformation stays legal (Theorem 1): `floor(trip / Nt)`, at least 1.
+pub fn max_procs(trip_count: i64, nt: i64) -> usize {
+    if nt <= 0 {
+        usize::MAX
+    } else {
+        ((trip_count / nt).max(1)) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::decompose;
+    use sp_ir::SeqBuilder;
+
+    fn swap_seq(n: usize) -> sp_ir::LoopSequence {
+        let mut b = SeqBuilder::new("swap");
+        let a = b.array("a", [n]);
+        let bb = b.array("b", [n]);
+        b.nest("L1", [(1, n as i64 - 1)], |x| {
+            let r = x.ld(bb, [-1]);
+            x.assign(a, [0], r);
+        });
+        b.nest("L2", [(1, n as i64 - 1)], |x| {
+            let r = x.ld(a, [-1]);
+            x.assign(bb, [0], r);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn admissible_sequence_passes() {
+        let seq = swap_seq(64);
+        let deps = sp_dep::analyze_sequence(&seq).unwrap();
+        let deriv = check_sequence(&seq, &deps, 1).unwrap();
+        assert_eq!(deriv.dims[0].nt(), 2);
+    }
+
+    #[test]
+    fn serial_nest_rejected() {
+        let n = 32usize;
+        let mut b = SeqBuilder::new("serial");
+        let a = b.array("a", [n]);
+        let c = b.array("c", [n]);
+        b.nest("L1", [(1, n as i64 - 1)], |x| {
+            let r = x.ld(a, [-1]); // recurrence: serial
+            x.assign(a, [0], r);
+        });
+        b.nest("L2", [(1, n as i64 - 1)], |x| {
+            let r = x.ld(a, [0]);
+            x.assign(c, [0], r);
+        });
+        let seq = b.finish();
+        let deps = sp_dep::analyze_sequence(&seq).unwrap();
+        assert_eq!(
+            check_sequence(&seq, &deps, 1).unwrap_err(),
+            LegalityError::SerialNest { nest: 0, level: 0 }
+        );
+    }
+
+    #[test]
+    fn block_size_threshold_enforced() {
+        let seq = swap_seq(16); // 15 iterations, Nt = 2
+        let deps = sp_dep::analyze_sequence(&seq).unwrap();
+        let deriv = check_sequence(&seq, &deps, 1).unwrap();
+        let ok = decompose(&[(1, 15)], &[7]); // blocks of 2-3
+        assert!(check_blocks(&deriv, &ok).is_ok());
+        let bad = decompose(&[(1, 15)], &[8]); // smallest block has 1
+        assert!(matches!(
+            check_blocks(&deriv, &bad),
+            Err(LegalityError::BlockTooSmall { nt: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn max_procs_formula() {
+        assert_eq!(max_procs(510, 2), 255);
+        assert_eq!(max_procs(510, 0), usize::MAX);
+        assert_eq!(max_procs(3, 5), 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! # shift-peel-core — the shift-and-peel transformation
+//!
+//! The primary contribution of Manjikian & Abdelrahman, *"Fusion of Loops
+//! for Parallelism and Locality"* (ICPP 1995), implemented on the `sp-ir`
+//! program model with `sp-dep` dependence analysis:
+//!
+//! * [`derive`] — shift/peel amount derivation by the dependence-chain
+//!   graph traversal of Figure 8 (shifts from minimum-reduced negative
+//!   edges, peels from maximum-reduced positive edges), per fused
+//!   dimension.
+//! * [`legality`] — the admissibility checks and Theorem 1's iteration
+//!   count threshold `Nt`.
+//! * [`schedule`] — the block geometry of parallel execution: per
+//!   processor, per nest, the fused region and the peeled regions
+//!   executed after the single barrier (Figures 12 and 16 generalized to
+//!   any dimensionality via rectangle-difference decomposition).
+//! * [`plan`] — greedy partitioning of a sequence into fusible groups,
+//!   with non-uniform dependences and serial nests breaking groups.
+//! * [`codegen`] — strip-mined vs direct realization (Figure 11) and the
+//!   partition-size-driven strip selection of Section 4.
+//! * [`profit`] — the data-size-vs-cache-size profitability evaluation the
+//!   paper's Section 6 calls for.
+
+pub mod codegen;
+pub mod contract;
+pub mod derive;
+pub mod distribute;
+pub mod emit;
+pub mod legality;
+pub mod plan;
+pub mod profit;
+pub mod schedule;
+
+pub use codegen::{bytes_per_outer_iter, estimate_block_cost, suggest_strip, GroupCost, StripSpec};
+pub use contract::{find_contractable, ContractionCandidate};
+pub use derive::{derive_dim, derive_levels, derive_shift_peel, Derivation, DeriveError, DimDerivation};
+pub use distribute::{distribute_nest, distribute_sequence, Distribution};
+pub use emit::render_plan;
+pub use legality::{check_blocks, check_sequence, max_procs, LegalityError};
+pub use plan::{fusion_plan, singleton_plan, CodegenMethod, FusedGroup, FusionPlan};
+pub use profit::ProfitabilityModel;
+pub use schedule::{decompose, global_fused_range, nest_regions, NestRegions, ProcBlock};

@@ -1,0 +1,237 @@
+//! Profitability of fusion (Sections 5 and 6 of the paper).
+//!
+//! The paper's measurements show fusion pays off only while the data each
+//! processor touches *exceeds* its cache: as the processor count grows and
+//! per-processor working sets shrink into cache, the overhead of
+//! shift-and-peel (strip-mining control, peeled-iteration bookkeeping, the
+//! extra barrier phase) outweighs the locality gain — LL18 stops winning
+//! beyond ~32 KSR2 processors, calc beyond ~24 (Figure 22). The paper
+//! concludes that "the profitability of the transformation should be
+//! evaluated in the compiler with knowledge of the data size with respect
+//! to the cache size"; this module is that evaluation.
+
+use crate::derive::Derivation;
+use sp_dep::ReuseSummary;
+use sp_ir::LoopSequence;
+
+/// A simple capacity-based profitability model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProfitabilityModel {
+    /// Per-processor cache capacity in bytes.
+    pub cache_bytes: usize,
+    /// Number of processors intended for execution.
+    pub processors: usize,
+    /// Size of one array element in bytes.
+    pub elem_bytes: usize,
+    /// Fusion is considered profitable only while the per-processor data
+    /// of the group exceeds `threshold * cache_bytes`. 1.0 is the natural
+    /// setting; values below 1.0 make the model more eager to fuse.
+    pub threshold: f64,
+    /// Upper bound on distinct arrays in one fused group; each array gets
+    /// a `capacity / n_arrays` cache partition (Section 4), so groups
+    /// touching too many arrays leave partitions smaller than a strip's
+    /// working set. `0` disables the limit.
+    pub max_arrays: usize,
+}
+
+impl ProfitabilityModel {
+    /// A model for a machine with `cache_bytes` per-processor cache and
+    /// `processors` CPUs, `f64` data.
+    pub fn new(cache_bytes: usize, processors: usize) -> Self {
+        ProfitabilityModel {
+            cache_bytes,
+            processors,
+            elem_bytes: std::mem::size_of::<f64>(),
+            threshold: 1.0,
+            max_arrays: 0,
+        }
+    }
+
+    /// Bytes of distinct array data referenced by nests `[start, end)` of
+    /// `seq`, divided over the processors.
+    pub fn data_per_processor(&self, seq: &LoopSequence, start: usize, end: usize) -> usize {
+        let mut seen = vec![false; seq.arrays.len()];
+        for nest in &seq.nests[start..end] {
+            for stmt in &nest.body {
+                seen[stmt.lhs.array.index()] = true;
+                for r in stmt.rhs.reads() {
+                    seen[r.array.index()] = true;
+                }
+            }
+        }
+        let total: usize = seq
+            .arrays
+            .iter()
+            .zip(&seen)
+            .filter(|(_, &s)| s)
+            .map(|(a, _)| a.len() * self.elem_bytes)
+            .sum();
+        total / self.processors.max(1)
+    }
+
+    /// Is it (still) profitable to grow a group to `[start, end)`?
+    ///
+    /// True while per-processor data exceeds the cache threshold — i.e.
+    /// while there is locality left for fusion to recover — and the
+    /// array-count limit is not exceeded.
+    pub fn profitable_to_grow(&self, seq: &LoopSequence, start: usize, end: usize) -> bool {
+        if self.max_arrays > 0 {
+            let mut seen = vec![false; seq.arrays.len()];
+            for nest in &seq.nests[start..end] {
+                for stmt in &nest.body {
+                    seen[stmt.lhs.array.index()] = true;
+                    for r in stmt.rhs.reads() {
+                        seen[r.array.index()] = true;
+                    }
+                }
+            }
+            if seen.iter().filter(|&&s| s).count() > self.max_arrays {
+                return false;
+            }
+        }
+        self.data_per_processor(seq, start, end) as f64 > self.threshold * self.cache_bytes as f64
+    }
+
+    /// Whole-group verdict used by experiment harnesses: should this group
+    /// be fused at all on this machine/processor count?
+    pub fn should_fuse(&self, seq: &LoopSequence, start: usize, end: usize) -> bool {
+        end - start >= 2 && self.profitable_to_grow(seq, start, end)
+    }
+
+    /// Reuse-aware net gain estimate, in cycles, of fusing `[start, end)`:
+    /// the miss penalty saved on re-fetched lines (only available while
+    /// the group's per-processor data exceeds the cache — otherwise the
+    /// unfused program hits too) minus the shift-and-peel overhead of
+    /// executing the peeled iterations separately.
+    ///
+    /// Positive means fuse. This refines [`Self::should_fuse`] with the
+    /// actual inter-nest reuse volume (paper Sections 1–2) instead of
+    /// treating all touched data as reusable.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reuse_gain_cycles(
+        &self,
+        seq: &LoopSequence,
+        reuse: &ReuseSummary,
+        deriv: &Derivation,
+        start: usize,
+        end: usize,
+        miss_penalty: u64,
+        line_bytes: usize,
+    ) -> i64 {
+        const PEELED_ITER_COST: i64 = 10;
+        // Gain: lines the fused group avoids re-fetching, if and only if
+        // the unfused program would actually be missing them.
+        let gain = if self.data_per_processor(seq, start, end) > self.cache_bytes {
+            reuse.lines_saved(start, end, self.elem_bytes, line_bytes) as i64
+                * miss_penalty as i64
+        } else {
+            0
+        };
+        // Cost: peeled iterations run in a separate phase on every
+        // processor (inner iterations per outer plane x (shift + peel)).
+        let dim = &deriv.dims[0];
+        let mut peeled_iters = 0i64;
+        for (k, nest) in seq.nests[start..end].iter().enumerate() {
+            let inner: i64 = nest.bounds[1..].iter().map(|b| b.count() as i64).product();
+            peeled_iters += (dim.shifts[k] + dim.peels[k]) * inner;
+        }
+        gain - peeled_iters * self.processors as i64 * PEELED_ITER_COST
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_ir::SeqBuilder;
+
+    fn two_loop_seq(n: usize) -> LoopSequence {
+        let mut b = SeqBuilder::new("t");
+        let a = b.array("a", [n, n]);
+        let bb = b.array("b", [n, n]);
+        let c = b.array("c", [n, n]);
+        let (lo, hi) = (1, n as i64 - 2);
+        b.nest("L1", [(lo, hi), (lo, hi)], |x| {
+            let r = x.ld(bb, [0, 0]);
+            x.assign(a, [0, 0], r);
+        });
+        b.nest("L2", [(lo, hi), (lo, hi)], |x| {
+            let r = x.ld(a, [0, 0]) + x.ld(bb, [0, 0]);
+            x.assign(c, [0, 0], r);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn data_per_processor_counts_distinct_arrays() {
+        let seq = two_loop_seq(128);
+        let m = ProfitabilityModel::new(1 << 20, 4);
+        // 3 arrays of 128*128 f64 = 393216 bytes, over 4 procs = 98304.
+        assert_eq!(m.data_per_processor(&seq, 0, 2), 3 * 128 * 128 * 8 / 4);
+        // First nest alone touches 2 arrays.
+        assert_eq!(m.data_per_processor(&seq, 0, 1), 2 * 128 * 128 * 8 / 4);
+    }
+
+    #[test]
+    fn fusion_stops_paying_when_data_fits() {
+        let seq = two_loop_seq(128); // 384 KB total
+        let small_cache = ProfitabilityModel::new(64 << 10, 1);
+        assert!(small_cache.should_fuse(&seq, 0, 2));
+        // With 16 processors, 24 KB per processor fits a 64 KB cache.
+        let many_procs = ProfitabilityModel { processors: 16, ..small_cache };
+        assert!(!many_procs.should_fuse(&seq, 0, 2));
+    }
+
+    #[test]
+    fn array_limit_veto() {
+        let seq = two_loop_seq(128);
+        let mut m = ProfitabilityModel::new(1 << 10, 1);
+        m.max_arrays = 2;
+        assert!(m.profitable_to_grow(&seq, 0, 1));
+        assert!(!m.profitable_to_grow(&seq, 0, 2)); // 3 arrays > 2
+    }
+}
+
+#[cfg(test)]
+mod reuse_tests {
+    use super::*;
+    use crate::derive::derive_shift_peel;
+    use sp_dep::analyze_reuse;
+    use sp_ir::SeqBuilder;
+
+    fn chain(n: usize) -> LoopSequence {
+        let mut b = SeqBuilder::new("c");
+        let x = b.array("x", [n, n]);
+        let y = b.array("y", [n, n]);
+        let z = b.array("z", [n, n]);
+        let (lo, hi) = (1, n as i64 - 2);
+        b.nest("L1", [(lo, hi), (lo, hi)], |c| {
+            let r = c.ld(x, [0, 1]) + c.ld(x, [0, -1]);
+            c.assign(y, [0, 0], r);
+        });
+        b.nest("L2", [(lo, hi), (lo, hi)], |c| {
+            let r = c.ld(y, [1, 0]) + c.ld(y, [-1, 0]) + c.ld(x, [0, 0]);
+            c.assign(z, [0, 0], r);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn reuse_gain_positive_when_data_exceeds_cache() {
+        let seq = chain(256); // 3 x 512 KB arrays
+        let reuse = analyze_reuse(&seq);
+        let deriv = derive_shift_peel(&seq).unwrap();
+        let m = ProfitabilityModel::new(64 << 10, 4);
+        let gain = m.reuse_gain_cycles(&seq, &reuse, &deriv, 0, 2, 50, 64);
+        assert!(gain > 0, "gain {gain}");
+    }
+
+    #[test]
+    fn reuse_gain_negative_when_data_fits() {
+        let seq = chain(64); // 3 x 32 KB arrays fit a 1 MB cache
+        let reuse = analyze_reuse(&seq);
+        let deriv = derive_shift_peel(&seq).unwrap();
+        let m = ProfitabilityModel::new(1 << 20, 8);
+        let gain = m.reuse_gain_cycles(&seq, &reuse, &deriv, 0, 2, 50, 64);
+        assert!(gain < 0, "gain {gain}: only overhead remains when data fits");
+    }
+}

@@ -1,0 +1,326 @@
+//! Block geometry of shift-and-peel execution.
+//!
+//! Statically-blocked scheduling (Section 3.2) assigns each processor a
+//! contiguous block of the fused iteration space. For each nest `k`,
+//! processor `p` executes
+//!
+//! * a **fused region** inside the fused loop — block range shrunk by the
+//!   nest's shift at the top and skipping the nest's peel at the bottom
+//!   (except on the global boundary, handled by the prologue flags of
+//!   Figure 16), and
+//! * after one barrier, a set of **peeled regions** — the difference
+//!   between the block's *ownership region* (which extends `peel` beyond
+//!   the block end) and its fused region, decomposed into rectangles (the
+//!   multiple peeled loops of Figures 12 and 16).
+//!
+//! The ownership regions of all processors tile each nest's iteration
+//! space exactly: every iteration is executed once, and Theorem 1
+//! (Appendix I) guarantees no dependence crosses two fused regions or two
+//! peeled sets when every block has at least `Nt` iterations per fused
+//! dimension.
+
+use crate::derive::Derivation;
+use sp_ir::{IterSpace, LoopNest, LoopSequence};
+
+/// A processor's block of the fused iteration space.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcBlock {
+    /// Linearized processor id within the grid.
+    pub proc: usize,
+    /// Per fused level: the block's inclusive `[start, end]` range.
+    pub range: Vec<(i64, i64)>,
+    /// Per fused level: true when the block touches the global low end.
+    pub low_boundary: Vec<bool>,
+    /// Per fused level: true when the block touches the global high end.
+    pub high_boundary: Vec<bool>,
+}
+
+/// Decomposes the global fused space into a grid of processor blocks.
+///
+/// `global` gives the inclusive fused range per fused level; `grid` the
+/// number of processors along each fused level. Block sizes differ by at
+/// most one iteration (the remainder is spread over the leading blocks).
+pub fn decompose(global: &[(i64, i64)], grid: &[usize]) -> Vec<ProcBlock> {
+    assert_eq!(global.len(), grid.len());
+    assert!(grid.iter().all(|&g| g >= 1));
+    // Per-level list of (range, touches-low-boundary, touches-high-boundary).
+    type LevelBlock = ((i64, i64), bool, bool);
+    let mut per_level: Vec<Vec<LevelBlock>> = Vec::new();
+    for (l, &(lo, hi)) in global.iter().enumerate() {
+        let g = grid[l] as i64;
+        let trip = hi - lo + 1;
+        assert!(trip >= g, "fewer iterations than processors in level {l}");
+        let base = trip / g;
+        let rem = trip % g;
+        let mut ranges = Vec::with_capacity(grid[l]);
+        let mut start = lo;
+        for b in 0..g {
+            let len = base + i64::from(b < rem);
+            let end = start + len - 1;
+            ranges.push(((start, end), b == 0, b == g - 1));
+            start = end + 1;
+        }
+        per_level.push(ranges);
+    }
+    // Cartesian product, row-major over levels.
+    let total: usize = grid.iter().product();
+    let mut blocks = Vec::with_capacity(total);
+    for p in 0..total {
+        let mut idx = p;
+        let mut coords = vec![0usize; grid.len()];
+        for l in (0..grid.len()).rev() {
+            coords[l] = idx % grid[l];
+            idx /= grid[l];
+        }
+        let mut range = Vec::with_capacity(grid.len());
+        let mut low = Vec::with_capacity(grid.len());
+        let mut high = Vec::with_capacity(grid.len());
+        for (l, &c) in coords.iter().enumerate() {
+            let (r, lo_b, hi_b) = per_level[l][c];
+            range.push(r);
+            low.push(lo_b);
+            high.push(hi_b);
+        }
+        blocks.push(ProcBlock { proc: p, range, low_boundary: low, high_boundary: high });
+    }
+    blocks
+}
+
+/// The global fused iteration range per fused level: the union of the
+/// nests' per-level ranges (differing bounds are clipped per nest later).
+pub fn global_fused_range(seq: &LoopSequence, nests: &[usize], levels: usize) -> Vec<(i64, i64)> {
+    (0..levels)
+        .map(|l| {
+            let lo = nests
+                .iter()
+                .map(|&k| seq.nests[k].bounds[l].lo)
+                .min()
+                .expect("no nests");
+            let hi = nests
+                .iter()
+                .map(|&k| seq.nests[k].bounds[l].hi)
+                .max()
+                .expect("no nests");
+            (lo, hi)
+        })
+        .collect()
+}
+
+/// The per-nest regions a processor executes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NestRegions {
+    /// Iterations executed inside the fused loop.
+    pub fused: IterSpace,
+    /// Iterations executed after the barrier, in order.
+    pub peeled: Vec<IterSpace>,
+}
+
+/// Computes the fused and peeled regions of nest `k` (its index *within
+/// the group*, matching the derivation) for processor block `block`.
+///
+/// `nest` supplies the nest's own bounds; inner (non-fused) levels are
+/// executed in full.
+pub fn nest_regions(
+    nest: &LoopNest,
+    deriv: &Derivation,
+    k: usize,
+    block: &ProcBlock,
+) -> NestRegions {
+    let fused_levels = deriv.fused_levels();
+    let depth = nest.depth();
+    let mut fused_b = Vec::with_capacity(depth);
+    let mut own_b = Vec::with_capacity(depth);
+    for l in 0..depth {
+        let (nlo, nhi) = (nest.bounds[l].lo, nest.bounds[l].hi);
+        if l < fused_levels {
+            let (shift, peel) = deriv.amounts(l, k);
+            let (bs, be) = block.range[l];
+            let lo = if block.low_boundary[l] { nlo.max(bs) } else { nlo.max(bs + peel) };
+            let fhi = nhi.min(be - shift);
+            let ohi = if block.high_boundary[l] { nhi.min(be) } else { nhi.min(be + peel) };
+            fused_b.push((lo, fhi));
+            own_b.push((lo, ohi));
+        } else {
+            fused_b.push((nlo, nhi));
+            own_b.push((nlo, nhi));
+        }
+    }
+    let fused = IterSpace::new(fused_b);
+    let own = IterSpace::new(own_b);
+    let peeled = own.subtract(&fused);
+    NestRegions { fused, peeled }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::derive_shift_peel;
+    use sp_ir::SeqBuilder;
+    use std::collections::HashMap;
+
+    fn fig9(n: usize) -> sp_ir::LoopSequence {
+        let mut b = SeqBuilder::new("fig9");
+        let a = b.array("a", [n]);
+        let bb = b.array("b", [n]);
+        let c = b.array("c", [n]);
+        let d = b.array("d", [n]);
+        let (lo, hi) = (1, n as i64 - 2);
+        b.nest("L1", [(lo, hi)], |x| {
+            let r = x.ld(bb, [0]);
+            x.assign(a, [0], r);
+        });
+        b.nest("L2", [(lo, hi)], |x| {
+            let r = x.ld(a, [1]) + x.ld(a, [-1]);
+            x.assign(c, [0], r);
+        });
+        b.nest("L3", [(lo, hi)], |x| {
+            let r = x.ld(c, [1]) + x.ld(c, [-1]);
+            x.assign(d, [0], r);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn decompose_covers_range() {
+        let blocks = decompose(&[(1, 100)], &[7]);
+        assert_eq!(blocks.len(), 7);
+        assert_eq!(blocks[0].range[0].0, 1);
+        assert_eq!(blocks[6].range[0].1, 100);
+        for w in blocks.windows(2) {
+            assert_eq!(w[0].range[0].1 + 1, w[1].range[0].0);
+        }
+        assert!(blocks[0].low_boundary[0]);
+        assert!(!blocks[0].high_boundary[0]);
+        assert!(blocks[6].high_boundary[0]);
+        // Balanced: sizes differ by at most 1.
+        let sizes: Vec<i64> = blocks.iter().map(|b| b.range[0].1 - b.range[0].0 + 1).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn decompose_2d_grid() {
+        let blocks = decompose(&[(0, 9), (0, 19)], &[2, 4]);
+        assert_eq!(blocks.len(), 8);
+        let total: usize = blocks
+            .iter()
+            .map(|b| {
+                b.range
+                    .iter()
+                    .map(|&(lo, hi)| (hi - lo + 1) as usize)
+                    .product::<usize>()
+            })
+            .sum();
+        assert_eq!(total, 200);
+    }
+
+    /// Every iteration of every nest is executed exactly once across all
+    /// processors' fused + peeled regions.
+    fn assert_exact_coverage(seq: &sp_ir::LoopSequence, grid: &[usize]) {
+        let deriv = derive_shift_peel(seq).unwrap();
+        let fused_levels = deriv.fused_levels();
+        let nest_ids: Vec<usize> = (0..seq.len()).collect();
+        let global = global_fused_range(seq, &nest_ids, fused_levels);
+        let blocks = decompose(&global, grid);
+        for (k, nest) in seq.nests.iter().enumerate() {
+            let mut count: HashMap<Vec<i64>, usize> = HashMap::new();
+            for b in &blocks {
+                let regions = nest_regions(nest, &deriv, k, b);
+                for p in regions.fused.points() {
+                    *count.entry(p).or_insert(0) += 1;
+                }
+                for r in &regions.peeled {
+                    for p in r.points() {
+                        *count.entry(p).or_insert(0) += 1;
+                    }
+                }
+            }
+            for p in nest.space().points() {
+                assert_eq!(
+                    count.get(&p).copied().unwrap_or(0),
+                    1,
+                    "nest {k} point {p:?} (grid {grid:?})"
+                );
+            }
+            let extra: usize = count.values().sum();
+            assert_eq!(extra, nest.trip_count(), "nest {k} executed extra iterations");
+        }
+    }
+
+    #[test]
+    fn coverage_1d_various_proc_counts() {
+        let seq = fig9(64);
+        for p in [1usize, 2, 3, 4, 7, 8] {
+            assert_exact_coverage(&seq, &[p]);
+        }
+    }
+
+    #[test]
+    fn coverage_2d_jacobi() {
+        let n = 24usize;
+        let mut b = SeqBuilder::new("jacobi");
+        let a = b.array("a", [n, n]);
+        let bb = b.array("b", [n, n]);
+        let (lo, hi) = (1, n as i64 - 2);
+        b.nest("L1", [(lo, hi), (lo, hi)], |x| {
+            let r = (x.ld(a, [0, -1]) + x.ld(a, [0, 1]) + x.ld(a, [-1, 0]) + x.ld(a, [1, 0]))
+                / 4.0;
+            x.assign(bb, [0, 0], r);
+        });
+        b.nest("L2", [(lo, hi), (lo, hi)], |x| {
+            let r = x.ld(bb, [0, 0]);
+            x.assign(a, [0, 0], r);
+        });
+        let seq = b.finish();
+        for grid in [[1usize, 1], [2, 2], [1, 4], [4, 1], [3, 2]] {
+            assert_exact_coverage(&seq, &grid);
+        }
+    }
+
+    #[test]
+    fn peeled_regions_match_fig12() {
+        // Interior block [istart, iend] of Figure 12 with shifts (0,1,2)
+        // and peels (0,1,2): peeled ranges are c: [iend, iend+1] and
+        // d: [iend-1, iend+2].
+        let seq = fig9(64);
+        let deriv = derive_shift_peel(&seq).unwrap();
+        let global = global_fused_range(&seq, &[0, 1, 2], 1);
+        let blocks = decompose(&global, &[4]);
+        let b = &blocks[1]; // interior
+        let (istart, iend) = b.range[0];
+        let r1 = nest_regions(&seq.nests[0], &deriv, 0, b);
+        assert_eq!(r1.fused, IterSpace::new([(istart, iend)]));
+        assert!(r1.peeled.is_empty());
+        let r2 = nest_regions(&seq.nests[1], &deriv, 1, b);
+        assert_eq!(r2.fused, IterSpace::new([(istart + 1, iend - 1)]));
+        assert_eq!(r2.peeled, vec![IterSpace::new([(iend, iend + 1)])]);
+        let r3 = nest_regions(&seq.nests[2], &deriv, 2, b);
+        assert_eq!(r3.fused, IterSpace::new([(istart + 2, iend - 2)]));
+        assert_eq!(r3.peeled, vec![IterSpace::new([(iend - 1, iend + 2)])]);
+    }
+
+    #[test]
+    fn first_block_has_no_lower_peel_skip() {
+        let seq = fig9(64);
+        let deriv = derive_shift_peel(&seq).unwrap();
+        let global = global_fused_range(&seq, &[0, 1, 2], 1);
+        let blocks = decompose(&global, &[4]);
+        let b = &blocks[0];
+        let r2 = nest_regions(&seq.nests[1], &deriv, 1, b);
+        // Starts at the nest's own lower bound, not bs + peel.
+        assert_eq!(r2.fused.bounds[0].0, seq.nests[1].bounds[0].lo);
+    }
+
+    #[test]
+    fn last_block_peeled_covers_shift_leftover_only() {
+        let seq = fig9(64);
+        let deriv = derive_shift_peel(&seq).unwrap();
+        let global = global_fused_range(&seq, &[0, 1, 2], 1);
+        let blocks = decompose(&global, &[4]);
+        let b = blocks.last().unwrap();
+        let hi = seq.nests[2].bounds[0].hi;
+        let r3 = nest_regions(&seq.nests[2], &deriv, 2, b);
+        // Fused stops 2 early; peeled covers the last 2 iterations only.
+        assert_eq!(r3.fused.bounds[0].1, b.range[0].1 - 2);
+        assert_eq!(r3.peeled, vec![IterSpace::new([(hi - 1, hi)])]);
+    }
+}

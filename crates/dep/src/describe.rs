@@ -1,0 +1,70 @@
+//! Human-readable dependence summaries — the diagnostics a compiler
+//! writer wants when a sequence refuses to fuse.
+
+use crate::analysis::SequenceDeps;
+use sp_ir::LoopSequence;
+use std::fmt::Write as _;
+
+/// Renders every interloop dependence of `seq`, one line each:
+/// `L1 -> L2: flow on a, distance (0, -1)`.
+pub fn describe_deps(seq: &LoopSequence, deps: &SequenceDeps) -> String {
+    let mut out = String::new();
+    for d in &deps.inter {
+        let dist: Vec<String> = d
+            .dist
+            .iter()
+            .map(|x| match x {
+                Some(v) => format!("{v:+}"),
+                None => "?".to_string(),
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "{} -> {}: {} on {}, distance ({})",
+            seq.nests[d.src_nest].label,
+            seq.nests[d.dst_nest].label,
+            d.kind,
+            seq.array(d.array).name,
+            dist.join(", ")
+        );
+    }
+    for (k, info) in deps.nests.iter().enumerate() {
+        let levels: Vec<String> = info
+            .parallel
+            .iter()
+            .enumerate()
+            .map(|(l, &p)| format!("i{l}:{}", if p { "doall" } else { "serial" }))
+            .collect();
+        let _ = writeln!(out, "{}: {}", seq.nests[k].label, levels.join(" "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_sequence;
+    use sp_ir::SeqBuilder;
+
+    #[test]
+    fn describes_kinds_distances_and_parallelism() {
+        let n = 32usize;
+        let mut b = SeqBuilder::new("d");
+        let a = b.array("alpha", [n]);
+        let c = b.array("beta", [n]);
+        b.nest("L1", [(1, n as i64 - 2)], |x| {
+            let r = x.ld(c, [0]);
+            x.assign(a, [0], r);
+        });
+        b.nest("L2", [(1, n as i64 - 2)], |x| {
+            let r = x.ld(a, [-1]);
+            x.assign(c, [0], r);
+        });
+        let seq = b.finish();
+        let deps = analyze_sequence(&seq).unwrap();
+        let text = describe_deps(&seq, &deps);
+        assert!(text.contains("L1 -> L2: flow on alpha, distance (+1)"), "{text}");
+        assert!(text.contains("L1 -> L2: anti on beta, distance (+0)"), "{text}");
+        assert!(text.contains("L1: i0:doall"), "{text}");
+    }
+}

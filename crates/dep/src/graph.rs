@@ -1,0 +1,208 @@
+//! Dependence chain multigraphs (Section 3.3, Figures 9–10).
+//!
+//! For each fused dimension, the nests of a candidate sequence form the
+//! vertices of an acyclic multigraph whose edges are the interloop
+//! dependences, weighted by the dependence distance in that dimension.
+//! Forward dependences carry positive weights, backward dependences
+//! negative weights. The shift derivation reduces multi-edges by *minimum*
+//! weight; the peel derivation by *maximum* weight. Both reductions
+//! preserve the dependence chains of the original multigraph.
+
+use crate::analysis::{DepKind, SequenceDeps};
+use sp_ir::ArrayId;
+
+/// One edge of the multigraph: a dependence from `src` to `dst` (both nest
+/// indices, `src < dst`) with distance `weight` in the graph's dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Source nest.
+    pub src: usize,
+    /// Sink nest.
+    pub dst: usize,
+    /// Dependence distance in this dimension.
+    pub weight: i64,
+    /// Dependence classification (kept for diagnostics).
+    pub kind: DepKind,
+    /// Array carrying the dependence.
+    pub array: ArrayId,
+}
+
+/// The dependence chain multigraph of one fused dimension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DepMultigraph {
+    /// Number of vertices (nests), in original program order. Program
+    /// order is a valid topological order (all edges satisfy
+    /// `src < dst`), which the traversal algorithm exploits.
+    pub n: usize,
+    /// The fused dimension this graph describes.
+    pub level: usize,
+    /// All dependence edges.
+    pub edges: Vec<DepEdge>,
+    /// Nest pairs with a dependence whose distance is *not* uniform in
+    /// this dimension; any such pair prevents shift-and-peel fusion
+    /// across it.
+    pub nonuniform: Vec<(usize, usize)>,
+}
+
+impl DepMultigraph {
+    /// Builds the multigraph of dimension `level` for `n` nests.
+    pub fn build(deps: &SequenceDeps, n: usize, level: usize) -> Self {
+        assert!(level < deps.depth, "level out of range");
+        let mut edges = Vec::new();
+        let mut nonuniform = Vec::new();
+        for d in &deps.inter {
+            if d.src_nest >= n || d.dst_nest >= n {
+                continue;
+            }
+            match d.dist[level] {
+                Some(w) => edges.push(DepEdge {
+                    src: d.src_nest,
+                    dst: d.dst_nest,
+                    weight: w,
+                    kind: d.kind,
+                    array: d.array,
+                }),
+                None => {
+                    if !nonuniform.contains(&(d.src_nest, d.dst_nest)) {
+                        nonuniform.push((d.src_nest, d.dst_nest));
+                    }
+                }
+            }
+        }
+        DepMultigraph { n, level, edges, nonuniform }
+    }
+
+    /// Builds the multigraph of dimension `level` restricted to the nest
+    /// window `[start, end)`, re-indexing vertices to `0..end-start`.
+    /// Used when deriving amounts for one fusible group of a larger
+    /// sequence.
+    pub fn build_window(deps: &SequenceDeps, start: usize, end: usize, level: usize) -> Self {
+        let full = Self::build(deps, end, level);
+        let mut edges = Vec::new();
+        let mut nonuniform = Vec::new();
+        for mut e in full.edges {
+            if e.src >= start && e.dst >= start {
+                e.src -= start;
+                e.dst -= start;
+                edges.push(e);
+            }
+        }
+        for (s, d) in full.nonuniform {
+            if s >= start && d >= start {
+                nonuniform.push((s - start, d - start));
+            }
+        }
+        DepMultigraph { n: end - start, level, edges, nonuniform }
+    }
+
+    /// True when every dependence is uniform in this dimension.
+    pub fn all_uniform(&self) -> bool {
+        self.nonuniform.is_empty()
+    }
+
+    /// Reduces the multigraph to a simple weighted graph keeping, for each
+    /// `(src, dst)` pair, the **minimum** edge weight — the reduction used
+    /// by the *shift* derivation (backward dependences dominate).
+    pub fn reduce_min(&self) -> Vec<DepEdge> {
+        self.reduce(|cur, new| new < cur)
+    }
+
+    /// Reduces keeping the **maximum** weight per pair — the reduction
+    /// used by the *peel* derivation (forward dependences dominate).
+    pub fn reduce_max(&self) -> Vec<DepEdge> {
+        self.reduce(|cur, new| new > cur)
+    }
+
+    fn reduce(&self, better: impl Fn(i64, i64) -> bool) -> Vec<DepEdge> {
+        let mut out: Vec<DepEdge> = Vec::new();
+        for e in &self.edges {
+            match out.iter_mut().find(|o| o.src == e.src && o.dst == e.dst) {
+                Some(o) => {
+                    if better(o.weight, e.weight) {
+                        *o = *e;
+                    }
+                }
+                None => out.push(*e),
+            }
+        }
+        out.sort_by_key(|e| (e.src, e.dst));
+        out
+    }
+
+    /// Number of edges (the paper quotes 149 for `filter`'s multigraph).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_sequence;
+    use sp_ir::{LoopSequence, SeqBuilder};
+
+    /// The paper's Figure 9 sequence:
+    /// L1: a[i]=b[i]; L2: c[i]=a[i+1]+a[i-1]; L3: d[i]=c[i+1]+c[i-1].
+    pub fn fig9() -> LoopSequence {
+        let n = 32usize;
+        let mut b = SeqBuilder::new("fig9");
+        let a = b.array("a", [n]);
+        let bb = b.array("b", [n]);
+        let c = b.array("c", [n]);
+        let d = b.array("d", [n]);
+        let (lo, hi) = (1, n as i64 - 2);
+        b.nest("L1", [(lo, hi)], |x| {
+            let r = x.ld(bb, [0]);
+            x.assign(a, [0], r);
+        });
+        b.nest("L2", [(lo, hi)], |x| {
+            let r = x.ld(a, [1]) + x.ld(a, [-1]);
+            x.assign(c, [0], r);
+        });
+        b.nest("L3", [(lo, hi)], |x| {
+            let r = x.ld(c, [1]) + x.ld(c, [-1]);
+            x.assign(d, [0], r);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn fig9_multigraph_matches_paper() {
+        let seq = fig9();
+        let deps = analyze_sequence(&seq).unwrap();
+        let g = DepMultigraph::build(&deps, seq.len(), 0);
+        assert!(g.all_uniform());
+        // Figure 9(b): edges L1->L2 {1, -1}, L2->L3 {1, -1}.
+        let mut w12: Vec<i64> = g
+            .edges
+            .iter()
+            .filter(|e| e.src == 0 && e.dst == 1)
+            .map(|e| e.weight)
+            .collect();
+        w12.sort_unstable();
+        assert_eq!(w12, vec![-1, 1]);
+        let mut w23: Vec<i64> = g
+            .edges
+            .iter()
+            .filter(|e| e.src == 1 && e.dst == 2)
+            .map(|e| e.weight)
+            .collect();
+        w23.sort_unstable();
+        assert_eq!(w23, vec![-1, 1]);
+    }
+
+    #[test]
+    fn fig9_reductions_match_paper() {
+        let seq = fig9();
+        let deps = analyze_sequence(&seq).unwrap();
+        let g = DepMultigraph::build(&deps, seq.len(), 0);
+        // Figure 9(c): min-reduction keeps -1 on both pairs.
+        let min = g.reduce_min();
+        assert_eq!(min.len(), 2);
+        assert!(min.iter().all(|e| e.weight == -1));
+        // Figure 10(b): max-reduction keeps +1 on both pairs.
+        let max = g.reduce_max();
+        assert_eq!(max.len(), 2);
+        assert!(max.iter().all(|e| e.weight == 1));
+    }
+}

@@ -1,0 +1,130 @@
+//! Classical independence tests: GCD and Banerjee.
+//!
+//! When a pair of references does not have identical linear parts, exact
+//! distance computation does not apply. The paper (Section 2.1) notes that
+//! tests like Banerjee's can still *prove independence*; when they cannot,
+//! a dependence must be conservatively assumed — and a dependence with
+//! unknown distance is fusion-preventing for shift-and-peel, which
+//! requires uniform distances.
+
+use sp_ir::{ArrayRef, LoopNest};
+
+/// Result of an independence test battery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndepResult {
+    /// The references provably never access the same element.
+    Independent,
+    /// A dependence may exist (with unknown distance).
+    MaybeDependent,
+}
+
+fn gcd(mut a: i64, mut b: i64) -> i64 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Runs the GCD and Banerjee tests on a pair of references in (possibly
+/// different) nests. Each array dimension contributes one constraint
+/// `h1·x - h2·y = c2 - c1` over the two iteration spaces; if any dimension
+/// is proven unsatisfiable, the pair is independent.
+pub fn test_pair(
+    r1: &ArrayRef,
+    nest1: &LoopNest,
+    r2: &ArrayRef,
+    nest2: &LoopNest,
+) -> IndepResult {
+    debug_assert_eq!(r1.array, r2.array);
+    if r1.subs.len() != r2.subs.len() {
+        // Malformed input; be conservative.
+        return IndepResult::MaybeDependent;
+    }
+    let b1: Vec<(i64, i64)> = nest1.bounds.iter().map(|b| (b.lo, b.hi)).collect();
+    let b2: Vec<(i64, i64)> = nest2.bounds.iter().map(|b| (b.lo, b.hi)).collect();
+
+    for (s1, s2) in r1.subs.iter().zip(&r2.subs) {
+        let rhs = s2.offset - s1.offset;
+
+        // --- GCD test ---
+        let mut g = 0i64;
+        for &c in s1.coeffs.iter().chain(&s2.coeffs) {
+            g = gcd(g, c);
+        }
+        if g == 0 {
+            if rhs != 0 {
+                return IndepResult::Independent;
+            }
+            continue;
+        }
+        if rhs % g != 0 {
+            return IndepResult::Independent;
+        }
+
+        // --- Banerjee interval test ---
+        // Range of h1·x - h2·y over the two rectangles.
+        let (lo1, hi1) = s1.range_over(&b1);
+        let (lo2, hi2) = s2.range_over(&b2);
+        // h1·x + c1 in [lo1,hi1]; h2·y + c2 in [lo2,hi2]. They can be
+        // equal only if the intervals overlap.
+        if hi1 < lo2 || hi2 < lo1 {
+            return IndepResult::Independent;
+        }
+    }
+    IndepResult::MaybeDependent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_ir::{AffineExpr, ArrayId, LoopBounds, LoopNest};
+
+    fn nest(lo: i64, hi: i64) -> LoopNest {
+        LoopNest::new("L", [LoopBounds::new(lo, hi)], vec![])
+    }
+
+    fn r(coeff: i64, off: i64) -> ArrayRef {
+        ArrayRef::new(ArrayId(0), vec![AffineExpr::new(vec![coeff], off)])
+    }
+
+    #[test]
+    fn gcd_proves_independence() {
+        // a[2i] vs a[2i+1]: parity differs.
+        let n = nest(0, 100);
+        assert_eq!(test_pair(&r(2, 0), &n, &r(2, 1), &n), IndepResult::Independent);
+    }
+
+    #[test]
+    fn gcd_passes_when_divisible() {
+        // a[2i] vs a[2i+4]: same parity, overlapping ranges.
+        let n = nest(0, 100);
+        assert_eq!(test_pair(&r(2, 0), &n, &r(2, 4), &n), IndepResult::MaybeDependent);
+    }
+
+    #[test]
+    fn banerjee_disjoint_ranges() {
+        // a[i] over [0,10] vs a[i] over [50,60] via offsets: a[i] vs a[i+100].
+        let n = nest(0, 10);
+        assert_eq!(test_pair(&r(1, 0), &n, &r(1, 100), &n), IndepResult::Independent);
+    }
+
+    #[test]
+    fn constant_subscripts() {
+        // a[3] vs a[5]: independent; a[3] vs a[3]: maybe.
+        let n = nest(0, 10);
+        assert_eq!(test_pair(&r(0, 3), &n, &r(0, 5), &n), IndepResult::Independent);
+        assert_eq!(test_pair(&r(0, 3), &n, &r(0, 3), &n), IndepResult::MaybeDependent);
+    }
+
+    #[test]
+    fn different_coefficient_overlap() {
+        // a[i] vs a[3j]: ranges overlap, gcd 1 -> maybe dependent.
+        let n1 = nest(0, 30);
+        let n2 = nest(0, 10);
+        assert_eq!(test_pair(&r(1, 0), &n1, &r(3, 0), &n2), IndepResult::MaybeDependent);
+    }
+}

@@ -1,0 +1,373 @@
+//! Schedule drivers: executing fusion plans serially, as a deterministic
+//! simulation of `P` processors, or on real threads.
+//!
+//! Execution follows the structure of Figure 12/16 of the paper. For each
+//! fused group, every processor runs its **fused phase** (strip-mined or
+//! direct method), then a **barrier**, then its **peeled phase**. Unfused
+//! (singleton) groups degenerate to plain blocked execution with a
+//! barrier — exactly the original program's synchronization structure.
+//!
+//! The *simulated* driver runs processors one after another (fused phases
+//! of all processors, then peeled phases of all processors). Because the
+//! transformation removes every cross-processor dependence within a
+//! phase, any serialization of a phase is equivalent to its parallel
+//! execution — this is what makes deterministic trace-driven cache
+//! simulation per processor possible.
+
+use crate::interp::{exec_region, ExecCounters};
+use crate::memory::{MemView, Memory};
+use crate::sink::{AccessSink, NullSink};
+use shift_peel_core::{
+    check_blocks, decompose, global_fused_range, nest_regions, CodegenMethod, FusedGroup,
+    FusionPlan, LegalityError, ProcBlock,
+};
+use sp_dep::SequenceDeps;
+use sp_ir::{IterSpace, LoopSequence};
+use std::sync::Barrier;
+
+/// Iterates the tiles of `block` over the first `fused_levels` dimensions
+/// with strip size `s`, invoking `f` with each tile's per-level ranges.
+fn for_each_tile(block: &ProcBlock, fused_levels: usize, s: i64, mut f: impl FnMut(&[(i64, i64)])) {
+    debug_assert!(s >= 1);
+    let mut tile: Vec<(i64, i64)> = Vec::with_capacity(fused_levels);
+    let mut cursor: Vec<i64> = block.range[..fused_levels].iter().map(|&(lo, _)| lo).collect();
+    'outer: loop {
+        tile.clear();
+        for (l, &c) in cursor.iter().enumerate() {
+            tile.push((c, c.saturating_add(s - 1).min(block.range[l].1)));
+        }
+        f(&tile);
+        for l in (0..fused_levels).rev() {
+            cursor[l] = cursor[l].saturating_add(s);
+            if cursor[l] <= block.range[l].1 {
+                continue 'outer;
+            }
+            cursor[l] = block.range[l].0;
+        }
+        break;
+    }
+}
+
+/// Runs one processor's fused phase of a group.
+///
+/// # Safety
+/// The caller must uphold [`MemView`]'s contract; the shift-and-peel
+/// schedule guarantees fused phases of distinct processors never make
+/// conflicting accesses (given the block-size legality check).
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn run_fused_phase<S: AccessSink>(
+    seq: &LoopSequence,
+    group: &FusedGroup,
+    block: &ProcBlock,
+    strip: i64,
+    method: CodegenMethod,
+    view: &MemView<'_>,
+    sink: &mut S,
+    counters: &mut ExecCounters,
+) {
+    let deriv = &group.derivation;
+    let fused_levels = deriv.fused_levels();
+    // Per member nest: its fused region for this block.
+    let fused: Vec<IterSpace> = group
+        .members()
+        .enumerate()
+        .map(|(k, nid)| nest_regions(&seq.nests[nid], deriv, k, block).fused)
+        .collect();
+
+    match method {
+        CodegenMethod::StripMined => {
+            for_each_tile(block, fused_levels, strip, |tile| {
+                counters.strips += 1;
+                for (k, nid) in group.members().enumerate() {
+                    let f = &fused[k];
+                    if f.is_empty() {
+                        continue;
+                    }
+                    let mut bounds = f.bounds.clone();
+                    let mut empty = false;
+                    for l in 0..fused_levels {
+                        let shift = deriv.dims[l].shifts[k];
+                        let lo = (tile[l].0 - shift).max(f.bounds[l].0);
+                        let hi = (tile[l].1 - shift).min(f.bounds[l].1);
+                        if lo > hi {
+                            empty = true;
+                            break;
+                        }
+                        bounds[l] = (lo, hi);
+                    }
+                    if !empty {
+                        let region = IterSpace::new(bounds);
+                        // SAFETY: forwarded from caller.
+                        unsafe { exec_region(seq, view, nid, &region, sink, counters) };
+                    }
+                }
+            });
+        }
+        CodegenMethod::Direct => {
+            // One fused loop over the block's outer points; each member
+            // guarded and executed at its shifted position (Figure 11(a)).
+            let outer = IterSpace::new(block.range[..fused_levels].to_vec());
+            let mut shifted: Vec<i64> = vec![0; fused_levels];
+            outer.for_each(|point| {
+                for (k, nid) in group.members().enumerate() {
+                    counters.guards += 1;
+                    let f = &fused[k];
+                    let mut inside = !f.is_empty();
+                    for l in 0..fused_levels {
+                        shifted[l] = point[l] - deriv.dims[l].shifts[k];
+                        if shifted[l] < f.bounds[l].0 || shifted[l] > f.bounds[l].1 {
+                            inside = false;
+                            break;
+                        }
+                    }
+                    if inside {
+                        let mut bounds: Vec<(i64, i64)> =
+                            shifted.iter().map(|&v| (v, v)).collect();
+                        bounds.extend_from_slice(&f.bounds[fused_levels..]);
+                        let region = IterSpace::new(bounds);
+                        // SAFETY: forwarded from caller.
+                        unsafe { exec_region(seq, view, nid, &region, sink, counters) };
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Runs one processor's peeled phase of a group (after the barrier).
+///
+/// # Safety
+/// As [`run_fused_phase`]; peeled sets of distinct processors never
+/// conflict.
+pub unsafe fn run_peeled_phase<S: AccessSink>(
+    seq: &LoopSequence,
+    group: &FusedGroup,
+    block: &ProcBlock,
+    view: &MemView<'_>,
+    sink: &mut S,
+    counters: &mut ExecCounters,
+) {
+    let deriv = &group.derivation;
+    for (k, nid) in group.members().enumerate() {
+        let regions = nest_regions(&seq.nests[nid], deriv, k, block);
+        for r in &regions.peeled {
+            let before = counters.iters;
+            // SAFETY: forwarded from caller.
+            unsafe { exec_region(seq, view, nid, r, sink, counters) };
+            counters.peeled_iters += counters.iters - before;
+            counters.iters = before;
+        }
+    }
+}
+
+/// Per-group precomputed work description.
+enum GroupWork {
+    /// A nest that must run serially (on processor 0).
+    Serial { nest: usize },
+    /// A (possibly singleton) parallel group with its blocks; processors
+    /// beyond `blocks.len()` idle through the phase.
+    Parallel { blocks: Vec<ProcBlock>, has_peel: bool },
+}
+
+/// Builds the work list for a plan on a processor grid, performing all
+/// legality checks (Theorem 1 block sizes).
+fn build_work(
+    seq: &LoopSequence,
+    deps: &SequenceDeps,
+    plan: &FusionPlan,
+    grid: &[usize],
+) -> Result<Vec<GroupWork>, LegalityError> {
+    let mut work = Vec::with_capacity(plan.groups.len());
+    for group in &plan.groups {
+        let members: Vec<usize> = group.members().collect();
+        let parallel = members
+            .iter()
+            .all(|&k| deps.nests[k].parallel.iter().take(plan.levels).all(|&p| p));
+        if !parallel {
+            debug_assert_eq!(group.len(), 1, "planner must not fuse serial nests");
+            work.push(GroupWork::Serial { nest: group.start });
+            continue;
+        }
+        let global = global_fused_range(seq, &members, plan.levels);
+        // Clamp the grid so no level has more blocks than iterations, and
+        // so every block satisfies the Nt threshold.
+        let mut eff: Vec<usize> = Vec::with_capacity(grid.len());
+        for (l, &g) in grid.iter().enumerate() {
+            let trip = global[l].1 - global[l].0 + 1;
+            let nt = group.derivation.dims[l].nt().max(1);
+            eff.push((g as i64).min(trip / nt).max(1) as usize);
+        }
+        let blocks = decompose(&global, &eff);
+        check_blocks(&group.derivation, &blocks)?;
+        let has_peel = group.derivation.dims.iter().any(|d| d.nt() > 0);
+        work.push(GroupWork::Parallel { blocks, has_peel });
+    }
+    Ok(work)
+}
+
+/// Deterministic simulation of parallel execution: processors of each
+/// phase run one after another, each reporting into its own sink.
+///
+/// Returns per-processor counters. `sinks.len()` determines the processor
+/// count and must equal the grid's product.
+pub fn run_plan_sim<S: AccessSink>(
+    seq: &LoopSequence,
+    deps: &SequenceDeps,
+    plan: &FusionPlan,
+    grid: &[usize],
+    strip: i64,
+    mem: &mut Memory,
+    sinks: &mut [S],
+) -> Result<Vec<ExecCounters>, LegalityError> {
+    let nprocs: usize = grid.iter().product();
+    assert_eq!(sinks.len(), nprocs, "one sink per processor required");
+    let work = build_work(seq, deps, plan, grid)?;
+    let mut counters = vec![ExecCounters::default(); nprocs];
+    let view = MemView::new(mem);
+    for (gi, w) in work.iter().enumerate() {
+        match w {
+            GroupWork::Serial { nest } => {
+                let space = seq.nests[*nest].space();
+                // SAFETY: simulated execution is single-threaded.
+                unsafe {
+                    exec_region(seq, &view, *nest, &space, &mut sinks[0], &mut counters[0])
+                };
+                for c in &mut counters {
+                    c.barriers += 1;
+                }
+            }
+            GroupWork::Parallel { blocks, has_peel } => {
+                let group = &plan.groups[gi];
+                for (p, block) in blocks.iter().enumerate() {
+                    // SAFETY: simulated execution is single-threaded.
+                    unsafe {
+                        run_fused_phase(
+                            seq,
+                            group,
+                            block,
+                            strip,
+                            plan.method,
+                            &view,
+                            &mut sinks[p],
+                            &mut counters[p],
+                        )
+                    };
+                }
+                for c in &mut counters {
+                    c.barriers += 1;
+                }
+                if *has_peel {
+                    for (p, block) in blocks.iter().enumerate() {
+                        // SAFETY: simulated execution is single-threaded.
+                        unsafe {
+                            run_peeled_phase(
+                                seq,
+                                group,
+                                block,
+                                &view,
+                                &mut sinks[p],
+                                &mut counters[p],
+                            )
+                        };
+                    }
+                    for c in &mut counters {
+                        c.barriers += 1;
+                    }
+                }
+            }
+        }
+    }
+    Ok(counters)
+}
+
+/// Real multi-threaded execution of a plan with static blocked scheduling
+/// and barrier synchronization (one OS thread per simulated processor).
+///
+/// Sinks are not supported here (cache simulation is deterministic and
+/// uses [`run_plan_sim`]); the interpreter runs with [`NullSink`] for an
+/// honest wall-clock measurement.
+pub fn run_plan_threaded(
+    seq: &LoopSequence,
+    deps: &SequenceDeps,
+    plan: &FusionPlan,
+    grid: &[usize],
+    strip: i64,
+    mem: &mut Memory,
+) -> Result<Vec<ExecCounters>, LegalityError> {
+    let nprocs: usize = grid.iter().product();
+    let work = build_work(seq, deps, plan, grid)?;
+    let view = MemView::new(mem);
+    let barrier = Barrier::new(nprocs);
+    let mut results: Vec<ExecCounters> = Vec::with_capacity(nprocs);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nprocs);
+        for p in 0..nprocs {
+            let work = &work;
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                let mut sink = NullSink;
+                let mut counters = ExecCounters::default();
+                for (gi, w) in work.iter().enumerate() {
+                    match w {
+                        GroupWork::Serial { nest } => {
+                            if p == 0 {
+                                let space = seq.nests[*nest].space();
+                                // SAFETY: all other threads are parked at
+                                // the barrier below; no concurrent access.
+                                unsafe {
+                                    exec_region(seq, &view, *nest, &space, &mut sink, &mut counters)
+                                };
+                            }
+                            barrier.wait();
+                            counters.barriers += 1;
+                        }
+                        GroupWork::Parallel { blocks, has_peel } => {
+                            let group = &plan.groups[gi];
+                            if let Some(block) = blocks.get(p) {
+                                // SAFETY: fused phases of distinct blocks
+                                // never conflict (Theorem 1; checked).
+                                unsafe {
+                                    run_fused_phase(
+                                        seq,
+                                        group,
+                                        block,
+                                        strip,
+                                        plan.method,
+                                        &view,
+                                        &mut sink,
+                                        &mut counters,
+                                    )
+                                };
+                            }
+                            barrier.wait();
+                            counters.barriers += 1;
+                            if *has_peel {
+                                if let Some(block) = blocks.get(p) {
+                                    // SAFETY: peeled sets of distinct
+                                    // blocks never conflict.
+                                    unsafe {
+                                        run_peeled_phase(
+                                            seq,
+                                            group,
+                                            block,
+                                            &view,
+                                            &mut sink,
+                                            &mut counters,
+                                        )
+                                    };
+                                }
+                                barrier.wait();
+                                counters.barriers += 1;
+                            }
+                        }
+                    }
+                }
+                counters
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("worker thread panicked"));
+        }
+    });
+    Ok(results)
+}

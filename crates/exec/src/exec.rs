@@ -1,0 +1,327 @@
+//! High-level execution facade.
+//!
+//! [`Executor`] bundles a sequence with its dependence analysis and runs
+//! it under an [`ExecPlan`]: the original serial program, the original
+//! parallel program (blocked with a barrier per nest), or the
+//! shift-and-peel fused program — simulated deterministically or on real
+//! threads.
+
+use crate::driver::{run_plan_sim, run_plan_threaded};
+use crate::interp::{run_original, ExecCounters};
+use crate::memory::Memory;
+use crate::sink::{AccessSink, NullSink};
+use shift_peel_core::{fusion_plan, singleton_plan, CodegenMethod, FusionPlan, LegalityError};
+use sp_dep::{analyze_sequence, AnalysisError, SequenceDeps};
+use sp_ir::LoopSequence;
+
+/// What to execute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecPlan {
+    /// The original program, one nest after another, single processor.
+    Serial,
+    /// The original program blocked over a processor grid (one entry per
+    /// fused level), with a barrier after every nest.
+    Blocked {
+        /// Processors per fused level.
+        grid: Vec<usize>,
+    },
+    /// Shift-and-peel fused execution over a processor grid.
+    Fused {
+        /// Processors per fused level.
+        grid: Vec<usize>,
+        /// Strip-mined or direct realization.
+        method: CodegenMethod,
+        /// Strip size (outer iterations per tile) for the strip-mined
+        /// method; ignored by the direct method.
+        strip: i64,
+    },
+}
+
+impl ExecPlan {
+    /// Total processor count of the plan.
+    pub fn procs(&self) -> usize {
+        match self {
+            ExecPlan::Serial => 1,
+            ExecPlan::Blocked { grid } | ExecPlan::Fused { grid, .. } => {
+                grid.iter().product()
+            }
+        }
+    }
+}
+
+/// Errors from planning or executing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// Dependence analysis failed.
+    Analysis(AnalysisError),
+    /// The transformation is illegal for this sequence / processor count.
+    Legality(LegalityError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Analysis(e) => write!(f, "{e}"),
+            ExecError::Legality(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<AnalysisError> for ExecError {
+    fn from(e: AnalysisError) -> Self {
+        ExecError::Analysis(e)
+    }
+}
+
+impl From<LegalityError> for ExecError {
+    fn from(e: LegalityError) -> Self {
+        ExecError::Legality(e)
+    }
+}
+
+/// A sequence bound to its dependence analysis, ready to execute under
+/// different plans.
+pub struct Executor<'a> {
+    seq: &'a LoopSequence,
+    deps: SequenceDeps,
+    levels: usize,
+}
+
+impl<'a> Executor<'a> {
+    /// Analyses `seq` for fusion of its first `levels` loop dimensions.
+    pub fn new(seq: &'a LoopSequence, levels: usize) -> Result<Self, ExecError> {
+        let deps = analyze_sequence(seq)?;
+        assert!(levels >= 1 && levels <= deps.depth, "levels out of range");
+        Ok(Executor { seq, deps, levels })
+    }
+
+    /// The dependence analysis.
+    pub fn deps(&self) -> &SequenceDeps {
+        &self.deps
+    }
+
+    /// Number of fused levels.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// The fusion plan an [`ExecPlan`] implies: singleton groups for
+    /// `Serial`/`Blocked`, greedy maximal fusion for `Fused`.
+    pub fn fusion_plan_for(&self, plan: &ExecPlan) -> Result<FusionPlan, ExecError> {
+        match plan {
+            ExecPlan::Serial | ExecPlan::Blocked { .. } => {
+                Ok(singleton_plan(self.seq, &self.deps, self.levels))
+            }
+            ExecPlan::Fused { method, .. } => {
+                Ok(fusion_plan(self.seq, &self.deps, self.levels, *method, None)?)
+            }
+        }
+    }
+
+    /// Executes deterministically (simulated processors), discarding the
+    /// access stream. Returns per-processor counters.
+    pub fn run(&self, mem: &mut Memory, plan: &ExecPlan) -> Result<Vec<ExecCounters>, ExecError> {
+        let mut sinks = vec![NullSink; plan.procs()];
+        self.run_with_sinks(mem, plan, &mut sinks)
+    }
+
+    /// Executes deterministically with one [`AccessSink`] per simulated
+    /// processor (e.g. per-processor cache simulators).
+    pub fn run_with_sinks<S: AccessSink>(
+        &self,
+        mem: &mut Memory,
+        plan: &ExecPlan,
+        sinks: &mut [S],
+    ) -> Result<Vec<ExecCounters>, ExecError> {
+        match plan {
+            ExecPlan::Serial => {
+                assert_eq!(sinks.len(), 1);
+                Ok(vec![run_original(self.seq, mem, &mut sinks[0])])
+            }
+            ExecPlan::Blocked { grid } => {
+                let fp = singleton_plan(self.seq, &self.deps, self.levels);
+                Ok(run_plan_sim(self.seq, &self.deps, &fp, grid, i64::MAX, mem, sinks)?)
+            }
+            ExecPlan::Fused { grid, method: _, strip } => {
+                let fp = self.fusion_plan_for(plan)?;
+                Ok(run_plan_sim(self.seq, &self.deps, &fp, grid, *strip, mem, sinks)?)
+            }
+        }
+    }
+
+    /// Executes on real OS threads (one per processor) with static
+    /// blocked scheduling and barrier synchronization.
+    pub fn run_threaded(
+        &self,
+        mem: &mut Memory,
+        plan: &ExecPlan,
+    ) -> Result<Vec<ExecCounters>, ExecError> {
+        match plan {
+            ExecPlan::Serial => Ok(vec![run_original(self.seq, mem, &mut NullSink)]),
+            ExecPlan::Blocked { grid } => {
+                let fp = singleton_plan(self.seq, &self.deps, self.levels);
+                Ok(run_plan_threaded(self.seq, &self.deps, &fp, grid, i64::MAX, mem)?)
+            }
+            ExecPlan::Fused { grid, method: _, strip } => {
+                let fp = self.fusion_plan_for(plan)?;
+                Ok(run_plan_threaded(self.seq, &self.deps, &fp, grid, *strip, mem)?)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_cache::LayoutStrategy;
+    use sp_ir::SeqBuilder;
+
+    fn fig9(n: usize) -> LoopSequence {
+        let mut b = SeqBuilder::new("fig9");
+        let a = b.array("a", [n]);
+        let bb = b.array("b", [n]);
+        let c = b.array("c", [n]);
+        let d = b.array("d", [n]);
+        let (lo, hi) = (1, n as i64 - 2);
+        b.nest("L1", [(lo, hi)], |x| {
+            let r = x.ld(bb, [0]);
+            x.assign(a, [0], r);
+        });
+        b.nest("L2", [(lo, hi)], |x| {
+            let r = x.ld(a, [1]) + x.ld(a, [-1]);
+            x.assign(c, [0], r);
+        });
+        b.nest("L3", [(lo, hi)], |x| {
+            let r = x.ld(c, [1]) + x.ld(c, [-1]);
+            x.assign(d, [0], r);
+        });
+        b.finish()
+    }
+
+    fn reference(seq: &LoopSequence) -> Vec<Vec<f64>> {
+        let mut mem = Memory::new(seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(seq, 42);
+        let ex = Executor::new(seq, 1).unwrap();
+        ex.run(&mut mem, &ExecPlan::Serial).unwrap();
+        mem.snapshot_all(seq)
+    }
+
+    fn run_plan(seq: &LoopSequence, plan: &ExecPlan) -> Vec<Vec<f64>> {
+        let mut mem = Memory::new(seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(seq, 42);
+        let ex = Executor::new(seq, 1).unwrap();
+        ex.run(&mut mem, plan).unwrap();
+        mem.snapshot_all(seq)
+    }
+
+    #[test]
+    fn blocked_matches_serial() {
+        let seq = fig9(128);
+        let want = reference(&seq);
+        for p in [1usize, 2, 5, 8] {
+            assert_eq!(run_plan(&seq, &ExecPlan::Blocked { grid: vec![p] }), want, "P={p}");
+        }
+    }
+
+    #[test]
+    fn fused_strip_mined_matches_serial() {
+        let seq = fig9(128);
+        let want = reference(&seq);
+        for p in [1usize, 2, 5, 8] {
+            for strip in [1i64, 3, 16, 1000] {
+                let plan = ExecPlan::Fused {
+                    grid: vec![p],
+                    method: CodegenMethod::StripMined,
+                    strip,
+                };
+                assert_eq!(run_plan(&seq, &plan), want, "P={p} strip={strip}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_direct_matches_serial() {
+        let seq = fig9(128);
+        let want = reference(&seq);
+        for p in [1usize, 3, 8] {
+            let plan = ExecPlan::Fused { grid: vec![p], method: CodegenMethod::Direct, strip: 1 };
+            assert_eq!(run_plan(&seq, &plan), want, "P={p}");
+        }
+    }
+
+    #[test]
+    fn threaded_fused_matches_serial() {
+        let seq = fig9(256);
+        let want = reference(&seq);
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 42);
+        let ex = Executor::new(&seq, 1).unwrap();
+        let plan = ExecPlan::Fused { grid: vec![4], method: CodegenMethod::StripMined, strip: 8 };
+        ex.run_threaded(&mut mem, &plan).unwrap();
+        assert_eq!(mem.snapshot_all(&seq), want);
+    }
+
+    #[test]
+    fn threaded_blocked_matches_serial() {
+        let seq = fig9(256);
+        let want = reference(&seq);
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 42);
+        let ex = Executor::new(&seq, 1).unwrap();
+        ex.run_threaded(&mut mem, &ExecPlan::Blocked { grid: vec![4] }).unwrap();
+        assert_eq!(mem.snapshot_all(&seq), want);
+    }
+
+    #[test]
+    fn counters_account_for_peeling() {
+        let seq = fig9(128);
+        let ex = Executor::new(&seq, 1).unwrap();
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 1);
+        let plan = ExecPlan::Fused { grid: vec![4], method: CodegenMethod::StripMined, strip: 8 };
+        let counters = ex.run(&mut mem, &plan).unwrap();
+        let total: u64 = counters.iter().map(|c| c.total_iters()).sum();
+        // All iterations of all three nests execute exactly once.
+        assert_eq!(total, 3 * 126);
+        // Peeling happened (shift 1+2, peel 1+2 across 4 blocks).
+        let peeled: u64 = counters.iter().map(|c| c.peeled_iters).sum();
+        assert!(peeled > 0);
+        // Barriers: fused + peeled.
+        assert_eq!(counters[0].barriers, 2);
+    }
+
+    #[test]
+    fn jacobi_2d_fused_matches_serial_on_grid() {
+        let n = 32usize;
+        let mut b = SeqBuilder::new("jacobi");
+        let a = b.array("a", [n, n]);
+        let bb = b.array("b", [n, n]);
+        let (lo, hi) = (1, n as i64 - 2);
+        b.nest("L1", [(lo, hi), (lo, hi)], |x| {
+            let r = (x.ld(a, [0, -1]) + x.ld(a, [0, 1]) + x.ld(a, [-1, 0]) + x.ld(a, [1, 0]))
+                / 4.0;
+            x.assign(bb, [0, 0], r);
+        });
+        b.nest("L2", [(lo, hi), (lo, hi)], |x| {
+            let r = x.ld(bb, [0, 0]);
+            x.assign(a, [0, 0], r);
+        });
+        let seq = b.finish();
+        let mut ref_mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        ref_mem.init_deterministic(&seq, 9);
+        let ex2 = Executor::new(&seq, 2).unwrap();
+        ex2.run(&mut ref_mem, &ExecPlan::Serial).unwrap();
+        let want = ref_mem.snapshot_all(&seq);
+        for grid in [vec![2usize, 2], vec![1, 4], vec![3, 3]] {
+            for method in [CodegenMethod::StripMined, CodegenMethod::Direct] {
+                let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+                mem.init_deterministic(&seq, 9);
+                let plan = ExecPlan::Fused { grid: grid.clone(), method, strip: 4 };
+                ex2.run(&mut mem, &plan).unwrap();
+                assert_eq!(mem.snapshot_all(&seq), want, "grid {grid:?} {method:?}");
+            }
+        }
+    }
+}

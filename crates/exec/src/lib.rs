@@ -1,0 +1,36 @@
+//! # sp-exec — execution of original and transformed loop programs
+//!
+//! An interpreter and runtime that executes `sp-ir` programs over real
+//! `f64` arrays, under any schedule `shift-peel-core` produces:
+//!
+//! * [`memory`] — flat backing storage honoring an `sp-cache` layout
+//!   (padding and partition gaps physically present), plus the shared
+//!   view used by the parallel runtime;
+//! * [`sink`] — pluggable consumers of the access stream (null, counting,
+//!   cache simulators, trace recording);
+//! * [`interp`] — the statement/region interpreter and the serial
+//!   reference executor;
+//! * [`driver`] — fused (strip-mined or direct) and peeled phase drivers,
+//!   the deterministic multi-processor simulation, and the real threaded
+//!   runtime with static blocked scheduling and barriers;
+//! * [`exec`] — the [`Executor`]/[`ExecPlan`] facade.
+//!
+//! The runtime deliberately builds its own static-blocked executor on
+//! `std::thread::scope` rather than using a work-stealing pool: the
+//! shift-and-peel transformation's legality argument (paper Section 3.2)
+//! assumes *static, blocked* scheduling, with peeled iterations placed at
+//! known block boundaries.
+
+pub mod driver;
+pub mod dynamic;
+pub mod exec;
+pub mod interp;
+pub mod memory;
+pub mod sink;
+
+pub use driver::{run_fused_phase, run_peeled_phase, run_plan_sim, run_plan_threaded};
+pub use dynamic::run_blocked_dynamic;
+pub use exec::{ExecError, ExecPlan, Executor};
+pub use interp::{exec_region, exec_statement, run_original, ExecCounters};
+pub use memory::{MemView, Memory};
+pub use sink::{AccessSink, CacheSink, ClassifySink, CountingSink, HierarchySink, InfiniteSink, NullSink, RecordingSink};

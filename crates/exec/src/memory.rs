@@ -1,0 +1,227 @@
+//! Backing storage for program execution.
+//!
+//! One flat `Vec<f64>` holds every array of a sequence at the positions a
+//! [`MemoryLayout`] dictates — padding and partitioning gaps physically
+//! exist in the vector, so the addresses the interpreter emits are exactly
+//! the addresses a compiled program would emit.
+
+use sp_cache::{LayoutStrategy, MemoryLayout};
+use sp_ir::{ArrayId, LoopSequence};
+
+/// A sequence's arrays materialized in one flat allocation.
+#[derive(Clone, Debug)]
+pub struct Memory {
+    /// The layout mapping (array, index) to addresses/slots.
+    pub layout: MemoryLayout,
+    /// The flat element store.
+    pub data: Vec<f64>,
+}
+
+impl Memory {
+    /// Allocates (zero-initialized) memory for `seq`'s arrays under the
+    /// given layout strategy.
+    pub fn new(seq: &LoopSequence, strategy: LayoutStrategy) -> Self {
+        Self::with_base(seq, strategy, 0)
+    }
+
+    /// Like [`Memory::new`] with an explicit base address for the first
+    /// array (used by cache experiments that model allocator placement).
+    pub fn with_base(seq: &LoopSequence, strategy: LayoutStrategy, base: u64) -> Self {
+        let layout = MemoryLayout::build(&seq.arrays, std::mem::size_of::<f64>(), strategy, base);
+        let data = vec![0.0; layout.total_elements()];
+        Memory { layout, data }
+    }
+
+    /// Reads `array[idx]`.
+    #[inline]
+    pub fn get(&self, array: ArrayId, idx: &[i64]) -> f64 {
+        self.data[self.layout.slot(array, idx)]
+    }
+
+    /// Writes `array[idx]`.
+    #[inline]
+    pub fn set(&mut self, array: ArrayId, idx: &[i64], v: f64) {
+        let slot = self.layout.slot(array, idx);
+        self.data[slot] = v;
+    }
+
+    /// Fills one array from a function of its index vector.
+    pub fn fill_with(&mut self, seq: &LoopSequence, array: ArrayId, f: impl Fn(&[i64]) -> f64) {
+        let dims = seq.array(array).dims.clone();
+        let space = sp_ir::IterSpace::new(
+            dims.iter().map(|&d| (0i64, d as i64 - 1)).collect::<Vec<_>>(),
+        );
+        space.for_each(|p| {
+            let slot = self.layout.slot(array, p);
+            self.data[slot] = f(p);
+        });
+    }
+
+    /// Deterministically initializes every array of the sequence with
+    /// smooth pseudo-random values (a tiny splitmix-style hash of the
+    /// element coordinates and `seed`), so runs are reproducible across
+    /// layouts and schedules.
+    pub fn init_deterministic(&mut self, seq: &LoopSequence, seed: u64) {
+        for (i, _) in seq.arrays.iter().enumerate() {
+            let id = ArrayId(i as u32);
+            let array_salt = seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            self.fill_with(seq, id, |p| {
+                let mut h = array_salt;
+                for &c in p {
+                    h ^= (c as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    h ^= h >> 27;
+                }
+                // Map to (0.5, 1.5) to keep divisions well-conditioned.
+                0.5 + (h >> 11) as f64 / (1u64 << 53) as f64
+            });
+        }
+    }
+
+    /// Snapshot of one array's logical contents in row-major order
+    /// (independent of padding/gaps), for comparing results across
+    /// layouts and schedules.
+    pub fn snapshot(&self, seq: &LoopSequence, array: ArrayId) -> Vec<f64> {
+        let dims = &seq.array(array).dims;
+        let mut out = Vec::with_capacity(dims.iter().product());
+        let space = sp_ir::IterSpace::new(
+            dims.iter().map(|&d| (0i64, d as i64 - 1)).collect::<Vec<_>>(),
+        );
+        space.for_each(|p| out.push(self.get(array, p)));
+        out
+    }
+
+    /// Snapshots of all arrays, for whole-program result comparison.
+    pub fn snapshot_all(&self, seq: &LoopSequence) -> Vec<Vec<f64>> {
+        (0..seq.arrays.len())
+            .map(|i| self.snapshot(seq, ArrayId(i as u32)))
+            .collect()
+    }
+}
+
+/// An unsafe shared view of a [`Memory`] for the static-blocked parallel
+/// runtime.
+///
+/// # Safety contract
+///
+/// The shift-and-peel schedule guarantees (Theorem 1, Appendix I of the
+/// paper; enforced by `shift_peel_core::check_blocks`) that within one
+/// parallel phase no two processors make *conflicting* accesses (no
+/// write/write or read/write pair to the same element), and phases are
+/// separated by barriers that order all cross-phase conflicts. Under that
+/// schedule, concurrent use of `read`/`write` from multiple threads is
+/// race-free. All access goes through raw pointers — no `&mut` aliasing
+/// is created.
+#[derive(Clone, Copy)]
+pub struct MemView<'a> {
+    layout: &'a MemoryLayout,
+    base: *mut f64,
+    len: usize,
+}
+
+unsafe impl Send for MemView<'_> {}
+unsafe impl Sync for MemView<'_> {}
+
+impl<'a> MemView<'a> {
+    /// Creates a shared view over `mem`. The caller must ensure all
+    /// concurrent accesses through clones of the view follow the safety
+    /// contract above.
+    pub fn new(mem: &'a mut Memory) -> Self {
+        MemView { layout: &mem.layout, base: mem.data.as_mut_ptr(), len: mem.data.len() }
+    }
+
+    /// The layout.
+    #[inline]
+    pub fn layout(&self) -> &MemoryLayout {
+        self.layout
+    }
+
+    /// Reads `array[idx]`.
+    ///
+    /// # Safety
+    /// See the type-level contract: no concurrent conflicting write.
+    #[inline]
+    pub unsafe fn read(&self, array: ArrayId, idx: &[i64]) -> f64 {
+        let slot = self.layout.slot(array, idx);
+        debug_assert!(slot < self.len);
+        unsafe { *self.base.add(slot) }
+    }
+
+    /// Writes `array[idx]`.
+    ///
+    /// # Safety
+    /// See the type-level contract: no concurrent access to this element.
+    #[inline]
+    pub unsafe fn write(&self, array: ArrayId, idx: &[i64], v: f64) {
+        let slot = self.layout.slot(array, idx);
+        debug_assert!(slot < self.len);
+        unsafe { *self.base.add(slot) = v }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_ir::SeqBuilder;
+
+    fn seq() -> LoopSequence {
+        let mut b = SeqBuilder::new("m");
+        let a = b.array("a", [4, 4]);
+        let c = b.array("c", [4, 4]);
+        b.nest("L1", [(0, 3), (0, 3)], |x| {
+            let r = x.ld(a, [0, 0]);
+            x.assign(c, [0, 0], r);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let s = seq();
+        let mut m = Memory::new(&s, LayoutStrategy::Contiguous);
+        m.set(ArrayId(0), &[1, 2], 42.0);
+        assert_eq!(m.get(ArrayId(0), &[1, 2]), 42.0);
+        assert_eq!(m.get(ArrayId(1), &[1, 2]), 0.0);
+    }
+
+    #[test]
+    fn snapshots_ignore_layout() {
+        let s = seq();
+        let mut m1 = Memory::new(&s, LayoutStrategy::Contiguous);
+        let mut m2 = Memory::new(&s, LayoutStrategy::InnerPad(3));
+        m1.init_deterministic(&s, 7);
+        m2.init_deterministic(&s, 7);
+        assert_eq!(m1.snapshot_all(&s), m2.snapshot_all(&s));
+        // But the physical footprints differ.
+        assert_ne!(m1.data.len(), m2.data.len());
+    }
+
+    #[test]
+    fn deterministic_init_is_stable() {
+        let s = seq();
+        let mut m1 = Memory::new(&s, LayoutStrategy::Contiguous);
+        m1.init_deterministic(&s, 1);
+        let mut m2 = Memory::new(&s, LayoutStrategy::Contiguous);
+        m2.init_deterministic(&s, 1);
+        assert_eq!(m1.data, m2.data);
+        let mut m3 = Memory::new(&s, LayoutStrategy::Contiguous);
+        m3.init_deterministic(&s, 2);
+        assert_ne!(m1.data, m3.data);
+        // Values live in (0.5, 1.5).
+        assert!(m1.snapshot(&s, ArrayId(0)).iter().all(|&v| v > 0.5 && v < 1.5));
+    }
+
+    #[test]
+    fn memview_reads_and_writes() {
+        let s = seq();
+        let mut m = Memory::new(&s, LayoutStrategy::Contiguous);
+        {
+            let v = MemView::new(&mut m);
+            unsafe {
+                v.write(ArrayId(0), &[3, 3], 5.0);
+                assert_eq!(v.read(ArrayId(0), &[3, 3]), 5.0);
+            }
+        }
+        assert_eq!(m.get(ArrayId(0), &[3, 3]), 5.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Array declarations.
+
+use std::fmt;
+
+/// Identifier of an array within a [`crate::LoopSequence`].
+///
+/// Arrays are declared once per sequence and referenced by index; the id is
+/// an index into [`crate::LoopSequence::arrays`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub u32);
+
+impl ArrayId {
+    /// The id as a usable index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+/// A declared rectangular array of `f64` elements.
+///
+/// Arrays are stored row-major: `dims[0]` is the slowest-varying dimension
+/// and `dims.last()` the contiguous one. Subscripts in an
+/// [`crate::ArrayRef`] are 0-based against these extents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Human-readable name used by the pretty-printer.
+    pub name: String,
+    /// Extent of each dimension, slowest-varying first.
+    pub dims: Vec<usize>,
+}
+
+impl ArrayDecl {
+    /// Creates a declaration.
+    pub fn new(name: impl Into<String>, dims: impl Into<Vec<usize>>) -> Self {
+        let dims = dims.into();
+        assert!(!dims.is_empty(), "arrays must have at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "array dimensions must be positive");
+        ArrayDecl { name: name.into(), dims }
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True when the array has zero elements (never, given the constructor
+    /// invariant, but provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides in *elements*, matching `dims`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for d in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * self.dims[d + 1];
+        }
+        strides
+    }
+
+    /// Linearizes a (0-based) index vector to a flat element offset.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the index is out of bounds.
+    pub fn linearize(&self, idx: &[i64]) -> usize {
+        debug_assert_eq!(idx.len(), self.dims.len());
+        let mut off = 0usize;
+        let strides = self.strides();
+        for (d, (&i, &s)) in idx.iter().zip(&strides).enumerate() {
+            debug_assert!(
+                i >= 0 && (i as usize) < self.dims[d],
+                "index {} out of bounds for dim {} of array {} (extent {})",
+                i,
+                d,
+                self.name,
+                self.dims[d]
+            );
+            off += i as usize * s;
+        }
+        off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let a = ArrayDecl::new("a", [4, 5, 6]);
+        assert_eq!(a.strides(), vec![30, 6, 1]);
+        assert_eq!(a.len(), 120);
+        assert_eq!(a.rank(), 3);
+    }
+
+    #[test]
+    fn linearize_matches_manual() {
+        let a = ArrayDecl::new("a", [3, 7]);
+        assert_eq!(a.linearize(&[2, 4]), 2 * 7 + 4);
+        assert_eq!(a.linearize(&[0, 0]), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dim_rejected() {
+        ArrayDecl::new("bad", [0usize, 3]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Pretty-printing of the IR in a Fortran-flavoured `do`-loop syntax.
+
+use crate::expr::Expr;
+use crate::nest::LoopNest;
+use crate::seq::LoopSequence;
+use crate::stmt::ArrayRef;
+use std::fmt::Write as _;
+
+/// Renders a whole sequence.
+pub fn render_sequence(seq: &LoopSequence) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "! sequence {}", seq.name);
+    for (i, a) in seq.arrays.iter().enumerate() {
+        let dims: Vec<String> = a.dims.iter().map(|d| d.to_string()).collect();
+        let _ = writeln!(out, "! array A{i} {}({})", a.name, dims.join(","));
+    }
+    for nest in &seq.nests {
+        out.push_str(&render_nest(seq, nest));
+    }
+    out
+}
+
+/// Renders one nest.
+pub fn render_nest(seq: &LoopSequence, nest: &LoopNest) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}:", nest.label);
+    for (l, b) in nest.bounds.iter().enumerate() {
+        let indent = "  ".repeat(l + 1);
+        let _ = writeln!(out, "{indent}do i{l} = {}, {}", b.lo, b.hi);
+    }
+    let indent = "  ".repeat(nest.depth() + 1);
+    for stmt in &nest.body {
+        let _ = writeln!(
+            out,
+            "{indent}{} = {}",
+            render_ref(seq, &stmt.lhs),
+            render_expr(seq, &stmt.rhs)
+        );
+    }
+    for l in (0..nest.depth()).rev() {
+        let indent = "  ".repeat(l + 1);
+        let _ = writeln!(out, "{indent}end do");
+    }
+    out
+}
+
+/// Renders an array reference.
+pub fn render_ref(seq: &LoopSequence, r: &ArrayRef) -> String {
+    let name = seq
+        .arrays
+        .get(r.array.index())
+        .map(|a| a.name.as_str())
+        .unwrap_or("?");
+    let subs: Vec<String> = r.subs.iter().map(|s| s.to_string()).collect();
+    format!("{name}[{}]", subs.join(","))
+}
+
+/// Renders an expression.
+pub fn render_expr(seq: &LoopSequence, e: &Expr) -> String {
+    match e {
+        Expr::Const(c) => format!("{c}"),
+        Expr::Load(r) => render_ref(seq, r),
+        Expr::Unary(op, inner) => format!("{:?}({})", op, render_expr(seq, inner)),
+        Expr::Binary(op, a, b) => {
+            format!("({} {} {})", render_expr(seq, a), op.symbol(), render_expr(seq, b))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::SeqBuilder;
+
+    #[test]
+    fn render_contains_loop_structure() {
+        let mut b = SeqBuilder::new("demo");
+        let a = b.array("a", [8]);
+        let bb = b.array("b", [8]);
+        b.nest("L1", [(1, 6)], |x| {
+            let rhs = x.ld(bb, [1]) + x.ld(bb, [-1]);
+            x.assign(a, [0], rhs);
+        });
+        let s = b.finish();
+        let text = super::render_sequence(&s);
+        assert!(text.contains("do i0 = 1, 6"));
+        assert!(text.contains("a[i0] = (b[i0+1] + b[i0-1])"));
+        assert!(text.contains("end do"));
+    }
+}

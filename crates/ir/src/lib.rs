@@ -1,0 +1,44 @@
+//! # sp-ir — loop-nest intermediate representation
+//!
+//! This crate defines the program model of Manjikian & Abdelrahman's
+//! *"Fusion of Loops for Parallelism and Locality"* (ICPP 1995), Figure 2:
+//! a **sequence of nested loops** over shared arrays, where array subscripts
+//! are affine functions of the loop indices.
+//!
+//! The IR is deliberately small and analysable:
+//!
+//! * [`AffineExpr`] — an affine function `c0*i0 + c1*i1 + ... + c` of the
+//!   loop index vector; every array subscript is one of these.
+//! * [`ArrayRef`] — a reference `A[f1(~i), ..., fk(~i)]` to a declared array.
+//! * [`Expr`] — the right-hand-side expression language (constants, loads,
+//!   arithmetic) used by statement bodies.
+//! * [`Statement`] — a single assignment `A[f(~i)] = expr`.
+//! * [`LoopNest`] — a perfect nest of loops with rectangular (constant)
+//!   bounds enclosing a list of statements.
+//! * [`LoopSequence`] — an ordered sequence of loop nests sharing a set of
+//!   array declarations; the unit on which loop fusion operates.
+//!
+//! Downstream crates analyse dependences over this IR (`sp-dep`), derive and
+//! apply the shift-and-peel transformation (`shift-peel-core`), and execute
+//! transformed schedules over real arrays (`sp-exec`).
+
+pub mod affine;
+pub mod array;
+pub mod builder;
+pub mod display;
+pub mod expr;
+pub mod nest;
+pub mod parse;
+pub mod seq;
+pub mod space;
+pub mod stmt;
+
+pub use affine::AffineExpr;
+pub use array::{ArrayDecl, ArrayId};
+pub use builder::SeqBuilder;
+pub use expr::{BinOp, Expr, UnaryOp};
+pub use nest::{LoopBounds, LoopNest};
+pub use parse::{parse_sequence, ParseError};
+pub use seq::{LoopSequence, ValidationError};
+pub use space::{IterPoint, IterSpace};
+pub use stmt::{ArrayRef, Statement};

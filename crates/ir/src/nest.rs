@@ -1,0 +1,110 @@
+//! Loop nests.
+
+use crate::space::IterSpace;
+use crate::stmt::Statement;
+
+/// Inclusive bounds of one loop level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LoopBounds {
+    /// Lower bound (inclusive).
+    pub lo: i64,
+    /// Upper bound (inclusive).
+    pub hi: i64,
+}
+
+impl LoopBounds {
+    /// Creates bounds; `lo <= hi` required.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "empty loop bounds {lo}..={hi}");
+        LoopBounds { lo, hi }
+    }
+
+    /// Trip count.
+    pub fn count(&self) -> usize {
+        (self.hi - self.lo + 1) as usize
+    }
+}
+
+/// A perfect nest of loops with rectangular constant bounds around a
+/// straight-line body of statements — one `L` of the paper's program model
+/// (Figure 2). Whether a level is parallel (`doall`) is a property derived
+/// by dependence analysis (`sp-dep`), not an annotation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopNest {
+    /// Label used in diagnostics and pretty-printing (`L1`, `L2`, ...).
+    pub label: String,
+    /// Bounds per loop level, outermost first.
+    pub bounds: Vec<LoopBounds>,
+    /// The loop body.
+    pub body: Vec<Statement>,
+}
+
+impl LoopNest {
+    /// Creates a nest.
+    pub fn new(
+        label: impl Into<String>,
+        bounds: impl Into<Vec<LoopBounds>>,
+        body: Vec<Statement>,
+    ) -> Self {
+        let bounds = bounds.into();
+        assert!(!bounds.is_empty(), "loop nest must have at least one level");
+        LoopNest { label: label.into(), bounds, body }
+    }
+
+    /// Nesting depth.
+    pub fn depth(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// The full iteration space of the nest.
+    pub fn space(&self) -> IterSpace {
+        IterSpace::new(self.bounds.iter().map(|b| (b.lo, b.hi)).collect::<Vec<_>>())
+    }
+
+    /// Total iterations.
+    pub fn trip_count(&self) -> usize {
+        self.bounds.iter().map(|b| b.count()).product()
+    }
+
+    /// Arithmetic operations per iteration (sum over statements).
+    pub fn ops_per_iter(&self) -> usize {
+        self.body.iter().map(|s| s.op_count()).sum()
+    }
+
+    /// Memory references per iteration (reads + writes).
+    pub fn refs_per_iter(&self) -> usize {
+        self.body.iter().map(|s| s.all_refs().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::AffineExpr;
+    use crate::array::ArrayId;
+    use crate::expr::Expr;
+    use crate::stmt::ArrayRef;
+
+    #[test]
+    fn nest_accessors() {
+        let body = vec![Statement::new(
+            ArrayRef::new(ArrayId(0), vec![AffineExpr::var(2, 0, 0), AffineExpr::var(2, 1, 0)]),
+            Expr::load(ArrayRef::new(
+                ArrayId(1),
+                vec![AffineExpr::var(2, 0, 1), AffineExpr::var(2, 1, -1)],
+            )) + 1.0,
+        )];
+        let n = LoopNest::new("L1", [LoopBounds::new(1, 8), LoopBounds::new(0, 3)], body);
+        assert_eq!(n.depth(), 2);
+        assert_eq!(n.trip_count(), 32);
+        assert_eq!(n.ops_per_iter(), 1);
+        assert_eq!(n.refs_per_iter(), 2);
+        assert_eq!(n.space(), IterSpace::new([(1, 8), (0, 3)]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_bounds_rejected() {
+        LoopBounds::new(5, 4);
+    }
+}

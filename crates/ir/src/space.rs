@@ -1,0 +1,260 @@
+//! Rectangular iteration spaces and their decomposition.
+//!
+//! Loop nests in the IR have rectangular iteration spaces. The
+//! shift-and-peel transformation manipulates sub-rectangles of these spaces
+//! (fused blocks, peeled border regions); [`IterSpace::subtract`] performs
+//! the rectangle-difference decomposition that code generation for
+//! multidimensional peeling needs (the several peeled loops of Figure 16
+//! are exactly the rectangles of `responsibility \ fused`).
+
+/// An iteration point: one index per loop level, outermost first.
+pub type IterPoint = Vec<i64>;
+
+/// A (possibly empty) rectangular region of an iteration space: an
+/// inclusive `[lo, hi]` interval per loop level, outermost first.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct IterSpace {
+    /// Inclusive per-level bounds.
+    pub bounds: Vec<(i64, i64)>,
+}
+
+impl IterSpace {
+    /// Creates a space from inclusive bounds.
+    pub fn new(bounds: impl Into<Vec<(i64, i64)>>) -> Self {
+        IterSpace { bounds: bounds.into() }
+    }
+
+    /// Number of loop levels.
+    pub fn depth(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// True when any dimension is empty (`lo > hi`).
+    pub fn is_empty(&self) -> bool {
+        self.bounds.iter().any(|&(lo, hi)| lo > hi)
+    }
+
+    /// Number of points, 0 when empty.
+    pub fn len(&self) -> usize {
+        if self.is_empty() {
+            return 0;
+        }
+        self.bounds.iter().map(|&(lo, hi)| (hi - lo + 1) as usize).product()
+    }
+
+    /// True when the region contains `p`.
+    pub fn contains(&self, p: &[i64]) -> bool {
+        debug_assert_eq!(p.len(), self.depth());
+        !self.is_empty() && p.iter().zip(&self.bounds).all(|(&i, &(lo, hi))| lo <= i && i <= hi)
+    }
+
+    /// Intersection of two regions of the same depth.
+    pub fn intersect(&self, other: &IterSpace) -> IterSpace {
+        assert_eq!(self.depth(), other.depth());
+        IterSpace {
+            bounds: self
+                .bounds
+                .iter()
+                .zip(&other.bounds)
+                .map(|(&(a, b), &(c, d))| (a.max(c), b.min(d)))
+                .collect(),
+        }
+    }
+
+    /// Decomposes `self \ inner` into at most `2 * depth` disjoint
+    /// rectangles via a per-dimension sweep: for each level `l`, emit the
+    /// slabs below and above `inner`'s interval at level `l`, restricted to
+    /// `inner`'s interval in all earlier levels. Empty rectangles are
+    /// dropped. The union of the result with `self ∩ inner` is exactly
+    /// `self`, and all pieces are pairwise disjoint.
+    pub fn subtract(&self, inner: &IterSpace) -> Vec<IterSpace> {
+        assert_eq!(self.depth(), inner.depth());
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let clipped = self.intersect(inner);
+        if clipped.is_empty() {
+            return vec![self.clone()];
+        }
+        let mut out = Vec::new();
+        let mut prefix: Vec<(i64, i64)> = Vec::with_capacity(self.depth());
+        for l in 0..self.depth() {
+            let (slo, shi) = self.bounds[l];
+            let (ilo, ihi) = clipped.bounds[l];
+            // Slab below the inner interval at level l.
+            if slo < ilo {
+                let mut b = prefix.clone();
+                b.push((slo, ilo - 1));
+                b.extend_from_slice(&self.bounds[l + 1..]);
+                let r = IterSpace { bounds: b };
+                if !r.is_empty() {
+                    out.push(r);
+                }
+            }
+            // Slab above the inner interval at level l.
+            if ihi < shi {
+                let mut b = prefix.clone();
+                b.push((ihi + 1, shi));
+                b.extend_from_slice(&self.bounds[l + 1..]);
+                let r = IterSpace { bounds: b };
+                if !r.is_empty() {
+                    out.push(r);
+                }
+            }
+            prefix.push((ilo, ihi));
+        }
+        out
+    }
+
+    /// Visits all points in lexicographic order without allocating per
+    /// point (the hot path used by the interpreter).
+    pub fn for_each(&self, mut f: impl FnMut(&[i64])) {
+        if self.is_empty() {
+            return;
+        }
+        let depth = self.depth();
+        let mut cur: Vec<i64> = self.bounds.iter().map(|&(lo, _)| lo).collect();
+        'outer: loop {
+            f(&cur);
+            for l in (0..depth).rev() {
+                cur[l] += 1;
+                if cur[l] <= self.bounds[l].1 {
+                    continue 'outer;
+                }
+                cur[l] = self.bounds[l].0;
+            }
+            break;
+        }
+    }
+
+    /// Iterates all points in lexicographic order (outermost level slowest).
+    pub fn points(&self) -> PointIter {
+        PointIter {
+            space: self.clone(),
+            cur: if self.is_empty() {
+                None
+            } else {
+                Some(self.bounds.iter().map(|&(lo, _)| lo).collect())
+            },
+        }
+    }
+}
+
+/// Lexicographic iterator over the points of an [`IterSpace`].
+pub struct PointIter {
+    space: IterSpace,
+    cur: Option<IterPoint>,
+}
+
+impl Iterator for PointIter {
+    type Item = IterPoint;
+
+    fn next(&mut self) -> Option<IterPoint> {
+        let cur = self.cur.take()?;
+        let mut next = cur.clone();
+        for l in (0..next.len()).rev() {
+            next[l] += 1;
+            if next[l] <= self.space.bounds[l].1 {
+                self.cur = Some(next);
+                return Some(cur);
+            }
+            next[l] = self.space.bounds[l].0;
+        }
+        // Wrapped past the last point.
+        self.cur = None;
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_empty() {
+        let s = IterSpace::new([(0, 3), (1, 2)]);
+        assert_eq!(s.len(), 8);
+        assert!(!s.is_empty());
+        let e = IterSpace::new([(2, 1)]);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn intersect_clips() {
+        let a = IterSpace::new([(0, 10), (0, 10)]);
+        let b = IterSpace::new([(5, 15), (-3, 4)]);
+        assert_eq!(a.intersect(&b), IterSpace::new([(5, 10), (0, 4)]));
+    }
+
+    #[test]
+    fn points_lexicographic() {
+        let s = IterSpace::new([(0, 1), (5, 6)]);
+        let pts: Vec<_> = s.points().collect();
+        assert_eq!(pts, vec![vec![0, 5], vec![0, 6], vec![1, 5], vec![1, 6]]);
+    }
+
+    #[test]
+    fn points_of_empty_space() {
+        let e = IterSpace::new([(3, 2), (0, 5)]);
+        assert_eq!(e.points().count(), 0);
+    }
+
+    #[test]
+    fn subtract_covers_and_is_disjoint() {
+        let outer = IterSpace::new([(0, 9), (0, 9)]);
+        let inner = IterSpace::new([(2, 7), (3, 8)]);
+        let pieces = outer.subtract(&inner);
+        // Coverage: every point of outer is in exactly one of
+        // pieces ∪ {outer ∩ inner}.
+        let clipped = outer.intersect(&inner);
+        for p in outer.points() {
+            let mut count = usize::from(clipped.contains(&p));
+            for r in &pieces {
+                if r.contains(&p) {
+                    count += 1;
+                }
+            }
+            assert_eq!(count, 1, "point {p:?} covered {count} times");
+        }
+        // Nothing outside outer.
+        let total: usize = pieces.iter().map(|r| r.len()).sum::<usize>() + clipped.len();
+        assert_eq!(total, outer.len());
+    }
+
+    #[test]
+    fn subtract_disjoint_inner_returns_self() {
+        let outer = IterSpace::new([(0, 4)]);
+        let inner = IterSpace::new([(10, 20)]);
+        assert_eq!(outer.subtract(&inner), vec![outer]);
+    }
+
+    #[test]
+    fn subtract_identical_returns_empty() {
+        let s = IterSpace::new([(0, 4), (1, 3)]);
+        assert!(s.subtract(&s).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod for_each_tests {
+    use super::*;
+
+    #[test]
+    fn for_each_matches_points() {
+        let s = IterSpace::new([(0, 2), (1, 3), (-1, 0)]);
+        let mut collected = Vec::new();
+        s.for_each(|p| collected.push(p.to_vec()));
+        let expected: Vec<_> = s.points().collect();
+        assert_eq!(collected, expected);
+        assert_eq!(collected.len(), s.len());
+    }
+
+    #[test]
+    fn for_each_empty() {
+        let s = IterSpace::new([(2, 1)]);
+        let mut n = 0;
+        s.for_each(|_| n += 1);
+        assert_eq!(n, 0);
+    }
+}

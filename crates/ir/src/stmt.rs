@@ -1,0 +1,165 @@
+//! Array references and statements.
+
+use crate::affine::AffineExpr;
+use crate::array::ArrayId;
+use crate::expr::Expr;
+
+/// A subscripted reference `A[f1(~i), ..., fk(~i)]` to an array.
+///
+/// Each subscript is an affine function of the enclosing loop indices; this
+/// is the `A[F(~i)]` of the paper's program model (Figure 2) and the
+/// `f(~i) = h_A · ~i + c_f` of its Section 4.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrayRef {
+    /// The referenced array.
+    pub array: ArrayId,
+    /// One affine subscript per array dimension.
+    pub subs: Vec<AffineExpr>,
+}
+
+impl ArrayRef {
+    /// Creates a reference.
+    pub fn new(array: ArrayId, subs: Vec<AffineExpr>) -> Self {
+        ArrayRef { array, subs }
+    }
+
+    /// Evaluates all subscripts at an iteration point, yielding the
+    /// (0-based) element index vector.
+    pub fn eval(&self, point: &[i64]) -> Vec<i64> {
+        self.subs.iter().map(|s| s.eval(point)).collect()
+    }
+
+    /// Evaluates subscripts into a caller-provided buffer (hot path —
+    /// avoids an allocation per access in the interpreter).
+    pub fn eval_into(&self, point: &[i64], out: &mut Vec<i64>) {
+        out.clear();
+        for s in &self.subs {
+            out.push(s.eval(point));
+        }
+    }
+
+    /// True when both references have identical linear parts in every
+    /// dimension — the *compatibility* condition `h_A = h_B` of Section 4,
+    /// and the precondition for uniform dependences when `self.array ==
+    /// other.array`.
+    pub fn same_linear_part(&self, other: &ArrayRef) -> bool {
+        self.subs.len() == other.subs.len()
+            && self.subs.iter().zip(&other.subs).all(|(a, b)| a.same_linear_part(b))
+    }
+
+    /// Rewrites subscripts for the direct fusion method (Figure 11(a)):
+    /// substitute loop index `level := level - shift`.
+    pub fn substitute_shift(&self, level: usize, shift: i64) -> ArrayRef {
+        ArrayRef {
+            array: self.array,
+            subs: self.subs.iter().map(|s| s.substitute_shift(level, shift)).collect(),
+        }
+    }
+
+    /// The per-dimension constant offsets (the `c` of `h·~i + c`).
+    pub fn offsets(&self) -> Vec<i64> {
+        self.subs.iter().map(|s| s.offset).collect()
+    }
+
+    /// The reference with the iteration vector translated by `delta`
+    /// (substituting `i_l := i_l + delta[l]`), used when inlining a
+    /// defining statement at a different iteration (computation
+    /// replication in the alignment baseline).
+    pub fn translated(&self, delta: &[i64]) -> ArrayRef {
+        ArrayRef {
+            array: self.array,
+            subs: self
+                .subs
+                .iter()
+                .map(|s| {
+                    let shift: i64 =
+                        s.coeffs.iter().zip(delta).map(|(c, d)| c * d).sum();
+                    AffineExpr { coeffs: s.coeffs.clone(), offset: s.offset + shift }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A single assignment statement `lhs = rhs` inside a loop nest body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Statement {
+    /// The written element.
+    pub lhs: ArrayRef,
+    /// The value expression.
+    pub rhs: Expr,
+}
+
+impl Statement {
+    /// Creates a statement.
+    pub fn new(lhs: ArrayRef, rhs: impl Into<Expr>) -> Self {
+        Statement { lhs, rhs: rhs.into() }
+    }
+
+    /// Every array reference in the statement: the write first, then all
+    /// reads in evaluation order.
+    pub fn all_refs(&self) -> Vec<(&ArrayRef, bool)> {
+        let mut v = vec![(&self.lhs, true)];
+        for r in self.rhs.reads() {
+            v.push((r, false));
+        }
+        v
+    }
+
+    /// Arithmetic operation count of the right-hand side.
+    pub fn op_count(&self) -> usize {
+        self.rhs.op_count()
+    }
+
+    /// Rewrites the whole statement for the direct fusion method.
+    pub fn substitute_shift(&self, level: usize, shift: i64) -> Statement {
+        Statement {
+            lhs: self.lhs.substitute_shift(level, shift),
+            rhs: self.rhs.substitute_shift(level, shift),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aref(id: u32, offs: (i64, i64)) -> ArrayRef {
+        ArrayRef::new(
+            ArrayId(id),
+            vec![AffineExpr::var(2, 0, offs.0), AffineExpr::var(2, 1, offs.1)],
+        )
+    }
+
+    #[test]
+    fn eval_subscripts() {
+        let r = aref(0, (1, -1));
+        assert_eq!(r.eval(&[5, 7]), vec![6, 6]);
+        let mut buf = Vec::new();
+        r.eval_into(&[5, 7], &mut buf);
+        assert_eq!(buf, vec![6, 6]);
+    }
+
+    #[test]
+    fn compatibility() {
+        let a = aref(0, (0, 0));
+        let b = aref(1, (2, -3));
+        assert!(a.same_linear_part(&b));
+        // Transposed reference is incompatible.
+        let t = ArrayRef::new(
+            ArrayId(2),
+            vec![AffineExpr::var(2, 1, 0), AffineExpr::var(2, 0, 0)],
+        );
+        assert!(!a.same_linear_part(&t));
+    }
+
+    #[test]
+    fn all_refs_write_first() {
+        let s = Statement::new(aref(0, (0, 0)), Expr::load(aref(1, (1, 0))) + Expr::load(aref(2, (0, 1))));
+        let refs = s.all_refs();
+        assert_eq!(refs.len(), 3);
+        assert!(refs[0].1);
+        assert!(!refs[1].1);
+        assert_eq!(s.op_count(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! calc — kernel from the qgbox quasigeostrophic ocean model (McCalpin).
+//!
+//! The original source is not redistributable, so this module synthesizes
+//! a five-loop sequence over six arrays whose interloop dependence
+//! structure matches what the paper reports for calc exactly: Table 2
+//! shifts (0, 0, 2, 3, 3) and peels (0, 0, 2, 3, 3), six arrays,
+//! outer-dimension distances up to ±2 (a 5-point vorticity-like stencil
+//! feeding relaxation sweeps). The shift-and-peel derivation, legality,
+//! cache behaviour and parallel structure depend only on this dependence
+//! structure and the array count/sizes, so the substitution preserves
+//! every property the experiments measure.
+
+use crate::meta::KernelMeta;
+use sp_ir::{LoopSequence, SeqBuilder};
+
+/// Builds the calc loop sequence over `n x n` arrays.
+///
+/// # Panics
+/// Panics if `n < 10`.
+pub fn sequence(n: usize) -> LoopSequence {
+    assert!(n >= 10, "calc needs n >= 10");
+    let mut b = SeqBuilder::new("calc");
+    let psi = b.array("psi", [n, n]); // stream function (input)
+    let vor = b.array("vor", [n, n]); // vorticity
+    let flx = b.array("flx", [n, n]); // flux
+    let adv = b.array("adv", [n, n]); // advection
+    let dif = b.array("dif", [n, n]); // diffusion
+    let out = b.array("out", [n, n]); // updated field
+    let (lo, hi) = (2i64, n as i64 - 3);
+
+    // L1: vorticity from the stream function (local j-stencil only).
+    b.nest("L1", [(lo, hi), (lo, hi)], |x| {
+        let r = x.ld(psi, [0, 1]) - 2.0 * x.ld(psi, [0, 0]) + x.ld(psi, [0, -1]);
+        x.assign(vor, [0, 0], r);
+    });
+    // L2: flux from the stream function (independent of L1).
+    b.nest("L2", [(lo, hi), (lo, hi)], |x| {
+        let r = (x.ld(psi, [0, 1]) - x.ld(psi, [0, -1])) * 0.5;
+        x.assign(flx, [0, 0], r);
+    });
+    // L3: advection from a wide (±2) vorticity stencil and the flux.
+    b.nest("L3", [(lo, hi), (lo, hi)], |x| {
+        let r = (x.ld(vor, [2, 0]) - x.ld(vor, [-2, 0])) * x.ld(flx, [0, 0]);
+        x.assign(adv, [0, 0], r);
+    });
+    // L4: diffusion smoothing of the advection term.
+    b.nest("L4", [(lo, hi), (lo, hi)], |x| {
+        let r = (x.ld(adv, [1, 0]) + x.ld(adv, [-1, 0]) + x.ld(adv, [0, 1]) + x.ld(adv, [0, -1]))
+            * 0.25;
+        x.assign(dif, [0, 0], r);
+    });
+    // L5: field update combining all terms (aligned reads only).
+    b.nest("L5", [(lo, hi), (lo, hi)], |x| {
+        let r = x.ld(vor, [0, 0]) + 0.1 * x.ld(dif, [0, 0]) - 0.05 * x.ld(adv, [0, 0]);
+        x.assign(out, [0, 0], r);
+    });
+
+    b.finish()
+}
+
+/// Table 1/2 expectations for calc.
+pub fn meta() -> KernelMeta {
+    KernelMeta {
+        name: "calc",
+        description: "kernel from qgbox ocean model",
+        paper_loc: 186,
+        num_sequences: 1,
+        longest_sequence: 5,
+        max_shift: 3,
+        max_peel: 3,
+        expected_shifts: &[0, 0, 2, 3, 3],
+        expected_peels: &[0, 0, 2, 3, 3],
+        num_arrays: 6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_peel_core::derive_levels;
+    use sp_dep::analyze_sequence;
+
+    #[test]
+    fn table2_calc_shift_peel() {
+        let seq = sequence(64);
+        let deps = analyze_sequence(&seq).unwrap();
+        let d = derive_levels(&deps, seq.len(), 1).unwrap();
+        assert_eq!(d.dims[0].shifts, meta().expected_shifts);
+        assert_eq!(d.dims[0].peels, meta().expected_peels);
+    }
+
+    #[test]
+    fn table1_calc_columns() {
+        let seq = sequence(64);
+        let m = meta();
+        assert_eq!(seq.len(), m.longest_sequence);
+        assert_eq!(seq.arrays.len(), m.num_arrays);
+        let deps = analyze_sequence(&seq).unwrap();
+        let d = derive_levels(&deps, seq.len(), 1).unwrap();
+        assert_eq!(d.max_shift(), m.max_shift);
+        assert_eq!(d.max_peel(), m.max_peel);
+        assert!(deps.nests.iter().all(|n| n.parallel[0]));
+    }
+}

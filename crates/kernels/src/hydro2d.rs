@@ -1,0 +1,149 @@
+//! hydro2d — SPEC95 Navier-Stokes benchmark (application).
+//!
+//! The application contains three fusible loop-nest sequences (Table 1),
+//! the longest being the ten-loop `filter` subroutine with maximum
+//! shift/peel 5/4. The SPEC source is not redistributable; the three
+//! sequences are synthesized with the reported structure: a hydrodynamic
+//! update sweep, the `filter` cascade (see [`crate::filter`]), and a
+//! boundary smoothing sweep. The paper's measurement that matters — the
+//! fraction of execution time in transformable sequences, the array
+//! count/sizes (802 x 320, ~50 MB total), and the dependence structure —
+//! is preserved.
+
+use crate::meta::KernelMeta;
+use sp_ir::{LoopSequence, SeqBuilder};
+
+/// An application: an ordered list of loop sequences executed one after
+/// another (each sequence is transformed independently).
+#[derive(Clone, Debug)]
+pub struct App {
+    /// Application name.
+    pub name: &'static str,
+    /// The sequences in execution order.
+    pub sequences: Vec<LoopSequence>,
+}
+
+impl App {
+    /// Total declared array elements across sequences.
+    pub fn total_elements(&self) -> usize {
+        self.sequences.iter().map(|s| s.total_elements()).sum()
+    }
+}
+
+/// Sequence 1: hydrodynamic state update (4 loops, max shift/peel 2/2).
+fn update_sweep(rows: usize, cols: usize) -> LoopSequence {
+    let mut b = SeqBuilder::new("hydro2d-update");
+    let ro = b.array("ro", [rows, cols]);
+    let vx = b.array("vx", [rows, cols]);
+    let vy = b.array("vy", [rows, cols]);
+    let pr = b.array("pr", [rows, cols]);
+    let q1 = b.array("q1", [rows, cols]);
+    let q2 = b.array("q2", [rows, cols]);
+    let (lo, hi) = (2i64, rows.min(cols) as i64 - 3);
+    b.nest("U1", [(lo, hi), (lo, hi)], |x| {
+        let r = x.ld(ro, [0, 1]) * x.ld(vx, [0, 0]) - x.ld(ro, [0, -1]) * x.ld(vy, [0, 0]);
+        x.assign(pr, [0, 0], r);
+    });
+    b.nest("U2", [(lo, hi), (lo, hi)], |x| {
+        let r = (x.ld(pr, [1, 0]) - x.ld(pr, [-1, 0])) * 0.5 + x.ld(vx, [0, 0]);
+        x.assign(q1, [0, 0], r);
+    });
+    b.nest("U3", [(lo, hi), (lo, hi)], |x| {
+        let r = (x.ld(q1, [1, 0]) + x.ld(q1, [-1, 0])) * 0.5 + x.ld(pr, [0, 0]);
+        x.assign(q2, [0, 0], r);
+    });
+    b.nest("U4", [(lo, hi), (lo, hi)], |x| {
+        let r = x.ld(q2, [0, 0]) + 0.1 * x.ld(q1, [0, 0]);
+        x.assign(vy, [0, 0], r);
+    });
+    b.finish()
+}
+
+/// Sequence 3: boundary smoothing (3 loops, max shift/peel 1/1).
+fn smooth_sweep(rows: usize, cols: usize) -> LoopSequence {
+    let mut b = SeqBuilder::new("hydro2d-smooth");
+    let en = b.array("en", [rows, cols]);
+    let s1 = b.array("s1", [rows, cols]);
+    let s2 = b.array("s2", [rows, cols]);
+    let s3 = b.array("s3", [rows, cols]);
+    let (lo, hi) = (1i64, rows.min(cols) as i64 - 2);
+    b.nest("S1", [(lo, hi), (lo, hi)], |x| {
+        let r = (x.ld(en, [0, 1]) + x.ld(en, [0, -1])) * 0.5;
+        x.assign(s1, [0, 0], r);
+    });
+    b.nest("S2", [(lo, hi), (lo, hi)], |x| {
+        let r = (x.ld(s1, [1, 0]) + x.ld(s1, [-1, 0])) * 0.5;
+        x.assign(s2, [0, 0], r);
+    });
+    b.nest("S3", [(lo, hi), (lo, hi)], |x| {
+        let r = x.ld(s2, [0, 0]) - x.ld(s1, [0, 0]);
+        x.assign(s3, [0, 0], r);
+    });
+    b.finish()
+}
+
+/// Builds the three-sequence hydro2d application over `rows x cols`
+/// arrays. The paper uses 802 x 320.
+pub fn app(rows: usize, cols: usize) -> App {
+    App {
+        name: "hydro2d",
+        sequences: vec![
+            update_sweep(rows, cols),
+            crate::filter::sequence(rows, cols),
+            smooth_sweep(rows, cols),
+        ],
+    }
+}
+
+/// Table 1 expectations for hydro2d.
+pub fn meta() -> KernelMeta {
+    KernelMeta {
+        name: "hydro2d",
+        description: "SPEC95 benchmark (Navier-Stokes)",
+        paper_loc: 4292,
+        num_sequences: 3,
+        longest_sequence: 10,
+        max_shift: 5,
+        max_peel: 4,
+        expected_shifts: &[],
+        expected_peels: &[],
+        num_arrays: 23,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_peel_core::derive_levels;
+    use sp_dep::analyze_sequence;
+
+    #[test]
+    fn table1_hydro2d_columns() {
+        let a = app(64, 64);
+        let m = meta();
+        assert_eq!(a.sequences.len(), m.num_sequences);
+        let longest = a.sequences.iter().map(|s| s.len()).max().unwrap();
+        assert_eq!(longest, m.longest_sequence);
+        let mut max_shift = 0;
+        let mut max_peel = 0;
+        for s in &a.sequences {
+            let deps = analyze_sequence(s).unwrap();
+            let d = derive_levels(&deps, s.len(), 1).unwrap();
+            max_shift = max_shift.max(d.max_shift());
+            max_peel = max_peel.max(d.max_peel());
+        }
+        assert_eq!(max_shift, m.max_shift);
+        assert_eq!(max_peel, m.max_peel);
+        let total_arrays: usize = a.sequences.iter().map(|s| s.arrays.len()).sum();
+        assert_eq!(total_arrays, m.num_arrays);
+    }
+
+    #[test]
+    fn update_sweep_amounts() {
+        let s = update_sweep(64, 64);
+        let deps = analyze_sequence(&s).unwrap();
+        let d = derive_levels(&deps, s.len(), 1).unwrap();
+        assert_eq!(d.dims[0].shifts, vec![0, 1, 2, 2]);
+        assert_eq!(d.dims[0].peels, vec![0, 1, 2, 2]);
+    }
+}

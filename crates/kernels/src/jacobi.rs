@@ -1,0 +1,61 @@
+//! Jacobi relaxation — the paper's multidimensional worked example
+//! (Figures 15 and 16): a 5-point stencil computing `b` from `a`,
+//! followed by the copy `a = b`. Fusing both loop dimensions requires a
+//! shift of one and a peel of one in each dimension for the second loop.
+
+use crate::meta::KernelMeta;
+use sp_ir::{LoopSequence, SeqBuilder};
+
+/// Builds the two-loop Jacobi sequence over `n x n` arrays.
+///
+/// # Panics
+/// Panics if `n < 6`.
+pub fn sequence(n: usize) -> LoopSequence {
+    assert!(n >= 6, "jacobi needs n >= 6");
+    let mut b = SeqBuilder::new("jacobi");
+    let a = b.array("a", [n, n]);
+    let bb = b.array("b", [n, n]);
+    let (lo, hi) = (1i64, n as i64 - 2);
+    b.nest("L1", [(lo, hi), (lo, hi)], |x| {
+        let r = (x.ld(a, [0, -1]) + x.ld(a, [0, 1]) + x.ld(a, [-1, 0]) + x.ld(a, [1, 0])) / 4.0;
+        x.assign(bb, [0, 0], r);
+    });
+    b.nest("L2", [(lo, hi), (lo, hi)], |x| {
+        let r = x.ld(bb, [0, 0]);
+        x.assign(a, [0, 0], r);
+    });
+    b.finish()
+}
+
+/// Expectations for the Jacobi example (not part of the paper's Table 1;
+/// amounts from Section 3.6's discussion of Figure 15).
+pub fn meta() -> KernelMeta {
+    KernelMeta {
+        name: "jacobi",
+        description: "Jacobi loop nest sequence of Figures 15-16",
+        paper_loc: 20,
+        num_sequences: 1,
+        longest_sequence: 2,
+        max_shift: 1,
+        max_peel: 1,
+        expected_shifts: &[0, 1],
+        expected_peels: &[0, 1],
+        num_arrays: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_peel_core::derive_shift_peel;
+
+    #[test]
+    fn fig15_amounts_in_both_dims() {
+        let d = derive_shift_peel(&sequence(32)).unwrap();
+        assert_eq!(d.fused_levels(), 2);
+        for dim in &d.dims {
+            assert_eq!(dim.shifts, meta().expected_shifts);
+            assert_eq!(dim.peels, meta().expected_peels);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # sp-kernels — the paper's kernel and application suite
+//!
+//! The programs of Manjikian & Abdelrahman's evaluation (Table 1):
+//!
+//! | program  | source                                   | realization |
+//! |----------|------------------------------------------|-------------|
+//! | LL18     | Livermore Loops kernel 18 (published)    | transcribed |
+//! | calc     | qgbox ocean model kernel                 | synthesized to Table 2 structure |
+//! | filter   | hydro2d (SPEC95) subroutine              | synthesized to Table 2 structure |
+//! | tomcatv  | SPEC95 mesh generator                    | synthesized to Table 1 structure |
+//! | hydro2d  | SPEC95 Navier-Stokes application         | synthesized, 3 sequences |
+//! | spem     | ocean circulation model application      | synthesized, 11 sequences |
+//! | jacobi   | the paper's Figures 15-16 worked example | transcribed |
+//!
+//! Each module exposes the program as IR ([`sp_ir::LoopSequence`]) plus a
+//! [`meta::KernelMeta`] recording the paper's Table 1/2 expectations,
+//! asserted by regression tests. [`manual`] adds hand-written Rust
+//! versions of LL18 and Jacobi (unfused and shift-and-peel-fused, serial
+//! and threaded) for wall-clock benchmarking and cross-validation against
+//! the IR interpreter.
+
+pub mod calc;
+pub mod filter;
+pub mod hydro2d;
+pub mod jacobi;
+pub mod ll18;
+pub mod manual;
+pub mod meta;
+pub mod spem;
+pub mod suite;
+pub mod tomcatv;
+
+pub use hydro2d::App;
+pub use meta::KernelMeta;
+pub use suite::{all_programs, primary_sequence, SuiteEntry};

@@ -1,0 +1,129 @@
+//! LL18 — Livermore Loops kernel 18, "2-D explicit hydrodynamics
+//! fragment".
+//!
+//! The published kernel is a sequence of three doubly-nested loops over
+//! nine arrays (`zp, zq, zr, zm, zu, zv, zz, za, zb`): a flux computation
+//! writing `za`/`zb`, a velocity update writing `zu`/`zv`, and a position
+//! update writing `zr`/`zz`. The Fortran's column-major `(j, k)` indexing
+//! is transcribed to row-major `[k][j]` with `k` the fused (outer) loop.
+//!
+//! The paper derives shifts (0, 1, 2) and peels (0, 0, 1) for the outer
+//! dimension (Table 2) — reproduced exactly by this IR (asserted in the
+//! tests below).
+
+use crate::meta::KernelMeta;
+use sp_ir::{LoopSequence, SeqBuilder};
+
+/// Time-step constants of the kernel.
+const S: f64 = 0.0041;
+const T: f64 = 0.0037;
+
+/// Builds the LL18 loop sequence over `n x n` arrays.
+///
+/// # Panics
+/// Panics if `n < 8` (the stencil needs interior room).
+pub fn sequence(n: usize) -> LoopSequence {
+    assert!(n >= 8, "LL18 needs n >= 8");
+    let mut b = SeqBuilder::new("LL18");
+    let zp = b.array("zp", [n, n]);
+    let zq = b.array("zq", [n, n]);
+    let zr = b.array("zr", [n, n]);
+    let zm = b.array("zm", [n, n]);
+    let zu = b.array("zu", [n, n]);
+    let zv = b.array("zv", [n, n]);
+    let zz = b.array("zz", [n, n]);
+    let za = b.array("za", [n, n]);
+    let zb = b.array("zb", [n, n]);
+    let (lo, hi) = (1i64, n as i64 - 2);
+
+    // Loop 75: flux terms.
+    b.nest("L1", [(lo, hi), (lo, hi)], |x| {
+        let za_rhs = (x.ld(zp, [1, -1]) + x.ld(zq, [1, -1]) - x.ld(zp, [0, -1])
+            - x.ld(zq, [0, -1]))
+            * (x.ld(zr, [0, 0]) + x.ld(zr, [0, -1]))
+            / (x.ld(zm, [0, -1]) + x.ld(zm, [1, -1]));
+        x.assign(za, [0, 0], za_rhs);
+        let zb_rhs = (x.ld(zp, [0, -1]) + x.ld(zq, [0, -1]) - x.ld(zp, [0, 0])
+            - x.ld(zq, [0, 0]))
+            * (x.ld(zr, [0, 0]) + x.ld(zr, [-1, 0]))
+            / (x.ld(zm, [0, 0]) + x.ld(zm, [0, -1]));
+        x.assign(zb, [0, 0], zb_rhs);
+    });
+
+    // Loop 76: velocity update.
+    b.nest("L2", [(lo, hi), (lo, hi)], |x| {
+        let zu_rhs = x.ld(zu, [0, 0])
+            + S * (x.ld(za, [0, 0]) * (x.ld(zz, [0, 0]) - x.ld(zz, [0, 1]))
+                - x.ld(za, [0, -1]) * (x.ld(zz, [0, 0]) - x.ld(zz, [0, -1]))
+                - x.ld(zb, [0, 0]) * (x.ld(zz, [0, 0]) - x.ld(zz, [-1, 0]))
+                + x.ld(zb, [1, 0]) * (x.ld(zz, [0, 0]) - x.ld(zz, [1, 0])));
+        x.assign(zu, [0, 0], zu_rhs);
+        let zv_rhs = x.ld(zv, [0, 0])
+            + S * (x.ld(za, [0, 0]) * (x.ld(zr, [0, 0]) - x.ld(zr, [0, 1]))
+                - x.ld(za, [0, -1]) * (x.ld(zr, [0, 0]) - x.ld(zr, [0, -1]))
+                - x.ld(zb, [0, 0]) * (x.ld(zr, [0, 0]) - x.ld(zr, [-1, 0]))
+                + x.ld(zb, [1, 0]) * (x.ld(zr, [0, 0]) - x.ld(zr, [1, 0])));
+        x.assign(zv, [0, 0], zv_rhs);
+    });
+
+    // Loop 77: position update.
+    b.nest("L3", [(lo, hi), (lo, hi)], |x| {
+        let zr_rhs = x.ld(zr, [0, 0]) + T * x.ld(zu, [0, 0]);
+        x.assign(zr, [0, 0], zr_rhs);
+        let zz_rhs = x.ld(zz, [0, 0]) + T * x.ld(zv, [0, 0]);
+        x.assign(zz, [0, 0], zz_rhs);
+    });
+
+    b.finish()
+}
+
+/// Table 1/2 expectations for LL18.
+pub fn meta() -> KernelMeta {
+    KernelMeta {
+        name: "LL18",
+        description: "kernel from Livermore Loops",
+        paper_loc: 24,
+        num_sequences: 1,
+        longest_sequence: 3,
+        max_shift: 2,
+        max_peel: 1,
+        expected_shifts: &[0, 1, 2],
+        expected_peels: &[0, 0, 1],
+        num_arrays: 9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_peel_core::derive_levels;
+    use sp_dep::analyze_sequence;
+
+    #[test]
+    fn table2_ll18_shift_peel() {
+        let seq = sequence(64);
+        let deps = analyze_sequence(&seq).unwrap();
+        let d = derive_levels(&deps, seq.len(), 1).unwrap();
+        assert_eq!(d.dims[0].shifts, meta().expected_shifts);
+        assert_eq!(d.dims[0].peels, meta().expected_peels);
+    }
+
+    #[test]
+    fn table1_ll18_columns() {
+        let seq = sequence(64);
+        let m = meta();
+        assert_eq!(seq.len(), m.longest_sequence);
+        assert_eq!(seq.arrays.len(), m.num_arrays);
+        let deps = analyze_sequence(&seq).unwrap();
+        let d = derive_levels(&deps, seq.len(), 1).unwrap();
+        assert_eq!(d.max_shift(), m.max_shift);
+        assert_eq!(d.max_peel(), m.max_peel);
+    }
+
+    #[test]
+    fn all_outer_loops_parallel() {
+        let seq = sequence(32);
+        let deps = analyze_sequence(&seq).unwrap();
+        assert!(deps.nests.iter().all(|n| n.parallel[0]));
+    }
+}

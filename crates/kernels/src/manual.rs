@@ -1,0 +1,562 @@
+//! Hand-written Rust kernels — the "manual fused kernels" realization.
+//!
+//! These are the kernels a performance programmer would write after
+//! applying shift-and-peel by hand: plain loops over flat `f64` buffers,
+//! in unfused and fused (strip-mined shift-and-peel) forms, serial and
+//! parallel. They serve two purposes:
+//!
+//! * **wall-clock benchmarks** on the host machine (Criterion), free of
+//!   interpreter overhead;
+//! * **cross-validation**: the integration tests check these kernels
+//!   compute bit-identical results to the IR interpreter running the
+//!   derived schedules.
+//!
+//! Parallel variants use static blocked scheduling over `std::thread`
+//! with barriers, exactly like the runtime in `sp-exec` — and the same
+//! safety argument: the shift-and-peel geometry makes concurrent blocks
+//! conflict-free within each phase.
+
+use std::sync::Barrier;
+
+/// Splits `[lo, hi]` into `p` near-equal inclusive blocks.
+fn blocks(lo: i64, hi: i64, p: usize) -> Vec<(i64, i64)> {
+    let trip = hi - lo + 1;
+    let p = p.min(trip.max(1) as usize).max(1);
+    let base = trip / p as i64;
+    let rem = trip % p as i64;
+    let mut out = Vec::with_capacity(p);
+    let mut start = lo;
+    for b in 0..p as i64 {
+        let len = base + i64::from(b < rem);
+        out.push((start, start + len - 1));
+        start += len;
+    }
+    out
+}
+
+/// Raw shared pointer to a mutable `f64` buffer, sendable across the
+/// scoped worker threads.
+///
+/// # Safety
+/// Only used under the shift-and-peel schedule, whose phases are
+/// conflict-free across blocks (see `sp_exec::MemView` for the argument).
+#[derive(Clone, Copy)]
+struct Buf(*mut f64);
+unsafe impl Send for Buf {}
+unsafe impl Sync for Buf {}
+
+impl Buf {
+    #[inline(always)]
+    unsafe fn at(&self, n: usize, k: i64, j: i64) -> f64 {
+        unsafe { *self.0.add(k as usize * n + j as usize) }
+    }
+    #[inline(always)]
+    unsafe fn set(&self, n: usize, k: i64, j: i64, v: f64) {
+        unsafe { *self.0.add(k as usize * n + j as usize) = v }
+    }
+}
+
+// ---------------------------------------------------------------------
+// LL18
+// ---------------------------------------------------------------------
+
+/// LL18 state: nine `n x n` arrays (flat, row-major `[k][j]`).
+pub struct Ll18 {
+    /// Problem size (arrays are `n x n`).
+    pub n: usize,
+    /// Pressure.
+    pub zp: Vec<f64>,
+    /// Artificial viscosity.
+    pub zq: Vec<f64>,
+    /// Position (r).
+    pub zr: Vec<f64>,
+    /// Mass.
+    pub zm: Vec<f64>,
+    /// Velocity (u).
+    pub zu: Vec<f64>,
+    /// Velocity (v).
+    pub zv: Vec<f64>,
+    /// Position (z).
+    pub zz: Vec<f64>,
+    /// Flux a.
+    pub za: Vec<f64>,
+    /// Flux b.
+    pub zb: Vec<f64>,
+}
+
+const S: f64 = 0.0041;
+const T: f64 = 0.0037;
+
+impl Ll18 {
+    /// Zero-initialized state.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 8);
+        let z = || vec![0.0f64; n * n];
+        Ll18 { n, zp: z(), zq: z(), zr: z(), zm: z(), zu: z(), zv: z(), zz: z(), za: z(), zb: z() }
+    }
+
+    /// Deterministic initialization (same scheme as
+    /// `sp_exec::Memory::init_deterministic` shapes: values in
+    /// (0.5, 1.5) keyed by coordinates).
+    pub fn init(&mut self, seed: u64) {
+        let n = self.n;
+        for (ai, arr) in [
+            &mut self.zp,
+            &mut self.zq,
+            &mut self.zr,
+            &mut self.zm,
+            &mut self.zu,
+            &mut self.zv,
+            &mut self.zz,
+            &mut self.za,
+            &mut self.zb,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let salt = seed.wrapping_add((ai as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            for k in 0..n {
+                for j in 0..n {
+                    let mut h = salt;
+                    for &c in &[k as u64, j as u64] {
+                        h ^= c.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                        h ^= h >> 27;
+                    }
+                    arr[k * n + j] = 0.5 + (h >> 11) as f64 / (1u64 << 53) as f64;
+                }
+            }
+        }
+    }
+
+    fn bufs(&mut self) -> [Buf; 9] {
+        [
+            Buf(self.zp.as_mut_ptr()),
+            Buf(self.zq.as_mut_ptr()),
+            Buf(self.zr.as_mut_ptr()),
+            Buf(self.zm.as_mut_ptr()),
+            Buf(self.zu.as_mut_ptr()),
+            Buf(self.zv.as_mut_ptr()),
+            Buf(self.zz.as_mut_ptr()),
+            Buf(self.za.as_mut_ptr()),
+            Buf(self.zb.as_mut_ptr()),
+        ]
+    }
+}
+
+#[inline(always)]
+unsafe fn ll18_l1(b: &[Buf; 9], n: usize, k: i64, j: i64) {
+    let [zp, zq, zr, zm, _, _, _, za, zb] = *b;
+    unsafe {
+        let za_v = (zp.at(n, k + 1, j - 1) + zq.at(n, k + 1, j - 1)
+            - zp.at(n, k, j - 1)
+            - zq.at(n, k, j - 1))
+            * (zr.at(n, k, j) + zr.at(n, k, j - 1))
+            / (zm.at(n, k, j - 1) + zm.at(n, k + 1, j - 1));
+        za.set(n, k, j, za_v);
+        let zb_v = (zp.at(n, k, j - 1) + zq.at(n, k, j - 1) - zp.at(n, k, j) - zq.at(n, k, j))
+            * (zr.at(n, k, j) + zr.at(n, k - 1, j))
+            / (zm.at(n, k, j) + zm.at(n, k, j - 1));
+        zb.set(n, k, j, zb_v);
+    }
+}
+
+#[inline(always)]
+unsafe fn ll18_l2(b: &[Buf; 9], n: usize, k: i64, j: i64) {
+    let [_, _, zr, _, zu, zv, zz, za, zb] = *b;
+    unsafe {
+        let zu_v = zu.at(n, k, j)
+            + S * (za.at(n, k, j) * (zz.at(n, k, j) - zz.at(n, k, j + 1))
+                - za.at(n, k, j - 1) * (zz.at(n, k, j) - zz.at(n, k, j - 1))
+                - zb.at(n, k, j) * (zz.at(n, k, j) - zz.at(n, k - 1, j))
+                + zb.at(n, k + 1, j) * (zz.at(n, k, j) - zz.at(n, k + 1, j)));
+        zu.set(n, k, j, zu_v);
+        let zv_v = zv.at(n, k, j)
+            + S * (za.at(n, k, j) * (zr.at(n, k, j) - zr.at(n, k, j + 1))
+                - za.at(n, k, j - 1) * (zr.at(n, k, j) - zr.at(n, k, j - 1))
+                - zb.at(n, k, j) * (zr.at(n, k, j) - zr.at(n, k - 1, j))
+                + zb.at(n, k + 1, j) * (zr.at(n, k, j) - zr.at(n, k + 1, j)));
+        zv.set(n, k, j, zv_v);
+    }
+}
+
+#[inline(always)]
+unsafe fn ll18_l3(b: &[Buf; 9], n: usize, k: i64, j: i64) {
+    let [_, _, zr, _, zu, zv, zz, _, _] = *b;
+    unsafe {
+        zr.set(n, k, j, zr.at(n, k, j) + T * zu.at(n, k, j));
+        zz.set(n, k, j, zz.at(n, k, j) + T * zv.at(n, k, j));
+    }
+}
+
+unsafe fn ll18_row_range(
+    b: &[Buf; 9],
+    n: usize,
+    body: unsafe fn(&[Buf; 9], usize, i64, i64),
+    klo: i64,
+    khi: i64,
+) {
+    let (jlo, jhi) = (1i64, n as i64 - 2);
+    for k in klo..=khi {
+        for j in jlo..=jhi {
+            unsafe { body(b, n, k, j) };
+        }
+    }
+}
+
+/// Unfused LL18: three full sweeps (serial).
+pub fn ll18_unfused(d: &mut Ll18) {
+    let n = d.n;
+    let (lo, hi) = (1i64, n as i64 - 2);
+    let b = d.bufs();
+    // SAFETY: single-threaded, in-bounds by loop bounds.
+    unsafe {
+        ll18_row_range(&b, n, ll18_l1, lo, hi);
+        ll18_row_range(&b, n, ll18_l2, lo, hi);
+        ll18_row_range(&b, n, ll18_l3, lo, hi);
+    }
+}
+
+/// One processor block of the fused LL18 (shifts 0/1/2, peels 0/0/1).
+///
+/// # Safety
+/// Blocks must come from a legal decomposition (size >= Nt = 3).
+unsafe fn ll18_fused_block(b: &[Buf; 9], n: usize, bs: i64, be: i64, first: bool, strip: i64) {
+    let glo = 1i64;
+    // Fused-region row bounds per nest (shift at top, peel skip at bottom).
+    let l1 = (bs.max(glo), be);
+    let l2 = (bs.max(glo), be - 1);
+    let l3 = ((if first { bs } else { bs + 1 }).max(glo), be - 2);
+    let mut kk = bs;
+    while kk <= be {
+        let ke = (kk + strip - 1).min(be);
+        unsafe {
+            ll18_row_range(b, n, ll18_l1, kk.max(l1.0), ke.min(l1.1));
+            ll18_row_range(b, n, ll18_l2, (kk - 1).max(l2.0), (ke - 1).min(l2.1));
+            ll18_row_range(b, n, ll18_l3, (kk - 2).max(l3.0), (ke - 2).min(l3.1));
+        }
+        kk += strip;
+    }
+}
+
+/// The peeled iterations of one LL18 block, run after the barrier.
+///
+/// # Safety
+/// As [`ll18_fused_block`].
+unsafe fn ll18_peeled_block(b: &[Buf; 9], n: usize, be: i64, last: bool) {
+    let ghi = n as i64 - 2;
+    unsafe {
+        // L2: shift 1, peel 0 -> rows [be, be].
+        ll18_row_range(b, n, ll18_l2, be, be.min(ghi));
+        // L3: shift 2, peel 1 -> rows [be-1, be+1] (clipped; no +1 on the
+        // last block).
+        let hi = if last { be } else { be + 1 };
+        ll18_row_range(b, n, ll18_l3, be - 1, hi.min(ghi));
+    }
+}
+
+/// Fused (shift-and-peel) LL18, serial, strip-mined.
+pub fn ll18_fused(d: &mut Ll18, strip: i64) {
+    let n = d.n;
+    let b = d.bufs();
+    let (lo, hi) = (1i64, n as i64 - 2);
+    // SAFETY: single-threaded.
+    unsafe {
+        ll18_fused_block(&b, n, lo, hi, true, strip);
+        ll18_peeled_block(&b, n, hi, true);
+    }
+}
+
+/// Unfused LL18 on `p` threads: each sweep blocked, barrier between
+/// sweeps.
+pub fn ll18_unfused_parallel(d: &mut Ll18, p: usize) {
+    let n = d.n;
+    let (lo, hi) = (1i64, n as i64 - 2);
+    let blks = blocks(lo, hi, p);
+    let b = d.bufs();
+    let barrier = Barrier::new(blks.len());
+    std::thread::scope(|s| {
+        for &(bs, be) in &blks {
+            let barrier = &barrier;
+            s.spawn(move || {
+                // SAFETY: row blocks are disjoint; reads of neighbour rows
+                // within a sweep never race with writes (each sweep writes
+                // arrays no sweep reads until after the barrier).
+                unsafe {
+                    ll18_row_range(&b, n, ll18_l1, bs, be);
+                    barrier.wait();
+                    ll18_row_range(&b, n, ll18_l2, bs, be);
+                    barrier.wait();
+                    ll18_row_range(&b, n, ll18_l3, bs, be);
+                }
+            });
+        }
+    });
+}
+
+/// Fused LL18 on `p` threads: one fused phase, one barrier, one peeled
+/// phase (shift-and-peel parallelization).
+pub fn ll18_fused_parallel(d: &mut Ll18, p: usize, strip: i64) {
+    let n = d.n;
+    let (lo, hi) = (1i64, n as i64 - 2);
+    let blks = blocks(lo, hi, p);
+    let b = d.bufs();
+    let barrier = Barrier::new(blks.len());
+    let nb = blks.len();
+    std::thread::scope(|s| {
+        for (i, &(bs, be)) in blks.iter().enumerate() {
+            let barrier = &barrier;
+            s.spawn(move || {
+                // SAFETY: shift-and-peel geometry makes fused phases of
+                // distinct blocks conflict-free, and likewise peeled
+                // phases; the barrier orders fused-to-peeled dependences.
+                unsafe {
+                    ll18_fused_block(&b, n, bs, be, i == 0, strip);
+                    barrier.wait();
+                    ll18_peeled_block(&b, n, be, i == nb - 1);
+                }
+            });
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Jacobi
+// ---------------------------------------------------------------------
+
+/// Jacobi state: two `n x n` arrays.
+pub struct Jacobi {
+    /// Problem size.
+    pub n: usize,
+    /// Field.
+    pub a: Vec<f64>,
+    /// Scratch.
+    pub b: Vec<f64>,
+}
+
+impl Jacobi {
+    /// Zero-initialized state.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 6);
+        Jacobi { n, a: vec![0.0; n * n], b: vec![0.0; n * n] }
+    }
+
+    /// Deterministic initialization (same scheme as [`Ll18::init`]).
+    pub fn init(&mut self, seed: u64) {
+        let n = self.n;
+        for (ai, arr) in [&mut self.a, &mut self.b].into_iter().enumerate() {
+            let salt = seed.wrapping_add((ai as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            for k in 0..n {
+                for j in 0..n {
+                    let mut h = salt;
+                    for &c in &[k as u64, j as u64] {
+                        h ^= c.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                        h ^= h >> 27;
+                    }
+                    arr[k * n + j] = 0.5 + (h >> 11) as f64 / (1u64 << 53) as f64;
+                }
+            }
+        }
+    }
+}
+
+#[inline(always)]
+unsafe fn jac_l1(a: Buf, b: Buf, n: usize, k: i64, j: i64) {
+    unsafe {
+        let v = (a.at(n, k, j - 1) + a.at(n, k, j + 1) + a.at(n, k - 1, j) + a.at(n, k + 1, j))
+            / 4.0;
+        b.set(n, k, j, v);
+    }
+}
+
+#[inline(always)]
+unsafe fn jac_l2(a: Buf, b: Buf, n: usize, k: i64, j: i64) {
+    unsafe { a.set(n, k, j, b.at(n, k, j)) }
+}
+
+/// Unfused Jacobi step (compute + copy), serial.
+pub fn jacobi_unfused(d: &mut Jacobi) {
+    let n = d.n;
+    let (lo, hi) = (1i64, n as i64 - 2);
+    let (a, b) = (Buf(d.a.as_mut_ptr()), Buf(d.b.as_mut_ptr()));
+    // SAFETY: single-threaded, in-bounds.
+    unsafe {
+        for k in lo..=hi {
+            for j in lo..=hi {
+                jac_l1(a, b, n, k, j);
+            }
+        }
+        for k in lo..=hi {
+            for j in lo..=hi {
+                jac_l2(a, b, n, k, j);
+            }
+        }
+    }
+}
+
+/// Fused Jacobi step with row shift/peel of 1, serial, strip-mined.
+pub fn jacobi_fused(d: &mut Jacobi, strip: i64) {
+    let n = d.n;
+    let (lo, hi) = (1i64, n as i64 - 2);
+    let (a, b) = (Buf(d.a.as_mut_ptr()), Buf(d.b.as_mut_ptr()));
+    // SAFETY: single-threaded.
+    unsafe {
+        jacobi_fused_block(a, b, n, lo, hi, true, strip);
+        jacobi_peeled_block(a, b, n, hi, true);
+    }
+}
+
+unsafe fn jacobi_fused_block(a: Buf, b: Buf, n: usize, bs: i64, be: i64, first: bool, strip: i64) {
+    let glo = 1i64;
+    let l2lo = (if first { bs } else { bs + 1 }).max(glo);
+    let mut kk = bs;
+    while kk <= be {
+        let ke = (kk + strip - 1).min(be);
+        unsafe {
+            for k in kk..=ke {
+                for j in glo..=(n as i64 - 2) {
+                    jac_l1(a, b, n, k, j);
+                }
+            }
+            for k in (kk - 1).max(l2lo)..=(ke - 1).min(be - 1) {
+                for j in glo..=(n as i64 - 2) {
+                    jac_l2(a, b, n, k, j);
+                }
+            }
+        }
+        kk += strip;
+    }
+}
+
+unsafe fn jacobi_peeled_block(a: Buf, b: Buf, n: usize, be: i64, last: bool) {
+    let (glo, ghi) = (1i64, n as i64 - 2);
+    let hi = if last { be } else { be + 1 };
+    unsafe {
+        for k in be..=hi.min(ghi) {
+            for j in glo..=ghi {
+                jac_l2(a, b, n, k, j);
+            }
+        }
+    }
+}
+
+/// Unfused Jacobi on `p` threads (barrier between compute and copy).
+pub fn jacobi_unfused_parallel(d: &mut Jacobi, p: usize) {
+    let n = d.n;
+    let (lo, hi) = (1i64, n as i64 - 2);
+    let blks = blocks(lo, hi, p);
+    let (a, b) = (Buf(d.a.as_mut_ptr()), Buf(d.b.as_mut_ptr()));
+    let barrier = Barrier::new(blks.len());
+    std::thread::scope(|s| {
+        for &(bs, be) in &blks {
+            let barrier = &barrier;
+            s.spawn(move || unsafe {
+                for k in bs..=be {
+                    for j in lo..=hi {
+                        jac_l1(a, b, n, k, j);
+                    }
+                }
+                barrier.wait();
+                for k in bs..=be {
+                    for j in lo..=hi {
+                        jac_l2(a, b, n, k, j);
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Fused Jacobi on `p` threads (shift-and-peel).
+pub fn jacobi_fused_parallel(d: &mut Jacobi, p: usize, strip: i64) {
+    let n = d.n;
+    let (lo, hi) = (1i64, n as i64 - 2);
+    let blks = blocks(lo, hi, p);
+    let (a, b) = (Buf(d.a.as_mut_ptr()), Buf(d.b.as_mut_ptr()));
+    let barrier = Barrier::new(blks.len());
+    let nb = blks.len();
+    std::thread::scope(|s| {
+        for (i, &(bs, be)) in blks.iter().enumerate() {
+            let barrier = &barrier;
+            s.spawn(move || unsafe {
+                jacobi_fused_block(a, b, n, bs, be, i == 0, strip);
+                barrier.wait();
+                jacobi_peeled_block(a, b, n, be, i == nb - 1);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_partition() {
+        let b = blocks(1, 10, 3);
+        assert_eq!(b, vec![(1, 4), (5, 7), (8, 10)]);
+        assert_eq!(blocks(1, 2, 5).len(), 2); // clamped to trip count
+    }
+
+    #[test]
+    fn ll18_fused_matches_unfused() {
+        for strip in [1i64, 4, 100] {
+            let mut d1 = Ll18::new(40);
+            d1.init(3);
+            let mut d2 = Ll18::new(40);
+            d2.init(3);
+            ll18_unfused(&mut d1);
+            ll18_fused(&mut d2, strip);
+            assert_eq!(d1.zr, d2.zr, "strip {strip}");
+            assert_eq!(d1.zz, d2.zz);
+            assert_eq!(d1.zu, d2.zu);
+            assert_eq!(d1.zv, d2.zv);
+            assert_eq!(d1.za, d2.za);
+            assert_eq!(d1.zb, d2.zb);
+        }
+    }
+
+    #[test]
+    fn ll18_parallel_variants_match() {
+        let mut want = Ll18::new(64);
+        want.init(5);
+        ll18_unfused(&mut want);
+        for p in [1usize, 2, 3, 7] {
+            let mut d = Ll18::new(64);
+            d.init(5);
+            ll18_unfused_parallel(&mut d, p);
+            assert_eq!(d.zr, want.zr, "unfused p={p}");
+            let mut f = Ll18::new(64);
+            f.init(5);
+            ll18_fused_parallel(&mut f, p, 8);
+            assert_eq!(f.zr, want.zr, "fused p={p}");
+            assert_eq!(f.zz, want.zz, "fused p={p}");
+            assert_eq!(f.zu, want.zu, "fused p={p}");
+        }
+    }
+
+    #[test]
+    fn jacobi_variants_match() {
+        let mut want = Jacobi::new(50);
+        want.init(7);
+        jacobi_unfused(&mut want);
+        for strip in [1i64, 5, 64] {
+            let mut d = Jacobi::new(50);
+            d.init(7);
+            jacobi_fused(&mut d, strip);
+            assert_eq!(d.a, want.a, "strip {strip}");
+            assert_eq!(d.b, want.b, "strip {strip}");
+        }
+        for p in [2usize, 4, 5] {
+            let mut d = Jacobi::new(50);
+            d.init(7);
+            jacobi_fused_parallel(&mut d, p, 4);
+            assert_eq!(d.a, want.a, "p {p}");
+            let mut u = Jacobi::new(50);
+            u.init(7);
+            jacobi_unfused_parallel(&mut u, p);
+            assert_eq!(u.a, want.a, "unfused p {p}");
+        }
+    }
+}

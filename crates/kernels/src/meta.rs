@@ -1,0 +1,30 @@
+//! Kernel metadata: the paper's Table 1 and Table 2 expectations.
+
+/// Descriptive and expected-result metadata for one kernel or
+/// application, mirroring the columns of the paper's Table 1 and (for the
+/// kernels) Table 2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelMeta {
+    /// Program name as the paper spells it.
+    pub name: &'static str,
+    /// The paper's description.
+    pub description: &'static str,
+    /// Lines of (Fortran) code reported in Table 1 — informational.
+    pub paper_loc: usize,
+    /// Number of loop-nest sequences shift-and-peel applies to (Table 1).
+    pub num_sequences: usize,
+    /// Length of the longest sequence (Table 1).
+    pub longest_sequence: usize,
+    /// Maximum shift over all sequences (Table 1).
+    pub max_shift: i64,
+    /// Maximum peel over all sequences (Table 1).
+    pub max_peel: i64,
+    /// Expected per-loop shifts of the primary sequence, outermost fused
+    /// dimension (Table 2), when the paper reports them.
+    pub expected_shifts: &'static [i64],
+    /// Expected per-loop peels of the primary sequence (Table 2).
+    pub expected_peels: &'static [i64],
+    /// Distinct arrays the primary sequence references (stated in
+    /// Section 5 for LL18 = 9 and calc = 6).
+    pub num_arrays: usize,
+}

@@ -1,0 +1,158 @@
+//! spem — a semi-spectral primitive-equation ocean circulation model
+//! (Hedstrom / Rutgers), the largest application in the paper's
+//! evaluation: 11 transformable loop-nest sequences constituting close to
+//! half of the execution time, 3-D arrays of 60 x 65 x 65, ~70 MB total,
+//! maximum shift/peel 1/2 and longest sequence 8 (Table 1).
+//!
+//! The model source is not redistributable; the 11 sequences are
+//! synthesized over 3-D fields with the reported structure: short
+//! advection/pressure pairs, medium diffusion chains, and one long
+//! 8-loop baroclinic sweep including a +2-distance forward dependence
+//! (the source of the peel of 2) while all backward distances stay at 1
+//! (maximum shift 1).
+
+use crate::hydro2d::App;
+use crate::meta::KernelMeta;
+use sp_ir::{ArrayId, LoopSequence, SeqBuilder};
+
+/// Builds a chain sequence of `nloops` loops over fresh 3-D fields where
+/// loop `i` reads loop `i-1`'s output with the given row offsets
+/// (`offsets[i-1]`), plus the seed field for the first loop.
+fn chain(
+    name: &str,
+    dims: [usize; 3],
+    nloops: usize,
+    offsets: &[&[i64]],
+) -> LoopSequence {
+    assert_eq!(offsets.len(), nloops - 1);
+    let mut b = SeqBuilder::new(name.to_string());
+    let seed = b.array("seed", dims);
+    let mask = b.array("mask", dims);
+    let fields: Vec<ArrayId> = (0..nloops)
+        .map(|i| b.array(format!("g{i}"), dims))
+        .collect();
+    let lo = 2i64;
+    let hi = dims.iter().copied().min().unwrap() as i64 - 3;
+    for i in 0..nloops {
+        let label = format!("L{}", i + 1);
+        b.nest(label, [(lo, hi), (lo, hi), (lo, hi)], |x| {
+            // Every loop re-reads the seed field, and loops past the
+            // second re-read their grandparent field — the cross-loop
+            // reuse (distance-0 dependences) that makes fusion profitable
+            // in the real model. Distance-0 edges do not change the
+            // derived shift/peel amounts.
+            let rhs = if i == 0 {
+                (x.ld(seed, [0, 0, 1]) + x.ld(seed, [0, 0, -1])) * x.ld(mask, [0, 0, 0])
+            } else {
+                let src = fields[i - 1];
+                let mut e = x.ld(src, [offsets[i - 1][0], 0, 0]);
+                for &o in &offsets[i - 1][1..] {
+                    e = e + x.ld(src, [o, 0, 0]);
+                }
+                e = e * x.ld(mask, [0, 0, 0]) * 0.5 + x.ld(seed, [0, 0, 0]) * 0.25;
+                if i >= 2 {
+                    e = e + x.ld(fields[i - 2], [0, 0, 0]) * 0.125;
+                }
+                e
+            };
+            x.assign(fields[i], [0, 0, 0], rhs);
+        });
+    }
+    b.finish()
+}
+
+/// Builds the 11-sequence spem application over `kz x ky x kx` fields.
+/// The paper uses 60 x 65 x 65.
+pub fn app(kz: usize, ky: usize, kx: usize) -> App {
+    let dims = [kz, ky, kx];
+    let mut sequences = Vec::with_capacity(11);
+    // Four short advection/pressure pairs: aligned + {-1,+1} stencils.
+    for i in 0..4 {
+        sequences.push(chain(
+            &format!("spem-adv{}", i + 1),
+            dims,
+            2,
+            &[&[1, -1]],
+        ));
+    }
+    // Four medium diffusion chains of 4 loops, one containing the
+    // +2-distance forward dependence that forces the peel of 2.
+    for i in 0..4 {
+        let offs: &[&[i64]] = if i == 0 {
+            // The +2-distance forward dependence appears before any ±1
+            // smoothing so the accumulated peel stays at 2.
+            &[&[0], &[-2, 0], &[0]]
+        } else {
+            &[&[1, -1], &[0], &[-1, 0]]
+        };
+        sequences.push(chain(&format!("spem-dif{}", i + 1), dims, 4, offs));
+    }
+    // Two 5-loop tracer sweeps.
+    for i in 0..2 {
+        sequences.push(chain(
+            &format!("spem-trc{}", i + 1),
+            dims,
+            5,
+            &[&[0], &[1, -1], &[0], &[-1, 0]],
+        ));
+    }
+    // One long 8-loop baroclinic sweep (the Table 1 "longest sequence").
+    sequences.push(chain(
+        "spem-bcl",
+        dims,
+        8,
+        &[&[0], &[-2, 0], &[0], &[0], &[1, 0], &[0], &[0]],
+    ));
+    App { name: "spem", sequences }
+}
+
+/// Table 1 expectations for spem.
+pub fn meta() -> KernelMeta {
+    KernelMeta {
+        name: "spem",
+        description: "ocean circulation model",
+        paper_loc: 26937,
+        num_sequences: 11,
+        longest_sequence: 8,
+        max_shift: 1,
+        max_peel: 2,
+        expected_shifts: &[],
+        expected_peels: &[],
+        num_arrays: 0, // many; not reported by the paper
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_peel_core::derive_levels;
+    use sp_dep::analyze_sequence;
+
+    #[test]
+    fn table1_spem_columns() {
+        let a = app(12, 16, 16);
+        let m = meta();
+        assert_eq!(a.sequences.len(), m.num_sequences);
+        let longest = a.sequences.iter().map(|s| s.len()).max().unwrap();
+        assert_eq!(longest, m.longest_sequence);
+        let mut max_shift = 0;
+        let mut max_peel = 0;
+        for s in &a.sequences {
+            let deps = analyze_sequence(s).unwrap();
+            let d = derive_levels(&deps, s.len(), 1).unwrap();
+            max_shift = max_shift.max(d.max_shift());
+            max_peel = max_peel.max(d.max_peel());
+        }
+        assert_eq!(max_shift, m.max_shift, "max shift");
+        assert_eq!(max_peel, m.max_peel, "max peel");
+    }
+
+    #[test]
+    fn all_sequences_parallel_in_outer_dim() {
+        let a = app(12, 16, 16);
+        for s in &a.sequences {
+            let deps = analyze_sequence(s).unwrap();
+            assert!(deps.nests.iter().all(|n| n.parallel[0]), "{}", s.name);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The full program suite of the paper's Table 1, with builders at both
+//! paper-scale and test-scale sizes.
+
+use crate::hydro2d::App;
+use crate::meta::KernelMeta;
+use crate::{calc, filter, hydro2d, jacobi, ll18, spem, tomcatv};
+use sp_ir::LoopSequence;
+
+/// A suite entry: metadata plus builders.
+pub struct SuiteEntry {
+    /// Table 1/2 expectations.
+    pub meta: KernelMeta,
+    /// Builds the program at a given scale factor (1.0 = paper size).
+    pub build: fn(f64) -> App,
+}
+
+fn scaled(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale) as usize).max(16)
+}
+
+fn ll18_app(scale: f64) -> App {
+    App { name: "LL18", sequences: vec![ll18::sequence(scaled(512, scale))] }
+}
+
+fn calc_app(scale: f64) -> App {
+    App { name: "calc", sequences: vec![calc::sequence(scaled(512, scale))] }
+}
+
+fn filter_app(scale: f64) -> App {
+    App {
+        name: "filter",
+        sequences: vec![filter::sequence(scaled(1602, scale / 2.0), scaled(640, scale))],
+    }
+}
+
+fn jacobi_app(scale: f64) -> App {
+    App { name: "jacobi", sequences: vec![jacobi::sequence(scaled(512, scale))] }
+}
+
+fn tomcatv_app(scale: f64) -> App {
+    App { name: "tomcatv", sequences: vec![tomcatv::sequence(scaled(513, scale))] }
+}
+
+fn hydro2d_app(scale: f64) -> App {
+    hydro2d::app(scaled(802, scale), scaled(320, scale))
+}
+
+fn spem_app(scale: f64) -> App {
+    spem::app(scaled(60, scale), scaled(65, scale), scaled(65, scale))
+}
+
+/// All kernels and applications of the evaluation (Table 1 order), plus
+/// the Jacobi worked example.
+pub fn all_programs() -> Vec<SuiteEntry> {
+    vec![
+        SuiteEntry { meta: ll18::meta(), build: ll18_app },
+        SuiteEntry { meta: calc::meta(), build: calc_app },
+        SuiteEntry { meta: filter::meta(), build: filter_app },
+        SuiteEntry { meta: tomcatv::meta(), build: tomcatv_app },
+        SuiteEntry { meta: hydro2d::meta(), build: hydro2d_app },
+        SuiteEntry { meta: spem::meta(), build: spem_app },
+        SuiteEntry { meta: jacobi::meta(), build: jacobi_app },
+    ]
+}
+
+/// Convenience: the primary sequence of a single-sequence program.
+pub fn primary_sequence(app: &App) -> &LoopSequence {
+    app.sequences
+        .iter()
+        .max_by_key(|s| s.len())
+        .expect("app has sequences")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_peel_core::derive_levels;
+    use sp_dep::analyze_sequence;
+
+    /// The Table 1 regression: every program's sequence count, longest
+    /// sequence, and maximum shift/peel match the paper.
+    #[test]
+    fn table1_regression_all_programs() {
+        for entry in all_programs() {
+            let app = (entry.build)(0.125);
+            let m = &entry.meta;
+            assert_eq!(app.sequences.len(), m.num_sequences, "{} sequences", m.name);
+            let longest = app.sequences.iter().map(|s| s.len()).max().unwrap();
+            assert_eq!(longest, m.longest_sequence, "{} longest", m.name);
+            let mut max_shift = 0;
+            let mut max_peel = 0;
+            for s in &app.sequences {
+                let deps = analyze_sequence(s).unwrap();
+                let d = derive_levels(&deps, s.len(), 1).unwrap();
+                max_shift = max_shift.max(d.max_shift());
+                max_peel = max_peel.max(d.max_peel());
+            }
+            assert_eq!(max_shift, m.max_shift, "{} max shift", m.name);
+            assert_eq!(max_peel, m.max_peel, "{} max peel", m.name);
+        }
+    }
+
+    /// Table 2 regression for the three kernels the paper details.
+    #[test]
+    fn table2_regression_kernels() {
+        for entry in all_programs() {
+            if entry.meta.expected_shifts.is_empty() {
+                continue;
+            }
+            let app = (entry.build)(0.125);
+            let seq = primary_sequence(&app);
+            let deps = analyze_sequence(seq).unwrap();
+            let d = derive_levels(&deps, seq.len(), 1).unwrap();
+            assert_eq!(d.dims[0].shifts, entry.meta.expected_shifts, "{}", entry.meta.name);
+            assert_eq!(d.dims[0].peels, entry.meta.expected_peels, "{}", entry.meta.name);
+        }
+    }
+}

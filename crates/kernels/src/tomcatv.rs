@@ -1,0 +1,85 @@
+//! tomcatv — SPEC95 vectorized mesh generation benchmark.
+//!
+//! The SPEC source is not redistributable; this module synthesizes the
+//! three-loop residual-computation sequence the paper transforms, over
+//! seven arrays (`x, y, rx, ry, d, aa, dd`), with the dependence
+//! structure Table 1 reports: one sequence, longest length 3, maximum
+//! shift/peel 1/1 in the fused (outer) dimension.
+
+use crate::meta::KernelMeta;
+use sp_ir::{LoopSequence, SeqBuilder};
+
+/// Builds the tomcatv residual sequence over `n x n` arrays.
+///
+/// # Panics
+/// Panics if `n < 8`.
+pub fn sequence(n: usize) -> LoopSequence {
+    assert!(n >= 8, "tomcatv needs n >= 8");
+    let mut b = SeqBuilder::new("tomcatv");
+    let x_ = b.array("x", [n, n]);
+    let y_ = b.array("y", [n, n]);
+    let rx = b.array("rx", [n, n]);
+    let ry = b.array("ry", [n, n]);
+    let d_ = b.array("d", [n, n]);
+    let aa = b.array("aa", [n, n]);
+    let dd = b.array("dd", [n, n]);
+    let (lo, hi) = (1i64, n as i64 - 2);
+
+    // L1: mesh differences.
+    b.nest("L1", [(lo, hi), (lo, hi)], |x| {
+        let rxv = x.ld(x_, [1, 0]) - x.ld(x_, [0, 0]);
+        x.assign(rx, [0, 0], rxv);
+        let ryv = x.ld(y_, [1, 0]) - x.ld(y_, [0, 0]);
+        x.assign(ry, [0, 0], ryv);
+        let dv = x.ld(x_, [0, 0]) * x.ld(y_, [0, 0]);
+        x.assign(d_, [0, 0], dv);
+    });
+    // L2: second differences (the +-1 stencil that forces shift/peel 1).
+    b.nest("L2", [(lo, hi), (lo, hi)], |x| {
+        let r = x.ld(rx, [1, 0]) - 2.0 * x.ld(rx, [0, 0]) + x.ld(rx, [-1, 0])
+            + x.ld(ry, [0, 0]);
+        x.assign(aa, [0, 0], r);
+    });
+    // L3: residual combination (aligned).
+    b.nest("L3", [(lo, hi), (lo, hi)], |x| {
+        let r = x.ld(aa, [0, 0]) * x.ld(d_, [0, 0]);
+        x.assign(dd, [0, 0], r);
+    });
+
+    b.finish()
+}
+
+/// Table 1 expectations for tomcatv.
+pub fn meta() -> KernelMeta {
+    KernelMeta {
+        name: "tomcatv",
+        description: "SPEC95 benchmark (mesh generation)",
+        paper_loc: 190,
+        num_sequences: 1,
+        longest_sequence: 3,
+        max_shift: 1,
+        max_peel: 1,
+        expected_shifts: &[0, 1, 1],
+        expected_peels: &[0, 1, 1],
+        num_arrays: 7,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_peel_core::derive_levels;
+    use sp_dep::analyze_sequence;
+
+    #[test]
+    fn table1_tomcatv_amounts() {
+        let seq = sequence(64);
+        let deps = analyze_sequence(&seq).unwrap();
+        let d = derive_levels(&deps, seq.len(), 1).unwrap();
+        assert_eq!(d.dims[0].shifts, meta().expected_shifts);
+        assert_eq!(d.dims[0].peels, meta().expected_peels);
+        assert_eq!(d.max_shift(), 1);
+        assert_eq!(d.max_peel(), 1);
+        assert_eq!(seq.arrays.len(), 7);
+    }
+}

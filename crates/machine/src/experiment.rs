@@ -1,0 +1,338 @@
+//! Experiment harnesses shared by the figure-regeneration binaries.
+//!
+//! Each paper figure is a sweep over processor counts, padding amounts,
+//! or array sizes, comparing fused against unfused execution. These
+//! helpers run the sweeps and return tabular rows the `sp-bench` binaries
+//! print.
+
+use crate::config::MachineConfig;
+use crate::sim::{simulate, SimPlan, SimResult};
+use shift_peel_core::{
+    bytes_per_outer_iter, derive_levels, suggest_strip, CodegenMethod, ProfitabilityModel,
+};
+use sp_cache::LayoutStrategy;
+use sp_exec::{ExecError, ExecPlan};
+use sp_ir::LoopSequence;
+
+/// One row of a speedup/miss sweep (Figures 21–25).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepRow {
+    /// Processor count.
+    pub procs: usize,
+    /// Unfused run.
+    pub unfused: SimResult,
+    /// Fused (shift-and-peel) run.
+    pub fused: SimResult,
+    /// Speedup of the unfused run over the serial baseline.
+    pub speedup_unfused: f64,
+    /// Speedup of the fused run over the serial baseline.
+    pub speedup_fused: f64,
+}
+
+/// Options for a speedup sweep.
+#[derive(Clone, Debug)]
+pub struct SweepOptions {
+    /// Data layout used by both versions (the paper uses cache
+    /// partitioning throughout its speedup figures).
+    pub layout: LayoutStrategy,
+    /// Strip size for the fused version; 0 selects the partition-coupled
+    /// size automatically per sequence (Section 4: the partition size
+    /// determines the maximum strip size).
+    pub strip: i64,
+    /// Code generation method.
+    pub method: CodegenMethod,
+    /// NUMA bias (see [`SimPlan::remote_bias`]).
+    pub remote_bias: f64,
+    /// When set, the "fused" variant consults this per-processor-count
+    /// profitability model (the paper's Section 6 recommendation) and
+    /// leaves sequences unfused when the per-processor data already fits
+    /// the cache. Applies to application sweeps.
+    pub profitability: Option<usize>,
+}
+
+impl SweepOptions {
+    /// Cache-partitioned layout for `machine`, default strip 16.
+    pub fn for_machine(machine: &MachineConfig) -> Self {
+        SweepOptions {
+            layout: LayoutStrategy::CachePartition(machine.cache),
+            strip: 0,
+            method: CodegenMethod::StripMined,
+            remote_bias: 0.0,
+            profitability: None,
+        }
+    }
+}
+
+/// The partition-coupled strip size for one sequence on one machine
+/// (Section 4, final paragraph): the largest strip whose per-array data
+/// fits one cache partition, given the fused group's maximum shift.
+pub fn auto_strip(seq: &LoopSequence, machine: &MachineConfig) -> i64 {
+    let max_shift = sp_dep::analyze_sequence(seq)
+        .ok()
+        .and_then(|deps| derive_levels(&deps, seq.len(), 1).ok())
+        .map(|d| d.max_shift())
+        .unwrap_or(0);
+    let trip = seq.nests.iter().map(|n| n.bounds[0].count() as i64).max().unwrap_or(1);
+    suggest_strip(
+        machine.cache.capacity,
+        seq.arrays.len().max(1),
+        bytes_per_outer_iter(seq, std::mem::size_of::<f64>()),
+        max_shift,
+        trip,
+    )
+    .size
+}
+
+fn strip_for(opts: &SweepOptions, seq: &LoopSequence, machine: &MachineConfig) -> i64 {
+    if opts.strip == 0 {
+        auto_strip(seq, machine)
+    } else {
+        opts.strip
+    }
+}
+
+/// Runs fused and unfused versions of `seq` over `proc_counts`,
+/// normalizing speedups to the unfused single-processor run — the
+/// methodology of the paper's Figures 22, 23 and 25.
+pub fn speedup_sweep(
+    seq: &LoopSequence,
+    machine: &MachineConfig,
+    proc_counts: &[usize],
+    opts: &SweepOptions,
+) -> Result<Vec<SweepRow>, ExecError> {
+    let base = simulate(
+        seq,
+        machine,
+        &SimPlan {
+            exec: ExecPlan::Blocked { grid: vec![1] },
+            layout: opts.layout,
+            seed: 42,
+            remote_bias: opts.remote_bias,
+        },
+    )?;
+    let mut rows = Vec::with_capacity(proc_counts.len());
+    for &p in proc_counts {
+        let unfused = simulate(
+            seq,
+            machine,
+            &SimPlan {
+                exec: ExecPlan::Blocked { grid: vec![p] },
+                layout: opts.layout,
+                seed: 42,
+                remote_bias: opts.remote_bias,
+            },
+        )?;
+        let fused = simulate(
+            seq,
+            machine,
+            &SimPlan {
+                exec: ExecPlan::Fused {
+                    grid: vec![p],
+                    method: opts.method,
+                    strip: strip_for(opts, seq, machine),
+                },
+                layout: opts.layout,
+                seed: 42,
+                remote_bias: opts.remote_bias,
+            },
+        )?;
+        rows.push(SweepRow {
+            procs: p,
+            speedup_unfused: base.seconds / unfused.seconds,
+            speedup_fused: base.seconds / fused.seconds,
+            unfused,
+            fused,
+        });
+    }
+    Ok(rows)
+}
+
+/// Sums simulation results across the sequences of an application
+/// (sequences execute one after another, so cycles/misses add).
+pub fn sum_results(results: &[SimResult]) -> SimResult {
+    let cycles: u64 = results.iter().map(|r| r.cycles).sum();
+    let seconds: f64 = results.iter().map(|r| r.seconds).sum();
+    SimResult {
+        per_proc: Vec::new(),
+        procs: results.first().map(|r| r.procs).unwrap_or(0),
+        cycles,
+        seconds,
+        misses: results.iter().map(|r| r.misses).sum(),
+        accesses: results.iter().map(|r| r.accesses).sum(),
+    }
+}
+
+/// [`speedup_sweep`] over a multi-sequence application: each sequence is
+/// simulated independently (they run back to back) and results are
+/// summed. Speedups are relative to the summed unfused single-processor
+/// run, matching the paper's Figures 21 and 25.
+pub fn app_speedup_sweep(
+    seqs: &[LoopSequence],
+    machine: &MachineConfig,
+    proc_counts: &[usize],
+    opts: &SweepOptions,
+) -> Result<Vec<SweepRow>, ExecError> {
+    let sim_all = |p: usize, fused: bool| -> Result<SimResult, ExecError> {
+        let mut parts = Vec::with_capacity(seqs.len());
+        for s in seqs {
+            let mut do_fuse = fused;
+            if fused {
+                if let Some(cache_bytes) = opts.profitability {
+                    let model = ProfitabilityModel::new(cache_bytes, p);
+                    do_fuse = model.should_fuse(s, 0, s.len());
+                }
+            }
+            let exec = if do_fuse {
+                ExecPlan::Fused {
+                    grid: vec![p],
+                    method: opts.method,
+                    strip: strip_for(opts, s, machine),
+                }
+            } else {
+                ExecPlan::Blocked { grid: vec![p] }
+            };
+            parts.push(simulate(
+                s,
+                machine,
+                &SimPlan { exec, layout: opts.layout, seed: 42, remote_bias: opts.remote_bias },
+            )?);
+        }
+        Ok(sum_results(&parts))
+    };
+    let base = sim_all(1, false)?;
+    let mut rows = Vec::with_capacity(proc_counts.len());
+    for &p in proc_counts {
+        let unfused = sim_all(p, false)?;
+        let fused = sim_all(p, true)?;
+        rows.push(SweepRow {
+            procs: p,
+            speedup_unfused: base.seconds / unfused.seconds,
+            speedup_fused: base.seconds / fused.seconds,
+            unfused,
+            fused,
+        });
+    }
+    Ok(rows)
+}
+
+/// One bar of a padding-sweep figure (Figures 18 and 20): misses under an
+/// inner-dimension padding amount, for fused and unfused versions, plus
+/// the cache-partitioned reference lines.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PaddingRow {
+    /// Elements of padding added to each array's inner dimension.
+    pub pad: usize,
+    /// Misses of the unfused version under this padding.
+    pub misses_unfused: u64,
+    /// Misses of the fused version under this padding.
+    pub misses_fused: u64,
+}
+
+/// Result of a padding sweep with cache-partitioning reference values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PaddingSweep {
+    /// One row per padding amount.
+    pub rows: Vec<PaddingRow>,
+    /// Misses of the unfused version under cache partitioning.
+    pub partitioned_unfused: u64,
+    /// Misses of the fused version under cache partitioning.
+    pub partitioned_fused: u64,
+}
+
+/// Runs the padding sweep of Figures 18/20 on one processor.
+pub fn padding_sweep(
+    seq: &LoopSequence,
+    machine: &MachineConfig,
+    pads: &[usize],
+    strip: i64,
+) -> Result<PaddingSweep, ExecError> {
+    let run = |layout: LayoutStrategy, fused: bool| -> Result<u64, ExecError> {
+        let exec = if fused {
+            ExecPlan::Fused { grid: vec![1], method: CodegenMethod::StripMined, strip }
+        } else {
+            ExecPlan::Blocked { grid: vec![1] }
+        };
+        Ok(simulate(seq, machine, &SimPlan::new(exec, layout))?.misses)
+    };
+    let mut rows = Vec::with_capacity(pads.len());
+    for &pad in pads {
+        rows.push(PaddingRow {
+            pad,
+            misses_unfused: run(LayoutStrategy::InnerPad(pad), false)?,
+            misses_fused: run(LayoutStrategy::InnerPad(pad), true)?,
+        });
+    }
+    Ok(PaddingSweep {
+        rows,
+        partitioned_unfused: run(LayoutStrategy::CachePartition(machine.cache), false)?,
+        partitioned_fused: run(LayoutStrategy::CachePartition(machine.cache), true)?,
+    })
+}
+
+/// The fusion improvement ratio of Figure 24: unfused time / fused time
+/// at a fixed processor count (>1 means fusion wins).
+pub fn improvement_ratio(
+    seq: &LoopSequence,
+    machine: &MachineConfig,
+    procs: usize,
+    opts: &SweepOptions,
+) -> Result<f64, ExecError> {
+    let rows = speedup_sweep(seq, machine, &[procs], opts)?;
+    Ok(rows[0].unfused.seconds / rows[0].fused.seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CONVEX_SPP1000;
+    use sp_ir::SeqBuilder;
+
+    fn seq3(n: usize) -> LoopSequence {
+        let mut b = SeqBuilder::new("k");
+        let a = b.array("a", [n, n]);
+        let bb = b.array("b", [n, n]);
+        let c = b.array("c", [n, n]);
+        let d = b.array("d", [n, n]);
+        let (lo, hi) = (1, n as i64 - 2);
+        b.nest("L1", [(lo, hi), (lo, hi)], |x| {
+            let r = x.ld(a, [0, 1]) + x.ld(a, [0, -1]);
+            x.assign(bb, [0, 0], r);
+        });
+        b.nest("L2", [(lo, hi), (lo, hi)], |x| {
+            let r = x.ld(bb, [0, 1]) + x.ld(bb, [0, -1]);
+            x.assign(c, [0, 0], r);
+        });
+        b.nest("L3", [(lo, hi), (lo, hi)], |x| {
+            let r = x.ld(c, [0, 0]) + x.ld(a, [0, 0]);
+            x.assign(d, [0, 0], r);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn sweep_produces_monotone_baseline() {
+        let seq = seq3(96);
+        let opts = SweepOptions::for_machine(&CONVEX_SPP1000);
+        let rows = speedup_sweep(&seq, &CONVEX_SPP1000, &[1, 2, 4], &opts).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].speedup_unfused > 0.9);
+        assert!(rows[2].speedup_unfused > rows[0].speedup_unfused);
+    }
+
+    #[test]
+    fn padding_sweep_has_reference_lines() {
+        let seq = seq3(64);
+        let s = padding_sweep(&seq, &CONVEX_SPP1000, &[1, 2], 8).unwrap();
+        assert_eq!(s.rows.len(), 2);
+        assert!(s.partitioned_fused > 0);
+        assert!(s.rows.iter().all(|r| r.misses_fused > 0 && r.misses_unfused > 0));
+    }
+
+    #[test]
+    fn improvement_ratio_positive() {
+        let seq = seq3(64);
+        let opts = SweepOptions::for_machine(&CONVEX_SPP1000);
+        let r = improvement_ratio(&seq, &CONVEX_SPP1000, 2, &opts).unwrap();
+        assert!(r > 0.0);
+    }
+}

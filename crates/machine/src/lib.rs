@@ -1,0 +1,23 @@
+//! # sp-machine — simulated scalable shared-memory multiprocessors
+//!
+//! Substitute for the paper's KSR2 and Convex SPP-1000 testbeds: a
+//! deterministic multiprocessor simulation with per-processor caches
+//! (trace-driven via `sp-exec` sinks) and a cycle cost model that prices
+//! computation, memory references, cache misses, transformation overhead
+//! (strips, guards, peeled iterations) and barriers.
+//!
+//! * [`config`] — machine models and the KSR2 / Convex presets;
+//! * [`sim`] — whole-program simulation ([`simulate`]);
+//! * [`experiment`] — the sweep harnesses behind the paper's figures
+//!   (speedup-vs-processors, misses-vs-padding, improvement-vs-size).
+
+pub mod config;
+pub mod experiment;
+pub mod sim;
+
+pub use config::{MachineConfig, CONVEX_SPP1000, KSR2};
+pub use experiment::{
+    app_speedup_sweep, auto_strip, improvement_ratio, padding_sweep, speedup_sweep, sum_results, PaddingRow,
+    PaddingSweep, SweepOptions, SweepRow,
+};
+pub use sim::{price, simulate, ProcResult, SimPlan, SimResult};

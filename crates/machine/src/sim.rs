@@ -1,0 +1,222 @@
+//! Whole-program simulation on a machine model.
+//!
+//! A simulation executes a sequence under an execution plan with one cache
+//! simulator per processor (trace-driven, deterministic), then prices each
+//! processor's work with the machine's cycle model. The simulated time of
+//! a phase-parallel program is the *maximum* processor time plus barrier
+//! costs, so load imbalance (e.g. peeled iterations) is captured.
+
+use crate::config::MachineConfig;
+use sp_cache::{Cache, CacheStats, LayoutStrategy};
+use sp_exec::{CacheSink, ExecCounters, ExecError, ExecPlan, Executor, Memory};
+use sp_ir::LoopSequence;
+
+/// What to simulate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimPlan {
+    /// The schedule to run.
+    pub exec: ExecPlan,
+    /// The data layout in memory.
+    pub layout: LayoutStrategy,
+    /// Seed for the deterministic array initialization.
+    pub seed: u64,
+    /// Fraction of misses charged an additional remote-access penalty
+    /// (NUMA effect; grows with processor count in application runs like
+    /// spem). 0 disables the effect.
+    pub remote_bias: f64,
+}
+
+impl SimPlan {
+    /// A plan with default seed, no NUMA bias.
+    pub fn new(exec: ExecPlan, layout: LayoutStrategy) -> Self {
+        SimPlan { exec, layout, seed: 42, remote_bias: 0.0 }
+    }
+}
+
+/// Per-processor simulation outcome.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProcResult {
+    /// Work counters from the interpreter.
+    pub counters: ExecCounters,
+    /// Cache behaviour.
+    pub cache: CacheStats,
+    /// Priced cycles (excluding barrier costs, which are global).
+    pub cycles: u64,
+}
+
+/// Whole-machine simulation outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimResult {
+    /// Per-processor details.
+    pub per_proc: Vec<ProcResult>,
+    /// Processors used.
+    pub procs: usize,
+    /// Total simulated cycles (max processor + barriers).
+    pub cycles: u64,
+    /// Simulated wall-clock seconds at the machine's clock rate.
+    pub seconds: f64,
+    /// Total cache misses across processors.
+    pub misses: u64,
+    /// Total cache accesses across processors.
+    pub accesses: u64,
+}
+
+impl SimResult {
+    /// Speedup of this run versus a baseline run (`base.seconds /
+    /// self.seconds`).
+    pub fn speedup_over(&self, base: &SimResult) -> f64 {
+        base.seconds / self.seconds
+    }
+}
+
+/// Prices one processor's work in cycles under the machine's cost model
+/// (exposed for alternative schedulers, e.g. the alignment/replication
+/// baseline).
+pub fn price(machine: &MachineConfig, c: &ExecCounters, cache: &CacheStats, remote_bias: f64, procs: usize) -> u64 {
+    let mut cycles = 0u64;
+    cycles += c.flops * machine.flop_cycles;
+    cycles += (c.loads + c.stores) * machine.mem_ref_cycles;
+    cycles += c.iters * machine.iter_overhead;
+    cycles += c.peeled_iters * (machine.iter_overhead + machine.peeled_iter_overhead);
+    cycles += c.strips * machine.strip_overhead;
+    cycles += c.guards * machine.guard_overhead;
+    // Miss penalty, with an optional NUMA surcharge: with data spread over
+    // `procs` memories, a fraction (procs-1)/procs of misses are remote.
+    let remote_fraction = if procs > 1 { (procs - 1) as f64 / procs as f64 } else { 0.0 };
+    let miss_cost = machine.miss_penalty as f64 * (1.0 + remote_bias * remote_fraction);
+    cycles += (cache.misses as f64 * miss_cost) as u64;
+    cycles
+}
+
+/// Runs a deterministic machine simulation.
+pub fn simulate(
+    seq: &LoopSequence,
+    machine: &MachineConfig,
+    plan: &SimPlan,
+) -> Result<SimResult, ExecError> {
+    let levels = match &plan.exec {
+        ExecPlan::Serial => 1,
+        ExecPlan::Blocked { grid } | ExecPlan::Fused { grid, .. } => grid.len(),
+    };
+    let ex = Executor::new(seq, levels)?;
+    let mut mem = Memory::new(seq, plan.layout);
+    mem.init_deterministic(seq, plan.seed);
+    let procs = plan.exec.procs();
+    let mut sinks: Vec<CacheSink> = (0..procs)
+        .map(|_| CacheSink::new(Cache::new(machine.cache)))
+        .collect();
+    let counters = ex.run_with_sinks(&mut mem, &plan.exec, &mut sinks)?;
+    let per_proc: Vec<ProcResult> = counters
+        .iter()
+        .zip(&sinks)
+        .map(|(c, s)| ProcResult {
+            counters: *c,
+            cache: s.stats(),
+            cycles: price(machine, c, &s.stats(), plan.remote_bias, procs),
+        })
+        .collect();
+    let barrier_cycles = counters
+        .first()
+        .map(|c| c.barriers * (machine.barrier_base + machine.barrier_per_proc * procs as u64))
+        .unwrap_or(0);
+    let cycles = per_proc.iter().map(|p| p.cycles).max().unwrap_or(0) + barrier_cycles;
+    Ok(SimResult {
+        procs,
+        cycles,
+        seconds: machine.seconds(cycles),
+        misses: per_proc.iter().map(|p| p.cache.misses).sum(),
+        accesses: per_proc.iter().map(|p| p.cache.accesses).sum(),
+        per_proc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CONVEX_SPP1000;
+    use shift_peel_core::CodegenMethod;
+    use sp_ir::SeqBuilder;
+
+    fn two_pass(n: usize) -> LoopSequence {
+        let mut b = SeqBuilder::new("two");
+        let a = b.array("a", [n, n]);
+        let bb = b.array("b", [n, n]);
+        let c = b.array("c", [n, n]);
+        let (lo, hi) = (1, n as i64 - 2);
+        b.nest("L1", [(lo, hi), (lo, hi)], |x| {
+            let r = x.ld(a, [0, 1]) + x.ld(a, [0, -1]);
+            x.assign(bb, [0, 0], r);
+        });
+        b.nest("L2", [(lo, hi), (lo, hi)], |x| {
+            let r = x.ld(bb, [0, 0]) + x.ld(a, [0, 0]);
+            x.assign(c, [0, 0], r);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn simulation_runs_and_accounts() {
+        let seq = two_pass(64);
+        let plan = SimPlan::new(
+            ExecPlan::Blocked { grid: vec![2] },
+            LayoutStrategy::Contiguous,
+        );
+        let r = simulate(&seq, &CONVEX_SPP1000, &plan).unwrap();
+        assert_eq!(r.procs, 2);
+        assert!(r.cycles > 0);
+        assert!(r.misses > 0);
+        // Accesses = loads + stores summed over processors.
+        let want: u64 = r
+            .per_proc
+            .iter()
+            .map(|p| p.counters.loads + p.counters.stores)
+            .sum();
+        assert_eq!(r.accesses, want);
+    }
+
+    #[test]
+    fn more_processors_reduce_time() {
+        let seq = two_pass(128);
+        let mk = |p: usize| {
+            SimPlan::new(ExecPlan::Blocked { grid: vec![p] }, LayoutStrategy::Contiguous)
+        };
+        let t1 = simulate(&seq, &CONVEX_SPP1000, &mk(1)).unwrap();
+        let t4 = simulate(&seq, &CONVEX_SPP1000, &mk(4)).unwrap();
+        assert!(t4.speedup_over(&t1) > 2.0, "speedup {}", t4.speedup_over(&t1));
+    }
+
+    #[test]
+    fn fused_reduces_misses_when_data_exceeds_cache() {
+        // 3 arrays of 512x512 f64 = 6 MB >> 1 MB cache.
+        let seq = two_pass(512);
+        let base = SimPlan::new(
+            ExecPlan::Blocked { grid: vec![1] },
+            LayoutStrategy::CachePartition(CONVEX_SPP1000.cache),
+        );
+        let fused = SimPlan::new(
+            ExecPlan::Fused { grid: vec![1], method: CodegenMethod::StripMined, strip: 16 },
+            LayoutStrategy::CachePartition(CONVEX_SPP1000.cache),
+        );
+        let rb = simulate(&seq, &CONVEX_SPP1000, &base).unwrap();
+        let rf = simulate(&seq, &CONVEX_SPP1000, &fused).unwrap();
+        assert!(
+            rf.misses < rb.misses,
+            "fused misses {} !< unfused {}",
+            rf.misses,
+            rb.misses
+        );
+    }
+
+    #[test]
+    fn remote_bias_increases_time() {
+        let seq = two_pass(64);
+        let mut plan = SimPlan::new(
+            ExecPlan::Blocked { grid: vec![4] },
+            LayoutStrategy::Contiguous,
+        );
+        let t0 = simulate(&seq, &CONVEX_SPP1000, &plan).unwrap();
+        plan.remote_bias = 2.0;
+        let t1 = simulate(&seq, &CONVEX_SPP1000, &plan).unwrap();
+        assert!(t1.cycles > t0.cycles);
+    }
+}

@@ -1,0 +1,98 @@
+//! End-to-end semantic equivalence: every program of the paper's suite,
+//! executed under shift-and-peel fusion (both code generation methods,
+//! several processor counts, strips and layouts), must produce exactly
+//! the bytes the serial original produces.
+
+use shift_peel::core::CodegenMethod;
+use shift_peel::kernels::all_programs;
+use shift_peel::prelude::*;
+
+/// Runs `seq` serially and returns all array contents.
+fn reference(seq: &LoopSequence) -> Vec<Vec<f64>> {
+    let ex = Executor::new(seq, 1).expect("analysis");
+    let mut mem = Memory::new(seq, LayoutStrategy::Contiguous);
+    mem.init_deterministic(seq, 1234);
+    ex.run(&mut mem, &ExecPlan::Serial).expect("serial");
+    mem.snapshot_all(seq)
+}
+
+fn check(seq: &LoopSequence, plan: &ExecPlan, layout: LayoutStrategy, label: &str) {
+    let ex = Executor::new(seq, 1).expect("analysis");
+    let mut mem = Memory::new(seq, layout);
+    mem.init_deterministic(seq, 1234);
+    ex.run(&mut mem, plan).expect(label);
+    assert_eq!(mem.snapshot_all(seq), reference(seq), "{}: {label}", seq.name);
+}
+
+#[test]
+fn every_suite_program_fuses_correctly() {
+    for entry in all_programs() {
+        let app = (entry.build)(0.1);
+        for seq in &app.sequences {
+            for procs in [1usize, 3, 4] {
+                for (method, strip) in [
+                    (CodegenMethod::StripMined, 8),
+                    (CodegenMethod::Direct, 1),
+                ] {
+                    let plan = ExecPlan::Fused { grid: vec![procs], method, strip };
+                    check(
+                        seq,
+                        &plan,
+                        LayoutStrategy::Contiguous,
+                        &format!("fused P={procs} {method:?}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fusion_is_layout_independent() {
+    // The transformation must be correct regardless of padding or
+    // partitioning gaps (they only move data, never change it).
+    let entry = &all_programs()[0]; // LL18
+    let app = (entry.build)(0.1);
+    let seq = &app.sequences[0];
+    let cache = shift_peel::cache::CacheConfig::new(1 << 16, 64, 1);
+    for layout in [
+        LayoutStrategy::Contiguous,
+        LayoutStrategy::InnerPad(7),
+        LayoutStrategy::CachePartition(cache),
+    ] {
+        let plan =
+            ExecPlan::Fused { grid: vec![4], method: CodegenMethod::StripMined, strip: 4 };
+        check(seq, &plan, layout, &format!("{layout:?}"));
+    }
+}
+
+#[test]
+fn blocked_original_matches_serial_for_suite() {
+    for entry in all_programs() {
+        let app = (entry.build)(0.1);
+        for seq in &app.sequences {
+            check(seq, &ExecPlan::Blocked { grid: vec![5] }, LayoutStrategy::Contiguous, "blocked");
+        }
+    }
+}
+
+#[test]
+fn strip_size_never_changes_results() {
+    let entry = &all_programs()[2]; // filter: deepest shift/peel chain
+    let app = (entry.build)(0.1);
+    let seq = &app.sequences[0];
+    for strip in [1i64, 2, 3, 5, 17, 1_000_000] {
+        let plan = ExecPlan::Fused { grid: vec![2], method: CodegenMethod::StripMined, strip };
+        check(seq, &plan, LayoutStrategy::Contiguous, &format!("strip={strip}"));
+    }
+}
+
+#[test]
+fn processor_count_respects_legality_threshold() {
+    // filter has Nt = 5 + 4 = 9; with few iterations per block the
+    // executor must clamp the processor count rather than mis-execute.
+    let app = (all_programs()[2].build)(0.1);
+    let seq = &app.sequences[0];
+    let plan = ExecPlan::Fused { grid: vec![64], method: CodegenMethod::StripMined, strip: 4 };
+    check(seq, &plan, LayoutStrategy::Contiguous, "P=64 clamped");
+}

@@ -1,0 +1,73 @@
+//! The nine boundary cases of Figure 16.
+//!
+//! When two loop dimensions are parallelized on a processor grid, the
+//! paper counts nine distinct code cases (four corners, four edges,
+//! interior) that its prologue flags select among. Our geometry derives
+//! them from the block's boundary flags; this test enumerates a 3x3 grid
+//! of a fused Jacobi and checks each case's fused and peeled regions
+//! explicitly.
+
+use shift_peel::core::{decompose, derive_shift_peel, global_fused_range, nest_regions};
+use shift_peel::kernels::jacobi;
+
+#[test]
+fn nine_cases_of_fig16() {
+    let n = 29usize; // 27 interior iterations -> 3x3 blocks of 9
+    let seq = jacobi::sequence(n);
+    let deriv = derive_shift_peel(&seq).expect("derivation");
+    let global = global_fused_range(&seq, &[0, 1], 2);
+    assert_eq!(global, vec![(1, 27), (1, 27)]);
+    let blocks = decompose(&global, &[3, 3]);
+    assert_eq!(blocks.len(), 9);
+
+    // L2 (the copy) has shift 1 / peel 1 in both dimensions.
+    for b in &blocks {
+        let r = nest_regions(&seq.nests[1], &deriv, 1, b);
+        let (bs0, be0) = b.range[0];
+        let (bs1, be1) = b.range[1];
+        // Fused region: skip `peel` at a non-boundary low edge, stop
+        // `shift` early at the high edge.
+        let want_lo0 = if b.low_boundary[0] { bs0 } else { bs0 + 1 };
+        let want_lo1 = if b.low_boundary[1] { bs1 } else { bs1 + 1 };
+        assert_eq!(r.fused.bounds[0], (want_lo0, be0 - 1), "block {:?}", b.range);
+        assert_eq!(r.fused.bounds[1], (want_lo1, be1 - 1), "block {:?}", b.range);
+        // Ownership extends past the block end except at the global high
+        // boundary, so the peeled set covers [be - shift + 1, be + peel].
+        let want_hi0 = if b.high_boundary[0] { be0 } else { be0 + 1 };
+        let want_hi1 = if b.high_boundary[1] { be1 } else { be1 + 1 };
+        let peeled_pts: usize = r.peeled.iter().map(|p| p.len()).sum();
+        let own = ((want_hi0 - want_lo0 + 1) * (want_hi1 - want_lo1 + 1)) as usize;
+        let fused = r.fused.len();
+        assert_eq!(peeled_pts, own - fused, "block {:?}", b.range);
+        // Figure 16's structure: at most two peeled loops (the i-edge
+        // slab and the j-edge slab).
+        assert!(r.peeled.len() <= 2, "block {:?}: {:?}", b.range, r.peeled);
+    }
+
+    // The nine blocks carry nine distinct flag combinations.
+    let mut cases: Vec<(bool, bool, bool, bool)> = blocks
+        .iter()
+        .map(|b| {
+            (b.low_boundary[0], b.high_boundary[0], b.low_boundary[1], b.high_boundary[1])
+        })
+        .collect();
+    cases.sort_unstable();
+    cases.dedup();
+    assert_eq!(cases.len(), 9, "expected all nine Figure-16 cases");
+}
+
+/// The first nest (no shift/peel) simply owns its block everywhere.
+#[test]
+fn producer_nest_owns_exactly_its_block() {
+    let n = 29usize;
+    let seq = jacobi::sequence(n);
+    let deriv = derive_shift_peel(&seq).expect("derivation");
+    let global = global_fused_range(&seq, &[0, 1], 2);
+    let blocks = decompose(&global, &[3, 3]);
+    for b in &blocks {
+        let r = nest_regions(&seq.nests[0], &deriv, 0, b);
+        assert_eq!(r.fused.bounds[0], b.range[0]);
+        assert_eq!(r.fused.bounds[1], b.range[1]);
+        assert!(r.peeled.is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests of the core invariants.
+//!
+//! * Shift-and-peel execution of a *random* uniform-dependence loop chain
+//!   equals serial execution, for random processor counts, strips, and
+//!   both code generation methods.
+//! * Derivation invariants: shifts/peels are non-negative, monotone along
+//!   chains, and `Nt` bounds the legal block size exactly.
+//! * Block geometry: fused + peeled regions tile every nest's iteration
+//!   space exactly once for any grid.
+
+use proptest::prelude::*;
+use shift_peel::core::{
+    decompose, derive_shift_peel, global_fused_range, nest_regions, CodegenMethod,
+};
+use shift_peel::prelude::*;
+
+/// A randomly generated 1-D loop chain with uniform dependences: each
+/// loop reads the previous loop's output at offsets in [-2, 2] and a
+/// shared input array.
+#[derive(Clone, Debug)]
+struct RandomChain {
+    n: usize,
+    /// Per loop (after the first): read offsets into the previous array.
+    offsets: Vec<Vec<i64>>,
+}
+
+fn chain_strategy() -> impl Strategy<Value = RandomChain> {
+    let offs = prop::collection::vec(-2i64..=2, 1..=3);
+    (2usize..=6, prop::collection::vec(offs, 1..=5)).prop_map(|(scale, offsets)| RandomChain {
+        n: 32 * scale,
+        offsets,
+    })
+}
+
+fn build(chain: &RandomChain) -> LoopSequence {
+    let mut b = SeqBuilder::new("random-chain");
+    let seed = b.array("seed", [chain.n]);
+    let nloops = chain.offsets.len() + 1;
+    let fields: Vec<_> = (0..nloops)
+        .map(|i| b.array(format!("f{i}"), [chain.n]))
+        .collect();
+    // Margin so all offsets stay in bounds.
+    let (lo, hi) = (4i64, chain.n as i64 - 5);
+    for i in 0..nloops {
+        b.nest(format!("L{i}"), [(lo, hi)], |x| {
+            let rhs = if i == 0 {
+                x.ld(seed, [1]) + x.ld(seed, [-1])
+            } else {
+                let mut e = x.ld(seed, [0]);
+                for &o in &chain.offsets[i - 1] {
+                    e = e + x.ld(fields[i - 1], [o]);
+                }
+                e * 0.5
+            };
+            x.assign(fields[i], [0], rhs);
+        });
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_chain_fused_equals_serial(
+        chain in chain_strategy(),
+        procs in 1usize..=7,
+        strip in 1i64..=40,
+        direct in any::<bool>(),
+    ) {
+        let seq = build(&chain);
+        let ex = Executor::new(&seq, 1).expect("analysis");
+        let mut ref_mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        ref_mem.init_deterministic(&seq, 99);
+        ex.run(&mut ref_mem, &ExecPlan::Serial).expect("serial");
+
+        let method = if direct { CodegenMethod::Direct } else { CodegenMethod::StripMined };
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 99);
+        let plan = ExecPlan::Fused { grid: vec![procs], method, strip };
+        ex.run(&mut mem, &plan).expect("fused");
+        prop_assert_eq!(mem.snapshot_all(&seq), ref_mem.snapshot_all(&seq));
+    }
+
+    #[test]
+    fn derivation_invariants(chain in chain_strategy()) {
+        let seq = build(&chain);
+        let d = derive_shift_peel(&seq).expect("derivation");
+        let dim = &d.dims[0];
+        // Non-negative amounts, zero for the first loop.
+        prop_assert_eq!(dim.shifts[0], 0);
+        prop_assert_eq!(dim.peels[0], 0);
+        prop_assert!(dim.shifts.iter().all(|&s| s >= 0));
+        prop_assert!(dim.peels.iter().all(|&p| p >= 0));
+        // Monotone along the chain: each loop depends on its predecessor,
+        // so accumulated amounts never decrease.
+        for w in dim.shifts.windows(2) {
+            prop_assert!(w[1] >= w[0] - 2, "shift dropped too fast: {:?}", dim.shifts);
+        }
+        // Nt is exactly the max of shift+peel.
+        let nt = dim.shifts.iter().zip(&dim.peels).map(|(s, p)| s + p).max().unwrap();
+        prop_assert_eq!(dim.nt(), nt);
+    }
+
+    #[test]
+    fn block_geometry_tiles_exactly(
+        chain in chain_strategy(),
+        procs in 1usize..=9,
+    ) {
+        let seq = build(&chain);
+        let d = derive_shift_peel(&seq).expect("derivation");
+        let nest_ids: Vec<usize> = (0..seq.len()).collect();
+        let global = global_fused_range(&seq, &nest_ids, 1);
+        let trip = global[0].1 - global[0].0 + 1;
+        let nt = d.dims[0].nt().max(1);
+        let eff = procs.min((trip / nt).max(1) as usize);
+        let blocks = decompose(&global, &[eff]);
+        for (k, nest) in seq.nests.iter().enumerate() {
+            let mut count = std::collections::HashMap::new();
+            for b in &blocks {
+                let r = nest_regions(nest, &d, k, b);
+                r.fused.for_each(|p| *count.entry(p.to_vec()).or_insert(0usize) += 1);
+                for pr in &r.peeled {
+                    pr.for_each(|p| *count.entry(p.to_vec()).or_insert(0usize) += 1);
+                }
+            }
+            let mut missing = 0usize;
+            nest.space().for_each(|p| {
+                if count.get(p) != Some(&1) {
+                    missing += 1;
+                }
+            });
+            prop_assert_eq!(missing, 0, "nest {} mis-covered", k);
+            let total: usize = count.values().sum();
+            prop_assert_eq!(total, nest.trip_count());
+        }
+    }
+
+    #[test]
+    fn rectangle_subtraction_partitions(
+        outer_lo in -5i64..5,
+        outer_w in 1i64..12,
+        inner_lo in -8i64..8,
+        inner_w in 0i64..14,
+        depth in 1usize..=3,
+    ) {
+        use shift_peel::ir::IterSpace;
+        let outer = IterSpace::new(vec![(outer_lo, outer_lo + outer_w); depth]);
+        let inner = IterSpace::new(vec![(inner_lo, inner_lo + inner_w - 1); depth]);
+        let pieces = outer.subtract(&inner);
+        let clipped = outer.intersect(&inner);
+        let mut covered = 0usize;
+        outer.for_each(|p| {
+            let mut c = usize::from(!clipped.is_empty() && clipped.contains(p));
+            for r in &pieces {
+                if r.contains(p) {
+                    c += 1;
+                }
+            }
+            assert_eq!(c, 1, "point {p:?}");
+            covered += 1;
+        });
+        prop_assert_eq!(covered, outer.len());
+    }
+}
+
+/// The Theorem 1 threshold is tight: a block one iteration smaller than
+/// `Nt` is rejected; `Nt` itself is accepted.
+#[test]
+fn nt_threshold_is_tight() {
+    use shift_peel::core::{check_blocks, derive_shift_peel};
+    let chain = RandomChain { n: 64, offsets: vec![vec![2], vec![1]] };
+    let seq = build(&chain);
+    let d = derive_shift_peel(&seq).expect("derivation");
+    let nt = d.dims[0].nt();
+    assert!(nt >= 3);
+    let ok = decompose(&[(0, nt - 1)], &[1]);
+    assert!(check_blocks(&d, &ok).is_ok());
+    let bad = decompose(&[(0, nt - 2)], &[1]);
+    assert!(check_blocks(&d, &bad).is_err());
+}

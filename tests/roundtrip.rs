@@ -1,0 +1,52 @@
+//! Text round-trip: every kernel of the suite must survive
+//! render -> parse -> render unchanged, and the parsed program must be
+//! structurally identical to the original.
+
+use shift_peel::ir::display::render_sequence;
+use shift_peel::ir::parse_sequence;
+use shift_peel::kernels::all_programs;
+
+#[test]
+fn all_suite_programs_roundtrip() {
+    for entry in all_programs() {
+        let app = (entry.build)(0.1);
+        for seq in &app.sequences {
+            let text = render_sequence(seq);
+            let parsed = parse_sequence(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", seq.name));
+            assert_eq!(&parsed, seq, "{} changed through text", seq.name);
+            // Idempotence of the printer on the parsed form.
+            assert_eq!(render_sequence(&parsed), text, "{}", seq.name);
+        }
+    }
+}
+
+#[test]
+fn parsed_program_is_analyzable_and_derivable() {
+    let entry = &all_programs()[0]; // LL18
+    let app = (entry.build)(0.1);
+    let seq = &app.sequences[0];
+    let parsed = parse_sequence(&render_sequence(seq)).expect("parse");
+    let deps = shift_peel::dep::analyze_sequence(&parsed).expect("analysis");
+    let d = shift_peel::core::derive_levels(&deps, parsed.len(), 1).expect("derive");
+    assert_eq!(d.dims[0].shifts, vec![0, 1, 2]);
+    assert_eq!(d.dims[0].peels, vec![0, 0, 1]);
+}
+
+#[test]
+fn parsed_program_executes_identically() {
+    use shift_peel::prelude::*;
+    let entry = &all_programs()[1]; // calc
+    let app = (entry.build)(0.1);
+    let seq = &app.sequences[0];
+    let parsed = parse_sequence(&render_sequence(seq)).expect("parse");
+
+    let run = |s: &LoopSequence| {
+        let ex = Executor::new(s, 1).expect("analysis");
+        let mut mem = Memory::new(s, LayoutStrategy::Contiguous);
+        mem.init_deterministic(s, 17);
+        ex.run(&mut mem, &ExecPlan::Serial).expect("run");
+        mem.snapshot_all(s)
+    };
+    assert_eq!(run(seq), run(&parsed));
+}
