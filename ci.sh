@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus the runtime-crate lint wall and the runtime benchmark
+# artifact. Run from the repo root; fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> tier-1: release build"
+cargo build --release
+
+echo "==> tier-1: test suite"
+cargo test -q
+
+echo "==> lint wall: sp-exec must be clippy-clean"
+cargo clippy -p sp-exec -- -D warnings
+
+echo "==> runtime comparison -> results/BENCH_runtime.json"
+mkdir -p results
+cargo run --release -p sp-bench --bin runtime -- --quick
+
+echo "==> ci.sh: all green"

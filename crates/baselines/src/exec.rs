@@ -32,7 +32,7 @@ pub fn run_aligned_sim<S: AccessSink>(
         let nest = &seq.nests[c];
         let (lo, hi) = (nest.bounds[0].lo, nest.bounds[0].hi);
         let eff = procs.min((hi - lo + 1) as usize);
-        let blocks = decompose(&[(lo, hi)], &[eff]);
+        let blocks = decompose(&[(lo, hi)], &[eff]).expect("replica copy grid fits");
         for (p, b) in blocks.iter().enumerate() {
             let mut bounds = vec![b.range[0]];
             bounds.extend(nest.bounds[1..].iter().map(|lb| (lb.lo, lb.hi)));
@@ -64,7 +64,7 @@ pub fn run_aligned_sim<S: AccessSink>(
         .max()
         .expect("originals");
     let eff = procs.min((fused_hi - fused_lo + 1) as usize);
-    let blocks = decompose(&[(fused_lo, fused_hi)], &[eff]);
+    let blocks = decompose(&[(fused_lo, fused_hi)], &[eff]).expect("aligned grid fits");
     for (p, b) in blocks.iter().enumerate() {
         let (bs, be) = b.range[0];
         for i in bs..=be {

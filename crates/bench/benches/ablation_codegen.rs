@@ -6,12 +6,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use shift_peel_core::CodegenMethod;
 use sp_cache::LayoutStrategy;
-use sp_exec::{ExecPlan, Executor, Memory};
+use sp_exec::{ExecPlan, Memory, Program};
 use sp_kernels::ll18;
 
 fn bench_codegen(c: &mut Criterion) {
     let seq = ll18::sequence(256);
-    let ex = Executor::new(&seq, 1).expect("analysis");
+    let ex = Program::new(&seq, 1).expect("analysis");
     let mut g = c.benchmark_group("codegen_method");
     g.sample_size(10);
     for (name, method, strip) in [

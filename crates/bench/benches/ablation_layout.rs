@@ -6,13 +6,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sp_cache::{CacheConfig, LayoutStrategy, MemoryLayout};
-use sp_exec::{ExecPlan, Executor, Memory};
+use sp_exec::{ExecPlan, Memory, Program};
 use sp_ir::ArrayDecl;
 use sp_kernels::ll18;
 
 fn bench_layout_exec(c: &mut Criterion) {
     let seq = ll18::sequence(256);
-    let ex = Executor::new(&seq, 1).expect("analysis");
+    let ex = Program::new(&seq, 1).expect("analysis");
     let cache = CacheConfig::new(1 << 20, 32, 1);
     let mut g = c.benchmark_group("layout_under_fusion");
     g.sample_size(10);

@@ -10,21 +10,20 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_cache::LayoutStrategy;
-use sp_dep::analyze_sequence;
-use sp_exec::{run_blocked_dynamic, ExecPlan, Executor, Memory};
+use sp_exec::{DynamicExecutor, Executor, Memory, Program, RunConfig, ScopedExecutor};
 use sp_kernels::ll18;
 
 fn bench_scheduling(c: &mut Criterion) {
     let seq = ll18::sequence(256);
-    let deps = analyze_sequence(&seq).expect("analysis");
-    let ex = Executor::new(&seq, 1).expect("executor");
+    let prog = Program::new(&seq, 1).expect("analysis");
     let mut g = c.benchmark_group("scheduling");
     g.sample_size(10);
     for threads in [2usize, 4] {
         g.bench_with_input(BenchmarkId::new("static_blocked", threads), &threads, |b, &t| {
             let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
             mem.init_deterministic(&seq, 1);
-            b.iter(|| ex.run_threaded(&mut mem, &ExecPlan::Blocked { grid: vec![t] }).unwrap());
+            let cfg = RunConfig::blocked([t]);
+            b.iter(|| ScopedExecutor.run(&prog, &mut mem, &cfg).unwrap());
         });
         for chunk in [4i64, 32] {
             g.bench_with_input(
@@ -33,7 +32,9 @@ fn bench_scheduling(c: &mut Criterion) {
                 |b, &t| {
                     let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
                     mem.init_deterministic(&seq, 1);
-                    b.iter(|| run_blocked_dynamic(&seq, &deps, t, chunk, &mut mem));
+                    let cfg = RunConfig::blocked([t]);
+                    let mut ex = DynamicExecutor::new(chunk);
+                    b.iter(|| ex.run(&prog, &mut mem, &cfg).unwrap());
                 },
             );
         }

@@ -8,7 +8,7 @@
 use shift_peel_core::CodegenMethod;
 use sp_bench::{Opts, Table};
 use sp_cache::{ClassifyingCache, LayoutStrategy};
-use sp_exec::{ClassifySink, ExecPlan, Executor, Memory};
+use sp_exec::{ClassifySink, ExecPlan, Memory, Program};
 use sp_kernels::ll18;
 use sp_machine::CONVEX_SPP1000;
 
@@ -16,7 +16,7 @@ fn main() {
     let opts = Opts::from_args();
     let n = opts.size(512);
     let seq = ll18::sequence(n);
-    let ex = Executor::new(&seq, 1).expect("analysis");
+    let ex = Program::new(&seq, 1).expect("analysis");
     let cache = CONVEX_SPP1000.cache;
 
     let mut t = Table::new(

@@ -11,14 +11,14 @@
 use shift_peel_core::CodegenMethod;
 use sp_bench::{Opts, Table};
 use sp_cache::{CacheConfig, CacheHierarchy, LayoutStrategy};
-use sp_exec::{ExecPlan, Executor, HierarchySink, Memory};
+use sp_exec::{ExecPlan, HierarchySink, Memory, Program};
 use sp_kernels::ll18;
 
 fn main() {
     let opts = Opts::from_args();
     let n = opts.size(512);
     let seq = ll18::sequence(n);
-    let ex = Executor::new(&seq, 1).expect("analysis");
+    let ex = Program::new(&seq, 1).expect("analysis");
     let l1 = CacheConfig::new(32 << 10, 64, 8);
     let l2 = CacheConfig::new(1 << 20, 64, 16);
     let layout = LayoutStrategy::CachePartition(l2);

@@ -1,0 +1,136 @@
+//! Runtime comparison on real host threads: spawn-per-timestep
+//! ([`ScopedExecutor`]) versus the persistent worker pool
+//! ([`PooledExecutor`]) versus self-scheduling of the unfused program
+//! ([`DynamicExecutor`]), across timestep counts.
+//!
+//! The scoped runtime pays thread creation and barrier construction on
+//! *every* timestep; the pool pays it once per process, so its advantage
+//! grows with the number of timesteps. The dynamic runtime runs the
+//! unfused plan (dynamic scheduling of fused plans is illegal — paper
+//! Section 3.2) and shows what the static-scheduling restriction costs.
+//!
+//! Prints a table per kernel and writes every run's full `RunReport`
+//! (per-worker counters, barrier waits, imbalance) to
+//! `results/BENCH_runtime.json`.
+
+use sp_bench::{f2, Opts, Table};
+use sp_exec::RunReport;
+use sp_ir::LoopSequence;
+use sp_kernels::{jacobi, tomcatv};
+use sp_machine::runtime_sweep;
+use std::fmt::Write as _;
+
+struct KernelRun {
+    name: &'static str,
+    rows: Vec<sp_machine::RuntimeRow>,
+}
+
+fn sweep(
+    name: &'static str,
+    seq: &LoopSequence,
+    grid: &[usize],
+    strip: i64,
+    steps: &[usize],
+    reps: usize,
+) -> KernelRun {
+    // Best-of-`reps` per (steps, runtime) cell: one noisy descheduling on
+    // a shared host would otherwise dominate a single measurement.
+    let mut rows = runtime_sweep(seq, grid, strip, steps).expect("runtime sweep");
+    for _ in 1..reps {
+        let again = runtime_sweep(seq, grid, strip, steps).expect("runtime sweep");
+        for (best, r) in rows.iter_mut().zip(again) {
+            if r.scoped.iters_per_sec() > best.scoped.iters_per_sec() {
+                best.scoped = r.scoped;
+            }
+            if r.pooled.iters_per_sec() > best.pooled.iters_per_sec() {
+                best.pooled = r.pooled;
+            }
+            if r.dynamic.iters_per_sec() > best.dynamic.iters_per_sec() {
+                best.dynamic = r.dynamic;
+            }
+        }
+    }
+    let mut t = Table::new(
+        format!("{name}: threaded runtimes, grid {grid:?} (iters/s; pool advantage grows with steps)"),
+        &["steps", "scoped it/s", "pooled it/s", "pooled/scoped", "dynamic it/s", "pool imbalance", "pool max barrier us"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.steps.to_string(),
+            format!("{:.0}", r.scoped.iters_per_sec()),
+            format!("{:.0}", r.pooled.iters_per_sec()),
+            f2(r.pooled.iters_per_sec() / r.scoped.iters_per_sec()),
+            format!("{:.0}", r.dynamic.iters_per_sec()),
+            f2(r.pooled.imbalance()),
+            format!("{:.1}", r.pooled.max_barrier_wait_nanos() as f64 / 1e3),
+        ]);
+    }
+    t.print();
+    println!();
+    KernelRun { name, rows }
+}
+
+fn emit_json(kernels: &[KernelRun]) -> String {
+    let mut out = String::from("{\"kernels\":[");
+    for (i, k) in kernels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"kernel\":\"{}\",\"rows\":[", k.name);
+        for (j, r) in k.rows.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let reports: Vec<(&str, &RunReport)> =
+                vec![("scoped", &r.scoped), ("pooled", &r.pooled), ("dynamic", &r.dynamic)];
+            let _ = write!(out, "{{\"steps\":{},", r.steps);
+            for (n, (label, rep)) in reports.iter().enumerate() {
+                if n > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{label}\":{}", rep.to_json());
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn main() {
+    let opts = Opts::from_args();
+    let steps: Vec<usize> = if opts.quick { vec![1, 10, 100] } else { vec![1, 10, 100, 200] };
+    // Small arrays: the runtimes differ in *per-step* overhead (thread
+    // spawns, barrier setup), which large per-step compute would drown.
+    let n = opts.size(64);
+    // At least 2 workers so barrier waits and imbalance are exercised
+    // even on single-core hosts (the barrier yields, so oversubscription
+    // is safe); at most 8 to keep the sweep fast on big machines.
+    let procs = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .clamp(2, 8);
+    let reps = if opts.quick { 1 } else { 3 };
+    let kernels = vec![
+        sweep("jacobi", &jacobi::sequence(n + 2), &[procs], 16, &steps, reps),
+        sweep("tomcatv", &tomcatv::sequence(n), &[procs], 16, &steps, reps),
+    ];
+    let json = emit_json(&kernels);
+    let path = "results/BENCH_runtime.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+    // The acceptance check: with enough timesteps the persistent pool
+    // should at least match the spawn-per-step runtime.
+    for k in &kernels {
+        for r in k.rows.iter().filter(|r| r.steps >= 100) {
+            let ratio = r.pooled.iters_per_sec() / r.scoped.iters_per_sec();
+            println!(
+                "{}: pooled/scoped throughput at {} steps = {:.2}x",
+                k.name, r.steps, ratio
+            );
+        }
+    }
+}

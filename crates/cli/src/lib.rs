@@ -20,7 +20,10 @@ use shift_peel_core::{
 };
 use sp_cache::LayoutStrategy;
 use sp_dep::{analyze_sequence, describe_deps};
-use sp_exec::{ExecPlan, Executor, Memory};
+use sp_exec::{
+    DynamicExecutor, ExecPlan, Executor, Memory, PooledExecutor, Program, RunConfig,
+    ScopedExecutor, SimExecutor,
+};
 use sp_ir::{display::render_sequence, parse_sequence, LoopSequence};
 use sp_machine::{simulate, SimPlan, CONVEX_SPP1000, KSR2};
 use std::fmt::Write as _;
@@ -61,6 +64,10 @@ pub struct Options {
     pub strip: i64,
     /// `--machine ksr2|convex` (default convex).
     pub machine: String,
+    /// `--executor scoped|pooled|dynamic|sim` (default scoped).
+    pub executor: String,
+    /// `--steps N` timesteps (default 1).
+    pub steps: usize,
 }
 
 impl Options {
@@ -79,6 +86,8 @@ impl Options {
             procs: 4,
             strip: 16,
             machine: "convex".to_string(),
+            executor: "scoped".to_string(),
+            steps: 1,
         };
         while let Some(flag) = it.next() {
             let mut take = || -> Result<&String, CliError> {
@@ -104,6 +113,14 @@ impl Options {
                 "--machine" => {
                     opts.machine = take()?.clone();
                 }
+                "--executor" => {
+                    opts.executor = take()?.clone();
+                }
+                "--steps" => {
+                    opts.steps = take()?
+                        .parse()
+                        .map_err(|_| CliError { message: "bad --steps".into(), code: 2 })?;
+                }
                 other => return usage(format!("unknown flag {other}\n{USAGE}")),
             }
         }
@@ -113,7 +130,8 @@ impl Options {
 
 /// The usage string.
 pub const USAGE: &str = "usage: spfc <analyze|derive|fuse|distribute|run|simulate> <prog.loop> \
-[--procs N] [--strip N] [--machine ksr2|convex]";
+[--procs N] [--strip N] [--steps N] [--machine ksr2|convex] \
+[--executor scoped|pooled|dynamic|sim]";
 
 fn load(path: &str) -> Result<LoopSequence, CliError> {
     let src = std::fs::read_to_string(path)
@@ -162,31 +180,56 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
             out.push_str(&render_plan(&seq, &plan, opts.strip));
         }
         "run" => {
-            let ex = Executor::new(&seq, 1)
+            let prog = Program::new(&seq, 1)
                 .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            // The dynamic runtime cannot legally execute fused plans
+            // (peeling assumes static block boundaries), so it runs the
+            // unfused blocked plan — the scheduling ablation.
+            let cfg = if opts.executor == "dynamic" {
+                RunConfig::blocked([opts.procs]).steps(opts.steps)
+            } else {
+                RunConfig::fused([opts.procs]).strip(opts.strip).steps(opts.steps)
+            };
+            let mut executor: Box<dyn Executor> = match opts.executor.as_str() {
+                "scoped" => Box::new(ScopedExecutor),
+                "pooled" => Box::new(PooledExecutor::new(opts.procs)),
+                "dynamic" => Box::new(DynamicExecutor::default()),
+                "sim" => Box::new(SimExecutor),
+                other => {
+                    return usage(format!(
+                        "unknown executor {other} (scoped|pooled|dynamic|sim)"
+                    ))
+                }
+            };
             let mut ref_mem = Memory::new(&seq, LayoutStrategy::Contiguous);
             ref_mem.init_deterministic(&seq, 42);
-            ex.run(&mut ref_mem, &ExecPlan::Serial)
-                .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            for _ in 0..opts.steps {
+                prog.run(&mut ref_mem, &ExecPlan::Serial)
+                    .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            }
             let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
             mem.init_deterministic(&seq, 42);
-            let plan = ExecPlan::Fused {
-                grid: vec![opts.procs],
-                method: CodegenMethod::StripMined,
-                strip: opts.strip,
-            };
-            let counters = ex
-                .run_threaded(&mut mem, &plan)
+            let report = executor
+                .run(&prog, &mut mem, &cfg)
                 .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
             if mem.snapshot_all(&seq) != ref_mem.snapshot_all(&seq) {
-                return fail("MISMATCH: fused execution diverged from the serial original");
+                return fail("MISMATCH: parallel execution diverged from the serial original");
             }
-            let fused: u64 = counters.iter().map(|c| c.iters).sum();
-            let peeled: u64 = counters.iter().map(|c| c.peeled_iters).sum();
+            let c = report.merged_counters();
             let _ = writeln!(
                 out,
-                "OK: fused result matches serial on {} threads ({fused} fused + {peeled} peeled iterations)",
-                opts.procs
+                "OK: {} result matches serial on {} procs x {} steps ({} fused + {} peeled iterations)",
+                executor.name(),
+                report.procs,
+                report.steps,
+                c.iters,
+                c.peeled_iters,
+            );
+            let _ = writeln!(
+                out,
+                "imbalance {:.3}, max barrier wait {} ns",
+                report.imbalance(),
+                report.max_barrier_wait_nanos()
             );
         }
         "simulate" => {

@@ -109,6 +109,9 @@ pub enum DeriveError {
     /// A dependence between two nests is not uniform in a fused dimension;
     /// shift-and-peel requires uniform distances (Section 3.3).
     NonUniform { src: usize, dst: usize, level: usize },
+    /// The requested number of fused levels is zero or exceeds the
+    /// sequence depth.
+    BadLevels { levels: usize, depth: usize },
 }
 
 impl fmt::Display for DeriveError {
@@ -118,6 +121,10 @@ impl fmt::Display for DeriveError {
             DeriveError::NonUniform { src, dst, level } => write!(
                 f,
                 "dependence between nests {src} and {dst} is not uniform in level {level}"
+            ),
+            DeriveError::BadLevels { levels, depth } => write!(
+                f,
+                "cannot derive for {levels} levels of a sequence with depth {depth}"
             ),
         }
     }
@@ -175,7 +182,9 @@ pub fn derive_levels(
     n: usize,
     levels: usize,
 ) -> Result<Derivation, DeriveError> {
-    assert!(levels >= 1 && levels <= deps.depth);
+    if levels < 1 || levels > deps.depth {
+        return Err(DeriveError::BadLevels { levels, depth: deps.depth });
+    }
     let mut dims = Vec::with_capacity(levels);
     for level in 0..levels {
         let g = DepMultigraph::build(deps, n, level);

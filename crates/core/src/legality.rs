@@ -26,6 +26,18 @@ pub enum LegalityError {
     /// threshold `Nt` in some fused level (Theorem 1's
     /// `floor((u - l + 1)/P) >= Nt` condition).
     BlockTooSmall { level: usize, block_iters: i64, nt: i64 },
+    /// The requested number of fused levels is zero or exceeds the
+    /// sequence depth.
+    BadLevels { levels: usize, depth: usize },
+    /// A processor grid's dimensionality does not match the fused range.
+    GridMismatch { global_dims: usize, grid_dims: usize },
+    /// A processor grid dimension has zero processors.
+    EmptyGrid { level: usize },
+    /// More processors than iterations along a fused level: some block
+    /// would be empty.
+    TooManyProcs { level: usize, procs: usize, trip: i64 },
+    /// A fused group covers no nests, so it has no iteration range.
+    EmptyGroup,
 }
 
 impl fmt::Display for LegalityError {
@@ -39,6 +51,22 @@ impl fmt::Display for LegalityError {
                 f,
                 "block has {block_iters} iterations in level {level}, below threshold Nt={nt}"
             ),
+            LegalityError::BadLevels { levels, depth } => write!(
+                f,
+                "cannot fuse {levels} levels of a sequence with depth {depth} (need 1..=depth)"
+            ),
+            LegalityError::GridMismatch { global_dims, grid_dims } => write!(
+                f,
+                "processor grid has {grid_dims} dimensions but the fused range has {global_dims}"
+            ),
+            LegalityError::EmptyGrid { level } => {
+                write!(f, "processor grid has zero processors in level {level}")
+            }
+            LegalityError::TooManyProcs { level, procs, trip } => write!(
+                f,
+                "{procs} processors but only {trip} iterations in level {level}"
+            ),
+            LegalityError::EmptyGroup => write!(f, "fused group covers no nests"),
         }
     }
 }
@@ -157,9 +185,9 @@ mod tests {
         let seq = swap_seq(16); // 15 iterations, Nt = 2
         let deps = sp_dep::analyze_sequence(&seq).unwrap();
         let deriv = check_sequence(&seq, &deps, 1).unwrap();
-        let ok = decompose(&[(1, 15)], &[7]); // blocks of 2-3
+        let ok = decompose(&[(1, 15)], &[7]).unwrap(); // blocks of 2-3
         assert!(check_blocks(&deriv, &ok).is_ok());
-        let bad = decompose(&[(1, 15)], &[8]); // smallest block has 1
+        let bad = decompose(&[(1, 15)], &[8]).unwrap(); // smallest block has 1
         assert!(matches!(
             check_blocks(&deriv, &bad),
             Err(LegalityError::BlockTooSmall { nt: 2, .. })

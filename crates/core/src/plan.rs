@@ -133,7 +133,9 @@ pub fn fusion_plan(
     method: CodegenMethod,
     profit: Option<&ProfitabilityModel>,
 ) -> Result<FusionPlan, LegalityError> {
-    assert!(levels >= 1 && levels <= deps.depth);
+    if levels < 1 || levels > deps.depth {
+        return Err(LegalityError::BadLevels { levels, depth: deps.depth });
+    }
     let n = seq.len();
     let mut groups = Vec::new();
     let mut start = 0usize;
@@ -166,8 +168,14 @@ pub fn fusion_plan(
 /// A plan with every nest in its own group — the *unfused* original
 /// program (each nest blocked across processors with a barrier after it).
 /// Used as the baseline in all experiments.
-pub fn singleton_plan(seq: &LoopSequence, deps: &SequenceDeps, levels: usize) -> FusionPlan {
-    assert!(levels >= 1 && levels <= deps.depth);
+pub fn singleton_plan(
+    seq: &LoopSequence,
+    deps: &SequenceDeps,
+    levels: usize,
+) -> Result<FusionPlan, LegalityError> {
+    if levels < 1 || levels > deps.depth {
+        return Err(LegalityError::BadLevels { levels, depth: deps.depth });
+    }
     let groups = (0..seq.len())
         .map(|k| FusedGroup {
             start: k,
@@ -184,7 +192,7 @@ pub fn singleton_plan(seq: &LoopSequence, deps: &SequenceDeps, levels: usize) ->
             },
         })
         .collect();
-    FusionPlan { levels, groups, method: CodegenMethod::StripMined }
+    Ok(FusionPlan { levels, groups, method: CodegenMethod::StripMined })
 }
 
 #[cfg(test)]

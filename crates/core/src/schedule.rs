@@ -20,6 +20,7 @@
 //! dimension.
 
 use crate::derive::Derivation;
+use crate::legality::LegalityError;
 use sp_ir::{IterSpace, LoopNest, LoopSequence};
 
 /// A processor's block of the fused iteration space.
@@ -40,16 +41,28 @@ pub struct ProcBlock {
 /// `global` gives the inclusive fused range per fused level; `grid` the
 /// number of processors along each fused level. Block sizes differ by at
 /// most one iteration (the remainder is spread over the leading blocks).
-pub fn decompose(global: &[(i64, i64)], grid: &[usize]) -> Vec<ProcBlock> {
-    assert_eq!(global.len(), grid.len());
-    assert!(grid.iter().all(|&g| g >= 1));
+pub fn decompose(
+    global: &[(i64, i64)],
+    grid: &[usize],
+) -> Result<Vec<ProcBlock>, LegalityError> {
+    if global.len() != grid.len() {
+        return Err(LegalityError::GridMismatch {
+            global_dims: global.len(),
+            grid_dims: grid.len(),
+        });
+    }
+    if let Some(l) = grid.iter().position(|&g| g == 0) {
+        return Err(LegalityError::EmptyGrid { level: l });
+    }
     // Per-level list of (range, touches-low-boundary, touches-high-boundary).
     type LevelBlock = ((i64, i64), bool, bool);
     let mut per_level: Vec<Vec<LevelBlock>> = Vec::new();
     for (l, &(lo, hi)) in global.iter().enumerate() {
         let g = grid[l] as i64;
         let trip = hi - lo + 1;
-        assert!(trip >= g, "fewer iterations than processors in level {l}");
+        if trip < g {
+            return Err(LegalityError::TooManyProcs { level: l, procs: grid[l], trip });
+        }
         let base = trip / g;
         let rem = trip % g;
         let mut ranges = Vec::with_capacity(grid[l]);
@@ -83,27 +96,26 @@ pub fn decompose(global: &[(i64, i64)], grid: &[usize]) -> Vec<ProcBlock> {
         }
         blocks.push(ProcBlock { proc: p, range, low_boundary: low, high_boundary: high });
     }
-    blocks
+    Ok(blocks)
 }
 
 /// The global fused iteration range per fused level: the union of the
 /// nests' per-level ranges (differing bounds are clipped per nest later).
-pub fn global_fused_range(seq: &LoopSequence, nests: &[usize], levels: usize) -> Vec<(i64, i64)> {
-    (0..levels)
+pub fn global_fused_range(
+    seq: &LoopSequence,
+    nests: &[usize],
+    levels: usize,
+) -> Result<Vec<(i64, i64)>, LegalityError> {
+    if nests.is_empty() {
+        return Err(LegalityError::EmptyGroup);
+    }
+    Ok((0..levels)
         .map(|l| {
-            let lo = nests
-                .iter()
-                .map(|&k| seq.nests[k].bounds[l].lo)
-                .min()
-                .expect("no nests");
-            let hi = nests
-                .iter()
-                .map(|&k| seq.nests[k].bounds[l].hi)
-                .max()
-                .expect("no nests");
+            let lo = nests.iter().map(|&k| seq.nests[k].bounds[l].lo).min().unwrap();
+            let hi = nests.iter().map(|&k| seq.nests[k].bounds[l].hi).max().unwrap();
             (lo, hi)
         })
-        .collect()
+        .collect())
 }
 
 /// The per-nest regions a processor executes.
@@ -182,7 +194,7 @@ mod tests {
 
     #[test]
     fn decompose_covers_range() {
-        let blocks = decompose(&[(1, 100)], &[7]);
+        let blocks = decompose(&[(1, 100)], &[7]).unwrap();
         assert_eq!(blocks.len(), 7);
         assert_eq!(blocks[0].range[0].0, 1);
         assert_eq!(blocks[6].range[0].1, 100);
@@ -199,7 +211,7 @@ mod tests {
 
     #[test]
     fn decompose_2d_grid() {
-        let blocks = decompose(&[(0, 9), (0, 19)], &[2, 4]);
+        let blocks = decompose(&[(0, 9), (0, 19)], &[2, 4]).unwrap();
         assert_eq!(blocks.len(), 8);
         let total: usize = blocks
             .iter()
@@ -219,8 +231,8 @@ mod tests {
         let deriv = derive_shift_peel(seq).unwrap();
         let fused_levels = deriv.fused_levels();
         let nest_ids: Vec<usize> = (0..seq.len()).collect();
-        let global = global_fused_range(seq, &nest_ids, fused_levels);
-        let blocks = decompose(&global, grid);
+        let global = global_fused_range(seq, &nest_ids, fused_levels).unwrap();
+        let blocks = decompose(&global, grid).unwrap();
         for (k, nest) in seq.nests.iter().enumerate() {
             let mut count: HashMap<Vec<i64>, usize> = HashMap::new();
             for b in &blocks {
@@ -283,8 +295,8 @@ mod tests {
         // d: [iend-1, iend+2].
         let seq = fig9(64);
         let deriv = derive_shift_peel(&seq).unwrap();
-        let global = global_fused_range(&seq, &[0, 1, 2], 1);
-        let blocks = decompose(&global, &[4]);
+        let global = global_fused_range(&seq, &[0, 1, 2], 1).unwrap();
+        let blocks = decompose(&global, &[4]).unwrap();
         let b = &blocks[1]; // interior
         let (istart, iend) = b.range[0];
         let r1 = nest_regions(&seq.nests[0], &deriv, 0, b);
@@ -302,8 +314,8 @@ mod tests {
     fn first_block_has_no_lower_peel_skip() {
         let seq = fig9(64);
         let deriv = derive_shift_peel(&seq).unwrap();
-        let global = global_fused_range(&seq, &[0, 1, 2], 1);
-        let blocks = decompose(&global, &[4]);
+        let global = global_fused_range(&seq, &[0, 1, 2], 1).unwrap();
+        let blocks = decompose(&global, &[4]).unwrap();
         let b = &blocks[0];
         let r2 = nest_regions(&seq.nests[1], &deriv, 1, b);
         // Starts at the nest's own lower bound, not bs + peel.
@@ -314,8 +326,8 @@ mod tests {
     fn last_block_peeled_covers_shift_leftover_only() {
         let seq = fig9(64);
         let deriv = derive_shift_peel(&seq).unwrap();
-        let global = global_fused_range(&seq, &[0, 1, 2], 1);
-        let blocks = decompose(&global, &[4]);
+        let global = global_fused_range(&seq, &[0, 1, 2], 1).unwrap();
+        let blocks = decompose(&global, &[4]).unwrap();
         let b = blocks.last().unwrap();
         let hi = seq.nests[2].bounds[0].hi;
         let r3 = nest_regions(&seq.nests[2], &deriv, 2, b);

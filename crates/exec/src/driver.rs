@@ -14,8 +14,10 @@
 //! execution — this is what makes deterministic trace-driven cache
 //! simulation per processor possible.
 
+use crate::exec::ExecError;
 use crate::interp::{exec_region, ExecCounters};
 use crate::memory::{MemView, Memory};
+use crate::pool::SenseBarrier;
 use crate::sink::{AccessSink, NullSink};
 use shift_peel_core::{
     check_blocks, decompose, global_fused_range, nest_regions, CodegenMethod, FusedGroup,
@@ -24,6 +26,7 @@ use shift_peel_core::{
 use sp_dep::SequenceDeps;
 use sp_ir::{IterSpace, LoopSequence};
 use std::sync::Barrier;
+use std::time::Instant;
 
 /// Iterates the tiles of `block` over the first `fused_levels` dimensions
 /// with strip size `s`, invoking `f` with each tile's per-level ranges.
@@ -161,7 +164,7 @@ pub unsafe fn run_peeled_phase<S: AccessSink>(
 }
 
 /// Per-group precomputed work description.
-enum GroupWork {
+pub(crate) enum GroupWork {
     /// A nest that must run serially (on processor 0).
     Serial { nest: usize },
     /// A (possibly singleton) parallel group with its blocks; processors
@@ -171,7 +174,7 @@ enum GroupWork {
 
 /// Builds the work list for a plan on a processor grid, performing all
 /// legality checks (Theorem 1 block sizes).
-fn build_work(
+pub(crate) fn build_work(
     seq: &LoopSequence,
     deps: &SequenceDeps,
     plan: &FusionPlan,
@@ -188,7 +191,7 @@ fn build_work(
             work.push(GroupWork::Serial { nest: group.start });
             continue;
         }
-        let global = global_fused_range(seq, &members, plan.levels);
+        let global = global_fused_range(seq, &members, plan.levels)?;
         // Clamp the grid so no level has more blocks than iterations, and
         // so every block satisfies the Nt threshold.
         let mut eff: Vec<usize> = Vec::with_capacity(grid.len());
@@ -197,7 +200,7 @@ fn build_work(
             let nt = group.derivation.dims[l].nt().max(1);
             eff.push((g as i64).min(trip / nt).max(1) as usize);
         }
-        let blocks = decompose(&global, &eff);
+        let blocks = decompose(&global, &eff)?;
         check_blocks(&group.derivation, &blocks)?;
         let has_peel = group.derivation.dims.iter().any(|d| d.nt() > 0);
         work.push(GroupWork::Parallel { blocks, has_peel });
@@ -205,12 +208,144 @@ fn build_work(
     Ok(work)
 }
 
+/// Phase-boundary synchronization used by [`worker_pass`]: either a
+/// `std::sync::Barrier` (scoped runtime) or a [`SenseBarrier`] (pooled
+/// runtime). `wait` returns the nanoseconds spent waiting.
+pub(crate) trait PhaseSync: Sync {
+    fn wait(&self, sense: &mut bool) -> u64;
+}
+
+impl PhaseSync for Barrier {
+    fn wait(&self, _sense: &mut bool) -> u64 {
+        let t0 = Instant::now();
+        Barrier::wait(self);
+        t0.elapsed().as_nanos() as u64
+    }
+}
+
+impl PhaseSync for SenseBarrier {
+    fn wait(&self, sense: &mut bool) -> u64 {
+        SenseBarrier::wait(self, sense)
+    }
+}
+
+/// One processor's traversal of a full work list: for each group, fused
+/// phase, barrier, then (if any nest peels) peeled phase and a second
+/// barrier. Serial groups run on processor 0 with everyone else waiting.
+/// Phase wall times and barrier-wait times accumulate into `counters`.
+///
+/// This is the *shared* per-worker schedule of the scoped and pooled
+/// runtimes; only the barrier implementation differs.
+///
+/// # Safety
+/// As [`run_fused_phase`]/[`run_peeled_phase`]: all participants must
+/// execute the same work list in lockstep through the same barrier.
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn worker_pass<B: PhaseSync, S: AccessSink>(
+    seq: &LoopSequence,
+    plan: &FusionPlan,
+    work: &[GroupWork],
+    strip: i64,
+    p: usize,
+    view: &MemView<'_>,
+    barrier: &B,
+    sense: &mut bool,
+    sink: &mut S,
+    counters: &mut ExecCounters,
+) {
+    for (gi, w) in work.iter().enumerate() {
+        match w {
+            GroupWork::Serial { nest } => {
+                if p == 0 {
+                    let t0 = Instant::now();
+                    let space = seq.nests[*nest].space();
+                    // SAFETY: all other threads are parked at the barrier
+                    // below; no concurrent access.
+                    unsafe { exec_region(seq, view, *nest, &space, sink, counters) };
+                    counters.fused_nanos += t0.elapsed().as_nanos() as u64;
+                }
+                counters.barrier_wait_nanos += barrier.wait(sense);
+                counters.barriers += 1;
+            }
+            GroupWork::Parallel { blocks, has_peel } => {
+                let group = &plan.groups[gi];
+                if let Some(block) = blocks.get(p) {
+                    let t0 = Instant::now();
+                    // SAFETY: fused phases of distinct blocks never
+                    // conflict (Theorem 1; checked by `build_work`).
+                    unsafe {
+                        run_fused_phase(
+                            seq, group, block, strip, plan.method, view, sink, counters,
+                        )
+                    };
+                    counters.fused_nanos += t0.elapsed().as_nanos() as u64;
+                }
+                counters.barrier_wait_nanos += barrier.wait(sense);
+                counters.barriers += 1;
+                if *has_peel {
+                    if let Some(block) = blocks.get(p) {
+                        let t0 = Instant::now();
+                        // SAFETY: peeled sets of distinct blocks never
+                        // conflict.
+                        unsafe { run_peeled_phase(seq, group, block, view, sink, counters) };
+                        counters.peeled_nanos += t0.elapsed().as_nanos() as u64;
+                    }
+                    counters.barrier_wait_nanos += barrier.wait(sense);
+                    counters.barriers += 1;
+                }
+            }
+        }
+    }
+}
+
+/// One spawn-per-run pass over the work list: `nprocs` scoped threads,
+/// a fresh `std::sync::Barrier`, one [`worker_pass`] each.
+pub(crate) fn scoped_pass(
+    seq: &LoopSequence,
+    plan: &FusionPlan,
+    work: &[GroupWork],
+    nprocs: usize,
+    strip: i64,
+    view: &MemView<'_>,
+) -> Result<Vec<ExecCounters>, ExecError> {
+    let barrier = Barrier::new(nprocs);
+    let mut results = Vec::with_capacity(nprocs);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nprocs);
+        for p in 0..nprocs {
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                let mut sink = NullSink;
+                let mut counters = ExecCounters::default();
+                let mut sense = false;
+                // SAFETY: every thread runs the same work list through
+                // the same barrier; phases never conflict (Theorem 1).
+                unsafe {
+                    worker_pass(
+                        seq, plan, work, strip, p, view, barrier, &mut sense, &mut sink,
+                        &mut counters,
+                    )
+                };
+                counters
+            }));
+        }
+        for (p, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(c) => results.push(c),
+                Err(_) => return Err(ExecError::WorkerPanic { proc: p }),
+            }
+        }
+        Ok(())
+    })?;
+    Ok(results)
+}
+
 /// Deterministic simulation of parallel execution: processors of each
 /// phase run one after another, each reporting into its own sink.
 ///
-/// Returns per-processor counters. `sinks.len()` determines the processor
-/// count and must equal the grid's product.
-pub fn run_plan_sim<S: AccessSink>(
+/// Returns per-processor counters. `sinks.len()` must equal the grid's
+/// product.
+pub(crate) fn sim_pass<S: AccessSink>(
     seq: &LoopSequence,
     deps: &SequenceDeps,
     plan: &FusionPlan,
@@ -218,9 +353,11 @@ pub fn run_plan_sim<S: AccessSink>(
     strip: i64,
     mem: &mut Memory,
     sinks: &mut [S],
-) -> Result<Vec<ExecCounters>, LegalityError> {
+) -> Result<Vec<ExecCounters>, ExecError> {
     let nprocs: usize = grid.iter().product();
-    assert_eq!(sinks.len(), nprocs, "one sink per processor required");
+    if sinks.len() != nprocs {
+        return Err(ExecError::SinkCount { expected: nprocs, got: sinks.len() });
+    }
     let work = build_work(seq, deps, plan, grid)?;
     let mut counters = vec![ExecCounters::default(); nprocs];
     let view = MemView::new(mem);
@@ -280,12 +417,33 @@ pub fn run_plan_sim<S: AccessSink>(
     Ok(counters)
 }
 
+/// Deterministic simulation of parallel execution (legacy free function).
+#[deprecated(since = "0.2.0", note = "use `SimExecutor` with a `RunConfig`")]
+pub fn run_plan_sim<S: AccessSink>(
+    seq: &LoopSequence,
+    deps: &SequenceDeps,
+    plan: &FusionPlan,
+    grid: &[usize],
+    strip: i64,
+    mem: &mut Memory,
+    sinks: &mut [S],
+) -> Result<Vec<ExecCounters>, LegalityError> {
+    match sim_pass(seq, deps, plan, grid, strip, mem, sinks) {
+        Ok(c) => Ok(c),
+        Err(ExecError::Legality(e)) => Err(e),
+        // The legacy signature can only express legality failures; other
+        // errors were asserts here before the Executor API existed.
+        Err(e) => panic!("{e}"),
+    }
+}
+
 /// Real multi-threaded execution of a plan with static blocked scheduling
-/// and barrier synchronization (one OS thread per simulated processor).
-///
-/// Sinks are not supported here (cache simulation is deterministic and
-/// uses [`run_plan_sim`]); the interpreter runs with [`NullSink`] for an
-/// honest wall-clock measurement.
+/// and barrier synchronization (legacy free function; one spawned OS
+/// thread per processor, [`NullSink`] access stream).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ScopedExecutor` (or `PooledExecutor`) with a `RunConfig`"
+)]
 pub fn run_plan_threaded(
     seq: &LoopSequence,
     deps: &SequenceDeps,
@@ -297,77 +455,9 @@ pub fn run_plan_threaded(
     let nprocs: usize = grid.iter().product();
     let work = build_work(seq, deps, plan, grid)?;
     let view = MemView::new(mem);
-    let barrier = Barrier::new(nprocs);
-    let mut results: Vec<ExecCounters> = Vec::with_capacity(nprocs);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(nprocs);
-        for p in 0..nprocs {
-            let work = &work;
-            let barrier = &barrier;
-            handles.push(scope.spawn(move || {
-                let mut sink = NullSink;
-                let mut counters = ExecCounters::default();
-                for (gi, w) in work.iter().enumerate() {
-                    match w {
-                        GroupWork::Serial { nest } => {
-                            if p == 0 {
-                                let space = seq.nests[*nest].space();
-                                // SAFETY: all other threads are parked at
-                                // the barrier below; no concurrent access.
-                                unsafe {
-                                    exec_region(seq, &view, *nest, &space, &mut sink, &mut counters)
-                                };
-                            }
-                            barrier.wait();
-                            counters.barriers += 1;
-                        }
-                        GroupWork::Parallel { blocks, has_peel } => {
-                            let group = &plan.groups[gi];
-                            if let Some(block) = blocks.get(p) {
-                                // SAFETY: fused phases of distinct blocks
-                                // never conflict (Theorem 1; checked).
-                                unsafe {
-                                    run_fused_phase(
-                                        seq,
-                                        group,
-                                        block,
-                                        strip,
-                                        plan.method,
-                                        &view,
-                                        &mut sink,
-                                        &mut counters,
-                                    )
-                                };
-                            }
-                            barrier.wait();
-                            counters.barriers += 1;
-                            if *has_peel {
-                                if let Some(block) = blocks.get(p) {
-                                    // SAFETY: peeled sets of distinct
-                                    // blocks never conflict.
-                                    unsafe {
-                                        run_peeled_phase(
-                                            seq,
-                                            group,
-                                            block,
-                                            &view,
-                                            &mut sink,
-                                            &mut counters,
-                                        )
-                                    };
-                                }
-                                barrier.wait();
-                                counters.barriers += 1;
-                            }
-                        }
-                    }
-                }
-                counters
-            }));
-        }
-        for h in handles {
-            results.push(h.join().expect("worker thread panicked"));
-        }
-    });
-    Ok(results)
+    match scoped_pass(seq, plan, &work, nprocs, strip, &view) {
+        Ok(c) => Ok(c),
+        Err(ExecError::Legality(e)) => Err(e),
+        Err(e) => panic!("{e}"),
+    }
 }

@@ -12,6 +12,7 @@
 //! nothing for the regular computations the paper targets, which is the
 //! paper's stated reason the restriction "is not a serious limitation").
 
+use crate::exec::ExecError;
 use crate::interp::{exec_region, ExecCounters};
 use crate::memory::{MemView, Memory};
 use crate::sink::NullSink;
@@ -19,21 +20,30 @@ use sp_dep::SequenceDeps;
 use sp_ir::{IterSpace, LoopSequence};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Barrier;
+use std::time::Instant;
 
 /// Runs the original (unfused) program on `nthreads` threads with
-/// self-scheduling: threads repeatedly claim `chunk` outer iterations of
-/// the current nest from a shared cursor; a barrier separates nests.
-/// Serial nests run on thread 0.
+/// self-scheduling, repeated for `steps` timesteps: threads repeatedly
+/// claim `chunk` outer iterations of the current nest from a shared
+/// cursor; a barrier separates nests (and therefore timesteps). Serial
+/// nests run on thread 0.
 ///
-/// Returns per-thread counters.
-pub fn run_blocked_dynamic(
+/// Returns per-thread counters, with compute time in `fused_nanos` and
+/// barrier time in `barrier_wait_nanos`.
+pub(crate) fn dynamic_pass(
     seq: &LoopSequence,
     deps: &SequenceDeps,
     nthreads: usize,
     chunk: i64,
+    steps: usize,
     mem: &mut Memory,
-) -> Vec<ExecCounters> {
-    assert!(nthreads >= 1 && chunk >= 1);
+) -> Result<Vec<ExecCounters>, ExecError> {
+    if nthreads < 1 {
+        return Err(ExecError::Config("dynamic execution needs >= 1 thread".into()));
+    }
+    if chunk < 1 {
+        return Err(ExecError::Config(format!("chunk must be >= 1, got {chunk}")));
+    }
     let view = MemView::new(mem);
     let barrier = Barrier::new(nthreads);
     let cursor = AtomicI64::new(0);
@@ -46,60 +56,90 @@ pub fn run_blocked_dynamic(
             handles.push(scope.spawn(move || {
                 let mut counters = ExecCounters::default();
                 let mut sink = NullSink;
-                for (k, nest) in seq.nests.iter().enumerate() {
-                    let parallel = deps.nests[k].parallel[0];
-                    if parallel {
-                        // Thread 0 resets the cursor for this nest; the
-                        // barrier below published the previous nest's
-                        // completion, and this barrier publishes the
-                        // reset before any claim.
-                        if t == 0 {
-                            cursor.store(nest.bounds[0].lo, Ordering::Release);
-                        }
-                        barrier.wait();
-                        loop {
-                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                            if start > nest.bounds[0].hi {
-                                break;
+                for _ in 0..steps {
+                    for (k, nest) in seq.nests.iter().enumerate() {
+                        let parallel = deps.nests[k].parallel[0];
+                        if parallel {
+                            // Thread 0 resets the cursor for this nest;
+                            // the barrier below published the previous
+                            // nest's completion, and this barrier
+                            // publishes the reset before any claim.
+                            if t == 0 {
+                                cursor.store(nest.bounds[0].lo, Ordering::Release);
                             }
-                            let end = (start + chunk - 1).min(nest.bounds[0].hi);
-                            let mut bounds = vec![(start, end)];
-                            bounds.extend(
-                                nest.bounds[1..].iter().map(|b| (b.lo, b.hi)),
-                            );
-                            let region = IterSpace::new(bounds);
-                            // SAFETY: the nest is doall in its outer
-                            // level, so claimed chunks never conflict;
-                            // barriers order accesses across nests.
+                            let tb = Instant::now();
+                            barrier.wait();
+                            counters.barrier_wait_nanos += tb.elapsed().as_nanos() as u64;
+                            let t0 = Instant::now();
+                            loop {
+                                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                                if start > nest.bounds[0].hi {
+                                    break;
+                                }
+                                let end = (start + chunk - 1).min(nest.bounds[0].hi);
+                                let mut bounds = vec![(start, end)];
+                                bounds.extend(
+                                    nest.bounds[1..].iter().map(|b| (b.lo, b.hi)),
+                                );
+                                let region = IterSpace::new(bounds);
+                                // SAFETY: the nest is doall in its outer
+                                // level, so claimed chunks never
+                                // conflict; barriers order accesses
+                                // across nests.
+                                unsafe {
+                                    exec_region(seq, &view, k, &region, &mut sink, &mut counters)
+                                };
+                            }
+                            counters.fused_nanos += t0.elapsed().as_nanos() as u64;
+                        } else if t == 0 {
+                            let space = nest.space();
+                            let t0 = Instant::now();
+                            // SAFETY: all other threads are parked at the
+                            // barrier below.
                             unsafe {
-                                exec_region(seq, &view, k, &region, &mut sink, &mut counters)
+                                exec_region(seq, &view, k, &space, &mut sink, &mut counters)
                             };
+                            counters.fused_nanos += t0.elapsed().as_nanos() as u64;
                         }
-                    } else if t == 0 {
-                        let space = nest.space();
-                        // SAFETY: all other threads are parked at the
-                        // barrier below.
-                        unsafe {
-                            exec_region(seq, &view, k, &space, &mut sink, &mut counters)
-                        };
+                        let tb = Instant::now();
+                        barrier.wait();
+                        counters.barrier_wait_nanos += tb.elapsed().as_nanos() as u64;
+                        counters.barriers += 1;
                     }
-                    barrier.wait();
-                    counters.barriers += 1;
                 }
                 counters
             }));
         }
-        for h in handles {
-            results.push(h.join().expect("dynamic worker panicked"));
+        for (p, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(c) => results.push(c),
+                Err(_) => return Err(ExecError::WorkerPanic { proc: p }),
+            }
         }
-    });
-    results
+        Ok(())
+    })?;
+    Ok(results)
+}
+
+/// Self-scheduled execution of the unfused program (legacy free
+/// function).
+#[deprecated(since = "0.2.0", note = "use `DynamicExecutor` with a `RunConfig`")]
+pub fn run_blocked_dynamic(
+    seq: &LoopSequence,
+    deps: &SequenceDeps,
+    nthreads: usize,
+    chunk: i64,
+    mem: &mut Memory,
+) -> Vec<ExecCounters> {
+    // The legacy signature asserted on bad arguments and panicked on
+    // worker panics; keep that behavior.
+    dynamic_pass(seq, deps, nthreads, chunk, 1, mem).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::{ExecPlan, Executor};
+    use crate::exec::{ExecPlan, Program};
     use crate::interp::run_original;
     use sp_cache::LayoutStrategy;
     use sp_ir::SeqBuilder;
@@ -139,7 +179,7 @@ mod tests {
             for chunk in [1i64, 5, 100] {
                 let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
                 mem.init_deterministic(&seq, 4);
-                let counters = run_blocked_dynamic(&seq, &deps, threads, chunk, &mut mem);
+                let counters = dynamic_pass(&seq, &deps, threads, chunk, 1, &mut mem).unwrap();
                 assert_eq!(mem.snapshot_all(&seq), want, "t={threads} chunk={chunk}");
                 let total: u64 = counters.iter().map(|c| c.total_iters()).sum();
                 assert_eq!(total, 3 * 46 * 46);
@@ -151,13 +191,13 @@ mod tests {
     fn dynamic_matches_static_blocked() {
         let seq = three_nests(32);
         let deps = sp_dep::analyze_sequence(&seq).unwrap();
-        let ex = Executor::new(&seq, 1).unwrap();
+        let prog = Program::new(&seq, 1).unwrap();
         let mut m1 = Memory::new(&seq, LayoutStrategy::Contiguous);
         m1.init_deterministic(&seq, 8);
-        ex.run(&mut m1, &ExecPlan::Blocked { grid: vec![4] }).unwrap();
+        prog.run(&mut m1, &ExecPlan::Blocked { grid: vec![4] }).unwrap();
         let mut m2 = Memory::new(&seq, LayoutStrategy::Contiguous);
         m2.init_deterministic(&seq, 8);
-        run_blocked_dynamic(&seq, &deps, 4, 3, &mut m2);
+        dynamic_pass(&seq, &deps, 4, 3, 1, &mut m2).unwrap();
         assert_eq!(m1.snapshot_all(&seq), m2.snapshot_all(&seq));
     }
 }

@@ -1,12 +1,14 @@
-//! High-level execution facade.
+//! Analyzed programs and execution plans.
 //!
-//! [`Executor`] bundles a sequence with its dependence analysis and runs
-//! it under an [`ExecPlan`]: the original serial program, the original
-//! parallel program (blocked with a barrier per nest), or the
-//! shift-and-peel fused program — simulated deterministically or on real
-//! threads.
+//! [`Program`] bundles a sequence with its dependence analysis; an
+//! [`ExecPlan`] names *what* to execute (the original serial program, the
+//! original blocked-parallel program, or the shift-and-peel fused
+//! program). *How* it executes — spawned threads, the persistent worker
+//! pool, self-scheduling, or deterministic simulation — is chosen by an
+//! [`Executor`](crate::executor::Executor) implementation driven by a
+//! [`RunConfig`](crate::executor::RunConfig).
 
-use crate::driver::{run_plan_sim, run_plan_threaded};
+use crate::driver::sim_pass;
 use crate::interp::{run_original, ExecCounters};
 use crate::memory::Memory;
 use crate::sink::{AccessSink, NullSink};
@@ -47,6 +49,14 @@ impl ExecPlan {
             }
         }
     }
+
+    /// The processor grid (empty for `Serial`).
+    pub fn grid(&self) -> &[usize] {
+        match self {
+            ExecPlan::Serial => &[],
+            ExecPlan::Blocked { grid } | ExecPlan::Fused { grid, .. } => grid,
+        }
+    }
 }
 
 /// Errors from planning or executing.
@@ -56,6 +66,35 @@ pub enum ExecError {
     Analysis(AnalysisError),
     /// The transformation is illegal for this sequence / processor count.
     Legality(LegalityError),
+    /// A run configuration is malformed (zero steps, bad strip, ...).
+    Config(String),
+    /// `run_with_sinks` got the wrong number of sinks for the plan.
+    SinkCount {
+        /// Sinks the plan's processor count requires.
+        expected: usize,
+        /// Sinks the caller supplied.
+        got: usize,
+    },
+    /// The chosen executor cannot run the given plan (e.g. dynamic
+    /// self-scheduling of a fused plan, which Section 3.2 forbids).
+    Unsupported {
+        /// Executor name.
+        executor: &'static str,
+        /// Why the combination is rejected.
+        reason: String,
+    },
+    /// The plan needs more processors than the pool has workers.
+    PoolTooSmall {
+        /// Workers in the pool.
+        pool: usize,
+        /// Processors the plan requires.
+        required: usize,
+    },
+    /// A worker thread panicked while executing the run.
+    WorkerPanic {
+        /// Processor id of the panicking worker.
+        proc: usize,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -63,6 +102,17 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::Analysis(e) => write!(f, "{e}"),
             ExecError::Legality(e) => write!(f, "{e}"),
+            ExecError::Config(m) => write!(f, "invalid run configuration: {m}"),
+            ExecError::SinkCount { expected, got } => {
+                write!(f, "plan needs {expected} sinks (one per processor), got {got}")
+            }
+            ExecError::Unsupported { executor, reason } => {
+                write!(f, "executor `{executor}` cannot run this plan: {reason}")
+            }
+            ExecError::PoolTooSmall { pool, required } => {
+                write!(f, "pool has {pool} workers but the plan needs {required}")
+            }
+            ExecError::WorkerPanic { proc } => write!(f, "worker {proc} panicked"),
         }
     }
 }
@@ -82,19 +132,29 @@ impl From<LegalityError> for ExecError {
 }
 
 /// A sequence bound to its dependence analysis, ready to execute under
-/// different plans.
-pub struct Executor<'a> {
+/// different plans and executors.
+pub struct Program<'a> {
     seq: &'a LoopSequence,
     deps: SequenceDeps,
     levels: usize,
 }
 
-impl<'a> Executor<'a> {
+impl<'a> Program<'a> {
     /// Analyses `seq` for fusion of its first `levels` loop dimensions.
     pub fn new(seq: &'a LoopSequence, levels: usize) -> Result<Self, ExecError> {
         let deps = analyze_sequence(seq)?;
-        assert!(levels >= 1 && levels <= deps.depth, "levels out of range");
-        Ok(Executor { seq, deps, levels })
+        if levels < 1 || levels > deps.depth {
+            return Err(ExecError::Legality(LegalityError::BadLevels {
+                levels,
+                depth: deps.depth,
+            }));
+        }
+        Ok(Program { seq, deps, levels })
+    }
+
+    /// The underlying sequence.
+    pub fn seq(&self) -> &'a LoopSequence {
+        self.seq
     }
 
     /// The dependence analysis.
@@ -112,7 +172,7 @@ impl<'a> Executor<'a> {
     pub fn fusion_plan_for(&self, plan: &ExecPlan) -> Result<FusionPlan, ExecError> {
         match plan {
             ExecPlan::Serial | ExecPlan::Blocked { .. } => {
-                Ok(singleton_plan(self.seq, &self.deps, self.levels))
+                Ok(singleton_plan(self.seq, &self.deps, self.levels)?)
             }
             ExecPlan::Fused { method, .. } => {
                 Ok(fusion_plan(self.seq, &self.deps, self.levels, *method, None)?)
@@ -137,44 +197,44 @@ impl<'a> Executor<'a> {
     ) -> Result<Vec<ExecCounters>, ExecError> {
         match plan {
             ExecPlan::Serial => {
-                assert_eq!(sinks.len(), 1);
+                if sinks.len() != 1 {
+                    return Err(ExecError::SinkCount { expected: 1, got: sinks.len() });
+                }
                 Ok(vec![run_original(self.seq, mem, &mut sinks[0])])
             }
             ExecPlan::Blocked { grid } => {
-                let fp = singleton_plan(self.seq, &self.deps, self.levels);
-                Ok(run_plan_sim(self.seq, &self.deps, &fp, grid, i64::MAX, mem, sinks)?)
+                let fp = singleton_plan(self.seq, &self.deps, self.levels)?;
+                sim_pass(self.seq, &self.deps, &fp, grid, i64::MAX, mem, sinks)
             }
             ExecPlan::Fused { grid, method: _, strip } => {
                 let fp = self.fusion_plan_for(plan)?;
-                Ok(run_plan_sim(self.seq, &self.deps, &fp, grid, *strip, mem, sinks)?)
+                sim_pass(self.seq, &self.deps, &fp, grid, *strip, mem, sinks)
             }
         }
     }
 
     /// Executes on real OS threads (one per processor) with static
     /// blocked scheduling and barrier synchronization.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ScopedExecutor` (or `PooledExecutor`) with a `RunConfig`"
+    )]
     pub fn run_threaded(
         &self,
         mem: &mut Memory,
         plan: &ExecPlan,
     ) -> Result<Vec<ExecCounters>, ExecError> {
-        match plan {
-            ExecPlan::Serial => Ok(vec![run_original(self.seq, mem, &mut NullSink)]),
-            ExecPlan::Blocked { grid } => {
-                let fp = singleton_plan(self.seq, &self.deps, self.levels);
-                Ok(run_plan_threaded(self.seq, &self.deps, &fp, grid, i64::MAX, mem)?)
-            }
-            ExecPlan::Fused { grid, method: _, strip } => {
-                let fp = self.fusion_plan_for(plan)?;
-                Ok(run_plan_threaded(self.seq, &self.deps, &fp, grid, *strip, mem)?)
-            }
-        }
+        use crate::executor::{Executor, RunConfig, ScopedExecutor};
+        let cfg = RunConfig::from_plan(plan.clone());
+        let report = ScopedExecutor.run(self, mem, &cfg)?;
+        Ok(report.workers.into_iter().map(|w| w.counters).collect())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::{Executor, PooledExecutor, RunConfig, ScopedExecutor};
     use sp_cache::LayoutStrategy;
     use sp_ir::SeqBuilder;
 
@@ -203,16 +263,16 @@ mod tests {
     fn reference(seq: &LoopSequence) -> Vec<Vec<f64>> {
         let mut mem = Memory::new(seq, LayoutStrategy::Contiguous);
         mem.init_deterministic(seq, 42);
-        let ex = Executor::new(seq, 1).unwrap();
-        ex.run(&mut mem, &ExecPlan::Serial).unwrap();
+        let prog = Program::new(seq, 1).unwrap();
+        prog.run(&mut mem, &ExecPlan::Serial).unwrap();
         mem.snapshot_all(seq)
     }
 
     fn run_plan(seq: &LoopSequence, plan: &ExecPlan) -> Vec<Vec<f64>> {
         let mut mem = Memory::new(seq, LayoutStrategy::Contiguous);
         mem.init_deterministic(seq, 42);
-        let ex = Executor::new(seq, 1).unwrap();
-        ex.run(&mut mem, plan).unwrap();
+        let prog = Program::new(seq, 1).unwrap();
+        prog.run(&mut mem, plan).unwrap();
         mem.snapshot_all(seq)
     }
 
@@ -257,9 +317,9 @@ mod tests {
         let want = reference(&seq);
         let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
         mem.init_deterministic(&seq, 42);
-        let ex = Executor::new(&seq, 1).unwrap();
-        let plan = ExecPlan::Fused { grid: vec![4], method: CodegenMethod::StripMined, strip: 8 };
-        ex.run_threaded(&mut mem, &plan).unwrap();
+        let prog = Program::new(&seq, 1).unwrap();
+        let cfg = RunConfig::fused([4]).strip(8);
+        ScopedExecutor.run(&prog, &mut mem, &cfg).unwrap();
         assert_eq!(mem.snapshot_all(&seq), want);
     }
 
@@ -269,19 +329,33 @@ mod tests {
         let want = reference(&seq);
         let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
         mem.init_deterministic(&seq, 42);
-        let ex = Executor::new(&seq, 1).unwrap();
-        ex.run_threaded(&mut mem, &ExecPlan::Blocked { grid: vec![4] }).unwrap();
+        let prog = Program::new(&seq, 1).unwrap();
+        ScopedExecutor.run(&prog, &mut mem, &RunConfig::blocked([4])).unwrap();
         assert_eq!(mem.snapshot_all(&seq), want);
+    }
+
+    #[test]
+    fn pooled_fused_matches_serial() {
+        let seq = fig9(256);
+        let want = reference(&seq);
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 42);
+        let prog = Program::new(&seq, 1).unwrap();
+        let mut pooled = PooledExecutor::new(4);
+        let report = pooled.run(&prog, &mut mem, &RunConfig::fused([4]).strip(8)).unwrap();
+        assert_eq!(mem.snapshot_all(&seq), want);
+        assert_eq!(report.workers.len(), 4);
+        assert_eq!(report.total_iters(), 3 * 254);
     }
 
     #[test]
     fn counters_account_for_peeling() {
         let seq = fig9(128);
-        let ex = Executor::new(&seq, 1).unwrap();
+        let prog = Program::new(&seq, 1).unwrap();
         let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
         mem.init_deterministic(&seq, 1);
         let plan = ExecPlan::Fused { grid: vec![4], method: CodegenMethod::StripMined, strip: 8 };
-        let counters = ex.run(&mut mem, &plan).unwrap();
+        let counters = prog.run(&mut mem, &plan).unwrap();
         let total: u64 = counters.iter().map(|c| c.total_iters()).sum();
         // All iterations of all three nests execute exactly once.
         assert_eq!(total, 3 * 126);
@@ -311,17 +385,43 @@ mod tests {
         let seq = b.finish();
         let mut ref_mem = Memory::new(&seq, LayoutStrategy::Contiguous);
         ref_mem.init_deterministic(&seq, 9);
-        let ex2 = Executor::new(&seq, 2).unwrap();
-        ex2.run(&mut ref_mem, &ExecPlan::Serial).unwrap();
+        let prog2 = Program::new(&seq, 2).unwrap();
+        prog2.run(&mut ref_mem, &ExecPlan::Serial).unwrap();
         let want = ref_mem.snapshot_all(&seq);
         for grid in [vec![2usize, 2], vec![1, 4], vec![3, 3]] {
             for method in [CodegenMethod::StripMined, CodegenMethod::Direct] {
                 let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
                 mem.init_deterministic(&seq, 9);
                 let plan = ExecPlan::Fused { grid: grid.clone(), method, strip: 4 };
-                ex2.run(&mut mem, &plan).unwrap();
+                prog2.run(&mut mem, &plan).unwrap();
                 assert_eq!(mem.snapshot_all(&seq), want, "grid {grid:?} {method:?}");
             }
         }
+    }
+
+    #[test]
+    fn bad_levels_is_a_typed_error() {
+        let seq = fig9(32);
+        assert!(matches!(
+            Program::new(&seq, 0),
+            Err(ExecError::Legality(LegalityError::BadLevels { levels: 0, depth: 1 }))
+        ));
+        assert!(matches!(
+            Program::new(&seq, 3),
+            Err(ExecError::Legality(LegalityError::BadLevels { levels: 3, depth: 1 }))
+        ));
+    }
+
+    #[test]
+    fn sink_count_mismatch_is_a_typed_error() {
+        let seq = fig9(32);
+        let prog = Program::new(&seq, 1).unwrap();
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 1);
+        let mut sinks = vec![NullSink; 3];
+        let err = prog
+            .run_with_sinks(&mut mem, &ExecPlan::Blocked { grid: vec![4] }, &mut sinks)
+            .unwrap_err();
+        assert_eq!(err, ExecError::SinkCount { expected: 4, got: 3 });
     }
 }

@@ -1,0 +1,651 @@
+//! The unified executor API.
+//!
+//! One trait, [`Executor`], four runtimes:
+//!
+//! * [`ScopedExecutor`] — spawns a fresh set of OS threads for **every
+//!   timestep** (`std::thread::scope` + `std::sync::Barrier`). This is
+//!   the seed runtime's behavior, kept as the baseline the pool is
+//!   measured against.
+//! * [`PooledExecutor`] — a persistent [`WorkerPool`]: workers are
+//!   created once, park between runs, and a whole multi-timestep run is
+//!   a single dispatch with [`SenseBarrier`](crate::pool::SenseBarrier)
+//!   phase synchronization.
+//! * [`DynamicExecutor`] — self-scheduled execution of the *unfused*
+//!   blocked program (the scheduling ablation; Section 3.2 of the paper
+//!   forbids dynamic scheduling for shift-and-peel plans).
+//! * [`SimExecutor`] — the deterministic single-threaded simulation of
+//!   `P` processors, optionally with per-processor cache simulation.
+//!
+//! All are driven by a [`RunConfig`] — plan, timestep count, and sink
+//! choice — and produce a [`RunReport`] with per-worker counters, phase
+//! wall times, barrier-wait times, and block-imbalance statistics.
+
+use crate::driver::{build_work, scoped_pass, sim_pass, worker_pass};
+use crate::dynamic::dynamic_pass;
+use crate::exec::{ExecError, ExecPlan, Program};
+use crate::interp::{run_original, ExecCounters};
+use crate::memory::{MemView, Memory};
+use crate::pool::{SenseBarrier, WorkerPool};
+use crate::report::{RunReport, WorkerReport};
+use crate::sink::{CacheSink, NullSink};
+use shift_peel_core::CodegenMethod;
+use sp_cache::{Cache, CacheConfig};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Where the access stream goes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SinkChoice {
+    /// Discard accesses (fastest; the only choice the threaded runtimes
+    /// accept).
+    #[default]
+    Null,
+    /// Feed each simulated processor's accesses through its own cache
+    /// simulator ([`SimExecutor`] only); per-worker hit/miss statistics
+    /// land in the report.
+    Cache(CacheConfig),
+}
+
+/// A complete description of one run: what plan to execute, how many
+/// timesteps to repeat it, and where the access stream goes.
+///
+/// Built fluently:
+///
+/// ```ignore
+/// let cfg = RunConfig::fused([4]).strip(8).steps(100);
+/// let report = ScopedExecutor.run(&prog, &mut mem, &cfg)?;
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunConfig {
+    plan: ExecPlan,
+    steps: usize,
+    sink: SinkChoice,
+}
+
+impl RunConfig {
+    /// The original serial program.
+    pub fn serial() -> Self {
+        RunConfig::from_plan(ExecPlan::Serial)
+    }
+
+    /// The original program blocked over a processor grid, barrier after
+    /// every nest.
+    pub fn blocked(grid: impl Into<Vec<usize>>) -> Self {
+        RunConfig::from_plan(ExecPlan::Blocked { grid: grid.into() })
+    }
+
+    /// Shift-and-peel fused execution over a processor grid (strip-mined
+    /// codegen, whole-block strips by default; see [`RunConfig::method`]
+    /// and [`RunConfig::strip`]).
+    pub fn fused(grid: impl Into<Vec<usize>>) -> Self {
+        RunConfig::from_plan(ExecPlan::Fused {
+            grid: grid.into(),
+            method: CodegenMethod::StripMined,
+            strip: i64::MAX,
+        })
+    }
+
+    /// Wraps an existing [`ExecPlan`].
+    pub fn from_plan(plan: ExecPlan) -> Self {
+        RunConfig { plan, steps: 1, sink: SinkChoice::Null }
+    }
+
+    /// Sets the codegen method (fused plans only; no-op otherwise).
+    pub fn method(mut self, m: CodegenMethod) -> Self {
+        if let ExecPlan::Fused { method, .. } = &mut self.plan {
+            *method = m;
+        }
+        self
+    }
+
+    /// Sets the strip size (fused plans only; no-op otherwise).
+    pub fn strip(mut self, s: i64) -> Self {
+        if let ExecPlan::Fused { strip, .. } = &mut self.plan {
+            *strip = s;
+        }
+        self
+    }
+
+    /// Repeats the plan `n` times back to back (timestepping).
+    pub fn steps(mut self, n: usize) -> Self {
+        self.steps = n;
+        self
+    }
+
+    /// Chooses the access-stream sink.
+    pub fn sink(mut self, s: SinkChoice) -> Self {
+        self.sink = s;
+        self
+    }
+
+    /// The plan to execute.
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
+    }
+
+    /// Timesteps the plan runs for.
+    pub fn step_count(&self) -> usize {
+        self.steps
+    }
+
+    /// The configured sink.
+    pub fn sink_choice(&self) -> SinkChoice {
+        self.sink
+    }
+
+    fn validate(&self) -> Result<(), ExecError> {
+        if self.steps == 0 {
+            return Err(ExecError::Config("steps must be >= 1".into()));
+        }
+        if let ExecPlan::Fused { strip, .. } = &self.plan {
+            if *strip < 1 {
+                return Err(ExecError::Config(format!("strip must be >= 1, got {strip}")));
+            }
+        }
+        if self.plan.procs() == 0 {
+            return Err(ExecError::Config("processor grid has a zero dimension".into()));
+        }
+        Ok(())
+    }
+
+    fn reject_cache_sink(&self, executor: &'static str) -> Result<(), ExecError> {
+        match self.sink {
+            SinkChoice::Null => Ok(()),
+            SinkChoice::Cache(_) => Err(ExecError::Unsupported {
+                executor,
+                reason: "cache simulation needs the deterministic `SimExecutor`".into(),
+            }),
+        }
+    }
+}
+
+/// A runtime that can execute a [`Program`] under a [`RunConfig`].
+///
+/// `run` is `&mut self` because some executors carry state across runs
+/// (the pool); implementations must leave `mem` holding the result of
+/// the full `steps`-long run and report per-worker counters faithfully.
+pub trait Executor {
+    /// Short stable name (`scoped`, `pooled`, `dynamic`, `sim`) used in
+    /// reports and artifacts.
+    fn name(&self) -> &'static str;
+
+    /// Executes `cfg.plan()` on `mem` for `cfg.step_count()` timesteps.
+    fn run(
+        &mut self,
+        prog: &Program<'_>,
+        mem: &mut Memory,
+        cfg: &RunConfig,
+    ) -> Result<RunReport, ExecError>;
+}
+
+fn serial_steps(prog: &Program<'_>, mem: &mut Memory, steps: usize) -> Vec<WorkerReport> {
+    let mut counters = ExecCounters::default();
+    for _ in 0..steps {
+        let t0 = Instant::now();
+        let c = run_original(prog.seq(), mem, &mut NullSink);
+        counters.merge(&c);
+        counters.fused_nanos += t0.elapsed().as_nanos() as u64;
+    }
+    vec![WorkerReport { proc: 0, counters, cache: None }]
+}
+
+/// Spawn-per-timestep runtime: every timestep creates `P` scoped threads
+/// and a fresh barrier, exactly like the seed's `run_plan_threaded`. Its
+/// per-step thread-creation cost is what [`PooledExecutor`] removes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScopedExecutor;
+
+impl Executor for ScopedExecutor {
+    fn name(&self) -> &'static str {
+        "scoped"
+    }
+
+    fn run(
+        &mut self,
+        prog: &Program<'_>,
+        mem: &mut Memory,
+        cfg: &RunConfig,
+    ) -> Result<RunReport, ExecError> {
+        cfg.validate()?;
+        cfg.reject_cache_sink(self.name())?;
+        let t0 = Instant::now();
+        let workers = match cfg.plan() {
+            ExecPlan::Serial => serial_steps(prog, mem, cfg.step_count()),
+            plan => {
+                let fp = prog.fusion_plan_for(plan)?;
+                let grid = plan.grid();
+                let strip = match plan {
+                    ExecPlan::Fused { strip, .. } => *strip,
+                    _ => i64::MAX,
+                };
+                let work = build_work(prog.seq(), prog.deps(), &fp, grid)?;
+                let nprocs = plan.procs();
+                let view = MemView::new(mem);
+                let mut totals = vec![ExecCounters::default(); nprocs];
+                for _ in 0..cfg.step_count() {
+                    let step = scoped_pass(prog.seq(), &fp, &work, nprocs, strip, &view)?;
+                    for (t, c) in totals.iter_mut().zip(&step) {
+                        t.merge(c);
+                    }
+                }
+                totals
+                    .into_iter()
+                    .enumerate()
+                    .map(|(p, counters)| WorkerReport { proc: p, counters, cache: None })
+                    .collect()
+            }
+        };
+        Ok(RunReport {
+            executor: self.name().into(),
+            procs: cfg.plan().procs(),
+            steps: cfg.step_count(),
+            wall_nanos: t0.elapsed().as_nanos() as u64,
+            workers,
+        })
+    }
+}
+
+/// Persistent-pool runtime: workers are created once (at
+/// [`PooledExecutor::new`]) and reused by every run; a multi-timestep run
+/// is a single pool dispatch whose workers loop over timesteps, meeting
+/// at a sense-reversing barrier at every phase boundary.
+pub struct PooledExecutor {
+    pool: WorkerPool,
+}
+
+impl PooledExecutor {
+    /// A pool with `size` persistent workers. Plans may use up to `size`
+    /// processors; extra workers idle through runs that need fewer.
+    pub fn new(size: usize) -> Self {
+        PooledExecutor { pool: WorkerPool::new(size) }
+    }
+
+    /// Number of pooled workers.
+    pub fn size(&self) -> usize {
+        self.pool.size()
+    }
+}
+
+impl Executor for PooledExecutor {
+    fn name(&self) -> &'static str {
+        "pooled"
+    }
+
+    fn run(
+        &mut self,
+        prog: &Program<'_>,
+        mem: &mut Memory,
+        cfg: &RunConfig,
+    ) -> Result<RunReport, ExecError> {
+        cfg.validate()?;
+        cfg.reject_cache_sink(self.name())?;
+        let t0 = Instant::now();
+        let workers = match cfg.plan() {
+            // A serial plan has no parallel phases; run it inline rather
+            // than waking the pool for nothing.
+            ExecPlan::Serial => serial_steps(prog, mem, cfg.step_count()),
+            plan => {
+                let nprocs = plan.procs();
+                if nprocs > self.pool.size() {
+                    return Err(ExecError::PoolTooSmall {
+                        pool: self.pool.size(),
+                        required: nprocs,
+                    });
+                }
+                let fp = prog.fusion_plan_for(plan)?;
+                let strip = match plan {
+                    ExecPlan::Fused { strip, .. } => *strip,
+                    _ => i64::MAX,
+                };
+                let work = build_work(prog.seq(), prog.deps(), &fp, plan.grid())?;
+                let view = MemView::new(mem);
+                let barrier = SenseBarrier::new(nprocs);
+                let slots: Vec<Mutex<ExecCounters>> =
+                    (0..nprocs).map(|_| Mutex::new(ExecCounters::default())).collect();
+                let seq = prog.seq();
+                let steps = cfg.step_count();
+                let fp = &fp;
+                let work = &work;
+                let barrier = &barrier;
+                let slots_ref = &slots;
+                let view_ref = &view;
+                self.pool.run(&move |p: usize| {
+                    if p >= nprocs {
+                        return; // surplus workers idle through this run
+                    }
+                    let mut sink = NullSink;
+                    let mut counters = ExecCounters::default();
+                    let mut sense = false;
+                    for _ in 0..steps {
+                        // SAFETY: the `nprocs` participating workers run
+                        // the same work list in lockstep through the
+                        // sense barrier; phases never conflict
+                        // (Theorem 1, checked by `build_work`). Each
+                        // timestep ends with a barrier, ordering it
+                        // before the next.
+                        unsafe {
+                            worker_pass(
+                                seq, fp, work, strip, p, view_ref, barrier, &mut sense,
+                                &mut sink, &mut counters,
+                            )
+                        };
+                    }
+                    *slots_ref[p].lock().unwrap() = counters;
+                })?;
+                slots
+                    .into_iter()
+                    .enumerate()
+                    .map(|(p, s)| WorkerReport {
+                        proc: p,
+                        counters: s.into_inner().unwrap(),
+                        cache: None,
+                    })
+                    .collect()
+            }
+        };
+        Ok(RunReport {
+            executor: self.name().into(),
+            procs: cfg.plan().procs(),
+            steps: cfg.step_count(),
+            wall_nanos: t0.elapsed().as_nanos() as u64,
+            workers,
+        })
+    }
+}
+
+/// Self-scheduled runtime for the *unfused* blocked program: threads
+/// claim chunks of outer iterations from a shared cursor, barrier after
+/// every nest. Rejects fused plans — shift-and-peel's legality argument
+/// requires static blocked scheduling (Section 3.2).
+#[derive(Clone, Copy, Debug)]
+pub struct DynamicExecutor {
+    chunk: i64,
+}
+
+impl DynamicExecutor {
+    /// Self-scheduling with `chunk` outer iterations claimed at a time.
+    pub fn new(chunk: i64) -> Self {
+        DynamicExecutor { chunk }
+    }
+}
+
+impl Default for DynamicExecutor {
+    fn default() -> Self {
+        DynamicExecutor::new(4)
+    }
+}
+
+impl Executor for DynamicExecutor {
+    fn name(&self) -> &'static str {
+        "dynamic"
+    }
+
+    fn run(
+        &mut self,
+        prog: &Program<'_>,
+        mem: &mut Memory,
+        cfg: &RunConfig,
+    ) -> Result<RunReport, ExecError> {
+        cfg.validate()?;
+        cfg.reject_cache_sink(self.name())?;
+        if self.chunk < 1 {
+            return Err(ExecError::Config(format!("chunk must be >= 1, got {}", self.chunk)));
+        }
+        let nthreads = match cfg.plan() {
+            ExecPlan::Blocked { .. } => cfg.plan().procs(),
+            ExecPlan::Serial => {
+                return Err(ExecError::Unsupported {
+                    executor: self.name(),
+                    reason: "serial plans have nothing to self-schedule".into(),
+                })
+            }
+            ExecPlan::Fused { .. } => {
+                return Err(ExecError::Unsupported {
+                    executor: self.name(),
+                    reason: "shift-and-peel requires static blocked scheduling \
+                             (paper Section 3.2); fused plans cannot be self-scheduled"
+                        .into(),
+                })
+            }
+        };
+        let t0 = Instant::now();
+        let counters =
+            dynamic_pass(prog.seq(), prog.deps(), nthreads, self.chunk, cfg.step_count(), mem)?;
+        Ok(RunReport {
+            executor: self.name().into(),
+            procs: nthreads,
+            steps: cfg.step_count(),
+            wall_nanos: t0.elapsed().as_nanos() as u64,
+            workers: counters
+                .into_iter()
+                .enumerate()
+                .map(|(p, counters)| WorkerReport { proc: p, counters, cache: None })
+                .collect(),
+        })
+    }
+}
+
+/// Deterministic simulation of `P` processors on one thread: processors
+/// of each phase run one after another (legal because the transformation
+/// removes all intra-phase cross-processor dependences), which makes
+/// per-processor cache simulation reproducible.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimExecutor;
+
+impl Executor for SimExecutor {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run(
+        &mut self,
+        prog: &Program<'_>,
+        mem: &mut Memory,
+        cfg: &RunConfig,
+    ) -> Result<RunReport, ExecError> {
+        cfg.validate()?;
+        let nprocs = cfg.plan().procs();
+        let t0 = Instant::now();
+        let (totals, caches) = match cfg.sink_choice() {
+            SinkChoice::Null => {
+                let mut sinks = vec![NullSink; nprocs];
+                (run_sim_steps(prog, mem, cfg, &mut sinks)?, None)
+            }
+            SinkChoice::Cache(cache_cfg) => {
+                // Cache state persists across timesteps, as it would on
+                // hardware.
+                let mut sinks: Vec<CacheSink> =
+                    (0..nprocs).map(|_| CacheSink::new(Cache::new(cache_cfg))).collect();
+                let totals = run_sim_steps(prog, mem, cfg, &mut sinks)?;
+                let stats = sinks.iter().map(|s| s.stats()).collect::<Vec<_>>();
+                (totals, Some(stats))
+            }
+        };
+        Ok(RunReport {
+            executor: self.name().into(),
+            procs: nprocs,
+            steps: cfg.step_count(),
+            wall_nanos: t0.elapsed().as_nanos() as u64,
+            workers: totals
+                .into_iter()
+                .enumerate()
+                .map(|(p, counters)| WorkerReport {
+                    proc: p,
+                    counters,
+                    cache: caches.as_ref().map(|c| c[p]),
+                })
+                .collect(),
+        })
+    }
+}
+
+fn run_sim_steps<S: crate::sink::AccessSink>(
+    prog: &Program<'_>,
+    mem: &mut Memory,
+    cfg: &RunConfig,
+    sinks: &mut [S],
+) -> Result<Vec<ExecCounters>, ExecError> {
+    let nprocs = cfg.plan().procs();
+    let mut totals = vec![ExecCounters::default(); nprocs];
+    for _ in 0..cfg.step_count() {
+        let step = match cfg.plan() {
+            ExecPlan::Serial => {
+                if sinks.len() != 1 {
+                    return Err(ExecError::SinkCount { expected: 1, got: sinks.len() });
+                }
+                vec![run_original(prog.seq(), mem, &mut sinks[0])]
+            }
+            plan => {
+                let fp = prog.fusion_plan_for(plan)?;
+                let strip = match plan {
+                    ExecPlan::Fused { strip, .. } => *strip,
+                    _ => i64::MAX,
+                };
+                sim_pass(prog.seq(), prog.deps(), &fp, plan.grid(), strip, mem, sinks)?
+            }
+        };
+        for (t, c) in totals.iter_mut().zip(&step) {
+            t.merge(c);
+        }
+    }
+    Ok(totals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_cache::LayoutStrategy;
+    use sp_ir::{LoopSequence, SeqBuilder};
+
+    fn jacobi(n: usize) -> LoopSequence {
+        let mut b = SeqBuilder::new("jacobi");
+        let a = b.array("a", [n, n]);
+        let bb = b.array("b", [n, n]);
+        let (lo, hi) = (1, n as i64 - 2);
+        b.nest("L1", [(lo, hi), (lo, hi)], |x| {
+            let r = (x.ld(a, [0, -1]) + x.ld(a, [0, 1]) + x.ld(a, [-1, 0]) + x.ld(a, [1, 0]))
+                / 4.0;
+            x.assign(bb, [0, 0], r);
+        });
+        b.nest("L2", [(lo, hi), (lo, hi)], |x| {
+            let r = x.ld(bb, [0, 0]);
+            x.assign(a, [0, 0], r);
+        });
+        b.finish()
+    }
+
+    fn snapshot_after(ex: &mut dyn Executor, cfg: &RunConfig, seq: &LoopSequence) -> Vec<Vec<f64>> {
+        let prog = Program::new(seq, 2).unwrap();
+        let mut mem = Memory::new(seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(seq, 7);
+        ex.run(&prog, &mut mem, cfg).unwrap();
+        mem.snapshot_all(seq)
+    }
+
+    #[test]
+    fn all_executors_agree_on_blocked_plan() {
+        let seq = jacobi(24);
+        let cfg = RunConfig::blocked([2, 2]).steps(3);
+        let want = snapshot_after(&mut SimExecutor, &cfg, &seq);
+        assert_eq!(snapshot_after(&mut ScopedExecutor, &cfg, &seq), want);
+        assert_eq!(snapshot_after(&mut PooledExecutor::new(4), &cfg, &seq), want);
+        assert_eq!(snapshot_after(&mut DynamicExecutor::new(2), &cfg, &seq), want);
+    }
+
+    #[test]
+    fn executors_agree_on_fused_plan() {
+        let seq = jacobi(24);
+        let cfg = RunConfig::fused([2, 2]).strip(4).steps(3);
+        let want = snapshot_after(&mut SimExecutor, &cfg, &seq);
+        assert_eq!(snapshot_after(&mut ScopedExecutor, &cfg, &seq), want);
+        assert_eq!(snapshot_after(&mut PooledExecutor::new(4), &cfg, &seq), want);
+    }
+
+    #[test]
+    fn dynamic_rejects_fused_plans() {
+        let seq = jacobi(24);
+        let prog = Program::new(&seq, 2).unwrap();
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 7);
+        let err = DynamicExecutor::default()
+            .run(&prog, &mut mem, &RunConfig::fused([4]))
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Unsupported { executor: "dynamic", .. }));
+    }
+
+    #[test]
+    fn pool_too_small_is_a_typed_error() {
+        let seq = jacobi(24);
+        let prog = Program::new(&seq, 2).unwrap();
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 7);
+        let err = PooledExecutor::new(2)
+            .run(&prog, &mut mem, &RunConfig::blocked([2, 2]))
+            .unwrap_err();
+        assert_eq!(err, ExecError::PoolTooSmall { pool: 2, required: 4 });
+    }
+
+    #[test]
+    fn zero_steps_is_a_config_error() {
+        let seq = jacobi(24);
+        let prog = Program::new(&seq, 2).unwrap();
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 7);
+        let err = ScopedExecutor.run(&prog, &mut mem, &RunConfig::serial().steps(0)).unwrap_err();
+        assert!(matches!(err, ExecError::Config(_)));
+    }
+
+    #[test]
+    fn threaded_executors_reject_cache_sinks() {
+        let seq = jacobi(24);
+        let prog = Program::new(&seq, 2).unwrap();
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 7);
+        let cfg = RunConfig::blocked([2]).sink(SinkChoice::Cache(CacheConfig::new(16 * 1024, 64, 1)));
+        assert!(matches!(
+            ScopedExecutor.run(&prog, &mut mem, &cfg),
+            Err(ExecError::Unsupported { executor: "scoped", .. })
+        ));
+    }
+
+    #[test]
+    fn sim_cache_sink_reports_per_worker_stats() {
+        let seq = jacobi(24);
+        let prog = Program::new(&seq, 2).unwrap();
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 7);
+        let cfg = RunConfig::fused([2, 2])
+            .strip(4)
+            .steps(2)
+            .sink(SinkChoice::Cache(CacheConfig::new(16 * 1024, 64, 1)));
+        let report = SimExecutor.run(&prog, &mut mem, &cfg).unwrap();
+        assert_eq!(report.workers.len(), 4);
+        for w in &report.workers {
+            let cache = w.cache.expect("cache stats present");
+            assert!(cache.accesses > 0);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"cache\":{\"accesses\":"));
+    }
+
+    #[test]
+    fn pooled_report_has_barrier_and_imbalance_stats() {
+        let seq = jacobi(32);
+        let prog = Program::new(&seq, 2).unwrap();
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 7);
+        let mut pooled = PooledExecutor::new(4);
+        let report =
+            pooled.run(&prog, &mut mem, &RunConfig::fused([2, 2]).strip(8).steps(10)).unwrap();
+        assert_eq!(report.steps, 10);
+        assert_eq!(report.workers.len(), 4);
+        // Every worker crossed every barrier of every step.
+        let barriers = report.workers[0].counters.barriers;
+        assert!(barriers >= 20, "expected >= 2 barriers/step, got {barriers}");
+        assert!(report.workers.iter().all(|w| w.counters.barriers == barriers));
+        // Someone waited at some barrier, and imbalance is near 1.
+        assert!(report.max_barrier_wait_nanos() > 0);
+        let imb = report.imbalance();
+        assert!(imb >= 1.0 && imb < 2.0, "imbalance {imb}");
+    }
+}

@@ -12,7 +12,12 @@ use sp_ir::{Expr, IterSpace, LoopSequence, Statement};
 
 /// Work counters accumulated during execution, consumed by the machine
 /// cost model.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// The `*_nanos` fields hold wall-clock phase timings gathered by the
+/// parallel runtimes (zero under the deterministic simulators). They are
+/// **excluded from equality**: two runs performing identical work compare
+/// equal even though their timings differ.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct ExecCounters {
     /// Loop-body iterations executed in fused/original phases.
     pub iters: u64,
@@ -30,7 +35,24 @@ pub struct ExecCounters {
     pub guards: u64,
     /// Barriers participated in.
     pub barriers: u64,
+    /// Wall time spent in fused (and serial/original) phases.
+    pub fused_nanos: u64,
+    /// Wall time spent in peeled phases.
+    pub peeled_nanos: u64,
+    /// Wall time spent waiting at barriers.
+    pub barrier_wait_nanos: u64,
 }
+
+impl PartialEq for ExecCounters {
+    fn eq(&self, o: &Self) -> bool {
+        (self.iters, self.peeled_iters, self.flops, self.loads)
+            == (o.iters, o.peeled_iters, o.flops, o.loads)
+            && (self.stores, self.strips, self.guards, self.barriers)
+                == (o.stores, o.strips, o.guards, o.barriers)
+    }
+}
+
+impl Eq for ExecCounters {}
 
 impl ExecCounters {
     /// Element-wise sum.
@@ -43,11 +65,19 @@ impl ExecCounters {
         self.strips += o.strips;
         self.guards += o.guards;
         self.barriers += o.barriers;
+        self.fused_nanos += o.fused_nanos;
+        self.peeled_nanos += o.peeled_nanos;
+        self.barrier_wait_nanos += o.barrier_wait_nanos;
     }
 
     /// Total iterations (fused + peeled).
     pub fn total_iters(&self) -> u64 {
         self.iters + self.peeled_iters
+    }
+
+    /// Total wall time attributed to compute phases.
+    pub fn busy_nanos(&self) -> u64 {
+        self.fused_nanos + self.peeled_nanos
     }
 }
 

@@ -10,27 +10,45 @@
 //!   cache simulators, trace recording);
 //! * [`interp`] — the statement/region interpreter and the serial
 //!   reference executor;
-//! * [`driver`] — fused (strip-mined or direct) and peeled phase drivers,
-//!   the deterministic multi-processor simulation, and the real threaded
-//!   runtime with static blocked scheduling and barriers;
-//! * [`exec`] — the [`Executor`]/[`ExecPlan`] facade.
+//! * [`driver`] — fused (strip-mined or direct) and peeled phase drivers
+//!   and the per-worker phase schedule shared by all parallel runtimes;
+//! * [`pool`] — the persistent [`WorkerPool`] and its reusable
+//!   [`SenseBarrier`];
+//! * [`exec`] — [`Program`] (a sequence bound to its analysis) and
+//!   [`ExecPlan`] (what to execute);
+//! * [`executor`] — the [`Executor`] trait with its four runtimes
+//!   ([`ScopedExecutor`], [`PooledExecutor`], [`DynamicExecutor`],
+//!   [`SimExecutor`]), driven by a [`RunConfig`];
+//! * [`report`] — per-run [`RunReport`] instrumentation (phase wall
+//!   times, barrier waits, imbalance), JSON-serializable.
 //!
-//! The runtime deliberately builds its own static-blocked executor on
-//! `std::thread::scope` rather than using a work-stealing pool: the
-//! shift-and-peel transformation's legality argument (paper Section 3.2)
-//! assumes *static, blocked* scheduling, with peeled iterations placed at
-//! known block boundaries.
+//! The runtimes deliberately implement *static blocked* scheduling rather
+//! than work stealing: the shift-and-peel transformation's legality
+//! argument (paper Section 3.2) places peeled iterations at known block
+//! boundaries. The one dynamic (self-scheduled) runtime is restricted to
+//! the unfused program and exists as the scheduling ablation.
 
 pub mod driver;
 pub mod dynamic;
 pub mod exec;
+pub mod executor;
 pub mod interp;
 pub mod memory;
+pub mod pool;
+pub mod report;
 pub mod sink;
 
+#[allow(deprecated)]
 pub use driver::{run_fused_phase, run_peeled_phase, run_plan_sim, run_plan_threaded};
+#[allow(deprecated)]
 pub use dynamic::run_blocked_dynamic;
-pub use exec::{ExecError, ExecPlan, Executor};
+pub use exec::{ExecError, ExecPlan, Program};
+pub use executor::{
+    DynamicExecutor, Executor, PooledExecutor, RunConfig, ScopedExecutor, SimExecutor,
+    SinkChoice,
+};
 pub use interp::{exec_region, exec_statement, run_original, ExecCounters};
 pub use memory::{MemView, Memory};
+pub use pool::{SenseBarrier, WorkerPool};
+pub use report::{RunReport, WorkerReport};
 pub use sink::{AccessSink, CacheSink, ClassifySink, CountingSink, HierarchySink, InfiniteSink, NullSink, RecordingSink};

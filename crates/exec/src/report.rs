@@ -1,0 +1,210 @@
+//! Per-run instrumentation: what each worker did and what it cost.
+//!
+//! Every [`Executor`](crate::executor::Executor) run produces a
+//! [`RunReport`]: wall time, per-worker [`ExecCounters`] (including phase
+//! wall times and barrier-wait times gathered by the parallel runtimes),
+//! and optional per-worker cache statistics from the deterministic
+//! simulator. Reports serialize to JSON by hand — the workspace builds
+//! offline with no serde — in a stable field order suitable for
+//! committing under `results/`.
+
+use crate::interp::ExecCounters;
+use sp_cache::CacheStats;
+
+/// One worker's contribution to a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WorkerReport {
+    /// Linearized processor id within the grid.
+    pub proc: usize,
+    /// Work and timing counters.
+    pub counters: ExecCounters,
+    /// Cache statistics, when the run simulated per-processor caches.
+    pub cache: Option<CacheStats>,
+}
+
+/// Everything measured about one executor run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// Name of the executor that produced the run (`scoped`, `pooled`,
+    /// `dynamic`, `sim`).
+    pub executor: String,
+    /// Processors the plan executed on.
+    pub procs: usize,
+    /// Timesteps executed (the plan ran this many times back to back).
+    pub steps: usize,
+    /// End-to-end wall time of the run as seen by the caller.
+    pub wall_nanos: u64,
+    /// Per-worker breakdown, indexed by processor id.
+    pub workers: Vec<WorkerReport>,
+}
+
+impl RunReport {
+    /// Sums every worker's counters.
+    pub fn merged_counters(&self) -> ExecCounters {
+        let mut total = ExecCounters::default();
+        for w in &self.workers {
+            total.merge(&w.counters);
+        }
+        total
+    }
+
+    /// Total iterations executed across workers (fused + peeled).
+    pub fn total_iters(&self) -> u64 {
+        self.workers.iter().map(|w| w.counters.total_iters()).sum()
+    }
+
+    /// The longest time any worker spent waiting at barriers.
+    pub fn max_barrier_wait_nanos(&self) -> u64 {
+        self.workers.iter().map(|w| w.counters.barrier_wait_nanos).max().unwrap_or(0)
+    }
+
+    /// Mean barrier-wait time across workers.
+    pub fn mean_barrier_wait_nanos(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 0.0;
+        }
+        self.workers.iter().map(|w| w.counters.barrier_wait_nanos).sum::<u64>() as f64
+            / self.workers.len() as f64
+    }
+
+    /// Block imbalance: the ratio of the busiest worker's iteration count
+    /// to the mean (`1.0` = perfectly balanced, `0.0` when no work ran).
+    /// Static blocked scheduling bounds this by construction — block
+    /// sizes differ by at most one iteration per level — so values far
+    /// above 1 indicate peel-induced skew, not decomposition bugs.
+    pub fn imbalance(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 0.0;
+        }
+        let iters: Vec<u64> = self.workers.iter().map(|w| w.counters.total_iters()).collect();
+        let mean = iters.iter().sum::<u64>() as f64 / iters.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        *iters.iter().max().unwrap() as f64 / mean
+    }
+
+    /// Sustained throughput in iterations per second.
+    pub fn iters_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.total_iters() as f64 * 1e9 / self.wall_nanos as f64
+    }
+
+    /// The report as a JSON object (stable field order, no trailing
+    /// whitespace), for `results/` artifacts and external tooling.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + 256 * self.workers.len());
+        s.push_str(&format!(
+            "{{\"executor\":\"{}\",\"procs\":{},\"steps\":{},\"wall_nanos\":{},",
+            json_escape(&self.executor),
+            self.procs,
+            self.steps,
+            self.wall_nanos
+        ));
+        s.push_str(&format!(
+            "\"iters_per_sec\":{:.1},\"imbalance\":{:.4},\"max_barrier_wait_nanos\":{},",
+            self.iters_per_sec(),
+            self.imbalance(),
+            self.max_barrier_wait_nanos()
+        ));
+        s.push_str("\"workers\":[");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let c = &w.counters;
+            s.push_str(&format!(
+                "{{\"proc\":{},\"iters\":{},\"peeled_iters\":{},\"flops\":{},\
+                 \"loads\":{},\"stores\":{},\"strips\":{},\"guards\":{},\"barriers\":{},\
+                 \"fused_nanos\":{},\"peeled_nanos\":{},\"barrier_wait_nanos\":{}",
+                w.proc,
+                c.iters,
+                c.peeled_iters,
+                c.flops,
+                c.loads,
+                c.stores,
+                c.strips,
+                c.guards,
+                c.barriers,
+                c.fused_nanos,
+                c.peeled_nanos,
+                c.barrier_wait_nanos
+            ));
+            if let Some(cache) = &w.cache {
+                s.push_str(&format!(
+                    ",\"cache\":{{\"accesses\":{},\"misses\":{}}}",
+                    cache.accesses, cache.misses
+                ));
+            }
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        let mut w0 = WorkerReport { proc: 0, ..Default::default() };
+        w0.counters.iters = 90;
+        w0.counters.barrier_wait_nanos = 500;
+        let mut w1 = WorkerReport { proc: 1, ..Default::default() };
+        w1.counters.iters = 100;
+        w1.counters.peeled_iters = 10;
+        RunReport {
+            executor: "pooled".into(),
+            procs: 2,
+            steps: 3,
+            wall_nanos: 1_000_000,
+            workers: vec![w0, w1],
+        }
+    }
+
+    #[test]
+    fn stats_summarize_workers() {
+        let r = report();
+        assert_eq!(r.total_iters(), 200);
+        assert_eq!(r.merged_counters().iters, 190);
+        assert_eq!(r.max_barrier_wait_nanos(), 500);
+        assert!((r.imbalance() - 1.1).abs() < 1e-9);
+        // 200 iters over 1ms of wall time.
+        assert!((r.iters_per_sec() - 200_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn json_is_wellformed_and_complete() {
+        let r = report();
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert_eq!(j.matches("\"proc\":").count(), 2);
+        for key in [
+            "\"executor\":\"pooled\"",
+            "\"procs\":2",
+            "\"steps\":3",
+            "\"wall_nanos\":1000000",
+            "\"barrier_wait_nanos\":500",
+            "\"imbalance\":1.1000",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        // Balanced braces and brackets (no nesting surprises).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

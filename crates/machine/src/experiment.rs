@@ -11,7 +11,10 @@ use shift_peel_core::{
     bytes_per_outer_iter, derive_levels, suggest_strip, CodegenMethod, ProfitabilityModel,
 };
 use sp_cache::LayoutStrategy;
-use sp_exec::{ExecError, ExecPlan};
+use sp_exec::{
+    DynamicExecutor, ExecError, ExecPlan, Executor, Memory, PooledExecutor, Program, RunConfig,
+    RunReport, ScopedExecutor,
+};
 use sp_ir::LoopSequence;
 
 /// One row of a speedup/miss sweep (Figures 21–25).
@@ -267,6 +270,63 @@ pub fn padding_sweep(
         partitioned_unfused: run(LayoutStrategy::CachePartition(machine.cache), false)?,
         partitioned_fused: run(LayoutStrategy::CachePartition(machine.cache), true)?,
     })
+}
+
+/// One row of a real-thread runtime sweep: the same fused program run
+/// for `steps` timesteps under the spawn-per-step and persistent-pool
+/// runtimes (verified bit-for-bit identical), plus the self-scheduled
+/// runtime on the *unfused* blocked plan (dynamic scheduling of fused
+/// plans is illegal — paper Section 3.2).
+#[derive(Clone, Debug)]
+pub struct RuntimeRow {
+    /// Timesteps in this row's runs.
+    pub steps: usize,
+    /// Spawn-per-timestep run ([`ScopedExecutor`]).
+    pub scoped: RunReport,
+    /// Persistent worker-pool run ([`PooledExecutor`]).
+    pub pooled: RunReport,
+    /// Self-scheduled run of the unfused program ([`DynamicExecutor`]).
+    pub dynamic: RunReport,
+}
+
+/// Compares the threaded runtimes on real host threads: for each entry
+/// of `step_counts`, runs the fused plan under [`ScopedExecutor`] and
+/// [`PooledExecutor`] (one pool persists across the whole sweep — the
+/// effect being measured) and the unfused blocked plan under
+/// [`DynamicExecutor`], returning their [`RunReport`]s. Errors if the
+/// pooled result diverges from the scoped result.
+pub fn runtime_sweep(
+    seq: &LoopSequence,
+    grid: &[usize],
+    strip: i64,
+    step_counts: &[usize],
+) -> Result<Vec<RuntimeRow>, ExecError> {
+    let prog = Program::new(seq, grid.len())?;
+    let procs: usize = grid.iter().product();
+    let mut pool = PooledExecutor::new(procs);
+    let run = |ex: &mut dyn Executor,
+                   cfg: &RunConfig|
+     -> Result<(RunReport, Vec<Vec<f64>>), ExecError> {
+        let mut mem = Memory::new(seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(seq, 42);
+        let report = ex.run(&prog, &mut mem, cfg)?;
+        Ok((report, mem.snapshot_all(seq)))
+    };
+    let mut rows = Vec::with_capacity(step_counts.len());
+    for &steps in step_counts {
+        let fused = RunConfig::fused(grid.to_vec()).strip(strip).steps(steps);
+        let blocked = RunConfig::blocked(grid.to_vec()).steps(steps);
+        let (scoped, want) = run(&mut ScopedExecutor, &fused)?;
+        let (pooled, got) = run(&mut pool, &fused)?;
+        if got != want {
+            return Err(ExecError::Config(format!(
+                "pooled run diverged from scoped at {steps} steps"
+            )));
+        }
+        let (dynamic, _) = run(&mut DynamicExecutor::default(), &blocked)?;
+        rows.push(RuntimeRow { steps, scoped, pooled, dynamic });
+    }
+    Ok(rows)
 }
 
 /// The fusion improvement ratio of Figure 24: unfused time / fused time

@@ -8,7 +8,7 @@
 
 use crate::config::MachineConfig;
 use sp_cache::{Cache, CacheStats, LayoutStrategy};
-use sp_exec::{CacheSink, ExecCounters, ExecError, ExecPlan, Executor, Memory};
+use sp_exec::{CacheSink, ExecCounters, ExecError, ExecPlan, Memory, Program};
 use sp_ir::LoopSequence;
 
 /// What to simulate.
@@ -98,7 +98,7 @@ pub fn simulate(
         ExecPlan::Serial => 1,
         ExecPlan::Blocked { grid } | ExecPlan::Fused { grid, .. } => grid.len(),
     };
-    let ex = Executor::new(seq, levels)?;
+    let ex = Program::new(seq, levels)?;
     let mut mem = Memory::new(seq, plan.layout);
     mem.init_deterministic(seq, plan.seed);
     let procs = plan.exec.procs();

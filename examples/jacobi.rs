@@ -25,30 +25,35 @@ fn main() {
     }
 
     // Reference: serial original.
-    let ex = Executor::new(&seq, 2).expect("analysis");
+    let prog = Program::new(&seq, 2).expect("analysis");
     let mut ref_mem = Memory::new(&seq, LayoutStrategy::Contiguous);
     ref_mem.init_deterministic(&seq, 7);
-    ex.run(&mut ref_mem, &ExecPlan::Serial).expect("serial");
+    ScopedExecutor
+        .run(&prog, &mut ref_mem, &RunConfig::serial())
+        .expect("serial");
     let want = ref_mem.snapshot_all(&seq);
 
     // Fused on processor grids, like Figure 16's JNPROCS x INPROCS
     // decomposition; the boundary prologue cases are handled by the
-    // schedule geometry.
+    // schedule geometry. A persistent pool sized for the largest grid
+    // serves every run — workers are created once and reused.
+    let mut pool = PooledExecutor::new(8);
     for grid in [vec![2usize, 2], vec![4, 2], vec![1, 8]] {
         let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
         mem.init_deterministic(&seq, 7);
-        let plan = ExecPlan::Fused {
-            grid: grid.clone(),
-            method: CodegenMethod::StripMined,
-            strip: 16,
-        };
-        let counters = ex.run_threaded(&mut mem, &plan).expect("fused");
+        let cfg = RunConfig::fused(grid.clone())
+            .method(CodegenMethod::StripMined)
+            .strip(16);
+        let report = pool.run(&prog, &mut mem, &cfg).expect("fused");
         assert_eq!(mem.snapshot_all(&seq), want, "grid {grid:?}");
-        let fused: u64 = counters.iter().map(|c| c.iters).sum();
-        let peeled: u64 = counters.iter().map(|c| c.peeled_iters).sum();
+        let c = report.merged_counters();
         println!(
-            "grid {grid:?}: OK — {fused} fused + {peeled} peeled iterations across {} threads",
-            grid.iter().product::<usize>()
+            "grid {grid:?}: OK — {} fused + {} peeled iterations across {} pooled workers \
+             (max barrier wait {} ns)",
+            c.iters,
+            c.peeled_iters,
+            grid.iter().product::<usize>(),
+            report.max_barrier_wait_nanos()
         );
     }
     println!("jacobi OK");

@@ -30,7 +30,7 @@ fn main() {
         let verdict = if profit.should_fuse(seq, 0, seq.len()) { "fuse" } else { "skip" };
 
         // Verify the transformed execution.
-        let ex = Executor::new(seq, 1).expect("executor");
+        let ex = Program::new(seq, 1).expect("executor");
         let mut ref_mem = Memory::new(seq, LayoutStrategy::Contiguous);
         ref_mem.init_deterministic(seq, 3);
         ex.run(&mut ref_mem, &ExecPlan::Serial).expect("serial");

@@ -45,25 +45,28 @@ fn main() {
     );
 
     // --- 3. Execute: serial reference vs fused parallel ----------------
-    let ex = Executor::new(&seq, 1).expect("analysis");
+    let prog = Program::new(&seq, 1).expect("analysis");
     let mut ref_mem = Memory::new(&seq, LayoutStrategy::Contiguous);
     ref_mem.init_deterministic(&seq, 42);
-    ex.run(&mut ref_mem, &ExecPlan::Serial).expect("serial run");
+    ScopedExecutor
+        .run(&prog, &mut ref_mem, &RunConfig::serial())
+        .expect("serial run");
     let want = ref_mem.snapshot_all(&seq);
 
     for procs in [1usize, 4, 8] {
         let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
         mem.init_deterministic(&seq, 42);
-        let plan = ExecPlan::Fused {
-            grid: vec![procs],
-            method: CodegenMethod::StripMined,
-            strip: 32,
-        };
-        let counters = ex.run_threaded(&mut mem, &plan).expect("fused run");
+        let cfg = RunConfig::fused([procs])
+            .method(CodegenMethod::StripMined)
+            .strip(32);
+        let report = ScopedExecutor.run(&prog, &mut mem, &cfg).expect("fused run");
         assert_eq!(mem.snapshot_all(&seq), want, "fused result differs at P={procs}");
-        let peeled: u64 = counters.iter().map(|c| c.peeled_iters).sum();
+        let c = report.merged_counters();
         println!(
-            "P={procs}: fused result matches the serial original exactly ({peeled} peeled iterations)"
+            "P={procs}: fused result matches the serial original exactly \
+             ({} peeled iterations, imbalance {:.3})",
+            c.peeled_iters,
+            report.imbalance()
         );
     }
     println!("quickstart OK");

@@ -62,16 +62,16 @@ fn main() {
     println!("\n{}", render_plan(&dist, &plan, 16));
 
     // 5. Verify: transformed parallel execution equals the original.
-    let ex_orig = Executor::new(&seq, 1).expect("orig executor");
+    let ex_orig = Program::new(&seq, 1).expect("orig executor");
     let mut m1 = Memory::new(&seq, LayoutStrategy::Contiguous);
     m1.init_deterministic(&seq, 5);
     ex_orig.run(&mut m1, &ExecPlan::Serial).expect("serial");
 
-    let ex_dist = Executor::new(&dist, 1).expect("dist executor");
+    let ex_dist = Program::new(&dist, 1).expect("dist executor");
     let mut m2 = Memory::new(&dist, LayoutStrategy::Contiguous);
     m2.init_deterministic(&dist, 5);
-    let fused = ExecPlan::Fused { grid: vec![4], method: CodegenMethod::StripMined, strip: 16 };
-    ex_dist.run_threaded(&mut m2, &fused).expect("fused");
+    let cfg = RunConfig::fused([4]).method(CodegenMethod::StripMined).strip(16);
+    ScopedExecutor.run(&ex_dist, &mut m2, &cfg).expect("fused");
 
     assert_eq!(
         m1.snapshot_all(&seq),

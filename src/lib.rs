@@ -11,8 +11,10 @@
 //!   and code generation (the paper's primary contribution).
 //! * [`cache`] — trace-driven cache simulation, padding, and the cache
 //!   partitioning layout algorithm (the paper's second contribution).
-//! * [`exec`] — an interpreter and static-blocked parallel runtime that
-//!   executes original and transformed schedules over real arrays.
+//! * [`exec`] — an interpreter and the static-blocked parallel runtimes
+//!   (spawn-per-step, persistent worker pool, self-scheduled ablation)
+//!   behind one `Executor` trait, driven by a `RunConfig` and reporting
+//!   per-worker `RunReport` instrumentation.
 //! * [`machine`] — simulated scalable shared-memory multiprocessors (KSR2
 //!   and Convex SPP-1000 presets) for the paper's speedup/miss experiments.
 //! * [`kernels`] — the paper's kernels and applications (LL18, calc,
@@ -61,7 +63,10 @@ pub mod prelude {
     };
     pub use sp_cache::{Cache, CacheConfig, LayoutStrategy, MemoryLayout};
     pub use sp_dep::{analyze_sequence, DepKind, SequenceDeps};
-    pub use sp_exec::{ExecPlan, Executor, Memory};
+    pub use sp_exec::{
+        DynamicExecutor, ExecError, ExecPlan, Executor, Memory, PooledExecutor, Program,
+        RunConfig, RunReport, ScopedExecutor, SimExecutor, SinkChoice, WorkerReport,
+    };
     pub use sp_ir::{ArrayDecl, ArrayId, Expr, LoopSequence, SeqBuilder};
     pub use sp_machine::{simulate, MachineConfig, SimPlan, SimResult};
 }

@@ -15,7 +15,7 @@ fn aligned_ll18_matches_reference() {
     let n = 40usize;
     let seq = ll18::sequence(n);
     // Reference (serial original).
-    let ex = Executor::new(&seq, 1).expect("analysis");
+    let ex = Program::new(&seq, 1).expect("analysis");
     let mut ref_mem = Memory::new(&seq, LayoutStrategy::Contiguous);
     ref_mem.init_deterministic(&seq, 21);
     ex.run(&mut ref_mem, &ExecPlan::Serial).expect("serial");

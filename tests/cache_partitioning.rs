@@ -10,7 +10,7 @@ use shift_peel::kernels::ll18;
 use shift_peel::prelude::*;
 
 fn misses(seq: &LoopSequence, layout: LayoutStrategy, cache: CacheConfig, fused: bool) -> u64 {
-    let ex = Executor::new(seq, 1).expect("analysis");
+    let ex = Program::new(seq, 1).expect("analysis");
     let mut mem = Memory::new(seq, layout);
     mem.init_deterministic(seq, 2);
     let plan = if fused {

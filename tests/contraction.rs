@@ -47,7 +47,7 @@ fn candidates(seq: &LoopSequence, live: &[ArrayId]) -> Vec<ContractionCandidate>
 /// (out snapshot, misses).
 fn run_pipeline(n: usize, strip: i64, contract: bool, cache: CacheConfig) -> (Vec<f64>, u64) {
     let seq = pipeline(n);
-    let ex = Executor::new(&seq, 1).expect("executor");
+    let ex = Program::new(&seq, 1).expect("executor");
     let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
     mem.init_deterministic(&seq, 33);
     if contract {
@@ -96,7 +96,7 @@ fn contraction_window_is_tight() {
     let (want, _) = run_pipeline(n, strip, false, cache);
     let seq = pipeline(n);
     let cands = candidates(&seq, &[ArrayId(0), ArrayId(3)]);
-    let ex = Executor::new(&seq, 1).expect("executor");
+    let ex = Program::new(&seq, 1).expect("executor");
     let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
     mem.init_deterministic(&seq, 33);
     for c in &cands {

@@ -9,7 +9,7 @@ use shift_peel::prelude::*;
 
 /// Runs `seq` serially and returns all array contents.
 fn reference(seq: &LoopSequence) -> Vec<Vec<f64>> {
-    let ex = Executor::new(seq, 1).expect("analysis");
+    let ex = Program::new(seq, 1).expect("analysis");
     let mut mem = Memory::new(seq, LayoutStrategy::Contiguous);
     mem.init_deterministic(seq, 1234);
     ex.run(&mut mem, &ExecPlan::Serial).expect("serial");
@@ -17,7 +17,7 @@ fn reference(seq: &LoopSequence) -> Vec<Vec<f64>> {
 }
 
 fn check(seq: &LoopSequence, plan: &ExecPlan, layout: LayoutStrategy, label: &str) {
-    let ex = Executor::new(seq, 1).expect("analysis");
+    let ex = Program::new(seq, 1).expect("analysis");
     let mut mem = Memory::new(seq, layout);
     mem.init_deterministic(seq, 1234);
     ex.run(&mut mem, plan).expect(label);

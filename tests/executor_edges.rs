@@ -28,7 +28,7 @@ fn tiny_chain(n: usize) -> LoopSequence {
 #[test]
 fn processor_clamping_on_tiny_spaces() {
     let seq = tiny_chain(12); // 10 iterations, Nt = 2 -> at most 5 blocks
-    let ex = Executor::new(&seq, 1).unwrap();
+    let ex = Program::new(&seq, 1).unwrap();
     let mut want = Memory::new(&seq, LayoutStrategy::Contiguous);
     want.init_deterministic(&seq, 3);
     ex.run(&mut want, &ExecPlan::Serial).unwrap();
@@ -72,14 +72,16 @@ fn serial_nest_inside_fused_plan() {
         x.assign(c, [0], r);
     });
     let seq = b.finish();
-    let ex = Executor::new(&seq, 1).unwrap();
+    let ex = Program::new(&seq, 1).unwrap();
     let mut want = Memory::new(&seq, LayoutStrategy::Contiguous);
     want.init_deterministic(&seq, 8);
     ex.run(&mut want, &ExecPlan::Serial).unwrap();
     let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
     mem.init_deterministic(&seq, 8);
     let plan = ExecPlan::Fused { grid: vec![4], method: CodegenMethod::StripMined, strip: 4 };
-    ex.run_threaded(&mut mem, &plan).unwrap();
+    ScopedExecutor
+        .run(&ex, &mut mem, &RunConfig::from_plan(plan.clone()))
+        .unwrap();
     assert_eq!(mem.snapshot_all(&seq), want.snapshot_all(&seq));
     // The plan could not fuse across the serial nest.
     let fp = ex.fusion_plan_for(&plan).unwrap();
@@ -103,7 +105,7 @@ fn analysis_errors_are_reported() {
         x.assign(c, [0], r);
     });
     let seq = b.finish();
-    match Executor::new(&seq, 1) {
+    match Program::new(&seq, 1) {
         Err(ExecError::Analysis(_)) => {}
         Err(other) => panic!("expected analysis error, got {other:?}"),
         Ok(_) => panic!("expected analysis error, got an executor"),
@@ -115,7 +117,7 @@ fn analysis_errors_are_reported() {
 #[test]
 fn counters_conserve_iterations() {
     let seq = tiny_chain(200);
-    let ex = Executor::new(&seq, 1).unwrap();
+    let ex = Program::new(&seq, 1).unwrap();
     let expect: u64 = seq.nests.iter().map(|n| n.trip_count() as u64).sum();
     for (procs, strip, method) in [
         (1usize, 1i64, CodegenMethod::StripMined),
@@ -135,7 +137,7 @@ fn counters_conserve_iterations() {
 #[test]
 fn overhead_counters_match_method()  {
     let seq = tiny_chain(200);
-    let ex = Executor::new(&seq, 1).unwrap();
+    let ex = Program::new(&seq, 1).unwrap();
     let run = |method, strip| {
         let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
         mem.init_deterministic(&seq, 1);

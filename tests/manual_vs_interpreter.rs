@@ -15,7 +15,7 @@ use sp_ir::ArrayId;
 /// use, then returns snapshots.
 fn run_ir_ll18(n: usize, plan: &ExecPlan) -> Vec<Vec<f64>> {
     let seq = ll18::sequence(n);
-    let ex = Executor::new(&seq, 1).expect("analysis");
+    let ex = Program::new(&seq, 1).expect("analysis");
     let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
     mem.init_deterministic(&seq, 5);
     ex.run(&mut mem, plan).expect("run");
@@ -48,7 +48,7 @@ fn manual_ll18_matches_interpreter() {
 fn manual_jacobi_matches_interpreter() {
     let n = 40usize;
     let seq = jacobi::sequence(n);
-    let ex = Executor::new(&seq, 1).expect("analysis");
+    let ex = Program::new(&seq, 1).expect("analysis");
     let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
     mem.init_deterministic(&seq, 9);
     // 1-D (row) fusion to match the manual kernel's row shift/peel.

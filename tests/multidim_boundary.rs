@@ -15,9 +15,9 @@ fn nine_cases_of_fig16() {
     let n = 29usize; // 27 interior iterations -> 3x3 blocks of 9
     let seq = jacobi::sequence(n);
     let deriv = derive_shift_peel(&seq).expect("derivation");
-    let global = global_fused_range(&seq, &[0, 1], 2);
+    let global = global_fused_range(&seq, &[0, 1], 2).unwrap();
     assert_eq!(global, vec![(1, 27), (1, 27)]);
-    let blocks = decompose(&global, &[3, 3]);
+    let blocks = decompose(&global, &[3, 3]).unwrap();
     assert_eq!(blocks.len(), 9);
 
     // L2 (the copy) has shift 1 / peel 1 in both dimensions.
@@ -62,8 +62,8 @@ fn producer_nest_owns_exactly_its_block() {
     let n = 29usize;
     let seq = jacobi::sequence(n);
     let deriv = derive_shift_peel(&seq).expect("derivation");
-    let global = global_fused_range(&seq, &[0, 1], 2);
-    let blocks = decompose(&global, &[3, 3]);
+    let global = global_fused_range(&seq, &[0, 1], 2).unwrap();
+    let blocks = decompose(&global, &[3, 3]).unwrap();
     for b in &blocks {
         let r = nest_regions(&seq.nests[0], &deriv, 0, b);
         assert_eq!(r.fused.bounds[0], b.range[0]);

@@ -116,7 +116,7 @@ fn partitioning_eliminates_conflict_misses() {
     // Power-of-two arrays (256*256*8 = 512 KB) packed contiguously: on
     // the 1 MB direct-mapped Convex cache every other array aliases.
     let seq = ll18::sequence(256);
-    let ex = Executor::new(&seq, 1).unwrap();
+    let ex = Program::new(&seq, 1).unwrap();
     let classes = |layout: LayoutStrategy| {
         let mut mem = Memory::new(&seq, layout);
         mem.init_deterministic(&seq, 42);

@@ -69,7 +69,7 @@ proptest! {
         direct in any::<bool>(),
     ) {
         let seq = build(&chain);
-        let ex = Executor::new(&seq, 1).expect("analysis");
+        let ex = Program::new(&seq, 1).expect("analysis");
         let mut ref_mem = Memory::new(&seq, LayoutStrategy::Contiguous);
         ref_mem.init_deterministic(&seq, 99);
         ex.run(&mut ref_mem, &ExecPlan::Serial).expect("serial");
@@ -110,11 +110,11 @@ proptest! {
         let seq = build(&chain);
         let d = derive_shift_peel(&seq).expect("derivation");
         let nest_ids: Vec<usize> = (0..seq.len()).collect();
-        let global = global_fused_range(&seq, &nest_ids, 1);
+        let global = global_fused_range(&seq, &nest_ids, 1).unwrap();
         let trip = global[0].1 - global[0].0 + 1;
         let nt = d.dims[0].nt().max(1);
         let eff = procs.min((trip / nt).max(1) as usize);
-        let blocks = decompose(&global, &[eff]);
+        let blocks = decompose(&global, &[eff]).unwrap();
         for (k, nest) in seq.nests.iter().enumerate() {
             let mut count = std::collections::HashMap::new();
             for b in &blocks {
@@ -174,8 +174,8 @@ fn nt_threshold_is_tight() {
     let d = derive_shift_peel(&seq).expect("derivation");
     let nt = d.dims[0].nt();
     assert!(nt >= 3);
-    let ok = decompose(&[(0, nt - 1)], &[1]);
+    let ok = decompose(&[(0, nt - 1)], &[1]).unwrap();
     assert!(check_blocks(&d, &ok).is_ok());
-    let bad = decompose(&[(0, nt - 2)], &[1]);
+    let bad = decompose(&[(0, nt - 2)], &[1]).unwrap();
     assert!(check_blocks(&d, &bad).is_err());
 }

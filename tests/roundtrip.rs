@@ -42,7 +42,7 @@ fn parsed_program_executes_identically() {
     let parsed = parse_sequence(&render_sequence(seq)).expect("parse");
 
     let run = |s: &LoopSequence| {
-        let ex = Executor::new(s, 1).expect("analysis");
+        let ex = Program::new(s, 1).expect("analysis");
         let mut mem = Memory::new(s, LayoutStrategy::Contiguous);
         mem.init_deterministic(s, 17);
         ex.run(&mut mem, &ExecPlan::Serial).expect("run");

@@ -8,7 +8,7 @@ use shift_peel::kernels::{calc, filter, jacobi, ll18};
 use shift_peel::prelude::*;
 
 fn reference(seq: &LoopSequence, levels: usize) -> Vec<Vec<f64>> {
-    let ex = Executor::new(seq, levels).expect("analysis");
+    let ex = Program::new(seq, levels).expect("analysis");
     let mut mem = Memory::new(seq, LayoutStrategy::Contiguous);
     mem.init_deterministic(seq, 77);
     ex.run(&mut mem, &ExecPlan::Serial).expect("serial");
@@ -17,17 +17,20 @@ fn reference(seq: &LoopSequence, levels: usize) -> Vec<Vec<f64>> {
 
 fn stress(seq: &LoopSequence, levels: usize, grid: Vec<usize>, reps: usize) {
     let want = reference(seq, levels);
-    let ex = Executor::new(seq, levels).expect("analysis");
+    let prog = Program::new(seq, levels).expect("analysis");
+    let cfg = RunConfig::fused(grid.clone())
+        .method(CodegenMethod::StripMined)
+        .strip(8);
+    // Exercise both threaded runtimes: fresh scoped threads every rep,
+    // and one persistent pool reused across all reps.
+    let mut pool = PooledExecutor::new(grid.iter().product());
     for rep in 0..reps {
-        let mut mem = Memory::new(seq, LayoutStrategy::Contiguous);
-        mem.init_deterministic(seq, 77);
-        let plan = ExecPlan::Fused {
-            grid: grid.clone(),
-            method: CodegenMethod::StripMined,
-            strip: 8,
-        };
-        ex.run_threaded(&mut mem, &plan).expect("threaded");
-        assert_eq!(mem.snapshot_all(seq), want, "rep {rep} grid {grid:?}");
+        for ex in [&mut ScopedExecutor as &mut dyn Executor, &mut pool] {
+            let mut mem = Memory::new(seq, LayoutStrategy::Contiguous);
+            mem.init_deterministic(seq, 77);
+            ex.run(&prog, &mut mem, &cfg).expect("threaded");
+            assert_eq!(mem.snapshot_all(seq), want, "rep {rep} grid {grid:?}");
+        }
     }
 }
 
@@ -63,12 +66,12 @@ fn threaded_jacobi_2d_grid() {
 fn threaded_blocked_unfused_is_deterministic() {
     let seq = ll18::sequence(96);
     let want = reference(&seq, 1);
-    let ex = Executor::new(&seq, 1).expect("analysis");
+    let prog = Program::new(&seq, 1).expect("analysis");
+    let cfg = RunConfig::blocked([8]);
     for _ in 0..5 {
         let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
         mem.init_deterministic(&seq, 77);
-        ex.run_threaded(&mut mem, &ExecPlan::Blocked { grid: vec![8] })
-            .expect("threaded blocked");
+        ScopedExecutor.run(&prog, &mut mem, &cfg).expect("threaded blocked");
         assert_eq!(mem.snapshot_all(&seq), want);
     }
 }

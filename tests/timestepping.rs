@@ -11,12 +11,11 @@ use shift_peel::kernels::{jacobi, ll18};
 use shift_peel::prelude::*;
 
 fn steps(seq: &LoopSequence, plan: &ExecPlan, nsteps: usize, levels: usize) -> Vec<Vec<f64>> {
-    let ex = Executor::new(seq, levels).expect("analysis");
+    let prog = Program::new(seq, levels).expect("analysis");
     let mut mem = Memory::new(seq, LayoutStrategy::Contiguous);
     mem.init_deterministic(seq, 2024);
-    for _ in 0..nsteps {
-        ex.run(&mut mem, plan).expect("step");
-    }
+    let cfg = RunConfig::from_plan(plan.clone()).steps(nsteps);
+    SimExecutor.run(&prog, &mut mem, &cfg).expect("steps");
     mem.snapshot_all(seq)
 }
 
@@ -47,19 +46,22 @@ fn ll18_time_integration() {
 #[test]
 fn threaded_time_stepping_is_deterministic() {
     let seq = jacobi::sequence(64);
-    let ex = Executor::new(&seq, 1).expect("analysis");
-    let run = || {
+    let prog = Program::new(&seq, 1).expect("analysis");
+    let cfg = RunConfig::fused([4]).strip(8).steps(8);
+    let run = |ex: &mut dyn Executor| {
         let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
         mem.init_deterministic(&seq, 7);
-        let plan =
-            ExecPlan::Fused { grid: vec![4], method: CodegenMethod::StripMined, strip: 8 };
-        for _ in 0..8 {
-            ex.run_threaded(&mut mem, &plan).expect("step");
-        }
+        ex.run(&prog, &mut mem, &cfg).expect("steps");
         mem.snapshot_all(&seq)
     };
-    let first = run();
+    let first = run(&mut ScopedExecutor);
     for _ in 0..3 {
-        assert_eq!(run(), first);
+        assert_eq!(run(&mut ScopedExecutor), first);
+    }
+    // The persistent pool must agree bit-for-bit, reusing its workers
+    // across repeated multi-step runs.
+    let mut pool = PooledExecutor::new(4);
+    for _ in 0..3 {
+        assert_eq!(run(&mut pool), first);
     }
 }

@@ -1,0 +1,177 @@
+//! Offline mini-`criterion`: a vendored, dependency-free stand-in for the
+//! subset of the `criterion` crate this workspace's benches use.
+//!
+//! The container building this repository has no registry access, so the
+//! real crate cannot be downloaded. This stub keeps the bench sources
+//! compiling unchanged (`criterion_group!`/`criterion_main!`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`) and performs a simple
+//! mean-of-N timing measurement per benchmark, printed as
+//! `bench <group>/<id> ... <mean> ns/iter`. It has none of the real
+//! crate's statistics, warm-up tuning, HTML reports, or regression
+//! detection.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, like `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs one measured routine repeatedly.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    mean_nanos: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`: a short warm-up, then `sample_size` timed batches.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up and batch-size calibration: grow the batch until it
+        // takes at least ~1ms so Instant overhead stays negligible.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total += t0.elapsed();
+            iters += batch;
+        }
+        self.mean_nanos = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one("", &id.to_string(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed batches per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&self.name, &id.to_string(), self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&self.name, &id.to_string(), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (formatting separator only).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+fn run_one(group: &str, id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { mean_nanos: 0.0, sample_size };
+    f(&mut b);
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    println!("bench {label:<48} {:>14.1} ns/iter", b.mean_nanos);
+}
+
+/// Declares a benchmark group runner function, like the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

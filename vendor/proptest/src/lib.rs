@@ -1,0 +1,141 @@
+//! Offline mini-`proptest`: a vendored, dependency-free stand-in for the
+//! subset of the `proptest` crate this workspace uses.
+//!
+//! The container building this repository has no registry access, so the
+//! real crate cannot be downloaded. This stub reimplements the pieces the
+//! test suite needs with identical surface syntax:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`strategy::Strategy`] with `prop_map`,
+//! * range strategies over the integer types and `f64`,
+//! * tuple strategies, `prop::collection::vec`, and `any::<bool>()`,
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from the real crate: inputs are drawn from a deterministic
+//! per-test PRNG (seeded from the test name, so failures reproduce), and
+//! there is **no shrinking** — a failing case panics with the ordinary
+//! assert message instead of a minimized counterexample.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Types with a canonical strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for the type.
+        type Strategy: Strategy<Value = Self>;
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Strategy yielding uniformly random `bool`s.
+    #[derive(Clone, Copy, Debug)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = crate::strategy::AnyInt<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    crate::strategy::AnyInt(std::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+    arb_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+}
+
+/// Returns the canonical strategy for `T` (e.g. `any::<bool>()`).
+pub fn any<T: arbitrary::Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec(..)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+///
+/// Unlike the real crate (which records the failure and shrinks), this
+/// panics immediately with the standard assert message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ..)`
+/// runs its body `config.cases` times with freshly drawn inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    let _ = case;
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::new_value(&$strat, &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
