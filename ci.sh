@@ -13,6 +13,19 @@ cargo test -q
 echo "==> lint wall: sp-exec must be clippy-clean"
 cargo clippy -p sp-exec -- -D warnings
 
+echo "==> differential fuzzing: backends x schedules x runtimes"
+# The vendored proptest derives its seed from the test name, so this
+# sweep is deterministic run to run — a fixed-seed regression gate.
+cargo test --release -q --test differential
+
+echo "==> backend smoke: compiled vs interp on jacobi"
+# Each run verifies against serial execution internally; running both
+# backends pins the CLI path end to end.
+cargo run --release -p sp-cli -- run examples/programs/jacobi.loop \
+  --procs 4 --steps 3 --backend interp
+cargo run --release -p sp-cli -- run examples/programs/jacobi.loop \
+  --procs 4 --steps 3 --backend compiled
+
 echo "==> runtime comparison -> results/BENCH_runtime.json"
 mkdir -p results
 cargo run --release -p sp-bench --bin runtime -- --quick

@@ -1,28 +1,35 @@
 //! Runtime comparison on real host threads: spawn-per-timestep
 //! ([`ScopedExecutor`]) versus the persistent worker pool
 //! ([`PooledExecutor`]) versus self-scheduling of the unfused program
-//! ([`DynamicExecutor`]), across timestep counts.
+//! ([`DynamicExecutor`]), across timestep counts — plus the backend
+//! ablation: the pooled run repeated with loop bodies lowered to
+//! compiled micro-op tapes instead of the tree-walking interpreter.
 //!
 //! The scoped runtime pays thread creation and barrier construction on
 //! *every* timestep; the pool pays it once per process, so its advantage
 //! grows with the number of timesteps. The dynamic runtime runs the
 //! unfused plan (dynamic scheduling of fused plans is illegal — paper
 //! Section 3.2) and shows what the static-scheduling restriction costs.
+//! The compiled backend must beat the interpreter on throughput while
+//! producing identical results and identical per-processor cache miss
+//! counts (verified here; the run panics on divergence).
 //!
 //! Prints a table per kernel and writes every run's full `RunReport`
 //! (per-worker counters, barrier waits, imbalance) to
 //! `results/BENCH_runtime.json`.
 
 use sp_bench::{f2, Opts, Table};
+use sp_cache::CacheConfig;
 use sp_exec::RunReport;
 use sp_ir::LoopSequence;
 use sp_kernels::{jacobi, tomcatv};
-use sp_machine::runtime_sweep;
+use sp_machine::{backend_miss_parity, runtime_sweep, MissParity};
 use std::fmt::Write as _;
 
 struct KernelRun {
     name: &'static str,
     rows: Vec<sp_machine::RuntimeRow>,
+    parity: MissParity,
 }
 
 fn sweep(
@@ -45,14 +52,26 @@ fn sweep(
             if r.pooled.iters_per_sec() > best.pooled.iters_per_sec() {
                 best.pooled = r.pooled;
             }
+            if r.compiled.iters_per_sec() > best.compiled.iters_per_sec() {
+                best.compiled = r.compiled;
+            }
             if r.dynamic.iters_per_sec() > best.dynamic.iters_per_sec() {
                 best.dynamic = r.dynamic;
             }
         }
     }
+    // Per-processor cache miss parity between the backends: the compiled
+    // tapes must emit the *same address stream* as the interpreter. A few
+    // simulated steps suffice — the stream repeats per timestep.
+    let parity = backend_miss_parity(seq, grid, strip, 2, CacheConfig::new(16 * 1024, 64, 1))
+        .expect("miss parity run");
+    assert!(
+        parity.equal(),
+        "{name}: compiled backend changed per-processor miss counts: {parity:?}"
+    );
     let mut t = Table::new(
         format!("{name}: threaded runtimes, grid {grid:?} (iters/s; pool advantage grows with steps)"),
-        &["steps", "scoped it/s", "pooled it/s", "pooled/scoped", "dynamic it/s", "pool imbalance", "pool max barrier us"],
+        &["steps", "scoped it/s", "pooled it/s", "pooled/scoped", "compiled it/s", "compiled/interp", "dynamic it/s", "pool imbalance", "pool max barrier us"],
     );
     for r in &rows {
         t.row(vec![
@@ -60,6 +79,8 @@ fn sweep(
             format!("{:.0}", r.scoped.iters_per_sec()),
             format!("{:.0}", r.pooled.iters_per_sec()),
             f2(r.pooled.iters_per_sec() / r.scoped.iters_per_sec()),
+            format!("{:.0}", r.compiled.iters_per_sec()),
+            f2(r.compiled.iters_per_sec() / r.pooled.iters_per_sec()),
             format!("{:.0}", r.dynamic.iters_per_sec()),
             f2(r.pooled.imbalance()),
             format!("{:.1}", r.pooled.max_barrier_wait_nanos() as f64 / 1e3),
@@ -67,7 +88,7 @@ fn sweep(
     }
     t.print();
     println!();
-    KernelRun { name, rows }
+    KernelRun { name, rows, parity }
 }
 
 fn emit_json(kernels: &[KernelRun]) -> String {
@@ -81,8 +102,12 @@ fn emit_json(kernels: &[KernelRun]) -> String {
             if j > 0 {
                 out.push(',');
             }
-            let reports: Vec<(&str, &RunReport)> =
-                vec![("scoped", &r.scoped), ("pooled", &r.pooled), ("dynamic", &r.dynamic)];
+            let reports: Vec<(&str, &RunReport)> = vec![
+                ("scoped", &r.scoped),
+                ("pooled", &r.pooled),
+                ("compiled", &r.compiled),
+                ("dynamic", &r.dynamic),
+            ];
             let _ = write!(out, "{{\"steps\":{},", r.steps);
             for (n, (label, rep)) in reports.iter().enumerate() {
                 if n > 0 {
@@ -92,7 +117,14 @@ fn emit_json(kernels: &[KernelRun]) -> String {
             }
             out.push('}');
         }
-        out.push_str("]}");
+        let _ = write!(
+            out,
+            "],\"miss_parity\":{{\"procs\":{},\"interp\":{:?},\"compiled\":{:?},\"equal\":{}}}}}",
+            k.parity.interp.len(),
+            k.parity.interp,
+            k.parity.compiled,
+            k.parity.equal()
+        );
     }
     out.push_str("]}");
     out
@@ -122,14 +154,23 @@ fn main() {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("cannot write {path}: {e}"),
     }
-    // The acceptance check: with enough timesteps the persistent pool
-    // should at least match the spawn-per-step runtime.
+    // The acceptance checks: with enough timesteps the persistent pool
+    // should at least match the spawn-per-step runtime, and the compiled
+    // tapes should clearly beat the interpreter at identical results and
+    // identical per-processor miss counts.
     for k in &kernels {
         for r in k.rows.iter().filter(|r| r.steps >= 100) {
             let ratio = r.pooled.iters_per_sec() / r.scoped.iters_per_sec();
             println!(
                 "{}: pooled/scoped throughput at {} steps = {:.2}x",
                 k.name, r.steps, ratio
+            );
+            println!(
+                "{}: compiled/interp throughput at {} steps = {:.2}x (miss parity: {})",
+                k.name,
+                r.steps,
+                r.compiled.iters_per_sec() / r.pooled.iters_per_sec(),
+                if k.parity.equal() { "exact" } else { "BROKEN" }
             );
         }
     }

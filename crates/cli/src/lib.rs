@@ -21,7 +21,7 @@ use shift_peel_core::{
 use sp_cache::LayoutStrategy;
 use sp_dep::{analyze_sequence, describe_deps};
 use sp_exec::{
-    DynamicExecutor, ExecPlan, Executor, Memory, PooledExecutor, Program, RunConfig,
+    Backend, DynamicExecutor, ExecPlan, Executor, Memory, PooledExecutor, Program, RunConfig,
     ScopedExecutor, SimExecutor,
 };
 use sp_ir::{display::render_sequence, parse_sequence, LoopSequence};
@@ -68,6 +68,8 @@ pub struct Options {
     pub executor: String,
     /// `--steps N` timesteps (default 1).
     pub steps: usize,
+    /// `--backend interp|compiled` (default interp).
+    pub backend: String,
 }
 
 impl Options {
@@ -88,6 +90,7 @@ impl Options {
             machine: "convex".to_string(),
             executor: "scoped".to_string(),
             steps: 1,
+            backend: "interp".to_string(),
         };
         while let Some(flag) = it.next() {
             let mut take = || -> Result<&String, CliError> {
@@ -116,6 +119,9 @@ impl Options {
                 "--executor" => {
                     opts.executor = take()?.clone();
                 }
+                "--backend" => {
+                    opts.backend = take()?.clone();
+                }
                 "--steps" => {
                     opts.steps = take()?
                         .parse()
@@ -131,7 +137,7 @@ impl Options {
 /// The usage string.
 pub const USAGE: &str = "usage: spfc <analyze|derive|fuse|distribute|run|simulate> <prog.loop> \
 [--procs N] [--strip N] [--steps N] [--machine ksr2|convex] \
-[--executor scoped|pooled|dynamic|sim]";
+[--executor scoped|pooled|dynamic|sim] [--backend interp|compiled]";
 
 fn load(path: &str) -> Result<LoopSequence, CliError> {
     let src = std::fs::read_to_string(path)
@@ -185,11 +191,17 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
             // The dynamic runtime cannot legally execute fused plans
             // (peeling assumes static block boundaries), so it runs the
             // unfused blocked plan — the scheduling ablation.
+            let backend = match opts.backend.as_str() {
+                "interp" => Backend::Interp,
+                "compiled" => Backend::Compiled,
+                other => return usage(format!("unknown backend {other} (interp|compiled)")),
+            };
             let cfg = if opts.executor == "dynamic" {
                 RunConfig::blocked([opts.procs]).steps(opts.steps)
             } else {
                 RunConfig::fused([opts.procs]).strip(opts.strip).steps(opts.steps)
-            };
+            }
+            .backend(backend);
             let mut executor: Box<dyn Executor> = match opts.executor.as_str() {
                 "scoped" => Box::new(ScopedExecutor),
                 "pooled" => Box::new(PooledExecutor::new(opts.procs)),
@@ -227,10 +239,18 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
             );
             let _ = writeln!(
                 out,
-                "imbalance {:.3}, max barrier wait {} ns",
+                "backend {}, imbalance {:.3}, max barrier wait {} ns",
+                report.backend,
                 report.imbalance(),
                 report.max_barrier_wait_nanos()
             );
+            if backend == Backend::Compiled {
+                let _ = writeln!(
+                    out,
+                    "lowered {} micro-ops in {} ns",
+                    report.tape_ops, report.lower_nanos
+                );
+            }
         }
         "simulate" => {
             let machine = match opts.machine.as_str() {

@@ -73,7 +73,22 @@ fn run_verifies_fused_execution() {
     with_program(|path| {
         let out = run(&["run", path, "--procs", "3"]).expect("run");
         assert!(out.starts_with("OK:"), "{out}");
-        assert!(out.contains("3 threads"), "{out}");
+        assert!(out.contains("3 procs"), "{out}");
+        assert!(out.contains("backend interp"), "{out}");
+    });
+}
+
+#[test]
+fn run_supports_the_compiled_backend() {
+    with_program(|path| {
+        let out =
+            run(&["run", path, "--procs", "3", "--backend", "compiled"]).expect("compiled run");
+        assert!(out.starts_with("OK:"), "{out}");
+        assert!(out.contains("backend compiled"), "{out}");
+        assert!(out.contains("lowered"), "{out}");
+        let e = run(&["run", path, "--backend", "jit"]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("unknown backend"), "{}", e.message);
     });
 }
 

@@ -37,6 +37,8 @@ pub use derive::{derive_dim, derive_levels, derive_shift_peel, Derivation, Deriv
 pub use distribute::{distribute_nest, distribute_sequence, Distribution};
 pub use emit::render_plan;
 pub use legality::{check_blocks, check_sequence, max_procs, LegalityError};
-pub use plan::{fusion_plan, singleton_plan, CodegenMethod, FusedGroup, FusionPlan};
+pub use plan::{
+    fusion_plan, singleton_plan, CodegenMethod, FusedGroup, FusionPlan, LoweringFootprint,
+};
 pub use profit::ProfitabilityModel;
 pub use schedule::{decompose, global_fused_range, nest_regions, NestRegions, ProcBlock};

@@ -15,10 +15,11 @@
 //! simulation per processor possible.
 
 use crate::exec::ExecError;
-use crate::interp::{exec_region, ExecCounters};
+use crate::interp::ExecCounters;
 use crate::memory::{MemView, Memory};
 use crate::pool::SenseBarrier;
 use crate::sink::{AccessSink, NullSink};
+use crate::tape::Engine;
 use shift_peel_core::{
     check_blocks, decompose, global_fused_range, nest_regions, CodegenMethod, FusedGroup,
     FusionPlan, LegalityError, ProcBlock,
@@ -64,6 +65,7 @@ pub unsafe fn run_fused_phase<S: AccessSink>(
     block: &ProcBlock,
     strip: i64,
     method: CodegenMethod,
+    engine: Engine<'_>,
     view: &MemView<'_>,
     sink: &mut S,
     counters: &mut ExecCounters,
@@ -101,7 +103,7 @@ pub unsafe fn run_fused_phase<S: AccessSink>(
                     if !empty {
                         let region = IterSpace::new(bounds);
                         // SAFETY: forwarded from caller.
-                        unsafe { exec_region(seq, view, nid, &region, sink, counters) };
+                        unsafe { engine.exec_region(seq, view, nid, &region, sink, counters) };
                     }
                 }
             });
@@ -129,7 +131,7 @@ pub unsafe fn run_fused_phase<S: AccessSink>(
                         bounds.extend_from_slice(&f.bounds[fused_levels..]);
                         let region = IterSpace::new(bounds);
                         // SAFETY: forwarded from caller.
-                        unsafe { exec_region(seq, view, nid, &region, sink, counters) };
+                        unsafe { engine.exec_region(seq, view, nid, &region, sink, counters) };
                     }
                 }
             });
@@ -146,6 +148,7 @@ pub unsafe fn run_peeled_phase<S: AccessSink>(
     seq: &LoopSequence,
     group: &FusedGroup,
     block: &ProcBlock,
+    engine: Engine<'_>,
     view: &MemView<'_>,
     sink: &mut S,
     counters: &mut ExecCounters,
@@ -156,7 +159,7 @@ pub unsafe fn run_peeled_phase<S: AccessSink>(
         for r in &regions.peeled {
             let before = counters.iters;
             // SAFETY: forwarded from caller.
-            unsafe { exec_region(seq, view, nid, r, sink, counters) };
+            unsafe { engine.exec_region(seq, view, nid, r, sink, counters) };
             counters.peeled_iters += counters.iters - before;
             counters.iters = before;
         }
@@ -247,6 +250,7 @@ pub(crate) unsafe fn worker_pass<B: PhaseSync, S: AccessSink>(
     work: &[GroupWork],
     strip: i64,
     p: usize,
+    engine: Engine<'_>,
     view: &MemView<'_>,
     barrier: &B,
     sense: &mut bool,
@@ -261,7 +265,7 @@ pub(crate) unsafe fn worker_pass<B: PhaseSync, S: AccessSink>(
                     let space = seq.nests[*nest].space();
                     // SAFETY: all other threads are parked at the barrier
                     // below; no concurrent access.
-                    unsafe { exec_region(seq, view, *nest, &space, sink, counters) };
+                    unsafe { engine.exec_region(seq, view, *nest, &space, sink, counters) };
                     counters.fused_nanos += t0.elapsed().as_nanos() as u64;
                 }
                 counters.barrier_wait_nanos += barrier.wait(sense);
@@ -275,7 +279,7 @@ pub(crate) unsafe fn worker_pass<B: PhaseSync, S: AccessSink>(
                     // conflict (Theorem 1; checked by `build_work`).
                     unsafe {
                         run_fused_phase(
-                            seq, group, block, strip, plan.method, view, sink, counters,
+                            seq, group, block, strip, plan.method, engine, view, sink, counters,
                         )
                     };
                     counters.fused_nanos += t0.elapsed().as_nanos() as u64;
@@ -287,7 +291,9 @@ pub(crate) unsafe fn worker_pass<B: PhaseSync, S: AccessSink>(
                         let t0 = Instant::now();
                         // SAFETY: peeled sets of distinct blocks never
                         // conflict.
-                        unsafe { run_peeled_phase(seq, group, block, view, sink, counters) };
+                        unsafe {
+                            run_peeled_phase(seq, group, block, engine, view, sink, counters)
+                        };
                         counters.peeled_nanos += t0.elapsed().as_nanos() as u64;
                     }
                     counters.barrier_wait_nanos += barrier.wait(sense);
@@ -306,6 +312,7 @@ pub(crate) fn scoped_pass(
     work: &[GroupWork],
     nprocs: usize,
     strip: i64,
+    engine: Engine<'_>,
     view: &MemView<'_>,
 ) -> Result<Vec<ExecCounters>, ExecError> {
     let barrier = Barrier::new(nprocs);
@@ -322,7 +329,7 @@ pub(crate) fn scoped_pass(
                 // the same barrier; phases never conflict (Theorem 1).
                 unsafe {
                     worker_pass(
-                        seq, plan, work, strip, p, view, barrier, &mut sense, &mut sink,
+                        seq, plan, work, strip, p, engine, view, barrier, &mut sense, &mut sink,
                         &mut counters,
                     )
                 };
@@ -345,12 +352,14 @@ pub(crate) fn scoped_pass(
 ///
 /// Returns per-processor counters. `sinks.len()` must equal the grid's
 /// product.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn sim_pass<S: AccessSink>(
     seq: &LoopSequence,
     deps: &SequenceDeps,
     plan: &FusionPlan,
     grid: &[usize],
     strip: i64,
+    engine: Engine<'_>,
     mem: &mut Memory,
     sinks: &mut [S],
 ) -> Result<Vec<ExecCounters>, ExecError> {
@@ -367,7 +376,7 @@ pub(crate) fn sim_pass<S: AccessSink>(
                 let space = seq.nests[*nest].space();
                 // SAFETY: simulated execution is single-threaded.
                 unsafe {
-                    exec_region(seq, &view, *nest, &space, &mut sinks[0], &mut counters[0])
+                    engine.exec_region(seq, &view, *nest, &space, &mut sinks[0], &mut counters[0])
                 };
                 for c in &mut counters {
                     c.barriers += 1;
@@ -384,6 +393,7 @@ pub(crate) fn sim_pass<S: AccessSink>(
                             block,
                             strip,
                             plan.method,
+                            engine,
                             &view,
                             &mut sinks[p],
                             &mut counters[p],
@@ -401,6 +411,7 @@ pub(crate) fn sim_pass<S: AccessSink>(
                                 seq,
                                 group,
                                 block,
+                                engine,
                                 &view,
                                 &mut sinks[p],
                                 &mut counters[p],
@@ -428,7 +439,7 @@ pub fn run_plan_sim<S: AccessSink>(
     mem: &mut Memory,
     sinks: &mut [S],
 ) -> Result<Vec<ExecCounters>, LegalityError> {
-    match sim_pass(seq, deps, plan, grid, strip, mem, sinks) {
+    match sim_pass(seq, deps, plan, grid, strip, Engine::Interp, mem, sinks) {
         Ok(c) => Ok(c),
         Err(ExecError::Legality(e)) => Err(e),
         // The legacy signature can only express legality failures; other
@@ -455,7 +466,7 @@ pub fn run_plan_threaded(
     let nprocs: usize = grid.iter().product();
     let work = build_work(seq, deps, plan, grid)?;
     let view = MemView::new(mem);
-    match scoped_pass(seq, plan, &work, nprocs, strip, &view) {
+    match scoped_pass(seq, plan, &work, nprocs, strip, Engine::Interp, &view) {
         Ok(c) => Ok(c),
         Err(ExecError::Legality(e)) => Err(e),
         Err(e) => panic!("{e}"),

@@ -13,9 +13,10 @@
 //! paper's stated reason the restriction "is not a serious limitation").
 
 use crate::exec::ExecError;
-use crate::interp::{exec_region, ExecCounters};
+use crate::interp::ExecCounters;
 use crate::memory::{MemView, Memory};
 use crate::sink::NullSink;
+use crate::tape::Engine;
 use sp_dep::SequenceDeps;
 use sp_ir::{IterSpace, LoopSequence};
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -36,6 +37,7 @@ pub(crate) fn dynamic_pass(
     nthreads: usize,
     chunk: i64,
     steps: usize,
+    engine: Engine<'_>,
     mem: &mut Memory,
 ) -> Result<Vec<ExecCounters>, ExecError> {
     if nthreads < 1 {
@@ -87,7 +89,9 @@ pub(crate) fn dynamic_pass(
                                 // conflict; barriers order accesses
                                 // across nests.
                                 unsafe {
-                                    exec_region(seq, &view, k, &region, &mut sink, &mut counters)
+                                    engine.exec_region(
+                                        seq, &view, k, &region, &mut sink, &mut counters,
+                                    )
                                 };
                             }
                             counters.fused_nanos += t0.elapsed().as_nanos() as u64;
@@ -97,7 +101,7 @@ pub(crate) fn dynamic_pass(
                             // SAFETY: all other threads are parked at the
                             // barrier below.
                             unsafe {
-                                exec_region(seq, &view, k, &space, &mut sink, &mut counters)
+                                engine.exec_region(seq, &view, k, &space, &mut sink, &mut counters)
                             };
                             counters.fused_nanos += t0.elapsed().as_nanos() as u64;
                         }
@@ -133,7 +137,8 @@ pub fn run_blocked_dynamic(
 ) -> Vec<ExecCounters> {
     // The legacy signature asserted on bad arguments and panicked on
     // worker panics; keep that behavior.
-    dynamic_pass(seq, deps, nthreads, chunk, 1, mem).unwrap_or_else(|e| panic!("{e}"))
+    dynamic_pass(seq, deps, nthreads, chunk, 1, Engine::Interp, mem)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -179,7 +184,9 @@ mod tests {
             for chunk in [1i64, 5, 100] {
                 let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
                 mem.init_deterministic(&seq, 4);
-                let counters = dynamic_pass(&seq, &deps, threads, chunk, 1, &mut mem).unwrap();
+                let counters =
+                    dynamic_pass(&seq, &deps, threads, chunk, 1, Engine::Interp, &mut mem)
+                        .unwrap();
                 assert_eq!(mem.snapshot_all(&seq), want, "t={threads} chunk={chunk}");
                 let total: u64 = counters.iter().map(|c| c.total_iters()).sum();
                 assert_eq!(total, 3 * 46 * 46);
@@ -197,7 +204,7 @@ mod tests {
         prog.run(&mut m1, &ExecPlan::Blocked { grid: vec![4] }).unwrap();
         let mut m2 = Memory::new(&seq, LayoutStrategy::Contiguous);
         m2.init_deterministic(&seq, 8);
-        dynamic_pass(&seq, &deps, 4, 3, 1, &mut m2).unwrap();
+        dynamic_pass(&seq, &deps, 4, 3, 1, Engine::Interp, &mut m2).unwrap();
         assert_eq!(m1.snapshot_all(&seq), m2.snapshot_all(&seq));
     }
 }

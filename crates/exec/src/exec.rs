@@ -12,6 +12,7 @@ use crate::driver::sim_pass;
 use crate::interp::{run_original, ExecCounters};
 use crate::memory::Memory;
 use crate::sink::{AccessSink, NullSink};
+use crate::tape::Engine;
 use shift_peel_core::{fusion_plan, singleton_plan, CodegenMethod, FusionPlan, LegalityError};
 use sp_dep::{analyze_sequence, AnalysisError, SequenceDeps};
 use sp_ir::LoopSequence;
@@ -75,14 +76,18 @@ pub enum ExecError {
         /// Sinks the caller supplied.
         got: usize,
     },
-    /// The chosen executor cannot run the given plan (e.g. dynamic
-    /// self-scheduling of a fused plan, which Section 3.2 forbids).
+    /// The chosen executor cannot run the given plan.
     Unsupported {
         /// Executor name.
         executor: &'static str,
         /// Why the combination is rejected.
         reason: String,
     },
+    /// The dynamic (self-scheduled) executor was asked to run a fused
+    /// plan. Shift-and-peel requires *static blocked* scheduling: the
+    /// transformation places peeled iterations at statically known block
+    /// boundaries (paper Section 3.2), which self-scheduling destroys.
+    DynamicFusedPlan,
     /// The plan needs more processors than the pool has workers.
     PoolTooSmall {
         /// Workers in the pool.
@@ -109,6 +114,12 @@ impl std::fmt::Display for ExecError {
             ExecError::Unsupported { executor, reason } => {
                 write!(f, "executor `{executor}` cannot run this plan: {reason}")
             }
+            ExecError::DynamicFusedPlan => write!(
+                f,
+                "dynamic self-scheduling cannot run a fused plan: shift-and-peel \
+                 places peeled iterations at statically known block boundaries, so \
+                 fused execution requires static blocked scheduling (paper Section 3.2)"
+            ),
             ExecError::PoolTooSmall { pool, required } => {
                 write!(f, "pool has {pool} workers but the plan needs {required}")
             }
@@ -204,11 +215,11 @@ impl<'a> Program<'a> {
             }
             ExecPlan::Blocked { grid } => {
                 let fp = singleton_plan(self.seq, &self.deps, self.levels)?;
-                sim_pass(self.seq, &self.deps, &fp, grid, i64::MAX, mem, sinks)
+                sim_pass(self.seq, &self.deps, &fp, grid, i64::MAX, Engine::Interp, mem, sinks)
             }
             ExecPlan::Fused { grid, method: _, strip } => {
                 let fp = self.fusion_plan_for(plan)?;
-                sim_pass(self.seq, &self.deps, &fp, grid, *strip, mem, sinks)
+                sim_pass(self.seq, &self.deps, &fp, grid, *strip, Engine::Interp, mem, sinks)
             }
         }
     }

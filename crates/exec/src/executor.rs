@@ -23,15 +23,39 @@
 use crate::driver::{build_work, scoped_pass, sim_pass, worker_pass};
 use crate::dynamic::dynamic_pass;
 use crate::exec::{ExecError, ExecPlan, Program};
-use crate::interp::{run_original, ExecCounters};
+use crate::interp::ExecCounters;
 use crate::memory::{MemView, Memory};
 use crate::pool::{SenseBarrier, WorkerPool};
 use crate::report::{RunReport, WorkerReport};
 use crate::sink::{CacheSink, NullSink};
+use crate::tape::{Engine, ProgramTape};
 use shift_peel_core::CodegenMethod;
 use sp_cache::{Cache, CacheConfig};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Which execution backend runs loop bodies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Walk the expression tree at every iteration point (the reference
+    /// semantics).
+    #[default]
+    Interp,
+    /// Lower bodies once into flat micro-op tapes ([`crate::lower`]) and
+    /// run them with tight non-recursive loops. Bit-for-bit identical
+    /// results and access streams to [`Backend::Interp`].
+    Compiled,
+}
+
+impl Backend {
+    /// Short stable name (`interp` / `compiled`) used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Interp => "interp",
+            Backend::Compiled => "compiled",
+        }
+    }
+}
 
 /// Where the access stream goes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -60,6 +84,7 @@ pub struct RunConfig {
     plan: ExecPlan,
     steps: usize,
     sink: SinkChoice,
+    backend: Backend,
 }
 
 impl RunConfig {
@@ -87,7 +112,7 @@ impl RunConfig {
 
     /// Wraps an existing [`ExecPlan`].
     pub fn from_plan(plan: ExecPlan) -> Self {
-        RunConfig { plan, steps: 1, sink: SinkChoice::Null }
+        RunConfig { plan, steps: 1, sink: SinkChoice::Null, backend: Backend::default() }
     }
 
     /// Sets the codegen method (fused plans only; no-op otherwise).
@@ -118,6 +143,12 @@ impl RunConfig {
         self
     }
 
+    /// Chooses the execution backend (interpreter by default).
+    pub fn backend(mut self, b: Backend) -> Self {
+        self.backend = b;
+        self
+    }
+
     /// The plan to execute.
     pub fn plan(&self) -> &ExecPlan {
         &self.plan
@@ -131,6 +162,11 @@ impl RunConfig {
     /// The configured sink.
     pub fn sink_choice(&self) -> SinkChoice {
         self.sink
+    }
+
+    /// The configured backend.
+    pub fn backend_choice(&self) -> Backend {
+        self.backend
     }
 
     fn validate(&self) -> Result<(), ExecError> {
@@ -178,15 +214,63 @@ pub trait Executor {
     ) -> Result<RunReport, ExecError>;
 }
 
-fn serial_steps(prog: &Program<'_>, mem: &mut Memory, steps: usize) -> Vec<WorkerReport> {
+fn serial_steps(
+    prog: &Program<'_>,
+    mem: &mut Memory,
+    steps: usize,
+    engine: Engine<'_>,
+) -> Vec<WorkerReport> {
     let mut counters = ExecCounters::default();
     for _ in 0..steps {
         let t0 = Instant::now();
-        let c = run_original(prog.seq(), mem, &mut NullSink);
+        let c = engine.run_original(prog.seq(), mem, &mut NullSink);
         counters.merge(&c);
         counters.fused_nanos += t0.elapsed().as_nanos() as u64;
     }
     vec![WorkerReport { proc: 0, counters, cache: None }]
+}
+
+/// Lowers the program to a micro-op tape when the config asks for the
+/// compiled backend (`None` means interpret).
+fn lower_tape(
+    prog: &Program<'_>,
+    mem: &Memory,
+    cfg: &RunConfig,
+) -> Result<Option<ProgramTape>, ExecError> {
+    match cfg.backend_choice() {
+        Backend::Interp => Ok(None),
+        Backend::Compiled => {
+            let fp = prog.fusion_plan_for(cfg.plan())?;
+            let footprint = fp.lowering_footprint(prog.seq());
+            Ok(Some(ProgramTape::lower_with(prog.seq(), &mem.layout, &footprint)))
+        }
+    }
+}
+
+fn engine_of(tape: &Option<ProgramTape>) -> Engine<'_> {
+    match tape {
+        Some(t) => Engine::Compiled(t),
+        None => Engine::Interp,
+    }
+}
+
+fn finish_report(
+    name: &str,
+    cfg: &RunConfig,
+    wall_nanos: u64,
+    tape: &Option<ProgramTape>,
+    workers: Vec<WorkerReport>,
+) -> RunReport {
+    RunReport {
+        executor: name.into(),
+        backend: cfg.backend_choice().name().into(),
+        procs: cfg.plan().procs(),
+        steps: cfg.step_count(),
+        wall_nanos,
+        lower_nanos: tape.as_ref().map_or(0, |t| t.lower_nanos()),
+        tape_ops: tape.as_ref().map_or(0, |t| t.total_ops()),
+        workers,
+    }
 }
 
 /// Spawn-per-timestep runtime: every timestep creates `P` scoped threads
@@ -208,9 +292,11 @@ impl Executor for ScopedExecutor {
     ) -> Result<RunReport, ExecError> {
         cfg.validate()?;
         cfg.reject_cache_sink(self.name())?;
+        let tape = lower_tape(prog, mem, cfg)?;
+        let engine = engine_of(&tape);
         let t0 = Instant::now();
         let workers = match cfg.plan() {
-            ExecPlan::Serial => serial_steps(prog, mem, cfg.step_count()),
+            ExecPlan::Serial => serial_steps(prog, mem, cfg.step_count(), engine),
             plan => {
                 let fp = prog.fusion_plan_for(plan)?;
                 let grid = plan.grid();
@@ -223,7 +309,7 @@ impl Executor for ScopedExecutor {
                 let view = MemView::new(mem);
                 let mut totals = vec![ExecCounters::default(); nprocs];
                 for _ in 0..cfg.step_count() {
-                    let step = scoped_pass(prog.seq(), &fp, &work, nprocs, strip, &view)?;
+                    let step = scoped_pass(prog.seq(), &fp, &work, nprocs, strip, engine, &view)?;
                     for (t, c) in totals.iter_mut().zip(&step) {
                         t.merge(c);
                     }
@@ -235,13 +321,7 @@ impl Executor for ScopedExecutor {
                     .collect()
             }
         };
-        Ok(RunReport {
-            executor: self.name().into(),
-            procs: cfg.plan().procs(),
-            steps: cfg.step_count(),
-            wall_nanos: t0.elapsed().as_nanos() as u64,
-            workers,
-        })
+        Ok(finish_report(self.name(), cfg, t0.elapsed().as_nanos() as u64, &tape, workers))
     }
 }
 
@@ -279,11 +359,13 @@ impl Executor for PooledExecutor {
     ) -> Result<RunReport, ExecError> {
         cfg.validate()?;
         cfg.reject_cache_sink(self.name())?;
+        let tape = lower_tape(prog, mem, cfg)?;
+        let engine = engine_of(&tape);
         let t0 = Instant::now();
         let workers = match cfg.plan() {
             // A serial plan has no parallel phases; run it inline rather
             // than waking the pool for nothing.
-            ExecPlan::Serial => serial_steps(prog, mem, cfg.step_count()),
+            ExecPlan::Serial => serial_steps(prog, mem, cfg.step_count(), engine),
             plan => {
                 let nprocs = plan.procs();
                 if nprocs > self.pool.size() {
@@ -325,7 +407,7 @@ impl Executor for PooledExecutor {
                         // before the next.
                         unsafe {
                             worker_pass(
-                                seq, fp, work, strip, p, view_ref, barrier, &mut sense,
+                                seq, fp, work, strip, p, engine, view_ref, barrier, &mut sense,
                                 &mut sink, &mut counters,
                             )
                         };
@@ -343,13 +425,7 @@ impl Executor for PooledExecutor {
                     .collect()
             }
         };
-        Ok(RunReport {
-            executor: self.name().into(),
-            procs: cfg.plan().procs(),
-            steps: cfg.step_count(),
-            wall_nanos: t0.elapsed().as_nanos() as u64,
-            workers,
-        })
+        Ok(finish_report(self.name(), cfg, t0.elapsed().as_nanos() as u64, &tape, workers))
     }
 }
 
@@ -399,29 +475,26 @@ impl Executor for DynamicExecutor {
                     reason: "serial plans have nothing to self-schedule".into(),
                 })
             }
-            ExecPlan::Fused { .. } => {
-                return Err(ExecError::Unsupported {
-                    executor: self.name(),
-                    reason: "shift-and-peel requires static blocked scheduling \
-                             (paper Section 3.2); fused plans cannot be self-scheduled"
-                        .into(),
-                })
-            }
+            ExecPlan::Fused { .. } => return Err(ExecError::DynamicFusedPlan),
         };
+        let tape = lower_tape(prog, mem, cfg)?;
+        let engine = engine_of(&tape);
         let t0 = Instant::now();
-        let counters =
-            dynamic_pass(prog.seq(), prog.deps(), nthreads, self.chunk, cfg.step_count(), mem)?;
-        Ok(RunReport {
-            executor: self.name().into(),
-            procs: nthreads,
-            steps: cfg.step_count(),
-            wall_nanos: t0.elapsed().as_nanos() as u64,
-            workers: counters
-                .into_iter()
-                .enumerate()
-                .map(|(p, counters)| WorkerReport { proc: p, counters, cache: None })
-                .collect(),
-        })
+        let counters = dynamic_pass(
+            prog.seq(),
+            prog.deps(),
+            nthreads,
+            self.chunk,
+            cfg.step_count(),
+            engine,
+            mem,
+        )?;
+        let workers = counters
+            .into_iter()
+            .enumerate()
+            .map(|(p, counters)| WorkerReport { proc: p, counters, cache: None })
+            .collect();
+        Ok(finish_report(self.name(), cfg, t0.elapsed().as_nanos() as u64, &tape, workers))
     }
 }
 
@@ -445,37 +518,34 @@ impl Executor for SimExecutor {
     ) -> Result<RunReport, ExecError> {
         cfg.validate()?;
         let nprocs = cfg.plan().procs();
+        let tape = lower_tape(prog, mem, cfg)?;
+        let engine = engine_of(&tape);
         let t0 = Instant::now();
         let (totals, caches) = match cfg.sink_choice() {
             SinkChoice::Null => {
                 let mut sinks = vec![NullSink; nprocs];
-                (run_sim_steps(prog, mem, cfg, &mut sinks)?, None)
+                (run_sim_steps(prog, mem, cfg, engine, &mut sinks)?, None)
             }
             SinkChoice::Cache(cache_cfg) => {
                 // Cache state persists across timesteps, as it would on
                 // hardware.
                 let mut sinks: Vec<CacheSink> =
                     (0..nprocs).map(|_| CacheSink::new(Cache::new(cache_cfg))).collect();
-                let totals = run_sim_steps(prog, mem, cfg, &mut sinks)?;
+                let totals = run_sim_steps(prog, mem, cfg, engine, &mut sinks)?;
                 let stats = sinks.iter().map(|s| s.stats()).collect::<Vec<_>>();
                 (totals, Some(stats))
             }
         };
-        Ok(RunReport {
-            executor: self.name().into(),
-            procs: nprocs,
-            steps: cfg.step_count(),
-            wall_nanos: t0.elapsed().as_nanos() as u64,
-            workers: totals
-                .into_iter()
-                .enumerate()
-                .map(|(p, counters)| WorkerReport {
-                    proc: p,
-                    counters,
-                    cache: caches.as_ref().map(|c| c[p]),
-                })
-                .collect(),
-        })
+        let workers = totals
+            .into_iter()
+            .enumerate()
+            .map(|(p, counters)| WorkerReport {
+                proc: p,
+                counters,
+                cache: caches.as_ref().map(|c| c[p]),
+            })
+            .collect();
+        Ok(finish_report(self.name(), cfg, t0.elapsed().as_nanos() as u64, &tape, workers))
     }
 }
 
@@ -483,6 +553,7 @@ fn run_sim_steps<S: crate::sink::AccessSink>(
     prog: &Program<'_>,
     mem: &mut Memory,
     cfg: &RunConfig,
+    engine: Engine<'_>,
     sinks: &mut [S],
 ) -> Result<Vec<ExecCounters>, ExecError> {
     let nprocs = cfg.plan().procs();
@@ -493,7 +564,7 @@ fn run_sim_steps<S: crate::sink::AccessSink>(
                 if sinks.len() != 1 {
                     return Err(ExecError::SinkCount { expected: 1, got: sinks.len() });
                 }
-                vec![run_original(prog.seq(), mem, &mut sinks[0])]
+                vec![engine.run_original(prog.seq(), mem, &mut sinks[0])]
             }
             plan => {
                 let fp = prog.fusion_plan_for(plan)?;
@@ -501,7 +572,7 @@ fn run_sim_steps<S: crate::sink::AccessSink>(
                     ExecPlan::Fused { strip, .. } => *strip,
                     _ => i64::MAX,
                 };
-                sim_pass(prog.seq(), prog.deps(), &fp, plan.grid(), strip, mem, sinks)?
+                sim_pass(prog.seq(), prog.deps(), &fp, plan.grid(), strip, engine, mem, sinks)?
             }
         };
         for (t, c) in totals.iter_mut().zip(&step) {
@@ -570,7 +641,52 @@ mod tests {
         let err = DynamicExecutor::default()
             .run(&prog, &mut mem, &RunConfig::fused([4]))
             .unwrap_err();
-        assert!(matches!(err, ExecError::Unsupported { executor: "dynamic", .. }));
+        assert_eq!(err, ExecError::DynamicFusedPlan);
+        // The message must explain the *why*: peeled iterations live at
+        // statically known block boundaries (paper Section 3.2).
+        let msg = err.to_string();
+        assert!(msg.contains("peeled iterations"), "message names peeling: {msg}");
+        assert!(msg.contains("statically known block boundaries"), "names boundaries: {msg}");
+        assert!(msg.contains("Section 3.2"), "cites the paper: {msg}");
+    }
+
+    #[test]
+    fn compiled_backend_matches_interp_on_all_executors() {
+        let seq = jacobi(24);
+        for make_cfg in [
+            RunConfig::fused([2, 2]).strip(4).steps(3),
+            RunConfig::blocked([2, 2]).steps(3),
+            RunConfig::serial().steps(3),
+        ] {
+            let want = snapshot_after(&mut SimExecutor, &make_cfg, &seq);
+            let cfg = make_cfg.clone().backend(Backend::Compiled);
+            assert_eq!(snapshot_after(&mut SimExecutor, &cfg, &seq), want);
+            assert_eq!(snapshot_after(&mut ScopedExecutor, &cfg, &seq), want);
+            if !matches!(cfg.plan(), ExecPlan::Serial) {
+                assert_eq!(snapshot_after(&mut PooledExecutor::new(4), &cfg, &seq), want);
+            }
+            if matches!(cfg.plan(), ExecPlan::Blocked { .. }) {
+                assert_eq!(snapshot_after(&mut DynamicExecutor::new(2), &cfg, &seq), want);
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_report_carries_lowering_counters() {
+        let seq = jacobi(24);
+        let prog = Program::new(&seq, 2).unwrap();
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 7);
+        let cfg = RunConfig::fused([2, 2]).strip(4).backend(Backend::Compiled);
+        let report = SimExecutor.run(&prog, &mut mem, &cfg).unwrap();
+        assert_eq!(report.backend, "compiled");
+        assert!(report.tape_ops > 0, "tape has micro-ops");
+        // Interp runs report no tape at all.
+        let mut mem2 = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem2.init_deterministic(&seq, 7);
+        let r2 = SimExecutor.run(&prog, &mut mem2, &RunConfig::fused([2, 2]).strip(4)).unwrap();
+        assert_eq!(r2.backend, "interp");
+        assert_eq!((r2.lower_nanos, r2.tape_ops), (0, 0));
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //!   cache simulators, trace recording);
 //! * [`interp`] — the statement/region interpreter and the serial
 //!   reference executor;
+//! * [`tape`] / [`lower`] — the compiled backend: a lowering pass turns
+//!   loop bodies into flat micro-op tapes (folded constants, precomputed
+//!   strides, fused multiply-add shapes) that a tight non-recursive loop
+//!   executes bit-for-bit identically to the interpreter, selectable per
+//!   run via [`RunConfig::backend`];
 //! * [`driver`] — fused (strip-mined or direct) and peeled phase drivers
 //!   and the per-worker phase schedule shared by all parallel runtimes;
 //! * [`pool`] — the persistent [`WorkerPool`] and its reusable
@@ -33,10 +38,12 @@ pub mod dynamic;
 pub mod exec;
 pub mod executor;
 pub mod interp;
+pub mod lower;
 pub mod memory;
 pub mod pool;
 pub mod report;
 pub mod sink;
+pub mod tape;
 
 #[allow(deprecated)]
 pub use driver::{run_fused_phase, run_peeled_phase, run_plan_sim, run_plan_threaded};
@@ -44,11 +51,12 @@ pub use driver::{run_fused_phase, run_peeled_phase, run_plan_sim, run_plan_threa
 pub use dynamic::run_blocked_dynamic;
 pub use exec::{ExecError, ExecPlan, Program};
 pub use executor::{
-    DynamicExecutor, Executor, PooledExecutor, RunConfig, ScopedExecutor, SimExecutor,
+    Backend, DynamicExecutor, Executor, PooledExecutor, RunConfig, ScopedExecutor, SimExecutor,
     SinkChoice,
 };
 pub use interp::{exec_region, exec_statement, run_original, ExecCounters};
 pub use memory::{MemView, Memory};
 pub use pool::{SenseBarrier, WorkerPool};
 pub use report::{RunReport, WorkerReport};
+pub use tape::{exec_region_tape, AccessPat, Engine, MicroOp, NestTape, ProgramTape, StmtTape};
 pub use sink::{AccessSink, CacheSink, ClassifySink, CountingSink, HierarchySink, InfiniteSink, NullSink, RecordingSink};

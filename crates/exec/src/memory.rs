@@ -157,6 +157,30 @@ impl<'a> MemView<'a> {
         debug_assert!(slot < self.len);
         unsafe { *self.base.add(slot) = v }
     }
+
+    /// Reads a precomputed flat element slot (the compiled-tape fast
+    /// path; slots come from [`crate::tape::AccessPat`]s lowered against
+    /// this view's layout).
+    ///
+    /// # Safety
+    /// See the type-level contract; `slot` must be in bounds for the
+    /// backing store.
+    #[inline]
+    pub unsafe fn read_slot(&self, slot: usize) -> f64 {
+        debug_assert!(slot < self.len);
+        unsafe { *self.base.add(slot) }
+    }
+
+    /// Writes a precomputed flat element slot (compiled-tape fast path).
+    ///
+    /// # Safety
+    /// See the type-level contract; `slot` must be in bounds for the
+    /// backing store.
+    #[inline]
+    pub unsafe fn write_slot(&self, slot: usize, v: f64) {
+        debug_assert!(slot < self.len);
+        unsafe { *self.base.add(slot) = v }
+    }
 }
 
 #[cfg(test)]

@@ -28,12 +28,20 @@ pub struct RunReport {
     /// Name of the executor that produced the run (`scoped`, `pooled`,
     /// `dynamic`, `sim`).
     pub executor: String,
+    /// Execution backend (`interp` or `compiled`).
+    pub backend: String,
     /// Processors the plan executed on.
     pub procs: usize,
     /// Timesteps executed (the plan ran this many times back to back).
     pub steps: usize,
-    /// End-to-end wall time of the run as seen by the caller.
+    /// End-to-end wall time of the run as seen by the caller (excludes
+    /// lowering, reported separately below).
     pub wall_nanos: u64,
+    /// Time spent lowering loop bodies to micro-op tapes (0 for the
+    /// interpreted backend).
+    pub lower_nanos: u64,
+    /// Total micro-ops across the lowered tapes (0 for interpreted).
+    pub tape_ops: u64,
     /// Per-worker breakdown, indexed by processor id.
     pub workers: Vec<WorkerReport>,
 }
@@ -97,11 +105,15 @@ impl RunReport {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256 + 256 * self.workers.len());
         s.push_str(&format!(
-            "{{\"executor\":\"{}\",\"procs\":{},\"steps\":{},\"wall_nanos\":{},",
+            "{{\"executor\":\"{}\",\"backend\":\"{}\",\"procs\":{},\"steps\":{},\
+             \"wall_nanos\":{},\"lower_nanos\":{},\"tape_ops\":{},",
             json_escape(&self.executor),
+            json_escape(&self.backend),
             self.procs,
             self.steps,
-            self.wall_nanos
+            self.wall_nanos,
+            self.lower_nanos,
+            self.tape_ops
         ));
         s.push_str(&format!(
             "\"iters_per_sec\":{:.1},\"imbalance\":{:.4},\"max_barrier_wait_nanos\":{},",
@@ -143,6 +155,232 @@ impl RunReport {
         s.push_str("]}");
         s
     }
+
+    /// Parses a report back from the JSON [`RunReport::to_json`] emits.
+    ///
+    /// Derived fields (`iters_per_sec`, `imbalance`,
+    /// `max_barrier_wait_nanos`) are recomputed, not stored, so they are
+    /// skipped on input; unknown keys are skipped too, which keeps old
+    /// artifacts readable as fields are added.
+    pub fn from_json(json: &str) -> Result<RunReport, String> {
+        let mut p = Parser { bytes: json.as_bytes(), pos: 0 };
+        let report = p.parse_report()?;
+        p.ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(report)
+    }
+}
+
+/// A minimal recursive-descent JSON reader for the report schema (the
+/// workspace builds offline with no serde). It understands exactly the
+/// value shapes `to_json` produces: objects, arrays, strings with the
+/// escapes `json_escape` emits, and plain numbers.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let esc = self.bytes.get(self.pos + 1);
+                    out.push(match esc {
+                        Some(b'"') => '"',
+                        Some(b'\\') => '\\',
+                        Some(b'n') => '\n',
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    });
+                    self.pos += 2;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn u64_field(&mut self) -> Result<u64, String> {
+        Ok(self.number()? as u64)
+    }
+
+    /// Skips any value (used for derived and unknown fields).
+    fn skip_value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b'{') => {
+                self.eat(b'{')?;
+                if self.peek() == Some(b'}') {
+                    return self.eat(b'}');
+                }
+                loop {
+                    self.string()?;
+                    self.eat(b':')?;
+                    self.skip_value()?;
+                    if self.peek() == Some(b',') {
+                        self.eat(b',')?;
+                    } else {
+                        return self.eat(b'}');
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.eat(b'[')?;
+                if self.peek() == Some(b']') {
+                    return self.eat(b']');
+                }
+                loop {
+                    self.skip_value()?;
+                    if self.peek() == Some(b',') {
+                        self.eat(b',')?;
+                    } else {
+                        return self.eat(b']');
+                    }
+                }
+            }
+            _ => self.number().map(|_| ()),
+        }
+    }
+
+    fn parse_report(&mut self) -> Result<RunReport, String> {
+        let mut r = RunReport::default();
+        self.eat(b'{')?;
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            match key.as_str() {
+                "executor" => r.executor = self.string()?,
+                "backend" => r.backend = self.string()?,
+                "procs" => r.procs = self.u64_field()? as usize,
+                "steps" => r.steps = self.u64_field()? as usize,
+                "wall_nanos" => r.wall_nanos = self.u64_field()?,
+                "lower_nanos" => r.lower_nanos = self.u64_field()?,
+                "tape_ops" => r.tape_ops = self.u64_field()?,
+                "workers" => {
+                    self.eat(b'[')?;
+                    if self.peek() == Some(b']') {
+                        self.eat(b']')?;
+                    } else {
+                        loop {
+                            r.workers.push(self.parse_worker()?);
+                            if self.peek() == Some(b',') {
+                                self.eat(b',')?;
+                            } else {
+                                self.eat(b']')?;
+                                break;
+                            }
+                        }
+                    }
+                }
+                _ => self.skip_value()?,
+            }
+            if self.peek() == Some(b',') {
+                self.eat(b',')?;
+            } else {
+                self.eat(b'}')?;
+                return Ok(r);
+            }
+        }
+    }
+
+    fn parse_worker(&mut self) -> Result<WorkerReport, String> {
+        let mut w = WorkerReport::default();
+        self.eat(b'{')?;
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            let c = &mut w.counters;
+            match key.as_str() {
+                "proc" => w.proc = self.u64_field()? as usize,
+                "iters" => c.iters = self.u64_field()?,
+                "peeled_iters" => c.peeled_iters = self.u64_field()?,
+                "flops" => c.flops = self.u64_field()?,
+                "loads" => c.loads = self.u64_field()?,
+                "stores" => c.stores = self.u64_field()?,
+                "strips" => c.strips = self.u64_field()?,
+                "guards" => c.guards = self.u64_field()?,
+                "barriers" => c.barriers = self.u64_field()?,
+                "fused_nanos" => c.fused_nanos = self.u64_field()?,
+                "peeled_nanos" => c.peeled_nanos = self.u64_field()?,
+                "barrier_wait_nanos" => c.barrier_wait_nanos = self.u64_field()?,
+                "cache" => {
+                    let mut stats = CacheStats::default();
+                    self.eat(b'{')?;
+                    loop {
+                        let k = self.string()?;
+                        self.eat(b':')?;
+                        match k.as_str() {
+                            "accesses" => stats.accesses = self.u64_field()?,
+                            "misses" => stats.misses = self.u64_field()?,
+                            _ => self.skip_value()?,
+                        }
+                        if self.peek() == Some(b',') {
+                            self.eat(b',')?;
+                        } else {
+                            self.eat(b'}')?;
+                            break;
+                        }
+                    }
+                    w.cache = Some(stats);
+                }
+                _ => self.skip_value()?,
+            }
+            if self.peek() == Some(b',') {
+                self.eat(b',')?;
+            } else {
+                self.eat(b'}')?;
+                return Ok(w);
+            }
+        }
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -169,9 +407,12 @@ mod tests {
         w1.counters.peeled_iters = 10;
         RunReport {
             executor: "pooled".into(),
+            backend: "interp".into(),
             procs: 2,
             steps: 3,
             wall_nanos: 1_000_000,
+            lower_nanos: 0,
+            tape_ops: 0,
             workers: vec![w0, w1],
         }
     }
@@ -195,9 +436,12 @@ mod tests {
         assert_eq!(j.matches("\"proc\":").count(), 2);
         for key in [
             "\"executor\":\"pooled\"",
+            "\"backend\":\"interp\"",
             "\"procs\":2",
             "\"steps\":3",
             "\"wall_nanos\":1000000",
+            "\"lower_nanos\":0",
+            "\"tape_ops\":0",
             "\"barrier_wait_nanos\":500",
             "\"imbalance\":1.1000",
         ] {
@@ -206,5 +450,55 @@ mod tests {
         // Balanced braces and brackets (no nesting surprises).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    /// `ExecCounters`'s `PartialEq` deliberately ignores timing fields, so
+    /// round-trip equality must check them by hand.
+    fn assert_reports_equal(a: &RunReport, b: &RunReport) {
+        assert_eq!(a, b);
+        for (wa, wb) in a.workers.iter().zip(&b.workers) {
+            assert_eq!(wa.counters.fused_nanos, wb.counters.fused_nanos);
+            assert_eq!(wa.counters.peeled_nanos, wb.counters.peeled_nanos);
+            assert_eq!(wa.counters.barrier_wait_nanos, wb.counters.barrier_wait_nanos);
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = report();
+        let parsed = RunReport::from_json(&r.to_json()).unwrap();
+        assert_reports_equal(&r, &parsed);
+    }
+
+    #[test]
+    fn json_round_trips_with_cache_and_tape_fields() {
+        let mut r = report();
+        r.backend = "compiled".into();
+        r.lower_nanos = 1234;
+        r.tape_ops = 42;
+        r.workers[0].cache = Some(CacheStats { accesses: 1000, misses: 37 });
+        r.workers[0].counters.fused_nanos = 999;
+        r.workers[1].counters.flops = 77;
+        let parsed = RunReport::from_json(&r.to_json()).unwrap();
+        assert_reports_equal(&r, &parsed);
+        assert_eq!(parsed.workers[0].cache, Some(CacheStats { accesses: 1000, misses: 37 }));
+    }
+
+    #[test]
+    fn json_round_trips_escaped_strings_and_empty_workers() {
+        let r = RunReport { executor: "we\"ird\\x\n".into(), ..Default::default() };
+        let parsed = RunReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.executor, "we\"ird\\x\n");
+        assert!(parsed.workers.is_empty());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(RunReport::from_json("").is_err());
+        assert!(RunReport::from_json("{\"executor\":}").is_err());
+        let r = report();
+        let j = r.to_json();
+        assert!(RunReport::from_json(&j[..j.len() - 1]).is_err());
+        assert!(RunReport::from_json(&format!("{j}x")).is_err());
     }
 }

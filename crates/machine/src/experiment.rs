@@ -12,8 +12,8 @@ use shift_peel_core::{
 };
 use sp_cache::LayoutStrategy;
 use sp_exec::{
-    DynamicExecutor, ExecError, ExecPlan, Executor, Memory, PooledExecutor, Program, RunConfig,
-    RunReport, ScopedExecutor,
+    Backend, DynamicExecutor, ExecError, ExecPlan, Executor, Memory, PooledExecutor, Program,
+    RunConfig, RunReport, ScopedExecutor, SimExecutor, SinkChoice,
 };
 use sp_ir::LoopSequence;
 
@@ -285,6 +285,10 @@ pub struct RuntimeRow {
     pub scoped: RunReport,
     /// Persistent worker-pool run ([`PooledExecutor`]).
     pub pooled: RunReport,
+    /// Pool run with the compiled tape backend ([`Backend::Compiled`]);
+    /// same plan and pool as `pooled`, lowered bodies instead of the
+    /// interpreter.
+    pub compiled: RunReport,
     /// Self-scheduled run of the unfused program ([`DynamicExecutor`]).
     pub dynamic: RunReport,
 }
@@ -323,10 +327,72 @@ pub fn runtime_sweep(
                 "pooled run diverged from scoped at {steps} steps"
             )));
         }
+        let (compiled, got) = run(&mut pool, &fused.clone().backend(Backend::Compiled))?;
+        if got != want {
+            return Err(ExecError::Config(format!(
+                "compiled backend diverged from interpreter at {steps} steps"
+            )));
+        }
         let (dynamic, _) = run(&mut DynamicExecutor::default(), &blocked)?;
-        rows.push(RuntimeRow { steps, scoped, pooled, dynamic });
+        rows.push(RuntimeRow { steps, scoped, pooled, compiled, dynamic });
     }
     Ok(rows)
+}
+
+/// Per-processor cache miss counts of the fused plan under both backends.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MissParity {
+    /// Per-processor misses under the interpreter.
+    pub interp: Vec<u64>,
+    /// Per-processor misses under the compiled tape backend.
+    pub compiled: Vec<u64>,
+}
+
+impl MissParity {
+    /// Whether the two backends produced identical per-processor counts
+    /// (the compiled backend's correctness contract).
+    pub fn equal(&self) -> bool {
+        self.interp == self.compiled
+    }
+}
+
+/// Feeds the fused plan's access stream through per-processor cache
+/// simulators under both backends and returns the miss counts side by
+/// side. Both backends walk the same schedule over the same tapes'
+/// addresses, so the counts must agree exactly; the results memory is
+/// also verified identical before returning.
+pub fn backend_miss_parity(
+    seq: &LoopSequence,
+    grid: &[usize],
+    strip: i64,
+    steps: usize,
+    cache: sp_cache::CacheConfig,
+) -> Result<MissParity, ExecError> {
+    let prog = Program::new(seq, grid.len())?;
+    let run = |backend: Backend| -> Result<(Vec<u64>, Vec<Vec<f64>>), ExecError> {
+        let mut mem = Memory::new(seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(seq, 42);
+        let cfg = RunConfig::fused(grid.to_vec())
+            .strip(strip)
+            .steps(steps)
+            .sink(SinkChoice::Cache(cache))
+            .backend(backend);
+        let report = SimExecutor.run(&prog, &mut mem, &cfg)?;
+        let misses = report
+            .workers
+            .iter()
+            .map(|w| w.cache.map_or(0, |c| c.misses))
+            .collect();
+        Ok((misses, mem.snapshot_all(seq)))
+    };
+    let (interp, want) = run(Backend::Interp)?;
+    let (compiled, got) = run(Backend::Compiled)?;
+    if got != want {
+        return Err(ExecError::Config(
+            "compiled backend diverged from interpreter under cache simulation".into(),
+        ));
+    }
+    Ok(MissParity { interp, compiled })
 }
 
 /// The fusion improvement ratio of Figure 24: unfused time / fused time
@@ -394,5 +460,28 @@ mod tests {
         let opts = SweepOptions::for_machine(&CONVEX_SPP1000);
         let r = improvement_ratio(&seq, &CONVEX_SPP1000, 2, &opts).unwrap();
         assert!(r > 0.0);
+    }
+
+    #[test]
+    fn runtime_sweep_includes_verified_compiled_run() {
+        let seq = seq3(64);
+        let rows = runtime_sweep(&seq, &[2], 8, &[1, 3]).unwrap();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.compiled.backend, "compiled");
+            assert!(row.compiled.tape_ops > 0);
+            assert_eq!(row.compiled.total_iters(), row.pooled.total_iters());
+        }
+    }
+
+    #[test]
+    fn backend_miss_parity_is_exact() {
+        let seq = seq3(64);
+        let parity =
+            backend_miss_parity(&seq, &[2], 8, 2, sp_cache::CacheConfig::new(16 * 1024, 64, 1))
+                .unwrap();
+        assert_eq!(parity.interp.len(), 2);
+        assert!(parity.equal(), "{parity:?}");
+        assert!(parity.interp.iter().any(|&m| m > 0));
     }
 }

@@ -17,7 +17,8 @@ pub mod sim;
 
 pub use config::{MachineConfig, CONVEX_SPP1000, KSR2};
 pub use experiment::{
-    app_speedup_sweep, auto_strip, improvement_ratio, padding_sweep, runtime_sweep,
-    speedup_sweep, sum_results, PaddingRow, PaddingSweep, RuntimeRow, SweepOptions, SweepRow,
+    app_speedup_sweep, auto_strip, backend_miss_parity, improvement_ratio, padding_sweep,
+    runtime_sweep, speedup_sweep, sum_results, MissParity, PaddingRow, PaddingSweep, RuntimeRow,
+    SweepOptions, SweepRow,
 };
 pub use sim::{price, simulate, ProcResult, SimPlan, SimResult};

@@ -64,8 +64,8 @@ pub mod prelude {
     pub use sp_cache::{Cache, CacheConfig, LayoutStrategy, MemoryLayout};
     pub use sp_dep::{analyze_sequence, DepKind, SequenceDeps};
     pub use sp_exec::{
-        DynamicExecutor, ExecError, ExecPlan, Executor, Memory, PooledExecutor, Program,
-        RunConfig, RunReport, ScopedExecutor, SimExecutor, SinkChoice, WorkerReport,
+        Backend, DynamicExecutor, ExecError, ExecPlan, Executor, Memory, PooledExecutor,
+        Program, RunConfig, RunReport, ScopedExecutor, SimExecutor, SinkChoice, WorkerReport,
     };
     pub use sp_ir::{ArrayDecl, ArrayId, Expr, LoopSequence, SeqBuilder};
     pub use sp_machine::{simulate, MachineConfig, SimPlan, SimResult};

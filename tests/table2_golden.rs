@@ -1,0 +1,53 @@
+//! Golden-file pin of the paper's Table 2: derived shift and peel
+//! amounts for every kernel in the suite.
+//!
+//! The derivation is pure analysis (no execution), so its output should
+//! only ever change when the derivation algorithm or a kernel builder
+//! changes — and then the diff of the golden file *is* the review
+//! artifact. Regenerate with `UPDATE_GOLDEN=1 cargo test --test
+//! table2_golden`.
+
+use shift_peel::core::derive_levels;
+use shift_peel::dep::analyze_sequence;
+use shift_peel::kernels::suite::all_programs;
+
+const GOLDEN_PATH: &str = "tests/golden/table2_shift_peel.txt";
+
+fn render() -> String {
+    let mut out = String::new();
+    out.push_str("# Derived shift/peel amounts per fused dimension (Table 2).\n");
+    out.push_str("# scale=0.125, outermost fused level; one line per sequence.\n");
+    for entry in all_programs() {
+        let app = (entry.build)(0.125);
+        for (i, seq) in app.sequences.iter().enumerate() {
+            let deps = analyze_sequence(seq).expect("analysis");
+            let d = derive_levels(&deps, seq.len(), 1).expect("derivation");
+            out.push_str(&format!(
+                "{} seq{} nests={} shifts={:?} peels={:?}\n",
+                entry.meta.name,
+                i,
+                seq.len(),
+                d.dims[0].shifts,
+                d.dims[0].peels,
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn table2_shift_peel_amounts_are_pinned() {
+    let got = render();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all("tests/golden").expect("mkdir golden");
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        got, want,
+        "derived shift/peel amounts changed; if intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test --test table2_golden"
+    );
+}
