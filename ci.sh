@@ -10,8 +10,8 @@ cargo build --release
 echo "==> tier-1: test suite"
 cargo test -q
 
-echo "==> lint wall: sp-exec must be clippy-clean"
-cargo clippy -p sp-exec -- -D warnings
+echo "==> lint wall: runtime + observability crates must be clippy-clean"
+cargo clippy -p sp-exec -p sp-trace -p sp-cli -- -D warnings
 
 echo "==> differential fuzzing: backends x schedules x runtimes"
 # The vendored proptest derives its seed from the test name, so this
@@ -25,6 +25,21 @@ cargo run --release -p sp-cli -- run examples/programs/jacobi.loop \
   --procs 4 --steps 3 --backend interp
 cargo run --release -p sp-cli -- run examples/programs/jacobi.loop \
   --procs 4 --steps 3 --backend compiled
+
+echo "==> observability: traced run, trace schema check, explain golden"
+# A traced jacobi run must export a Chrome trace that passes the schema
+# check and Prometheus metrics with the run's counters; the explain
+# trace for LL18 is pinned as a golden file (UPDATE_GOLDEN=1 to refresh).
+trace_tmp="$(mktemp /tmp/spfc-trace.XXXXXX.json)"
+metrics_tmp="$(mktemp /tmp/spfc-metrics.XXXXXX.prom)"
+cargo run --release -p sp-cli -- run examples/programs/jacobi.loop \
+  --procs 4 --steps 3 --backend compiled --executor pooled \
+  --trace-out "$trace_tmp" --metrics-out "$metrics_tmp"
+cargo run --release -p sp-cli -- trace-check "$trace_tmp"
+grep -q '^spfc_iters_total' "$metrics_tmp"
+grep -q '^spfc_barrier_wait_nanos_bucket' "$metrics_tmp"
+rm -f "$trace_tmp" "$metrics_tmp"
+cargo test --release -q -p sp-cli --test explain_golden
 
 echo "==> runtime comparison -> results/BENCH_runtime.json"
 mkdir -p results

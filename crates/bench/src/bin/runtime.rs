@@ -14,6 +14,10 @@
 //! producing identical results and identical per-processor cache miss
 //! counts (verified here; the run panics on divergence).
 //!
+//! The compiled run is also repeated with per-worker event tracing
+//! enabled (`traced` column): the traced/compiled throughput ratio is
+//! the recorded cost of span recording, expected to stay within noise.
+//!
 //! Prints a table per kernel and writes every run's full `RunReport`
 //! (per-worker counters, barrier waits, imbalance) to
 //! `results/BENCH_runtime.json`.
@@ -55,6 +59,9 @@ fn sweep(
             if r.compiled.iters_per_sec() > best.compiled.iters_per_sec() {
                 best.compiled = r.compiled;
             }
+            if r.traced.iters_per_sec() > best.traced.iters_per_sec() {
+                best.traced = r.traced;
+            }
             if r.dynamic.iters_per_sec() > best.dynamic.iters_per_sec() {
                 best.dynamic = r.dynamic;
             }
@@ -71,7 +78,7 @@ fn sweep(
     );
     let mut t = Table::new(
         format!("{name}: threaded runtimes, grid {grid:?} (iters/s; pool advantage grows with steps)"),
-        &["steps", "scoped it/s", "pooled it/s", "pooled/scoped", "compiled it/s", "compiled/interp", "dynamic it/s", "pool imbalance", "pool max barrier us"],
+        &["steps", "scoped it/s", "pooled it/s", "pooled/scoped", "compiled it/s", "compiled/interp", "traced it/s", "traced/compiled", "dynamic it/s", "pool imbalance", "pool max barrier us"],
     );
     for r in &rows {
         t.row(vec![
@@ -81,6 +88,8 @@ fn sweep(
             f2(r.pooled.iters_per_sec() / r.scoped.iters_per_sec()),
             format!("{:.0}", r.compiled.iters_per_sec()),
             f2(r.compiled.iters_per_sec() / r.pooled.iters_per_sec()),
+            format!("{:.0}", r.traced.iters_per_sec()),
+            f2(r.traced.iters_per_sec() / r.compiled.iters_per_sec()),
             format!("{:.0}", r.dynamic.iters_per_sec()),
             f2(r.pooled.imbalance()),
             format!("{:.1}", r.pooled.max_barrier_wait_nanos() as f64 / 1e3),
@@ -106,6 +115,7 @@ fn emit_json(kernels: &[KernelRun]) -> String {
                 ("scoped", &r.scoped),
                 ("pooled", &r.pooled),
                 ("compiled", &r.compiled),
+                ("traced", &r.traced),
                 ("dynamic", &r.dynamic),
             ];
             let _ = write!(out, "{{\"steps\":{},", r.steps);
@@ -171,6 +181,17 @@ fn main() {
                 r.steps,
                 r.compiled.iters_per_sec() / r.pooled.iters_per_sec(),
                 if k.parity.equal() { "exact" } else { "BROKEN" }
+            );
+            // Tracing overhead: the traced run records a handful of
+            // spans per timestep into per-worker rings, so it should
+            // stay within noise of the untraced compiled run.
+            let overhead = 1.0 - r.traced.iters_per_sec() / r.compiled.iters_per_sec();
+            println!(
+                "{}: tracing overhead at {} steps = {:.1}% ({} events recorded)",
+                k.name,
+                r.steps,
+                overhead * 100.0,
+                r.traced.trace.as_ref().map(|t| t.event_count()).unwrap_or(0)
             );
         }
     }

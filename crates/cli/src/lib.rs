@@ -16,7 +16,7 @@
 //! integration tests drive exactly the same code.
 
 use shift_peel_core::{
-    derive_levels, distribute_sequence, fusion_plan, render_plan, CodegenMethod,
+    derive_levels, distribute_sequence, explain_sequence, fusion_plan, render_plan, CodegenMethod,
 };
 use sp_cache::LayoutStrategy;
 use sp_dep::{analyze_sequence, describe_deps};
@@ -70,6 +70,11 @@ pub struct Options {
     pub steps: usize,
     /// `--backend interp|compiled` (default interp).
     pub backend: String,
+    /// `--trace-out FILE`: run with per-worker event tracing enabled and
+    /// write the Chrome trace-event JSON here.
+    pub trace_out: Option<String>,
+    /// `--metrics-out FILE`: write the run's Prometheus metrics here.
+    pub metrics_out: Option<String>,
 }
 
 impl Options {
@@ -91,6 +96,8 @@ impl Options {
             executor: "scoped".to_string(),
             steps: 1,
             backend: "interp".to_string(),
+            trace_out: None,
+            metrics_out: None,
         };
         while let Some(flag) = it.next() {
             let mut take = || -> Result<&String, CliError> {
@@ -127,6 +134,12 @@ impl Options {
                         .parse()
                         .map_err(|_| CliError { message: "bad --steps".into(), code: 2 })?;
                 }
+                "--trace-out" => {
+                    opts.trace_out = Some(take()?.clone());
+                }
+                "--metrics-out" => {
+                    opts.metrics_out = Some(take()?.clone());
+                }
                 other => return usage(format!("unknown flag {other}\n{USAGE}")),
             }
         }
@@ -135,9 +148,14 @@ impl Options {
 }
 
 /// The usage string.
-pub const USAGE: &str = "usage: spfc <analyze|derive|fuse|distribute|run|simulate> <prog.loop> \
+pub const USAGE: &str = "usage: spfc \
+<analyze|derive|fuse|distribute|explain|run|simulate|trace-check> <prog.loop|kernel|trace.json> \
 [--procs N] [--strip N] [--steps N] [--machine ksr2|convex] \
-[--executor scoped|pooled|dynamic|sim] [--backend interp|compiled]";
+[--executor scoped|pooled|dynamic|sim] [--backend interp|compiled] \
+[--trace-out FILE] [--metrics-out FILE]\n\
+  explain takes a .loop path or a suite kernel name (ll18, calc, filter, \
+tomcatv, hydro2d, spem, jacobi) and prints every fusion/derivation decision.\n\
+  trace-check validates a Chrome trace-event JSON written by --trace-out.";
 
 fn load(path: &str) -> Result<LoopSequence, CliError> {
     let src = std::fs::read_to_string(path)
@@ -151,8 +169,81 @@ fn load(path: &str) -> Result<LoopSequence, CliError> {
     Ok(seq)
 }
 
+/// The scale `spfc explain <kernel>` builds suite kernels at — the same
+/// scale the Table 1/2 regressions and goldens use, so the explained
+/// amounts match the pinned ones.
+const EXPLAIN_SCALE: f64 = 0.125;
+
+/// Resolves `explain`'s argument: an existing `.loop` file, or a suite
+/// kernel name (case-insensitive: `ll18`, `jacobi`, ...) built at
+/// [`EXPLAIN_SCALE`]. Kernels may expand to several loop sequences.
+fn resolve_sequences(path: &str) -> Result<Vec<LoopSequence>, CliError> {
+    if std::path::Path::new(path).exists() {
+        return Ok(vec![load(path)?]);
+    }
+    let suite = sp_kernels::suite::all_programs();
+    if let Some(entry) = suite.iter().find(|e| e.meta.name.eq_ignore_ascii_case(path)) {
+        return Ok((entry.build)(EXPLAIN_SCALE).sequences);
+    }
+    let names: Vec<&str> = suite.iter().map(|e| e.meta.name).collect();
+    fail(format!(
+        "{path} is neither a readable .loop file nor a suite kernel (one of {})",
+        names.join(", ")
+    ))
+}
+
+/// `spfc explain`: print every decision the planner and derivation made.
+fn explain_command(opts: &Options) -> Result<String, CliError> {
+    let mut out = String::new();
+    for seq in resolve_sequences(&opts.path)? {
+        let (plan, trace) = explain_sequence(&seq, 1)
+            .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+        let _ = writeln!(
+            out,
+            "explain {}: {} nests, fusing 1 of {} level(s)",
+            seq.name,
+            seq.len(),
+            seq.nests.first().map(|n| n.depth()).unwrap_or(0),
+        );
+        out.push_str(&trace.render(&seq));
+        let _ = writeln!(
+            out,
+            "plan: {} group(s), {} fused, longest {}, max shift {}, max peel {}",
+            plan.groups.len(),
+            plan.fused_group_count(),
+            plan.longest_group(),
+            plan.max_shift(),
+            plan.max_peel(),
+        );
+    }
+    Ok(out)
+}
+
+/// `spfc trace-check`: validate a Chrome trace-event JSON file.
+fn trace_check_command(opts: &Options) -> Result<String, CliError> {
+    let json = std::fs::read_to_string(&opts.path)
+        .map_err(|e| CliError { message: format!("cannot read {}: {e}", opts.path), code: 1 })?;
+    let summary = sp_trace::validate_chrome_trace(&json)
+        .map_err(|e| CliError { message: format!("{}: {e}", opts.path), code: 1 })?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "OK: {} spans across {} lane(s), {} step(s)",
+        summary.span_count,
+        summary.lanes.len(),
+        summary.steps.len(),
+    );
+    let _ = writeln!(out, "span kinds: {}", summary.names.join(", "));
+    Ok(out)
+}
+
 /// Executes one CLI invocation, returning the stdout text.
 pub fn run_command(opts: &Options) -> Result<String, CliError> {
+    match opts.command.as_str() {
+        "explain" => return explain_command(opts),
+        "trace-check" => return trace_check_command(opts),
+        _ => {}
+    }
     let seq = load(&opts.path)?;
     let mut out = String::new();
     match opts.command.as_str() {
@@ -196,12 +287,15 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
                 "compiled" => Backend::Compiled,
                 other => return usage(format!("unknown backend {other} (interp|compiled)")),
             };
-            let cfg = if opts.executor == "dynamic" {
+            let mut cfg = if opts.executor == "dynamic" {
                 RunConfig::blocked([opts.procs]).steps(opts.steps)
             } else {
                 RunConfig::fused([opts.procs]).strip(opts.strip).steps(opts.steps)
             }
             .backend(backend);
+            if opts.trace_out.is_some() {
+                cfg = cfg.traced();
+            }
             let mut executor: Box<dyn Executor> = match opts.executor.as_str() {
                 "scoped" => Box::new(ScopedExecutor),
                 "pooled" => Box::new(PooledExecutor::new(opts.procs)),
@@ -250,6 +344,32 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
                     "lowered {} micro-ops in {} ns",
                     report.tape_ops, report.lower_nanos
                 );
+            }
+            if let Some(path) = &opts.trace_out {
+                let trace = report
+                    .trace
+                    .as_ref()
+                    .ok_or_else(|| CliError {
+                        message: "traced run produced no trace".into(),
+                        code: 1,
+                    })?;
+                std::fs::write(path, trace.chrome_json()).map_err(|e| CliError {
+                    message: format!("cannot write {path}: {e}"),
+                    code: 1,
+                })?;
+                let _ = writeln!(
+                    out,
+                    "wrote {path}: {} events across {} lanes ({} dropped)",
+                    trace.event_count(),
+                    trace.workers.len(),
+                    trace.dropped(),
+                );
+            }
+            if let Some(path) = &opts.metrics_out {
+                std::fs::write(path, report.metrics().to_prometheus()).map_err(|e| {
+                    CliError { message: format!("cannot write {path}: {e}"), code: 1 }
+                })?;
+                let _ = writeln!(out, "wrote {path}");
             }
         }
         "simulate" => {

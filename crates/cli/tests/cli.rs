@@ -114,6 +114,75 @@ fn distribute_splits_nothing_here_but_prints() {
 }
 
 #[test]
+fn explain_narrates_fusion_decisions() {
+    // A .loop file path works...
+    with_program(|path| {
+        let out = run(&["explain", path]).expect("explain file");
+        assert!(out.contains("group @ L1:"), "{out}");
+        assert!(out.contains("+ L2 joins"), "{out}");
+        assert!(out.contains("shift[0] L1->L2 flow on a d=-1"), "{out}");
+        assert!(out.contains("threshold (Theorem 1)"), "{out}");
+        assert!(out.contains("plan: 1 group(s), 1 fused"), "{out}");
+    });
+    // ...and so does a suite kernel name, case-insensitively.
+    let out = run(&["explain", "jacobi"]).expect("explain kernel");
+    assert!(out.contains("explain jacobi: 2 nests"), "{out}");
+    // Unknown names list the suite.
+    let e = run(&["explain", "nosuchkernel"]).unwrap_err();
+    assert_eq!(e.code, 1);
+    assert!(e.message.contains("LL18"), "{}", e.message);
+}
+
+#[test]
+fn run_exports_trace_and_metrics() {
+    with_program(|path| {
+        let dir = std::env::temp_dir();
+        let trace = dir.join(format!("spfc-trace-{}.json", std::process::id()));
+        let metrics = dir.join(format!("spfc-metrics-{}.prom", std::process::id()));
+        let out = run(&[
+            "run",
+            path,
+            "--procs",
+            "2",
+            "--steps",
+            "2",
+            "--executor",
+            "pooled",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .expect("traced run");
+        assert!(out.starts_with("OK:"), "{out}");
+        assert!(out.contains("events across 3 lanes"), "{out}");
+
+        // The written trace passes `spfc trace-check`. The interp run
+        // records no lowering span, so the controller lane is empty and
+        // only the two worker lanes carry events.
+        let check = run(&["trace-check", trace.to_str().unwrap()]).expect("trace-check");
+        assert!(check.starts_with("OK:"), "{check}");
+        assert!(check.contains("2 lane(s), 2 step(s)"), "{check}");
+        assert!(check.contains("barrier_wait"), "{check}");
+
+        // The metrics file is Prometheus text with the run's counters.
+        let text = std::fs::read_to_string(&metrics).expect("metrics file");
+        assert!(text.contains("# TYPE spfc_iters_total counter"), "{text}");
+        assert!(text.contains("executor=\"pooled\""), "{text}");
+        assert!(text.contains("spfc_barrier_wait_nanos_bucket"), "{text}");
+
+        // Corrupt traces are rejected with a useful message.
+        std::fs::write(&trace, "{\"traceEvents\":{}}").unwrap();
+        let e = run(&["trace-check", trace.to_str().unwrap()]).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("traceEvents"), "{}", e.message);
+
+        let _ = std::fs::remove_file(&trace);
+        let _ = std::fs::remove_file(&metrics);
+    });
+}
+
+#[test]
 fn bad_inputs_are_reported() {
     // Unknown command.
     with_program(|path| {

@@ -1,0 +1,29 @@
+//! Golden-file pin of `spfc explain ll18`.
+//!
+//! The explain trace is pure analysis: it changes only when the
+//! derivation/planning decision logic or the LL18 kernel builder
+//! changes, and then the golden diff *is* the review artifact.
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test -p sp-cli --test
+//! explain_golden`.
+
+use sp_cli::{run_command, Options};
+
+const GOLDEN_PATH: &str = "tests/golden/explain_ll18.txt";
+
+#[test]
+fn explain_ll18_is_pinned() {
+    let args = vec!["explain".to_string(), "ll18".to_string()];
+    let got = run_command(&Options::parse(&args).expect("parse")).expect("explain ll18");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all("tests/golden").expect("mkdir golden");
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        got, want,
+        "explain output changed; if intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p sp-cli --test explain_golden"
+    );
+}

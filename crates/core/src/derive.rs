@@ -16,6 +16,7 @@
 //!   from block starts so that statically-blocked parallel execution of
 //!   the fused loop needs no cross-processor synchronization.
 
+use crate::explain::{DerivePass, ExplainEvent, ExplainTrace};
 use sp_dep::{DepEdge, DepMultigraph, SequenceDeps};
 use sp_ir::LoopSequence;
 use std::fmt;
@@ -132,13 +133,21 @@ impl fmt::Display for DeriveError {
 
 impl std::error::Error for DeriveError {}
 
-/// The traversal of Figure 8, parameterized by reduction sense.
+/// The traversal of Figure 8, parameterized by reduction sense, with an
+/// observer invoked on every edge visit.
 ///
 /// `shift = true` runs the shift variant (min accumulation over negative
 /// edges); `shift = false` runs the peel variant (max accumulation over
 /// positive edges). `edges` must be the appropriately reduced graph and
-/// topologically ordered by construction (`src < dst`).
-fn traverse(n: usize, edges: &[DepEdge], shift: bool) -> Vec<i64> {
+/// topologically ordered by construction (`src < dst`). `observe`
+/// receives `(edge, contribution, sink weight after, taken)` per visit;
+/// the untraced path passes a no-op closure the optimizer removes.
+fn traverse_with(
+    n: usize,
+    edges: &[DepEdge],
+    shift: bool,
+    mut observe: impl FnMut(&DepEdge, i64, i64, bool),
+) -> Vec<i64> {
     let mut weight = vec![0i64; n];
     // Vertices in topological order = program order (all edges src < dst).
     for v in 0..n {
@@ -148,14 +157,22 @@ fn traverse(n: usize, edges: &[DepEdge], shift: bool) -> Vec<i64> {
             } else {
                 weight[v] + e.weight.max(0)
             };
-            if shift {
-                weight[e.dst] = weight[e.dst].min(contribution);
+            let taken = if shift {
+                contribution < weight[e.dst]
             } else {
-                weight[e.dst] = weight[e.dst].max(contribution);
+                contribution > weight[e.dst]
+            };
+            if taken {
+                weight[e.dst] = contribution;
             }
+            observe(e, contribution, weight[e.dst], taken);
         }
     }
     weight
+}
+
+fn traverse(n: usize, edges: &[DepEdge], shift: bool) -> Vec<i64> {
+    traverse_with(n, edges, shift, |_, _, _, _| {})
 }
 
 /// Derives shifts and peels for one fused dimension from its multigraph.
@@ -173,6 +190,59 @@ pub fn derive_dim(g: &DepMultigraph) -> Result<DimDerivation, DeriveError> {
     let max_edges = g.reduce_max();
     let peels = traverse(g.n, &max_edges, false);
     Ok(DimDerivation { level: g.level, shifts, peels })
+}
+
+/// [`derive_dim`] with every traversal step recorded into `trace` as
+/// [`ExplainEvent::EdgeVisit`]s plus a closing
+/// [`ExplainEvent::DimDerived`]. `offset` is added to the recorded nest
+/// indices so window-relative graphs (see `DepMultigraph::build_window`)
+/// report absolute sequence positions.
+pub fn derive_dim_traced(
+    g: &DepMultigraph,
+    offset: usize,
+    trace: &mut ExplainTrace,
+) -> Result<DimDerivation, DeriveError> {
+    if let Some(&(src, dst)) = g.nonuniform.first() {
+        return Err(DeriveError::NonUniform {
+            src: src + offset,
+            dst: dst + offset,
+            level: g.level,
+        });
+    }
+    let event = |pass: DerivePass, e: &DepEdge, contribution: i64, after: i64, taken: bool| {
+        ExplainEvent::EdgeVisit {
+            pass,
+            level: g.level,
+            src: e.src + offset,
+            dst: e.dst + offset,
+            weight: e.weight,
+            kind: e.kind,
+            array: e.array,
+            contribution,
+            weight_after: after,
+            taken,
+        }
+    };
+    let min_edges = g.reduce_min();
+    let shifts: Vec<i64> = traverse_with(g.n, &min_edges, true, |e, c, after, taken| {
+        trace.push(event(DerivePass::Shift, e, c, after, taken));
+    })
+    .into_iter()
+    .map(|w| -w)
+    .collect();
+    let max_edges = g.reduce_max();
+    let peels = traverse_with(g.n, &max_edges, false, |e, c, after, taken| {
+        trace.push(event(DerivePass::Peel, e, c, after, taken));
+    });
+    let dim = DimDerivation { level: g.level, shifts, peels };
+    trace.push(ExplainEvent::DimDerived {
+        level: dim.level,
+        start: offset,
+        shifts: dim.shifts.clone(),
+        peels: dim.peels.clone(),
+        nt: dim.nt(),
+    });
+    Ok(dim)
 }
 
 /// Derives shift-and-peel amounts for the first `levels` dimensions of a

@@ -20,12 +20,16 @@
 //!   partition-size-driven strip selection of Section 4.
 //! * [`profit`] — the data-size-vs-cache-size profitability evaluation the
 //!   paper's Section 6 calls for.
+//! * [`explain`] — opt-in decision tracing: structured events recording
+//!   why each pass decided what it did (edge contributions, fusion
+//!   rejections, Theorem 1 threshold checks), rendered by `spfc explain`.
 
 pub mod codegen;
 pub mod contract;
 pub mod derive;
 pub mod distribute;
 pub mod emit;
+pub mod explain;
 pub mod legality;
 pub mod plan;
 pub mod profit;
@@ -33,12 +37,17 @@ pub mod schedule;
 
 pub use codegen::{bytes_per_outer_iter, estimate_block_cost, suggest_strip, GroupCost, StripSpec};
 pub use contract::{find_contractable, ContractionCandidate};
-pub use derive::{derive_dim, derive_levels, derive_shift_peel, Derivation, DeriveError, DimDerivation};
+pub use derive::{
+    derive_dim, derive_dim_traced, derive_levels, derive_shift_peel, Derivation, DeriveError,
+    DimDerivation,
+};
 pub use distribute::{distribute_nest, distribute_sequence, Distribution};
 pub use emit::render_plan;
+pub use explain::{explain_sequence, DerivePass, ExplainEvent, ExplainTrace, JoinBlocker};
 pub use legality::{check_blocks, check_sequence, max_procs, LegalityError};
 pub use plan::{
-    fusion_plan, singleton_plan, CodegenMethod, FusedGroup, FusionPlan, LoweringFootprint,
+    fusion_plan, fusion_plan_traced, join_blocker, singleton_plan, CodegenMethod, FusedGroup,
+    FusionPlan, LoweringFootprint,
 };
 pub use profit::ProfitabilityModel;
 pub use schedule::{decompose, global_fused_range, nest_regions, NestRegions, ProcBlock};

@@ -7,7 +7,8 @@
 //! dimension, because the nest is serial in a fused dimension, or because
 //! a profitability model (Section 6) vetoes further fusion.
 
-use crate::derive::{derive_dim, Derivation};
+use crate::derive::{derive_dim, derive_dim_traced, Derivation};
+use crate::explain::{ExplainEvent, ExplainTrace, JoinBlocker};
 use crate::legality::LegalityError;
 use crate::profit::ProfitabilityModel;
 use sp_dep::{DepMultigraph, SequenceDeps};
@@ -145,35 +146,53 @@ fn expr_nodes(e: &sp_ir::Expr) -> usize {
 }
 
 /// Derives a [`Derivation`] for the subsequence `[start, end)` using
-/// per-dimension multigraphs restricted to that window.
+/// per-dimension multigraphs restricted to that window. When `trace` is
+/// given, every traversal step is recorded with absolute nest indices.
 fn derive_window(
     deps: &SequenceDeps,
     start: usize,
     end: usize,
     levels: usize,
+    mut trace: Option<&mut ExplainTrace>,
 ) -> Result<Derivation, LegalityError> {
     let n = end - start;
     let mut dims = Vec::with_capacity(levels);
     for level in 0..levels {
         let g = DepMultigraph::build_window(deps, start, end, level);
-        dims.push(derive_dim(&g).map_err(LegalityError::Derive)?);
+        let dim = match trace.as_deref_mut() {
+            Some(t) => derive_dim_traced(&g, start, t),
+            None => derive_dim(&g),
+        }
+        .map_err(LegalityError::Derive)?;
+        dims.push(dim);
     }
     Ok(Derivation { n, dims })
 }
 
-/// True when nest `k` can join the current group `[start, k)`: it must be
-/// parallel in all fused levels and all its dependences with group members
-/// must be uniform in those levels.
-fn can_join(deps: &SequenceDeps, start: usize, k: usize, levels: usize) -> bool {
-    if deps.nests[k].parallel.iter().take(levels).any(|&p| !p) {
-        return false;
+/// Why nest `k` cannot join the current group `[start, k)` — or `None`
+/// when it can: the nest must be parallel in all fused levels and all its
+/// dependences with group members must be uniform in those levels.
+pub fn join_blocker(
+    deps: &SequenceDeps,
+    start: usize,
+    k: usize,
+    levels: usize,
+) -> Option<JoinBlocker> {
+    if let Some(level) = deps.nests[k].parallel.iter().take(levels).position(|&p| !p) {
+        return Some(JoinBlocker::Serial { nest: k, level });
     }
     for d in &deps.inter {
         if d.dst_nest == k && d.src_nest >= start && !d.uniform_in(levels) {
-            return false;
+            let level = d
+                .dist
+                .iter()
+                .take(levels)
+                .position(|x| x.is_none())
+                .unwrap_or(0);
+            return Some(JoinBlocker::NonUniform { src: d.src_nest, dst: k, level });
         }
     }
-    true
+    None
 }
 
 /// Builds a fusion plan for the first `levels` loop levels of `seq`.
@@ -188,6 +207,33 @@ pub fn fusion_plan(
     method: CodegenMethod,
     profit: Option<&ProfitabilityModel>,
 ) -> Result<FusionPlan, LegalityError> {
+    plan_impl(seq, deps, levels, method, profit, None)
+}
+
+/// [`fusion_plan`] with every planning decision recorded into `trace`:
+/// group opens/closes, accepted and rejected joins (with the precise
+/// [`JoinBlocker`]), every derivation traversal step, and Theorem 1's
+/// iteration-count-threshold check per fused dimension of each
+/// multi-member group. Produces exactly the plan [`fusion_plan`] would.
+pub fn fusion_plan_traced(
+    seq: &LoopSequence,
+    deps: &SequenceDeps,
+    levels: usize,
+    method: CodegenMethod,
+    profit: Option<&ProfitabilityModel>,
+    trace: &mut ExplainTrace,
+) -> Result<FusionPlan, LegalityError> {
+    plan_impl(seq, deps, levels, method, profit, Some(trace))
+}
+
+fn plan_impl(
+    seq: &LoopSequence,
+    deps: &SequenceDeps,
+    levels: usize,
+    method: CodegenMethod,
+    profit: Option<&ProfitabilityModel>,
+    mut trace: Option<&mut ExplainTrace>,
+) -> Result<FusionPlan, LegalityError> {
     if levels < 1 || levels > deps.depth {
         return Err(LegalityError::BadLevels { levels, depth: deps.depth });
     }
@@ -197,23 +243,62 @@ pub fn fusion_plan(
     // A nest that is itself serial in a fused level forms a singleton
     // group (it is left unfused and runs as in the original program).
     while start < n {
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(ExplainEvent::GroupStart { start });
+        }
         let mut end = start + 1;
-        let first_ok = deps.nests[start]
-            .parallel
-            .iter()
-            .take(levels)
-            .all(|&p| p);
-        if first_ok {
-            while end < n && can_join(deps, start, end, levels) {
-                if let Some(p) = profit {
-                    if !p.profitable_to_grow(seq, start, end + 1) {
+        let first_blocker = join_blocker(deps, start, start, levels);
+        match first_blocker {
+            Some(blocker) => {
+                // The opening nest itself is serial: singleton group.
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(ExplainEvent::JoinRejected { blocker });
+                }
+            }
+            None => {
+                while end < n {
+                    if let Some(blocker) = join_blocker(deps, start, end, levels) {
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.push(ExplainEvent::JoinRejected { blocker });
+                        }
                         break;
                     }
+                    if let Some(p) = profit {
+                        if !p.profitable_to_grow(seq, start, end + 1) {
+                            if let Some(t) = trace.as_deref_mut() {
+                                t.push(ExplainEvent::JoinRejected {
+                                    blocker: JoinBlocker::Unprofitable { nest: end },
+                                });
+                            }
+                            break;
+                        }
+                    }
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push(ExplainEvent::JoinAccepted { nest: end });
+                    }
+                    end += 1;
                 }
-                end += 1;
             }
         }
-        let derivation = derive_window(deps, start, end, levels)?;
+        let derivation = derive_window(deps, start, end, levels, trace.as_deref_mut())?;
+        if let Some(t) = trace.as_deref_mut() {
+            if end - start > 1 {
+                let members: Vec<usize> = (start..end).collect();
+                let range = crate::schedule::global_fused_range(seq, &members, levels)?;
+                for dim in &derivation.dims {
+                    let (lo, hi) = range[dim.level];
+                    let trip = hi - lo + 1;
+                    let nt = dim.nt();
+                    t.push(ExplainEvent::Threshold {
+                        level: dim.level,
+                        trip,
+                        nt,
+                        max_procs: crate::legality::max_procs(trip, nt),
+                    });
+                }
+            }
+            t.push(ExplainEvent::GroupClosed { start, end });
+        }
         groups.push(FusedGroup { start, end, derivation });
         start = end;
     }

@@ -26,6 +26,8 @@ use shift_peel_core::{
 };
 use sp_dep::SequenceDeps;
 use sp_ir::{IterSpace, LoopSequence};
+use sp_trace::tracer::NO_INDEX;
+use sp_trace::{SpanKind, TraceConfig, WorkerTrace, WorkerTracer};
 use std::sync::Barrier;
 use std::time::Instant;
 
@@ -235,7 +237,10 @@ impl PhaseSync for SenseBarrier {
 /// One processor's traversal of a full work list: for each group, fused
 /// phase, barrier, then (if any nest peels) peeled phase and a second
 /// barrier. Serial groups run on processor 0 with everyone else waiting.
-/// Phase wall times and barrier-wait times accumulate into `counters`.
+/// Phase wall times and barrier-wait times accumulate into `counters`;
+/// when the run is traced, every phase and barrier wait is also recorded
+/// as a span in this worker's private `tracer` (a `None` tracer costs one
+/// branch per phase, not per iteration).
 ///
 /// This is the *shared* per-worker schedule of the scoped and pooled
 /// runtimes; only the barrier implementation differs.
@@ -256,8 +261,11 @@ pub(crate) unsafe fn worker_pass<B: PhaseSync, S: AccessSink>(
     sense: &mut bool,
     sink: &mut S,
     counters: &mut ExecCounters,
+    step: u32,
+    tracer: &mut Option<WorkerTracer>,
 ) {
     for (gi, w) in work.iter().enumerate() {
+        let g = gi as u32;
         match w {
             GroupWork::Serial { nest } => {
                 if p == 0 {
@@ -266,10 +274,19 @@ pub(crate) unsafe fn worker_pass<B: PhaseSync, S: AccessSink>(
                     // SAFETY: all other threads are parked at the barrier
                     // below; no concurrent access.
                     unsafe { engine.exec_region(seq, view, *nest, &space, sink, counters) };
-                    counters.fused_nanos += t0.elapsed().as_nanos() as u64;
+                    let dur = t0.elapsed().as_nanos() as u64;
+                    counters.fused_nanos += dur;
+                    if let Some(t) = tracer {
+                        t.record(SpanKind::Serial, t0, dur, step, g);
+                    }
                 }
-                counters.barrier_wait_nanos += barrier.wait(sense);
+                let bt0 = Instant::now();
+                let waited = barrier.wait(sense);
+                counters.barrier_wait_nanos += waited;
                 counters.barriers += 1;
+                if let Some(t) = tracer {
+                    t.record(SpanKind::BarrierWait, bt0, waited, step, g);
+                }
             }
             GroupWork::Parallel { blocks, has_peel } => {
                 let group = &plan.groups[gi];
@@ -282,10 +299,19 @@ pub(crate) unsafe fn worker_pass<B: PhaseSync, S: AccessSink>(
                             seq, group, block, strip, plan.method, engine, view, sink, counters,
                         )
                     };
-                    counters.fused_nanos += t0.elapsed().as_nanos() as u64;
+                    let dur = t0.elapsed().as_nanos() as u64;
+                    counters.fused_nanos += dur;
+                    if let Some(t) = tracer {
+                        t.record(SpanKind::Fused, t0, dur, step, g);
+                    }
                 }
-                counters.barrier_wait_nanos += barrier.wait(sense);
+                let bt0 = Instant::now();
+                let waited = barrier.wait(sense);
+                counters.barrier_wait_nanos += waited;
                 counters.barriers += 1;
+                if let Some(t) = tracer {
+                    t.record(SpanKind::BarrierWait, bt0, waited, step, g);
+                }
                 if *has_peel {
                     if let Some(block) = blocks.get(p) {
                         let t0 = Instant::now();
@@ -294,18 +320,34 @@ pub(crate) unsafe fn worker_pass<B: PhaseSync, S: AccessSink>(
                         unsafe {
                             run_peeled_phase(seq, group, block, engine, view, sink, counters)
                         };
-                        counters.peeled_nanos += t0.elapsed().as_nanos() as u64;
+                        let dur = t0.elapsed().as_nanos() as u64;
+                        counters.peeled_nanos += dur;
+                        if let Some(t) = tracer {
+                            t.record(SpanKind::Peeled, t0, dur, step, g);
+                        }
                     }
-                    counters.barrier_wait_nanos += barrier.wait(sense);
+                    let bt0 = Instant::now();
+                    let waited = barrier.wait(sense);
+                    counters.barrier_wait_nanos += waited;
                     counters.barriers += 1;
+                    if let Some(t) = tracer {
+                        t.record(SpanKind::BarrierWait, bt0, waited, step, g);
+                    }
                 }
             }
         }
     }
 }
 
+/// Per-pass tracing context handed down by the executors: the ring
+/// config, the run's shared epoch, and the timestep the pass executes.
+pub(crate) type PassTrace = Option<(TraceConfig, Instant, u32)>;
+
 /// One spawn-per-run pass over the work list: `nprocs` scoped threads,
-/// a fresh `std::sync::Barrier`, one [`worker_pass`] each.
+/// a fresh `std::sync::Barrier`, one [`worker_pass`] each. When traced,
+/// each thread records into a private ring returned alongside its
+/// counters (the executor merges the per-step lanes).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn scoped_pass(
     seq: &LoopSequence,
     plan: &FusionPlan,
@@ -314,7 +356,8 @@ pub(crate) fn scoped_pass(
     strip: i64,
     engine: Engine<'_>,
     view: &MemView<'_>,
-) -> Result<Vec<ExecCounters>, ExecError> {
+    trace: PassTrace,
+) -> Result<Vec<(ExecCounters, Option<WorkerTrace>)>, ExecError> {
     let barrier = Barrier::new(nprocs);
     let mut results = Vec::with_capacity(nprocs);
     std::thread::scope(|scope| {
@@ -325,15 +368,22 @@ pub(crate) fn scoped_pass(
                 let mut sink = NullSink;
                 let mut counters = ExecCounters::default();
                 let mut sense = false;
+                let mut tracer =
+                    trace.map(|(cfg, epoch, _)| WorkerTracer::new(cfg, epoch));
+                let step = trace.map_or(0, |(_, _, s)| s);
+                let job_t0 = Instant::now();
                 // SAFETY: every thread runs the same work list through
                 // the same barrier; phases never conflict (Theorem 1).
                 unsafe {
                     worker_pass(
                         seq, plan, work, strip, p, engine, view, barrier, &mut sense, &mut sink,
-                        &mut counters,
+                        &mut counters, step, &mut tracer,
                     )
                 };
-                counters
+                if let Some(t) = &mut tracer {
+                    t.record_until_now(SpanKind::Dispatch, job_t0, step, NO_INDEX);
+                }
+                (counters, tracer.map(|t| t.finish(p)))
             }));
         }
         for (p, h) in handles.into_iter().enumerate() {
@@ -351,7 +401,9 @@ pub(crate) fn scoped_pass(
 /// phase run one after another, each reporting into its own sink.
 ///
 /// Returns per-processor counters. `sinks.len()` must equal the grid's
-/// product.
+/// product. When `tracers` is populated (one per simulated processor),
+/// phase spans are recorded per processor; barrier waits are not, since
+/// nothing waits in a serialized simulation.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn sim_pass<S: AccessSink>(
     seq: &LoopSequence,
@@ -362,6 +414,8 @@ pub(crate) fn sim_pass<S: AccessSink>(
     engine: Engine<'_>,
     mem: &mut Memory,
     sinks: &mut [S],
+    step: u32,
+    tracers: &mut Option<Vec<WorkerTracer>>,
 ) -> Result<Vec<ExecCounters>, ExecError> {
     let nprocs: usize = grid.iter().product();
     if sinks.len() != nprocs {
@@ -370,14 +424,26 @@ pub(crate) fn sim_pass<S: AccessSink>(
     let work = build_work(seq, deps, plan, grid)?;
     let mut counters = vec![ExecCounters::default(); nprocs];
     let view = MemView::new(mem);
+    let record = |tracers: &mut Option<Vec<WorkerTracer>>,
+                      p: usize,
+                      kind: SpanKind,
+                      t0: Instant,
+                      g: u32| {
+        if let Some(ts) = tracers {
+            ts[p].record_until_now(kind, t0, step, g);
+        }
+    };
     for (gi, w) in work.iter().enumerate() {
+        let g = gi as u32;
         match w {
             GroupWork::Serial { nest } => {
+                let t0 = Instant::now();
                 let space = seq.nests[*nest].space();
                 // SAFETY: simulated execution is single-threaded.
                 unsafe {
                     engine.exec_region(seq, &view, *nest, &space, &mut sinks[0], &mut counters[0])
                 };
+                record(tracers, 0, SpanKind::Serial, t0, g);
                 for c in &mut counters {
                     c.barriers += 1;
                 }
@@ -385,6 +451,7 @@ pub(crate) fn sim_pass<S: AccessSink>(
             GroupWork::Parallel { blocks, has_peel } => {
                 let group = &plan.groups[gi];
                 for (p, block) in blocks.iter().enumerate() {
+                    let t0 = Instant::now();
                     // SAFETY: simulated execution is single-threaded.
                     unsafe {
                         run_fused_phase(
@@ -399,12 +466,14 @@ pub(crate) fn sim_pass<S: AccessSink>(
                             &mut counters[p],
                         )
                     };
+                    record(tracers, p, SpanKind::Fused, t0, g);
                 }
                 for c in &mut counters {
                     c.barriers += 1;
                 }
                 if *has_peel {
                     for (p, block) in blocks.iter().enumerate() {
+                        let t0 = Instant::now();
                         // SAFETY: simulated execution is single-threaded.
                         unsafe {
                             run_peeled_phase(
@@ -417,6 +486,7 @@ pub(crate) fn sim_pass<S: AccessSink>(
                                 &mut counters[p],
                             )
                         };
+                        record(tracers, p, SpanKind::Peeled, t0, g);
                     }
                     for c in &mut counters {
                         c.barriers += 1;
@@ -426,49 +496,4 @@ pub(crate) fn sim_pass<S: AccessSink>(
         }
     }
     Ok(counters)
-}
-
-/// Deterministic simulation of parallel execution (legacy free function).
-#[deprecated(since = "0.2.0", note = "use `SimExecutor` with a `RunConfig`")]
-pub fn run_plan_sim<S: AccessSink>(
-    seq: &LoopSequence,
-    deps: &SequenceDeps,
-    plan: &FusionPlan,
-    grid: &[usize],
-    strip: i64,
-    mem: &mut Memory,
-    sinks: &mut [S],
-) -> Result<Vec<ExecCounters>, LegalityError> {
-    match sim_pass(seq, deps, plan, grid, strip, Engine::Interp, mem, sinks) {
-        Ok(c) => Ok(c),
-        Err(ExecError::Legality(e)) => Err(e),
-        // The legacy signature can only express legality failures; other
-        // errors were asserts here before the Executor API existed.
-        Err(e) => panic!("{e}"),
-    }
-}
-
-/// Real multi-threaded execution of a plan with static blocked scheduling
-/// and barrier synchronization (legacy free function; one spawned OS
-/// thread per processor, [`NullSink`] access stream).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `ScopedExecutor` (or `PooledExecutor`) with a `RunConfig`"
-)]
-pub fn run_plan_threaded(
-    seq: &LoopSequence,
-    deps: &SequenceDeps,
-    plan: &FusionPlan,
-    grid: &[usize],
-    strip: i64,
-    mem: &mut Memory,
-) -> Result<Vec<ExecCounters>, LegalityError> {
-    let nprocs: usize = grid.iter().product();
-    let work = build_work(seq, deps, plan, grid)?;
-    let view = MemView::new(mem);
-    match scoped_pass(seq, plan, &work, nprocs, strip, Engine::Interp, &view) {
-        Ok(c) => Ok(c),
-        Err(ExecError::Legality(e)) => Err(e),
-        Err(e) => panic!("{e}"),
-    }
 }

@@ -12,6 +12,7 @@
 //! nothing for the regular computations the paper targets, which is the
 //! paper's stated reason the restriction "is not a serious limitation").
 
+use crate::driver::PassTrace;
 use crate::exec::ExecError;
 use crate::interp::ExecCounters;
 use crate::memory::{MemView, Memory};
@@ -19,6 +20,8 @@ use crate::sink::NullSink;
 use crate::tape::Engine;
 use sp_dep::SequenceDeps;
 use sp_ir::{IterSpace, LoopSequence};
+use sp_trace::tracer::NO_INDEX;
+use sp_trace::{SpanKind, WorkerTrace, WorkerTracer};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Barrier;
 use std::time::Instant;
@@ -29,8 +32,11 @@ use std::time::Instant;
 /// cursor; a barrier separates nests (and therefore timesteps). Serial
 /// nests run on thread 0.
 ///
-/// Returns per-thread counters, with compute time in `fused_nanos` and
-/// barrier time in `barrier_wait_nanos`.
+/// Returns per-thread counters (compute time in `fused_nanos`, barrier
+/// time in `barrier_wait_nanos`) paired with each thread's recorded
+/// trace when `trace` asks for one. Trace events use the nest index as
+/// their group.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn dynamic_pass(
     seq: &LoopSequence,
     deps: &SequenceDeps,
@@ -39,7 +45,8 @@ pub(crate) fn dynamic_pass(
     steps: usize,
     engine: Engine<'_>,
     mem: &mut Memory,
-) -> Result<Vec<ExecCounters>, ExecError> {
+    trace: PassTrace,
+) -> Result<Vec<(ExecCounters, Option<WorkerTrace>)>, ExecError> {
     if nthreads < 1 {
         return Err(ExecError::Config("dynamic execution needs >= 1 thread".into()));
     }
@@ -58,8 +65,13 @@ pub(crate) fn dynamic_pass(
             handles.push(scope.spawn(move || {
                 let mut counters = ExecCounters::default();
                 let mut sink = NullSink;
-                for _ in 0..steps {
+                let mut tracer =
+                    trace.map(|(cfg, epoch, _)| WorkerTracer::new(cfg, epoch));
+                let job_t0 = Instant::now();
+                for step in 0..steps {
+                    let step = step as u32;
                     for (k, nest) in seq.nests.iter().enumerate() {
+                        let g = k as u32;
                         let parallel = deps.nests[k].parallel[0];
                         if parallel {
                             // Thread 0 resets the cursor for this nest;
@@ -71,7 +83,11 @@ pub(crate) fn dynamic_pass(
                             }
                             let tb = Instant::now();
                             barrier.wait();
-                            counters.barrier_wait_nanos += tb.elapsed().as_nanos() as u64;
+                            let waited = tb.elapsed().as_nanos() as u64;
+                            counters.barrier_wait_nanos += waited;
+                            if let Some(tr) = &mut tracer {
+                                tr.record(SpanKind::BarrierWait, tb, waited, step, g);
+                            }
                             let t0 = Instant::now();
                             loop {
                                 let start = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -94,7 +110,11 @@ pub(crate) fn dynamic_pass(
                                     )
                                 };
                             }
-                            counters.fused_nanos += t0.elapsed().as_nanos() as u64;
+                            let dur = t0.elapsed().as_nanos() as u64;
+                            counters.fused_nanos += dur;
+                            if let Some(tr) = &mut tracer {
+                                tr.record(SpanKind::Fused, t0, dur, step, g);
+                            }
                         } else if t == 0 {
                             let space = nest.space();
                             let t0 = Instant::now();
@@ -103,15 +123,26 @@ pub(crate) fn dynamic_pass(
                             unsafe {
                                 engine.exec_region(seq, &view, k, &space, &mut sink, &mut counters)
                             };
-                            counters.fused_nanos += t0.elapsed().as_nanos() as u64;
+                            let dur = t0.elapsed().as_nanos() as u64;
+                            counters.fused_nanos += dur;
+                            if let Some(tr) = &mut tracer {
+                                tr.record(SpanKind::Serial, t0, dur, step, g);
+                            }
                         }
                         let tb = Instant::now();
                         barrier.wait();
-                        counters.barrier_wait_nanos += tb.elapsed().as_nanos() as u64;
+                        let waited = tb.elapsed().as_nanos() as u64;
+                        counters.barrier_wait_nanos += waited;
                         counters.barriers += 1;
+                        if let Some(tr) = &mut tracer {
+                            tr.record(SpanKind::BarrierWait, tb, waited, step, g);
+                        }
                     }
                 }
-                counters
+                if let Some(tr) = &mut tracer {
+                    tr.record_until_now(SpanKind::Dispatch, job_t0, NO_INDEX, NO_INDEX);
+                }
+                (counters, tracer.map(|tr| tr.finish(t)))
             }));
         }
         for (p, h) in handles.into_iter().enumerate() {
@@ -123,22 +154,6 @@ pub(crate) fn dynamic_pass(
         Ok(())
     })?;
     Ok(results)
-}
-
-/// Self-scheduled execution of the unfused program (legacy free
-/// function).
-#[deprecated(since = "0.2.0", note = "use `DynamicExecutor` with a `RunConfig`")]
-pub fn run_blocked_dynamic(
-    seq: &LoopSequence,
-    deps: &SequenceDeps,
-    nthreads: usize,
-    chunk: i64,
-    mem: &mut Memory,
-) -> Vec<ExecCounters> {
-    // The legacy signature asserted on bad arguments and panicked on
-    // worker panics; keep that behavior.
-    dynamic_pass(seq, deps, nthreads, chunk, 1, Engine::Interp, mem)
-        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -185,10 +200,10 @@ mod tests {
                 let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
                 mem.init_deterministic(&seq, 4);
                 let counters =
-                    dynamic_pass(&seq, &deps, threads, chunk, 1, Engine::Interp, &mut mem)
+                    dynamic_pass(&seq, &deps, threads, chunk, 1, Engine::Interp, &mut mem, None)
                         .unwrap();
                 assert_eq!(mem.snapshot_all(&seq), want, "t={threads} chunk={chunk}");
-                let total: u64 = counters.iter().map(|c| c.total_iters()).sum();
+                let total: u64 = counters.iter().map(|(c, _)| c.total_iters()).sum();
                 assert_eq!(total, 3 * 46 * 46);
             }
         }
@@ -204,7 +219,7 @@ mod tests {
         prog.run(&mut m1, &ExecPlan::Blocked { grid: vec![4] }).unwrap();
         let mut m2 = Memory::new(&seq, LayoutStrategy::Contiguous);
         m2.init_deterministic(&seq, 8);
-        dynamic_pass(&seq, &deps, 4, 3, 1, Engine::Interp, &mut m2).unwrap();
+        dynamic_pass(&seq, &deps, 4, 3, 1, Engine::Interp, &mut m2, None).unwrap();
         assert_eq!(m1.snapshot_all(&seq), m2.snapshot_all(&seq));
     }
 }

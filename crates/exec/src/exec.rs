@@ -215,30 +215,19 @@ impl<'a> Program<'a> {
             }
             ExecPlan::Blocked { grid } => {
                 let fp = singleton_plan(self.seq, &self.deps, self.levels)?;
-                sim_pass(self.seq, &self.deps, &fp, grid, i64::MAX, Engine::Interp, mem, sinks)
+                sim_pass(
+                    self.seq, &self.deps, &fp, grid, i64::MAX, Engine::Interp, mem, sinks, 0,
+                    &mut None,
+                )
             }
             ExecPlan::Fused { grid, method: _, strip } => {
                 let fp = self.fusion_plan_for(plan)?;
-                sim_pass(self.seq, &self.deps, &fp, grid, *strip, Engine::Interp, mem, sinks)
+                sim_pass(
+                    self.seq, &self.deps, &fp, grid, *strip, Engine::Interp, mem, sinks, 0,
+                    &mut None,
+                )
             }
         }
-    }
-
-    /// Executes on real OS threads (one per processor) with static
-    /// blocked scheduling and barrier synchronization.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ScopedExecutor` (or `PooledExecutor`) with a `RunConfig`"
-    )]
-    pub fn run_threaded(
-        &self,
-        mem: &mut Memory,
-        plan: &ExecPlan,
-    ) -> Result<Vec<ExecCounters>, ExecError> {
-        use crate::executor::{Executor, RunConfig, ScopedExecutor};
-        let cfg = RunConfig::from_plan(plan.clone());
-        let report = ScopedExecutor.run(self, mem, &cfg)?;
-        Ok(report.workers.into_iter().map(|w| w.counters).collect())
     }
 }
 

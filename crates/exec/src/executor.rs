@@ -31,6 +31,8 @@ use crate::sink::{CacheSink, NullSink};
 use crate::tape::{Engine, ProgramTape};
 use shift_peel_core::CodegenMethod;
 use sp_cache::{Cache, CacheConfig};
+use sp_trace::tracer::NO_INDEX;
+use sp_trace::{RunTrace, SpanKind, TraceConfig, WorkerTrace, WorkerTracer, CONTROLLER_LANE};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -85,6 +87,7 @@ pub struct RunConfig {
     steps: usize,
     sink: SinkChoice,
     backend: Backend,
+    trace: Option<TraceConfig>,
 }
 
 impl RunConfig {
@@ -112,7 +115,13 @@ impl RunConfig {
 
     /// Wraps an existing [`ExecPlan`].
     pub fn from_plan(plan: ExecPlan) -> Self {
-        RunConfig { plan, steps: 1, sink: SinkChoice::Null, backend: Backend::default() }
+        RunConfig {
+            plan,
+            steps: 1,
+            sink: SinkChoice::Null,
+            backend: Backend::default(),
+            trace: None,
+        }
     }
 
     /// Sets the codegen method (fused plans only; no-op otherwise).
@@ -149,6 +158,19 @@ impl RunConfig {
         self
     }
 
+    /// Enables per-worker event tracing with `t`'s ring capacity. Traced
+    /// runs carry a [`RunTrace`] in their report; untraced runs (the
+    /// default) construct no tracing state at all.
+    pub fn trace(mut self, t: TraceConfig) -> Self {
+        self.trace = Some(t);
+        self
+    }
+
+    /// Enables tracing with the default ring capacity.
+    pub fn traced(self) -> Self {
+        self.trace(TraceConfig::default())
+    }
+
     /// The plan to execute.
     pub fn plan(&self) -> &ExecPlan {
         &self.plan
@@ -167,6 +189,11 @@ impl RunConfig {
     /// The configured backend.
     pub fn backend_choice(&self) -> Backend {
         self.backend
+    }
+
+    /// The tracing configuration, if tracing was requested.
+    pub fn trace_config(&self) -> Option<TraceConfig> {
+        self.trace
     }
 
     fn validate(&self) -> Result<(), ExecError> {
@@ -214,20 +241,66 @@ pub trait Executor {
     ) -> Result<RunReport, ExecError>;
 }
 
+/// Tracing state an executor carries through one run: the per-worker
+/// ring config, the shared epoch every lane's timestamps are relative
+/// to, and a controller lane recording orchestration spans (lowering).
+struct RunTracing {
+    cfg: TraceConfig,
+    epoch: Instant,
+    controller: WorkerTracer,
+}
+
+impl RunTracing {
+    /// Starts tracing if the run asked for it. The epoch is *now*, so it
+    /// must be called before any work to be traced (lowering included).
+    fn start(cfg: &RunConfig) -> Option<RunTracing> {
+        cfg.trace_config().map(|tc| {
+            let epoch = Instant::now();
+            // Orchestration records a handful of spans; a small ring
+            // suffices.
+            let controller = WorkerTracer::new(TraceConfig::with_capacity(64), epoch);
+            RunTracing { cfg: tc, epoch, controller }
+        })
+    }
+
+    fn record_lower(&mut self, started: Instant) {
+        self.controller.record_until_now(SpanKind::Lower, started, NO_INDEX, NO_INDEX);
+    }
+
+    fn finish(self, mut lanes: Vec<WorkerTrace>) -> RunTrace {
+        lanes.push(self.controller.finish(CONTROLLER_LANE));
+        RunTrace::assemble(lanes)
+    }
+}
+
+/// The per-pass trace context for timestep `step`, or `None` untraced.
+fn pass_trace(tracing: &Option<RunTracing>, step: u32) -> crate::driver::PassTrace {
+    tracing.as_ref().map(|t| (t.cfg, t.epoch, step))
+}
+
 fn serial_steps(
     prog: &Program<'_>,
     mem: &mut Memory,
     steps: usize,
     engine: Engine<'_>,
-) -> Vec<WorkerReport> {
+    tracing: &Option<RunTracing>,
+) -> (Vec<WorkerReport>, Vec<WorkerTrace>) {
     let mut counters = ExecCounters::default();
-    for _ in 0..steps {
+    let mut tracer = tracing.as_ref().map(|t| WorkerTracer::new(t.cfg, t.epoch));
+    for step in 0..steps {
         let t0 = Instant::now();
         let c = engine.run_original(prog.seq(), mem, &mut NullSink);
         counters.merge(&c);
-        counters.fused_nanos += t0.elapsed().as_nanos() as u64;
+        let dur = t0.elapsed().as_nanos() as u64;
+        counters.fused_nanos += dur;
+        if let Some(t) = &mut tracer {
+            t.record(SpanKind::Serial, t0, dur, step as u32, NO_INDEX);
+        }
     }
-    vec![WorkerReport { proc: 0, counters, cache: None }]
+    (
+        vec![WorkerReport { proc: 0, counters, cache: None }],
+        tracer.map(|t| t.finish(0)).into_iter().collect(),
+    )
 }
 
 /// Lowers the program to a micro-op tape when the config asks for the
@@ -260,6 +333,7 @@ fn finish_report(
     wall_nanos: u64,
     tape: &Option<ProgramTape>,
     workers: Vec<WorkerReport>,
+    trace: Option<RunTrace>,
 ) -> RunReport {
     RunReport {
         executor: name.into(),
@@ -270,6 +344,7 @@ fn finish_report(
         lower_nanos: tape.as_ref().map_or(0, |t| t.lower_nanos()),
         tape_ops: tape.as_ref().map_or(0, |t| t.total_ops()),
         workers,
+        trace,
     }
 }
 
@@ -292,11 +367,24 @@ impl Executor for ScopedExecutor {
     ) -> Result<RunReport, ExecError> {
         cfg.validate()?;
         cfg.reject_cache_sink(self.name())?;
+        let mut tracing = RunTracing::start(cfg);
+        let lower_t0 = Instant::now();
         let tape = lower_tape(prog, mem, cfg)?;
+        if tape.is_some() {
+            if let Some(tr) = &mut tracing {
+                tr.record_lower(lower_t0);
+            }
+        }
         let engine = engine_of(&tape);
         let t0 = Instant::now();
+        let mut lanes: Vec<WorkerTrace> = Vec::new();
         let workers = match cfg.plan() {
-            ExecPlan::Serial => serial_steps(prog, mem, cfg.step_count(), engine),
+            ExecPlan::Serial => {
+                let (workers, serial_lanes) =
+                    serial_steps(prog, mem, cfg.step_count(), engine, &tracing);
+                lanes = serial_lanes;
+                workers
+            }
             plan => {
                 let fp = prog.fusion_plan_for(plan)?;
                 let grid = plan.grid();
@@ -308,10 +396,20 @@ impl Executor for ScopedExecutor {
                 let nprocs = plan.procs();
                 let view = MemView::new(mem);
                 let mut totals = vec![ExecCounters::default(); nprocs];
-                for _ in 0..cfg.step_count() {
-                    let step = scoped_pass(prog.seq(), &fp, &work, nprocs, strip, engine, &view)?;
-                    for (t, c) in totals.iter_mut().zip(&step) {
-                        t.merge(c);
+                for step in 0..cfg.step_count() {
+                    let results = scoped_pass(
+                        prog.seq(),
+                        &fp,
+                        &work,
+                        nprocs,
+                        strip,
+                        engine,
+                        &view,
+                        pass_trace(&tracing, step as u32),
+                    )?;
+                    for (t, (c, lane)) in totals.iter_mut().zip(results) {
+                        t.merge(&c);
+                        lanes.extend(lane);
                     }
                 }
                 totals
@@ -321,7 +419,9 @@ impl Executor for ScopedExecutor {
                     .collect()
             }
         };
-        Ok(finish_report(self.name(), cfg, t0.elapsed().as_nanos() as u64, &tape, workers))
+        let wall = t0.elapsed().as_nanos() as u64;
+        let trace = tracing.map(|tr| tr.finish(lanes));
+        Ok(finish_report(self.name(), cfg, wall, &tape, workers, trace))
     }
 }
 
@@ -359,13 +459,26 @@ impl Executor for PooledExecutor {
     ) -> Result<RunReport, ExecError> {
         cfg.validate()?;
         cfg.reject_cache_sink(self.name())?;
+        let mut tracing = RunTracing::start(cfg);
+        let lower_t0 = Instant::now();
         let tape = lower_tape(prog, mem, cfg)?;
+        if tape.is_some() {
+            if let Some(tr) = &mut tracing {
+                tr.record_lower(lower_t0);
+            }
+        }
         let engine = engine_of(&tape);
         let t0 = Instant::now();
+        let mut lanes: Vec<WorkerTrace> = Vec::new();
         let workers = match cfg.plan() {
             // A serial plan has no parallel phases; run it inline rather
             // than waking the pool for nothing.
-            ExecPlan::Serial => serial_steps(prog, mem, cfg.step_count(), engine),
+            ExecPlan::Serial => {
+                let (workers, serial_lanes) =
+                    serial_steps(prog, mem, cfg.step_count(), engine, &tracing);
+                lanes = serial_lanes;
+                workers
+            }
             plan => {
                 let nprocs = plan.procs();
                 if nprocs > self.pool.size() {
@@ -382,10 +495,12 @@ impl Executor for PooledExecutor {
                 let work = build_work(prog.seq(), prog.deps(), &fp, plan.grid())?;
                 let view = MemView::new(mem);
                 let barrier = SenseBarrier::new(nprocs);
-                let slots: Vec<Mutex<ExecCounters>> =
-                    (0..nprocs).map(|_| Mutex::new(ExecCounters::default())).collect();
+                type Slot = (ExecCounters, Option<WorkerTrace>);
+                let slots: Vec<Mutex<Slot>> =
+                    (0..nprocs).map(|_| Mutex::new(Slot::default())).collect();
                 let seq = prog.seq();
                 let steps = cfg.step_count();
+                let worker_trace = tracing.as_ref().map(|tr| (tr.cfg, tr.epoch));
                 let fp = &fp;
                 let work = &work;
                 let barrier = &barrier;
@@ -398,7 +513,10 @@ impl Executor for PooledExecutor {
                     let mut sink = NullSink;
                     let mut counters = ExecCounters::default();
                     let mut sense = false;
-                    for _ in 0..steps {
+                    let mut tracer =
+                        worker_trace.map(|(tc, epoch)| WorkerTracer::new(tc, epoch));
+                    let job_t0 = Instant::now();
+                    for step in 0..steps {
                         // SAFETY: the `nprocs` participating workers run
                         // the same work list in lockstep through the
                         // sense barrier; phases never conflict
@@ -407,25 +525,42 @@ impl Executor for PooledExecutor {
                         // before the next.
                         unsafe {
                             worker_pass(
-                                seq, fp, work, strip, p, engine, view_ref, barrier, &mut sense,
-                                &mut sink, &mut counters,
+                                seq,
+                                fp,
+                                work,
+                                strip,
+                                p,
+                                engine,
+                                view_ref,
+                                barrier,
+                                &mut sense,
+                                &mut sink,
+                                &mut counters,
+                                step as u32,
+                                &mut tracer,
                             )
                         };
                     }
-                    *slots_ref[p].lock().unwrap() = counters;
+                    if let Some(t) = &mut tracer {
+                        t.record_until_now(SpanKind::Dispatch, job_t0, NO_INDEX, NO_INDEX);
+                    }
+                    // One write at job end keeps the hot path lock-free.
+                    *slots_ref[p].lock().unwrap() = (counters, tracer.map(|t| t.finish(p)));
                 })?;
                 slots
                     .into_iter()
                     .enumerate()
-                    .map(|(p, s)| WorkerReport {
-                        proc: p,
-                        counters: s.into_inner().unwrap(),
-                        cache: None,
+                    .map(|(p, s)| {
+                        let (counters, lane) = s.into_inner().unwrap();
+                        lanes.extend(lane);
+                        WorkerReport { proc: p, counters, cache: None }
                     })
                     .collect()
             }
         };
-        Ok(finish_report(self.name(), cfg, t0.elapsed().as_nanos() as u64, &tape, workers))
+        let wall = t0.elapsed().as_nanos() as u64;
+        let trace = tracing.map(|tr| tr.finish(lanes));
+        Ok(finish_report(self.name(), cfg, wall, &tape, workers, trace))
     }
 }
 
@@ -477,10 +612,17 @@ impl Executor for DynamicExecutor {
             }
             ExecPlan::Fused { .. } => return Err(ExecError::DynamicFusedPlan),
         };
+        let mut tracing = RunTracing::start(cfg);
+        let lower_t0 = Instant::now();
         let tape = lower_tape(prog, mem, cfg)?;
+        if tape.is_some() {
+            if let Some(tr) = &mut tracing {
+                tr.record_lower(lower_t0);
+            }
+        }
         let engine = engine_of(&tape);
         let t0 = Instant::now();
-        let counters = dynamic_pass(
+        let results = dynamic_pass(
             prog.seq(),
             prog.deps(),
             nthreads,
@@ -488,13 +630,20 @@ impl Executor for DynamicExecutor {
             cfg.step_count(),
             engine,
             mem,
+            pass_trace(&tracing, 0),
         )?;
-        let workers = counters
+        let mut lanes: Vec<WorkerTrace> = Vec::new();
+        let workers = results
             .into_iter()
             .enumerate()
-            .map(|(p, counters)| WorkerReport { proc: p, counters, cache: None })
+            .map(|(p, (counters, lane))| {
+                lanes.extend(lane);
+                WorkerReport { proc: p, counters, cache: None }
+            })
             .collect();
-        Ok(finish_report(self.name(), cfg, t0.elapsed().as_nanos() as u64, &tape, workers))
+        let wall = t0.elapsed().as_nanos() as u64;
+        let trace = tracing.map(|tr| tr.finish(lanes));
+        Ok(finish_report(self.name(), cfg, wall, &tape, workers, trace))
     }
 }
 
@@ -518,20 +667,27 @@ impl Executor for SimExecutor {
     ) -> Result<RunReport, ExecError> {
         cfg.validate()?;
         let nprocs = cfg.plan().procs();
+        let mut tracing = RunTracing::start(cfg);
+        let lower_t0 = Instant::now();
         let tape = lower_tape(prog, mem, cfg)?;
+        if tape.is_some() {
+            if let Some(tr) = &mut tracing {
+                tr.record_lower(lower_t0);
+            }
+        }
         let engine = engine_of(&tape);
         let t0 = Instant::now();
-        let (totals, caches) = match cfg.sink_choice() {
+        let ((totals, lanes), caches) = match cfg.sink_choice() {
             SinkChoice::Null => {
                 let mut sinks = vec![NullSink; nprocs];
-                (run_sim_steps(prog, mem, cfg, engine, &mut sinks)?, None)
+                (run_sim_steps(prog, mem, cfg, engine, &mut sinks, &tracing)?, None)
             }
             SinkChoice::Cache(cache_cfg) => {
                 // Cache state persists across timesteps, as it would on
                 // hardware.
                 let mut sinks: Vec<CacheSink> =
                     (0..nprocs).map(|_| CacheSink::new(Cache::new(cache_cfg))).collect();
-                let totals = run_sim_steps(prog, mem, cfg, engine, &mut sinks)?;
+                let totals = run_sim_steps(prog, mem, cfg, engine, &mut sinks, &tracing)?;
                 let stats = sinks.iter().map(|s| s.stats()).collect::<Vec<_>>();
                 (totals, Some(stats))
             }
@@ -545,7 +701,9 @@ impl Executor for SimExecutor {
                 cache: caches.as_ref().map(|c| c[p]),
             })
             .collect();
-        Ok(finish_report(self.name(), cfg, t0.elapsed().as_nanos() as u64, &tape, workers))
+        let wall = t0.elapsed().as_nanos() as u64;
+        let trace = tracing.map(|tr| tr.finish(lanes));
+        Ok(finish_report(self.name(), cfg, wall, &tape, workers, trace))
     }
 }
 
@@ -555,16 +713,25 @@ fn run_sim_steps<S: crate::sink::AccessSink>(
     cfg: &RunConfig,
     engine: Engine<'_>,
     sinks: &mut [S],
-) -> Result<Vec<ExecCounters>, ExecError> {
+    tracing: &Option<RunTracing>,
+) -> Result<(Vec<ExecCounters>, Vec<WorkerTrace>), ExecError> {
     let nprocs = cfg.plan().procs();
     let mut totals = vec![ExecCounters::default(); nprocs];
-    for _ in 0..cfg.step_count() {
-        let step = match cfg.plan() {
+    let mut tracers: Option<Vec<WorkerTracer>> = tracing
+        .as_ref()
+        .map(|t| (0..nprocs).map(|_| WorkerTracer::new(t.cfg, t.epoch)).collect());
+    for step in 0..cfg.step_count() {
+        let counters = match cfg.plan() {
             ExecPlan::Serial => {
                 if sinks.len() != 1 {
                     return Err(ExecError::SinkCount { expected: 1, got: sinks.len() });
                 }
-                vec![engine.run_original(prog.seq(), mem, &mut sinks[0])]
+                let t0 = Instant::now();
+                let c = engine.run_original(prog.seq(), mem, &mut sinks[0]);
+                if let Some(ts) = &mut tracers {
+                    ts[0].record_until_now(SpanKind::Serial, t0, step as u32, NO_INDEX);
+                }
+                vec![c]
             }
             plan => {
                 let fp = prog.fusion_plan_for(plan)?;
@@ -572,14 +739,28 @@ fn run_sim_steps<S: crate::sink::AccessSink>(
                     ExecPlan::Fused { strip, .. } => *strip,
                     _ => i64::MAX,
                 };
-                sim_pass(prog.seq(), prog.deps(), &fp, plan.grid(), strip, engine, mem, sinks)?
+                sim_pass(
+                    prog.seq(),
+                    prog.deps(),
+                    &fp,
+                    plan.grid(),
+                    strip,
+                    engine,
+                    mem,
+                    sinks,
+                    step as u32,
+                    &mut tracers,
+                )?
             }
         };
-        for (t, c) in totals.iter_mut().zip(&step) {
+        for (t, c) in totals.iter_mut().zip(&counters) {
             t.merge(c);
         }
     }
-    Ok(totals)
+    let lanes = tracers
+        .map(|ts| ts.into_iter().enumerate().map(|(p, t)| t.finish(p)).collect())
+        .unwrap_or_default();
+    Ok((totals, lanes))
 }
 
 #[cfg(test)]

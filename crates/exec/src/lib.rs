@@ -25,7 +25,13 @@
 //!   ([`ScopedExecutor`], [`PooledExecutor`], [`DynamicExecutor`],
 //!   [`SimExecutor`]), driven by a [`RunConfig`];
 //! * [`report`] — per-run [`RunReport`] instrumentation (phase wall
-//!   times, barrier waits, imbalance), JSON-serializable.
+//!   times, barrier waits, imbalance), JSON-serializable, aggregating
+//!   into an `sp-trace` metrics registry via [`RunReport::metrics`];
+//! * tracing — every runtime threads optional `sp-trace` per-worker
+//!   event rings through its phase loop ([`RunConfig::trace`]); traced
+//!   runs carry a [`RunTrace`] (Chrome trace-event export, text
+//!   timeline) in their report, and the untraced default records
+//!   nothing.
 //!
 //! The runtimes deliberately implement *static blocked* scheduling rather
 //! than work stealing: the shift-and-peel transformation's legality
@@ -45,10 +51,7 @@ pub mod report;
 pub mod sink;
 pub mod tape;
 
-#[allow(deprecated)]
-pub use driver::{run_fused_phase, run_peeled_phase, run_plan_sim, run_plan_threaded};
-#[allow(deprecated)]
-pub use dynamic::run_blocked_dynamic;
+pub use driver::{run_fused_phase, run_peeled_phase};
 pub use exec::{ExecError, ExecPlan, Program};
 pub use executor::{
     Backend, DynamicExecutor, Executor, PooledExecutor, RunConfig, ScopedExecutor, SimExecutor,
@@ -58,5 +61,8 @@ pub use interp::{exec_region, exec_statement, run_original, ExecCounters};
 pub use memory::{MemView, Memory};
 pub use pool::{SenseBarrier, WorkerPool};
 pub use report::{RunReport, WorkerReport};
+// Tracing types callers need to configure a traced run and consume its
+// result, re-exported so `sp-exec` users don't name `sp-trace` directly.
+pub use sp_trace::{MetricsRegistry, RunTrace, SpanKind, TraceConfig, WorkerTrace};
 pub use tape::{exec_region_tape, AccessPat, Engine, MicroOp, NestTape, ProgramTape, StmtTape};
 pub use sink::{AccessSink, CacheSink, ClassifySink, CountingSink, HierarchySink, InfiniteSink, NullSink, RecordingSink};

@@ -10,6 +10,7 @@
 
 use crate::interp::ExecCounters;
 use sp_cache::CacheStats;
+use sp_trace::{MetricsRegistry, RunTrace, SpanKind};
 
 /// One worker's contribution to a run.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -44,6 +45,11 @@ pub struct RunReport {
     pub tape_ops: u64,
     /// Per-worker breakdown, indexed by processor id.
     pub workers: Vec<WorkerReport>,
+    /// The recorded event trace, when the run asked for one
+    /// ([`RunConfig::trace`](crate::executor::RunConfig::trace)). Not
+    /// serialized by [`RunReport::to_json`] — export it separately via
+    /// [`RunTrace::chrome_json`].
+    pub trace: Option<RunTrace>,
 }
 
 impl RunReport {
@@ -98,6 +104,102 @@ impl RunReport {
             return 0.0;
         }
         self.total_iters() as f64 * 1e9 / self.wall_nanos as f64
+    }
+
+    /// Aggregates the run into a [`MetricsRegistry`] (counters, derived
+    /// gauges, and log2-bucket histograms of barrier-wait and phase
+    /// durations), rendered with
+    /// [`MetricsRegistry::to_prometheus`]. With a recorded trace the
+    /// histograms see one observation per span; without one they fall
+    /// back to per-worker totals (coarser, but still comparable).
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new(&[
+            ("executor", &self.executor),
+            ("backend", &self.backend),
+        ]);
+        let m = self.merged_counters();
+        reg.counter("spfc_iters_total", "Fused-phase iterations executed", m.iters);
+        reg.counter("spfc_peeled_iters_total", "Peeled-phase iterations executed", m.peeled_iters);
+        reg.counter("spfc_flops_total", "Floating-point operations executed", m.flops);
+        reg.counter("spfc_loads_total", "Array loads issued", m.loads);
+        reg.counter("spfc_stores_total", "Array stores issued", m.stores);
+        reg.counter("spfc_strips_total", "Strip-mined tiles executed", m.strips);
+        reg.counter("spfc_guards_total", "Direct-method guard evaluations", m.guards);
+        reg.counter("spfc_barriers_total", "Barrier crossings per worker, summed", m.barriers);
+        reg.counter("spfc_steps_total", "Timesteps executed", self.steps as u64);
+        reg.counter("spfc_wall_nanos_total", "End-to-end wall time of the run", self.wall_nanos);
+        reg.counter("spfc_lower_nanos_total", "Time lowering bodies to tapes", self.lower_nanos);
+        reg.counter("spfc_tape_ops_total", "Micro-ops across lowered tapes", self.tape_ops);
+        reg.gauge("spfc_procs", "Processors the plan executed on", self.procs as f64);
+        reg.gauge(
+            "spfc_imbalance_ratio",
+            "Busiest worker's iterations over the mean",
+            self.imbalance(),
+        );
+        reg.gauge(
+            "spfc_iters_per_second",
+            "Sustained iteration throughput",
+            self.iters_per_sec(),
+        );
+        if let Some(trace) = &self.trace {
+            reg.counter(
+                "spfc_trace_events_total",
+                "Spans recorded across worker rings",
+                trace.event_count() as u64,
+            );
+            reg.counter(
+                "spfc_trace_dropped_total",
+                "Spans lost to ring overflow",
+                trace.dropped(),
+            );
+        }
+        {
+            let bh = reg.histogram(
+                "spfc_barrier_wait_nanos",
+                "Time a worker waited at a phase barrier",
+            );
+            match &self.trace {
+                Some(trace) => {
+                    for e in trace.events_of(SpanKind::BarrierWait) {
+                        bh.observe(e.dur_nanos);
+                    }
+                }
+                None => {
+                    for w in &self.workers {
+                        bh.observe(w.counters.barrier_wait_nanos);
+                    }
+                }
+            }
+        }
+        {
+            let ph = reg.histogram(
+                "spfc_phase_nanos",
+                "Duration of one fused, peeled, or serial phase execution",
+            );
+            match &self.trace {
+                Some(trace) => {
+                    for w in &trace.workers {
+                        for e in &w.events {
+                            if matches!(
+                                e.kind,
+                                SpanKind::Fused | SpanKind::Peeled | SpanKind::Serial
+                            ) {
+                                ph.observe(e.dur_nanos);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    for w in &self.workers {
+                        ph.observe(w.counters.fused_nanos);
+                        if w.counters.peeled_nanos > 0 {
+                            ph.observe(w.counters.peeled_nanos);
+                        }
+                    }
+                }
+            }
+        }
+        reg
     }
 
     /// The report as a JSON object (stable field order, no trailing
@@ -248,8 +350,26 @@ impl Parser<'_> {
             .ok_or_else(|| format!("bad number at byte {start}"))
     }
 
+    /// Reads a counter value, rejecting anything a `u64` counter cannot
+    /// faithfully hold: negatives, non-finite values (`1e999` parses to
+    /// infinity), and fractions. A bare `as u64` cast would silently
+    /// saturate or truncate these.
     fn u64_field(&mut self) -> Result<u64, String> {
-        Ok(self.number()? as u64)
+        let at = self.pos;
+        let v = self.number()?;
+        if !v.is_finite() {
+            return Err(format!("non-finite counter value at byte {at}"));
+        }
+        if v < 0.0 {
+            return Err(format!("negative counter value {v} at byte {at}"));
+        }
+        if v.fract() != 0.0 {
+            return Err(format!("non-integer counter value {v} at byte {at}"));
+        }
+        if v > u64::MAX as f64 {
+            return Err(format!("counter value {v} out of u64 range at byte {at}"));
+        }
+        Ok(v as u64)
     }
 
     /// Skips any value (used for derived and unknown fields).
@@ -414,6 +534,7 @@ mod tests {
             lower_nanos: 0,
             tape_ops: 0,
             workers: vec![w0, w1],
+            trace: None,
         }
     }
 
@@ -500,5 +621,55 @@ mod tests {
         let j = r.to_json();
         assert!(RunReport::from_json(&j[..j.len() - 1]).is_err());
         assert!(RunReport::from_json(&format!("{j}x")).is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_negative_counters() {
+        let j = report().to_json().replace("\"wall_nanos\":1000000", "\"wall_nanos\":-5");
+        let err = RunReport::from_json(&j).unwrap_err();
+        assert!(err.contains("negative"), "{err}");
+        // Negative values inside a worker object are rejected too.
+        let j = report().to_json().replace("\"iters\":90", "\"iters\":-90");
+        let err = RunReport::from_json(&j).unwrap_err();
+        assert!(err.contains("negative"), "{err}");
+    }
+
+    #[test]
+    fn from_json_rejects_non_finite_counters() {
+        // `1e999` overflows f64 to infinity; a bare cast would turn it
+        // into u64::MAX. `NaN` is not valid JSON and already fails the
+        // number scanner.
+        let j = report().to_json().replace("\"wall_nanos\":1000000", "\"wall_nanos\":1e999");
+        let err = RunReport::from_json(&j).unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+        let j = report().to_json().replace("\"wall_nanos\":1000000", "\"wall_nanos\":NaN");
+        assert!(RunReport::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_fractional_counters() {
+        let j = report().to_json().replace("\"steps\":3", "\"steps\":3.5");
+        let err = RunReport::from_json(&j).unwrap_err();
+        assert!(err.contains("non-integer"), "{err}");
+        // Derived float fields (imbalance, iters_per_sec) are skipped,
+        // not parsed as counters — the round-trip already proves it.
+        assert!(RunReport::from_json(&report().to_json()).is_ok());
+    }
+
+    #[test]
+    fn metrics_cover_counters_and_histograms() {
+        let r = report();
+        let reg = r.metrics();
+        assert_eq!(reg.counter_value("spfc_iters_total"), Some(190));
+        assert_eq!(reg.counter_value("spfc_peeled_iters_total"), Some(10));
+        assert_eq!(reg.counter_value("spfc_steps_total"), Some(3));
+        let bh = reg.histogram_value("spfc_barrier_wait_nanos").unwrap();
+        // Untraced fallback: one observation per worker.
+        assert_eq!(bh.count(), 2);
+        assert_eq!(bh.sum(), 500);
+        let text = reg.to_prometheus();
+        assert!(text.contains("executor=\"pooled\""), "{text}");
+        assert!(text.contains("# TYPE spfc_barrier_wait_nanos histogram"), "{text}");
+        assert!(text.contains("spfc_imbalance_ratio"), "{text}");
     }
 }

@@ -289,6 +289,10 @@ pub struct RuntimeRow {
     /// same plan and pool as `pooled`, lowered bodies instead of the
     /// interpreter.
     pub compiled: RunReport,
+    /// The `compiled` run repeated with per-worker event tracing
+    /// enabled: its throughput against `compiled`'s measures the cost of
+    /// recording spans (the report carries the trace itself).
+    pub traced: RunReport,
     /// Self-scheduled run of the unfused program ([`DynamicExecutor`]).
     pub dynamic: RunReport,
 }
@@ -333,8 +337,15 @@ pub fn runtime_sweep(
                 "compiled backend diverged from interpreter at {steps} steps"
             )));
         }
+        let (traced, got) =
+            run(&mut pool, &fused.clone().backend(Backend::Compiled).traced())?;
+        if got != want {
+            return Err(ExecError::Config(format!(
+                "traced run diverged from untraced at {steps} steps"
+            )));
+        }
         let (dynamic, _) = run(&mut DynamicExecutor::default(), &blocked)?;
-        rows.push(RuntimeRow { steps, scoped, pooled, compiled, dynamic });
+        rows.push(RuntimeRow { steps, scoped, pooled, compiled, traced, dynamic });
     }
     Ok(rows)
 }

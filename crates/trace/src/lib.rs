@@ -1,0 +1,33 @@
+//! # sp-trace — the observability substrate of the shift-peel runtimes
+//!
+//! The paper's evaluation (Section 5) attributes wall time to barriers,
+//! peeled-iteration phases, and cache behaviour; this crate provides the
+//! instrumentation layer that makes the same attribution possible inside
+//! our executors:
+//!
+//! * [`ring`] — fixed-capacity, drop-oldest per-worker event ring
+//!   buffers. Capacity is allocated once at dispatch; recording a span
+//!   on the hot path never allocates and never takes a lock (each worker
+//!   owns its ring exclusively for the duration of a run).
+//! * [`tracer`] — the [`WorkerTracer`]/[`RunTrace`] span API the
+//!   executors thread through their phase loops, a Chrome trace-event
+//!   JSON exporter (loadable in `chrome://tracing` and Perfetto), a
+//!   compact text timeline, and [`validate_chrome_trace`], the schema
+//!   check CI runs against emitted traces.
+//! * [`metrics`] — a small registry of named counters and log2-bucket
+//!   histograms with a Prometheus text exporter.
+//!
+//! Tracing is opt-in per run and the crate is deliberately free of
+//! dependencies: the default (untraced) execution path constructs
+//! nothing from this crate beyond an `Option::None`.
+
+pub mod metrics;
+pub mod ring;
+pub mod tracer;
+
+pub use metrics::{Histogram, MetricsRegistry};
+pub use ring::EventRing;
+pub use tracer::{
+    validate_chrome_trace, RunTrace, SpanKind, TraceConfig, TraceEvent, TraceSummary,
+    WorkerTrace, WorkerTracer, CONTROLLER_LANE,
+};

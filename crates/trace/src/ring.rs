@@ -1,0 +1,149 @@
+//! Fixed-capacity, drop-oldest event storage.
+//!
+//! Each worker owns one [`EventRing`] for the duration of a run, so
+//! recording needs no synchronization at all — "lock-free" here is the
+//! strongest kind: there is no shared state on the hot path. The ring is
+//! fully allocated up front ([`EventRing::new`]); [`EventRing::push`]
+//! writes into the preallocated slots and, once full, overwrites the
+//! oldest event while counting how many were dropped. Long runs
+//! therefore keep the *most recent* window of events, which is the
+//! window a timeline viewer cares about.
+
+use crate::tracer::TraceEvent;
+
+/// A bounded ring buffer of [`TraceEvent`]s with drop-oldest semantics.
+#[derive(Clone, Debug)]
+pub struct EventRing {
+    buf: Vec<TraceEvent>,
+    /// Slot budget (`Vec::with_capacity` may round up; this is the
+    /// logical bound push honors).
+    cap: usize,
+    /// Index of the next slot to write once the ring is full.
+    head: usize,
+    /// Events overwritten because the ring was full.
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (at least 1). All
+    /// storage is allocated here, before the hot path begins.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        EventRing { buf: Vec::with_capacity(cap), cap, head: 0, dropped: 0 }
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Live events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten by newer ones.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records an event in O(1) without allocating; overwrites the
+    /// oldest event when full.
+    pub fn push(&mut self, e: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(e);
+            return;
+        }
+        self.buf[self.head] = e;
+        self.head = (self.head + 1) % self.cap;
+        self.dropped += 1;
+    }
+
+    /// Drains the ring into a `Vec`, oldest event first.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        let EventRing { mut buf, head, .. } = self;
+        if head != 0 {
+            // Full ring that wrapped: logical order starts at `head`.
+            buf.rotate_left(head);
+        }
+        buf
+    }
+
+    /// Iterates live events, oldest first, without consuming the ring.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let n = self.buf.len();
+        let start = self.head;
+        (0..n).map(move |i| &self.buf[(start + i) % n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::SpanKind;
+
+    fn ev(step: u32) -> TraceEvent {
+        TraceEvent {
+            kind: SpanKind::Fused,
+            start_nanos: u64::from(step) * 10,
+            dur_nanos: 1,
+            step,
+            group: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_order_below_capacity() {
+        let mut r = EventRing::new(4);
+        for s in 0..3 {
+            r.push(ev(s));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+        let steps: Vec<u32> = r.iter().map(|e| e.step).collect();
+        assert_eq!(steps, vec![0, 1, 2]);
+        assert_eq!(r.into_events().iter().map(|e| e.step).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let mut r = EventRing::new(4);
+        for s in 0..10 {
+            r.push(ev(s));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let steps: Vec<u32> = r.iter().map(|e| e.step).collect();
+        assert_eq!(steps, vec![6, 7, 8, 9], "newest window survives, oldest first");
+        assert_eq!(
+            r.into_events().iter().map(|e| e.step).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn ring_never_allocates_after_new() {
+        let mut r = EventRing::new(8);
+        let cap = r.capacity();
+        let ptr = r.buf.as_ptr();
+        for s in 0..100 {
+            r.push(ev(s));
+        }
+        assert_eq!(r.capacity(), cap);
+        assert_eq!(r.buf.as_ptr(), ptr, "storage was reallocated");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = EventRing::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().next().unwrap().step, 2);
+    }
+}

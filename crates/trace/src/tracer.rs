@@ -1,0 +1,663 @@
+//! The span API the executors record into, and the exporters that make
+//! the recorded events viewable.
+//!
+//! A run that asks for tracing hands each worker a [`WorkerTracer`]
+//! (created at dispatch, before the phase loop) sharing one epoch
+//! `Instant`. Workers record [`TraceEvent`] spans — dispatch, fused
+//! phase, peeled phase, serial phase, barrier wait, tape lowering — into
+//! their private ring, and the executor collects the rings into a
+//! [`RunTrace`] when the run ends. [`RunTrace::chrome_json`] emits the
+//! Chrome trace-event format (one lane per worker plus a controller
+//! lane), loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev);
+//! [`RunTrace::timeline`] renders a compact text timeline for terminals;
+//! [`validate_chrome_trace`] is the checked-in schema check CI runs
+//! against emitted JSON.
+
+use crate::ring::EventRing;
+use std::time::Instant;
+
+/// What a span measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// A worker's whole job: from observing the dispatched run to
+    /// finishing its last phase.
+    Dispatch,
+    /// One fused-phase execution (strip-mined or direct) of one group.
+    Fused,
+    /// One peeled-phase execution of one group.
+    Peeled,
+    /// A serial (unfusable) nest executed on processor 0.
+    Serial,
+    /// Time spent waiting at a phase barrier.
+    BarrierWait,
+    /// Lowering loop bodies to compiled micro-op tapes.
+    Lower,
+}
+
+impl SpanKind {
+    /// Stable span name used in exporters (`dispatch`, `fused`,
+    /// `peeled`, `serial`, `barrier_wait`, `lower`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanKind::Dispatch => "dispatch",
+            SpanKind::Fused => "fused",
+            SpanKind::Peeled => "peeled",
+            SpanKind::Serial => "serial",
+            SpanKind::BarrierWait => "barrier_wait",
+            SpanKind::Lower => "lower",
+        }
+    }
+
+    /// One-letter code used by the text timeline.
+    pub fn code(&self) -> char {
+        match self {
+            SpanKind::Dispatch => 'd',
+            SpanKind::Fused => 'F',
+            SpanKind::Peeled => 'P',
+            SpanKind::Serial => 'S',
+            SpanKind::BarrierWait => '·',
+            SpanKind::Lower => 'L',
+        }
+    }
+
+    /// Every kind, in display order.
+    pub fn all() -> [SpanKind; 6] {
+        [
+            SpanKind::Dispatch,
+            SpanKind::Fused,
+            SpanKind::Peeled,
+            SpanKind::Serial,
+            SpanKind::BarrierWait,
+            SpanKind::Lower,
+        ]
+    }
+}
+
+/// Marker for events whose step or group is not meaningful (e.g. a
+/// dispatch span covers all steps).
+pub const NO_INDEX: u32 = u32::MAX;
+
+/// The lane id used for controller-thread events (tape lowering) in
+/// place of a worker's processor id.
+pub const CONTROLLER_LANE: usize = usize::MAX;
+
+/// One recorded span. `Copy` and 32 bytes: rings of these are cheap to
+/// preallocate and record into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// What was measured.
+    pub kind: SpanKind,
+    /// Start offset from the run's trace epoch.
+    pub start_nanos: u64,
+    /// Span duration.
+    pub dur_nanos: u64,
+    /// Timestep index, or [`NO_INDEX`].
+    pub step: u32,
+    /// Plan group index (or nest index for dynamic runs), or
+    /// [`NO_INDEX`].
+    pub group: u32,
+}
+
+/// Per-run tracing parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Ring capacity **per worker** in events. With two barriers per
+    /// fused group per timestep, a phase records ≲ 4 events per group
+    /// per step; the default of 65536 holds ~8000 steps of a two-group
+    /// plan before dropping the oldest.
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { capacity: 65536 }
+    }
+}
+
+impl TraceConfig {
+    /// A config with an explicit per-worker ring capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceConfig { capacity }
+    }
+}
+
+/// A worker's private recorder: one ring plus the shared epoch. Owned
+/// exclusively by one worker for the duration of a run — recording takes
+/// no locks and performs no allocation.
+#[derive(Debug)]
+pub struct WorkerTracer {
+    ring: EventRing,
+    epoch: Instant,
+}
+
+impl WorkerTracer {
+    /// A tracer whose timestamps are offsets from `epoch` (the same
+    /// `Instant` for every worker of a run).
+    pub fn new(cfg: TraceConfig, epoch: Instant) -> Self {
+        WorkerTracer { ring: EventRing::new(cfg.capacity), epoch }
+    }
+
+    /// The shared epoch.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Records a span that started at `started` and lasted `dur_nanos`.
+    #[inline]
+    pub fn record(
+        &mut self,
+        kind: SpanKind,
+        started: Instant,
+        dur_nanos: u64,
+        step: u32,
+        group: u32,
+    ) {
+        let start_nanos = started.saturating_duration_since(self.epoch).as_nanos() as u64;
+        self.ring.push(TraceEvent { kind, start_nanos, dur_nanos, step, group });
+    }
+
+    /// Records a span that started at `started` and ends now.
+    #[inline]
+    pub fn record_until_now(&mut self, kind: SpanKind, started: Instant, step: u32, group: u32) {
+        let dur = started.elapsed().as_nanos() as u64;
+        self.record(kind, started, dur, step, group);
+    }
+
+    /// Consumes the tracer into the worker's finished trace.
+    pub fn finish(self, proc: usize) -> WorkerTrace {
+        let dropped = self.ring.dropped();
+        WorkerTrace { proc, events: self.ring.into_events(), dropped }
+    }
+}
+
+/// One worker's finished event list (oldest first).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerTrace {
+    /// Processor id, or [`CONTROLLER_LANE`] for the orchestrating
+    /// thread.
+    pub proc: usize,
+    /// Spans in recording order.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring overflow (oldest-first).
+    pub dropped: u64,
+}
+
+/// Everything recorded about one run, collected from the workers' rings
+/// after the run completes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunTrace {
+    /// Per-worker traces, sorted by processor id, controller lane last.
+    pub workers: Vec<WorkerTrace>,
+}
+
+impl RunTrace {
+    /// Assembles a run trace, sorting lanes by processor id (controller
+    /// last) and merging lanes that share a processor id (the scoped
+    /// runtime records one ring per worker *per timestep*).
+    pub fn assemble(mut lanes: Vec<WorkerTrace>) -> RunTrace {
+        lanes.sort_by_key(|w| w.proc);
+        let mut workers: Vec<WorkerTrace> = Vec::with_capacity(lanes.len());
+        for lane in lanes {
+            match workers.last_mut() {
+                Some(prev) if prev.proc == lane.proc => {
+                    prev.events.extend(lane.events);
+                    prev.dropped += lane.dropped;
+                }
+                _ => workers.push(lane),
+            }
+        }
+        RunTrace { workers }
+    }
+
+    /// Total events across lanes.
+    pub fn event_count(&self) -> usize {
+        self.workers.iter().map(|w| w.events.len()).sum()
+    }
+
+    /// Total events lost to ring overflow across lanes.
+    pub fn dropped(&self) -> u64 {
+        self.workers.iter().map(|w| w.dropped).sum()
+    }
+
+    /// The end of the latest span, as an offset from the epoch.
+    pub fn span_nanos(&self) -> u64 {
+        self.workers
+            .iter()
+            .flat_map(|w| &w.events)
+            .map(|e| e.start_nanos + e.dur_nanos)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Events of one kind across all lanes.
+    pub fn events_of(&self, kind: SpanKind) -> impl Iterator<Item = &TraceEvent> {
+        self.workers.iter().flat_map(|w| &w.events).filter(move |e| e.kind == kind)
+    }
+
+    /// The Chrome trace-event JSON (the `{"traceEvents": [...]}` form),
+    /// loadable in `chrome://tracing` and Perfetto. Timestamps are
+    /// microseconds with nanosecond precision; each worker gets a `tid`
+    /// lane (the controller lane is named and numbered after the
+    /// workers) with thread-name metadata.
+    pub fn chrome_json(&self) -> String {
+        let mut s = String::with_capacity(128 + 160 * self.event_count());
+        s.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let worker_count = self.workers.iter().filter(|w| w.proc != CONTROLLER_LANE).count();
+        for w in &self.workers {
+            let (tid, name) = if w.proc == CONTROLLER_LANE {
+                (worker_count, "controller".to_string())
+            } else {
+                (w.proc, format!("worker {}", w.proc))
+            };
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{name}\"}}}}"
+            ));
+            for e in &w.events {
+                s.push_str(&format!(
+                    ",{{\"name\":\"{}\",\"cat\":\"spfc\",\"ph\":\"X\",\"ts\":{}.{:03},\
+                     \"dur\":{}.{:03},\"pid\":0,\"tid\":{tid},\"args\":{{",
+                    e.kind.name(),
+                    e.start_nanos / 1_000,
+                    e.start_nanos % 1_000,
+                    e.dur_nanos / 1_000,
+                    e.dur_nanos % 1_000,
+                ));
+                if e.step != NO_INDEX {
+                    s.push_str(&format!("\"step\":{},", e.step));
+                }
+                if e.group != NO_INDEX {
+                    s.push_str(&format!("\"group\":{},", e.group));
+                }
+                if s.ends_with(',') {
+                    s.pop();
+                }
+                s.push_str("}}");
+            }
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// A compact per-worker text timeline: the run's duration split into
+    /// `width` columns, each column showing the span kind that dominated
+    /// it on that worker's lane (`F` fused, `P` peeled, `S` serial, `·`
+    /// barrier wait, `L` lower, space idle).
+    pub fn timeline(&self, width: usize) -> String {
+        let width = width.clamp(10, 400);
+        let total = self.span_nanos().max(1);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace: {} events across {} lanes, span {:.3} ms{}\n",
+            self.event_count(),
+            self.workers.len(),
+            total as f64 / 1e6,
+            if self.dropped() > 0 {
+                format!(" ({} oldest events dropped)", self.dropped())
+            } else {
+                String::new()
+            }
+        ));
+        for w in &self.workers {
+            // Per column, nanoseconds covered by each kind; dominant wins.
+            let mut cover = vec![[0u64; 6]; width];
+            for e in &w.events {
+                if e.kind == SpanKind::Dispatch {
+                    continue; // background span; would shadow the phases
+                }
+                let kind_idx =
+                    SpanKind::all().iter().position(|k| *k == e.kind).unwrap_or(0);
+                let c0 = (e.start_nanos as u128 * width as u128 / total as u128) as usize;
+                let c1 = ((e.start_nanos + e.dur_nanos) as u128 * width as u128
+                    / total as u128) as usize;
+                for col in cover.iter_mut().take(c1.min(width - 1) + 1).skip(c0) {
+                    col[kind_idx] += e.dur_nanos.max(1);
+                }
+            }
+            let lane: String = cover
+                .iter()
+                .map(|c| {
+                    match c.iter().enumerate().max_by_key(|(_, &n)| n) {
+                        Some((k, &n)) if n > 0 => SpanKind::all()[k].code(),
+                        _ => ' ',
+                    }
+                })
+                .collect();
+            let label = if w.proc == CONTROLLER_LANE {
+                "ctl".to_string()
+            } else {
+                format!("w{:02}", w.proc)
+            };
+            out.push_str(&format!("{label} |{lane}|\n"));
+        }
+        out.push_str("     F fused  P peeled  S serial  · barrier wait  L lower\n");
+        out
+    }
+}
+
+/// What [`validate_chrome_trace`] found in a trace file.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Complete (`"ph":"X"`) events seen.
+    pub span_count: usize,
+    /// Distinct span names, sorted.
+    pub names: Vec<String>,
+    /// Distinct lanes (`tid`s) carrying at least one span, sorted.
+    pub lanes: Vec<u64>,
+    /// Distinct `args.step` values across spans, sorted.
+    pub steps: Vec<u64>,
+}
+
+impl TraceSummary {
+    /// True when a span with `name` appears.
+    pub fn has(&self, name: &str) -> bool {
+        self.names.iter().any(|n| n == name)
+    }
+}
+
+/// Validates that `json` is a well-formed Chrome trace-event file of the
+/// shape [`RunTrace::chrome_json`] emits: a top-level object with a
+/// `traceEvents` array whose entries carry `name`/`ph`/`pid`/`tid`, with
+/// complete (`X`) events additionally carrying numeric `ts` and `dur`.
+/// Returns a [`TraceSummary`] of the spans found.
+///
+/// This is the schema check CI runs against the `--trace-out` artifact;
+/// it deliberately re-parses the JSON from scratch instead of trusting
+/// the producer.
+pub fn validate_chrome_trace(json: &str) -> Result<TraceSummary, String> {
+    let mut p = MiniJson { bytes: json.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    let Json::Object(top) = v else {
+        return Err("top level is not an object".into());
+    };
+    let Some(Json::Array(events)) = top.iter().find(|(k, _)| k == "traceEvents").map(|(_, v)| v)
+    else {
+        return Err("missing traceEvents array".into());
+    };
+    let mut summary = TraceSummary::default();
+    let mut names = std::collections::BTreeSet::new();
+    let mut lanes = std::collections::BTreeSet::new();
+    let mut steps = std::collections::BTreeSet::new();
+    for (i, ev) in events.iter().enumerate() {
+        let Json::Object(fields) = ev else {
+            return Err(format!("traceEvents[{i}] is not an object"));
+        };
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let Some(Json::String(name)) = get("name") else {
+            return Err(format!("traceEvents[{i}] has no string name"));
+        };
+        let Some(Json::String(ph)) = get("ph") else {
+            return Err(format!("traceEvents[{i}] has no string ph"));
+        };
+        for key in ["pid", "tid"] {
+            match get(key) {
+                Some(Json::Number(_)) => {}
+                _ => return Err(format!("traceEvents[{i}] has no numeric {key}")),
+            }
+        }
+        if ph == "X" {
+            for key in ["ts", "dur"] {
+                match get(key) {
+                    Some(Json::Number(n)) if n.is_finite() && *n >= 0.0 => {}
+                    _ => {
+                        return Err(format!(
+                            "traceEvents[{i}] ({name}) has no valid {key}"
+                        ))
+                    }
+                }
+            }
+            summary.span_count += 1;
+            names.insert(name.clone());
+            if let Some(Json::Number(tid)) = get("tid") {
+                lanes.insert(*tid as u64);
+            }
+            if let Some(Json::Object(args)) = get("args") {
+                if let Some((_, Json::Number(s))) = args.iter().find(|(k, _)| k == "step") {
+                    steps.insert(*s as u64);
+                }
+            }
+        }
+    }
+    summary.names = names.into_iter().collect();
+    summary.lanes = lanes.into_iter().collect();
+    summary.steps = steps.into_iter().collect();
+    Ok(summary)
+}
+
+/// A tiny recursive-descent JSON reader (the workspace builds offline
+/// with no serde). Objects keep insertion order as key/value pairs.
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    String(String),
+    Number(f64),
+    Bool(#[allow(dead_code)] bool),
+    Null,
+}
+
+struct MiniJson<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl MiniJson<'_> {
+    fn ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    match self.bytes.get(self.pos + 1) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'u') => {
+                            // Skip \uXXXX escapes; names we validate are ASCII.
+                            self.pos += 4;
+                            out.push('?');
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 2;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => {
+                self.eat(b'{')?;
+                let mut fields = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.eat(b'}')?;
+                    return Ok(Json::Object(fields));
+                }
+                loop {
+                    let key = self.string()?;
+                    self.eat(b':')?;
+                    fields.push((key, self.value()?));
+                    if self.peek() == Some(b',') {
+                        self.eat(b',')?;
+                    } else {
+                        self.eat(b'}')?;
+                        return Ok(Json::Object(fields));
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.eat(b'[')?;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.eat(b']')?;
+                    return Ok(Json::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    if self.peek() == Some(b',') {
+                        self.eat(b',')?;
+                    } else {
+                        self.eat(b']')?;
+                        return Ok(Json::Array(items));
+                    }
+                }
+            }
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') if self.literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.literal("null") => Ok(Json::Null),
+            _ => {
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.pos += 1;
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .ok()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .map(Json::Number)
+                    .ok_or_else(|| format!("bad value at byte {start}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample_trace() -> RunTrace {
+        let epoch = Instant::now();
+        let mut lanes = Vec::new();
+        for proc in 0..2usize {
+            let mut t = WorkerTracer::new(TraceConfig::with_capacity(64), epoch);
+            // Synthesize deterministic offsets by recording with the
+            // epoch itself as the start (offset 0) plus explicit durs.
+            t.record(SpanKind::Dispatch, epoch, 5_000, NO_INDEX, NO_INDEX);
+            t.record(SpanKind::Fused, epoch, 1_500, 0, 0);
+            t.record(SpanKind::BarrierWait, epoch + Duration::from_nanos(1_500), 200, 0, 0);
+            t.record(SpanKind::Peeled, epoch + Duration::from_nanos(1_700), 300, 0, 0);
+            lanes.push(t.finish(proc));
+        }
+        let mut ctl = WorkerTracer::new(TraceConfig::with_capacity(8), epoch);
+        ctl.record(SpanKind::Lower, epoch, 900, NO_INDEX, NO_INDEX);
+        lanes.push(ctl.finish(CONTROLLER_LANE));
+        RunTrace::assemble(lanes)
+    }
+
+    #[test]
+    fn chrome_json_passes_the_schema_check() {
+        let trace = sample_trace();
+        let json = trace.chrome_json();
+        let summary = validate_chrome_trace(&json).expect("valid chrome trace");
+        assert_eq!(summary.span_count, 9);
+        for name in ["dispatch", "fused", "peeled", "barrier_wait", "lower"] {
+            assert!(summary.has(name), "missing {name} in {:?}", summary.names);
+        }
+        // Two worker lanes plus the controller lane (tid 2).
+        assert_eq!(summary.lanes, vec![0, 1, 2]);
+        assert_eq!(summary.steps, vec![0]);
+    }
+
+    #[test]
+    fn assemble_sorts_and_merges_lanes() {
+        let epoch = Instant::now();
+        let mk = |proc: usize, step: u32| {
+            let mut t = WorkerTracer::new(TraceConfig::with_capacity(8), epoch);
+            t.record(SpanKind::Fused, epoch, 10, step, 0);
+            t.finish(proc)
+        };
+        // Scoped-runtime shape: one lane per worker per step.
+        let trace = RunTrace::assemble(vec![mk(1, 0), mk(0, 0), mk(1, 1), mk(0, 1)]);
+        assert_eq!(trace.workers.len(), 2);
+        assert_eq!(trace.workers[0].proc, 0);
+        assert_eq!(trace.workers[0].events.len(), 2);
+        assert_eq!(trace.workers[1].events[1].step, 1);
+    }
+
+    #[test]
+    fn timeline_renders_one_lane_per_worker() {
+        let trace = sample_trace();
+        let text = trace.timeline(40);
+        assert!(text.contains("w00 |"), "{text}");
+        assert!(text.contains("w01 |"), "{text}");
+        assert!(text.contains("ctl |"), "{text}");
+        assert!(text.contains('F'), "fused phase visible: {text}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("").is_err());
+        assert!(validate_chrome_trace("[]").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":{}}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err());
+        // A complete event missing ts is rejected.
+        assert!(validate_chrome_trace(
+            "{\"traceEvents\":[{\"name\":\"fused\",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"dur\":1}]}"
+        )
+        .is_err());
+        let trace = sample_trace();
+        let json = trace.chrome_json();
+        assert!(validate_chrome_trace(&json[..json.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn events_of_filters_by_kind() {
+        let trace = sample_trace();
+        assert_eq!(trace.events_of(SpanKind::Fused).count(), 2);
+        assert_eq!(trace.events_of(SpanKind::Lower).count(), 1);
+        assert!(trace.span_nanos() >= 5_000);
+    }
+}

@@ -54,6 +54,7 @@ pub use sp_exec as exec;
 pub use sp_ir as ir;
 pub use sp_kernels as kernels;
 pub use sp_machine as machine;
+pub use sp_trace as trace;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
@@ -64,8 +65,9 @@ pub mod prelude {
     pub use sp_cache::{Cache, CacheConfig, LayoutStrategy, MemoryLayout};
     pub use sp_dep::{analyze_sequence, DepKind, SequenceDeps};
     pub use sp_exec::{
-        Backend, DynamicExecutor, ExecError, ExecPlan, Executor, Memory, PooledExecutor,
-        Program, RunConfig, RunReport, ScopedExecutor, SimExecutor, SinkChoice, WorkerReport,
+        Backend, DynamicExecutor, ExecError, ExecPlan, Executor, Memory, MetricsRegistry,
+        PooledExecutor, Program, RunConfig, RunReport, RunTrace, ScopedExecutor, SimExecutor,
+        SinkChoice, SpanKind, TraceConfig, WorkerReport,
     };
     pub use sp_ir::{ArrayDecl, ArrayId, Expr, LoopSequence, SeqBuilder};
     pub use sp_machine::{simulate, MachineConfig, SimPlan, SimResult};
