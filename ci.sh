@@ -10,8 +10,14 @@ cargo build --release
 echo "==> tier-1: test suite"
 cargo test -q
 
-echo "==> lint wall: runtime + observability crates must be clippy-clean"
-cargo clippy -p sp-exec -p sp-trace -p sp-cli -- -D warnings
+echo "==> format: first-party crates must be rustfmt-clean (vendor/ excluded)"
+cargo fmt --check \
+  -p shift-peel -p sp-ir -p sp-dep -p shift-peel-core -p sp-cache \
+  -p sp-exec -p sp-trace -p sp-kernels -p sp-baselines -p sp-machine \
+  -p sp-bench -p sp-cli -p sp-serve
+
+echo "==> lint wall: runtime + observability + serving crates must be clippy-clean"
+cargo clippy -p sp-exec -p sp-trace -p sp-cli -p sp-serve -- -D warnings
 
 echo "==> differential fuzzing: backends x schedules x runtimes"
 # The vendored proptest derives its seed from the test name, so this
@@ -44,5 +50,30 @@ cargo test --release -q -p sp-cli --test explain_golden
 echo "==> runtime comparison -> results/BENCH_runtime.json"
 mkdir -p results
 cargo run --release -p sp-bench --bin runtime -- --quick
+
+echo "==> serving: manifest smoke x2, persistent cache must hit on the rerun"
+# The same manifest served twice against one on-disk cache: the second
+# process must start warm (disk hits), and the lifetime stats file must
+# aggregate across both processes.
+serve_cache="$(mktemp -d /tmp/spfc-serve-cache.XXXXXX)"
+serve_out="$(mktemp /tmp/spfc-serve-out.XXXXXX)"
+cargo run --release -p sp-cli -- serve --jobs examples/jobs.manifest \
+  --cache-dir "$serve_cache" | tee "$serve_out"
+grep -q '0 failed' "$serve_out"
+cargo run --release -p sp-cli -- serve --jobs examples/jobs.manifest \
+  --cache-dir "$serve_cache" | tee "$serve_out"
+grep -q '0 failed' "$serve_out"
+cargo run --release -p sp-cli -- cache stats --cache-dir "$serve_cache" \
+  | tee "$serve_out"
+grep -Eq 'lifetime: [1-9][0-9]* hits' "$serve_out"
+cargo run --release -p sp-cli -- cache clear --cache-dir "$serve_cache" \
+  | tee "$serve_out"
+grep -q 'cleared' "$serve_out"
+rm -rf "$serve_cache" "$serve_out"
+
+echo "==> serving benchmark -> results/BENCH_serve.json (warm must beat cold)"
+cargo run --release -p sp-bench --bin serve -- --quick
+test -s results/BENCH_serve.json
+grep -q '"digest_match":true' results/BENCH_serve.json
 
 echo "==> ci.sh: all green"

@@ -159,7 +159,10 @@ mod tests {
         let seq = b.finish();
         let deps = analyze_sequence(&seq).unwrap();
         let g = DepMultigraph::build(&deps, 2, 0);
-        assert!(matches!(derive_alignment(&g), AlignmentResult::Conflicts(_)));
+        assert!(matches!(
+            derive_alignment(&g),
+            AlignmentResult::Conflicts(_)
+        ));
     }
 
     #[test]

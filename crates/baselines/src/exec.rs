@@ -79,9 +79,7 @@ pub fn run_aligned_sim<S: AccessSink>(
                 bounds.extend(nest.bounds[1..].iter().map(|lb| (lb.lo, lb.hi)));
                 let region = IterSpace::new(bounds);
                 // SAFETY: simulated execution is single-threaded.
-                unsafe {
-                    exec_region(seq, &view, k, &region, &mut sinks[p], &mut counters[p])
-                };
+                unsafe { exec_region(seq, &view, k, &region, &mut sinks[p], &mut counters[p]) };
             }
         }
     }

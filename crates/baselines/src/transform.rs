@@ -82,7 +82,10 @@ pub struct AlignedProgram {
 impl AlignedProgram {
     /// Extra memory the replicas consume, in elements.
     pub fn replica_elements(&self) -> usize {
-        self.replicated.iter().map(|&r| self.seq.array(r).len()).sum()
+        self.replicated
+            .iter()
+            .map(|&r| self.seq.array(r).len())
+            .sum()
     }
 }
 
@@ -92,7 +95,10 @@ fn is_aligned_ref(r: &ArrayRef, depth: usize) -> bool {
     r.subs.len() == depth
         && r.subs.iter().enumerate().all(|(d, s)| {
             s.depth() == depth
-                && s.coeffs.iter().enumerate().all(|(l, &c)| c == i64::from(l == d))
+                && s.coeffs
+                    .iter()
+                    .enumerate()
+                    .all(|(l, &c)| c == i64::from(l == d))
         })
 }
 
@@ -102,7 +108,10 @@ pub fn align_with_replication(
     seq: &LoopSequence,
     level: usize,
 ) -> Result<AlignedProgram, AlignError> {
-    assert_eq!(level, 0, "only outermost-dimension alignment is implemented");
+    assert_eq!(
+        level, 0,
+        "only outermost-dimension alignment is implemented"
+    );
     let depth = seq.nests.first().map(|n| n.depth()).unwrap_or(0);
     let mut arrays = seq.arrays.clone();
     let mut originals: Vec<LoopNest> = seq.nests.clone();
@@ -116,8 +125,7 @@ pub fn align_with_replication(
             arrays.clone(),
             copies.iter().chain(originals.iter()).cloned().collect(),
         );
-        let deps =
-            analyze_sequence(&cur).map_err(|e| AlignError::Analysis(e.to_string()))?;
+        let deps = analyze_sequence(&cur).map_err(|e| AlignError::Analysis(e.to_string()))?;
         let n_copies = copies.len();
         for (k, info) in deps.nests.iter().enumerate().skip(n_copies) {
             if !info.parallel[level] {
@@ -151,13 +159,11 @@ pub fn align_with_replication(
                         depth,
                     )?,
                     DepKind::Flow => {
-                        inlined_reads +=
-                            resolve_flow(&mut originals, c, level, depth)?;
+                        inlined_reads += resolve_flow(&mut originals, c, level, depth)?;
                     }
                     DepKind::Output => {
                         return Err(AlignError::Unresolvable(
-                            "output-dependence conflicts require statement reordering"
-                                .to_string(),
+                            "output-dependence conflicts require statement reordering".to_string(),
                         ))
                     }
                 }
@@ -198,10 +204,12 @@ fn resolve_anti(
     }
     let replica = *replicas.entry(x.0).or_insert_with(|| {
         let id = ArrayId(arrays.len() as u32);
-        arrays.push(ArrayDecl::new(format!("{}_rep", decl.name), decl.dims.clone()));
+        arrays.push(ArrayDecl::new(
+            format!("{}_rep", decl.name),
+            decl.dims.clone(),
+        ));
         // Copy nest: replica[i] = x[i] over the full array.
-        let subs: Vec<AffineExpr> =
-            (0..depth).map(|d| AffineExpr::var(depth, d, 0)).collect();
+        let subs: Vec<AffineExpr> = (0..depth).map(|d| AffineExpr::var(depth, d, 0)).collect();
         let body = vec![Statement::new(
             ArrayRef::new(id, subs.clone()),
             Expr::Load(ArrayRef::new(x, subs)),
@@ -228,9 +236,7 @@ fn resolve_anti(
 fn redirect_reads(e: &Expr, from: ArrayId, to: ArrayId) -> Expr {
     match e {
         Expr::Const(c) => Expr::Const(*c),
-        Expr::Load(r) if r.array == from => {
-            Expr::Load(ArrayRef::new(to, r.subs.clone()))
-        }
+        Expr::Load(r) if r.array == from => Expr::Load(ArrayRef::new(to, r.subs.clone())),
         Expr::Load(r) => Expr::Load(r.clone()),
         Expr::Unary(op, inner) => Expr::Unary(*op, Box::new(redirect_reads(inner, from, to))),
         Expr::Binary(op, a, b) => Expr::Binary(
@@ -255,8 +261,7 @@ fn resolve_flow(
     let x = c.array;
     // Unique defining statement in the source nest, aligned form.
     let src_nest = originals[c.src].clone();
-    let defs: Vec<&Statement> =
-        src_nest.body.iter().filter(|s| s.lhs.array == x).collect();
+    let defs: Vec<&Statement> = src_nest.body.iter().filter(|s| s.lhs.array == x).collect();
     let [def] = defs.as_slice() else {
         return Err(AlignError::Unresolvable(format!(
             "array {:?} has {} defining statements in nest {}",
@@ -329,7 +334,16 @@ fn resolve_flow(
         .iter()
         .map(|stmt| Statement {
             lhs: stmt.lhs.clone(),
-            rhs: inline_reads(&stmt.rhs, x, &c0, c.a_src, c.have, level, &def.rhs, &mut inlined),
+            rhs: inline_reads(
+                &stmt.rhs,
+                x,
+                &c0,
+                c.a_src,
+                c.have,
+                level,
+                &def.rhs,
+                &mut inlined,
+            ),
         })
         .collect();
 
@@ -379,7 +393,9 @@ fn inline_reads(
         Expr::Load(r) => Expr::Load(r.clone()),
         Expr::Unary(op, inner) => Expr::Unary(
             *op,
-            Box::new(inline_reads(inner, x, c0, a_src, have, level, def_rhs, inlined)),
+            Box::new(inline_reads(
+                inner, x, c0, a_src, have, level, def_rhs, inlined,
+            )),
         ),
         Expr::Binary(op, a, b) => Expr::Binary(
             *op,

@@ -22,7 +22,11 @@ fn bench_codegen(c: &mut Criterion) {
         g.bench_function(name, |b| {
             let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
             mem.init_deterministic(&seq, 1);
-            let plan = ExecPlan::Fused { grid: vec![1], method, strip };
+            let plan = ExecPlan::Fused {
+                grid: vec![1],
+                method,
+                strip,
+            };
             b.iter(|| ex.run(&mut mem, &plan).expect("run"));
         });
     }

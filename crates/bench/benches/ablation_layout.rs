@@ -37,8 +37,9 @@ fn bench_layout_exec(c: &mut Criterion) {
 
 fn bench_layout_build(c: &mut Criterion) {
     let cache = CacheConfig::new(1 << 20, 32, 1);
-    let arrays: Vec<ArrayDecl> =
-        (0..32).map(|i| ArrayDecl::new(format!("a{i}"), [512, 512])).collect();
+    let arrays: Vec<ArrayDecl> = (0..32)
+        .map(|i| ArrayDecl::new(format!("a{i}"), [512, 512]))
+        .collect();
     c.bench_function("greedy_partition_layout_32_arrays", |b| {
         b.iter(|| MemoryLayout::build(&arrays, 8, LayoutStrategy::CachePartition(cache), 0))
     });

@@ -19,12 +19,16 @@ fn bench_scheduling(c: &mut Criterion) {
     let mut g = c.benchmark_group("scheduling");
     g.sample_size(10);
     for threads in [2usize, 4] {
-        g.bench_with_input(BenchmarkId::new("static_blocked", threads), &threads, |b, &t| {
-            let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
-            mem.init_deterministic(&seq, 1);
-            let cfg = RunConfig::blocked([t]);
-            b.iter(|| ScopedExecutor.run(&prog, &mut mem, &cfg).unwrap());
-        });
+        g.bench_with_input(
+            BenchmarkId::new("static_blocked", threads),
+            &threads,
+            |b, &t| {
+                let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+                mem.init_deterministic(&seq, 1);
+                let cfg = RunConfig::blocked([t]);
+                b.iter(|| ScopedExecutor.run(&prog, &mut mem, &cfg).unwrap());
+            },
+        );
         for chunk in [4i64, 32] {
             g.bench_with_input(
                 BenchmarkId::new(format!("dynamic_chunk{chunk}"), threads),

@@ -28,12 +28,16 @@ fn bench_derivation(c: &mut Criterion) {
     let mut g = c.benchmark_group("derivation_scaling");
     for nloops in [4usize, 16, 64] {
         let seq = chain(nloops);
-        g.bench_with_input(BenchmarkId::new("analyze_and_derive", nloops), &seq, |b, seq| {
-            b.iter(|| {
-                let deps = analyze_sequence(seq).expect("analysis");
-                derive_levels(&deps, seq.len(), 1).expect("derive")
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("analyze_and_derive", nloops),
+            &seq,
+            |b, seq| {
+                b.iter(|| {
+                    let deps = analyze_sequence(seq).expect("analysis");
+                    derive_levels(&deps, seq.len(), 1).expect("derive")
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -28,7 +28,10 @@ fn main() {
         t.row(vec![r.pad.to_string(), r.misses_fused.to_string()]);
     }
     t.print();
-    println!("misses with cache partitioning: {}", sweep.partitioned_fused);
+    println!(
+        "misses with cache partitioning: {}",
+        sweep.partitioned_fused
+    );
 
     let best_pad = sweep.rows.iter().map(|r| r.misses_fused).min().unwrap();
     let worst_pad = sweep.rows.iter().map(|r| r.misses_fused).max().unwrap();

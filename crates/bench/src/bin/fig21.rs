@@ -6,10 +6,10 @@
 use shift_peel_core::CodegenMethod;
 use sp_bench::{f2, Opts, Table};
 use sp_cache::LayoutStrategy;
+use sp_exec::ExecPlan;
 use sp_kernels::{hydro2d, tomcatv, App};
 use sp_machine::{app_speedup_sweep, sum_results, SweepOptions, CONVEX_SPP1000};
 use sp_machine::{simulate, SimPlan};
-use sp_exec::ExecPlan;
 
 fn run(app: &App, procs: &[usize]) {
     let m = &CONVEX_SPP1000;
@@ -21,7 +21,10 @@ fn run(app: &App, procs: &[usize]) {
         remote_bias: 0.0,
         profitability: None,
     };
-    let without_cp = SweepOptions { layout: LayoutStrategy::Contiguous, ..with_cp };
+    let without_cp = SweepOptions {
+        layout: LayoutStrategy::Contiguous,
+        ..with_cp
+    };
 
     let base = {
         let parts: Vec<_> = app
@@ -44,7 +47,12 @@ fn run(app: &App, procs: &[usize]) {
 
     let mut t = Table::new(
         format!("Figure 21 ({}): speedup on Convex", app.name),
-        &["procs", "orig + cache part.", "orig, no cache part.", "fused, no cache part."],
+        &[
+            "procs",
+            "orig + cache part.",
+            "orig, no cache part.",
+            "fused, no cache part.",
+        ],
     );
     for (rc, rn) in rows_cp.iter().zip(&rows_nocp) {
         t.row(vec![

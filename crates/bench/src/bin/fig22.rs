@@ -5,9 +5,9 @@
 //! edge (crossover) once per-processor data fits the 256 KB caches.
 
 use sp_bench::{f2, Opts, Table};
+use sp_ir::LoopSequence;
 use sp_kernels::{calc, ll18};
 use sp_machine::{speedup_sweep, SweepOptions, KSR2};
-use sp_ir::LoopSequence;
 
 fn run(name: &str, seq: &LoopSequence, procs: &[usize]) {
     // Fixed 16-row strips reproduce the paper's measured crossovers
@@ -20,7 +20,13 @@ fn run(name: &str, seq: &LoopSequence, procs: &[usize]) {
     let rows = speedup_sweep(seq, &KSR2, procs, &opts).expect("sweep");
     let mut t = Table::new(
         format!("Figure 22 ({name}): KSR2 speedup and misses"),
-        &["procs", "speedup fused", "speedup unfused", "misses fused", "misses unfused"],
+        &[
+            "procs",
+            "speedup fused",
+            "speedup unfused",
+            "misses fused",
+            "misses unfused",
+        ],
     );
     let mut crossover = None;
     for r in &rows {

@@ -7,16 +7,22 @@
 //! filter in the paper).
 
 use sp_bench::{f2, Opts, Table};
+use sp_ir::LoopSequence;
 use sp_kernels::{calc, filter, ll18};
 use sp_machine::{speedup_sweep, SweepOptions, CONVEX_SPP1000};
-use sp_ir::LoopSequence;
 
 fn run(name: &str, seq: &LoopSequence, procs: &[usize]) {
     let opts = SweepOptions::for_machine(&CONVEX_SPP1000);
     let rows = speedup_sweep(seq, &CONVEX_SPP1000, procs, &opts).expect("sweep");
     let mut t = Table::new(
         format!("Figure 23 ({name}): Convex speedup and misses"),
-        &["procs", "speedup fused", "speedup unfused", "misses fused", "misses unfused"],
+        &[
+            "procs",
+            "speedup fused",
+            "speedup unfused",
+            "misses fused",
+            "misses unfused",
+        ],
     );
     for r in &rows {
         t.row(vec![
@@ -32,7 +38,10 @@ fn run(name: &str, seq: &LoopSequence, procs: &[usize]) {
         .iter()
         .map(|r| r.unfused.seconds / r.fused.seconds)
         .fold(f64::MIN, f64::max);
-    println!("best fusion improvement across sweep: {:.0}%", (best - 1.0) * 100.0);
+    println!(
+        "best fusion improvement across sweep: {:.0}%",
+        (best - 1.0) * 100.0
+    );
     println!();
 }
 
@@ -41,5 +50,9 @@ fn main() {
     let procs = opts.procs(&[1, 2, 4, 8, 12, 16]);
     run("LL18", &ll18::sequence(opts.size(1024)), &procs);
     run("calc", &calc::sequence(opts.size(1024)), &procs);
-    run("filter", &filter::sequence(opts.size(1602), opts.size(640)), &procs);
+    run(
+        "filter",
+        &filter::sequence(opts.size(1602), opts.size(640)),
+        &procs,
+    );
 }

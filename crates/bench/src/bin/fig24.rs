@@ -14,26 +14,42 @@ use sp_machine::{improvement_ratio, SweepOptions, CONVEX_SPP1000};
 
 fn main() {
     let opts = Opts::from_args();
-    let sizes: Vec<usize> = [256usize, 512, 1024].iter().map(|&s| opts.size(s)).collect();
+    let sizes: Vec<usize> = [256usize, 512, 1024]
+        .iter()
+        .map(|&s| opts.size(s))
+        .collect();
     for &procs in &[8usize, 16] {
         let mut t = Table::new(
             format!("Figure 24 ({procs} processors): improvement from fusion"),
-            &["array size", "LL18 (9 arrays)", "calc (6 arrays)", "profitability model"],
+            &[
+                "array size",
+                "LL18 (9 arrays)",
+                "calc (6 arrays)",
+                "profitability model",
+            ],
         );
         for &n in &sizes {
             let sw = SweepOptions::for_machine(&CONVEX_SPP1000);
-            let ll = improvement_ratio(&ll18::sequence(n), &CONVEX_SPP1000, procs, &sw)
-                .expect("LL18");
-            let ca = improvement_ratio(&calc::sequence(n), &CONVEX_SPP1000, procs, &sw)
-                .expect("calc");
+            let ll =
+                improvement_ratio(&ll18::sequence(n), &CONVEX_SPP1000, procs, &sw).expect("LL18");
+            let ca =
+                improvement_ratio(&calc::sequence(n), &CONVEX_SPP1000, procs, &sw).expect("calc");
             // What the compile-time profitability evaluation would say.
             let model = ProfitabilityModel::new(CONVEX_SPP1000.cache.capacity, procs);
             let seq_ll = ll18::sequence(n);
             let seq_ca = calc::sequence(n);
             let verdicts = format!(
                 "LL18:{} calc:{}",
-                if model.should_fuse(&seq_ll, 0, seq_ll.len()) { "fuse" } else { "skip" },
-                if model.should_fuse(&seq_ca, 0, seq_ca.len()) { "fuse" } else { "skip" },
+                if model.should_fuse(&seq_ll, 0, seq_ll.len()) {
+                    "fuse"
+                } else {
+                    "skip"
+                },
+                if model.should_fuse(&seq_ca, 0, seq_ca.len()) {
+                    "fuse"
+                } else {
+                    "skip"
+                },
             );
             t.row(vec![format!("{n}x{n}"), f2(ll), f2(ca), verdicts]);
         }

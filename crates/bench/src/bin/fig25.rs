@@ -26,7 +26,10 @@ fn run(app: &App, procs: &[usize], remote_bias: f64) {
             r.procs.to_string(),
             f2(r.speedup_fused),
             f2(r.speedup_unfused),
-            format!("{:+.0}%", (r.unfused.seconds / r.fused.seconds - 1.0) * 100.0),
+            format!(
+                "{:+.0}%",
+                (r.unfused.seconds / r.fused.seconds - 1.0) * 100.0
+            ),
         ]);
     }
     t.print();
@@ -36,7 +39,10 @@ fn run(app: &App, procs: &[usize], remote_bias: f64) {
 fn main() {
     let opts = Opts::from_args();
     let procs = opts.procs(&[1, 2, 4, 8, 16]);
-    let tom = App { name: "tomcatv", sequences: vec![tomcatv::sequence(opts.size(513))] };
+    let tom = App {
+        name: "tomcatv",
+        sequences: vec![tomcatv::sequence(opts.size(513))],
+    };
     run(&tom, &procs, 0.0);
     run(&hydro2d::app(opts.size(802), opts.size(320)), &procs, 0.0);
     // spem: 3-D fields with NUMA remote-access sensitivity (the paper's

@@ -41,7 +41,11 @@ fn run(machine: &MachineConfig, n: usize, procs: &[usize]) {
             &seq,
             machine,
             &SimPlan::new(
-                ExecPlan::Fused { grid: vec![p], method: CodegenMethod::StripMined, strip: 16 },
+                ExecPlan::Fused {
+                    grid: vec![p],
+                    method: CodegenMethod::StripMined,
+                    strip: 16,
+                },
                 layout,
             ),
         )
@@ -59,6 +63,14 @@ fn run(machine: &MachineConfig, n: usize, procs: &[usize]) {
 
 fn main() {
     let opts = Opts::from_args();
-    run(&KSR2, opts.size(512), &opts.procs(&[1, 2, 4, 8, 16, 24, 32, 40, 48, 56]));
-    run(&CONVEX_SPP1000, opts.size(1024), &opts.procs(&[1, 2, 4, 8, 12, 16]));
+    run(
+        &KSR2,
+        opts.size(512),
+        &opts.procs(&[1, 2, 4, 8, 16, 24, 32, 40, 48, 56]),
+    );
+    run(
+        &CONVEX_SPP1000,
+        opts.size(1024),
+        &opts.procs(&[1, 2, 4, 8, 12, 16]),
+    );
 }

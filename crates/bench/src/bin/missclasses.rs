@@ -28,12 +28,19 @@ fn main() {
         ("pad 1".into(), LayoutStrategy::InnerPad(1)),
         ("pad 9".into(), LayoutStrategy::InnerPad(9)),
         ("pad 17".into(), LayoutStrategy::InnerPad(17)),
-        ("cache partitioning".into(), LayoutStrategy::CachePartition(cache)),
+        (
+            "cache partitioning".into(),
+            LayoutStrategy::CachePartition(cache),
+        ),
     ];
     for (name, layout) in layouts {
         let mut mem = Memory::new(&seq, layout);
         mem.init_deterministic(&seq, 42);
-        let plan = ExecPlan::Fused { grid: vec![1], method: CodegenMethod::StripMined, strip: 16 };
+        let plan = ExecPlan::Fused {
+            grid: vec![1],
+            method: CodegenMethod::StripMined,
+            strip: 16,
+        };
         let mut sinks = vec![ClassifySink::new(ClassifyingCache::new(cache))];
         ex.run_with_sinks(&mut mem, &plan, &mut sinks).expect("run");
         let c = sinks[0].cache.classes();

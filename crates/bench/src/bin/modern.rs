@@ -27,7 +27,11 @@ fn main() {
         let mut mem = Memory::new(&seq, layout);
         mem.init_deterministic(&seq, 42);
         let plan = if fused {
-            ExecPlan::Fused { grid: vec![1], method: CodegenMethod::StripMined, strip }
+            ExecPlan::Fused {
+                grid: vec![1],
+                method: CodegenMethod::StripMined,
+                strip,
+            }
         } else {
             ExecPlan::Blocked { grid: vec![1] }
         };
@@ -43,9 +47,19 @@ fn main() {
         &["version", "L1 misses", "L2 misses", "memory cycles"],
     );
     let (u1, u2, uc) = run(false, 0);
-    t.row(vec!["unfused".into(), u1.misses.to_string(), u2.misses.to_string(), uc.to_string()]);
+    t.row(vec![
+        "unfused".into(),
+        u1.misses.to_string(),
+        u2.misses.to_string(),
+        uc.to_string(),
+    ]);
     let (f1, f2, fc) = run(true, 16);
-    t.row(vec!["fused".into(), f1.misses.to_string(), f2.misses.to_string(), fc.to_string()]);
+    t.row(vec![
+        "fused".into(),
+        f1.misses.to_string(),
+        f2.misses.to_string(),
+        fc.to_string(),
+    ]);
     t.print();
     println!(
         "fusion saves {:.1}% of memory-system cycles at a 220-cycle miss penalty \

@@ -77,8 +77,22 @@ fn sweep(
         "{name}: compiled backend changed per-processor miss counts: {parity:?}"
     );
     let mut t = Table::new(
-        format!("{name}: threaded runtimes, grid {grid:?} (iters/s; pool advantage grows with steps)"),
-        &["steps", "scoped it/s", "pooled it/s", "pooled/scoped", "compiled it/s", "compiled/interp", "traced it/s", "traced/compiled", "dynamic it/s", "pool imbalance", "pool max barrier us"],
+        format!(
+            "{name}: threaded runtimes, grid {grid:?} (iters/s; pool advantage grows with steps)"
+        ),
+        &[
+            "steps",
+            "scoped it/s",
+            "pooled it/s",
+            "pooled/scoped",
+            "compiled it/s",
+            "compiled/interp",
+            "traced it/s",
+            "traced/compiled",
+            "dynamic it/s",
+            "pool imbalance",
+            "pool max barrier us",
+        ],
     );
     for r in &rows {
         t.row(vec![
@@ -142,7 +156,11 @@ fn emit_json(kernels: &[KernelRun]) -> String {
 
 fn main() {
     let opts = Opts::from_args();
-    let steps: Vec<usize> = if opts.quick { vec![1, 10, 100] } else { vec![1, 10, 100, 200] };
+    let steps: Vec<usize> = if opts.quick {
+        vec![1, 10, 100]
+    } else {
+        vec![1, 10, 100, 200]
+    };
     // Small arrays: the runtimes differ in *per-step* overhead (thread
     // spawns, barrier setup), which large per-step compute would drown.
     let n = opts.size(64);
@@ -155,7 +173,14 @@ fn main() {
         .clamp(2, 8);
     let reps = if opts.quick { 1 } else { 3 };
     let kernels = vec![
-        sweep("jacobi", &jacobi::sequence(n + 2), &[procs], 16, &steps, reps),
+        sweep(
+            "jacobi",
+            &jacobi::sequence(n + 2),
+            &[procs],
+            16,
+            &steps,
+            reps,
+        ),
         sweep("tomcatv", &tomcatv::sequence(n), &[procs], 16, &steps, reps),
     ];
     let json = emit_json(&kernels);
@@ -191,7 +216,11 @@ fn main() {
                 k.name,
                 r.steps,
                 overhead * 100.0,
-                r.traced.trace.as_ref().map(|t| t.event_count()).unwrap_or(0)
+                r.traced
+                    .trace
+                    .as_ref()
+                    .map(|t| t.event_count())
+                    .unwrap_or(0)
             );
         }
     }

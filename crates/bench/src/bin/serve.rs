@@ -1,0 +1,197 @@
+//! Serving throughput: cold versus warm compilation through the
+//! content-addressed artifact cache.
+//!
+//! Builds a batch of distinct jobs (two kernels at several array sizes,
+//! under both the interpreter and the compiled backend — every
+//! combination is its own cache key), then runs the batch twice through
+//! one [`sp_serve::Service`]: a *cold* phase that compiles every
+//! artifact and a *warm* phase resubmitting identical specs, so every
+//! job should be a cache hit. The acceptance criteria are that warm
+//! jobs/s exceeds cold jobs/s, the warm hit rate is 100%, and every warm
+//! output digest is bit-for-bit identical to its cold counterpart
+//! (enforced inside [`serve_sweep`], which errors on divergence).
+//!
+//! Prints a cold/warm table and writes `results/BENCH_serve.json`.
+
+use sp_bench::{f2, Opts, Table};
+use sp_exec::{Backend, ExecPlan};
+use sp_ir::{LoopSequence, SeqBuilder};
+use sp_kernels::{jacobi, tomcatv};
+use sp_machine::{serve_sweep, ServePhase};
+use sp_serve::JobSpec;
+use std::fmt::Write as _;
+
+/// A long producer/consumer chain: loop `i` reads the array loop `i-1`
+/// wrote (aligned, so fusion needs no shifts at any chain length) plus
+/// the boundary neighbours of a shared input. Dependence analysis and
+/// fusion planning scale with the chain length while the per-iteration
+/// work stays tiny — these are the compile-bound jobs that show what the
+/// artifact cache saves.
+fn chain(loops: usize, n: usize) -> LoopSequence {
+    let mut b = SeqBuilder::new(format!("chain{loops}"));
+    let src = b.array("src", [n, n]);
+    let stages: Vec<_> = (0..=loops)
+        .map(|i| b.array(format!("s{i}"), [n, n]))
+        .collect();
+    let (lo, hi) = (1, n as i64 - 2);
+    for i in 0..loops {
+        let (prev, next) = (stages[i], stages[i + 1]);
+        b.nest(format!("L{i}"), [(lo, hi), (lo, hi)], |x| {
+            let r = x.ld(prev, [0, 0]) + x.ld(src, [0, 1]) + x.ld(src, [0, -1]);
+            x.assign(next, [0, 0], r);
+        });
+    }
+    b.finish()
+}
+
+fn batch(n0: usize, sizes: usize, steps: usize) -> Vec<JobSpec> {
+    let mut specs = Vec::new();
+    for i in 0..sizes {
+        // Consecutive sizes: each (kernel, size, backend) triple hashes
+        // to a distinct cache key, so the cold phase really compiles
+        // `specs.len()` artifacts rather than reusing the first.
+        let n = n0 + 2 * i;
+        let plan = ExecPlan::Fused {
+            grid: vec![2, 2],
+            method: shift_peel_core::CodegenMethod::StripMined,
+            strip: 8,
+        };
+        for backend in [Backend::Compiled, Backend::Interp] {
+            let tag = match backend {
+                Backend::Compiled => "compiled",
+                Backend::Interp => "interp",
+            };
+            specs.push(
+                JobSpec::new(
+                    format!("jacobi-{n}-{tag}"),
+                    jacobi::sequence(n + 2),
+                    plan.clone(),
+                )
+                .backend(backend)
+                .steps(steps)
+                .client("alice"),
+            );
+            specs.push(
+                JobSpec::new(
+                    format!("tomcatv-{n}-{tag}"),
+                    tomcatv::sequence(n),
+                    plan.clone(),
+                )
+                .backend(backend)
+                .steps(steps)
+                .client("bob"),
+            );
+            // One compile-bound chain per (size, backend): distinct loop
+            // counts give distinct cache keys. Tiny arrays keep the
+            // execution negligible next to analysis and planning.
+            let loops = 64 + 16 * i;
+            specs.push(
+                JobSpec::new(
+                    format!("chain{loops}-{tag}"),
+                    chain(loops, 10),
+                    plan.clone(),
+                )
+                .backend(backend)
+                .steps(steps)
+                .client("carol"),
+            );
+        }
+    }
+    specs
+}
+
+fn phase_json(p: &ServePhase) -> String {
+    format!(
+        "{{\"seconds\":{:.6},\"jobs\":{},\"jobs_per_sec\":{:.3},\"hits\":{},\"misses\":{},\"hit_rate\":{:.4}}}",
+        p.seconds,
+        p.jobs,
+        p.jobs_per_sec(),
+        p.hits,
+        p.misses,
+        p.hit_rate()
+    )
+}
+
+fn main() {
+    let opts = Opts::from_args();
+    let n0 = opts.size(if opts.quick { 32 } else { 48 });
+    let sizes = if opts.quick { 4 } else { 6 };
+    // One timestep per job: serving cost is dominated by compilation
+    // (analysis, fusion planning, tape lowering), which is exactly what
+    // the warm phase elides. Long-running jobs would drown the cache win
+    // in execution time.
+    let steps = 1;
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .clamp(4, 8);
+    let specs = batch(n0, sizes, steps);
+    // Best-of-reps per phase: each rep is a fresh service, so cold
+    // phases always compile and warm phases always hit; taking the best
+    // of each discards host descheduling noise on millisecond phases.
+    let reps = if opts.quick { 3 } else { 5 };
+    let (mut cold, mut warm) = serve_sweep(&specs, workers).expect("serve sweep");
+    for _ in 1..reps {
+        let (c, w) = serve_sweep(&specs, workers).expect("serve sweep");
+        if c.jobs_per_sec() > cold.jobs_per_sec() {
+            cold = c;
+        }
+        if w.jobs_per_sec() > warm.jobs_per_sec() {
+            warm = w;
+        }
+    }
+
+    let mut t = Table::new(
+        format!(
+            "serving: {} distinct jobs (jacobi/tomcatv/chain x {sizes} sizes x 2 backends), {workers} workers",
+            specs.len()
+        ),
+        &["phase", "seconds", "jobs/s", "hits", "misses", "hit rate"],
+    );
+    for (label, p) in [("cold", &cold), ("warm", &warm)] {
+        t.row(vec![
+            label.to_string(),
+            format!("{:.4}", p.seconds),
+            format!("{:.1}", p.jobs_per_sec()),
+            p.hits.to_string(),
+            p.misses.to_string(),
+            f2(p.hit_rate()),
+        ]);
+    }
+    t.print();
+    println!();
+
+    let mut json = String::from("{");
+    let _ = write!(
+        json,
+        "\"workers\":{workers},\"jobs_per_phase\":{},\"cold\":{},\"warm\":{},",
+        specs.len(),
+        phase_json(&cold),
+        phase_json(&warm)
+    );
+    let _ = write!(
+        json,
+        "\"warm_over_cold\":{:.3},\"hit_rate_warm\":{:.4},\"digest_match\":true}}",
+        warm.jobs_per_sec() / cold.jobs_per_sec(),
+        warm.hit_rate()
+    );
+    let path = "results/BENCH_serve.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+
+    // Acceptance: the warm phase skips every compilation, so it must be
+    // faster; serve_sweep already errored if any digest diverged.
+    println!(
+        "serving: warm/cold throughput = {:.2}x (warm hit rate {:.0}%, digests identical)",
+        warm.jobs_per_sec() / cold.jobs_per_sec(),
+        warm.hit_rate() * 100.0
+    );
+    assert!(
+        warm.hits as usize == specs.len() && warm.misses == 0,
+        "warm phase missed the cache: {} hits, {} misses",
+        warm.hits,
+        warm.misses
+    );
+}

@@ -11,7 +11,14 @@ fn main() {
     let opts = Opts::from_args();
     let mut t = Table::new(
         "Table 1: Kernels and applications for experimental results",
-        &["name", "paper LoC", "loop seqs", "longest", "max shift/peel", "paper says"],
+        &[
+            "name",
+            "paper LoC",
+            "loop seqs",
+            "longest",
+            "max shift/peel",
+            "paper says",
+        ],
     );
     for entry in all_programs() {
         let app = (entry.build)(opts.scale.min(0.25)); // structure only; small is fine

@@ -7,9 +7,11 @@ use sp_dep::analyze_sequence;
 use sp_kernels::{calc, filter, ll18};
 
 fn main() {
-    let programs = [("LL18", ll18::sequence(64), ll18::meta()),
+    let programs = [
+        ("LL18", ll18::sequence(64), ll18::meta()),
         ("calc", calc::sequence(64), calc::meta()),
-        ("filter", filter::sequence(64, 64), filter::meta())];
+        ("filter", filter::sequence(64, 64), filter::meta()),
+    ];
     let max_loops = programs.iter().map(|(_, s, _)| s.len()).max().unwrap();
 
     let mut t = Table::new(
@@ -43,7 +45,11 @@ fn main() {
         let match_ = shifts == meta.expected_shifts && peels == meta.expected_peels;
         println!(
             "{name}: {}",
-            if match_ { "matches the paper exactly" } else { "MISMATCH vs paper!" }
+            if match_ {
+                "matches the paper exactly"
+            } else {
+                "MISMATCH vs paper!"
+            }
         );
         ok &= match_;
     }

@@ -24,7 +24,10 @@ pub struct Opts {
 impl Opts {
     /// Parses `--scale <f>` and `--quick` from `std::env::args`.
     pub fn from_args() -> Opts {
-        let mut opts = Opts { scale: 1.0, quick: false };
+        let mut opts = Opts {
+            scale: 1.0,
+            quick: false,
+        };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -147,14 +150,20 @@ mod tests {
 
     #[test]
     fn opts_size_scales() {
-        let o = Opts { scale: 0.5, quick: false };
+        let o = Opts {
+            scale: 0.5,
+            quick: false,
+        };
         assert_eq!(o.size(512), 256);
         assert_eq!(o.size(16), 32); // floor
     }
 
     #[test]
     fn opts_procs_thinning_keeps_last() {
-        let o = Opts { scale: 1.0, quick: true };
+        let o = Opts {
+            scale: 1.0,
+            quick: true,
+        };
         let v = o.procs(&[1, 2, 4, 8, 16, 24, 32, 40, 48, 56]);
         assert_eq!(*v.last().unwrap(), 56);
         assert!(v.len() < 10);

@@ -188,6 +188,13 @@ mod tests {
             c.access(64);
         }
         let cls = c.classes();
-        assert_eq!(cls, MissClasses { compulsory: 1, capacity: 0, conflict: 0 });
+        assert_eq!(
+            cls,
+            MissClasses {
+                compulsory: 1,
+                capacity: 0,
+                conflict: 0
+            }
+        );
     }
 }

@@ -164,6 +164,9 @@ mod tests {
             ArrayId(1),
             vec![AffineExpr::var(2, 0, 0), AffineExpr::new(vec![0, 2], 0)],
         );
-        assert_eq!(compatibility(&seq, &a, &strided), Compatibility::StrideMismatch);
+        assert_eq!(
+            compatibility(&seq, &a, &strided),
+            Compatibility::StrideMismatch
+        );
     }
 }

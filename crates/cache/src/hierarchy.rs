@@ -34,7 +34,10 @@ impl CacheHierarchy {
     /// Builds a hierarchy; `l2` is normally much larger than `l1`.
     pub fn new(l1: CacheConfig, l2: CacheConfig) -> Self {
         assert!(l2.capacity >= l1.capacity, "L2 must not be smaller than L1");
-        CacheHierarchy { l1: Cache::new(l1), l2: Cache::new(l2) }
+        CacheHierarchy {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+        }
     }
 
     /// Accesses an address through the hierarchy.
@@ -101,7 +104,7 @@ mod tests {
         h.access(0); // l1
         h.access(128); // memory
         h.access(0); // l2 (l1 evicted line 0)
-        // 1 l1 hit, 1 l2 hit, 2 memory.
+                     // 1 l1 hit, 1 l2 hit, 2 memory.
         assert_eq!(h.cycles(1, 10, 100), 1 + 10 + 200);
     }
 

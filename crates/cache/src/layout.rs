@@ -98,8 +98,7 @@ impl MemoryLayout {
                 }
             }
             LayoutStrategy::CachePartition(cfg) => {
-                let sizes: Vec<usize> =
-                    arrays.iter().map(|a| a.len() * elem_bytes).collect();
+                let sizes: Vec<usize> = arrays.iter().map(|a| a.len() * elem_bytes).collect();
                 let starts = greedy_partition_starts(&sizes, &cfg, base);
                 for (a, &start) in arrays.iter().zip(&starts) {
                     placements.push(ArrayPlacement {
@@ -159,7 +158,10 @@ impl MemoryLayout {
     /// Panics if `wrap` is zero or exceeds the outermost extent.
     pub fn contract(&mut self, array: ArrayId, wrap: usize) -> usize {
         let p = &mut self.placements[array.index()];
-        assert!(wrap >= 1 && wrap <= p.dims[0], "invalid contraction window {wrap}");
+        assert!(
+            wrap >= 1 && wrap <= p.dims[0],
+            "invalid contraction window {wrap}"
+        );
         p.wrap = Some(wrap);
         (p.dims[0] - wrap) * p.strides[0] * self.elem_bytes
     }

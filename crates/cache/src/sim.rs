@@ -26,7 +26,11 @@ impl CacheConfig {
             capacity.is_multiple_of(line * assoc),
             "capacity {capacity} not divisible by line*assoc"
         );
-        CacheConfig { capacity, line, assoc }
+        CacheConfig {
+            capacity,
+            line,
+            assoc,
+        }
     }
 
     /// Number of sets.
@@ -101,7 +105,11 @@ const EMPTY: u64 = u64::MAX;
 impl Cache {
     /// Creates an empty (cold) cache.
     pub fn new(config: CacheConfig) -> Self {
-        Cache { config, tags: vec![EMPTY; config.sets() * config.assoc], stats: CacheStats::default() }
+        Cache {
+            config,
+            tags: vec![EMPTY; config.sets() * config.assoc],
+            stats: CacheStats::default(),
+        }
     }
 
     /// The configuration.
@@ -165,7 +173,11 @@ impl InfiniteCache {
     /// Creates an infinite cache with the given line size.
     pub fn new(line: usize) -> Self {
         assert!(line.is_power_of_two());
-        InfiniteCache { line: line as u64, lines: Default::default(), stats: CacheStats::default() }
+        InfiniteCache {
+            line: line as u64,
+            lines: Default::default(),
+            stats: CacheStats::default(),
+        }
     }
 
     /// Accesses an address; returns `true` on hit.
@@ -217,7 +229,7 @@ mod tests {
     #[test]
     fn lru_order_within_set() {
         let mut c = Cache::new(CacheConfig::new(512, 64, 4)); // 2 sets, 4-way
-        // Fill one set with 4 lines (set stride = 2 lines = 128 B).
+                                                              // Fill one set with 4 lines (set stride = 2 lines = 128 B).
         for i in 0..4u64 {
             c.access(i * 128);
         }
@@ -263,7 +275,10 @@ mod tests {
 
     #[test]
     fn miss_ratio() {
-        let s = CacheStats { accesses: 8, misses: 2 };
+        let s = CacheStats {
+            accesses: 8,
+            misses: 2,
+        };
         assert_eq!(s.hits(), 6);
         assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
         assert_eq!(CacheStats::default().miss_ratio(), 0.0);

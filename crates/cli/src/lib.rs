@@ -26,6 +26,10 @@ use sp_exec::{
 };
 use sp_ir::{display::render_sequence, parse_sequence, LoopSequence};
 use sp_machine::{simulate, SimPlan, CONVEX_SPP1000, KSR2};
+use sp_serve::{
+    cache::{clear_disk, disk_entry_count, disk_stats},
+    parse_manifest, ArtifactCacheConfig, ServeError, Service, ServiceConfig,
+};
 use std::fmt::Write as _;
 
 /// A CLI failure: message plus suggested exit code.
@@ -44,11 +48,17 @@ impl std::fmt::Display for CliError {
 }
 
 fn fail<T>(message: impl Into<String>) -> Result<T, CliError> {
-    Err(CliError { message: message.into(), code: 1 })
+    Err(CliError {
+        message: message.into(),
+        code: 1,
+    })
 }
 
 fn usage<T>(message: impl Into<String>) -> Result<T, CliError> {
-    Err(CliError { message: message.into(), code: 2 })
+    Err(CliError {
+        message: message.into(),
+        code: 2,
+    })
 }
 
 /// Parsed command-line options.
@@ -75,6 +85,15 @@ pub struct Options {
     pub trace_out: Option<String>,
     /// `--metrics-out FILE`: write the run's Prometheus metrics here.
     pub metrics_out: Option<String>,
+    /// `--jobs FILE`: the job manifest for `serve`.
+    pub jobs: Option<String>,
+    /// `--cache-dir DIR`: on-disk artifact-cache tier for `serve`/`cache`.
+    pub cache_dir: Option<String>,
+    /// `--workers N`: worker-pool size for `serve` (default 4, grown to
+    /// the widest grid in the manifest).
+    pub workers: usize,
+    /// `--queue N`: bounded queue capacity for `serve` (default 64).
+    pub queue: usize,
 }
 
 impl Options {
@@ -84,12 +103,22 @@ impl Options {
         let Some(command) = it.next() else {
             return usage(USAGE);
         };
-        let Some(path) = it.next() else {
-            return usage(format!("missing program path\n{USAGE}"));
+        // `list` and `serve` take no positional argument; `cache` takes
+        // an action (`stats`/`clear`) in the path slot.
+        let path = if matches!(command.as_str(), "list" | "serve") {
+            String::new()
+        } else {
+            match it.next() {
+                Some(p) => p.clone(),
+                None if command == "cache" => {
+                    return usage(format!("cache needs an action (stats|clear)\n{USAGE}"))
+                }
+                None => return usage(format!("missing program path\n{USAGE}")),
+            }
         };
         let mut opts = Options {
             command: command.clone(),
-            path: path.clone(),
+            path,
             procs: 4,
             strip: 16,
             machine: "convex".to_string(),
@@ -98,6 +127,10 @@ impl Options {
             backend: "interp".to_string(),
             trace_out: None,
             metrics_out: None,
+            jobs: None,
+            cache_dir: None,
+            workers: 4,
+            queue: 64,
         };
         while let Some(flag) = it.next() {
             let mut take = || -> Result<&String, CliError> {
@@ -111,14 +144,16 @@ impl Options {
             };
             match flag.as_str() {
                 "--procs" => {
-                    opts.procs = take()?
-                        .parse()
-                        .map_err(|_| CliError { message: "bad --procs".into(), code: 2 })?;
+                    opts.procs = take()?.parse().map_err(|_| CliError {
+                        message: "bad --procs".into(),
+                        code: 2,
+                    })?;
                 }
                 "--strip" => {
-                    opts.strip = take()?
-                        .parse()
-                        .map_err(|_| CliError { message: "bad --strip".into(), code: 2 })?;
+                    opts.strip = take()?.parse().map_err(|_| CliError {
+                        message: "bad --strip".into(),
+                        code: 2,
+                    })?;
                 }
                 "--machine" => {
                     opts.machine = take()?.clone();
@@ -130,15 +165,34 @@ impl Options {
                     opts.backend = take()?.clone();
                 }
                 "--steps" => {
-                    opts.steps = take()?
-                        .parse()
-                        .map_err(|_| CliError { message: "bad --steps".into(), code: 2 })?;
+                    opts.steps = take()?.parse().map_err(|_| CliError {
+                        message: "bad --steps".into(),
+                        code: 2,
+                    })?;
                 }
                 "--trace-out" => {
                     opts.trace_out = Some(take()?.clone());
                 }
                 "--metrics-out" => {
                     opts.metrics_out = Some(take()?.clone());
+                }
+                "--jobs" => {
+                    opts.jobs = Some(take()?.clone());
+                }
+                "--cache-dir" => {
+                    opts.cache_dir = Some(take()?.clone());
+                }
+                "--workers" => {
+                    opts.workers = take()?.parse().map_err(|_| CliError {
+                        message: "bad --workers".into(),
+                        code: 2,
+                    })?;
+                }
+                "--queue" => {
+                    opts.queue = take()?.parse().map_err(|_| CliError {
+                        message: "bad --queue".into(),
+                        code: 2,
+                    })?;
                 }
                 other => return usage(format!("unknown flag {other}\n{USAGE}")),
             }
@@ -153,15 +207,25 @@ pub const USAGE: &str = "usage: spfc \
 [--procs N] [--strip N] [--steps N] [--machine ksr2|convex] \
 [--executor scoped|pooled|dynamic|sim] [--backend interp|compiled] \
 [--trace-out FILE] [--metrics-out FILE]\n\
+       spfc list\n\
+       spfc serve --jobs FILE [--cache-dir DIR] [--workers N] [--queue N]\n\
+       spfc cache <stats|clear> --cache-dir DIR\n\
   explain takes a .loop path or a suite kernel name (ll18, calc, filter, \
 tomcatv, hydro2d, spem, jacobi) and prints every fusion/derivation decision.\n\
-  trace-check validates a Chrome trace-event JSON written by --trace-out.";
+  trace-check validates a Chrome trace-event JSON written by --trace-out.\n\
+  list prints the suite kernels a job manifest's kernel= can name.\n\
+  serve runs a job manifest through the caching job service; cache \
+inspects or clears an on-disk artifact cache.";
 
 fn load(path: &str) -> Result<LoopSequence, CliError> {
-    let src = std::fs::read_to_string(path)
-        .map_err(|e| CliError { message: format!("cannot read {path}: {e}"), code: 1 })?;
-    let seq = parse_sequence(&src)
-        .map_err(|e| CliError { message: format!("{path}: {e}"), code: 1 })?;
+    let src = std::fs::read_to_string(path).map_err(|e| CliError {
+        message: format!("cannot read {path}: {e}"),
+        code: 1,
+    })?;
+    let seq = parse_sequence(&src).map_err(|e| CliError {
+        message: format!("{path}: {e}"),
+        code: 1,
+    })?;
     if let Err(errs) = seq.validate() {
         let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
         return fail(format!("{path}: invalid program:\n  {}", msgs.join("\n  ")));
@@ -182,7 +246,10 @@ fn resolve_sequences(path: &str) -> Result<Vec<LoopSequence>, CliError> {
         return Ok(vec![load(path)?]);
     }
     let suite = sp_kernels::suite::all_programs();
-    if let Some(entry) = suite.iter().find(|e| e.meta.name.eq_ignore_ascii_case(path)) {
+    if let Some(entry) = suite
+        .iter()
+        .find(|e| e.meta.name.eq_ignore_ascii_case(path))
+    {
         return Ok((entry.build)(EXPLAIN_SCALE).sequences);
     }
     let names: Vec<&str> = suite.iter().map(|e| e.meta.name).collect();
@@ -196,8 +263,10 @@ fn resolve_sequences(path: &str) -> Result<Vec<LoopSequence>, CliError> {
 fn explain_command(opts: &Options) -> Result<String, CliError> {
     let mut out = String::new();
     for seq in resolve_sequences(&opts.path)? {
-        let (plan, trace) = explain_sequence(&seq, 1)
-            .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+        let (plan, trace) = explain_sequence(&seq, 1).map_err(|e| CliError {
+            message: e.to_string(),
+            code: 1,
+        })?;
         let _ = writeln!(
             out,
             "explain {}: {} nests, fusing 1 of {} level(s)",
@@ -221,10 +290,14 @@ fn explain_command(opts: &Options) -> Result<String, CliError> {
 
 /// `spfc trace-check`: validate a Chrome trace-event JSON file.
 fn trace_check_command(opts: &Options) -> Result<String, CliError> {
-    let json = std::fs::read_to_string(&opts.path)
-        .map_err(|e| CliError { message: format!("cannot read {}: {e}", opts.path), code: 1 })?;
-    let summary = sp_trace::validate_chrome_trace(&json)
-        .map_err(|e| CliError { message: format!("{}: {e}", opts.path), code: 1 })?;
+    let json = std::fs::read_to_string(&opts.path).map_err(|e| CliError {
+        message: format!("cannot read {}: {e}", opts.path),
+        code: 1,
+    })?;
+    let summary = sp_trace::validate_chrome_trace(&json).map_err(|e| CliError {
+        message: format!("{}: {e}", opts.path),
+        code: 1,
+    })?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -237,11 +310,164 @@ fn trace_check_command(opts: &Options) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `spfc list`: the suite kernels `serve` manifests and `explain` can
+/// name.
+fn list_command() -> Result<String, CliError> {
+    let mut out = String::new();
+    let _ = writeln!(out, "suite kernels (paper Table 1); use with `spfc explain <name>` or kernel= in a job manifest:");
+    for e in sp_kernels::suite::all_programs() {
+        let _ = writeln!(
+            out,
+            "  {:<8} {} ({} sequence(s), longest {}, max shift {}, max peel {})",
+            e.meta.name,
+            e.meta.description,
+            e.meta.num_sequences,
+            e.meta.longest_sequence,
+            e.meta.max_shift,
+            e.meta.max_peel,
+        );
+    }
+    Ok(out)
+}
+
+/// `spfc serve --jobs FILE`: run a job manifest through the caching job
+/// service and report one line per job plus a throughput summary.
+fn serve_command(opts: &Options) -> Result<String, CliError> {
+    let Some(jobs_path) = &opts.jobs else {
+        return usage(format!("serve needs --jobs FILE\n{USAGE}"));
+    };
+    let text = std::fs::read_to_string(jobs_path).map_err(|e| CliError {
+        message: format!("cannot read {jobs_path}: {e}"),
+        code: 1,
+    })?;
+    let specs = parse_manifest(&text).map_err(|e| CliError {
+        message: e.to_string(),
+        code: 1,
+    })?;
+
+    let mut cache = ArtifactCacheConfig::default();
+    if let Some(dir) = &opts.cache_dir {
+        cache = cache.disk(dir);
+    }
+    // The pool must cover the widest grid any job asks for.
+    let workers = specs
+        .iter()
+        .map(|s| s.plan.procs())
+        .max()
+        .unwrap_or(1)
+        .max(opts.workers);
+    let service = Service::new(
+        ServiceConfig::default()
+            .workers(workers)
+            .queue_capacity(opts.queue)
+            .cache(cache),
+    );
+
+    let started = std::time::Instant::now();
+    let mut ids = Vec::with_capacity(specs.len());
+    for spec in specs {
+        loop {
+            match service.submit(spec.clone()) {
+                Ok(id) => break ids.push(id),
+                Err(ServeError::QueueFull { .. }) => {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Err(e) => return fail(e.to_string()),
+            }
+        }
+    }
+    let mut out = String::new();
+    let (mut ok, mut failed) = (0u64, 0u64);
+    for id in ids {
+        match service.wait(id) {
+            Ok(r) => {
+                ok += 1;
+                let _ = writeln!(
+                    out,
+                    "job {id} {:<12} client={} {:<8} digest={:016x} run {:>8} us (queued {} us)",
+                    r.name,
+                    r.client,
+                    r.cache.name(),
+                    r.digest,
+                    r.run_nanos / 1_000,
+                    r.queued_nanos / 1_000,
+                );
+            }
+            Err(e) => {
+                failed += 1;
+                let _ = writeln!(out, "job {id} FAILED: {e}");
+            }
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let c = service.cache_counters();
+    let _ = writeln!(
+        out,
+        "{ok} ok, {failed} failed in {secs:.3} s ({:.1} jobs/s) on {workers} workers",
+        ok as f64 / secs.max(1e-9),
+    );
+    let _ = writeln!(
+        out,
+        "cache: {} hits ({} disk), {} misses, {} inserts",
+        c.total_hits(),
+        c.disk_hits,
+        c.misses,
+        c.inserts,
+    );
+    Ok(out)
+}
+
+/// `spfc cache <stats|clear> --cache-dir DIR`: inspect or clear the
+/// on-disk artifact tier.
+fn cache_command(opts: &Options) -> Result<String, CliError> {
+    let Some(dir) = &opts.cache_dir else {
+        return usage(format!("cache needs --cache-dir DIR\n{USAGE}"));
+    };
+    let dir = std::path::Path::new(dir);
+    let mut out = String::new();
+    match opts.path.as_str() {
+        "stats" => {
+            let c = disk_stats(dir);
+            let _ = writeln!(
+                out,
+                "cache dir: {} ({} plan entries)",
+                dir.display(),
+                disk_entry_count(dir)
+            );
+            let _ = writeln!(
+                out,
+                "lifetime: {} hits ({} disk), {} misses, {} inserts, {} evictions, \
+{} poisoned, {} revalidation rejects",
+                c.total_hits(),
+                c.disk_hits,
+                c.misses,
+                c.inserts,
+                c.evictions,
+                c.poisoned,
+                c.revalidation_rejects,
+            );
+        }
+        "clear" => {
+            let removed = clear_disk(dir);
+            let _ = writeln!(out, "cleared {removed} plan entries from {}", dir.display());
+        }
+        other => {
+            return usage(format!(
+                "unknown cache action {other} (stats|clear)\n{USAGE}"
+            ))
+        }
+    }
+    Ok(out)
+}
+
 /// Executes one CLI invocation, returning the stdout text.
 pub fn run_command(opts: &Options) -> Result<String, CliError> {
     match opts.command.as_str() {
         "explain" => return explain_command(opts),
         "trace-check" => return trace_check_command(opts),
+        "list" => return list_command(),
+        "serve" => return serve_command(opts),
+        "cache" => return cache_command(opts),
         _ => {}
     }
     let seq = load(&opts.path)?;
@@ -252,14 +478,24 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
                 message: e.to_string(),
                 code: 1,
             })?;
-            let _ = writeln!(out, "program {}: {} nests, {} arrays", seq.name, seq.len(), seq.arrays.len());
+            let _ = writeln!(
+                out,
+                "program {}: {} nests, {} arrays",
+                seq.name,
+                seq.len(),
+                seq.arrays.len()
+            );
             out.push_str(&describe_deps(&seq, &deps));
         }
         "derive" => {
-            let deps = analyze_sequence(&seq)
-                .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
-            let d = derive_levels(&deps, seq.len(), deps.depth)
-                .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            let deps = analyze_sequence(&seq).map_err(|e| CliError {
+                message: e.to_string(),
+                code: 1,
+            })?;
+            let d = derive_levels(&deps, seq.len(), deps.depth).map_err(|e| CliError {
+                message: e.to_string(),
+                code: 1,
+            })?;
             let _ = write!(out, "{d}");
             for dim in &d.dims {
                 let _ = writeln!(out, "level {}: Nt = {}", dim.level, dim.nt());
@@ -270,15 +506,24 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
             out.push_str(&render_sequence(&dist));
         }
         "fuse" => {
-            let deps = analyze_sequence(&seq)
-                .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
-            let plan = fusion_plan(&seq, &deps, 1, CodegenMethod::StripMined, None)
-                .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            let deps = analyze_sequence(&seq).map_err(|e| CliError {
+                message: e.to_string(),
+                code: 1,
+            })?;
+            let plan =
+                fusion_plan(&seq, &deps, 1, CodegenMethod::StripMined, None).map_err(|e| {
+                    CliError {
+                        message: e.to_string(),
+                        code: 1,
+                    }
+                })?;
             out.push_str(&render_plan(&seq, &plan, opts.strip));
         }
         "run" => {
-            let prog = Program::new(&seq, 1)
-                .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            let prog = Program::new(&seq, 1).map_err(|e| CliError {
+                message: e.to_string(),
+                code: 1,
+            })?;
             // The dynamic runtime cannot legally execute fused plans
             // (peeling assumes static block boundaries), so it runs the
             // unfused blocked plan — the scheduling ablation.
@@ -290,7 +535,9 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
             let mut cfg = if opts.executor == "dynamic" {
                 RunConfig::blocked([opts.procs]).steps(opts.steps)
             } else {
-                RunConfig::fused([opts.procs]).strip(opts.strip).steps(opts.steps)
+                RunConfig::fused([opts.procs])
+                    .strip(opts.strip)
+                    .steps(opts.steps)
             }
             .backend(backend);
             if opts.trace_out.is_some() {
@@ -311,13 +558,17 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
             ref_mem.init_deterministic(&seq, 42);
             for _ in 0..opts.steps {
                 prog.run(&mut ref_mem, &ExecPlan::Serial)
-                    .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+                    .map_err(|e| CliError {
+                        message: e.to_string(),
+                        code: 1,
+                    })?;
             }
             let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
             mem.init_deterministic(&seq, 42);
-            let report = executor
-                .run(&prog, &mut mem, &cfg)
-                .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            let report = executor.run(&prog, &mut mem, &cfg).map_err(|e| CliError {
+                message: e.to_string(),
+                code: 1,
+            })?;
             if mem.snapshot_all(&seq) != ref_mem.snapshot_all(&seq) {
                 return fail("MISMATCH: parallel execution diverged from the serial original");
             }
@@ -346,13 +597,10 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
                 );
             }
             if let Some(path) = &opts.trace_out {
-                let trace = report
-                    .trace
-                    .as_ref()
-                    .ok_or_else(|| CliError {
-                        message: "traced run produced no trace".into(),
-                        code: 1,
-                    })?;
+                let trace = report.trace.as_ref().ok_or_else(|| CliError {
+                    message: "traced run produced no trace".into(),
+                    code: 1,
+                })?;
                 std::fs::write(path, trace.chrome_json()).map_err(|e| CliError {
                     message: format!("cannot write {path}: {e}"),
                     code: 1,
@@ -366,8 +614,9 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
                 );
             }
             if let Some(path) = &opts.metrics_out {
-                std::fs::write(path, report.metrics().to_prometheus()).map_err(|e| {
-                    CliError { message: format!("cannot write {path}: {e}"), code: 1 }
+                std::fs::write(path, report.metrics().to_prometheus()).map_err(|e| CliError {
+                    message: format!("cannot write {path}: {e}"),
+                    code: 1,
                 })?;
                 let _ = writeln!(out, "wrote {path}");
             }
@@ -384,13 +633,24 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
                 &machine,
                 &SimPlan::new(ExecPlan::Blocked { grid: vec![1] }, layout),
             )
-            .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            .map_err(|e| CliError {
+                message: e.to_string(),
+                code: 1,
+            })?;
             let unfused = simulate(
                 &seq,
                 &machine,
-                &SimPlan::new(ExecPlan::Blocked { grid: vec![opts.procs] }, layout),
+                &SimPlan::new(
+                    ExecPlan::Blocked {
+                        grid: vec![opts.procs],
+                    },
+                    layout,
+                ),
             )
-            .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
+            .map_err(|e| CliError {
+                message: e.to_string(),
+                code: 1,
+            })?;
             let fused = simulate(
                 &seq,
                 &machine,
@@ -403,8 +663,15 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
                     layout,
                 ),
             )
-            .map_err(|e| CliError { message: e.to_string(), code: 1 })?;
-            let _ = writeln!(out, "machine {} @ {} procs (cache-partitioned layout)", machine.name, opts.procs);
+            .map_err(|e| CliError {
+                message: e.to_string(),
+                code: 1,
+            })?;
+            let _ = writeln!(
+                out,
+                "machine {} @ {} procs (cache-partitioned layout)",
+                machine.name, opts.procs
+            );
             let _ = writeln!(
                 out,
                 "unfused: speedup {:.2}, misses {}",

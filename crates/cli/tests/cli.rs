@@ -212,3 +212,108 @@ fn binary_runs_end_to_end() {
         assert!(text.contains("shift 2"), "{text}");
     });
 }
+
+#[test]
+fn list_prints_the_suite() {
+    let out = run(&["list"]).expect("list");
+    for name in [
+        "LL18", "calc", "filter", "tomcatv", "hydro2d", "spem", "jacobi",
+    ] {
+        assert!(out.contains(name), "{name} missing from:\n{out}");
+    }
+    assert!(
+        out.contains("kernel="),
+        "points at the manifest syntax: {out}"
+    );
+}
+
+/// `serve` + `cache` round trip: two runs of the same manifest against
+/// one cache dir — the second run hits (memory via repeat=, disk across
+/// processes), `cache stats` aggregates lifetime counters, and `cache
+/// clear` empties the tier.
+#[test]
+fn serve_and_cache_round_trip() {
+    let dir = std::env::temp_dir().join(format!("spfc-serve-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let manifest = dir.join("jobs.manifest");
+    std::fs::write(
+        &manifest,
+        "# two copies of each job: the second is a memory hit\n\
+         job warm kernel=jacobi grid=2x2 steps=2 repeat=2\n\
+         job cold kernel=ll18 client=alice procs=2 repeat=2\n",
+    )
+    .expect("write manifest");
+    let cache_dir = dir.join("cache");
+    let serve = |tag: &str| {
+        run(&[
+            "serve",
+            "--jobs",
+            manifest.to_str().unwrap(),
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+        ])
+        .unwrap_or_else(|e| panic!("{tag}: {e}"))
+    };
+
+    let first = serve("first run");
+    assert_eq!(first.matches(" miss ").count(), 2, "{first}");
+    assert_eq!(
+        first.matches(" hit ").count(),
+        2,
+        "repeat= jobs hit in memory: {first}"
+    );
+    assert!(first.contains("4 ok, 0 failed"), "{first}");
+
+    // A second process finds the plans on disk.
+    let second = serve("second run");
+    assert_eq!(second.matches(" disk-hit ").count(), 2, "{second}");
+    assert_eq!(second.matches(" miss ").count(), 0, "{second}");
+
+    // Identical digests across runs: cached plans reproduce outputs.
+    let digest_of = |out: &str, job: &str| -> String {
+        out.lines()
+            .find(|l| l.contains(job))
+            .and_then(|l| l.split("digest=").nth(1))
+            .and_then(|r| r.split_whitespace().next())
+            .unwrap_or_else(|| panic!("no digest for {job}"))
+            .to_string()
+    };
+    assert_eq!(digest_of(&first, "warm"), digest_of(&second, "warm"));
+    assert_eq!(digest_of(&first, "cold"), digest_of(&second, "cold"));
+
+    let stats =
+        run(&["cache", "stats", "--cache-dir", cache_dir.to_str().unwrap()]).expect("cache stats");
+    assert!(stats.contains("2 plan entries"), "{stats}");
+    // 2 memory hits (run 1) + 2 memory + 2 disk hits (run 2) = 6 total.
+    assert!(
+        stats.contains("lifetime: 6 hits (2 disk), 2 misses"),
+        "{stats}"
+    );
+
+    let cleared =
+        run(&["cache", "clear", "--cache-dir", cache_dir.to_str().unwrap()]).expect("cache clear");
+    assert!(cleared.contains("cleared 2 plan entries"), "{cleared}");
+    let stats = run(&["cache", "stats", "--cache-dir", cache_dir.to_str().unwrap()])
+        .expect("stats after clear");
+    assert!(stats.contains("0 plan entries"), "{stats}");
+    assert!(stats.contains("lifetime: 0 hits"), "{stats}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_and_cache_report_usage_errors() {
+    let e = run(&["serve"]).unwrap_err();
+    assert_eq!(e.code, 2);
+    assert!(e.message.contains("--jobs"), "{}", e.message);
+    let e = run(&["cache", "stats"]).unwrap_err();
+    assert_eq!(e.code, 2);
+    assert!(e.message.contains("--cache-dir"), "{}", e.message);
+    let e = run(&["cache", "shrink", "--cache-dir", "/tmp"]).unwrap_err();
+    assert_eq!(e.code, 2);
+    assert!(e.message.contains("unknown cache action"), "{}", e.message);
+    let e = run(&["serve", "--jobs", "/nonexistent.manifest"]).unwrap_err();
+    assert_eq!(e.code, 1);
+    assert!(e.message.contains("cannot read"), "{}", e.message);
+}

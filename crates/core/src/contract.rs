@@ -114,8 +114,8 @@ pub fn find_contractable(
                         ok = false;
                         break;
                     };
-                    let span = dist + deriv.dims[0].shifts[d.dst_nest]
-                        - deriv.dims[0].shifts[d.src_nest];
+                    let span =
+                        dist + deriv.dims[0].shifts[d.dst_nest] - deriv.dims[0].shifts[d.src_nest];
                     max_span = max_span.max(span);
                 }
                 // Any anti/output dependence or flow from another nest
@@ -131,11 +131,8 @@ pub fn find_contractable(
         }
         // Coverage: every read's region must lie inside the written
         // region in every dimension (no live-in elements).
-        let producer_bounds: Vec<(i64, i64)> = seq.nests[w]
-            .bounds
-            .iter()
-            .map(|b| (b.lo, b.hi))
-            .collect();
+        let producer_bounds: Vec<(i64, i64)> =
+            seq.nests[w].bounds.iter().map(|b| (b.lo, b.hi)).collect();
         let write_ranges: Vec<Vec<(i64, i64)>> = seq.nests[w]
             .body
             .iter()
@@ -167,12 +164,20 @@ pub fn find_contractable(
         }
         // Intra-nest reads in the producer itself (e.g. accumulation)
         // have span 0 and are covered by the window minimum.
-        let elements_saved = decl
-            .len()
-            .saturating_sub(ContractionCandidate { array: id, max_span, elements_saved: 0 }
-                .window(1)
-                * decl.dims[1..].iter().product::<usize>());
-        out.push(ContractionCandidate { array: id, max_span, elements_saved });
+        let elements_saved = decl.len().saturating_sub(
+            ContractionCandidate {
+                array: id,
+                max_span,
+                elements_saved: 0,
+            }
+            .window(1)
+                * decl.dims[1..].iter().product::<usize>(),
+        );
+        out.push(ContractionCandidate {
+            array: id,
+            max_span,
+            elements_saved,
+        });
     }
     out
 }
@@ -291,5 +296,4 @@ mod tests {
             "array read before its producer must not contract"
         );
     }
-
 }

@@ -95,7 +95,13 @@ impl fmt::Display for Derivation {
         for dim in &self.dims {
             writeln!(f, "level {}:", dim.level)?;
             for k in 0..self.n {
-                writeln!(f, "  L{}: shift {}, peel {}", k + 1, dim.shifts[k], dim.peels[k])?;
+                writeln!(
+                    f,
+                    "  L{}: shift {}, peel {}",
+                    k + 1,
+                    dim.shifts[k],
+                    dim.peels[k]
+                )?;
             }
         }
         Ok(())
@@ -109,7 +115,11 @@ pub enum DeriveError {
     Analysis(String),
     /// A dependence between two nests is not uniform in a fused dimension;
     /// shift-and-peel requires uniform distances (Section 3.3).
-    NonUniform { src: usize, dst: usize, level: usize },
+    NonUniform {
+        src: usize,
+        dst: usize,
+        level: usize,
+    },
     /// The requested number of fused levels is zero or exceeds the
     /// sequence depth.
     BadLevels { levels: usize, depth: usize },
@@ -180,7 +190,11 @@ fn traverse(n: usize, edges: &[DepEdge], shift: bool) -> Vec<i64> {
 /// Returns an error if any dependence is non-uniform in that dimension.
 pub fn derive_dim(g: &DepMultigraph) -> Result<DimDerivation, DeriveError> {
     if let Some(&(src, dst)) = g.nonuniform.first() {
-        return Err(DeriveError::NonUniform { src, dst, level: g.level });
+        return Err(DeriveError::NonUniform {
+            src,
+            dst,
+            level: g.level,
+        });
     }
     let min_edges = g.reduce_min();
     let shifts: Vec<i64> = traverse(g.n, &min_edges, true)
@@ -189,7 +203,11 @@ pub fn derive_dim(g: &DepMultigraph) -> Result<DimDerivation, DeriveError> {
         .collect();
     let max_edges = g.reduce_max();
     let peels = traverse(g.n, &max_edges, false);
-    Ok(DimDerivation { level: g.level, shifts, peels })
+    Ok(DimDerivation {
+        level: g.level,
+        shifts,
+        peels,
+    })
 }
 
 /// [`derive_dim`] with every traversal step recorded into `trace` as
@@ -234,7 +252,11 @@ pub fn derive_dim_traced(
     let peels = traverse_with(g.n, &max_edges, false, |e, c, after, taken| {
         trace.push(event(DerivePass::Peel, e, c, after, taken));
     });
-    let dim = DimDerivation { level: g.level, shifts, peels };
+    let dim = DimDerivation {
+        level: g.level,
+        shifts,
+        peels,
+    };
     trace.push(ExplainEvent::DimDerived {
         level: dim.level,
         start: offset,
@@ -253,7 +275,10 @@ pub fn derive_levels(
     levels: usize,
 ) -> Result<Derivation, DeriveError> {
     if levels < 1 || levels > deps.depth {
-        return Err(DeriveError::BadLevels { levels, depth: deps.depth });
+        return Err(DeriveError::BadLevels {
+            levels,
+            depth: deps.depth,
+        });
     }
     let mut dims = Vec::with_capacity(levels);
     for level in 0..levels {
@@ -268,8 +293,7 @@ pub fn derive_levels(
 /// production callers that fuse fewer dimensions should use
 /// [`derive_levels`].
 pub fn derive_shift_peel(seq: &LoopSequence) -> Result<Derivation, DeriveError> {
-    let deps =
-        sp_dep::analyze_sequence(seq).map_err(|e| DeriveError::Analysis(e.to_string()))?;
+    let deps = sp_dep::analyze_sequence(seq).map_err(|e| DeriveError::Analysis(e.to_string()))?;
     derive_levels(&deps, seq.len(), deps.depth)
 }
 
@@ -345,8 +369,7 @@ mod tests {
         let bb = b.array("b", [n, n]);
         let (lo, hi) = (1, n as i64 - 2);
         b.nest("L1", [(lo, hi), (lo, hi)], |x| {
-            let r = (x.ld(a, [0, -1]) + x.ld(a, [0, 1]) + x.ld(a, [-1, 0]) + x.ld(a, [1, 0]))
-                / 4.0;
+            let r = (x.ld(a, [0, -1]) + x.ld(a, [0, 1]) + x.ld(a, [-1, 0]) + x.ld(a, [1, 0])) / 4.0;
             x.assign(bb, [0, 0], r);
         });
         b.nest("L2", [(lo, hi), (lo, hi)], |x| {
@@ -427,6 +450,13 @@ mod tests {
             x.assign(c, [0], r);
         });
         let err = derive_shift_peel(&b.finish()).unwrap_err();
-        assert!(matches!(err, DeriveError::NonUniform { src: 0, dst: 1, level: 0 }));
+        assert!(matches!(
+            err,
+            DeriveError::NonUniform {
+                src: 0,
+                dst: 1,
+                level: 0
+            }
+        ));
     }
 }

@@ -148,7 +148,9 @@ fn sccs(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
 /// Distributes one nest into maximal single-component nests.
 pub fn distribute_nest(nest: &LoopNest) -> Distribution {
     if nest.body.len() <= 1 {
-        return Distribution { nests: vec![nest.clone()] };
+        return Distribution {
+            nests: vec![nest.clone()],
+        };
     }
     let edges = statement_edges(nest);
     let comps = sccs(nest.body.len(), &edges);
@@ -223,7 +225,11 @@ pub fn distribute_sequence(seq: &LoopSequence) -> LoopSequence {
         .iter()
         .flat_map(|n| distribute_nest(n).nests)
         .collect();
-    LoopSequence::new(format!("{}-distributed", seq.name), seq.arrays.clone(), nests)
+    LoopSequence::new(
+        format!("{}-distributed", seq.name),
+        seq.arrays.clone(),
+        nests,
+    )
 }
 
 #[cfg(test)]
@@ -361,9 +367,14 @@ mod tests {
         // After distribution, the t-statement's nest fuses with L2.
         let dist = distribute_sequence(&seq);
         let deps2 = sp_dep::analyze_sequence(&dist).unwrap();
-        let plan2 =
-            crate::plan::fusion_plan(&dist, &deps2, 1, crate::plan::CodegenMethod::StripMined, None)
-                .unwrap();
+        let plan2 = crate::plan::fusion_plan(
+            &dist,
+            &deps2,
+            1,
+            crate::plan::CodegenMethod::StripMined,
+            None,
+        )
+        .unwrap();
         assert_eq!(plan2.fused_group_count(), 1);
         assert_eq!(plan2.longest_group(), 2);
     }

@@ -33,7 +33,13 @@ pub fn render_plan(seq: &LoopSequence, plan: &FusionPlan, strip: i64) -> String 
             gi + 1,
             seq.nests[group.start].label,
             seq.nests[group.end - 1].label,
-            group.derivation.dims.iter().map(|d| d.nt()).max().unwrap_or(0)
+            group
+                .derivation
+                .dims
+                .iter()
+                .map(|d| d.nt())
+                .max()
+                .unwrap_or(0)
         );
         render_group(seq, group, strip, &mut out);
     }
@@ -51,10 +57,16 @@ fn render_group(seq: &LoopSequence, group: &FusedGroup, strip: i64, out: &mut St
     let body_pad = "  ".repeat(levels);
     for (k, nid) in group.members().enumerate() {
         let nest = &seq.nests[nid];
-        let _ = writeln!(out, "{body_pad}! {} (shift {:?}, peel {:?})",
+        let _ = writeln!(
+            out,
+            "{body_pad}! {} (shift {:?}, peel {:?})",
             nest.label,
-            (0..levels).map(|l| deriv.dims[l].shifts[k]).collect::<Vec<_>>(),
-            (0..levels).map(|l| deriv.dims[l].peels[k]).collect::<Vec<_>>(),
+            (0..levels)
+                .map(|l| deriv.dims[l].shifts[k])
+                .collect::<Vec<_>>(),
+            (0..levels)
+                .map(|l| deriv.dims[l].peels[k])
+                .collect::<Vec<_>>(),
         );
         for l in 0..nest.depth() {
             let pad = "  ".repeat(levels + l);
@@ -98,7 +110,10 @@ fn render_group(seq: &LoopSequence, group: &FusedGroup, strip: i64, out: &mut St
         let _ = writeln!(out, "{pad}end do");
     }
     let _ = writeln!(out, "<BARRIER>");
-    let _ = writeln!(out, "! peeled iterations (executed in parallel across blocks)");
+    let _ = writeln!(
+        out,
+        "! peeled iterations (executed in parallel across blocks)"
+    );
     for (k, nid) in group.members().enumerate() {
         let nest = &seq.nests[nid];
         let mut any = false;

@@ -251,15 +251,25 @@ impl ExplainTrace {
                         if *taken { "taken" } else { "kept" },
                     );
                 }
-                ExplainEvent::DimDerived { level, start, shifts, peels, nt } => {
-                    let names: Vec<&str> =
-                        (*start..*start + shifts.len()).map(lab).collect();
+                ExplainEvent::DimDerived {
+                    level,
+                    start,
+                    shifts,
+                    peels,
+                    nt,
+                } => {
+                    let names: Vec<&str> = (*start..*start + shifts.len()).map(lab).collect();
                     let _ = writeln!(
                         out,
                         "  level {level}: members {names:?} shifts {shifts:?} peels {peels:?} Nt={nt}"
                     );
                 }
-                ExplainEvent::Threshold { level, trip, nt, max_procs } => {
+                ExplainEvent::Threshold {
+                    level,
+                    trip,
+                    nt,
+                    max_procs,
+                } => {
                     let procs = if *max_procs == usize::MAX {
                         "unbounded".to_string()
                     } else {
@@ -295,8 +305,14 @@ pub fn explain_sequence(
     let deps = sp_dep::analyze_sequence(seq)
         .map_err(|e| LegalityError::Derive(DeriveError::Analysis(e.to_string())))?;
     let mut trace = ExplainTrace::new();
-    let plan =
-        fusion_plan_traced(seq, &deps, levels, CodegenMethod::StripMined, None, &mut trace)?;
+    let plan = fusion_plan_traced(
+        seq,
+        &deps,
+        levels,
+        CodegenMethod::StripMined,
+        None,
+        &mut trace,
+    )?;
     Ok((plan, trace))
 }
 
@@ -344,7 +360,10 @@ mod tests {
         assert!(text.contains("shift[0] L1->L2 flow on a d=-1"), "{text}");
         assert!(text.contains("Nt=4"), "{text}");
         assert!(text.contains("threshold (Theorem 1)"), "{text}");
-        assert!(text.contains("group [L1..L3] closed: 3 member(s)"), "{text}");
+        assert!(
+            text.contains("group [L1..L3] closed: 3 member(s)"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -376,7 +395,10 @@ mod tests {
             ]
         );
         let text = trace.render(&seq);
-        assert!(text.contains("- L2 rejected: serial in fused level 0"), "{text}");
+        assert!(
+            text.contains("- L2 rejected: serial in fused level 0"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -398,7 +420,14 @@ mod tests {
         let seq = b.finish();
         let (_, trace) = explain_sequence(&seq, 1).unwrap();
         let rejects: Vec<_> = trace.rejections().collect();
-        assert_eq!(rejects, vec![&JoinBlocker::NonUniform { src: 0, dst: 1, level: 0 }]);
+        assert_eq!(
+            rejects,
+            vec![&JoinBlocker::NonUniform {
+                src: 0,
+                dst: 1,
+                level: 0
+            }]
+        );
     }
 
     #[test]

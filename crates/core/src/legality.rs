@@ -25,17 +25,28 @@ pub enum LegalityError {
     /// A processor block has fewer iterations than the iteration count
     /// threshold `Nt` in some fused level (Theorem 1's
     /// `floor((u - l + 1)/P) >= Nt` condition).
-    BlockTooSmall { level: usize, block_iters: i64, nt: i64 },
+    BlockTooSmall {
+        level: usize,
+        block_iters: i64,
+        nt: i64,
+    },
     /// The requested number of fused levels is zero or exceeds the
     /// sequence depth.
     BadLevels { levels: usize, depth: usize },
     /// A processor grid's dimensionality does not match the fused range.
-    GridMismatch { global_dims: usize, grid_dims: usize },
+    GridMismatch {
+        global_dims: usize,
+        grid_dims: usize,
+    },
     /// A processor grid dimension has zero processors.
     EmptyGrid { level: usize },
     /// More processors than iterations along a fused level: some block
     /// would be empty.
-    TooManyProcs { level: usize, procs: usize, trip: i64 },
+    TooManyProcs {
+        level: usize,
+        procs: usize,
+        trip: i64,
+    },
     /// A fused group covers no nests, so it has no iteration range.
     EmptyGroup,
 }
@@ -47,7 +58,11 @@ impl fmt::Display for LegalityError {
             LegalityError::SerialNest { nest, level } => {
                 write!(f, "nest {nest} is serial in fused level {level}")
             }
-            LegalityError::BlockTooSmall { level, block_iters, nt } => write!(
+            LegalityError::BlockTooSmall {
+                level,
+                block_iters,
+                nt,
+            } => write!(
                 f,
                 "block has {block_iters} iterations in level {level}, below threshold Nt={nt}"
             ),
@@ -55,7 +70,10 @@ impl fmt::Display for LegalityError {
                 f,
                 "cannot fuse {levels} levels of a sequence with depth {depth} (need 1..=depth)"
             ),
-            LegalityError::GridMismatch { global_dims, grid_dims } => write!(
+            LegalityError::GridMismatch {
+                global_dims,
+                grid_dims,
+            } => write!(
                 f,
                 "processor grid has {grid_dims} dimensions but the fused range has {global_dims}"
             ),
@@ -129,6 +147,90 @@ pub fn max_procs(trip_count: i64, nt: i64) -> usize {
     }
 }
 
+/// One Theorem-1 obligation of a fusion plan: fused group `group` needs
+/// every processor block to span at least `nt` iterations in `level`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NtRequirement {
+    /// Index of the fused group in `plan.groups`.
+    pub group: usize,
+    /// Fused dimension the threshold applies to.
+    pub level: usize,
+    /// The iteration-count threshold `Nt` for that dimension.
+    pub nt: i64,
+}
+
+/// Collects the Theorem-1 thresholds of every *multi-member* group of
+/// `plan`. Singleton groups carry no shift/peel and impose no threshold.
+pub fn plan_nt_requirements(plan: &crate::plan::FusionPlan) -> Vec<NtRequirement> {
+    let mut reqs = Vec::new();
+    for (g, group) in plan.groups.iter().enumerate() {
+        if group.len() <= 1 {
+            continue;
+        }
+        for dim in &group.derivation.dims {
+            reqs.push(NtRequirement {
+                group: g,
+                level: dim.level,
+                nt: dim.nt(),
+            });
+        }
+    }
+    reqs
+}
+
+/// Re-checks that a (possibly cached) `plan` for `seq` is legal on the
+/// processor grid `grid` — Theorem 1's block-size condition per fused
+/// group and dimension, using the *smallest* block `decompose` would
+/// produce (`floor(trip / p)`).
+///
+/// This is the cache's revalidation rule: a content-addressed cache keys
+/// plans by processor *count*, not grid *shape*, so a plan derived and
+/// proven legal for a `[1, 4]` grid may be illegal on `[4, 1]` even
+/// though both use 4 processors. Callers must revalidate on every lookup
+/// before reusing a cached plan. Plans with no multi-member groups pass
+/// for any non-empty grid of matching dimensionality.
+pub fn revalidate_plan(
+    seq: &LoopSequence,
+    plan: &crate::plan::FusionPlan,
+    grid: &[usize],
+) -> Result<(), LegalityError> {
+    for group in plan.groups.iter().filter(|g| g.len() > 1) {
+        let members: Vec<usize> = group.members().collect();
+        let range = crate::schedule::global_fused_range(seq, &members, plan.levels)?;
+        if grid.len() != range.len() {
+            return Err(LegalityError::GridMismatch {
+                global_dims: range.len(),
+                grid_dims: grid.len(),
+            });
+        }
+        for dim in &group.derivation.dims {
+            let p = grid[dim.level];
+            if p == 0 {
+                return Err(LegalityError::EmptyGrid { level: dim.level });
+            }
+            let (lo, hi) = range[dim.level];
+            let trip = hi - lo + 1;
+            if trip < p as i64 {
+                return Err(LegalityError::TooManyProcs {
+                    level: dim.level,
+                    procs: p,
+                    trip,
+                });
+            }
+            let min_block = trip / p as i64;
+            let nt = dim.nt();
+            if min_block < nt {
+                return Err(LegalityError::BlockTooSmall {
+                    level: dim.level,
+                    block_iters: min_block,
+                    nt,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +301,41 @@ mod tests {
         assert_eq!(max_procs(510, 2), 255);
         assert_eq!(max_procs(510, 0), usize::MAX);
         assert_eq!(max_procs(3, 5), 1);
+    }
+
+    #[test]
+    fn revalidation_applies_theorem_1_per_grid() {
+        use crate::plan::{fusion_plan, singleton_plan, CodegenMethod};
+        // swap_seq(64): fused range [1, 63] (trip 63), Nt = 2, so the
+        // smallest block floor(trip/p) >= 2 bounds p.
+        let seq = swap_seq(64);
+        let deps = sp_dep::analyze_sequence(&seq).unwrap();
+        let plan = fusion_plan(&seq, &deps, 1, CodegenMethod::StripMined, None).unwrap();
+        let reqs = plan_nt_requirements(&plan);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].nt, 2);
+        assert!(revalidate_plan(&seq, &plan, &[4]).is_ok());
+        // p=31 leaves a smallest block of floor(63/31) = 2 = Nt; p=32
+        // leaves floor(63/32) = 1 < Nt.
+        assert!(revalidate_plan(&seq, &plan, &[31]).is_ok());
+        assert!(matches!(
+            revalidate_plan(&seq, &plan, &[32]),
+            Err(LegalityError::BlockTooSmall { nt: 2, .. })
+        ));
+        assert_eq!(
+            revalidate_plan(&seq, &plan, &[0]),
+            Err(LegalityError::EmptyGrid { level: 0 })
+        );
+        assert_eq!(
+            revalidate_plan(&seq, &plan, &[4, 4]),
+            Err(LegalityError::GridMismatch {
+                global_dims: 1,
+                grid_dims: 2
+            })
+        );
+        // Unfused singleton plans impose no threshold at all.
+        let unfused = singleton_plan(&seq, &deps, 1).unwrap();
+        assert!(plan_nt_requirements(&unfused).is_empty());
+        assert!(revalidate_plan(&seq, &unfused, &[64]).is_ok());
     }
 }

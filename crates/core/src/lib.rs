@@ -44,10 +44,13 @@ pub use derive::{
 pub use distribute::{distribute_nest, distribute_sequence, Distribution};
 pub use emit::render_plan;
 pub use explain::{explain_sequence, DerivePass, ExplainEvent, ExplainTrace, JoinBlocker};
-pub use legality::{check_blocks, check_sequence, max_procs, LegalityError};
+pub use legality::{
+    check_blocks, check_sequence, max_procs, plan_nt_requirements, revalidate_plan, LegalityError,
+    NtRequirement,
+};
 pub use plan::{
     fusion_plan, fusion_plan_traced, join_blocker, singleton_plan, CodegenMethod, FusedGroup,
-    FusionPlan, LoweringFootprint,
+    FusionPlan, LoweringFootprint, PlanConfig,
 };
 pub use profit::ProfitabilityModel;
 pub use schedule::{decompose, global_fused_range, nest_regions, NestRegions, ProcBlock};

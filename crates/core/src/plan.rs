@@ -81,12 +81,20 @@ impl FusionPlan {
 
     /// Largest shift over all groups and dimensions (Table 1).
     pub fn max_shift(&self) -> i64 {
-        self.groups.iter().map(|g| g.derivation.max_shift()).max().unwrap_or(0)
+        self.groups
+            .iter()
+            .map(|g| g.derivation.max_shift())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Largest peel over all groups and dimensions (Table 1).
     pub fn max_peel(&self) -> i64 {
-        self.groups.iter().map(|g| g.derivation.max_peel()).max().unwrap_or(0)
+        self.groups
+            .iter()
+            .map(|g| g.derivation.max_peel())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Size metadata a tape-lowering backend needs to preallocate when
@@ -125,7 +133,12 @@ pub struct LoweringFootprint {
 impl LoweringFootprint {
     /// Measures `seq`.
     pub fn of_sequence(seq: &LoopSequence) -> LoweringFootprint {
-        let mut f = LoweringFootprint { nests: seq.len(), stmts: 0, max_depth: 0, max_rhs_nodes: 0 };
+        let mut f = LoweringFootprint {
+            nests: seq.len(),
+            stmts: 0,
+            max_depth: 0,
+            max_rhs_nodes: 0,
+        };
         for nest in &seq.nests {
             f.stmts += nest.body.len();
             f.max_depth = f.max_depth.max(nest.depth());
@@ -189,7 +202,11 @@ pub fn join_blocker(
                 .take(levels)
                 .position(|x| x.is_none())
                 .unwrap_or(0);
-            return Some(JoinBlocker::NonUniform { src: d.src_nest, dst: k, level });
+            return Some(JoinBlocker::NonUniform {
+                src: d.src_nest,
+                dst: k,
+                level,
+            });
         }
     }
     None
@@ -235,7 +252,10 @@ fn plan_impl(
     mut trace: Option<&mut ExplainTrace>,
 ) -> Result<FusionPlan, LegalityError> {
     if levels < 1 || levels > deps.depth {
-        return Err(LegalityError::BadLevels { levels, depth: deps.depth });
+        return Err(LegalityError::BadLevels {
+            levels,
+            depth: deps.depth,
+        });
     }
     let n = seq.len();
     let mut groups = Vec::new();
@@ -299,10 +319,88 @@ fn plan_impl(
             }
             t.push(ExplainEvent::GroupClosed { start, end });
         }
-        groups.push(FusedGroup { start, end, derivation });
+        groups.push(FusedGroup {
+            start,
+            end,
+            derivation,
+        });
         start = end;
     }
-    Ok(FusionPlan { levels, groups, method })
+    Ok(FusionPlan {
+        levels,
+        groups,
+        method,
+    })
+}
+
+/// Everything that determines *which* [`FusionPlan`] a sequence gets —
+/// the planner inputs, separated from the execution-time knobs (grid
+/// shape, strip size) that do not change the derived artifact.
+///
+/// This is the planning half of a content-addressed cache key: two runs
+/// with equal sequences and equal `PlanConfig`s derive identical plans,
+/// so the plan (and any tape lowered from it) can be reused. The strip
+/// size is deliberately *not* part of the config — strip-mining happens
+/// at execution time and never alters shifts, peels, or grouping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PlanConfig {
+    /// Number of fused loop levels.
+    pub levels: usize,
+    /// Fuse greedily (`fusion_plan`) or keep every nest a singleton
+    /// (`singleton_plan`, the unfused baseline).
+    pub fuse: bool,
+    /// Code generation method for fused groups.
+    pub method: CodegenMethod,
+}
+
+impl PlanConfig {
+    /// A fused plan over `levels` dimensions with the default method.
+    pub fn fused(levels: usize) -> Self {
+        PlanConfig {
+            levels,
+            fuse: true,
+            method: CodegenMethod::default(),
+        }
+    }
+
+    /// The unfused singleton baseline over `levels` dimensions.
+    pub fn unfused(levels: usize) -> Self {
+        PlanConfig {
+            levels,
+            fuse: false,
+            method: CodegenMethod::default(),
+        }
+    }
+
+    /// Replaces the codegen method.
+    pub fn method(mut self, method: CodegenMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// A stable, human-readable rendering for content hashing. Every
+    /// field is spelled out so that adding a field later forces a
+    /// deliberate decision about cache-key compatibility.
+    pub fn canonical(&self) -> String {
+        let method = match self.method {
+            CodegenMethod::StripMined => "strip-mined",
+            CodegenMethod::Direct => "direct",
+        };
+        format!("levels={} fuse={} method={method}", self.levels, self.fuse)
+    }
+
+    /// Derives the plan this config describes for `seq`.
+    pub fn plan(
+        &self,
+        seq: &LoopSequence,
+        deps: &SequenceDeps,
+    ) -> Result<FusionPlan, LegalityError> {
+        if self.fuse {
+            fusion_plan(seq, deps, self.levels, self.method, None)
+        } else {
+            singleton_plan(seq, deps, self.levels)
+        }
+    }
 }
 
 /// A plan with every nest in its own group — the *unfused* original
@@ -314,7 +412,10 @@ pub fn singleton_plan(
     levels: usize,
 ) -> Result<FusionPlan, LegalityError> {
     if levels < 1 || levels > deps.depth {
-        return Err(LegalityError::BadLevels { levels, depth: deps.depth });
+        return Err(LegalityError::BadLevels {
+            levels,
+            depth: deps.depth,
+        });
     }
     let groups = (0..seq.len())
         .map(|k| FusedGroup {
@@ -332,7 +433,11 @@ pub fn singleton_plan(
             },
         })
         .collect();
-    Ok(FusionPlan { levels, groups, method: CodegenMethod::StripMined })
+    Ok(FusionPlan {
+        levels,
+        groups,
+        method: CodegenMethod::StripMined,
+    })
 }
 
 #[cfg(test)]
@@ -371,7 +476,15 @@ mod tests {
         // Lowering metadata: 3 single-statement nests of depth 1; the
         // widest RHS is `ld + ld` (3 nodes).
         let f = plan.lowering_footprint(&seq);
-        assert_eq!(f, LoweringFootprint { nests: 3, stmts: 3, max_depth: 1, max_rhs_nodes: 3 });
+        assert_eq!(
+            f,
+            LoweringFootprint {
+                nests: 3,
+                stmts: 3,
+                max_depth: 1,
+                max_rhs_nodes: 3
+            }
+        );
     }
 
     #[test]
@@ -425,6 +538,51 @@ mod tests {
         let plan = fusion_plan(&seq, &deps, 1, CodegenMethod::StripMined, None).unwrap();
         let sizes: Vec<usize> = plan.groups.iter().map(|g| g.len()).collect();
         assert_eq!(sizes, vec![1, 1]);
+    }
+
+    #[test]
+    fn plan_config_selects_planner_and_renders_stably() {
+        let n = 64usize;
+        let mut b = SeqBuilder::new("cfg");
+        let a = b.array("a", [n]);
+        let c = b.array("c", [n]);
+        let d = b.array("d", [n]);
+        let (lo, hi) = (1, n as i64 - 2);
+        b.nest("L1", [(lo, hi)], |x| {
+            let r = x.ld(a, [0]);
+            x.assign(c, [0], r);
+        });
+        b.nest("L2", [(lo, hi)], |x| {
+            let r = x.ld(c, [1]);
+            x.assign(d, [0], r);
+        });
+        let seq = b.finish();
+        let deps = sp_dep::analyze_sequence(&seq).unwrap();
+        let fused = PlanConfig::fused(1).plan(&seq, &deps).unwrap();
+        assert_eq!(fused.fused_group_count(), 1);
+        let unfused = PlanConfig::unfused(1).plan(&seq, &deps).unwrap();
+        assert_eq!(unfused.fused_group_count(), 0);
+        assert_eq!(unfused, singleton_plan(&seq, &deps, 1).unwrap());
+        // The canonical text distinguishes every field: it is the
+        // planning half of a cache key.
+        assert_eq!(
+            PlanConfig::fused(1).canonical(),
+            "levels=1 fuse=true method=strip-mined"
+        );
+        assert_ne!(
+            PlanConfig::fused(1).canonical(),
+            PlanConfig::unfused(1).canonical()
+        );
+        assert_ne!(
+            PlanConfig::fused(1).canonical(),
+            PlanConfig::fused(2).canonical()
+        );
+        assert_ne!(
+            PlanConfig::fused(1).canonical(),
+            PlanConfig::fused(1)
+                .method(CodegenMethod::Direct)
+                .canonical()
+        );
     }
 
     #[test]

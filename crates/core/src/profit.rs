@@ -122,8 +122,7 @@ impl ProfitabilityModel {
         // Gain: lines the fused group avoids re-fetching, if and only if
         // the unfused program would actually be missing them.
         let gain = if self.data_per_processor(seq, start, end) > self.cache_bytes {
-            reuse.lines_saved(start, end, self.elem_bytes, line_bytes) as i64
-                * miss_penalty as i64
+            reuse.lines_saved(start, end, self.elem_bytes, line_bytes) as i64 * miss_penalty as i64
         } else {
             0
         };
@@ -177,7 +176,10 @@ mod tests {
         let small_cache = ProfitabilityModel::new(64 << 10, 1);
         assert!(small_cache.should_fuse(&seq, 0, 2));
         // With 16 processors, 24 KB per processor fits a 64 KB cache.
-        let many_procs = ProfitabilityModel { processors: 16, ..small_cache };
+        let many_procs = ProfitabilityModel {
+            processors: 16,
+            ..small_cache
+        };
         assert!(!many_procs.should_fuse(&seq, 0, 2));
     }
 
@@ -232,6 +234,9 @@ mod reuse_tests {
         let deriv = derive_shift_peel(&seq).unwrap();
         let m = ProfitabilityModel::new(1 << 20, 8);
         let gain = m.reuse_gain_cycles(&seq, &reuse, &deriv, 0, 2, 50, 64);
-        assert!(gain < 0, "gain {gain}: only overhead remains when data fits");
+        assert!(
+            gain < 0,
+            "gain {gain}: only overhead remains when data fits"
+        );
     }
 }

@@ -41,10 +41,7 @@ pub struct ProcBlock {
 /// `global` gives the inclusive fused range per fused level; `grid` the
 /// number of processors along each fused level. Block sizes differ by at
 /// most one iteration (the remainder is spread over the leading blocks).
-pub fn decompose(
-    global: &[(i64, i64)],
-    grid: &[usize],
-) -> Result<Vec<ProcBlock>, LegalityError> {
+pub fn decompose(global: &[(i64, i64)], grid: &[usize]) -> Result<Vec<ProcBlock>, LegalityError> {
     if global.len() != grid.len() {
         return Err(LegalityError::GridMismatch {
             global_dims: global.len(),
@@ -61,7 +58,11 @@ pub fn decompose(
         let g = grid[l] as i64;
         let trip = hi - lo + 1;
         if trip < g {
-            return Err(LegalityError::TooManyProcs { level: l, procs: grid[l], trip });
+            return Err(LegalityError::TooManyProcs {
+                level: l,
+                procs: grid[l],
+                trip,
+            });
         }
         let base = trip / g;
         let rem = trip % g;
@@ -94,7 +95,12 @@ pub fn decompose(
             low.push(lo_b);
             high.push(hi_b);
         }
-        blocks.push(ProcBlock { proc: p, range, low_boundary: low, high_boundary: high });
+        blocks.push(ProcBlock {
+            proc: p,
+            range,
+            low_boundary: low,
+            high_boundary: high,
+        });
     }
     Ok(blocks)
 }
@@ -111,8 +117,16 @@ pub fn global_fused_range(
     }
     Ok((0..levels)
         .map(|l| {
-            let lo = nests.iter().map(|&k| seq.nests[k].bounds[l].lo).min().unwrap();
-            let hi = nests.iter().map(|&k| seq.nests[k].bounds[l].hi).max().unwrap();
+            let lo = nests
+                .iter()
+                .map(|&k| seq.nests[k].bounds[l].lo)
+                .min()
+                .unwrap();
+            let hi = nests
+                .iter()
+                .map(|&k| seq.nests[k].bounds[l].hi)
+                .max()
+                .unwrap();
             (lo, hi)
         })
         .collect())
@@ -147,9 +161,17 @@ pub fn nest_regions(
         if l < fused_levels {
             let (shift, peel) = deriv.amounts(l, k);
             let (bs, be) = block.range[l];
-            let lo = if block.low_boundary[l] { nlo.max(bs) } else { nlo.max(bs + peel) };
+            let lo = if block.low_boundary[l] {
+                nlo.max(bs)
+            } else {
+                nlo.max(bs + peel)
+            };
             let fhi = nhi.min(be - shift);
-            let ohi = if block.high_boundary[l] { nhi.min(be) } else { nhi.min(be + peel) };
+            let ohi = if block.high_boundary[l] {
+                nhi.min(be)
+            } else {
+                nhi.min(be + peel)
+            };
             fused_b.push((lo, fhi));
             own_b.push((lo, ohi));
         } else {
@@ -205,7 +227,10 @@ mod tests {
         assert!(!blocks[0].high_boundary[0]);
         assert!(blocks[6].high_boundary[0]);
         // Balanced: sizes differ by at most 1.
-        let sizes: Vec<i64> = blocks.iter().map(|b| b.range[0].1 - b.range[0].0 + 1).collect();
+        let sizes: Vec<i64> = blocks
+            .iter()
+            .map(|b| b.range[0].1 - b.range[0].0 + 1)
+            .collect();
         assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
     }
 
@@ -254,7 +279,11 @@ mod tests {
                 );
             }
             let extra: usize = count.values().sum();
-            assert_eq!(extra, nest.trip_count(), "nest {k} executed extra iterations");
+            assert_eq!(
+                extra,
+                nest.trip_count(),
+                "nest {k} executed extra iterations"
+            );
         }
     }
 
@@ -274,8 +303,7 @@ mod tests {
         let bb = b.array("b", [n, n]);
         let (lo, hi) = (1, n as i64 - 2);
         b.nest("L1", [(lo, hi), (lo, hi)], |x| {
-            let r = (x.ld(a, [0, -1]) + x.ld(a, [0, 1]) + x.ld(a, [-1, 0]) + x.ld(a, [1, 0]))
-                / 4.0;
+            let r = (x.ld(a, [0, -1]) + x.ld(a, [0, 1]) + x.ld(a, [-1, 0]) + x.ld(a, [1, 0])) / 4.0;
             x.assign(bb, [0, 0], r);
         });
         b.nest("L2", [(lo, hi), (lo, hi)], |x| {

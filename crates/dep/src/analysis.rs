@@ -169,7 +169,10 @@ impl fmt::Display for AnalysisError {
         match self {
             AnalysisError::Invalid(m) => write!(f, "invalid sequence: {m}"),
             AnalysisError::MixedDepth { depths } => {
-                write!(f, "nests have mixed depths {depths:?}; a common depth is required")
+                write!(
+                    f,
+                    "nests have mixed depths {depths:?}; a common depth is required"
+                )
             }
         }
     }
@@ -201,10 +204,16 @@ pub fn analyze_sequence(seq: &LoopSequence) -> Result<SequenceDeps, AnalysisErro
     let nests = seq
         .nests
         .iter()
-        .map(|n| NestInfo { parallel: parallel_levels(n) })
+        .map(|n| NestInfo {
+            parallel: parallel_levels(n),
+        })
         .collect();
 
-    Ok(SequenceDeps { depth, inter, nests })
+    Ok(SequenceDeps {
+        depth,
+        inter,
+        nests,
+    })
 }
 
 /// Gathers `(reference, is_write)` pairs of a nest grouped by array.
@@ -303,10 +312,7 @@ mod tests {
     #[test]
     fn fig3_has_forward_and_backward_flow_deps() {
         let deps = analyze_sequence(&fig3()).unwrap();
-        let dists: Vec<i64> = deps
-            .between(0, 1)
-            .map(|d| d.dist[0].unwrap())
-            .collect();
+        let dists: Vec<i64> = deps.between(0, 1).map(|d| d.dist[0].unwrap()).collect();
         // a[i] -> a[i+1] read at i-1: distance -1 (backward);
         // a[i] -> a[i-1] read at i+1: distance +1 (forward).
         assert!(dists.contains(&-1), "missing backward dep: {dists:?}");

@@ -63,8 +63,14 @@ mod tests {
         let seq = b.finish();
         let deps = analyze_sequence(&seq).unwrap();
         let text = describe_deps(&seq, &deps);
-        assert!(text.contains("L1 -> L2: flow on alpha, distance (+1)"), "{text}");
-        assert!(text.contains("L1 -> L2: anti on beta, distance (+0)"), "{text}");
+        assert!(
+            text.contains("L1 -> L2: flow on alpha, distance (+1)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("L1 -> L2: anti on beta, distance (+0)"),
+            "{text}"
+        );
         assert!(text.contains("L1: i0:doall"), "{text}");
     }
 }

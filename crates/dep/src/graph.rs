@@ -69,7 +69,12 @@ impl DepMultigraph {
                 }
             }
         }
-        DepMultigraph { n, level, edges, nonuniform }
+        DepMultigraph {
+            n,
+            level,
+            edges,
+            nonuniform,
+        }
     }
 
     /// Builds the multigraph of dimension `level` restricted to the nest
@@ -92,7 +97,12 @@ impl DepMultigraph {
                 nonuniform.push((s - start, d - start));
             }
         }
-        DepMultigraph { n: end - start, level, edges, nonuniform }
+        DepMultigraph {
+            n: end - start,
+            level,
+            edges,
+            nonuniform,
+        }
     }
 
     /// True when every dependence is uniform in this dimension.

@@ -33,12 +33,7 @@ fn gcd(mut a: i64, mut b: i64) -> i64 {
 /// different) nests. Each array dimension contributes one constraint
 /// `h1·x - h2·y = c2 - c1` over the two iteration spaces; if any dimension
 /// is proven unsatisfiable, the pair is independent.
-pub fn test_pair(
-    r1: &ArrayRef,
-    nest1: &LoopNest,
-    r2: &ArrayRef,
-    nest2: &LoopNest,
-) -> IndepResult {
+pub fn test_pair(r1: &ArrayRef, nest1: &LoopNest, r2: &ArrayRef, nest2: &LoopNest) -> IndepResult {
     debug_assert_eq!(r1.array, r2.array);
     if r1.subs.len() != r2.subs.len() {
         // Malformed input; be conservative.
@@ -95,29 +90,44 @@ mod tests {
     fn gcd_proves_independence() {
         // a[2i] vs a[2i+1]: parity differs.
         let n = nest(0, 100);
-        assert_eq!(test_pair(&r(2, 0), &n, &r(2, 1), &n), IndepResult::Independent);
+        assert_eq!(
+            test_pair(&r(2, 0), &n, &r(2, 1), &n),
+            IndepResult::Independent
+        );
     }
 
     #[test]
     fn gcd_passes_when_divisible() {
         // a[2i] vs a[2i+4]: same parity, overlapping ranges.
         let n = nest(0, 100);
-        assert_eq!(test_pair(&r(2, 0), &n, &r(2, 4), &n), IndepResult::MaybeDependent);
+        assert_eq!(
+            test_pair(&r(2, 0), &n, &r(2, 4), &n),
+            IndepResult::MaybeDependent
+        );
     }
 
     #[test]
     fn banerjee_disjoint_ranges() {
         // a[i] over [0,10] vs a[i] over [50,60] via offsets: a[i] vs a[i+100].
         let n = nest(0, 10);
-        assert_eq!(test_pair(&r(1, 0), &n, &r(1, 100), &n), IndepResult::Independent);
+        assert_eq!(
+            test_pair(&r(1, 0), &n, &r(1, 100), &n),
+            IndepResult::Independent
+        );
     }
 
     #[test]
     fn constant_subscripts() {
         // a[3] vs a[5]: independent; a[3] vs a[3]: maybe.
         let n = nest(0, 10);
-        assert_eq!(test_pair(&r(0, 3), &n, &r(0, 5), &n), IndepResult::Independent);
-        assert_eq!(test_pair(&r(0, 3), &n, &r(0, 3), &n), IndepResult::MaybeDependent);
+        assert_eq!(
+            test_pair(&r(0, 3), &n, &r(0, 5), &n),
+            IndepResult::Independent
+        );
+        assert_eq!(
+            test_pair(&r(0, 3), &n, &r(0, 3), &n),
+            IndepResult::MaybeDependent
+        );
     }
 
     #[test]
@@ -125,6 +135,9 @@ mod tests {
         // a[i] vs a[3j]: ranges overlap, gcd 1 -> maybe dependent.
         let n1 = nest(0, 30);
         let n2 = nest(0, 10);
-        assert_eq!(test_pair(&r(1, 0), &n1, &r(3, 0), &n2), IndepResult::MaybeDependent);
+        assert_eq!(
+            test_pair(&r(1, 0), &n1, &r(3, 0), &n2),
+            IndepResult::MaybeDependent
+        );
     }
 }

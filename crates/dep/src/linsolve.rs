@@ -97,8 +97,8 @@ pub fn solve(rows: &[Vec<i64>], b: &[i64]) -> LinSolution {
         let Some(pr) = pivot_of_col[col] else {
             continue; // free variable: varies across solutions
         };
-        let depends_on_free = (0..ncols)
-            .any(|c| c != col && pivot_of_col[c].is_none() && !m[pr][c].is_zero());
+        let depends_on_free =
+            (0..ncols).any(|c| c != col && pivot_of_col[c].is_none() && !m[pr][c].is_zero());
         if depends_on_free {
             continue;
         }
@@ -121,7 +121,12 @@ mod tests {
     fn unique_solution() {
         // x = 3, y = -2
         let sol = solve(&[vec![1, 0], vec![0, 1]], &[3, -2]);
-        assert_eq!(sol, LinSolution::Solvable { fixed: vec![Some(3), Some(-2)] });
+        assert_eq!(
+            sol,
+            LinSolution::Solvable {
+                fixed: vec![Some(3), Some(-2)]
+            }
+        );
     }
 
     #[test]
@@ -135,14 +140,24 @@ mod tests {
     fn underdetermined_all_free() {
         // x + y = 4: neither coordinate fixed.
         let sol = solve(&[vec![1, 1]], &[4]);
-        assert_eq!(sol, LinSolution::Solvable { fixed: vec![None, None] });
+        assert_eq!(
+            sol,
+            LinSolution::Solvable {
+                fixed: vec![None, None]
+            }
+        );
     }
 
     #[test]
     fn partially_fixed() {
         // x = 2, y + z = 1: x fixed, y and z free.
         let sol = solve(&[vec![1, 0, 0], vec![0, 1, 1]], &[2, 1]);
-        assert_eq!(sol, LinSolution::Solvable { fixed: vec![Some(2), None, None] });
+        assert_eq!(
+            sol,
+            LinSolution::Solvable {
+                fixed: vec![Some(2), None, None]
+            }
+        );
     }
 
     #[test]
@@ -156,13 +171,21 @@ mod tests {
     fn redundant_rows_ok() {
         // x - y = 1 stated twice, plus x + y = 3 -> x=2, y=1.
         let sol = solve(&[vec![1, -1], vec![1, -1], vec![1, 1]], &[1, 1, 3]);
-        assert_eq!(sol, LinSolution::Solvable { fixed: vec![Some(2), Some(1)] });
+        assert_eq!(
+            sol,
+            LinSolution::Solvable {
+                fixed: vec![Some(2), Some(1)]
+            }
+        );
     }
 
     #[test]
     fn no_columns() {
         // 0 = 0 is consistent; 0 = 1 is not.
-        assert_eq!(solve(&[vec![]], &[0]), LinSolution::Solvable { fixed: vec![] });
+        assert_eq!(
+            solve(&[vec![]], &[0]),
+            LinSolution::Solvable { fixed: vec![] }
+        );
         assert_eq!(solve(&[vec![]], &[1]), LinSolution::Inconsistent);
     }
 
@@ -171,6 +194,11 @@ mod tests {
         // 2x + 4y = 6 and x + 2y = 3 are the same constraint: x depends on
         // free y, so nothing is fixed.
         let sol = solve(&[vec![2, 4], vec![1, 2]], &[6, 3]);
-        assert_eq!(sol, LinSolution::Solvable { fixed: vec![None, None] });
+        assert_eq!(
+            sol,
+            LinSolution::Solvable {
+                fixed: vec![None, None]
+            }
+        );
     }
 }

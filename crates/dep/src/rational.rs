@@ -39,12 +39,18 @@ impl Rational {
         assert!(den != 0, "zero denominator");
         let g = gcd(num, den).max(1);
         let sign = if den < 0 { -1 } else { 1 };
-        Rational { num: sign * num / g, den: sign * den / g }
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
     }
 
     /// An integer as a rational.
     pub fn from_int(v: i64) -> Self {
-        Rational { num: v as i128, den: 1 }
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
     }
 
     /// True when the value is zero.
@@ -108,7 +114,10 @@ impl Div for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

@@ -56,7 +56,13 @@ impl ReuseSummary {
     /// Cache lines the fused window would avoid re-fetching, assuming the
     /// unfused program misses once per line per nest re-visit and the
     /// fused program hits.
-    pub fn lines_saved(&self, start: usize, end: usize, elem_bytes: usize, line_bytes: usize) -> u64 {
+    pub fn lines_saved(
+        &self,
+        start: usize,
+        end: usize,
+        elem_bytes: usize,
+        line_bytes: usize,
+    ) -> u64 {
         (self.window_elements(start, end) * elem_bytes / line_bytes.max(1)) as u64
     }
 }
@@ -110,7 +116,9 @@ pub fn analyze_reuse(seq: &LoopSequence) -> ReuseSummary {
     for a in 0..n {
         for b in (a + 1)..n {
             for (arr, (ba, bb)) in boxes[a].iter().zip(&boxes[b]).enumerate() {
-                let (Some(ba), Some(bb)) = (ba, bb) else { continue };
+                let (Some(ba), Some(bb)) = (ba, bb) else {
+                    continue;
+                };
                 let elements: usize = ba
                     .iter()
                     .zip(bb)
@@ -154,7 +162,11 @@ mod tests {
             c.assign(y, [0], r);
         });
         b.nest("L2", [(1, n as i64 - 2)], |c| {
-            let r = if share { c.ld(y, [0]) + c.ld(x, [0]) } else { c.ld(w, [0]) };
+            let r = if share {
+                c.ld(y, [0]) + c.ld(x, [0])
+            } else {
+                c.ld(w, [0])
+            };
             c.assign(z, [0], r);
         });
         b.finish()

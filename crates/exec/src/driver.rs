@@ -36,7 +36,10 @@ use std::time::Instant;
 fn for_each_tile(block: &ProcBlock, fused_levels: usize, s: i64, mut f: impl FnMut(&[(i64, i64)])) {
     debug_assert!(s >= 1);
     let mut tile: Vec<(i64, i64)> = Vec::with_capacity(fused_levels);
-    let mut cursor: Vec<i64> = block.range[..fused_levels].iter().map(|&(lo, _)| lo).collect();
+    let mut cursor: Vec<i64> = block.range[..fused_levels]
+        .iter()
+        .map(|&(lo, _)| lo)
+        .collect();
     'outer: loop {
         tile.clear();
         for (l, &c) in cursor.iter().enumerate() {
@@ -128,8 +131,7 @@ pub unsafe fn run_fused_phase<S: AccessSink>(
                         }
                     }
                     if inside {
-                        let mut bounds: Vec<(i64, i64)> =
-                            shifted.iter().map(|&v| (v, v)).collect();
+                        let mut bounds: Vec<(i64, i64)> = shifted.iter().map(|&v| (v, v)).collect();
                         bounds.extend_from_slice(&f.bounds[fused_levels..]);
                         let region = IterSpace::new(bounds);
                         // SAFETY: forwarded from caller.
@@ -174,7 +176,10 @@ pub(crate) enum GroupWork {
     Serial { nest: usize },
     /// A (possibly singleton) parallel group with its blocks; processors
     /// beyond `blocks.len()` idle through the phase.
-    Parallel { blocks: Vec<ProcBlock>, has_peel: bool },
+    Parallel {
+        blocks: Vec<ProcBlock>,
+        has_peel: bool,
+    },
 }
 
 /// Builds the work list for a plan on a processor grid, performing all
@@ -296,7 +301,15 @@ pub(crate) unsafe fn worker_pass<B: PhaseSync, S: AccessSink>(
                     // conflict (Theorem 1; checked by `build_work`).
                     unsafe {
                         run_fused_phase(
-                            seq, group, block, strip, plan.method, engine, view, sink, counters,
+                            seq,
+                            group,
+                            block,
+                            strip,
+                            plan.method,
+                            engine,
+                            view,
+                            sink,
+                            counters,
                         )
                     };
                     let dur = t0.elapsed().as_nanos() as u64;
@@ -368,16 +381,26 @@ pub(crate) fn scoped_pass(
                 let mut sink = NullSink;
                 let mut counters = ExecCounters::default();
                 let mut sense = false;
-                let mut tracer =
-                    trace.map(|(cfg, epoch, _)| WorkerTracer::new(cfg, epoch));
+                let mut tracer = trace.map(|(cfg, epoch, _)| WorkerTracer::new(cfg, epoch));
                 let step = trace.map_or(0, |(_, _, s)| s);
                 let job_t0 = Instant::now();
                 // SAFETY: every thread runs the same work list through
                 // the same barrier; phases never conflict (Theorem 1).
                 unsafe {
                     worker_pass(
-                        seq, plan, work, strip, p, engine, view, barrier, &mut sense, &mut sink,
-                        &mut counters, step, &mut tracer,
+                        seq,
+                        plan,
+                        work,
+                        strip,
+                        p,
+                        engine,
+                        view,
+                        barrier,
+                        &mut sense,
+                        &mut sink,
+                        &mut counters,
+                        step,
+                        &mut tracer,
                     )
                 };
                 if let Some(t) = &mut tracer {
@@ -419,20 +442,20 @@ pub(crate) fn sim_pass<S: AccessSink>(
 ) -> Result<Vec<ExecCounters>, ExecError> {
     let nprocs: usize = grid.iter().product();
     if sinks.len() != nprocs {
-        return Err(ExecError::SinkCount { expected: nprocs, got: sinks.len() });
+        return Err(ExecError::SinkCount {
+            expected: nprocs,
+            got: sinks.len(),
+        });
     }
     let work = build_work(seq, deps, plan, grid)?;
     let mut counters = vec![ExecCounters::default(); nprocs];
     let view = MemView::new(mem);
-    let record = |tracers: &mut Option<Vec<WorkerTracer>>,
-                      p: usize,
-                      kind: SpanKind,
-                      t0: Instant,
-                      g: u32| {
-        if let Some(ts) = tracers {
-            ts[p].record_until_now(kind, t0, step, g);
-        }
-    };
+    let record =
+        |tracers: &mut Option<Vec<WorkerTracer>>, p: usize, kind: SpanKind, t0: Instant, g: u32| {
+            if let Some(ts) = tracers {
+                ts[p].record_until_now(kind, t0, step, g);
+            }
+        };
     for (gi, w) in work.iter().enumerate() {
         let g = gi as u32;
         match w {

@@ -48,10 +48,14 @@ pub(crate) fn dynamic_pass(
     trace: PassTrace,
 ) -> Result<Vec<(ExecCounters, Option<WorkerTrace>)>, ExecError> {
     if nthreads < 1 {
-        return Err(ExecError::Config("dynamic execution needs >= 1 thread".into()));
+        return Err(ExecError::Config(
+            "dynamic execution needs >= 1 thread".into(),
+        ));
     }
     if chunk < 1 {
-        return Err(ExecError::Config(format!("chunk must be >= 1, got {chunk}")));
+        return Err(ExecError::Config(format!(
+            "chunk must be >= 1, got {chunk}"
+        )));
     }
     let view = MemView::new(mem);
     let barrier = Barrier::new(nthreads);
@@ -65,8 +69,7 @@ pub(crate) fn dynamic_pass(
             handles.push(scope.spawn(move || {
                 let mut counters = ExecCounters::default();
                 let mut sink = NullSink;
-                let mut tracer =
-                    trace.map(|(cfg, epoch, _)| WorkerTracer::new(cfg, epoch));
+                let mut tracer = trace.map(|(cfg, epoch, _)| WorkerTracer::new(cfg, epoch));
                 let job_t0 = Instant::now();
                 for step in 0..steps {
                     let step = step as u32;
@@ -96,9 +99,7 @@ pub(crate) fn dynamic_pass(
                                 }
                                 let end = (start + chunk - 1).min(nest.bounds[0].hi);
                                 let mut bounds = vec![(start, end)];
-                                bounds.extend(
-                                    nest.bounds[1..].iter().map(|b| (b.lo, b.hi)),
-                                );
+                                bounds.extend(nest.bounds[1..].iter().map(|b| (b.lo, b.hi)));
                                 let region = IterSpace::new(bounds);
                                 // SAFETY: the nest is doall in its outer
                                 // level, so claimed chunks never
@@ -106,7 +107,12 @@ pub(crate) fn dynamic_pass(
                                 // across nests.
                                 unsafe {
                                     engine.exec_region(
-                                        seq, &view, k, &region, &mut sink, &mut counters,
+                                        seq,
+                                        &view,
+                                        k,
+                                        &region,
+                                        &mut sink,
+                                        &mut counters,
                                     )
                                 };
                             }
@@ -199,9 +205,17 @@ mod tests {
             for chunk in [1i64, 5, 100] {
                 let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
                 mem.init_deterministic(&seq, 4);
-                let counters =
-                    dynamic_pass(&seq, &deps, threads, chunk, 1, Engine::Interp, &mut mem, None)
-                        .unwrap();
+                let counters = dynamic_pass(
+                    &seq,
+                    &deps,
+                    threads,
+                    chunk,
+                    1,
+                    Engine::Interp,
+                    &mut mem,
+                    None,
+                )
+                .unwrap();
                 assert_eq!(mem.snapshot_all(&seq), want, "t={threads} chunk={chunk}");
                 let total: u64 = counters.iter().map(|(c, _)| c.total_iters()).sum();
                 assert_eq!(total, 3 * 46 * 46);
@@ -216,7 +230,8 @@ mod tests {
         let prog = Program::new(&seq, 1).unwrap();
         let mut m1 = Memory::new(&seq, LayoutStrategy::Contiguous);
         m1.init_deterministic(&seq, 8);
-        prog.run(&mut m1, &ExecPlan::Blocked { grid: vec![4] }).unwrap();
+        prog.run(&mut m1, &ExecPlan::Blocked { grid: vec![4] })
+            .unwrap();
         let mut m2 = Memory::new(&seq, LayoutStrategy::Contiguous);
         m2.init_deterministic(&seq, 8);
         dynamic_pass(&seq, &deps, 4, 3, 1, Engine::Interp, &mut m2, None).unwrap();

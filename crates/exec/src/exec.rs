@@ -45,9 +45,7 @@ impl ExecPlan {
     pub fn procs(&self) -> usize {
         match self {
             ExecPlan::Serial => 1,
-            ExecPlan::Blocked { grid } | ExecPlan::Fused { grid, .. } => {
-                grid.iter().product()
-            }
+            ExecPlan::Blocked { grid } | ExecPlan::Fused { grid, .. } => grid.iter().product(),
         }
     }
 
@@ -109,7 +107,10 @@ impl std::fmt::Display for ExecError {
             ExecError::Legality(e) => write!(f, "{e}"),
             ExecError::Config(m) => write!(f, "invalid run configuration: {m}"),
             ExecError::SinkCount { expected, got } => {
-                write!(f, "plan needs {expected} sinks (one per processor), got {got}")
+                write!(
+                    f,
+                    "plan needs {expected} sinks (one per processor), got {got}"
+                )
             }
             ExecError::Unsupported { executor, reason } => {
                 write!(f, "executor `{executor}` cannot run this plan: {reason}")
@@ -163,6 +164,25 @@ impl<'a> Program<'a> {
         Ok(Program { seq, deps, levels })
     }
 
+    /// Binds `seq` to an analysis computed elsewhere (e.g. served from
+    /// an artifact cache), skipping re-analysis. The caller is
+    /// responsible for `deps` actually describing `seq` — a
+    /// content-addressed cache guarantees this by keying on the
+    /// sequence's canonical text.
+    pub fn from_analysis(
+        seq: &'a LoopSequence,
+        deps: SequenceDeps,
+        levels: usize,
+    ) -> Result<Self, ExecError> {
+        if levels < 1 || levels > deps.depth {
+            return Err(ExecError::Legality(LegalityError::BadLevels {
+                levels,
+                depth: deps.depth,
+            }));
+        }
+        Ok(Program { seq, deps, levels })
+    }
+
     /// The underlying sequence.
     pub fn seq(&self) -> &'a LoopSequence {
         self.seq
@@ -185,9 +205,13 @@ impl<'a> Program<'a> {
             ExecPlan::Serial | ExecPlan::Blocked { .. } => {
                 Ok(singleton_plan(self.seq, &self.deps, self.levels)?)
             }
-            ExecPlan::Fused { method, .. } => {
-                Ok(fusion_plan(self.seq, &self.deps, self.levels, *method, None)?)
-            }
+            ExecPlan::Fused { method, .. } => Ok(fusion_plan(
+                self.seq,
+                &self.deps,
+                self.levels,
+                *method,
+                None,
+            )?),
         }
     }
 
@@ -209,21 +233,44 @@ impl<'a> Program<'a> {
         match plan {
             ExecPlan::Serial => {
                 if sinks.len() != 1 {
-                    return Err(ExecError::SinkCount { expected: 1, got: sinks.len() });
+                    return Err(ExecError::SinkCount {
+                        expected: 1,
+                        got: sinks.len(),
+                    });
                 }
                 Ok(vec![run_original(self.seq, mem, &mut sinks[0])])
             }
             ExecPlan::Blocked { grid } => {
                 let fp = singleton_plan(self.seq, &self.deps, self.levels)?;
                 sim_pass(
-                    self.seq, &self.deps, &fp, grid, i64::MAX, Engine::Interp, mem, sinks, 0,
+                    self.seq,
+                    &self.deps,
+                    &fp,
+                    grid,
+                    i64::MAX,
+                    Engine::Interp,
+                    mem,
+                    sinks,
+                    0,
                     &mut None,
                 )
             }
-            ExecPlan::Fused { grid, method: _, strip } => {
+            ExecPlan::Fused {
+                grid,
+                method: _,
+                strip,
+            } => {
                 let fp = self.fusion_plan_for(plan)?;
                 sim_pass(
-                    self.seq, &self.deps, &fp, grid, *strip, Engine::Interp, mem, sinks, 0,
+                    self.seq,
+                    &self.deps,
+                    &fp,
+                    grid,
+                    *strip,
+                    Engine::Interp,
+                    mem,
+                    sinks,
+                    0,
                     &mut None,
                 )
             }
@@ -281,7 +328,11 @@ mod tests {
         let seq = fig9(128);
         let want = reference(&seq);
         for p in [1usize, 2, 5, 8] {
-            assert_eq!(run_plan(&seq, &ExecPlan::Blocked { grid: vec![p] }), want, "P={p}");
+            assert_eq!(
+                run_plan(&seq, &ExecPlan::Blocked { grid: vec![p] }),
+                want,
+                "P={p}"
+            );
         }
     }
 
@@ -306,7 +357,11 @@ mod tests {
         let seq = fig9(128);
         let want = reference(&seq);
         for p in [1usize, 3, 8] {
-            let plan = ExecPlan::Fused { grid: vec![p], method: CodegenMethod::Direct, strip: 1 };
+            let plan = ExecPlan::Fused {
+                grid: vec![p],
+                method: CodegenMethod::Direct,
+                strip: 1,
+            };
             assert_eq!(run_plan(&seq, &plan), want, "P={p}");
         }
     }
@@ -330,7 +385,9 @@ mod tests {
         let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
         mem.init_deterministic(&seq, 42);
         let prog = Program::new(&seq, 1).unwrap();
-        ScopedExecutor.run(&prog, &mut mem, &RunConfig::blocked([4])).unwrap();
+        ScopedExecutor
+            .run(&prog, &mut mem, &RunConfig::blocked([4]))
+            .unwrap();
         assert_eq!(mem.snapshot_all(&seq), want);
     }
 
@@ -342,7 +399,9 @@ mod tests {
         mem.init_deterministic(&seq, 42);
         let prog = Program::new(&seq, 1).unwrap();
         let mut pooled = PooledExecutor::new(4);
-        let report = pooled.run(&prog, &mut mem, &RunConfig::fused([4]).strip(8)).unwrap();
+        let report = pooled
+            .run(&prog, &mut mem, &RunConfig::fused([4]).strip(8))
+            .unwrap();
         assert_eq!(mem.snapshot_all(&seq), want);
         assert_eq!(report.workers.len(), 4);
         assert_eq!(report.total_iters(), 3 * 254);
@@ -354,7 +413,11 @@ mod tests {
         let prog = Program::new(&seq, 1).unwrap();
         let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
         mem.init_deterministic(&seq, 1);
-        let plan = ExecPlan::Fused { grid: vec![4], method: CodegenMethod::StripMined, strip: 8 };
+        let plan = ExecPlan::Fused {
+            grid: vec![4],
+            method: CodegenMethod::StripMined,
+            strip: 8,
+        };
         let counters = prog.run(&mut mem, &plan).unwrap();
         let total: u64 = counters.iter().map(|c| c.total_iters()).sum();
         // All iterations of all three nests execute exactly once.
@@ -374,8 +437,7 @@ mod tests {
         let bb = b.array("b", [n, n]);
         let (lo, hi) = (1, n as i64 - 2);
         b.nest("L1", [(lo, hi), (lo, hi)], |x| {
-            let r = (x.ld(a, [0, -1]) + x.ld(a, [0, 1]) + x.ld(a, [-1, 0]) + x.ld(a, [1, 0]))
-                / 4.0;
+            let r = (x.ld(a, [0, -1]) + x.ld(a, [0, 1]) + x.ld(a, [-1, 0]) + x.ld(a, [1, 0])) / 4.0;
             x.assign(bb, [0, 0], r);
         });
         b.nest("L2", [(lo, hi), (lo, hi)], |x| {
@@ -392,7 +454,11 @@ mod tests {
             for method in [CodegenMethod::StripMined, CodegenMethod::Direct] {
                 let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
                 mem.init_deterministic(&seq, 9);
-                let plan = ExecPlan::Fused { grid: grid.clone(), method, strip: 4 };
+                let plan = ExecPlan::Fused {
+                    grid: grid.clone(),
+                    method,
+                    strip: 4,
+                };
                 prog2.run(&mut mem, &plan).unwrap();
                 assert_eq!(mem.snapshot_all(&seq), want, "grid {grid:?} {method:?}");
             }
@@ -404,11 +470,17 @@ mod tests {
         let seq = fig9(32);
         assert!(matches!(
             Program::new(&seq, 0),
-            Err(ExecError::Legality(LegalityError::BadLevels { levels: 0, depth: 1 }))
+            Err(ExecError::Legality(LegalityError::BadLevels {
+                levels: 0,
+                depth: 1
+            }))
         ));
         assert!(matches!(
             Program::new(&seq, 3),
-            Err(ExecError::Legality(LegalityError::BadLevels { levels: 3, depth: 1 }))
+            Err(ExecError::Legality(LegalityError::BadLevels {
+                levels: 3,
+                depth: 1
+            }))
         ));
     }
 
@@ -422,6 +494,12 @@ mod tests {
         let err = prog
             .run_with_sinks(&mut mem, &ExecPlan::Blocked { grid: vec![4] }, &mut sinks)
             .unwrap_err();
-        assert_eq!(err, ExecError::SinkCount { expected: 4, got: 3 });
+        assert_eq!(
+            err,
+            ExecError::SinkCount {
+                expected: 4,
+                got: 3
+            }
+        );
     }
 }

@@ -29,11 +29,11 @@ use crate::pool::{SenseBarrier, WorkerPool};
 use crate::report::{RunReport, WorkerReport};
 use crate::sink::{CacheSink, NullSink};
 use crate::tape::{Engine, ProgramTape};
-use shift_peel_core::CodegenMethod;
+use shift_peel_core::{CodegenMethod, FusionPlan};
 use sp_cache::{Cache, CacheConfig};
 use sp_trace::tracer::NO_INDEX;
 use sp_trace::{RunTrace, SpanKind, TraceConfig, WorkerTrace, WorkerTracer, CONTROLLER_LANE};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Which execution backend runs loop bodies.
@@ -88,6 +88,13 @@ pub struct RunConfig {
     sink: SinkChoice,
     backend: Backend,
     trace: Option<TraceConfig>,
+    // Cache-injection points (sp-serve): a plan derived elsewhere and a
+    // tape lowered elsewhere. `tape_cached` marks the tape as served
+    // from an artifact cache, which zeroes the report's `lower_nanos`
+    // and sets its `cached` flag.
+    fusion: Option<Arc<FusionPlan>>,
+    tape: Option<Arc<ProgramTape>>,
+    tape_cached: bool,
 }
 
 impl RunConfig {
@@ -121,6 +128,9 @@ impl RunConfig {
             sink: SinkChoice::Null,
             backend: Backend::default(),
             trace: None,
+            fusion: None,
+            tape: None,
+            tape_cached: false,
         }
     }
 
@@ -171,6 +181,38 @@ impl RunConfig {
         self.trace(TraceConfig::default())
     }
 
+    /// Injects a fusion plan derived elsewhere (e.g. served from an
+    /// artifact cache), skipping in-run derivation. The plan must match
+    /// the program: executors reject plans that do not cover the
+    /// sequence or fuse a different number of levels. Callers reusing a
+    /// cached plan on a new processor grid must revalidate Theorem 1
+    /// first (`shift_peel_core::revalidate_plan`).
+    pub fn prederived(mut self, plan: Arc<FusionPlan>) -> Self {
+        self.fusion = Some(plan);
+        self
+    }
+
+    /// Injects a freshly lowered tape and selects the compiled backend.
+    /// The report charges the tape's own lowering time to `lower_nanos`
+    /// (the work happened, just outside the run) and leaves `cached`
+    /// false.
+    pub fn with_tape(mut self, tape: Arc<ProgramTape>) -> Self {
+        self.backend = Backend::Compiled;
+        self.tape = Some(tape);
+        self.tape_cached = false;
+        self
+    }
+
+    /// Injects a cache-served tape and selects the compiled backend. The
+    /// report shows `lower_nanos == 0` and `cached == true`: no lowering
+    /// happened anywhere for this run.
+    pub fn precompiled(mut self, tape: Arc<ProgramTape>) -> Self {
+        self.backend = Backend::Compiled;
+        self.tape = Some(tape);
+        self.tape_cached = true;
+        self
+    }
+
     /// The plan to execute.
     pub fn plan(&self) -> &ExecPlan {
         &self.plan
@@ -196,17 +238,36 @@ impl RunConfig {
         self.trace
     }
 
+    /// The injected fusion plan, if one was supplied.
+    pub fn prederived_plan(&self) -> Option<&Arc<FusionPlan>> {
+        self.fusion.as_ref()
+    }
+
+    /// The injected tape, if one was supplied (fresh or cached).
+    pub fn injected_tape(&self) -> Option<&Arc<ProgramTape>> {
+        self.tape.as_ref()
+    }
+
+    /// True when the injected tape was served from an artifact cache.
+    pub fn tape_cached(&self) -> bool {
+        self.tape_cached
+    }
+
     fn validate(&self) -> Result<(), ExecError> {
         if self.steps == 0 {
             return Err(ExecError::Config("steps must be >= 1".into()));
         }
         if let ExecPlan::Fused { strip, .. } = &self.plan {
             if *strip < 1 {
-                return Err(ExecError::Config(format!("strip must be >= 1, got {strip}")));
+                return Err(ExecError::Config(format!(
+                    "strip must be >= 1, got {strip}"
+                )));
             }
         }
         if self.plan.procs() == 0 {
-            return Err(ExecError::Config("processor grid has a zero dimension".into()));
+            return Err(ExecError::Config(
+                "processor grid has a zero dimension".into(),
+            ));
         }
         Ok(())
     }
@@ -259,12 +320,17 @@ impl RunTracing {
             // Orchestration records a handful of spans; a small ring
             // suffices.
             let controller = WorkerTracer::new(TraceConfig::with_capacity(64), epoch);
-            RunTracing { cfg: tc, epoch, controller }
+            RunTracing {
+                cfg: tc,
+                epoch,
+                controller,
+            }
         })
     }
 
     fn record_lower(&mut self, started: Instant) {
-        self.controller.record_until_now(SpanKind::Lower, started, NO_INDEX, NO_INDEX);
+        self.controller
+            .record_until_now(SpanKind::Lower, started, NO_INDEX, NO_INDEX);
     }
 
     fn finish(self, mut lanes: Vec<WorkerTrace>) -> RunTrace {
@@ -298,29 +364,69 @@ fn serial_steps(
         }
     }
     (
-        vec![WorkerReport { proc: 0, counters, cache: None }],
+        vec![WorkerReport {
+            proc: 0,
+            counters,
+            cache: None,
+        }],
         tracer.map(|t| t.finish(0)).into_iter().collect(),
     )
 }
 
+/// The fusion plan for this run: the injected prederived plan when one
+/// was supplied (after a shape sanity check — a cache can never make an
+/// executor run a plan for a different program), otherwise derived from
+/// the program as before.
+fn plan_of(prog: &Program<'_>, cfg: &RunConfig) -> Result<Arc<FusionPlan>, ExecError> {
+    if let Some(fp) = cfg.prederived_plan() {
+        let covered = fp.groups.last().map(|g| g.end).unwrap_or(0);
+        if covered != prog.seq().len() {
+            return Err(ExecError::Config(format!(
+                "prederived plan covers {covered} nests but the program has {}",
+                prog.seq().len()
+            )));
+        }
+        if fp.levels != prog.levels() {
+            return Err(ExecError::Config(format!(
+                "prederived plan fuses {} levels but the program was built for {}",
+                fp.levels,
+                prog.levels()
+            )));
+        }
+        return Ok(Arc::clone(fp));
+    }
+    Ok(Arc::new(prog.fusion_plan_for(cfg.plan())?))
+}
+
 /// Lowers the program to a micro-op tape when the config asks for the
-/// compiled backend (`None` means interpret).
+/// compiled backend (`None` means interpret). An injected tape is used
+/// as-is — its lowering happened elsewhere, so no `Lower` span is
+/// recorded here; fresh lowering is timed into the controller lane.
 fn lower_tape(
     prog: &Program<'_>,
     mem: &Memory,
     cfg: &RunConfig,
-) -> Result<Option<ProgramTape>, ExecError> {
+    tracing: &mut Option<RunTracing>,
+) -> Result<Option<Arc<ProgramTape>>, ExecError> {
     match cfg.backend_choice() {
         Backend::Interp => Ok(None),
         Backend::Compiled => {
-            let fp = prog.fusion_plan_for(cfg.plan())?;
+            if let Some(t) = cfg.injected_tape() {
+                return Ok(Some(Arc::clone(t)));
+            }
+            let t0 = Instant::now();
+            let fp = plan_of(prog, cfg)?;
             let footprint = fp.lowering_footprint(prog.seq());
-            Ok(Some(ProgramTape::lower_with(prog.seq(), &mem.layout, &footprint)))
+            let tape = Arc::new(ProgramTape::lower_with(prog.seq(), &mem.layout, &footprint));
+            if let Some(tr) = tracing {
+                tr.record_lower(t0);
+            }
+            Ok(Some(tape))
         }
     }
 }
 
-fn engine_of(tape: &Option<ProgramTape>) -> Engine<'_> {
+fn engine_of(tape: &Option<Arc<ProgramTape>>) -> Engine<'_> {
     match tape {
         Some(t) => Engine::Compiled(t),
         None => Engine::Interp,
@@ -331,7 +437,7 @@ fn finish_report(
     name: &str,
     cfg: &RunConfig,
     wall_nanos: u64,
-    tape: &Option<ProgramTape>,
+    tape: &Option<Arc<ProgramTape>>,
     workers: Vec<WorkerReport>,
     trace: Option<RunTrace>,
 ) -> RunReport {
@@ -341,8 +447,15 @@ fn finish_report(
         procs: cfg.plan().procs(),
         steps: cfg.step_count(),
         wall_nanos,
-        lower_nanos: tape.as_ref().map_or(0, |t| t.lower_nanos()),
+        // A cache-served tape was not lowered for this run; a fresh tape
+        // (injected or not) reports the lowering time it recorded.
+        lower_nanos: if cfg.tape_cached() {
+            0
+        } else {
+            tape.as_ref().map_or(0, |t| t.lower_nanos())
+        },
         tape_ops: tape.as_ref().map_or(0, |t| t.total_ops()),
+        cached: cfg.tape_cached(),
         workers,
         trace,
     }
@@ -368,13 +481,7 @@ impl Executor for ScopedExecutor {
         cfg.validate()?;
         cfg.reject_cache_sink(self.name())?;
         let mut tracing = RunTracing::start(cfg);
-        let lower_t0 = Instant::now();
-        let tape = lower_tape(prog, mem, cfg)?;
-        if tape.is_some() {
-            if let Some(tr) = &mut tracing {
-                tr.record_lower(lower_t0);
-            }
-        }
+        let tape = lower_tape(prog, mem, cfg, &mut tracing)?;
         let engine = engine_of(&tape);
         let t0 = Instant::now();
         let mut lanes: Vec<WorkerTrace> = Vec::new();
@@ -386,7 +493,7 @@ impl Executor for ScopedExecutor {
                 workers
             }
             plan => {
-                let fp = prog.fusion_plan_for(plan)?;
+                let fp = plan_of(prog, cfg)?;
                 let grid = plan.grid();
                 let strip = match plan {
                     ExecPlan::Fused { strip, .. } => *strip,
@@ -415,7 +522,11 @@ impl Executor for ScopedExecutor {
                 totals
                     .into_iter()
                     .enumerate()
-                    .map(|(p, counters)| WorkerReport { proc: p, counters, cache: None })
+                    .map(|(p, counters)| WorkerReport {
+                        proc: p,
+                        counters,
+                        cache: None,
+                    })
                     .collect()
             }
         };
@@ -437,7 +548,9 @@ impl PooledExecutor {
     /// A pool with `size` persistent workers. Plans may use up to `size`
     /// processors; extra workers idle through runs that need fewer.
     pub fn new(size: usize) -> Self {
-        PooledExecutor { pool: WorkerPool::new(size) }
+        PooledExecutor {
+            pool: WorkerPool::new(size),
+        }
     }
 
     /// Number of pooled workers.
@@ -460,13 +573,7 @@ impl Executor for PooledExecutor {
         cfg.validate()?;
         cfg.reject_cache_sink(self.name())?;
         let mut tracing = RunTracing::start(cfg);
-        let lower_t0 = Instant::now();
-        let tape = lower_tape(prog, mem, cfg)?;
-        if tape.is_some() {
-            if let Some(tr) = &mut tracing {
-                tr.record_lower(lower_t0);
-            }
-        }
+        let tape = lower_tape(prog, mem, cfg, &mut tracing)?;
         let engine = engine_of(&tape);
         let t0 = Instant::now();
         let mut lanes: Vec<WorkerTrace> = Vec::new();
@@ -487,7 +594,7 @@ impl Executor for PooledExecutor {
                         required: nprocs,
                     });
                 }
-                let fp = prog.fusion_plan_for(plan)?;
+                let fp = plan_of(prog, cfg)?;
                 let strip = match plan {
                     ExecPlan::Fused { strip, .. } => *strip,
                     _ => i64::MAX,
@@ -513,8 +620,7 @@ impl Executor for PooledExecutor {
                     let mut sink = NullSink;
                     let mut counters = ExecCounters::default();
                     let mut sense = false;
-                    let mut tracer =
-                        worker_trace.map(|(tc, epoch)| WorkerTracer::new(tc, epoch));
+                    let mut tracer = worker_trace.map(|(tc, epoch)| WorkerTracer::new(tc, epoch));
                     let job_t0 = Instant::now();
                     for step in 0..steps {
                         // SAFETY: the `nprocs` participating workers run
@@ -553,7 +659,11 @@ impl Executor for PooledExecutor {
                     .map(|(p, s)| {
                         let (counters, lane) = s.into_inner().unwrap();
                         lanes.extend(lane);
-                        WorkerReport { proc: p, counters, cache: None }
+                        WorkerReport {
+                            proc: p,
+                            counters,
+                            cache: None,
+                        }
                     })
                     .collect()
             }
@@ -600,7 +710,10 @@ impl Executor for DynamicExecutor {
         cfg.validate()?;
         cfg.reject_cache_sink(self.name())?;
         if self.chunk < 1 {
-            return Err(ExecError::Config(format!("chunk must be >= 1, got {}", self.chunk)));
+            return Err(ExecError::Config(format!(
+                "chunk must be >= 1, got {}",
+                self.chunk
+            )));
         }
         let nthreads = match cfg.plan() {
             ExecPlan::Blocked { .. } => cfg.plan().procs(),
@@ -613,13 +726,7 @@ impl Executor for DynamicExecutor {
             ExecPlan::Fused { .. } => return Err(ExecError::DynamicFusedPlan),
         };
         let mut tracing = RunTracing::start(cfg);
-        let lower_t0 = Instant::now();
-        let tape = lower_tape(prog, mem, cfg)?;
-        if tape.is_some() {
-            if let Some(tr) = &mut tracing {
-                tr.record_lower(lower_t0);
-            }
-        }
+        let tape = lower_tape(prog, mem, cfg, &mut tracing)?;
         let engine = engine_of(&tape);
         let t0 = Instant::now();
         let results = dynamic_pass(
@@ -638,7 +745,11 @@ impl Executor for DynamicExecutor {
             .enumerate()
             .map(|(p, (counters, lane))| {
                 lanes.extend(lane);
-                WorkerReport { proc: p, counters, cache: None }
+                WorkerReport {
+                    proc: p,
+                    counters,
+                    cache: None,
+                }
             })
             .collect();
         let wall = t0.elapsed().as_nanos() as u64;
@@ -668,25 +779,23 @@ impl Executor for SimExecutor {
         cfg.validate()?;
         let nprocs = cfg.plan().procs();
         let mut tracing = RunTracing::start(cfg);
-        let lower_t0 = Instant::now();
-        let tape = lower_tape(prog, mem, cfg)?;
-        if tape.is_some() {
-            if let Some(tr) = &mut tracing {
-                tr.record_lower(lower_t0);
-            }
-        }
+        let tape = lower_tape(prog, mem, cfg, &mut tracing)?;
         let engine = engine_of(&tape);
         let t0 = Instant::now();
         let ((totals, lanes), caches) = match cfg.sink_choice() {
             SinkChoice::Null => {
                 let mut sinks = vec![NullSink; nprocs];
-                (run_sim_steps(prog, mem, cfg, engine, &mut sinks, &tracing)?, None)
+                (
+                    run_sim_steps(prog, mem, cfg, engine, &mut sinks, &tracing)?,
+                    None,
+                )
             }
             SinkChoice::Cache(cache_cfg) => {
                 // Cache state persists across timesteps, as it would on
                 // hardware.
-                let mut sinks: Vec<CacheSink> =
-                    (0..nprocs).map(|_| CacheSink::new(Cache::new(cache_cfg))).collect();
+                let mut sinks: Vec<CacheSink> = (0..nprocs)
+                    .map(|_| CacheSink::new(Cache::new(cache_cfg)))
+                    .collect();
                 let totals = run_sim_steps(prog, mem, cfg, engine, &mut sinks, &tracing)?;
                 let stats = sinks.iter().map(|s| s.stats()).collect::<Vec<_>>();
                 (totals, Some(stats))
@@ -717,14 +826,25 @@ fn run_sim_steps<S: crate::sink::AccessSink>(
 ) -> Result<(Vec<ExecCounters>, Vec<WorkerTrace>), ExecError> {
     let nprocs = cfg.plan().procs();
     let mut totals = vec![ExecCounters::default(); nprocs];
-    let mut tracers: Option<Vec<WorkerTracer>> = tracing
-        .as_ref()
-        .map(|t| (0..nprocs).map(|_| WorkerTracer::new(t.cfg, t.epoch)).collect());
+    let mut tracers: Option<Vec<WorkerTracer>> = tracing.as_ref().map(|t| {
+        (0..nprocs)
+            .map(|_| WorkerTracer::new(t.cfg, t.epoch))
+            .collect()
+    });
+    // One plan serves every timestep: derive (or accept the injected
+    // prederived plan) once, outside the loop.
+    let fp = match cfg.plan() {
+        ExecPlan::Serial => None,
+        _ => Some(plan_of(prog, cfg)?),
+    };
     for step in 0..cfg.step_count() {
         let counters = match cfg.plan() {
             ExecPlan::Serial => {
                 if sinks.len() != 1 {
-                    return Err(ExecError::SinkCount { expected: 1, got: sinks.len() });
+                    return Err(ExecError::SinkCount {
+                        expected: 1,
+                        got: sinks.len(),
+                    });
                 }
                 let t0 = Instant::now();
                 let c = engine.run_original(prog.seq(), mem, &mut sinks[0]);
@@ -734,7 +854,6 @@ fn run_sim_steps<S: crate::sink::AccessSink>(
                 vec![c]
             }
             plan => {
-                let fp = prog.fusion_plan_for(plan)?;
                 let strip = match plan {
                     ExecPlan::Fused { strip, .. } => *strip,
                     _ => i64::MAX,
@@ -742,7 +861,7 @@ fn run_sim_steps<S: crate::sink::AccessSink>(
                 sim_pass(
                     prog.seq(),
                     prog.deps(),
-                    &fp,
+                    fp.as_ref().expect("non-serial plan derived above"),
                     plan.grid(),
                     strip,
                     engine,
@@ -758,7 +877,12 @@ fn run_sim_steps<S: crate::sink::AccessSink>(
         }
     }
     let lanes = tracers
-        .map(|ts| ts.into_iter().enumerate().map(|(p, t)| t.finish(p)).collect())
+        .map(|ts| {
+            ts.into_iter()
+                .enumerate()
+                .map(|(p, t)| t.finish(p))
+                .collect()
+        })
         .unwrap_or_default();
     Ok((totals, lanes))
 }
@@ -775,8 +899,7 @@ mod tests {
         let bb = b.array("b", [n, n]);
         let (lo, hi) = (1, n as i64 - 2);
         b.nest("L1", [(lo, hi), (lo, hi)], |x| {
-            let r = (x.ld(a, [0, -1]) + x.ld(a, [0, 1]) + x.ld(a, [-1, 0]) + x.ld(a, [1, 0]))
-                / 4.0;
+            let r = (x.ld(a, [0, -1]) + x.ld(a, [0, 1]) + x.ld(a, [-1, 0]) + x.ld(a, [1, 0])) / 4.0;
             x.assign(bb, [0, 0], r);
         });
         b.nest("L2", [(lo, hi), (lo, hi)], |x| {
@@ -800,8 +923,14 @@ mod tests {
         let cfg = RunConfig::blocked([2, 2]).steps(3);
         let want = snapshot_after(&mut SimExecutor, &cfg, &seq);
         assert_eq!(snapshot_after(&mut ScopedExecutor, &cfg, &seq), want);
-        assert_eq!(snapshot_after(&mut PooledExecutor::new(4), &cfg, &seq), want);
-        assert_eq!(snapshot_after(&mut DynamicExecutor::new(2), &cfg, &seq), want);
+        assert_eq!(
+            snapshot_after(&mut PooledExecutor::new(4), &cfg, &seq),
+            want
+        );
+        assert_eq!(
+            snapshot_after(&mut DynamicExecutor::new(2), &cfg, &seq),
+            want
+        );
     }
 
     #[test]
@@ -810,7 +939,10 @@ mod tests {
         let cfg = RunConfig::fused([2, 2]).strip(4).steps(3);
         let want = snapshot_after(&mut SimExecutor, &cfg, &seq);
         assert_eq!(snapshot_after(&mut ScopedExecutor, &cfg, &seq), want);
-        assert_eq!(snapshot_after(&mut PooledExecutor::new(4), &cfg, &seq), want);
+        assert_eq!(
+            snapshot_after(&mut PooledExecutor::new(4), &cfg, &seq),
+            want
+        );
     }
 
     #[test]
@@ -826,8 +958,14 @@ mod tests {
         // The message must explain the *why*: peeled iterations live at
         // statically known block boundaries (paper Section 3.2).
         let msg = err.to_string();
-        assert!(msg.contains("peeled iterations"), "message names peeling: {msg}");
-        assert!(msg.contains("statically known block boundaries"), "names boundaries: {msg}");
+        assert!(
+            msg.contains("peeled iterations"),
+            "message names peeling: {msg}"
+        );
+        assert!(
+            msg.contains("statically known block boundaries"),
+            "names boundaries: {msg}"
+        );
         assert!(msg.contains("Section 3.2"), "cites the paper: {msg}");
     }
 
@@ -844,10 +982,16 @@ mod tests {
             assert_eq!(snapshot_after(&mut SimExecutor, &cfg, &seq), want);
             assert_eq!(snapshot_after(&mut ScopedExecutor, &cfg, &seq), want);
             if !matches!(cfg.plan(), ExecPlan::Serial) {
-                assert_eq!(snapshot_after(&mut PooledExecutor::new(4), &cfg, &seq), want);
+                assert_eq!(
+                    snapshot_after(&mut PooledExecutor::new(4), &cfg, &seq),
+                    want
+                );
             }
             if matches!(cfg.plan(), ExecPlan::Blocked { .. }) {
-                assert_eq!(snapshot_after(&mut DynamicExecutor::new(2), &cfg, &seq), want);
+                assert_eq!(
+                    snapshot_after(&mut DynamicExecutor::new(2), &cfg, &seq),
+                    want
+                );
             }
         }
     }
@@ -865,9 +1009,101 @@ mod tests {
         // Interp runs report no tape at all.
         let mut mem2 = Memory::new(&seq, LayoutStrategy::Contiguous);
         mem2.init_deterministic(&seq, 7);
-        let r2 = SimExecutor.run(&prog, &mut mem2, &RunConfig::fused([2, 2]).strip(4)).unwrap();
+        let r2 = SimExecutor
+            .run(&prog, &mut mem2, &RunConfig::fused([2, 2]).strip(4))
+            .unwrap();
         assert_eq!(r2.backend, "interp");
         assert_eq!((r2.lower_nanos, r2.tape_ops), (0, 0));
+    }
+
+    #[test]
+    fn injected_artifacts_match_fresh_runs_and_mark_reports() {
+        let seq = jacobi(24);
+        let prog = Program::new(&seq, 2).unwrap();
+        let base = RunConfig::fused([2, 2]).strip(4).steps(3);
+        // Fresh compiled run: the reference result and the tape source.
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 7);
+        let fresh = SimExecutor
+            .run(&prog, &mut mem, &base.clone().backend(Backend::Compiled))
+            .unwrap();
+        let want = mem.snapshot_all(&seq);
+        assert!(!fresh.cached);
+        // Derive the artifacts the way a cache would, then inject them.
+        let fp = Arc::new(prog.fusion_plan_for(base.plan()).unwrap());
+        let mem0 = Memory::new(&seq, LayoutStrategy::Contiguous);
+        let tape = Arc::new(ProgramTape::lower_with(
+            &seq,
+            &mem0.layout,
+            &fp.lowering_footprint(&seq),
+        ));
+        // `with_tape`: fresh lowering done outside the run — lower time
+        // is charged, `cached` stays false.
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 7);
+        let cfg = base
+            .clone()
+            .prederived(Arc::clone(&fp))
+            .with_tape(Arc::clone(&tape));
+        let r = SimExecutor.run(&prog, &mut mem, &cfg).unwrap();
+        assert_eq!(mem.snapshot_all(&seq), want);
+        assert!(!r.cached);
+        assert_eq!(r.lower_nanos, tape.lower_nanos());
+        assert_eq!(r.tape_ops, fresh.tape_ops);
+        // `precompiled`: cache-served tape — no lowering this run.
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 7);
+        let cfg = base
+            .clone()
+            .prederived(Arc::clone(&fp))
+            .precompiled(Arc::clone(&tape));
+        let r = SimExecutor.run(&prog, &mut mem, &cfg).unwrap();
+        assert_eq!(mem.snapshot_all(&seq), want);
+        assert!(r.cached);
+        assert_eq!(r.lower_nanos, 0);
+        assert_eq!(r.tape_ops, fresh.tape_ops);
+        // The threaded runtimes accept injected artifacts too.
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 7);
+        let cfg = base
+            .clone()
+            .prederived(Arc::clone(&fp))
+            .precompiled(Arc::clone(&tape));
+        PooledExecutor::new(4).run(&prog, &mut mem, &cfg).unwrap();
+        assert_eq!(mem.snapshot_all(&seq), want);
+    }
+
+    #[test]
+    fn mismatched_prederived_plan_is_rejected() {
+        let seq = jacobi(24);
+        let prog = Program::new(&seq, 2).unwrap();
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 7);
+        // A plan for a *different* program: wrong nest coverage.
+        let other = {
+            let mut b = SeqBuilder::new("other");
+            let a = b.array("a", [32, 32]);
+            let c = b.array("c", [32, 32]);
+            b.nest("L1", [(1, 30), (1, 30)], |x| {
+                let r = x.ld(a, [0, 0]);
+                x.assign(c, [0, 0], r);
+            });
+            b.finish()
+        };
+        let other_prog = Program::new(&other, 2).unwrap();
+        let cfg = RunConfig::fused([2, 2]).strip(4);
+        let wrong = Arc::new(other_prog.fusion_plan_for(cfg.plan()).unwrap());
+        let err = SimExecutor
+            .run(&prog, &mut mem, &cfg.clone().prederived(wrong))
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Config(_)), "{err:?}");
+        // Wrong fused-levels count is rejected too.
+        let prog1 = Program::new(&seq, 1).unwrap();
+        let wrong_levels = Arc::new(prog1.fusion_plan_for(cfg.plan()).unwrap());
+        let err = SimExecutor
+            .run(&prog, &mut mem, &cfg.prederived(wrong_levels))
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Config(_)), "{err:?}");
     }
 
     #[test]
@@ -879,7 +1115,13 @@ mod tests {
         let err = PooledExecutor::new(2)
             .run(&prog, &mut mem, &RunConfig::blocked([2, 2]))
             .unwrap_err();
-        assert_eq!(err, ExecError::PoolTooSmall { pool: 2, required: 4 });
+        assert_eq!(
+            err,
+            ExecError::PoolTooSmall {
+                pool: 2,
+                required: 4
+            }
+        );
     }
 
     #[test]
@@ -888,7 +1130,9 @@ mod tests {
         let prog = Program::new(&seq, 2).unwrap();
         let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
         mem.init_deterministic(&seq, 7);
-        let err = ScopedExecutor.run(&prog, &mut mem, &RunConfig::serial().steps(0)).unwrap_err();
+        let err = ScopedExecutor
+            .run(&prog, &mut mem, &RunConfig::serial().steps(0))
+            .unwrap_err();
         assert!(matches!(err, ExecError::Config(_)));
     }
 
@@ -898,10 +1142,14 @@ mod tests {
         let prog = Program::new(&seq, 2).unwrap();
         let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
         mem.init_deterministic(&seq, 7);
-        let cfg = RunConfig::blocked([2]).sink(SinkChoice::Cache(CacheConfig::new(16 * 1024, 64, 1)));
+        let cfg =
+            RunConfig::blocked([2]).sink(SinkChoice::Cache(CacheConfig::new(16 * 1024, 64, 1)));
         assert!(matches!(
             ScopedExecutor.run(&prog, &mut mem, &cfg),
-            Err(ExecError::Unsupported { executor: "scoped", .. })
+            Err(ExecError::Unsupported {
+                executor: "scoped",
+                ..
+            })
         ));
     }
 
@@ -932,14 +1180,25 @@ mod tests {
         let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
         mem.init_deterministic(&seq, 7);
         let mut pooled = PooledExecutor::new(4);
-        let report =
-            pooled.run(&prog, &mut mem, &RunConfig::fused([2, 2]).strip(8).steps(10)).unwrap();
+        let report = pooled
+            .run(
+                &prog,
+                &mut mem,
+                &RunConfig::fused([2, 2]).strip(8).steps(10),
+            )
+            .unwrap();
         assert_eq!(report.steps, 10);
         assert_eq!(report.workers.len(), 4);
         // Every worker crossed every barrier of every step.
         let barriers = report.workers[0].counters.barriers;
-        assert!(barriers >= 20, "expected >= 2 barriers/step, got {barriers}");
-        assert!(report.workers.iter().all(|w| w.counters.barriers == barriers));
+        assert!(
+            barriers >= 20,
+            "expected >= 2 barriers/step, got {barriers}"
+        );
+        assert!(report
+            .workers
+            .iter()
+            .all(|w| w.counters.barriers == barriers));
         // Someone waited at some barrier, and imbalance is near 1.
         assert!(report.max_barrier_wait_nanos() > 0);
         let imb = report.imbalance();

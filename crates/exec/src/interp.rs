@@ -236,8 +236,16 @@ mod tests {
 
     #[test]
     fn counters_merge() {
-        let mut a = ExecCounters { iters: 1, flops: 2, ..Default::default() };
-        let b = ExecCounters { iters: 3, peeled_iters: 1, ..Default::default() };
+        let mut a = ExecCounters {
+            iters: 1,
+            flops: 2,
+            ..Default::default()
+        };
+        let b = ExecCounters {
+            iters: 3,
+            peeled_iters: 1,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.iters, 4);
         assert_eq!(a.total_iters(), 5);

@@ -63,6 +63,9 @@ pub use pool::{SenseBarrier, WorkerPool};
 pub use report::{RunReport, WorkerReport};
 // Tracing types callers need to configure a traced run and consume its
 // result, re-exported so `sp-exec` users don't name `sp-trace` directly.
+pub use sink::{
+    AccessSink, CacheSink, ClassifySink, CountingSink, HierarchySink, InfiniteSink, NullSink,
+    RecordingSink,
+};
 pub use sp_trace::{MetricsRegistry, RunTrace, SpanKind, TraceConfig, WorkerTrace};
 pub use tape::{exec_region_tape, AccessPat, Engine, MicroOp, NestTape, ProgramTape, StmtTape};
-pub use sink::{AccessSink, CacheSink, ClassifySink, CountingSink, HierarchySink, InfiniteSink, NullSink, RecordingSink};

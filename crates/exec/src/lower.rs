@@ -43,7 +43,12 @@ impl ProgramTape {
         let mut nests = Vec::with_capacity(footprint.nests);
         for nest in &seq.nests {
             let depth = nest.depth();
-            let mut pats = PatTable { layout, depth, refs: Vec::new(), pats: Vec::new() };
+            let mut pats = PatTable {
+                layout,
+                depth,
+                refs: Vec::new(),
+                pats: Vec::new(),
+            };
             let mut stmts = Vec::with_capacity(nest.body.len());
             let mut max_stack = 1usize;
             for stmt in &nest.body {
@@ -73,7 +78,10 @@ impl ProgramTape {
                 max_stack,
             });
         }
-        ProgramTape { nests, lower_nanos: t0.elapsed().as_nanos() as u64 }
+        ProgramTape {
+            nests,
+            lower_nanos: t0.elapsed().as_nanos() as u64,
+        }
     }
 }
 
@@ -109,7 +117,11 @@ fn lower_ref(r: &ArrayRef, layout: &MemoryLayout, depth: usize) -> AccessPat {
             if let Some(w) = p.wrap {
                 // Contracted plane subscript: reduced modulo the window
                 // per access, outside the linear part.
-                wrap = Some(WrapPat { wrap: w as i64, stride0: stride, sub: sub.clone() });
+                wrap = Some(WrapPat {
+                    wrap: w as i64,
+                    stride0: stride,
+                    sub: sub.clone(),
+                });
                 continue;
             }
         }
@@ -244,7 +256,11 @@ mod tests {
         let e = Expr::Binary(
             BinOp::Mul,
             Box::new(Expr::Const(3.0)),
-            Box::new(Expr::Binary(BinOp::Add, Box::new(Expr::Const(1.0)), Box::new(Expr::Const(0.5)))),
+            Box::new(Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::Const(1.0)),
+                Box::new(Expr::Const(0.5)),
+            )),
         );
         assert_eq!(fold(&e), Expr::Const(4.5));
     }

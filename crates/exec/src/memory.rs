@@ -49,7 +49,9 @@ impl Memory {
     pub fn fill_with(&mut self, seq: &LoopSequence, array: ArrayId, f: impl Fn(&[i64]) -> f64) {
         let dims = seq.array(array).dims.clone();
         let space = sp_ir::IterSpace::new(
-            dims.iter().map(|&d| (0i64, d as i64 - 1)).collect::<Vec<_>>(),
+            dims.iter()
+                .map(|&d| (0i64, d as i64 - 1))
+                .collect::<Vec<_>>(),
         );
         space.for_each(|p| {
             let slot = self.layout.slot(array, p);
@@ -85,7 +87,9 @@ impl Memory {
         let dims = &seq.array(array).dims;
         let mut out = Vec::with_capacity(dims.iter().product());
         let space = sp_ir::IterSpace::new(
-            dims.iter().map(|&d| (0i64, d as i64 - 1)).collect::<Vec<_>>(),
+            dims.iter()
+                .map(|&d| (0i64, d as i64 - 1))
+                .collect::<Vec<_>>(),
         );
         space.for_each(|p| out.push(self.get(array, p)));
         out
@@ -127,7 +131,11 @@ impl<'a> MemView<'a> {
     /// concurrent accesses through clones of the view follow the safety
     /// contract above.
     pub fn new(mem: &'a mut Memory) -> Self {
-        MemView { layout: &mem.layout, base: mem.data.as_mut_ptr(), len: mem.data.len() }
+        MemView {
+            layout: &mem.layout,
+            base: mem.data.as_mut_ptr(),
+            len: mem.data.len(),
+        }
     }
 
     /// The layout.
@@ -232,7 +240,10 @@ mod tests {
         m3.init_deterministic(&s, 2);
         assert_ne!(m1.data, m3.data);
         // Values live in (0.5, 1.5).
-        assert!(m1.snapshot(&s, ArrayId(0)).iter().all(|&v| v > 0.5 && v < 1.5));
+        assert!(m1
+            .snapshot(&s, ArrayId(0))
+            .iter()
+            .all(|&v| v > 0.5 && v < 1.5));
     }
 
     #[test]

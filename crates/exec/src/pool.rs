@@ -49,7 +49,9 @@ pub struct SenseBarrier {
 impl SenseBarrier {
     /// A barrier for `n` participants.
     pub fn new(n: usize) -> Self {
-        let cores = thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let cores = thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
         let spin = if n <= cores { 1 << 14 } else { 64 };
         SenseBarrier::with_spin(n, spin)
     }

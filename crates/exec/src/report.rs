@@ -43,6 +43,10 @@ pub struct RunReport {
     pub lower_nanos: u64,
     /// Total micro-ops across the lowered tapes (0 for interpreted).
     pub tape_ops: u64,
+    /// True when the run executed a tape served from an artifact cache
+    /// (`RunConfig::precompiled`): no lowering happened for this run and
+    /// `lower_nanos` is 0.
+    pub cached: bool,
     /// Per-worker breakdown, indexed by processor id.
     pub workers: Vec<WorkerReport>,
     /// The recorded event trace, when the run asked for one
@@ -69,7 +73,11 @@ impl RunReport {
 
     /// The longest time any worker spent waiting at barriers.
     pub fn max_barrier_wait_nanos(&self) -> u64 {
-        self.workers.iter().map(|w| w.counters.barrier_wait_nanos).max().unwrap_or(0)
+        self.workers
+            .iter()
+            .map(|w| w.counters.barrier_wait_nanos)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean barrier-wait time across workers.
@@ -77,7 +85,10 @@ impl RunReport {
         if self.workers.is_empty() {
             return 0.0;
         }
-        self.workers.iter().map(|w| w.counters.barrier_wait_nanos).sum::<u64>() as f64
+        self.workers
+            .iter()
+            .map(|w| w.counters.barrier_wait_nanos)
+            .sum::<u64>() as f64
             / self.workers.len() as f64
     }
 
@@ -90,7 +101,11 @@ impl RunReport {
         if self.workers.is_empty() {
             return 0.0;
         }
-        let iters: Vec<u64> = self.workers.iter().map(|w| w.counters.total_iters()).collect();
+        let iters: Vec<u64> = self
+            .workers
+            .iter()
+            .map(|w| w.counters.total_iters())
+            .collect();
         let mean = iters.iter().sum::<u64>() as f64 / iters.len() as f64;
         if mean == 0.0 {
             return 0.0;
@@ -113,24 +128,58 @@ impl RunReport {
     /// histograms see one observation per span; without one they fall
     /// back to per-worker totals (coarser, but still comparable).
     pub fn metrics(&self) -> MetricsRegistry {
-        let mut reg = MetricsRegistry::new(&[
-            ("executor", &self.executor),
-            ("backend", &self.backend),
-        ]);
+        let mut reg =
+            MetricsRegistry::new(&[("executor", &self.executor), ("backend", &self.backend)]);
         let m = self.merged_counters();
-        reg.counter("spfc_iters_total", "Fused-phase iterations executed", m.iters);
-        reg.counter("spfc_peeled_iters_total", "Peeled-phase iterations executed", m.peeled_iters);
-        reg.counter("spfc_flops_total", "Floating-point operations executed", m.flops);
+        reg.counter(
+            "spfc_iters_total",
+            "Fused-phase iterations executed",
+            m.iters,
+        );
+        reg.counter(
+            "spfc_peeled_iters_total",
+            "Peeled-phase iterations executed",
+            m.peeled_iters,
+        );
+        reg.counter(
+            "spfc_flops_total",
+            "Floating-point operations executed",
+            m.flops,
+        );
         reg.counter("spfc_loads_total", "Array loads issued", m.loads);
         reg.counter("spfc_stores_total", "Array stores issued", m.stores);
         reg.counter("spfc_strips_total", "Strip-mined tiles executed", m.strips);
-        reg.counter("spfc_guards_total", "Direct-method guard evaluations", m.guards);
-        reg.counter("spfc_barriers_total", "Barrier crossings per worker, summed", m.barriers);
+        reg.counter(
+            "spfc_guards_total",
+            "Direct-method guard evaluations",
+            m.guards,
+        );
+        reg.counter(
+            "spfc_barriers_total",
+            "Barrier crossings per worker, summed",
+            m.barriers,
+        );
         reg.counter("spfc_steps_total", "Timesteps executed", self.steps as u64);
-        reg.counter("spfc_wall_nanos_total", "End-to-end wall time of the run", self.wall_nanos);
-        reg.counter("spfc_lower_nanos_total", "Time lowering bodies to tapes", self.lower_nanos);
-        reg.counter("spfc_tape_ops_total", "Micro-ops across lowered tapes", self.tape_ops);
-        reg.gauge("spfc_procs", "Processors the plan executed on", self.procs as f64);
+        reg.counter(
+            "spfc_wall_nanos_total",
+            "End-to-end wall time of the run",
+            self.wall_nanos,
+        );
+        reg.counter(
+            "spfc_lower_nanos_total",
+            "Time lowering bodies to tapes",
+            self.lower_nanos,
+        );
+        reg.counter(
+            "spfc_tape_ops_total",
+            "Micro-ops across lowered tapes",
+            self.tape_ops,
+        );
+        reg.gauge(
+            "spfc_procs",
+            "Processors the plan executed on",
+            self.procs as f64,
+        );
         reg.gauge(
             "spfc_imbalance_ratio",
             "Busiest worker's iterations over the mean",
@@ -148,8 +197,8 @@ impl RunReport {
                 trace.event_count() as u64,
             );
             reg.counter(
-                "spfc_trace_dropped_total",
-                "Spans lost to ring overflow",
+                "spfc_trace_dropped_events_total",
+                "Spans lost to per-worker ring overflow (drop-oldest)",
                 trace.dropped(),
             );
         }
@@ -208,14 +257,15 @@ impl RunReport {
         let mut s = String::with_capacity(256 + 256 * self.workers.len());
         s.push_str(&format!(
             "{{\"executor\":\"{}\",\"backend\":\"{}\",\"procs\":{},\"steps\":{},\
-             \"wall_nanos\":{},\"lower_nanos\":{},\"tape_ops\":{},",
+             \"wall_nanos\":{},\"lower_nanos\":{},\"tape_ops\":{},\"cached\":{},",
             json_escape(&self.executor),
             json_escape(&self.backend),
             self.procs,
             self.steps,
             self.wall_nanos,
             self.lower_nanos,
-            self.tape_ops
+            self.tape_ops,
+            self.cached
         ));
         s.push_str(&format!(
             "\"iters_per_sec\":{:.1},\"imbalance\":{:.4},\"max_barrier_wait_nanos\":{},",
@@ -265,7 +315,10 @@ impl RunReport {
     /// skipped on input; unknown keys are skipped too, which keeps old
     /// artifacts readable as fields are added.
     pub fn from_json(json: &str) -> Result<RunReport, String> {
-        let mut p = Parser { bytes: json.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: json.as_bytes(),
+            pos: 0,
+        };
         let report = p.parse_report()?;
         p.ws();
         if p.pos != p.bytes.len() {
@@ -286,7 +339,11 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn ws(&mut self) {
-        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
             self.pos += 1;
         }
     }
@@ -372,9 +429,32 @@ impl Parser<'_> {
         Ok(v as u64)
     }
 
+    /// Consumes the exact ASCII literal `lit` (`true`/`false`/`null`).
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        self.ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{lit}` at byte {}", self.pos))
+        }
+    }
+
+    /// Reads a `true`/`false` literal.
+    fn bool_field(&mut self) -> Result<bool, String> {
+        match self.peek() {
+            Some(b't') => self.literal("true").map(|()| true),
+            Some(b'f') => self.literal("false").map(|()| false),
+            _ => Err(format!("expected boolean at byte {}", self.pos)),
+        }
+    }
+
     /// Skips any value (used for derived and unknown fields).
     fn skip_value(&mut self) -> Result<(), String> {
         match self.peek() {
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
             Some(b'"') => self.string().map(|_| ()),
             Some(b'{') => {
                 self.eat(b'{')?;
@@ -424,6 +504,7 @@ impl Parser<'_> {
                 "wall_nanos" => r.wall_nanos = self.u64_field()?,
                 "lower_nanos" => r.lower_nanos = self.u64_field()?,
                 "tape_ops" => r.tape_ops = self.u64_field()?,
+                "cached" => r.cached = self.bool_field()?,
                 "workers" => {
                     self.eat(b'[')?;
                     if self.peek() == Some(b']') {
@@ -519,10 +600,16 @@ mod tests {
     use super::*;
 
     fn report() -> RunReport {
-        let mut w0 = WorkerReport { proc: 0, ..Default::default() };
+        let mut w0 = WorkerReport {
+            proc: 0,
+            ..Default::default()
+        };
         w0.counters.iters = 90;
         w0.counters.barrier_wait_nanos = 500;
-        let mut w1 = WorkerReport { proc: 1, ..Default::default() };
+        let mut w1 = WorkerReport {
+            proc: 1,
+            ..Default::default()
+        };
         w1.counters.iters = 100;
         w1.counters.peeled_iters = 10;
         RunReport {
@@ -533,6 +620,7 @@ mod tests {
             wall_nanos: 1_000_000,
             lower_nanos: 0,
             tape_ops: 0,
+            cached: false,
             workers: vec![w0, w1],
             trace: None,
         }
@@ -563,6 +651,7 @@ mod tests {
             "\"wall_nanos\":1000000",
             "\"lower_nanos\":0",
             "\"tape_ops\":0",
+            "\"cached\":false",
             "\"barrier_wait_nanos\":500",
             "\"imbalance\":1.1000",
         ] {
@@ -580,7 +669,10 @@ mod tests {
         for (wa, wb) in a.workers.iter().zip(&b.workers) {
             assert_eq!(wa.counters.fused_nanos, wb.counters.fused_nanos);
             assert_eq!(wa.counters.peeled_nanos, wb.counters.peeled_nanos);
-            assert_eq!(wa.counters.barrier_wait_nanos, wb.counters.barrier_wait_nanos);
+            assert_eq!(
+                wa.counters.barrier_wait_nanos,
+                wb.counters.barrier_wait_nanos
+            );
         }
     }
 
@@ -597,17 +689,41 @@ mod tests {
         r.backend = "compiled".into();
         r.lower_nanos = 1234;
         r.tape_ops = 42;
-        r.workers[0].cache = Some(CacheStats { accesses: 1000, misses: 37 });
+        r.workers[0].cache = Some(CacheStats {
+            accesses: 1000,
+            misses: 37,
+        });
         r.workers[0].counters.fused_nanos = 999;
         r.workers[1].counters.flops = 77;
         let parsed = RunReport::from_json(&r.to_json()).unwrap();
         assert_reports_equal(&r, &parsed);
-        assert_eq!(parsed.workers[0].cache, Some(CacheStats { accesses: 1000, misses: 37 }));
+        assert_eq!(
+            parsed.workers[0].cache,
+            Some(CacheStats {
+                accesses: 1000,
+                misses: 37
+            })
+        );
+    }
+
+    #[test]
+    fn json_round_trips_cached_flag() {
+        let mut r = report();
+        r.cached = true;
+        let j = r.to_json();
+        assert!(j.contains("\"cached\":true"), "{j}");
+        let parsed = RunReport::from_json(&j).unwrap();
+        assert!(parsed.cached);
+        // A malformed literal is rejected, not silently skipped.
+        assert!(RunReport::from_json(&j.replace("\"cached\":true", "\"cached\":tru")).is_err());
     }
 
     #[test]
     fn json_round_trips_escaped_strings_and_empty_workers() {
-        let r = RunReport { executor: "we\"ird\\x\n".into(), ..Default::default() };
+        let r = RunReport {
+            executor: "we\"ird\\x\n".into(),
+            ..Default::default()
+        };
         let parsed = RunReport::from_json(&r.to_json()).unwrap();
         assert_eq!(parsed.executor, "we\"ird\\x\n");
         assert!(parsed.workers.is_empty());
@@ -625,7 +741,9 @@ mod tests {
 
     #[test]
     fn from_json_rejects_negative_counters() {
-        let j = report().to_json().replace("\"wall_nanos\":1000000", "\"wall_nanos\":-5");
+        let j = report()
+            .to_json()
+            .replace("\"wall_nanos\":1000000", "\"wall_nanos\":-5");
         let err = RunReport::from_json(&j).unwrap_err();
         assert!(err.contains("negative"), "{err}");
         // Negative values inside a worker object are rejected too.
@@ -639,10 +757,14 @@ mod tests {
         // `1e999` overflows f64 to infinity; a bare cast would turn it
         // into u64::MAX. `NaN` is not valid JSON and already fails the
         // number scanner.
-        let j = report().to_json().replace("\"wall_nanos\":1000000", "\"wall_nanos\":1e999");
+        let j = report()
+            .to_json()
+            .replace("\"wall_nanos\":1000000", "\"wall_nanos\":1e999");
         let err = RunReport::from_json(&j).unwrap_err();
         assert!(err.contains("non-finite"), "{err}");
-        let j = report().to_json().replace("\"wall_nanos\":1000000", "\"wall_nanos\":NaN");
+        let j = report()
+            .to_json()
+            .replace("\"wall_nanos\":1000000", "\"wall_nanos\":NaN");
         assert!(RunReport::from_json(&j).is_err());
     }
 
@@ -669,7 +791,10 @@ mod tests {
         assert_eq!(bh.sum(), 500);
         let text = reg.to_prometheus();
         assert!(text.contains("executor=\"pooled\""), "{text}");
-        assert!(text.contains("# TYPE spfc_barrier_wait_nanos histogram"), "{text}");
+        assert!(
+            text.contains("# TYPE spfc_barrier_wait_nanos histogram"),
+            "{text}"
+        );
         assert!(text.contains("spfc_imbalance_ratio"), "{text}");
     }
 }

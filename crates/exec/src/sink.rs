@@ -150,7 +150,13 @@ mod tests {
         s.access(0, false);
         s.access(8, false);
         s.access(16, true);
-        assert_eq!(s, CountingSink { loads: 2, stores: 1 });
+        assert_eq!(
+            s,
+            CountingSink {
+                loads: 2,
+                stores: 1
+            }
+        );
     }
 
     #[test]

@@ -277,7 +277,10 @@ pub unsafe fn exec_region_tape<S: AccessSink>(
         return;
     }
     let depth = region.depth();
-    debug_assert_eq!(depth, nest.depth, "region depth must match the lowered nest");
+    debug_assert_eq!(
+        depth, nest.depth,
+        "region depth must match the lowered nest"
+    );
     let eb = nest.elem_bytes;
     let lows: Vec<i64> = region.bounds.iter().map(|&(lo, _)| lo).collect();
     // Linear offset of each pattern at the region's first point.

@@ -26,7 +26,10 @@ pub struct AffineExpr {
 impl AffineExpr {
     /// The constant function `c` over a nest of depth `depth`.
     pub fn constant(depth: usize, c: i64) -> Self {
-        AffineExpr { coeffs: vec![0; depth], offset: c }
+        AffineExpr {
+            coeffs: vec![0; depth],
+            offset: c,
+        }
     }
 
     /// The function `i_level + offset` over a nest of depth `depth`.
@@ -34,7 +37,10 @@ impl AffineExpr {
     /// # Panics
     /// Panics if `level >= depth`.
     pub fn var(depth: usize, level: usize, offset: i64) -> Self {
-        assert!(level < depth, "loop level {level} out of range for depth {depth}");
+        assert!(
+            level < depth,
+            "loop level {level} out of range for depth {depth}"
+        );
         let mut coeffs = vec![0; depth];
         coeffs[level] = 1;
         AffineExpr { coeffs, offset }
@@ -55,8 +61,17 @@ impl AffineExpr {
     /// # Panics
     /// Panics if `point.len() != self.depth()`.
     pub fn eval(&self, point: &[i64]) -> i64 {
-        assert_eq!(point.len(), self.coeffs.len(), "iteration point arity mismatch");
-        self.coeffs.iter().zip(point).map(|(c, i)| c * i).sum::<i64>() + self.offset
+        assert_eq!(
+            point.len(),
+            self.coeffs.len(),
+            "iteration point arity mismatch"
+        );
+        self.coeffs
+            .iter()
+            .zip(point)
+            .map(|(c, i)| c * i)
+            .sum::<i64>()
+            + self.offset
     }
 
     /// True if the linear parts of `self` and `other` are identical, i.e.

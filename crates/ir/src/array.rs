@@ -40,8 +40,14 @@ impl ArrayDecl {
     pub fn new(name: impl Into<String>, dims: impl Into<Vec<usize>>) -> Self {
         let dims = dims.into();
         assert!(!dims.is_empty(), "arrays must have at least one dimension");
-        assert!(dims.iter().all(|&d| d > 0), "array dimensions must be positive");
-        ArrayDecl { name: name.into(), dims }
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "array dimensions must be positive"
+        );
+        ArrayDecl {
+            name: name.into(),
+            dims,
+        }
     }
 
     /// Number of dimensions.

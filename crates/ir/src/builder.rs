@@ -47,7 +47,11 @@ pub struct SeqBuilder {
 impl SeqBuilder {
     /// Starts a new sequence.
     pub fn new(name: impl Into<String>) -> Self {
-        SeqBuilder { name: name.into(), arrays: Vec::new(), nests: Vec::new() }
+        SeqBuilder {
+            name: name.into(),
+            arrays: Vec::new(),
+            nests: Vec::new(),
+        }
     }
 
     /// Declares an array and returns its id.
@@ -66,11 +70,17 @@ impl SeqBuilder {
         f: impl FnOnce(&mut NestCtx),
     ) -> &mut Self {
         let bounds: Vec<(i64, i64)> = bounds.into();
-        let mut ctx = NestCtx { depth: bounds.len(), body: Vec::new() };
+        let mut ctx = NestCtx {
+            depth: bounds.len(),
+            body: Vec::new(),
+        };
         f(&mut ctx);
         self.nests.push(LoopNest::new(
             label,
-            bounds.into_iter().map(|(lo, hi)| LoopBounds::new(lo, hi)).collect::<Vec<_>>(),
+            bounds
+                .into_iter()
+                .map(|(lo, hi)| LoopBounds::new(lo, hi))
+                .collect::<Vec<_>>(),
             ctx.body,
         ));
         self
@@ -86,7 +96,11 @@ impl SeqBuilder {
         let seq = LoopSequence::new(self.name, self.arrays, self.nests);
         if let Err(errs) = seq.validate() {
             let msgs: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
-            panic!("invalid loop sequence `{}`:\n  {}", seq.name, msgs.join("\n  "));
+            panic!(
+                "invalid loop sequence `{}`:\n  {}",
+                seq.name,
+                msgs.join("\n  ")
+            );
         }
         seq
     }
@@ -154,8 +168,8 @@ mod tests {
         let a = b.array("a", [16, 16]);
         let bb = b.array("b", [16, 16]);
         b.nest("L1", [(1, 14), (1, 14)], |x| {
-            let rhs = (x.ld(a, [0, -1]) + x.ld(a, [0, 1]) + x.ld(a, [-1, 0]) + x.ld(a, [1, 0]))
-                / 4.0;
+            let rhs =
+                (x.ld(a, [0, -1]) + x.ld(a, [0, 1]) + x.ld(a, [-1, 0]) + x.ld(a, [1, 0])) / 4.0;
             x.assign(bb, [0, 0], rhs);
         });
         b.nest("L2", [(1, 14), (1, 14)], |x| {

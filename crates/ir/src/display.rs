@@ -62,7 +62,12 @@ pub fn render_expr(seq: &LoopSequence, e: &Expr) -> String {
         Expr::Load(r) => render_ref(seq, r),
         Expr::Unary(op, inner) => format!("{:?}({})", op, render_expr(seq, inner)),
         Expr::Binary(op, a, b) => {
-            format!("({} {} {})", render_expr(seq, a), op.symbol(), render_expr(seq, b))
+            format!(
+                "({} {} {})",
+                render_expr(seq, a),
+                op.symbol(),
+                render_expr(seq, b)
+            )
         }
     }
 }

@@ -150,9 +150,11 @@ impl Expr {
             Expr::Const(c) => Expr::Const(*c),
             Expr::Load(r) => Expr::Load(r.translated(delta)),
             Expr::Unary(op, e) => Expr::Unary(*op, Box::new(e.translated(delta))),
-            Expr::Binary(op, a, b) => {
-                Expr::Binary(*op, Box::new(a.translated(delta)), Box::new(b.translated(delta)))
-            }
+            Expr::Binary(op, a, b) => Expr::Binary(
+                *op,
+                Box::new(a.translated(delta)),
+                Box::new(b.translated(delta)),
+            ),
         }
     }
 }
@@ -211,7 +213,10 @@ mod tests {
     use crate::array::ArrayId;
 
     fn r(id: u32, off: i64) -> ArrayRef {
-        ArrayRef { array: ArrayId(id), subs: vec![AffineExpr::var(1, 0, off)] }
+        ArrayRef {
+            array: ArrayId(id),
+            subs: vec![AffineExpr::var(1, 0, off)],
+        }
     }
 
     #[test]

@@ -48,7 +48,11 @@ impl LoopNest {
     ) -> Self {
         let bounds = bounds.into();
         assert!(!bounds.is_empty(), "loop nest must have at least one level");
-        LoopNest { label: label.into(), bounds, body }
+        LoopNest {
+            label: label.into(),
+            bounds,
+            body,
+        }
     }
 
     /// Nesting depth.
@@ -88,7 +92,10 @@ mod tests {
     #[test]
     fn nest_accessors() {
         let body = vec![Statement::new(
-            ArrayRef::new(ArrayId(0), vec![AffineExpr::var(2, 0, 0), AffineExpr::var(2, 1, 0)]),
+            ArrayRef::new(
+                ArrayId(0),
+                vec![AffineExpr::var(2, 0, 0), AffineExpr::var(2, 1, 0)],
+            ),
             Expr::load(ArrayRef::new(
                 ArrayId(1),
                 vec![AffineExpr::var(2, 0, 1), AffineExpr::var(2, 1, -1)],

@@ -44,7 +44,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, message: message.into() })
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 // ------------------------------------------------------------------
@@ -165,9 +168,10 @@ fn parse_affine(cur: &mut Cur, depth: usize) -> Result<AffineExpr, ParseError> {
         }
         match cur.peek() {
             Some(Tok::Num(n)) => {
-                let v: i64 = n
-                    .parse()
-                    .map_err(|_| ParseError { line: cur.line, message: format!("bad integer {n}") })?;
+                let v: i64 = n.parse().map_err(|_| ParseError {
+                    line: cur.line,
+                    message: format!("bad integer {n}"),
+                })?;
                 cur.next();
                 // Coefficient form `c*iN`?
                 if let Some(Tok::Sym('*')) = cur.peek() {
@@ -198,7 +202,10 @@ fn parse_affine(cur: &mut Cur, depth: usize) -> Result<AffineExpr, ParseError> {
             }
             other => {
                 if first {
-                    return err(cur.line, format!("expected subscript term, found {other:?}"));
+                    return err(
+                        cur.line,
+                        format!("expected subscript term, found {other:?}"),
+                    );
                 }
                 break;
             }
@@ -228,7 +235,10 @@ fn lookup_array(ctx: &ExprCtx, name: &str, line: usize) -> Result<ArrayId, Parse
         .iter()
         .find(|(n, _)| n == name)
         .map(|&(_, id)| id)
-        .ok_or_else(|| ParseError { line, message: format!("undeclared array {name}") })
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("undeclared array {name}"),
+        })
 }
 
 fn parse_ref(cur: &mut Cur, ctx: &ExprCtx, name: &str) -> Result<ArrayRef, ParseError> {
@@ -249,9 +259,10 @@ fn parse_ref(cur: &mut Cur, ctx: &ExprCtx, name: &str) -> Result<ArrayRef, Parse
 fn parse_primary(cur: &mut Cur, ctx: &ExprCtx) -> Result<Expr, ParseError> {
     match cur.next() {
         Some(Tok::Num(n)) => {
-            let v: f64 = n
-                .parse()
-                .map_err(|_| ParseError { line: cur.line, message: format!("bad number {n}") })?;
+            let v: f64 = n.parse().map_err(|_| ParseError {
+                line: cur.line,
+                message: format!("bad number {n}"),
+            })?;
             Ok(Expr::Const(v))
         }
         Some(Tok::Sym('(')) => {
@@ -373,8 +384,10 @@ pub fn parse_sequence(src: &str) -> Result<LoopSequence, ParseError> {
                     return err(lineno, "array header needs (dims)");
                 };
                 let dims_str = dims.trim_end_matches(')');
-                let dims: Result<Vec<usize>, _> =
-                    dims_str.split(',').map(|d| d.trim().parse::<usize>()).collect();
+                let dims: Result<Vec<usize>, _> = dims_str
+                    .split(',')
+                    .map(|d| d.trim().parse::<usize>())
+                    .collect();
                 let Ok(dims) = dims else {
                     return err(lineno, format!("bad dimensions {dims_str:?}"));
                 };
@@ -437,8 +450,15 @@ pub fn parse_sequence(src: &str) -> Result<LoopSequence, ParseError> {
             return err(lineno, format!("statement outside a loop: {line:?}"));
         }
         let toks = tokenize(line, lineno)?;
-        let mut cur = Cur { toks: &toks, pos: 0, line: lineno };
-        let ctx = ExprCtx { arrays: &names, depth: cur_bounds.len() };
+        let mut cur = Cur {
+            toks: &toks,
+            pos: 0,
+            line: lineno,
+        };
+        let ctx = ExprCtx {
+            arrays: &names,
+            depth: cur_bounds.len(),
+        };
         let Some(Tok::Ident(lhs_name)) = cur.next() else {
             return err(lineno, "statement must start with an array name");
         };
@@ -446,7 +466,10 @@ pub fn parse_sequence(src: &str) -> Result<LoopSequence, ParseError> {
         cur.expect_sym('=')?;
         let rhs = parse_expr(&mut cur, &ctx)?;
         if !cur.done() {
-            return err(lineno, format!("trailing tokens after expression: {:?}", cur.peek()));
+            return err(
+                lineno,
+                format!("trailing tokens after expression: {:?}", cur.peek()),
+            );
         }
         cur_body.push(Statement::new(lhs, rhs));
     }

@@ -25,11 +25,27 @@ pub enum ValidationError {
     /// An `ArrayId` does not name a declared array.
     UnknownArray { nest: usize, array: u32 },
     /// An `ArrayRef` has the wrong number of subscripts for its array.
-    RankMismatch { nest: usize, array: String, expected: usize, got: usize },
+    RankMismatch {
+        nest: usize,
+        array: String,
+        expected: usize,
+        got: usize,
+    },
     /// A subscript expression's depth differs from its nest's depth.
-    DepthMismatch { nest: usize, array: String, expected: usize, got: usize },
+    DepthMismatch {
+        nest: usize,
+        array: String,
+        expected: usize,
+        got: usize,
+    },
     /// A subscript can take a value outside the array's extent.
-    OutOfBounds { nest: usize, array: String, dim: usize, range: (i64, i64), extent: usize },
+    OutOfBounds {
+        nest: usize,
+        array: String,
+        dim: usize,
+        range: (i64, i64),
+        extent: usize,
+    },
     /// The sequence has no nests.
     Empty,
 }
@@ -40,13 +56,29 @@ impl fmt::Display for ValidationError {
             ValidationError::UnknownArray { nest, array } => {
                 write!(f, "nest {nest}: reference to undeclared array id {array}")
             }
-            ValidationError::RankMismatch { nest, array, expected, got } => {
+            ValidationError::RankMismatch {
+                nest,
+                array,
+                expected,
+                got,
+            } => {
                 write!(f, "nest {nest}: array {array} has rank {expected} but reference has {got} subscripts")
             }
-            ValidationError::DepthMismatch { nest, array, expected, got } => {
+            ValidationError::DepthMismatch {
+                nest,
+                array,
+                expected,
+                got,
+            } => {
                 write!(f, "nest {nest}: subscript of {array} is over {got} loop levels, nest has {expected}")
             }
-            ValidationError::OutOfBounds { nest, array, dim, range, extent } => {
+            ValidationError::OutOfBounds {
+                nest,
+                array,
+                dim,
+                range,
+                extent,
+            } => {
                 write!(
                     f,
                     "nest {nest}: subscript {dim} of {array} ranges over [{}, {}] but extent is {extent}",
@@ -63,7 +95,11 @@ impl std::error::Error for ValidationError {}
 impl LoopSequence {
     /// Creates a sequence. Call [`LoopSequence::validate`] before analysing.
     pub fn new(name: impl Into<String>, arrays: Vec<ArrayDecl>, nests: Vec<LoopNest>) -> Self {
-        LoopSequence { name: name.into(), arrays, nests }
+        LoopSequence {
+            name: name.into(),
+            arrays,
+            nests,
+        }
     }
 
     /// Array declaration for an id.
@@ -120,11 +156,13 @@ impl LoopSequence {
             errs.push(ValidationError::Empty);
         }
         for (n, nest) in self.nests.iter().enumerate() {
-            let bounds: Vec<(i64, i64)> =
-                nest.bounds.iter().map(|b| (b.lo, b.hi)).collect();
+            let bounds: Vec<(i64, i64)> = nest.bounds.iter().map(|b| (b.lo, b.hi)).collect();
             let mut check = |r: &ArrayRef| {
                 let Some(decl) = self.arrays.get(r.array.index()) else {
-                    errs.push(ValidationError::UnknownArray { nest: n, array: r.array.0 });
+                    errs.push(ValidationError::UnknownArray {
+                        nest: n,
+                        array: r.array.0,
+                    });
                     return;
                 };
                 if r.subs.len() != decl.rank() {
@@ -187,9 +225,16 @@ mod tests {
         let b = ArrayDecl::new("b", [n]);
         let body = vec![Statement::new(
             ArrayRef::new(ArrayId(0), vec![AffineExpr::var(1, 0, 0)]),
-            Expr::load(ArrayRef::new(ArrayId(1), vec![AffineExpr::var(1, 0, read_off)])),
+            Expr::load(ArrayRef::new(
+                ArrayId(1),
+                vec![AffineExpr::var(1, 0, read_off)],
+            )),
         )];
-        LoopSequence::new("t", vec![a, b], vec![LoopNest::new("L1", [LoopBounds::new(lo, hi)], body)])
+        LoopSequence::new(
+            "t",
+            vec![a, b],
+            vec![LoopNest::new("L1", [LoopBounds::new(lo, hi)], body)],
+        )
     }
 
     #[test]
@@ -212,7 +257,9 @@ mod tests {
         let mut s = seq_1d(10, 1, 8, 0);
         s.arrays.pop(); // b becomes undeclared
         let errs = s.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidationError::UnknownArray { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::UnknownArray { .. })));
     }
 
     #[test]
@@ -220,7 +267,9 @@ mod tests {
         let mut s = seq_1d(10, 1, 8, 0);
         s.arrays[1] = ArrayDecl::new("b", [10, 10]);
         let errs = s.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidationError::RankMismatch { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::RankMismatch { .. })));
     }
 
     #[test]

@@ -21,7 +21,9 @@ pub struct IterSpace {
 impl IterSpace {
     /// Creates a space from inclusive bounds.
     pub fn new(bounds: impl Into<Vec<(i64, i64)>>) -> Self {
-        IterSpace { bounds: bounds.into() }
+        IterSpace {
+            bounds: bounds.into(),
+        }
     }
 
     /// Number of loop levels.
@@ -39,13 +41,19 @@ impl IterSpace {
         if self.is_empty() {
             return 0;
         }
-        self.bounds.iter().map(|&(lo, hi)| (hi - lo + 1) as usize).product()
+        self.bounds
+            .iter()
+            .map(|&(lo, hi)| (hi - lo + 1) as usize)
+            .product()
     }
 
     /// True when the region contains `p`.
     pub fn contains(&self, p: &[i64]) -> bool {
         debug_assert_eq!(p.len(), self.depth());
-        !self.is_empty() && p.iter().zip(&self.bounds).all(|(&i, &(lo, hi))| lo <= i && i <= hi)
+        !self.is_empty()
+            && p.iter()
+                .zip(&self.bounds)
+                .all(|(&i, &(lo, hi))| lo <= i && i <= hi)
     }
 
     /// Intersection of two regions of the same depth.

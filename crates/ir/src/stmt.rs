@@ -44,7 +44,11 @@ impl ArrayRef {
     /// other.array`.
     pub fn same_linear_part(&self, other: &ArrayRef) -> bool {
         self.subs.len() == other.subs.len()
-            && self.subs.iter().zip(&other.subs).all(|(a, b)| a.same_linear_part(b))
+            && self
+                .subs
+                .iter()
+                .zip(&other.subs)
+                .all(|(a, b)| a.same_linear_part(b))
     }
 
     /// Rewrites subscripts for the direct fusion method (Figure 11(a)):
@@ -52,7 +56,11 @@ impl ArrayRef {
     pub fn substitute_shift(&self, level: usize, shift: i64) -> ArrayRef {
         ArrayRef {
             array: self.array,
-            subs: self.subs.iter().map(|s| s.substitute_shift(level, shift)).collect(),
+            subs: self
+                .subs
+                .iter()
+                .map(|s| s.substitute_shift(level, shift))
+                .collect(),
         }
     }
 
@@ -72,9 +80,11 @@ impl ArrayRef {
                 .subs
                 .iter()
                 .map(|s| {
-                    let shift: i64 =
-                        s.coeffs.iter().zip(delta).map(|(c, d)| c * d).sum();
-                    AffineExpr { coeffs: s.coeffs.clone(), offset: s.offset + shift }
+                    let shift: i64 = s.coeffs.iter().zip(delta).map(|(c, d)| c * d).sum();
+                    AffineExpr {
+                        coeffs: s.coeffs.clone(),
+                        offset: s.offset + shift,
+                    }
                 })
                 .collect(),
         }
@@ -93,7 +103,10 @@ pub struct Statement {
 impl Statement {
     /// Creates a statement.
     pub fn new(lhs: ArrayRef, rhs: impl Into<Expr>) -> Self {
-        Statement { lhs, rhs: rhs.into() }
+        Statement {
+            lhs,
+            rhs: rhs.into(),
+        }
     }
 
     /// Every array reference in the statement: the write first, then all
@@ -155,7 +168,10 @@ mod tests {
 
     #[test]
     fn all_refs_write_first() {
-        let s = Statement::new(aref(0, (0, 0)), Expr::load(aref(1, (1, 0))) + Expr::load(aref(2, (0, 1))));
+        let s = Statement::new(
+            aref(0, (0, 0)),
+            Expr::load(aref(1, (1, 0))) + Expr::load(aref(2, (0, 1))),
+        );
         let refs = s.all_refs();
         assert_eq!(refs.len(), 3);
         assert!(refs[0].1);

@@ -38,13 +38,12 @@ pub fn sequence(n: usize) -> LoopSequence {
 
     // Loop 75: flux terms.
     b.nest("L1", [(lo, hi), (lo, hi)], |x| {
-        let za_rhs = (x.ld(zp, [1, -1]) + x.ld(zq, [1, -1]) - x.ld(zp, [0, -1])
-            - x.ld(zq, [0, -1]))
-            * (x.ld(zr, [0, 0]) + x.ld(zr, [0, -1]))
-            / (x.ld(zm, [0, -1]) + x.ld(zm, [1, -1]));
+        let za_rhs =
+            (x.ld(zp, [1, -1]) + x.ld(zq, [1, -1]) - x.ld(zp, [0, -1]) - x.ld(zq, [0, -1]))
+                * (x.ld(zr, [0, 0]) + x.ld(zr, [0, -1]))
+                / (x.ld(zm, [0, -1]) + x.ld(zm, [1, -1]));
         x.assign(za, [0, 0], za_rhs);
-        let zb_rhs = (x.ld(zp, [0, -1]) + x.ld(zq, [0, -1]) - x.ld(zp, [0, 0])
-            - x.ld(zq, [0, 0]))
+        let zb_rhs = (x.ld(zp, [0, -1]) + x.ld(zq, [0, -1]) - x.ld(zp, [0, 0]) - x.ld(zq, [0, 0]))
             * (x.ld(zr, [0, 0]) + x.ld(zr, [-1, 0]))
             / (x.ld(zm, [0, 0]) + x.ld(zm, [0, -1]));
         x.assign(zb, [0, 0], zb_rhs);

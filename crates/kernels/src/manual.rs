@@ -92,7 +92,18 @@ impl Ll18 {
     pub fn new(n: usize) -> Self {
         assert!(n >= 8);
         let z = || vec![0.0f64; n * n];
-        Ll18 { n, zp: z(), zq: z(), zr: z(), zm: z(), zu: z(), zv: z(), zz: z(), za: z(), zb: z() }
+        Ll18 {
+            n,
+            zp: z(),
+            zq: z(),
+            zr: z(),
+            zm: z(),
+            zu: z(),
+            zv: z(),
+            zz: z(),
+            za: z(),
+            zb: z(),
+        }
     }
 
     /// Deterministic initialization (same scheme as
@@ -338,7 +349,11 @@ impl Jacobi {
     /// Zero-initialized state.
     pub fn new(n: usize) -> Self {
         assert!(n >= 6);
-        Jacobi { n, a: vec![0.0; n * n], b: vec![0.0; n * n] }
+        Jacobi {
+            n,
+            a: vec![0.0; n * n],
+            b: vec![0.0; n * n],
+        }
     }
 
     /// Deterministic initialization (same scheme as [`Ll18::init`]).
@@ -364,8 +379,8 @@ impl Jacobi {
 #[inline(always)]
 unsafe fn jac_l1(a: Buf, b: Buf, n: usize, k: i64, j: i64) {
     unsafe {
-        let v = (a.at(n, k, j - 1) + a.at(n, k, j + 1) + a.at(n, k - 1, j) + a.at(n, k + 1, j))
-            / 4.0;
+        let v =
+            (a.at(n, k, j - 1) + a.at(n, k, j + 1) + a.at(n, k - 1, j) + a.at(n, k + 1, j)) / 4.0;
         b.set(n, k, j, v);
     }
 }

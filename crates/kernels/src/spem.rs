@@ -18,12 +18,7 @@ use sp_ir::{ArrayId, LoopSequence, SeqBuilder};
 /// Builds a chain sequence of `nloops` loops over fresh 3-D fields where
 /// loop `i` reads loop `i-1`'s output with the given row offsets
 /// (`offsets[i-1]`), plus the seed field for the first loop.
-fn chain(
-    name: &str,
-    dims: [usize; 3],
-    nloops: usize,
-    offsets: &[&[i64]],
-) -> LoopSequence {
+fn chain(name: &str, dims: [usize; 3], nloops: usize, offsets: &[&[i64]]) -> LoopSequence {
     assert_eq!(offsets.len(), nloops - 1);
     let mut b = SeqBuilder::new(name.to_string());
     let seed = b.array("seed", dims);
@@ -68,12 +63,7 @@ pub fn app(kz: usize, ky: usize, kx: usize) -> App {
     let mut sequences = Vec::with_capacity(11);
     // Four short advection/pressure pairs: aligned + {-1,+1} stencils.
     for i in 0..4 {
-        sequences.push(chain(
-            &format!("spem-adv{}", i + 1),
-            dims,
-            2,
-            &[&[1, -1]],
-        ));
+        sequences.push(chain(&format!("spem-adv{}", i + 1), dims, 2, &[&[1, -1]]));
     }
     // Four medium diffusion chains of 4 loops, one containing the
     // +2-distance forward dependence that forces the peel of 2.
@@ -103,7 +93,10 @@ pub fn app(kz: usize, ky: usize, kx: usize) -> App {
         8,
         &[&[0], &[-2, 0], &[0], &[0], &[1, 0], &[0], &[0]],
     ));
-    App { name: "spem", sequences }
+    App {
+        name: "spem",
+        sequences,
+    }
 }
 
 /// Table 1 expectations for spem.

@@ -19,26 +19,41 @@ fn scaled(n: usize, scale: f64) -> usize {
 }
 
 fn ll18_app(scale: f64) -> App {
-    App { name: "LL18", sequences: vec![ll18::sequence(scaled(512, scale))] }
+    App {
+        name: "LL18",
+        sequences: vec![ll18::sequence(scaled(512, scale))],
+    }
 }
 
 fn calc_app(scale: f64) -> App {
-    App { name: "calc", sequences: vec![calc::sequence(scaled(512, scale))] }
+    App {
+        name: "calc",
+        sequences: vec![calc::sequence(scaled(512, scale))],
+    }
 }
 
 fn filter_app(scale: f64) -> App {
     App {
         name: "filter",
-        sequences: vec![filter::sequence(scaled(1602, scale / 2.0), scaled(640, scale))],
+        sequences: vec![filter::sequence(
+            scaled(1602, scale / 2.0),
+            scaled(640, scale),
+        )],
     }
 }
 
 fn jacobi_app(scale: f64) -> App {
-    App { name: "jacobi", sequences: vec![jacobi::sequence(scaled(512, scale))] }
+    App {
+        name: "jacobi",
+        sequences: vec![jacobi::sequence(scaled(512, scale))],
+    }
 }
 
 fn tomcatv_app(scale: f64) -> App {
-    App { name: "tomcatv", sequences: vec![tomcatv::sequence(scaled(513, scale))] }
+    App {
+        name: "tomcatv",
+        sequences: vec![tomcatv::sequence(scaled(513, scale))],
+    }
 }
 
 fn hydro2d_app(scale: f64) -> App {
@@ -53,13 +68,34 @@ fn spem_app(scale: f64) -> App {
 /// the Jacobi worked example.
 pub fn all_programs() -> Vec<SuiteEntry> {
     vec![
-        SuiteEntry { meta: ll18::meta(), build: ll18_app },
-        SuiteEntry { meta: calc::meta(), build: calc_app },
-        SuiteEntry { meta: filter::meta(), build: filter_app },
-        SuiteEntry { meta: tomcatv::meta(), build: tomcatv_app },
-        SuiteEntry { meta: hydro2d::meta(), build: hydro2d_app },
-        SuiteEntry { meta: spem::meta(), build: spem_app },
-        SuiteEntry { meta: jacobi::meta(), build: jacobi_app },
+        SuiteEntry {
+            meta: ll18::meta(),
+            build: ll18_app,
+        },
+        SuiteEntry {
+            meta: calc::meta(),
+            build: calc_app,
+        },
+        SuiteEntry {
+            meta: filter::meta(),
+            build: filter_app,
+        },
+        SuiteEntry {
+            meta: tomcatv::meta(),
+            build: tomcatv_app,
+        },
+        SuiteEntry {
+            meta: hydro2d::meta(),
+            build: hydro2d_app,
+        },
+        SuiteEntry {
+            meta: spem::meta(),
+            build: spem_app,
+        },
+        SuiteEntry {
+            meta: jacobi::meta(),
+            build: jacobi_app,
+        },
     ]
 }
 
@@ -111,8 +147,16 @@ mod tests {
             let seq = primary_sequence(&app);
             let deps = analyze_sequence(seq).unwrap();
             let d = derive_levels(&deps, seq.len(), 1).unwrap();
-            assert_eq!(d.dims[0].shifts, entry.meta.expected_shifts, "{}", entry.meta.name);
-            assert_eq!(d.dims[0].peels, entry.meta.expected_peels, "{}", entry.meta.name);
+            assert_eq!(
+                d.dims[0].shifts, entry.meta.expected_shifts,
+                "{}",
+                entry.meta.name
+            );
+            assert_eq!(
+                d.dims[0].peels, entry.meta.expected_peels,
+                "{}",
+                entry.meta.name
+            );
         }
     }
 }

@@ -36,8 +36,7 @@ pub fn sequence(n: usize) -> LoopSequence {
     });
     // L2: second differences (the +-1 stencil that forces shift/peel 1).
     b.nest("L2", [(lo, hi), (lo, hi)], |x| {
-        let r = x.ld(rx, [1, 0]) - 2.0 * x.ld(rx, [0, 0]) + x.ld(rx, [-1, 0])
-            + x.ld(ry, [0, 0]);
+        let r = x.ld(rx, [1, 0]) - 2.0 * x.ld(rx, [0, 0]) + x.ld(rx, [-1, 0]) + x.ld(ry, [0, 0]);
         x.assign(aa, [0, 0], r);
     });
     // L3: residual combination (aligned).

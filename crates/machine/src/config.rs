@@ -56,7 +56,11 @@ pub const KSR2: MachineConfig = MachineConfig {
     name: "KSR2",
     max_procs: 56,
     clock_mhz: 40,
-    cache: CacheConfig { capacity: 256 << 10, line: 128, assoc: 2 },
+    cache: CacheConfig {
+        capacity: 256 << 10,
+        line: 128,
+        assoc: 2,
+    },
     miss_penalty: 25,
     flop_cycles: 1,
     mem_ref_cycles: 1,
@@ -73,7 +77,11 @@ pub const CONVEX_SPP1000: MachineConfig = MachineConfig {
     name: "Convex SPP-1000",
     max_procs: 16,
     clock_mhz: 100,
-    cache: CacheConfig { capacity: 1 << 20, line: 32, assoc: 1 },
+    cache: CacheConfig {
+        capacity: 1 << 20,
+        line: 32,
+        assoc: 1,
+    },
     miss_penalty: 60,
     flop_cycles: 1,
     mem_ref_cycles: 1,

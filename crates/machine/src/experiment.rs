@@ -75,7 +75,12 @@ pub fn auto_strip(seq: &LoopSequence, machine: &MachineConfig) -> i64 {
         .and_then(|deps| derive_levels(&deps, seq.len(), 1).ok())
         .map(|d| d.max_shift())
         .unwrap_or(0);
-    let trip = seq.nests.iter().map(|n| n.bounds[0].count() as i64).max().unwrap_or(1);
+    let trip = seq
+        .nests
+        .iter()
+        .map(|n| n.bounds[0].count() as i64)
+        .max()
+        .unwrap_or(1);
     suggest_strip(
         machine.cache.capacity,
         seq.arrays.len().max(1),
@@ -197,7 +202,12 @@ pub fn app_speedup_sweep(
             parts.push(simulate(
                 s,
                 machine,
-                &SimPlan { exec, layout: opts.layout, seed: 42, remote_bias: opts.remote_bias },
+                &SimPlan {
+                    exec,
+                    layout: opts.layout,
+                    seed: 42,
+                    remote_bias: opts.remote_bias,
+                },
             )?);
         }
         Ok(sum_results(&parts))
@@ -251,7 +261,11 @@ pub fn padding_sweep(
 ) -> Result<PaddingSweep, ExecError> {
     let run = |layout: LayoutStrategy, fused: bool| -> Result<u64, ExecError> {
         let exec = if fused {
-            ExecPlan::Fused { grid: vec![1], method: CodegenMethod::StripMined, strip }
+            ExecPlan::Fused {
+                grid: vec![1],
+                method: CodegenMethod::StripMined,
+                strip,
+            }
         } else {
             ExecPlan::Blocked { grid: vec![1] }
         };
@@ -312,14 +326,13 @@ pub fn runtime_sweep(
     let prog = Program::new(seq, grid.len())?;
     let procs: usize = grid.iter().product();
     let mut pool = PooledExecutor::new(procs);
-    let run = |ex: &mut dyn Executor,
-                   cfg: &RunConfig|
-     -> Result<(RunReport, Vec<Vec<f64>>), ExecError> {
-        let mut mem = Memory::new(seq, LayoutStrategy::Contiguous);
-        mem.init_deterministic(seq, 42);
-        let report = ex.run(&prog, &mut mem, cfg)?;
-        Ok((report, mem.snapshot_all(seq)))
-    };
+    let run =
+        |ex: &mut dyn Executor, cfg: &RunConfig| -> Result<(RunReport, Vec<Vec<f64>>), ExecError> {
+            let mut mem = Memory::new(seq, LayoutStrategy::Contiguous);
+            mem.init_deterministic(seq, 42);
+            let report = ex.run(&prog, &mut mem, cfg)?;
+            Ok((report, mem.snapshot_all(seq)))
+        };
     let mut rows = Vec::with_capacity(step_counts.len());
     for &steps in step_counts {
         let fused = RunConfig::fused(grid.to_vec()).strip(strip).steps(steps);
@@ -337,15 +350,24 @@ pub fn runtime_sweep(
                 "compiled backend diverged from interpreter at {steps} steps"
             )));
         }
-        let (traced, got) =
-            run(&mut pool, &fused.clone().backend(Backend::Compiled).traced())?;
+        let (traced, got) = run(
+            &mut pool,
+            &fused.clone().backend(Backend::Compiled).traced(),
+        )?;
         if got != want {
             return Err(ExecError::Config(format!(
                 "traced run diverged from untraced at {steps} steps"
             )));
         }
         let (dynamic, _) = run(&mut DynamicExecutor::default(), &blocked)?;
-        rows.push(RuntimeRow { steps, scoped, pooled, compiled, traced, dynamic });
+        rows.push(RuntimeRow {
+            steps,
+            scoped,
+            pooled,
+            compiled,
+            traced,
+            dynamic,
+        });
     }
     Ok(rows)
 }
@@ -406,6 +428,89 @@ pub fn backend_miss_parity(
     Ok(MissParity { interp, compiled })
 }
 
+/// One phase (cold or warm) of a [`serve_sweep`].
+#[derive(Clone, Debug)]
+pub struct ServePhase {
+    /// Wall time of the whole phase (submission to last completion).
+    pub seconds: f64,
+    /// Jobs completed.
+    pub jobs: usize,
+    /// Cache hits this phase (memory + disk).
+    pub hits: u64,
+    /// Cache misses this phase.
+    pub misses: u64,
+    /// Per-job output digests, in submission order.
+    pub digests: Vec<u64>,
+}
+
+impl ServePhase {
+    /// Completed jobs per second of wall time.
+    pub fn jobs_per_sec(&self) -> f64 {
+        self.jobs as f64 / self.seconds.max(1e-9)
+    }
+
+    /// Hits as a fraction of lookups this phase.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// The serving benchmark harness: submits `specs` to a fresh
+/// [`Service`](sp_serve::Service) twice — a *cold* phase that compiles
+/// every artifact and a *warm* phase resubmitting identical specs so
+/// every job is a cache hit — and returns both phases. Errors if any job
+/// fails or any warm digest differs from its cold counterpart (cached
+/// artifacts must reproduce outputs bit-for-bit).
+pub fn serve_sweep(
+    specs: &[sp_serve::JobSpec],
+    workers: usize,
+) -> Result<(ServePhase, ServePhase), sp_serve::ServeError> {
+    use sp_serve::{ArtifactCacheConfig, Service, ServiceConfig};
+    let widest = specs.iter().map(|s| s.plan.procs()).max().unwrap_or(1);
+    let service = Service::new(
+        ServiceConfig::default()
+            .workers(workers.max(widest))
+            .queue_capacity(specs.len().max(1))
+            // Memory-only and big enough that the warm phase never
+            // misses for capacity reasons.
+            .cache(ArtifactCacheConfig::memory(2 * specs.len().max(1))),
+    );
+    let phase = || -> Result<ServePhase, sp_serve::ServeError> {
+        let before = service.cache_counters();
+        let t0 = std::time::Instant::now();
+        let ids = specs
+            .iter()
+            .map(|s| service.submit(s.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut digests = Vec::with_capacity(ids.len());
+        for id in ids {
+            digests.push(service.wait(id)?.digest);
+        }
+        let seconds = t0.elapsed().as_secs_f64();
+        let after = service.cache_counters();
+        Ok(ServePhase {
+            seconds,
+            jobs: digests.len(),
+            hits: after.total_hits() - before.total_hits(),
+            misses: after.misses - before.misses,
+            digests,
+        })
+    };
+    let cold = phase()?;
+    let warm = phase()?;
+    if cold.digests != warm.digests {
+        return Err(sp_serve::ServeError::Manifest(
+            "warm digests diverged from cold digests".into(),
+        ));
+    }
+    Ok((cold, warm))
+}
+
 /// The fusion improvement ratio of Figure 24: unfused time / fused time
 /// at a fixed processor count (>1 means fusion wins).
 pub fn improvement_ratio(
@@ -462,7 +567,10 @@ mod tests {
         let s = padding_sweep(&seq, &CONVEX_SPP1000, &[1, 2], 8).unwrap();
         assert_eq!(s.rows.len(), 2);
         assert!(s.partitioned_fused > 0);
-        assert!(s.rows.iter().all(|r| r.misses_fused > 0 && r.misses_unfused > 0));
+        assert!(s
+            .rows
+            .iter()
+            .all(|r| r.misses_fused > 0 && r.misses_unfused > 0));
     }
 
     #[test]
@@ -486,11 +594,40 @@ mod tests {
     }
 
     #[test]
+    fn serve_sweep_hits_on_the_warm_phase() {
+        let seq = seq3(48);
+        let specs: Vec<sp_serve::JobSpec> = (0..3)
+            .map(|i| {
+                let plan = ExecPlan::Fused {
+                    grid: vec![2],
+                    method: CodegenMethod::StripMined,
+                    strip: 8,
+                };
+                // Different seeds, same cache key: outputs differ per
+                // job, artifacts are shared.
+                sp_serve::JobSpec::new(format!("j{i}"), seq.clone(), plan).seed(100 + i)
+            })
+            .collect();
+        let (cold, warm) = serve_sweep(&specs, 2).unwrap();
+        assert_eq!(cold.jobs, 3);
+        assert_eq!(cold.misses, 1, "identical specs compile once");
+        assert_eq!(warm.hits, 3, "warm phase never compiles");
+        assert_eq!(warm.misses, 0);
+        assert!(warm.hit_rate() > cold.hit_rate());
+        assert_eq!(cold.digests, warm.digests);
+    }
+
+    #[test]
     fn backend_miss_parity_is_exact() {
         let seq = seq3(64);
-        let parity =
-            backend_miss_parity(&seq, &[2], 8, 2, sp_cache::CacheConfig::new(16 * 1024, 64, 1))
-                .unwrap();
+        let parity = backend_miss_parity(
+            &seq,
+            &[2],
+            8,
+            2,
+            sp_cache::CacheConfig::new(16 * 1024, 64, 1),
+        )
+        .unwrap();
         assert_eq!(parity.interp.len(), 2);
         assert!(parity.equal(), "{parity:?}");
         assert!(parity.interp.iter().any(|&m| m > 0));

@@ -18,7 +18,7 @@ pub mod sim;
 pub use config::{MachineConfig, CONVEX_SPP1000, KSR2};
 pub use experiment::{
     app_speedup_sweep, auto_strip, backend_miss_parity, improvement_ratio, padding_sweep,
-    runtime_sweep, speedup_sweep, sum_results, MissParity, PaddingRow, PaddingSweep, RuntimeRow,
-    SweepOptions, SweepRow,
+    runtime_sweep, serve_sweep, speedup_sweep, sum_results, MissParity, PaddingRow, PaddingSweep,
+    RuntimeRow, ServePhase, SweepOptions, SweepRow,
 };
 pub use sim::{price, simulate, ProcResult, SimPlan, SimResult};

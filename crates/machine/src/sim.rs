@@ -29,7 +29,12 @@ pub struct SimPlan {
 impl SimPlan {
     /// A plan with default seed, no NUMA bias.
     pub fn new(exec: ExecPlan, layout: LayoutStrategy) -> Self {
-        SimPlan { exec, layout, seed: 42, remote_bias: 0.0 }
+        SimPlan {
+            exec,
+            layout,
+            seed: 42,
+            remote_bias: 0.0,
+        }
     }
 }
 
@@ -72,7 +77,13 @@ impl SimResult {
 /// Prices one processor's work in cycles under the machine's cost model
 /// (exposed for alternative schedulers, e.g. the alignment/replication
 /// baseline).
-pub fn price(machine: &MachineConfig, c: &ExecCounters, cache: &CacheStats, remote_bias: f64, procs: usize) -> u64 {
+pub fn price(
+    machine: &MachineConfig,
+    c: &ExecCounters,
+    cache: &CacheStats,
+    remote_bias: f64,
+    procs: usize,
+) -> u64 {
     let mut cycles = 0u64;
     cycles += c.flops * machine.flop_cycles;
     cycles += (c.loads + c.stores) * machine.mem_ref_cycles;
@@ -82,7 +93,11 @@ pub fn price(machine: &MachineConfig, c: &ExecCounters, cache: &CacheStats, remo
     cycles += c.guards * machine.guard_overhead;
     // Miss penalty, with an optional NUMA surcharge: with data spread over
     // `procs` memories, a fraction (procs-1)/procs of misses are remote.
-    let remote_fraction = if procs > 1 { (procs - 1) as f64 / procs as f64 } else { 0.0 };
+    let remote_fraction = if procs > 1 {
+        (procs - 1) as f64 / procs as f64
+    } else {
+        0.0
+    };
     let miss_cost = machine.miss_penalty as f64 * (1.0 + remote_bias * remote_fraction);
     cycles += (cache.misses as f64 * miss_cost) as u64;
     cycles
@@ -178,11 +193,18 @@ mod tests {
     fn more_processors_reduce_time() {
         let seq = two_pass(128);
         let mk = |p: usize| {
-            SimPlan::new(ExecPlan::Blocked { grid: vec![p] }, LayoutStrategy::Contiguous)
+            SimPlan::new(
+                ExecPlan::Blocked { grid: vec![p] },
+                LayoutStrategy::Contiguous,
+            )
         };
         let t1 = simulate(&seq, &CONVEX_SPP1000, &mk(1)).unwrap();
         let t4 = simulate(&seq, &CONVEX_SPP1000, &mk(4)).unwrap();
-        assert!(t4.speedup_over(&t1) > 2.0, "speedup {}", t4.speedup_over(&t1));
+        assert!(
+            t4.speedup_over(&t1) > 2.0,
+            "speedup {}",
+            t4.speedup_over(&t1)
+        );
     }
 
     #[test]
@@ -194,7 +216,11 @@ mod tests {
             LayoutStrategy::CachePartition(CONVEX_SPP1000.cache),
         );
         let fused = SimPlan::new(
-            ExecPlan::Fused { grid: vec![1], method: CodegenMethod::StripMined, strip: 16 },
+            ExecPlan::Fused {
+                grid: vec![1],
+                method: CodegenMethod::StripMined,
+                strip: 16,
+            },
             LayoutStrategy::CachePartition(CONVEX_SPP1000.cache),
         );
         let rb = simulate(&seq, &CONVEX_SPP1000, &base).unwrap();

@@ -1,0 +1,135 @@
+//! Stable content hashing for compilation artifacts.
+//!
+//! A [`CacheKey`] names everything that determines a derived fusion plan
+//! and a lowered tape: the program itself (via its canonical rendering),
+//! the planning configuration, the execution backend, and the processor
+//! count. Anything that does *not* change the artifact — grid shape,
+//! strip size, initialization seed, step count, tracing — is deliberately
+//! excluded, so equivalent requests collide onto one cache entry.
+//!
+//! Hashing the *rendered* program rather than the in-memory structure
+//! makes the key stable across parse/print round trips: a sequence read
+//! back from `render_sequence` output hashes identically to the original
+//! (property-tested in `tests/hash_proptest.rs`).
+
+use shift_peel_core::PlanConfig;
+use sp_exec::Backend;
+use sp_ir::display::render_sequence;
+use sp_ir::LoopSequence;
+use std::fmt;
+
+/// Version prefix folded into every key and written at the head of every
+/// on-disk artifact. Bump it whenever the canonical rendering, the plan
+/// derivation, or the tape format changes semantics: old entries then
+/// miss (or fail the disk-format check) instead of serving stale plans.
+pub const CACHE_FORMAT_VERSION: &str = "spfc-cache-v1";
+
+/// 64-bit FNV-1a. Small, dependency-free, and stable across platforms —
+/// collision resistance here only has to beat accidental aliasing among
+/// a handful of benchmark programs, not an adversary.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Content address of one compilation artifact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(pub u64);
+
+impl CacheKey {
+    /// The key for running `seq` under `cfg` on `procs` processors with
+    /// `backend`.
+    pub fn compute(
+        seq: &LoopSequence,
+        cfg: &PlanConfig,
+        backend: Backend,
+        procs: usize,
+    ) -> CacheKey {
+        CacheKey(fnv1a64(
+            Self::canonical_text(seq, cfg, backend, procs).as_bytes(),
+        ))
+    }
+
+    /// The exact text hashed by [`CacheKey::compute`], exposed so tests
+    /// and diagnostics can explain *why* two keys differ.
+    pub fn canonical_text(
+        seq: &LoopSequence,
+        cfg: &PlanConfig,
+        backend: Backend,
+        procs: usize,
+    ) -> String {
+        format!(
+            "{CACHE_FORMAT_VERSION}\n{}\nplan: {}\nbackend: {}\nprocs: {}\n",
+            render_sequence(seq),
+            cfg.canonical(),
+            backend.name(),
+            procs
+        )
+    }
+
+    /// Fixed-width lowercase hex, used for file names and display.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_peel_core::CodegenMethod;
+    use sp_ir::parse_sequence;
+    use sp_kernels::jacobi;
+
+    #[test]
+    fn key_is_stable_and_sensitive() {
+        let seq = jacobi::sequence(32);
+        let cfg = PlanConfig::fused(2);
+        let k = CacheKey::compute(&seq, &cfg, Backend::Compiled, 4);
+        // Stable across recomputation and across a parse/print round trip.
+        assert_eq!(k, CacheKey::compute(&seq, &cfg, Backend::Compiled, 4));
+        let reparsed = parse_sequence(&render_sequence(&seq)).expect("round trip");
+        assert_eq!(k, CacheKey::compute(&reparsed, &cfg, Backend::Compiled, 4));
+        // Sensitive to every keyed input.
+        assert_ne!(k, CacheKey::compute(&seq, &cfg, Backend::Compiled, 8));
+        assert_ne!(k, CacheKey::compute(&seq, &cfg, Backend::Interp, 4));
+        assert_ne!(
+            k,
+            CacheKey::compute(&seq, &PlanConfig::unfused(2), Backend::Compiled, 4)
+        );
+        assert_ne!(
+            k,
+            CacheKey::compute(
+                &seq,
+                &PlanConfig::fused(2).method(CodegenMethod::Direct),
+                Backend::Compiled,
+                4
+            )
+        );
+        assert_ne!(
+            k,
+            CacheKey::compute(&jacobi::sequence(33), &cfg, Backend::Compiled, 4),
+            "different program text must not alias"
+        );
+        // Hex rendering is fixed-width and agrees with Display.
+        assert_eq!(k.hex().len(), 16);
+        assert_eq!(k.hex(), format!("{k}"));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,43 @@
+//! # sp-serve — content-addressed compilation cache and job service
+//!
+//! The serving subsystem treats plan derivation and tape lowering as a
+//! *compilation* whose results are worth reusing: two requests that agree
+//! on the normalized program text, the planning configuration, the
+//! execution backend, and the processor count derive bit-identical
+//! artifacts, so the second request can skip derivation and lowering
+//! entirely.
+//!
+//! * [`hash`] — stable content hashing ([`CacheKey`]): FNV-1a over a
+//!   versioned canonical rendering of the sequence plus the
+//!   [`PlanConfig`](shift_peel_core::PlanConfig), backend, and processor
+//!   count;
+//! * [`cache`] — the [`ArtifactCache`]: an in-memory LRU tier over
+//!   derived [`FusionPlan`](shift_peel_core::FusionPlan)s, dependence
+//!   analyses, and lowered micro-op tapes, with an optional on-disk tier
+//!   (plans only, versioned + checksummed, corruption degrades to a
+//!   recompile) and hit/miss/evict counters that feed the `sp-trace`
+//!   metrics registry;
+//! * [`service`] — the [`Service`]: a job queue in front of the shared
+//!   persistent worker pool, admitting many concurrent clients with
+//!   FIFO + per-client fair-share scheduling, bounded-queue backpressure
+//!   ([`ServeError::QueueFull`]), per-job deadlines, and graceful drain;
+//! * [`manifest`] — the line-oriented job-manifest format behind
+//!   `spfc serve --jobs <file>`.
+//!
+//! The one legality subtlety: the cache key includes the processor
+//! *count* but not the grid *shape*, so every lookup revalidates the
+//! cached plan against the request's grid with
+//! [`revalidate_plan`](shift_peel_core::revalidate_plan) (Theorem 1 of
+//! the paper: every processor's block must be at least `Nt` iterations
+//! deep in every fused dimension). A key match alone is never sufficient
+//! to serve a plan.
+
+pub mod cache;
+pub mod hash;
+pub mod manifest;
+pub mod service;
+
+pub use cache::{Artifact, ArtifactCache, ArtifactCacheConfig, CacheCounters, Tier};
+pub use hash::{fnv1a64, CacheKey, CACHE_FORMAT_VERSION};
+pub use manifest::parse_manifest;
+pub use service::{CacheOutcome, JobId, JobResult, JobSpec, ServeError, Service, ServiceConfig};

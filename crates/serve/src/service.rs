@@ -1,0 +1,631 @@
+//! The job service: many clients, one worker pool, one cache.
+//!
+//! A [`Service`] owns a scheduler thread that feeds a single
+//! [`PooledExecutor`] (the persistent worker pool); jobs from any number
+//! of client threads queue through [`Service::submit`] and complete in an
+//! order chosen by per-client fair share with FIFO tie-breaking. The
+//! scheduler consults the [`ArtifactCache`] before compiling anything:
+//! a hit injects the cached plan (and tape, for the compiled backend)
+//! into the run via `RunConfig::prederived`/`precompiled`, a miss
+//! compiles and inserts.
+//!
+//! Deadlines are checked twice — before starting (a job that aged out in
+//! the queue never runs) and after the run (a job that overran is
+//! reported as [`ServeError::Deadline`] and its result discarded). The
+//! run itself is never interrupted, so the worker pool is always left in
+//! a clean state for the next job.
+
+use crate::cache::{Artifact, ArtifactCache, ArtifactCacheConfig, CacheCounters, Tier};
+use crate::hash::{fnv1a64, CacheKey};
+use shift_peel_core::PlanConfig;
+use sp_cache::LayoutStrategy;
+use sp_dep::{analyze_sequence, SequenceDeps};
+use sp_exec::{
+    Backend, ExecError, ExecPlan, Executor, Memory, PooledExecutor, Program, ProgramTape,
+    RunConfig, RunReport,
+};
+use sp_ir::LoopSequence;
+use sp_trace::MetricsRegistry;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced by the service.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The bounded queue is full; back off and resubmit.
+    QueueFull {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The job's deadline elapsed (in the queue or during execution).
+    Deadline {
+        /// The job that timed out.
+        job: JobId,
+        /// Its configured budget.
+        budget: Duration,
+    },
+    /// The service is draining or shut down; no new work is admitted.
+    ShuttingDown,
+    /// No job with this id was ever submitted.
+    UnknownJob(JobId),
+    /// Planning or execution failed.
+    Exec(ExecError),
+    /// A job manifest could not be parsed.
+    Manifest(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "job queue is full ({capacity} pending)")
+            }
+            ServeError::Deadline { job, budget } => {
+                write!(f, "job {job} exceeded its {:?} deadline", budget)
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::UnknownJob(id) => write!(f, "unknown job {id}"),
+            ServeError::Exec(e) => write!(f, "execution failed: {e}"),
+            ServeError::Manifest(m) => write!(f, "manifest error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ExecError> for ServeError {
+    fn from(e: ExecError) -> Self {
+        ServeError::Exec(e)
+    }
+}
+
+/// Handle to a submitted job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// One unit of work: a sequence plus everything needed to run it.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Fair-share scheduling bucket; jobs from starved clients run first.
+    pub client: String,
+    /// Display name (kernel name, manifest job name).
+    pub name: String,
+    /// The program to run. Owned so specs outlive their source text.
+    pub seq: LoopSequence,
+    /// Fused loop levels (= grid rank for parallel plans).
+    pub levels: usize,
+    /// What to execute (serial / blocked / fused + grid).
+    pub plan: ExecPlan,
+    /// Interpreter or compiled micro-op tapes.
+    pub backend: Backend,
+    /// Timesteps.
+    pub steps: usize,
+    /// Deterministic initialization seed.
+    pub seed: u64,
+    /// Wall-clock budget from submission to completion.
+    pub deadline: Option<Duration>,
+    /// Carry the final array snapshot in the [`JobResult`].
+    pub keep_output: bool,
+}
+
+impl JobSpec {
+    /// A compiled-backend job for `seq` under `plan`, one step, defaults
+    /// everywhere else. `levels` is the grid rank (1 for serial).
+    pub fn new(name: impl Into<String>, seq: LoopSequence, plan: ExecPlan) -> JobSpec {
+        let levels = plan.grid().len().max(1);
+        JobSpec {
+            client: "default".into(),
+            name: name.into(),
+            seq,
+            levels,
+            plan,
+            backend: Backend::Compiled,
+            steps: 1,
+            seed: 7,
+            deadline: None,
+            keep_output: false,
+        }
+    }
+
+    /// Sets the fair-share client bucket.
+    pub fn client(mut self, c: impl Into<String>) -> Self {
+        self.client = c.into();
+        self
+    }
+
+    /// Sets the execution backend.
+    pub fn backend(mut self, b: Backend) -> Self {
+        self.backend = b;
+        self
+    }
+
+    /// Sets the timestep count.
+    pub fn steps(mut self, n: usize) -> Self {
+        self.steps = n.max(1);
+        self
+    }
+
+    /// Sets the initialization seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.seed = s;
+        self
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Keeps the final array snapshot in the result.
+    pub fn keep_output(mut self) -> Self {
+        self.keep_output = true;
+        self
+    }
+
+    /// The planning configuration this spec compiles under — the plan
+    /// half of its cache key.
+    pub fn plan_config(&self) -> PlanConfig {
+        match &self.plan {
+            ExecPlan::Fused { method, .. } => PlanConfig::fused(self.levels).method(*method),
+            ExecPlan::Serial | ExecPlan::Blocked { .. } => PlanConfig::unfused(self.levels),
+        }
+    }
+
+    /// The content address of this spec's compilation artifacts.
+    pub fn cache_key(&self) -> CacheKey {
+        CacheKey::compute(
+            &self.seq,
+            &self.plan_config(),
+            self.backend,
+            self.plan.procs(),
+        )
+    }
+}
+
+/// Which cache tier (if any) served a job's compilation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Compiled from scratch (and inserted).
+    Miss,
+    /// Full artifact served from the in-memory tier.
+    Memory,
+    /// Plan served from disk; tape re-lowered and upgraded to memory.
+    Disk,
+}
+
+impl CacheOutcome {
+    /// Short stable name for logs and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Memory => "hit",
+            CacheOutcome::Disk => "disk-hit",
+        }
+    }
+}
+
+/// A completed job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The submitted job's id.
+    pub id: JobId,
+    /// Spec name, echoed back.
+    pub name: String,
+    /// Spec client, echoed back.
+    pub client: String,
+    /// The content address the job compiled under.
+    pub key: CacheKey,
+    /// Full executor instrumentation (`cached` + `lower_nanos` reflect
+    /// the cache outcome).
+    pub report: RunReport,
+    /// Which tier served the compilation.
+    pub cache: CacheOutcome,
+    /// FNV digest of the final array snapshot — cheap bit-for-bit
+    /// comparison between cached and uncached runs.
+    pub digest: u64,
+    /// The snapshot itself, when the spec asked to keep it.
+    pub output: Option<Vec<Vec<f64>>>,
+    /// Time spent queued before the scheduler picked the job.
+    pub queued_nanos: u64,
+    /// Wall time of the executor run.
+    pub run_nanos: u64,
+    /// 1-based completion order across the service (for scheduling
+    /// tests and logs).
+    pub order: u64,
+}
+
+/// Service sizing.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker-pool size (processors available to any one job).
+    pub workers: usize,
+    /// Bounded pending-queue capacity (backpressure past this).
+    pub queue_capacity: usize,
+    /// Artifact-cache placement and sizing.
+    pub cache: ArtifactCacheConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache: ArtifactCacheConfig::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the worker-pool size.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Sets the bounded-queue capacity.
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n.max(1);
+        self
+    }
+
+    /// Sets the cache configuration.
+    pub fn cache(mut self, c: ArtifactCacheConfig) -> Self {
+        self.cache = c;
+        self
+    }
+}
+
+struct QueuedJob {
+    id: JobId,
+    spec: JobSpec,
+    enqueued: Instant,
+}
+
+#[derive(Default)]
+struct State {
+    pending: VecDeque<QueuedJob>,
+    done: HashMap<u64, Result<JobResult, ServeError>>,
+    /// Jobs started per client — the fair-share balance.
+    served: HashMap<String, u64>,
+    running: Option<JobId>,
+    next_id: u64,
+    completed: u64,
+    failed: u64,
+    accepting: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Wakes the scheduler: new work or shutdown.
+    work_cv: Condvar,
+    /// Wakes waiters: a job finished (or was failed administratively).
+    done_cv: Condvar,
+    cache: Mutex<ArtifactCache>,
+    queue_capacity: usize,
+}
+
+/// The job service. Dropping it drains nothing: pending jobs fail with
+/// [`ServeError::ShuttingDown`]; call [`Service::drain`] first for a
+/// graceful stop.
+pub struct Service {
+    shared: Arc<Shared>,
+    scheduler: Option<thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the scheduler thread and its worker pool.
+    pub fn new(cfg: ServiceConfig) -> Service {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                accepting: true,
+                ..State::default()
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            cache: Mutex::new(ArtifactCache::new(cfg.cache.clone())),
+            queue_capacity: cfg.queue_capacity.max(1),
+        });
+        let sched = Arc::clone(&shared);
+        let workers = cfg.workers.max(1);
+        let scheduler = thread::Builder::new()
+            .name("sp-serve-scheduler".into())
+            .spawn(move || scheduler_loop(&sched, workers))
+            .expect("spawn scheduler");
+        Service {
+            shared,
+            scheduler: Some(scheduler),
+        }
+    }
+
+    /// Enqueues a job. Fails fast with [`ServeError::QueueFull`] when the
+    /// bounded queue is at capacity and [`ServeError::ShuttingDown`]
+    /// after [`Service::drain`].
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, ServeError> {
+        let mut st = self.shared.state.lock().unwrap();
+        if !st.accepting || st.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        if st.pending.len() >= self.shared.queue_capacity {
+            return Err(ServeError::QueueFull {
+                capacity: self.shared.queue_capacity,
+            });
+        }
+        let id = JobId(st.next_id);
+        st.next_id += 1;
+        st.pending.push_back(QueuedJob {
+            id,
+            spec,
+            enqueued: Instant::now(),
+        });
+        self.shared.work_cv.notify_all();
+        Ok(id)
+    }
+
+    /// Non-blocking completion check. `None` while queued or running.
+    pub fn poll(&self, id: JobId) -> Option<Result<JobResult, ServeError>> {
+        self.shared.state.lock().unwrap().done.get(&id.0).cloned()
+    }
+
+    /// Blocks until `id` completes (or fails).
+    pub fn wait(&self, id: JobId) -> Result<JobResult, ServeError> {
+        let mut st = self.shared.state.lock().unwrap();
+        if id.0 >= st.next_id {
+            return Err(ServeError::UnknownJob(id));
+        }
+        loop {
+            if let Some(res) = st.done.get(&id.0) {
+                return res.clone();
+            }
+            st = self.shared.done_cv.wait(st).unwrap();
+        }
+    }
+
+    /// Stops admission and blocks until every pending and running job
+    /// has completed.
+    pub fn drain(&self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.accepting = false;
+        while !st.pending.is_empty() || st.running.is_some() {
+            st = self.shared.done_cv.wait(st).unwrap();
+        }
+    }
+
+    /// Jobs currently queued (not running).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().unwrap().pending.len()
+    }
+
+    /// This service's cache counters so far.
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.shared.cache.lock().unwrap().counters()
+    }
+
+    /// A metrics registry covering the cache and the job counters.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new(&[("component", "sp-serve")]);
+        {
+            let st = self.shared.state.lock().unwrap();
+            reg.counter(
+                "spfc_serve_jobs_submitted_total",
+                "Jobs admitted",
+                st.next_id,
+            );
+            reg.counter(
+                "spfc_serve_jobs_completed_total",
+                "Jobs completed",
+                st.completed,
+            );
+            reg.counter("spfc_serve_jobs_failed_total", "Jobs failed", st.failed);
+            reg.gauge(
+                "spfc_serve_queue_depth",
+                "Jobs pending",
+                st.pending.len() as f64,
+            );
+        }
+        self.shared.cache.lock().unwrap().register_metrics(&mut reg);
+        reg
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.accepting = false;
+            st.shutdown = true;
+            // Fail whatever never started; the running job (if any)
+            // finishes — the pool is never interrupted mid-run.
+            while let Some(job) = st.pending.pop_front() {
+                st.done.insert(job.id.0, Err(ServeError::ShuttingDown));
+                st.failed += 1;
+            }
+            self.shared.work_cv.notify_all();
+            self.shared.done_cv.notify_all();
+        }
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+        // Persist lifetime cache stats for `spfc cache stats`.
+        self.shared.cache.lock().unwrap().flush_stats();
+    }
+}
+
+/// Fair share: among pending jobs, pick the one whose client has been
+/// served least; FIFO breaks ties (and orders a single client's jobs).
+fn pick_next(st: &State) -> Option<usize> {
+    st.pending
+        .iter()
+        .enumerate()
+        .min_by_key(|(i, j)| (st.served.get(&j.spec.client).copied().unwrap_or(0), *i))
+        .map(|(i, _)| i)
+}
+
+fn scheduler_loop(shared: &Shared, workers: usize) {
+    let mut exec = PooledExecutor::new(workers);
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(i) = pick_next(&st) {
+                    let job = st.pending.remove(i).expect("picked index is pending");
+                    st.running = Some(job.id);
+                    *st.served.entry(job.spec.client.clone()).or_insert(0) += 1;
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        let res = run_job(shared, &mut exec, &job);
+        let mut st = shared.state.lock().unwrap();
+        st.running = None;
+        match res {
+            Ok(mut r) => {
+                st.completed += 1;
+                r.order = st.completed;
+                st.done.insert(job.id.0, Ok(r));
+            }
+            Err(e) => {
+                st.failed += 1;
+                st.done.insert(job.id.0, Err(e));
+            }
+        }
+        shared.done_cv.notify_all();
+    }
+}
+
+/// Compiles (or fetches) and runs one job on the shared pool.
+fn run_job(
+    shared: &Shared,
+    exec: &mut PooledExecutor,
+    job: &QueuedJob,
+) -> Result<JobResult, ServeError> {
+    let spec = &job.spec;
+    let deadline_err = || ServeError::Deadline {
+        job: job.id,
+        budget: spec.deadline.unwrap_or_default(),
+    };
+    // Pre-check: a job that aged out while queued never starts.
+    if spec.deadline.is_some_and(|d| job.enqueued.elapsed() > d) {
+        return Err(deadline_err());
+    }
+    let started = Instant::now();
+    let queued_nanos = started.duration_since(job.enqueued).as_nanos() as u64;
+
+    let key = spec.cache_key();
+    let hit = shared
+        .cache
+        .lock()
+        .unwrap()
+        .lookup(key, &spec.seq, spec.plan.grid());
+    let (outcome, cached_plan, cached_deps, cached_tape) = match hit {
+        Some((art, Tier::Memory)) => (CacheOutcome::Memory, Some(art.plan), art.deps, art.tape),
+        Some((art, Tier::Disk)) => (CacheOutcome::Disk, Some(art.plan), art.deps, art.tape),
+        None => (CacheOutcome::Miss, None, None, None),
+    };
+
+    // Analysis: reused from the artifact when present, recomputed
+    // otherwise (disk entries carry the plan only).
+    let deps: Arc<SequenceDeps> = match cached_deps {
+        Some(d) => d,
+        None => Arc::new(
+            analyze_sequence(&spec.seq).map_err(|e| ServeError::Exec(ExecError::Analysis(e)))?,
+        ),
+    };
+    let prog = Program::from_analysis(&spec.seq, (*deps).clone(), spec.levels)?;
+    let plan = match cached_plan {
+        Some(p) => p,
+        None => Arc::new(
+            spec.plan_config()
+                .plan(&spec.seq, &deps)
+                .map_err(|e| ServeError::Exec(ExecError::Legality(e)))?,
+        ),
+    };
+
+    let mut mem = Memory::new(&spec.seq, LayoutStrategy::Contiguous);
+    mem.init_deterministic(&spec.seq, spec.seed);
+
+    let mut cfg = RunConfig::from_plan(spec.plan.clone())
+        .steps(spec.steps)
+        .backend(spec.backend);
+    if !matches!(spec.plan, ExecPlan::Serial) {
+        cfg = cfg.prederived(Arc::clone(&plan));
+    }
+    // Compiled backend: a cached tape skips lowering entirely
+    // (`precompiled` → report says cached, lower_nanos 0); otherwise
+    // lower here so the tape can be inserted alongside the plan.
+    let mut lowered = None;
+    if spec.backend == Backend::Compiled {
+        match cached_tape {
+            Some(t) => cfg = cfg.precompiled(t),
+            None => {
+                let footprint = plan.lowering_footprint(&spec.seq);
+                let tape = Arc::new(ProgramTape::lower_with(&spec.seq, &mem.layout, &footprint));
+                lowered = Some(Arc::clone(&tape));
+                cfg = cfg.with_tape(tape);
+            }
+        }
+    }
+
+    let report = exec.run(&prog, &mut mem, &cfg)?;
+    let run_nanos = started.elapsed().as_nanos() as u64;
+
+    // Post-check: the run always completes (the pool is never poisoned
+    // by a timeout), but an overrun job's result is discarded.
+    if spec.deadline.is_some_and(|d| job.enqueued.elapsed() > d) {
+        return Err(deadline_err());
+    }
+
+    // Misses populate the cache; disk hits upgrade into the memory tier
+    // with their freshly lowered tape and recomputed analysis.
+    if outcome != CacheOutcome::Memory {
+        shared.cache.lock().unwrap().insert(Artifact {
+            key,
+            plan,
+            deps: Some(deps),
+            tape: lowered,
+        });
+    }
+
+    let snapshot = mem.snapshot_all(&spec.seq);
+    let digest = snapshot_digest(&snapshot);
+    Ok(JobResult {
+        id: job.id,
+        name: spec.name.clone(),
+        client: spec.client.clone(),
+        key,
+        report,
+        cache: outcome,
+        digest,
+        output: spec.keep_output.then_some(snapshot),
+        queued_nanos,
+        run_nanos,
+        order: 0,
+    })
+}
+
+/// FNV digest over array lengths and the exact bit patterns of every
+/// element — equal digests mean bit-for-bit equal outputs.
+pub fn snapshot_digest(arrays: &[Vec<f64>]) -> u64 {
+    let mut bytes = Vec::with_capacity(arrays.iter().map(|a| 8 * a.len() + 8).sum());
+    for a in arrays {
+        bytes.extend_from_slice(&(a.len() as u64).to_le_bytes());
+        for v in a {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    fnv1a64(&bytes)
+}

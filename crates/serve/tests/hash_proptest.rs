@@ -1,0 +1,116 @@
+//! Satellite 1: property tests of cache-key stability and sensitivity.
+//!
+//! Stability — a key must survive a render → parse → render round trip
+//! of the program, since the service hashes the canonical rendering
+//! precisely so that structurally equal programs (however they were
+//! built) share artifacts. Sensitivity — keys must differ whenever the
+//! plan configuration, backend, or processor count differs, or two
+//! distinct compilations would alias one cache entry.
+
+use proptest::prelude::*;
+use shift_peel_core::{CodegenMethod, PlanConfig};
+use sp_exec::Backend;
+use sp_ir::display::render_sequence;
+use sp_ir::{parse_sequence, LoopSequence, SeqBuilder};
+use sp_serve::CacheKey;
+
+/// A random 1-D loop chain with uniform dependences, the same shape the
+/// executor proptests use: loop `i` reads loop `i-1`'s array at random
+/// offsets in [-2, 2].
+#[derive(Clone, Debug)]
+struct Chain {
+    n: usize,
+    offsets: Vec<Vec<i64>>,
+}
+
+fn chain_strategy() -> impl Strategy<Value = Chain> {
+    let offs = prop::collection::vec(-2i64..=2, 1..=3);
+    (2usize..=5, prop::collection::vec(offs, 1..=4)).prop_map(|(scale, offsets)| Chain {
+        n: 24 * scale,
+        offsets,
+    })
+}
+
+fn build(chain: &Chain) -> LoopSequence {
+    let mut b = SeqBuilder::new("chain");
+    let seed = b.array("seed", [chain.n]);
+    let nloops = chain.offsets.len() + 1;
+    let fields: Vec<_> = (0..nloops)
+        .map(|i| b.array(format!("f{i}"), [chain.n]))
+        .collect();
+    let (lo, hi) = (4i64, chain.n as i64 - 5);
+    for i in 0..nloops {
+        b.nest(format!("L{i}"), [(lo, hi)], |x| {
+            let rhs = if i == 0 {
+                x.ld(seed, [1]) + x.ld(seed, [-1])
+            } else {
+                let mut e = x.ld(seed, [0]);
+                for &o in &chain.offsets[i - 1] {
+                    e = e + x.ld(fields[i - 1], [o]);
+                }
+                e * 0.5
+            };
+            x.assign(fields[i], [0], rhs);
+        });
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Render → parse → render fixes the key: however a structurally
+    /// equal program was produced, it addresses the same artifact.
+    #[test]
+    fn key_survives_parse_print_round_trips(
+        chain in chain_strategy(),
+        procs in 1usize..=8,
+        fuse in any::<bool>(),
+        direct in any::<bool>(),
+    ) {
+        let seq = build(&chain);
+        let method = if direct { CodegenMethod::Direct } else { CodegenMethod::StripMined };
+        let cfg = if fuse { PlanConfig::fused(1) } else { PlanConfig::unfused(1) }.method(method);
+        let k = CacheKey::compute(&seq, &cfg, Backend::Compiled, procs);
+
+        let text = render_sequence(&seq);
+        let reparsed = parse_sequence(&text).expect("rendering parses back");
+        prop_assert_eq!(reparsed.clone(), seq, "round trip is structural identity");
+        prop_assert_eq!(CacheKey::compute(&reparsed, &cfg, Backend::Compiled, procs), k);
+        // And a second round trip (print the reparsed form) is a fixpoint.
+        let twice = parse_sequence(&render_sequence(&reparsed)).expect("second round trip");
+        prop_assert_eq!(CacheKey::compute(&twice, &cfg, Backend::Compiled, procs), k);
+    }
+
+    /// Any keyed input changing must change the key.
+    #[test]
+    fn key_separates_configs_backends_and_proc_counts(
+        chain in chain_strategy(),
+        procs in 1usize..=8,
+        other_procs in 9usize..=16,
+    ) {
+        let seq = build(&chain);
+        let base = PlanConfig::fused(1);
+        let k = CacheKey::compute(&seq, &base, Backend::Compiled, procs);
+        prop_assert_ne!(
+            k,
+            CacheKey::compute(&seq, &base, Backend::Compiled, other_procs),
+            "processor count is keyed"
+        );
+        prop_assert_ne!(
+            k,
+            CacheKey::compute(&seq, &base, Backend::Interp, procs),
+            "backend is keyed"
+        );
+        prop_assert_ne!(
+            k,
+            CacheKey::compute(&seq, &PlanConfig::unfused(1), Backend::Compiled, procs),
+            "fuse/unfuse is keyed"
+        );
+        prop_assert_ne!(
+            k,
+            CacheKey::compute(&seq, &base.method(CodegenMethod::Direct), Backend::Compiled, procs),
+            "codegen method is keyed"
+        );
+    }
+}

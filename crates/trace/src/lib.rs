@@ -28,6 +28,6 @@ pub mod tracer;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use ring::EventRing;
 pub use tracer::{
-    validate_chrome_trace, RunTrace, SpanKind, TraceConfig, TraceEvent, TraceSummary,
-    WorkerTrace, WorkerTracer, CONTROLLER_LANE,
+    validate_chrome_trace, RunTrace, SpanKind, TraceConfig, TraceEvent, TraceSummary, WorkerTrace,
+    WorkerTracer, CONTROLLER_LANE,
 };

@@ -101,7 +101,10 @@ impl MetricsRegistry {
     /// A registry whose samples all carry `labels`.
     pub fn new(labels: &[(&str, &str)]) -> Self {
         MetricsRegistry {
-            labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
             ..Default::default()
         }
     }
@@ -112,7 +115,8 @@ impl MetricsRegistry {
         if let Some(slot) = self.counters.iter_mut().find(|(n, _, _)| n == name) {
             slot.2 = value;
         } else {
-            self.counters.push((name.to_string(), help.to_string(), value));
+            self.counters
+                .push((name.to_string(), help.to_string(), value));
         }
     }
 
@@ -121,7 +125,8 @@ impl MetricsRegistry {
         if let Some(slot) = self.gauges.iter_mut().find(|(n, _, _)| n == name) {
             slot.2 = value;
         } else {
-            self.gauges.push((name.to_string(), help.to_string(), value));
+            self.gauges
+                .push((name.to_string(), help.to_string(), value));
         }
     }
 
@@ -130,18 +135,25 @@ impl MetricsRegistry {
         if let Some(i) = self.histograms.iter().position(|(n, _, _)| n == name) {
             return &mut self.histograms[i].2;
         }
-        self.histograms.push((name.to_string(), help.to_string(), Histogram::new()));
+        self.histograms
+            .push((name.to_string(), help.to_string(), Histogram::new()));
         &mut self.histograms.last_mut().unwrap().2
     }
 
     /// Looks up a counter's value (for tests and assertions).
     pub fn counter_value(&self, name: &str) -> Option<u64> {
-        self.counters.iter().find(|(n, _, _)| n == name).map(|(_, _, v)| *v)
+        self.counters
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, _, v)| *v)
     }
 
     /// Looks up a histogram (for tests and assertions).
     pub fn histogram_value(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.iter().find(|(n, _, _)| n == name).map(|(_, _, h)| h)
+        self.histograms
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, _, h)| h)
     }
 
     fn label_str(&self, extra: Option<(&str, String)>) -> String {
@@ -186,8 +198,16 @@ impl MetricsRegistry {
                 self.label_str(Some(("le", "+Inf".to_string()))),
                 hist.count()
             ));
-            out.push_str(&format!("{name}_sum{} {}\n", self.label_str(None), hist.sum()));
-            out.push_str(&format!("{name}_count{} {}\n", self.label_str(None), hist.count()));
+            out.push_str(&format!(
+                "{name}_sum{} {}\n",
+                self.label_str(None),
+                hist.sum()
+            ));
+            out.push_str(&format!(
+                "{name}_count{} {}\n",
+                self.label_str(None),
+                hist.count()
+            ));
         }
         out
     }
@@ -240,7 +260,10 @@ mod tests {
             text.contains("spfc_iters_total{kernel=\"jacobi\",executor=\"pooled\"} 4096\n"),
             "{text}"
         );
-        assert!(text.contains("# TYPE spfc_barrier_wait_nanos histogram\n"), "{text}");
+        assert!(
+            text.contains("# TYPE spfc_barrier_wait_nanos histogram\n"),
+            "{text}"
+        );
         assert!(
             text.contains(
                 "spfc_barrier_wait_nanos_bucket{kernel=\"jacobi\",executor=\"pooled\",le=\"1024\"} 1\n"

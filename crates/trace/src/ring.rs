@@ -29,7 +29,12 @@ impl EventRing {
     /// storage is allocated here, before the hot path begins.
     pub fn new(capacity: usize) -> Self {
         let cap = capacity.max(1);
-        EventRing { buf: Vec::with_capacity(cap), cap, head: 0, dropped: 0 }
+        EventRing {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            dropped: 0,
+        }
     }
 
     /// Total slots.
@@ -107,7 +112,10 @@ mod tests {
         assert_eq!(r.dropped(), 0);
         let steps: Vec<u32> = r.iter().map(|e| e.step).collect();
         assert_eq!(steps, vec![0, 1, 2]);
-        assert_eq!(r.into_events().iter().map(|e| e.step).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            r.into_events().iter().map(|e| e.step).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]
@@ -119,7 +127,11 @@ mod tests {
         assert_eq!(r.len(), 4);
         assert_eq!(r.dropped(), 6);
         let steps: Vec<u32> = r.iter().map(|e| e.step).collect();
-        assert_eq!(steps, vec![6, 7, 8, 9], "newest window survives, oldest first");
+        assert_eq!(
+            steps,
+            vec![6, 7, 8, 9],
+            "newest window survives, oldest first"
+        );
         assert_eq!(
             r.into_events().iter().map(|e| e.step).collect::<Vec<_>>(),
             vec![6, 7, 8, 9]

@@ -134,7 +134,10 @@ impl WorkerTracer {
     /// A tracer whose timestamps are offsets from `epoch` (the same
     /// `Instant` for every worker of a run).
     pub fn new(cfg: TraceConfig, epoch: Instant) -> Self {
-        WorkerTracer { ring: EventRing::new(cfg.capacity), epoch }
+        WorkerTracer {
+            ring: EventRing::new(cfg.capacity),
+            epoch,
+        }
     }
 
     /// The shared epoch.
@@ -153,7 +156,13 @@ impl WorkerTracer {
         group: u32,
     ) {
         let start_nanos = started.saturating_duration_since(self.epoch).as_nanos() as u64;
-        self.ring.push(TraceEvent { kind, start_nanos, dur_nanos, step, group });
+        self.ring.push(TraceEvent {
+            kind,
+            start_nanos,
+            dur_nanos,
+            step,
+            group,
+        });
     }
 
     /// Records a span that started at `started` and ends now.
@@ -166,7 +175,11 @@ impl WorkerTracer {
     /// Consumes the tracer into the worker's finished trace.
     pub fn finish(self, proc: usize) -> WorkerTrace {
         let dropped = self.ring.dropped();
-        WorkerTrace { proc, events: self.ring.into_events(), dropped }
+        WorkerTrace {
+            proc,
+            events: self.ring.into_events(),
+            dropped,
+        }
     }
 }
 
@@ -231,7 +244,10 @@ impl RunTrace {
 
     /// Events of one kind across all lanes.
     pub fn events_of(&self, kind: SpanKind) -> impl Iterator<Item = &TraceEvent> {
-        self.workers.iter().flat_map(|w| &w.events).filter(move |e| e.kind == kind)
+        self.workers
+            .iter()
+            .flat_map(|w| &w.events)
+            .filter(move |e| e.kind == kind)
     }
 
     /// The Chrome trace-event JSON (the `{"traceEvents": [...]}` form),
@@ -241,9 +257,38 @@ impl RunTrace {
     /// workers) with thread-name metadata.
     pub fn chrome_json(&self) -> String {
         let mut s = String::with_capacity(128 + 160 * self.event_count());
-        s.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        // `otherData` carries the loss accounting: rings drop their
+        // oldest events on overflow, so a viewer must know when the
+        // timeline's left edge is truncated. Per-lane counts appear only
+        // when something was actually lost.
+        s.push_str(&format!(
+            "{{\"displayTimeUnit\":\"ms\",\"otherData\":{{\"droppedEvents\":{}",
+            self.dropped()
+        ));
+        if self.dropped() > 0 {
+            s.push_str(",\"droppedByLane\":{");
+            let mut first = true;
+            for w in self.workers.iter().filter(|w| w.dropped > 0) {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                let lane = if w.proc == CONTROLLER_LANE {
+                    "controller".to_string()
+                } else {
+                    format!("worker {}", w.proc)
+                };
+                s.push_str(&format!("\"{lane}\":{}", w.dropped));
+            }
+            s.push('}');
+        }
+        s.push_str("},\"traceEvents\":[");
         let mut first = true;
-        let worker_count = self.workers.iter().filter(|w| w.proc != CONTROLLER_LANE).count();
+        let worker_count = self
+            .workers
+            .iter()
+            .filter(|w| w.proc != CONTROLLER_LANE)
+            .count();
         for w in &self.workers {
             let (tid, name) = if w.proc == CONTROLLER_LANE {
                 (worker_count, "controller".to_string())
@@ -310,22 +355,22 @@ impl RunTrace {
                 if e.kind == SpanKind::Dispatch {
                     continue; // background span; would shadow the phases
                 }
-                let kind_idx =
-                    SpanKind::all().iter().position(|k| *k == e.kind).unwrap_or(0);
+                let kind_idx = SpanKind::all()
+                    .iter()
+                    .position(|k| *k == e.kind)
+                    .unwrap_or(0);
                 let c0 = (e.start_nanos as u128 * width as u128 / total as u128) as usize;
-                let c1 = ((e.start_nanos + e.dur_nanos) as u128 * width as u128
-                    / total as u128) as usize;
+                let c1 = ((e.start_nanos + e.dur_nanos) as u128 * width as u128 / total as u128)
+                    as usize;
                 for col in cover.iter_mut().take(c1.min(width - 1) + 1).skip(c0) {
                     col[kind_idx] += e.dur_nanos.max(1);
                 }
             }
             let lane: String = cover
                 .iter()
-                .map(|c| {
-                    match c.iter().enumerate().max_by_key(|(_, &n)| n) {
-                        Some((k, &n)) if n > 0 => SpanKind::all()[k].code(),
-                        _ => ' ',
-                    }
+                .map(|c| match c.iter().enumerate().max_by_key(|(_, &n)| n) {
+                    Some((k, &n)) if n > 0 => SpanKind::all()[k].code(),
+                    _ => ' ',
                 })
                 .collect();
             let label = if w.proc == CONTROLLER_LANE {
@@ -351,6 +396,10 @@ pub struct TraceSummary {
     pub lanes: Vec<u64>,
     /// Distinct `args.step` values across spans, sorted.
     pub steps: Vec<u64>,
+    /// Events the producer reported as lost to ring overflow
+    /// (`otherData.droppedEvents`); 0 when the file carries no such
+    /// metadata.
+    pub dropped_events: u64,
 }
 
 impl TraceSummary {
@@ -370,7 +419,10 @@ impl TraceSummary {
 /// it deliberately re-parses the JSON from scratch instead of trusting
 /// the producer.
 pub fn validate_chrome_trace(json: &str) -> Result<TraceSummary, String> {
-    let mut p = MiniJson { bytes: json.as_bytes(), pos: 0 };
+    let mut p = MiniJson {
+        bytes: json.as_bytes(),
+        pos: 0,
+    };
     let v = p.value()?;
     p.ws();
     if p.pos != p.bytes.len() {
@@ -384,6 +436,14 @@ pub fn validate_chrome_trace(json: &str) -> Result<TraceSummary, String> {
         return Err("missing traceEvents array".into());
     };
     let mut summary = TraceSummary::default();
+    if let Some(Json::Object(other)) = top.iter().find(|(k, _)| k == "otherData").map(|(_, v)| v) {
+        if let Some((_, Json::Number(n))) = other.iter().find(|(k, _)| k == "droppedEvents") {
+            if !n.is_finite() || *n < 0.0 {
+                return Err(format!("otherData.droppedEvents is not a counter: {n}"));
+            }
+            summary.dropped_events = *n as u64;
+        }
+    }
     let mut names = std::collections::BTreeSet::new();
     let mut lanes = std::collections::BTreeSet::new();
     let mut steps = std::collections::BTreeSet::new();
@@ -408,11 +468,7 @@ pub fn validate_chrome_trace(json: &str) -> Result<TraceSummary, String> {
             for key in ["ts", "dur"] {
                 match get(key) {
                     Some(Json::Number(n)) if n.is_finite() && *n >= 0.0 => {}
-                    _ => {
-                        return Err(format!(
-                            "traceEvents[{i}] ({name}) has no valid {key}"
-                        ))
-                    }
+                    _ => return Err(format!("traceEvents[{i}] ({name}) has no valid {key}")),
                 }
             }
             summary.span_count += 1;
@@ -451,7 +507,11 @@ struct MiniJson<'a> {
 
 impl MiniJson<'_> {
     fn ws(&mut self) {
-        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
             self.pos += 1;
         }
     }
@@ -587,8 +647,20 @@ mod tests {
             // epoch itself as the start (offset 0) plus explicit durs.
             t.record(SpanKind::Dispatch, epoch, 5_000, NO_INDEX, NO_INDEX);
             t.record(SpanKind::Fused, epoch, 1_500, 0, 0);
-            t.record(SpanKind::BarrierWait, epoch + Duration::from_nanos(1_500), 200, 0, 0);
-            t.record(SpanKind::Peeled, epoch + Duration::from_nanos(1_700), 300, 0, 0);
+            t.record(
+                SpanKind::BarrierWait,
+                epoch + Duration::from_nanos(1_500),
+                200,
+                0,
+                0,
+            );
+            t.record(
+                SpanKind::Peeled,
+                epoch + Duration::from_nanos(1_700),
+                300,
+                0,
+                0,
+            );
             lanes.push(t.finish(proc));
         }
         let mut ctl = WorkerTracer::new(TraceConfig::with_capacity(8), epoch);
@@ -609,6 +681,41 @@ mod tests {
         // Two worker lanes plus the controller lane (tid 2).
         assert_eq!(summary.lanes, vec![0, 1, 2]);
         assert_eq!(summary.steps, vec![0]);
+    }
+
+    #[test]
+    fn dropped_events_surface_in_chrome_metadata() {
+        // No drops: the metadata is present but zero, with no per-lane map.
+        let clean = sample_trace();
+        let json = clean.chrome_json();
+        assert!(json.contains("\"droppedEvents\":0"), "{json}");
+        assert!(!json.contains("droppedByLane"), "{json}");
+        assert_eq!(validate_chrome_trace(&json).unwrap().dropped_events, 0);
+        // Overflow a capacity-4 ring with 20 spans: 16 oldest are lost.
+        let epoch = Instant::now();
+        let mut t = WorkerTracer::new(TraceConfig::with_capacity(4), epoch);
+        for step in 0..20u32 {
+            t.record(SpanKind::Fused, epoch, 100, step, 0);
+        }
+        let lane = t.finish(0);
+        assert_eq!(lane.dropped, 16);
+        assert_eq!(lane.events.len(), 4);
+        let trace = RunTrace::assemble(vec![lane]);
+        assert_eq!(trace.dropped(), 16);
+        let json = trace.chrome_json();
+        assert!(json.contains("\"droppedEvents\":16"), "{json}");
+        assert!(
+            json.contains("\"droppedByLane\":{\"worker 0\":16}"),
+            "{json}"
+        );
+        let summary = validate_chrome_trace(&json).expect("valid trace with drops");
+        assert_eq!(summary.dropped_events, 16);
+        assert_eq!(summary.span_count, 4);
+        // A negative count is rejected by the validator.
+        assert!(
+            validate_chrome_trace("{\"otherData\":{\"droppedEvents\":-1},\"traceEvents\":[]}")
+                .is_err()
+        );
     }
 
     #[test]

@@ -23,8 +23,7 @@ fn main() {
     let deps = analyze_sequence(&seq).expect("analysis");
     println!("--- dependences ---\n{}", describe_deps(&seq, &deps));
     let profit = ProfitabilityModel::new(machine.cache.capacity, procs);
-    let plan = fusion_plan(&seq, &deps, 1, CodegenMethod::StripMined, Some(&profit))
-        .expect("plan");
+    let plan = fusion_plan(&seq, &deps, 1, CodegenMethod::StripMined, Some(&profit)).expect("plan");
     println!(
         "fusion plan: {} group(s), longest {}, max shift {}, max peel {}",
         plan.groups.len(),
@@ -50,8 +49,14 @@ fn main() {
         plan.max_shift(),
         n as i64,
     );
-    println!("strip size from partition size: {} outer iterations", strip.size);
-    println!("\n--- generated schedule ---\n{}", render_plan(&seq, &plan, strip.size));
+    println!(
+        "strip size from partition size: {} outer iterations",
+        strip.size
+    );
+    println!(
+        "\n--- generated schedule ---\n{}",
+        render_plan(&seq, &plan, strip.size)
+    );
 
     // 4. Simulate original vs transformed on the machine model.
     let base = simulate(
@@ -70,7 +75,11 @@ fn main() {
         &seq,
         &machine,
         &SimPlan::new(
-            ExecPlan::Fused { grid: vec![procs], method: CodegenMethod::StripMined, strip: strip.size },
+            ExecPlan::Fused {
+                grid: vec![procs],
+                method: CodegenMethod::StripMined,
+                strip: strip.size,
+            },
             layout,
         ),
     )

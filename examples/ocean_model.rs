@@ -27,7 +27,11 @@ fn main() {
         // What the compile-time profitability evaluation (the paper's
         // Section 6 recommendation) says about this sequence.
         let profit = ProfitabilityModel::new(machine.cache.capacity, procs);
-        let verdict = if profit.should_fuse(seq, 0, seq.len()) { "fuse" } else { "skip" };
+        let verdict = if profit.should_fuse(seq, 0, seq.len()) {
+            "fuse"
+        } else {
+            "skip"
+        };
 
         // Verify the transformed execution.
         let ex = Program::new(seq, 1).expect("executor");
@@ -36,8 +40,11 @@ fn main() {
         ex.run(&mut ref_mem, &ExecPlan::Serial).expect("serial");
         let mut mem = Memory::new(seq, LayoutStrategy::Contiguous);
         mem.init_deterministic(seq, 3);
-        let fplan =
-            ExecPlan::Fused { grid: vec![procs], method: CodegenMethod::StripMined, strip: 4 };
+        let fplan = ExecPlan::Fused {
+            grid: vec![procs],
+            method: CodegenMethod::StripMined,
+            strip: 4,
+        };
         ex.run(&mut mem, &fplan).expect("fused");
         assert_eq!(
             mem.snapshot_all(seq),

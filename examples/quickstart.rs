@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use shift_peel::prelude::*;
 use shift_peel::core::CodegenMethod;
+use shift_peel::prelude::*;
 
 fn main() {
     // --- 1. Build the program (paper Figure 9) -------------------------
@@ -59,8 +59,14 @@ fn main() {
         let cfg = RunConfig::fused([procs])
             .method(CodegenMethod::StripMined)
             .strip(32);
-        let report = ScopedExecutor.run(&prog, &mut mem, &cfg).expect("fused run");
-        assert_eq!(mem.snapshot_all(&seq), want, "fused result differs at P={procs}");
+        let report = ScopedExecutor
+            .run(&prog, &mut mem, &cfg)
+            .expect("fused run");
+        assert_eq!(
+            mem.snapshot_all(&seq),
+            want,
+            "fused result differs at P={procs}"
+        );
         let c = report.merged_counters();
         println!(
             "P={procs}: fused result matches the serial original exactly \

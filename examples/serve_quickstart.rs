@@ -1,0 +1,44 @@
+//! The README's serving example: submit the same job twice through a
+//! `Service` and watch the second compile come out of the artifact
+//! cache with an identical output digest.
+//!
+//! ```bash
+//! cargo run --example serve_quickstart
+//! ```
+
+use shift_peel::prelude::*;
+use shift_peel::serve::ArtifactCacheConfig;
+
+fn main() -> Result<(), ServeError> {
+    let service = Service::new(
+        ServiceConfig::default()
+            .workers(4)
+            .cache(ArtifactCacheConfig::memory(64)),
+    );
+    let seq = shift_peel::kernels::jacobi::sequence(66);
+    let plan = ExecPlan::Fused {
+        grid: vec![2, 2],
+        method: CodegenMethod::StripMined,
+        strip: 8,
+    };
+    let spec = JobSpec::new("jacobi", seq, plan).steps(3);
+
+    let cold = service.wait(service.submit(spec.clone())?)?;
+    let warm = service.wait(service.submit(spec)?)?;
+    for r in [&cold, &warm] {
+        println!(
+            "jacobi: {:<5} key={} digest={:016x} in {} us",
+            r.cache.name(),
+            r.key,
+            r.digest,
+            r.run_nanos / 1_000
+        );
+    }
+    assert_eq!(cold.cache.name(), "miss");
+    assert_eq!(warm.cache.name(), "hit");
+    assert_eq!(
+        cold.digest, warm.digest,
+        "cached results are bit-for-bit identical"
+    );
+    Ok(())
+}

@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --example text_compiler`
 
-use shift_peel::core::{
-    distribute_sequence, fusion_plan, render_plan, CodegenMethod,
-};
+use shift_peel::core::{distribute_sequence, fusion_plan, render_plan, CodegenMethod};
 use shift_peel::ir::parse_sequence;
 use shift_peel::prelude::*;
 
@@ -36,7 +34,12 @@ fn main() {
     // 1. Parse and validate.
     let seq = parse_sequence(SOURCE).expect("parse");
     seq.validate().expect("validate");
-    println!("parsed `{}`: {} nests, {} arrays", seq.name, seq.len(), seq.arrays.len());
+    println!(
+        "parsed `{}`: {} nests, {} arrays",
+        seq.name,
+        seq.len(),
+        seq.arrays.len()
+    );
 
     // 2. Distribute multi-statement nests (L1 splits into the t- and
     //    u-producing loops).
@@ -44,7 +47,10 @@ fn main() {
     println!(
         "distributed into {} nests: {:?}",
         dist.len(),
-        dist.nests.iter().map(|n| n.label.as_str()).collect::<Vec<_>>()
+        dist.nests
+            .iter()
+            .map(|n| n.label.as_str())
+            .collect::<Vec<_>>()
     );
 
     // 3. Plan fusion over the distributed sequence.
@@ -70,7 +76,9 @@ fn main() {
     let ex_dist = Program::new(&dist, 1).expect("dist executor");
     let mut m2 = Memory::new(&dist, LayoutStrategy::Contiguous);
     m2.init_deterministic(&dist, 5);
-    let cfg = RunConfig::fused([4]).method(CodegenMethod::StripMined).strip(16);
+    let cfg = RunConfig::fused([4])
+        .method(CodegenMethod::StripMined)
+        .strip(16);
     ScopedExecutor.run(&ex_dist, &mut m2, &cfg).expect("fused");
 
     assert_eq!(

@@ -20,6 +20,8 @@
 //! * [`kernels`] — the paper's kernels and applications (LL18, calc,
 //!   filter, jacobi, tomcatv, hydro2d, spem).
 //! * [`baselines`] — the alignment/replication comparator of Figure 26.
+//! * [`serve`] — the content-addressed compilation cache and concurrent
+//!   job service (`spfc serve`).
 //!
 //! ## Quickstart
 //!
@@ -54,6 +56,7 @@ pub use sp_exec as exec;
 pub use sp_ir as ir;
 pub use sp_kernels as kernels;
 pub use sp_machine as machine;
+pub use sp_serve as serve;
 pub use sp_trace as trace;
 
 /// Convenient glob-import surface for examples and downstream users.
@@ -71,4 +74,5 @@ pub mod prelude {
     };
     pub use sp_ir::{ArrayDecl, ArrayId, Expr, LoopSequence, SeqBuilder};
     pub use sp_machine::{simulate, MachineConfig, SimPlan, SimResult};
+    pub use sp_serve::{JobSpec, ServeError, Service, ServiceConfig};
 }

@@ -4,11 +4,11 @@
 //! overhead is the paper's whole point.
 
 use shift_peel::baselines::{align_with_replication, run_aligned_sim, simulate_aligned};
+use shift_peel::core::CodegenMethod;
+use shift_peel::exec::NullSink;
 use shift_peel::kernels::ll18;
 use shift_peel::machine::{simulate, SimPlan, CONVEX_SPP1000};
 use shift_peel::prelude::*;
-use shift_peel::core::CodegenMethod;
-use shift_peel::exec::NullSink;
 
 #[test]
 fn aligned_ll18_matches_reference() {
@@ -55,7 +55,11 @@ fn replication_overhead_is_measurable() {
         &seq,
         &machine,
         &SimPlan::new(
-            ExecPlan::Fused { grid: vec![4], method: CodegenMethod::StripMined, strip: 8 },
+            ExecPlan::Fused {
+                grid: vec![4],
+                method: CodegenMethod::StripMined,
+                strip: 8,
+            },
             layout,
         ),
     )
@@ -82,7 +86,11 @@ fn fig26_shape_peeling_wins() {
             &seq,
             &machine,
             &SimPlan::new(
-                ExecPlan::Fused { grid: vec![procs], method: CodegenMethod::StripMined, strip: 8 },
+                ExecPlan::Fused {
+                    grid: vec![procs],
+                    method: CodegenMethod::StripMined,
+                    strip: 8,
+                },
                 layout,
             ),
         )

@@ -14,7 +14,11 @@ fn misses(seq: &LoopSequence, layout: LayoutStrategy, cache: CacheConfig, fused:
     let mut mem = Memory::new(seq, layout);
     mem.init_deterministic(seq, 2);
     let plan = if fused {
-        ExecPlan::Fused { grid: vec![1], method: CodegenMethod::StripMined, strip: 8 }
+        ExecPlan::Fused {
+            grid: vec![1],
+            method: CodegenMethod::StripMined,
+            strip: 8,
+        }
     } else {
         ExecPlan::Blocked { grid: vec![1] }
     };
@@ -58,8 +62,7 @@ fn nine_arrays_nine_partitions() {
     let seq = ll18::sequence(64);
     for assoc in [1usize, 2] {
         let cache = CacheConfig::new(256 << 10, 64, assoc);
-        let layout =
-            MemoryLayout::build(&seq.arrays, 8, LayoutStrategy::CachePartition(cache), 0);
+        let layout = MemoryLayout::build(&seq.arrays, 8, LayoutStrategy::CachePartition(cache), 0);
         let sp = (cache.capacity / 9) as u64;
         let mut parts: Vec<u64> = layout
             .placements
@@ -98,7 +101,10 @@ fn padding_is_erratic_partitioning_is_not() {
         .collect();
     let best = *padded.iter().min().unwrap();
     let worst = *padded.iter().max().unwrap();
-    assert!(worst as f64 > 1.2 * best as f64, "padding not erratic: {padded:?}");
+    assert!(
+        worst as f64 > 1.2 * best as f64,
+        "padding not erratic: {padded:?}"
+    );
     let partitioned = misses(&seq, LayoutStrategy::CachePartition(cache), cache, true);
     assert!(
         partitioned as f64 <= best as f64 * 1.05,

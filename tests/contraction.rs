@@ -26,8 +26,8 @@ fn pipeline(n: usize) -> LoopSequence {
         x.assign(t1, [0, 0], r);
     });
     b.nest("L2", [(2, m - 3), (2, m - 3)], |x| {
-        let r = (x.ld(t1, [1, 0]) + x.ld(t1, [-1, 0]) + x.ld(t1, [0, 1]) + x.ld(t1, [0, -1]))
-            * 0.25;
+        let r =
+            (x.ld(t1, [1, 0]) + x.ld(t1, [-1, 0]) + x.ld(t1, [0, 1]) + x.ld(t1, [0, -1])) * 0.25;
         x.assign(t2, [0, 0], r);
     });
     b.nest("L3", [(2, m - 3), (2, m - 3)], |x| {
@@ -57,7 +57,11 @@ fn run_pipeline(n: usize, strip: i64, contract: bool, cache: CacheConfig) -> (Ve
             mem.layout.contract(c.array, c.window(strip));
         }
     }
-    let plan = ExecPlan::Fused { grid: vec![1], method: CodegenMethod::StripMined, strip };
+    let plan = ExecPlan::Fused {
+        grid: vec![1],
+        method: CodegenMethod::StripMined,
+        strip,
+    };
     let mut sinks = vec![CacheSink::new(Cache::new(cache))];
     ex.run_with_sinks(&mut mem, &plan, &mut sinks).expect("run");
     (mem.snapshot(&seq, ArrayId(3)), sinks[0].stats().misses)
@@ -100,9 +104,14 @@ fn contraction_window_is_tight() {
     let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
     mem.init_deterministic(&seq, 33);
     for c in &cands {
-        mem.layout.contract(c.array, c.window(strip).saturating_sub(2).max(1));
+        mem.layout
+            .contract(c.array, c.window(strip).saturating_sub(2).max(1));
     }
-    let plan = ExecPlan::Fused { grid: vec![1], method: CodegenMethod::StripMined, strip };
+    let plan = ExecPlan::Fused {
+        grid: vec![1],
+        method: CodegenMethod::StripMined,
+        strip,
+    };
     ex.run(&mut mem, &plan).expect("run");
     assert_ne!(
         mem.snapshot(&seq, ArrayId(3)),

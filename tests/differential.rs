@@ -42,8 +42,9 @@ fn build(seed: u64) -> LoopSequence {
     let depth = 1 + r.below(3) as usize;
     let n = 16 + r.below(9) as usize;
     let mut b = SeqBuilder::new("diff");
-    let arrays: Vec<ArrayId> =
-        (0..=nnests).map(|i| b.array(format!("a{i}"), vec![n; depth])).collect();
+    let arrays: Vec<ArrayId> = (0..=nnests)
+        .map(|i| b.array(format!("a{i}"), vec![n; depth]))
+        .collect();
     let bounds = vec![(4i64, n as i64 - 5); depth];
     for j in 0..nnests {
         let (src, dst) = (arrays[j], arrays[j + 1]);

@@ -21,7 +21,12 @@ fn check(seq: &LoopSequence, plan: &ExecPlan, layout: LayoutStrategy, label: &st
     let mut mem = Memory::new(seq, layout);
     mem.init_deterministic(seq, 1234);
     ex.run(&mut mem, plan).expect(label);
-    assert_eq!(mem.snapshot_all(seq), reference(seq), "{}: {label}", seq.name);
+    assert_eq!(
+        mem.snapshot_all(seq),
+        reference(seq),
+        "{}: {label}",
+        seq.name
+    );
 }
 
 #[test]
@@ -30,11 +35,13 @@ fn every_suite_program_fuses_correctly() {
         let app = (entry.build)(0.1);
         for seq in &app.sequences {
             for procs in [1usize, 3, 4] {
-                for (method, strip) in [
-                    (CodegenMethod::StripMined, 8),
-                    (CodegenMethod::Direct, 1),
-                ] {
-                    let plan = ExecPlan::Fused { grid: vec![procs], method, strip };
+                for (method, strip) in [(CodegenMethod::StripMined, 8), (CodegenMethod::Direct, 1)]
+                {
+                    let plan = ExecPlan::Fused {
+                        grid: vec![procs],
+                        method,
+                        strip,
+                    };
                     check(
                         seq,
                         &plan,
@@ -60,8 +67,11 @@ fn fusion_is_layout_independent() {
         LayoutStrategy::InnerPad(7),
         LayoutStrategy::CachePartition(cache),
     ] {
-        let plan =
-            ExecPlan::Fused { grid: vec![4], method: CodegenMethod::StripMined, strip: 4 };
+        let plan = ExecPlan::Fused {
+            grid: vec![4],
+            method: CodegenMethod::StripMined,
+            strip: 4,
+        };
         check(seq, &plan, layout, &format!("{layout:?}"));
     }
 }
@@ -71,7 +81,12 @@ fn blocked_original_matches_serial_for_suite() {
     for entry in all_programs() {
         let app = (entry.build)(0.1);
         for seq in &app.sequences {
-            check(seq, &ExecPlan::Blocked { grid: vec![5] }, LayoutStrategy::Contiguous, "blocked");
+            check(
+                seq,
+                &ExecPlan::Blocked { grid: vec![5] },
+                LayoutStrategy::Contiguous,
+                "blocked",
+            );
         }
     }
 }
@@ -82,8 +97,17 @@ fn strip_size_never_changes_results() {
     let app = (entry.build)(0.1);
     let seq = &app.sequences[0];
     for strip in [1i64, 2, 3, 5, 17, 1_000_000] {
-        let plan = ExecPlan::Fused { grid: vec![2], method: CodegenMethod::StripMined, strip };
-        check(seq, &plan, LayoutStrategy::Contiguous, &format!("strip={strip}"));
+        let plan = ExecPlan::Fused {
+            grid: vec![2],
+            method: CodegenMethod::StripMined,
+            strip,
+        };
+        check(
+            seq,
+            &plan,
+            LayoutStrategy::Contiguous,
+            &format!("strip={strip}"),
+        );
     }
 }
 
@@ -93,6 +117,10 @@ fn processor_count_respects_legality_threshold() {
     // executor must clamp the processor count rather than mis-execute.
     let app = (all_programs()[2].build)(0.1);
     let seq = &app.sequences[0];
-    let plan = ExecPlan::Fused { grid: vec![64], method: CodegenMethod::StripMined, strip: 4 };
+    let plan = ExecPlan::Fused {
+        grid: vec![64],
+        method: CodegenMethod::StripMined,
+        strip: 4,
+    };
     check(seq, &plan, LayoutStrategy::Contiguous, "P=64 clamped");
 }

@@ -78,7 +78,11 @@ fn serial_nest_inside_fused_plan() {
     ex.run(&mut want, &ExecPlan::Serial).unwrap();
     let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
     mem.init_deterministic(&seq, 8);
-    let plan = ExecPlan::Fused { grid: vec![4], method: CodegenMethod::StripMined, strip: 4 };
+    let plan = ExecPlan::Fused {
+        grid: vec![4],
+        method: CodegenMethod::StripMined,
+        strip: 4,
+    };
     ScopedExecutor
         .run(&ex, &mut mem, &RunConfig::from_plan(plan.clone()))
         .unwrap();
@@ -126,7 +130,11 @@ fn counters_conserve_iterations() {
     ] {
         let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
         mem.init_deterministic(&seq, 1);
-        let plan = ExecPlan::Fused { grid: vec![procs], method, strip };
+        let plan = ExecPlan::Fused {
+            grid: vec![procs],
+            method,
+            strip,
+        };
         let counters = ex.run(&mut mem, &plan).unwrap();
         let total: u64 = counters.iter().map(|c| c.total_iters()).sum();
         assert_eq!(total, expect, "P={procs} strip={strip} {method:?}");
@@ -135,13 +143,17 @@ fn counters_conserve_iterations() {
 
 /// The direct method counts guards; the strip-mined method counts strips.
 #[test]
-fn overhead_counters_match_method()  {
+fn overhead_counters_match_method() {
     let seq = tiny_chain(200);
     let ex = Program::new(&seq, 1).unwrap();
     let run = |method, strip| {
         let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
         mem.init_deterministic(&seq, 1);
-        let plan = ExecPlan::Fused { grid: vec![2], method, strip };
+        let plan = ExecPlan::Fused {
+            grid: vec![2],
+            method,
+            strip,
+        };
         ex.run(&mut mem, &plan).unwrap()
     };
     let sm = run(CodegenMethod::StripMined, 8);

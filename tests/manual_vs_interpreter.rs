@@ -4,9 +4,7 @@
 //! shift-and-peel agree on *which iteration runs where and when*.
 
 use shift_peel::core::CodegenMethod;
-use shift_peel::kernels::manual::{
-    jacobi_fused_parallel, ll18_fused_parallel, Jacobi, Ll18,
-};
+use shift_peel::kernels::manual::{jacobi_fused_parallel, ll18_fused_parallel, Jacobi, Ll18};
 use shift_peel::kernels::{jacobi, ll18};
 use shift_peel::prelude::*;
 use sp_ir::ArrayId;
@@ -27,7 +25,11 @@ fn manual_ll18_matches_interpreter() {
     let n = 48usize;
     let want = run_ir_ll18(
         n,
-        &ExecPlan::Fused { grid: vec![4], method: CodegenMethod::StripMined, strip: 8 },
+        &ExecPlan::Fused {
+            grid: vec![4],
+            method: CodegenMethod::StripMined,
+            strip: 8,
+        },
     );
     let mut d = Ll18::new(n);
     d.init(5);
@@ -52,7 +54,11 @@ fn manual_jacobi_matches_interpreter() {
     let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
     mem.init_deterministic(&seq, 9);
     // 1-D (row) fusion to match the manual kernel's row shift/peel.
-    let plan = ExecPlan::Fused { grid: vec![3], method: CodegenMethod::StripMined, strip: 4 };
+    let plan = ExecPlan::Fused {
+        grid: vec![3],
+        method: CodegenMethod::StripMined,
+        strip: 4,
+    };
     ex.run(&mut mem, &plan).expect("run");
 
     let mut d = Jacobi::new(n);

@@ -29,8 +29,18 @@ fn nine_cases_of_fig16() {
         // `shift` early at the high edge.
         let want_lo0 = if b.low_boundary[0] { bs0 } else { bs0 + 1 };
         let want_lo1 = if b.low_boundary[1] { bs1 } else { bs1 + 1 };
-        assert_eq!(r.fused.bounds[0], (want_lo0, be0 - 1), "block {:?}", b.range);
-        assert_eq!(r.fused.bounds[1], (want_lo1, be1 - 1), "block {:?}", b.range);
+        assert_eq!(
+            r.fused.bounds[0],
+            (want_lo0, be0 - 1),
+            "block {:?}",
+            b.range
+        );
+        assert_eq!(
+            r.fused.bounds[1],
+            (want_lo1, be1 - 1),
+            "block {:?}",
+            b.range
+        );
         // Ownership extends past the block end except at the global high
         // boundary, so the peeled set covers [be - shift + 1, be + peel].
         let want_hi0 = if b.high_boundary[0] { be0 } else { be0 + 1 };
@@ -48,7 +58,12 @@ fn nine_cases_of_fig16() {
     let mut cases: Vec<(bool, bool, bool, bool)> = blocks
         .iter()
         .map(|b| {
-            (b.low_boundary[0], b.high_boundary[0], b.low_boundary[1], b.high_boundary[1])
+            (
+                b.low_boundary[0],
+                b.high_boundary[0],
+                b.low_boundary[1],
+                b.high_boundary[1],
+            )
         })
         .collect();
     cases.sort_unstable();

@@ -95,7 +95,11 @@ fn fusion_reduces_misses_when_data_exceeds_cache() {
         &seq,
         &CONVEX_SPP1000,
         &SimPlan::new(
-            ExecPlan::Fused { grid: vec![1], method: CodegenMethod::StripMined, strip: 16 },
+            ExecPlan::Fused {
+                grid: vec![1],
+                method: CodegenMethod::StripMined,
+                strip: 16,
+            },
             layout,
         ),
     )
@@ -120,14 +124,23 @@ fn partitioning_eliminates_conflict_misses() {
     let classes = |layout: LayoutStrategy| {
         let mut mem = Memory::new(&seq, layout);
         mem.init_deterministic(&seq, 42);
-        let plan = ExecPlan::Fused { grid: vec![1], method: CodegenMethod::StripMined, strip: 8 };
-        let mut sinks = vec![ClassifySink::new(ClassifyingCache::new(CONVEX_SPP1000.cache))];
+        let plan = ExecPlan::Fused {
+            grid: vec![1],
+            method: CodegenMethod::StripMined,
+            strip: 8,
+        };
+        let mut sinks = vec![ClassifySink::new(ClassifyingCache::new(
+            CONVEX_SPP1000.cache,
+        ))];
         ex.run_with_sinks(&mut mem, &plan, &mut sinks).unwrap();
         sinks[0].cache.classes()
     };
     let contiguous = classes(LayoutStrategy::Contiguous);
     let partitioned = classes(LayoutStrategy::CachePartition(CONVEX_SPP1000.cache));
-    assert!(contiguous.conflict > 0, "contiguous power-of-two arrays must conflict");
+    assert!(
+        contiguous.conflict > 0,
+        "contiguous power-of-two arrays must conflict"
+    );
     assert!(
         partitioned.conflict * 20 <= contiguous.conflict,
         "partitioned conflict {} vs contiguous {}",

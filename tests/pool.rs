@@ -84,7 +84,11 @@ fn one_pool_reused_across_multistep_runs() {
         let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
         mem.init_deterministic(&seq, 23);
         let report = pool.run(&prog, &mut mem, &cfg).expect("pooled steps");
-        assert_eq!(mem.snapshot_all(&seq), want.snapshot_all(&seq), "steps={steps}");
+        assert_eq!(
+            mem.snapshot_all(&seq),
+            want.snapshot_all(&seq),
+            "steps={steps}"
+        );
         assert_eq!(report.steps, steps);
         // Each worker passed one barrier per phase per step.
         let per_step = report.merged_counters().barriers / steps as u64;

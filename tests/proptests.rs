@@ -169,7 +169,10 @@ proptest! {
 #[test]
 fn nt_threshold_is_tight() {
     use shift_peel::core::{check_blocks, derive_shift_peel};
-    let chain = RandomChain { n: 64, offsets: vec![vec![2], vec![1]] };
+    let chain = RandomChain {
+        n: 64,
+        offsets: vec![vec![2], vec![1]],
+    };
     let seq = build(&chain);
     let d = derive_shift_peel(&seq).expect("derivation");
     let nt = d.dims[0].nt();

@@ -12,8 +12,8 @@ fn all_suite_programs_roundtrip() {
         let app = (entry.build)(0.1);
         for seq in &app.sequences {
             let text = render_sequence(seq);
-            let parsed = parse_sequence(&text)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", seq.name));
+            let parsed =
+                parse_sequence(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", seq.name));
             assert_eq!(&parsed, seq, "{} changed through text", seq.name);
             // Idempotence of the printer on the parsed form.
             assert_eq!(render_sequence(&parsed), text, "{}", seq.name);

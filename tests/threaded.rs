@@ -71,7 +71,9 @@ fn threaded_blocked_unfused_is_deterministic() {
     for _ in 0..5 {
         let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
         mem.init_deterministic(&seq, 77);
-        ScopedExecutor.run(&prog, &mut mem, &cfg).expect("threaded blocked");
+        ScopedExecutor
+            .run(&prog, &mut mem, &cfg)
+            .expect("threaded blocked");
         assert_eq!(mem.snapshot_all(&seq), want);
     }
 }

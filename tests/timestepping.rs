@@ -25,7 +25,11 @@ fn jacobi_relaxation_over_many_steps() {
     let want = steps(&seq, &ExecPlan::Serial, 25, 2);
     for grid in [vec![3usize], vec![2, 2]] {
         let levels = grid.len();
-        let plan = ExecPlan::Fused { grid, method: CodegenMethod::StripMined, strip: 4 };
+        let plan = ExecPlan::Fused {
+            grid,
+            method: CodegenMethod::StripMined,
+            strip: 4,
+        };
         assert_eq!(steps(&seq, &plan, 25, levels), want);
     }
 }
@@ -36,10 +40,17 @@ fn ll18_time_integration() {
     // T); 10 steps propagate any scheduling error into the state.
     let seq = ll18::sequence(48);
     let want = steps(&seq, &ExecPlan::Serial, 10, 1);
-    let plan =
-        ExecPlan::Fused { grid: vec![5], method: CodegenMethod::StripMined, strip: 4 };
+    let plan = ExecPlan::Fused {
+        grid: vec![5],
+        method: CodegenMethod::StripMined,
+        strip: 4,
+    };
     assert_eq!(steps(&seq, &plan, 10, 1), want);
-    let direct = ExecPlan::Fused { grid: vec![5], method: CodegenMethod::Direct, strip: 1 };
+    let direct = ExecPlan::Fused {
+        grid: vec![5],
+        method: CodegenMethod::Direct,
+        strip: 1,
+    };
     assert_eq!(steps(&seq, &direct, 10, 1), want);
 }
 

@@ -57,7 +57,10 @@ fn traced_pooled_run_covers_all_spans_workers_and_steps() {
     let (out, report) = run_with(&mut PooledExecutor::new(4), &seq, 2, &cfg);
 
     // Tracing must not perturb results.
-    let untraced = RunConfig::fused([2, 2]).strip(8).steps(steps).backend(Backend::Compiled);
+    let untraced = RunConfig::fused([2, 2])
+        .strip(8)
+        .steps(steps)
+        .backend(Backend::Compiled);
     let (want, plain) = run_with(&mut PooledExecutor::new(4), &seq, 2, &untraced);
     assert_eq!(out, want, "traced and untraced runs agree bit-for-bit");
     assert!(plain.trace.is_none(), "untraced run carries no trace");
@@ -65,9 +68,17 @@ fn traced_pooled_run_covers_all_spans_workers_and_steps() {
     let trace = report.trace.as_ref().expect("traced run carries a trace");
     // 4 worker lanes plus the controller lane.
     assert_eq!(trace.workers.len(), 5);
-    let controller = trace.workers.iter().find(|w| w.proc == CONTROLLER_LANE).unwrap();
+    let controller = trace
+        .workers
+        .iter()
+        .find(|w| w.proc == CONTROLLER_LANE)
+        .unwrap();
     assert_eq!(
-        controller.events.iter().filter(|e| e.kind == SpanKind::Lower).count(),
+        controller
+            .events
+            .iter()
+            .filter(|e| e.kind == SpanKind::Lower)
+            .count(),
         1,
         "compiled run records exactly one lowering span"
     );
@@ -79,18 +90,24 @@ fn traced_pooled_run_covers_all_spans_workers_and_steps() {
         );
         for step in 0..steps as u32 {
             assert!(
-                w.events.iter().any(|e| e.kind == SpanKind::Fused && e.step == step),
+                w.events
+                    .iter()
+                    .any(|e| e.kind == SpanKind::Fused && e.step == step),
                 "worker {} fused span at step {step}",
                 w.proc
             );
             assert!(
-                w.events.iter().any(|e| e.kind == SpanKind::BarrierWait && e.step == step),
+                w.events
+                    .iter()
+                    .any(|e| e.kind == SpanKind::BarrierWait && e.step == step),
                 "worker {} barrier wait at step {step}",
                 w.proc
             );
             // Jacobi's fused plan peels, so every step has a peeled phase.
             assert!(
-                w.events.iter().any(|e| e.kind == SpanKind::Peeled && e.step == step),
+                w.events
+                    .iter()
+                    .any(|e| e.kind == SpanKind::Peeled && e.step == step),
                 "worker {} peeled span at step {step}",
                 w.proc
             );
@@ -103,7 +120,11 @@ fn traced_pooled_run_covers_all_spans_workers_and_steps() {
     let json = trace.chrome_json();
     let summary = validate_chrome_trace(&json).expect("valid chrome trace");
     for name in ["dispatch", "fused", "peeled", "barrier_wait", "lower"] {
-        assert!(summary.has(name), "span {name} in export: {:?}", summary.names);
+        assert!(
+            summary.has(name),
+            "span {name} in export: {:?}",
+            summary.names
+        );
     }
     assert_eq!(summary.lanes.len(), 5);
     assert_eq!(summary.steps, vec![0, 1, 2]);
@@ -125,8 +146,14 @@ fn traced_scoped_dynamic_and_sim_runs_record_spans() {
     assert_eq!(trace.workers.len(), 5);
     for w in trace.workers.iter().filter(|w| w.proc != CONTROLLER_LANE) {
         for step in 0..2 {
-            assert!(w.events.iter().any(|e| e.kind == SpanKind::Fused && e.step == step));
-            assert!(w.events.iter().any(|e| e.kind == SpanKind::BarrierWait && e.step == step));
+            assert!(w
+                .events
+                .iter()
+                .any(|e| e.kind == SpanKind::Fused && e.step == step));
+            assert!(w
+                .events
+                .iter()
+                .any(|e| e.kind == SpanKind::BarrierWait && e.step == step));
         }
     }
 
@@ -136,7 +163,10 @@ fn traced_scoped_dynamic_and_sim_runs_record_spans() {
     let trace = report.trace.as_ref().unwrap();
     let fused = trace.events_of(SpanKind::Fused).count();
     let waits = trace.events_of(SpanKind::BarrierWait).count();
-    assert!(fused > 0 && waits > 0, "dynamic run records spans ({fused} fused, {waits} waits)");
+    assert!(
+        fused > 0 && waits > 0,
+        "dynamic run records spans ({fused} fused, {waits} waits)"
+    );
     assert_eq!(trace.events_of(SpanKind::Dispatch).count(), 4);
 
     // Sim: serialized phases still record per-processor phase spans.
@@ -164,7 +194,11 @@ fn skewed_load_shows_barrier_wait_and_imbalance() {
     let imb = report.imbalance();
     assert!(imb > 1.0, "serial nest skews iteration counts, got {imb}");
     // Sanity: proc 0 really is the busiest worker.
-    let iters: Vec<u64> = report.workers.iter().map(|w| w.counters.total_iters()).collect();
+    let iters: Vec<u64> = report
+        .workers
+        .iter()
+        .map(|w| w.counters.total_iters())
+        .collect();
     assert_eq!(iters.iter().max(), Some(&iters[0]));
 }
 
@@ -175,7 +209,10 @@ fn metrics_registry_reflects_a_traced_run() {
     let (_, report) = run_with(&mut PooledExecutor::new(4), &seq, 2, &cfg);
     let reg = report.metrics();
     assert_eq!(reg.counter_value("spfc_steps_total"), Some(2));
-    assert_eq!(reg.counter_value("spfc_iters_total"), Some(report.merged_counters().iters));
+    assert_eq!(
+        reg.counter_value("spfc_iters_total"),
+        Some(report.merged_counters().iters)
+    );
     let trace = report.trace.as_ref().unwrap();
     let bh = reg.histogram_value("spfc_barrier_wait_nanos").unwrap();
     assert_eq!(
@@ -206,5 +243,25 @@ fn tiny_ring_capacity_drops_oldest_events() {
         // The surviving window is the newest: it ends with the dispatch
         // span recorded at job end.
         assert_eq!(w.events.last().unwrap().kind, SpanKind::Dispatch);
+        assert!(w.dropped > 0, "worker {} reports its own loss", w.proc);
     }
+    // The loss is visible everywhere downstream: the Prometheus
+    // rendering, the Chrome export's metadata, and the schema check.
+    let reg = report.metrics();
+    assert_eq!(
+        reg.counter_value("spfc_trace_dropped_events_total"),
+        Some(trace.dropped())
+    );
+    assert!(
+        reg.to_prometheus()
+            .contains("spfc_trace_dropped_events_total"),
+        "dropped-events counter rendered"
+    );
+    let json = trace.chrome_json();
+    assert!(
+        json.contains(&format!("\"droppedEvents\":{}", trace.dropped())),
+        "{json}"
+    );
+    let summary = validate_chrome_trace(&json).expect("overflowed trace still validates");
+    assert_eq!(summary.dropped_events, trace.dropped());
 }
