@@ -19,18 +19,26 @@ cargo fmt --check \
 echo "==> lint wall: runtime + observability + serving crates must be clippy-clean"
 cargo clippy -p sp-exec -p sp-trace -p sp-cli -p sp-serve -- -D warnings
 
-echo "==> differential fuzzing: backends x schedules x runtimes"
+echo "==> differential fuzzing: backends (interp/compiled/simd) x schedules x runtimes"
 # The vendored proptest derives its seed from the test name, so this
-# sweep is deterministic run to run — a fixed-seed regression gate.
+# sweep is deterministic run to run — a fixed-seed regression gate. The
+# suite includes the simd parity gate: lane-blocked execution must match
+# the interpreter bit for bit, including ragged trips and peel widths.
 cargo test --release -q --test differential
 
-echo "==> backend smoke: compiled vs interp on jacobi"
-# Each run verifies against serial execution internally; running both
-# backends pins the CLI path end to end.
+echo "==> backend smoke: compiled, interp, and simd on jacobi"
+# Each run verifies against serial execution internally; running all
+# backends pins the CLI path end to end. The simd run must report a
+# nonzero vectorized-iteration count.
 cargo run --release -p sp-cli -- run examples/programs/jacobi.loop \
   --procs 4 --steps 3 --backend interp
 cargo run --release -p sp-cli -- run examples/programs/jacobi.loop \
   --procs 4 --steps 3 --backend compiled
+simd_out="$(mktemp /tmp/spfc-simd-smoke.XXXXXX)"
+cargo run --release -p sp-cli -- run examples/programs/jacobi.loop \
+  --procs 4 --steps 3 --backend simd | tee "$simd_out"
+grep -Eq 'vectorized [1-9][0-9]* of' "$simd_out"
+rm -f "$simd_out"
 
 echo "==> observability: traced run, trace schema check, explain golden"
 # A traced jacobi run must export a Chrome trace that passes the schema
@@ -49,7 +57,19 @@ cargo test --release -q -p sp-cli --test explain_golden
 
 echo "==> runtime comparison -> results/BENCH_runtime.json"
 mkdir -p results
-cargo run --release -p sp-bench --bin runtime -- --quick
+runtime_out="$(mktemp /tmp/spfc-runtime-out.XXXXXX)"
+cargo run --release -p sp-bench --bin runtime -- --quick | tee "$runtime_out"
+# The simd column must be present in the artifact and non-regressing:
+# lane-blocked interiors at >= 2x interpreter throughput on every
+# kernel's acceptance line (the binary itself asserts miss parity).
+grep -q '"simd"' results/BENCH_runtime.json
+awk '/simd\/interp throughput/ {
+  n += 1
+  for (i = 1; i < NF; i++) if ($i == "=") { ratio = $(i + 1); sub(/x$/, "", ratio) }
+  if (ratio + 0 < 2.0) { print "FAIL: simd below 2x interp: " $0; bad = 1 }
+}
+END { if (n == 0) { print "FAIL: no simd/interp acceptance lines"; exit 1 } exit bad }' "$runtime_out"
+rm -f "$runtime_out"
 
 echo "==> serving: manifest smoke x2, persistent cache must hit on the rerun"
 # The same manifest served twice against one on-disk cache: the second

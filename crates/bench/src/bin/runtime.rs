@@ -12,7 +12,11 @@
 //! Section 3.2) and shows what the static-scheduling restriction costs.
 //! The compiled backend must beat the interpreter on throughput while
 //! producing identical results and identical per-processor cache miss
-//! counts (verified here; the run panics on divergence).
+//! counts (verified here; the run panics on divergence). The `simd`
+//! column repeats the pooled run with the lane-blocked backend
+//! ([`Backend::Simd`](sp_exec::Backend)), which must clear 2x the
+//! interpreter's throughput on these kernels' unit-stride interiors
+//! while staying bit-for-bit and miss-for-miss identical.
 //!
 //! The compiled run is also repeated with per-worker event tracing
 //! enabled (`traced` column): the traced/compiled throughput ratio is
@@ -59,6 +63,9 @@ fn sweep(
             if r.compiled.iters_per_sec() > best.compiled.iters_per_sec() {
                 best.compiled = r.compiled;
             }
+            if r.simd.iters_per_sec() > best.simd.iters_per_sec() {
+                best.simd = r.simd;
+            }
             if r.traced.iters_per_sec() > best.traced.iters_per_sec() {
                 best.traced = r.traced;
             }
@@ -87,6 +94,8 @@ fn sweep(
             "pooled/scoped",
             "compiled it/s",
             "compiled/interp",
+            "simd it/s",
+            "simd/compiled",
             "traced it/s",
             "traced/compiled",
             "dynamic it/s",
@@ -102,6 +111,8 @@ fn sweep(
             f2(r.pooled.iters_per_sec() / r.scoped.iters_per_sec()),
             format!("{:.0}", r.compiled.iters_per_sec()),
             f2(r.compiled.iters_per_sec() / r.pooled.iters_per_sec()),
+            format!("{:.0}", r.simd.iters_per_sec()),
+            f2(r.simd.iters_per_sec() / r.compiled.iters_per_sec()),
             format!("{:.0}", r.traced.iters_per_sec()),
             f2(r.traced.iters_per_sec() / r.compiled.iters_per_sec()),
             format!("{:.0}", r.dynamic.iters_per_sec()),
@@ -129,6 +140,7 @@ fn emit_json(kernels: &[KernelRun]) -> String {
                 ("scoped", &r.scoped),
                 ("pooled", &r.pooled),
                 ("compiled", &r.compiled),
+                ("simd", &r.simd),
                 ("traced", &r.traced),
                 ("dynamic", &r.dynamic),
             ];
@@ -143,10 +155,11 @@ fn emit_json(kernels: &[KernelRun]) -> String {
         }
         let _ = write!(
             out,
-            "],\"miss_parity\":{{\"procs\":{},\"interp\":{:?},\"compiled\":{:?},\"equal\":{}}}}}",
+            "],\"miss_parity\":{{\"procs\":{},\"interp\":{:?},\"compiled\":{:?},\"simd\":{:?},\"equal\":{}}}}}",
             k.parity.interp.len(),
             k.parity.interp,
             k.parity.compiled,
+            k.parity.simd,
             k.parity.equal()
         );
     }
@@ -206,6 +219,16 @@ fn main() {
                 r.steps,
                 r.compiled.iters_per_sec() / r.pooled.iters_per_sec(),
                 if k.parity.equal() { "exact" } else { "BROKEN" }
+            );
+            // The SIMD acceptance bar: lane-blocked interiors should at
+            // least double interpreter throughput on these kernels.
+            println!(
+                "{}: simd/interp throughput at {} steps = {:.2}x ({} of {} iters vectorized)",
+                k.name,
+                r.steps,
+                r.simd.iters_per_sec() / r.pooled.iters_per_sec(),
+                r.simd.merged_counters().vec_iters,
+                r.simd.merged_counters().iters,
             );
             // Tracing overhead: the traced run records a handful of
             // spans per timestep into per-worker rings, so it should

@@ -56,11 +56,8 @@ fn batch(n0: usize, sizes: usize, steps: usize) -> Vec<JobSpec> {
             method: shift_peel_core::CodegenMethod::StripMined,
             strip: 8,
         };
-        for backend in [Backend::Compiled, Backend::Interp] {
-            let tag = match backend {
-                Backend::Compiled => "compiled",
-                Backend::Interp => "interp",
-            };
+        for backend in [Backend::Compiled, Backend::Interp, Backend::Simd] {
+            let tag = backend.name();
             specs.push(
                 JobSpec::new(
                     format!("jacobi-{n}-{tag}"),

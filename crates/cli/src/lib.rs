@@ -78,7 +78,7 @@ pub struct Options {
     pub executor: String,
     /// `--steps N` timesteps (default 1).
     pub steps: usize,
-    /// `--backend interp|compiled` (default interp).
+    /// `--backend interp|compiled|simd` (default interp).
     pub backend: String,
     /// `--trace-out FILE`: run with per-worker event tracing enabled and
     /// write the Chrome trace-event JSON here.
@@ -205,7 +205,7 @@ impl Options {
 pub const USAGE: &str = "usage: spfc \
 <analyze|derive|fuse|distribute|explain|run|simulate|trace-check> <prog.loop|kernel|trace.json> \
 [--procs N] [--strip N] [--steps N] [--machine ksr2|convex] \
-[--executor scoped|pooled|dynamic|sim] [--backend interp|compiled] \
+[--executor scoped|pooled|dynamic|sim] [--backend interp|compiled|simd] \
 [--trace-out FILE] [--metrics-out FILE]\n\
        spfc list\n\
        spfc serve --jobs FILE [--cache-dir DIR] [--workers N] [--queue N]\n\
@@ -446,10 +446,29 @@ fn cache_command(opts: &Options) -> Result<String, CliError> {
                 c.poisoned,
                 c.revalidation_rejects,
             );
+            if c.clear_failed > 0 {
+                let _ = writeln!(
+                    out,
+                    "clear failures: {} entries undeletable",
+                    c.clear_failed
+                );
+            }
         }
         "clear" => {
-            let removed = clear_disk(dir);
-            let _ = writeln!(out, "cleared {removed} plan entries from {}", dir.display());
+            let (removed, failed) = clear_disk(dir);
+            if failed > 0 {
+                eprintln!(
+                    "cache clear: {failed} entries could not be deleted from {}",
+                    dir.display()
+                );
+                let _ = writeln!(
+                    out,
+                    "cleared {removed} plan entries from {} ({failed} failed)",
+                    dir.display()
+                );
+            } else {
+                let _ = writeln!(out, "cleared {removed} plan entries from {}", dir.display());
+            }
         }
         other => {
             return usage(format!(
@@ -530,7 +549,8 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
             let backend = match opts.backend.as_str() {
                 "interp" => Backend::Interp,
                 "compiled" => Backend::Compiled,
-                other => return usage(format!("unknown backend {other} (interp|compiled)")),
+                "simd" => Backend::Simd,
+                other => return usage(format!("unknown backend {other} (interp|compiled|simd)")),
             };
             let mut cfg = if opts.executor == "dynamic" {
                 RunConfig::blocked([opts.procs]).steps(opts.steps)
@@ -589,11 +609,20 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
                 report.imbalance(),
                 report.max_barrier_wait_nanos()
             );
-            if backend == Backend::Compiled {
+            if backend != Backend::Interp {
                 let _ = writeln!(
                     out,
                     "lowered {} micro-ops in {} ns",
                     report.tape_ops, report.lower_nanos
+                );
+            }
+            if backend == Backend::Simd {
+                let _ = writeln!(
+                    out,
+                    "vectorized {} of {} fused iterations (lane width {})",
+                    c.vec_iters,
+                    c.iters,
+                    backend.lane_width()
                 );
             }
             if let Some(path) = &opts.trace_out {

@@ -303,6 +303,69 @@ mod tests {
         assert_eq!(max_procs(3, 5), 1);
     }
 
+    /// Theorem 1 at the boundary: a block of exactly `Nt` iterations is
+    /// legal (`floor(trip/P) >= Nt` is non-strict); `Nt - 1` is not;
+    /// `Nt + 1` is. Pinned so the check can never drift to a strict
+    /// inequality without failing here.
+    #[test]
+    fn block_exactly_nt_is_legal() {
+        let seq = swap_seq(64);
+        let deps = sp_dep::analyze_sequence(&seq).unwrap();
+        let deriv = check_sequence(&seq, &deps, 1).unwrap();
+        let nt = deriv.dims[0].nt();
+        assert_eq!(nt, 2);
+        let p = 4usize;
+        for (delta, legal) in [(-1i64, false), (0, true), (1, true)] {
+            // Trip chosen so every one of the `p` blocks has exactly
+            // `nt + delta` iterations.
+            let trip = p as i64 * (nt + delta);
+            let blocks = decompose(&[(1, trip)], &[p]).unwrap();
+            assert!(blocks.iter().all(|b| {
+                let (lo, hi) = b.range[0];
+                hi - lo + 1 == nt + delta
+            }));
+            let got = check_blocks(&deriv, &blocks);
+            match (legal, got) {
+                (true, Ok(())) => {}
+                (false, Err(LegalityError::BlockTooSmall { block_iters, .. })) => {
+                    assert_eq!(block_iters, nt - 1);
+                }
+                (_, got) => panic!("block = Nt{delta:+}: unexpected {got:?}"),
+            }
+        }
+    }
+
+    /// The executors' grid clamp (`eff = min(g, trip/nt)`, see
+    /// `build_work` in sp-exec) must agree with [`check_blocks`] at the
+    /// boundary: for every trip and requested processor count, the
+    /// clamped decomposition always passes Theorem 1, and an unclamped
+    /// count passes exactly when `p <= floor(trip/nt) = max_procs`.
+    #[test]
+    fn clamp_rounding_agrees_with_legality_check() {
+        let seq = swap_seq(64);
+        let deps = sp_dep::analyze_sequence(&seq).unwrap();
+        let deriv = check_sequence(&seq, &deps, 1).unwrap();
+        let nt = deriv.dims[0].nt();
+        for trip in nt..=4 * nt + 3 {
+            for p in 1..=trip as usize {
+                let blocks = decompose(&[(1, trip)], &[p]).unwrap();
+                let legal = check_blocks(&deriv, &blocks).is_ok();
+                assert_eq!(
+                    legal,
+                    p <= max_procs(trip, nt),
+                    "trip {trip}, p {p}: check and max_procs disagree"
+                );
+                // The clamp the executors apply before decomposing.
+                let eff = (p as i64).min(trip / nt).max(1) as usize;
+                let clamped = decompose(&[(1, trip)], &[eff]).unwrap();
+                assert!(
+                    check_blocks(&deriv, &clamped).is_ok() || trip < nt,
+                    "trip {trip}, p {p}: clamped grid still illegal"
+                );
+            }
+        }
+    }
+
     #[test]
     fn revalidation_applies_theorem_1_per_grid() {
         use crate::plan::{fusion_plan, singleton_plan, CodegenMethod};

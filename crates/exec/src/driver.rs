@@ -158,6 +158,11 @@ pub unsafe fn run_peeled_phase<S: AccessSink>(
     counters: &mut ExecCounters,
 ) {
     let deriv = &group.derivation;
+    // Peel regions are narrow boundary strips; the SIMD engine hands
+    // them to the interpreter (`Engine::boundary`) — lane-blocking has
+    // nothing to win there, and every backend is observationally
+    // identical, so the swap cannot change results or access streams.
+    let engine = engine.boundary();
     for (k, nid) in group.members().enumerate() {
         let regions = nest_regions(&seq.nests[nid], deriv, k, block);
         for r in &regions.peeled {

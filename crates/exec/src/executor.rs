@@ -47,14 +47,33 @@ pub enum Backend {
     /// run them with tight non-recursive loops. Bit-for-bit identical
     /// results and access streams to [`Backend::Interp`].
     Compiled,
+    /// Run the micro-op tapes with the unit-stride interior lane-blocked
+    /// [`LANES`](crate::tape::LANES) iterations at a time (portable
+    /// `[f64; LANES]` arrays the compiler autovectorizes); scalar
+    /// head/tail iterations and peel regions reuse the scalar paths.
+    /// Bit-for-bit identical results and access streams to
+    /// [`Backend::Interp`] — per-lane ops round exactly like their
+    /// scalar counterparts.
+    Simd,
 }
 
 impl Backend {
-    /// Short stable name (`interp` / `compiled`) used in reports.
+    /// Short stable name (`interp` / `compiled` / `simd`) used in
+    /// reports.
     pub fn name(&self) -> &'static str {
         match self {
             Backend::Interp => "interp",
             Backend::Compiled => "compiled",
+            Backend::Simd => "simd",
+        }
+    }
+
+    /// Vector lane width this backend dispatches interior iterations
+    /// with (1 for the scalar backends).
+    pub fn lane_width(&self) -> u32 {
+        match self {
+            Backend::Interp | Backend::Compiled => 1,
+            Backend::Simd => crate::tape::LANES as u32,
         }
     }
 }
@@ -192,22 +211,27 @@ impl RunConfig {
         self
     }
 
-    /// Injects a freshly lowered tape and selects the compiled backend.
-    /// The report charges the tape's own lowering time to `lower_nanos`
-    /// (the work happened, just outside the run) and leaves `cached`
-    /// false.
+    /// Injects a freshly lowered tape and selects a tape backend
+    /// (compiled unless [`Backend::Simd`] was already chosen — both run
+    /// the same tapes). The report charges the tape's own lowering time
+    /// to `lower_nanos` (the work happened, just outside the run) and
+    /// leaves `cached` false.
     pub fn with_tape(mut self, tape: Arc<ProgramTape>) -> Self {
-        self.backend = Backend::Compiled;
+        if self.backend == Backend::Interp {
+            self.backend = Backend::Compiled;
+        }
         self.tape = Some(tape);
         self.tape_cached = false;
         self
     }
 
-    /// Injects a cache-served tape and selects the compiled backend. The
-    /// report shows `lower_nanos == 0` and `cached == true`: no lowering
-    /// happened anywhere for this run.
+    /// Injects a cache-served tape and selects a tape backend (as
+    /// [`RunConfig::with_tape`]). The report shows `lower_nanos == 0`
+    /// and `cached == true`: no lowering happened anywhere for this run.
     pub fn precompiled(mut self, tape: Arc<ProgramTape>) -> Self {
-        self.backend = Backend::Compiled;
+        if self.backend == Backend::Interp {
+            self.backend = Backend::Compiled;
+        }
         self.tape = Some(tape);
         self.tape_cached = true;
         self
@@ -328,9 +352,9 @@ impl RunTracing {
         })
     }
 
-    fn record_lower(&mut self, started: Instant) {
+    fn record_lower(&mut self, started: Instant, lanes: u32) {
         self.controller
-            .record_until_now(SpanKind::Lower, started, NO_INDEX, NO_INDEX);
+            .record_lanes_until_now(SpanKind::Lower, started, lanes, NO_INDEX, NO_INDEX);
     }
 
     fn finish(self, mut lanes: Vec<WorkerTrace>) -> RunTrace {
@@ -398,10 +422,13 @@ fn plan_of(prog: &Program<'_>, cfg: &RunConfig) -> Result<Arc<FusionPlan>, ExecE
     Ok(Arc::new(prog.fusion_plan_for(cfg.plan())?))
 }
 
-/// Lowers the program to a micro-op tape when the config asks for the
-/// compiled backend (`None` means interpret). An injected tape is used
+/// Lowers the program to a micro-op tape when the config asks for a
+/// tape backend (`None` means interpret). Both tape backends share one
+/// lowering — the SIMD decision lives in the per-nest `lane_safe`
+/// analysis the lowering pass already ran. An injected tape is used
 /// as-is — its lowering happened elsewhere, so no `Lower` span is
-/// recorded here; fresh lowering is timed into the controller lane.
+/// recorded here; fresh lowering is timed into the controller lane,
+/// tagged with the backend's lane width.
 fn lower_tape(
     prog: &Program<'_>,
     mem: &Memory,
@@ -410,7 +437,7 @@ fn lower_tape(
 ) -> Result<Option<Arc<ProgramTape>>, ExecError> {
     match cfg.backend_choice() {
         Backend::Interp => Ok(None),
-        Backend::Compiled => {
+        backend @ (Backend::Compiled | Backend::Simd) => {
             if let Some(t) = cfg.injected_tape() {
                 return Ok(Some(Arc::clone(t)));
             }
@@ -419,17 +446,18 @@ fn lower_tape(
             let footprint = fp.lowering_footprint(prog.seq());
             let tape = Arc::new(ProgramTape::lower_with(prog.seq(), &mem.layout, &footprint));
             if let Some(tr) = tracing {
-                tr.record_lower(t0);
+                tr.record_lower(t0, backend.lane_width());
             }
             Ok(Some(tape))
         }
     }
 }
 
-fn engine_of(tape: &Option<Arc<ProgramTape>>) -> Engine<'_> {
-    match tape {
-        Some(t) => Engine::Compiled(t),
-        None => Engine::Interp,
+fn engine_of<'t>(backend: Backend, tape: &'t Option<Arc<ProgramTape>>) -> Engine<'t> {
+    match (backend, tape) {
+        (Backend::Simd, Some(t)) => Engine::Simd(t),
+        (_, Some(t)) => Engine::Compiled(t),
+        (_, None) => Engine::Interp,
     }
 }
 
@@ -482,7 +510,7 @@ impl Executor for ScopedExecutor {
         cfg.reject_cache_sink(self.name())?;
         let mut tracing = RunTracing::start(cfg);
         let tape = lower_tape(prog, mem, cfg, &mut tracing)?;
-        let engine = engine_of(&tape);
+        let engine = engine_of(cfg.backend_choice(), &tape);
         let t0 = Instant::now();
         let mut lanes: Vec<WorkerTrace> = Vec::new();
         let workers = match cfg.plan() {
@@ -574,7 +602,7 @@ impl Executor for PooledExecutor {
         cfg.reject_cache_sink(self.name())?;
         let mut tracing = RunTracing::start(cfg);
         let tape = lower_tape(prog, mem, cfg, &mut tracing)?;
-        let engine = engine_of(&tape);
+        let engine = engine_of(cfg.backend_choice(), &tape);
         let t0 = Instant::now();
         let mut lanes: Vec<WorkerTrace> = Vec::new();
         let workers = match cfg.plan() {
@@ -727,7 +755,7 @@ impl Executor for DynamicExecutor {
         };
         let mut tracing = RunTracing::start(cfg);
         let tape = lower_tape(prog, mem, cfg, &mut tracing)?;
-        let engine = engine_of(&tape);
+        let engine = engine_of(cfg.backend_choice(), &tape);
         let t0 = Instant::now();
         let results = dynamic_pass(
             prog.seq(),
@@ -780,7 +808,7 @@ impl Executor for SimExecutor {
         let nprocs = cfg.plan().procs();
         let mut tracing = RunTracing::start(cfg);
         let tape = lower_tape(prog, mem, cfg, &mut tracing)?;
-        let engine = engine_of(&tape);
+        let engine = engine_of(cfg.backend_choice(), &tape);
         let t0 = Instant::now();
         let ((totals, lanes), caches) = match cfg.sink_choice() {
             SinkChoice::Null => {
@@ -978,22 +1006,66 @@ mod tests {
             RunConfig::serial().steps(3),
         ] {
             let want = snapshot_after(&mut SimExecutor, &make_cfg, &seq);
-            let cfg = make_cfg.clone().backend(Backend::Compiled);
-            assert_eq!(snapshot_after(&mut SimExecutor, &cfg, &seq), want);
-            assert_eq!(snapshot_after(&mut ScopedExecutor, &cfg, &seq), want);
-            if !matches!(cfg.plan(), ExecPlan::Serial) {
-                assert_eq!(
-                    snapshot_after(&mut PooledExecutor::new(4), &cfg, &seq),
-                    want
-                );
-            }
-            if matches!(cfg.plan(), ExecPlan::Blocked { .. }) {
-                assert_eq!(
-                    snapshot_after(&mut DynamicExecutor::new(2), &cfg, &seq),
-                    want
-                );
+            for backend in [Backend::Compiled, Backend::Simd] {
+                let cfg = make_cfg.clone().backend(backend);
+                assert_eq!(snapshot_after(&mut SimExecutor, &cfg, &seq), want);
+                assert_eq!(snapshot_after(&mut ScopedExecutor, &cfg, &seq), want);
+                if !matches!(cfg.plan(), ExecPlan::Serial) {
+                    assert_eq!(
+                        snapshot_after(&mut PooledExecutor::new(4), &cfg, &seq),
+                        want
+                    );
+                }
+                if matches!(cfg.plan(), ExecPlan::Blocked { .. }) {
+                    assert_eq!(
+                        snapshot_after(&mut DynamicExecutor::new(2), &cfg, &seq),
+                        want
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn simd_backend_reports_vectorized_iterations() {
+        // Wide enough that each processor's interior spans at least one
+        // aligned LANES-wide block even after the scalar head (strip 16
+        // beats LANES = 8; a strip narrower than LANES legally
+        // vectorizes nothing).
+        let seq = jacobi(40);
+        let prog = Program::new(&seq, 2).unwrap();
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 7);
+        let cfg = RunConfig::fused([2, 2])
+            .strip(16)
+            .steps(2)
+            .backend(Backend::Simd);
+        let report = SimExecutor.run(&prog, &mut mem, &cfg).unwrap();
+        assert_eq!(report.backend, "simd");
+        assert!(report.tape_ops > 0, "simd runs lower a tape");
+        let merged = report.merged_counters();
+        assert!(merged.vec_iters > 0, "interior iterations vectorized");
+        assert!(
+            merged.vec_iters <= merged.iters,
+            "vec_iters {} is a subset of iters {}",
+            merged.vec_iters,
+            merged.iters
+        );
+        assert_eq!(merged.vec_iters % crate::tape::LANES as u64, 0);
+        // Scalar backends never vectorize.
+        let mut mem2 = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem2.init_deterministic(&seq, 7);
+        let r2 = SimExecutor
+            .run(
+                &prog,
+                &mut mem2,
+                &RunConfig::fused([2, 2]).strip(16).steps(2),
+            )
+            .unwrap();
+        assert_eq!(r2.merged_counters().vec_iters, 0);
+        // Work counters still compare equal across backends (vec_iters
+        // is dispatch accounting, excluded from equality).
+        assert_eq!(report.merged_counters(), r2.merged_counters());
     }
 
     #[test]

@@ -16,11 +16,16 @@ use sp_ir::{Expr, IterSpace, LoopSequence, Statement};
 /// The `*_nanos` fields hold wall-clock phase timings gathered by the
 /// parallel runtimes (zero under the deterministic simulators). They are
 /// **excluded from equality**: two runs performing identical work compare
-/// equal even though their timings differ.
+/// equal even though their timings differ. `vec_iters` is likewise
+/// excluded — it records *how* iterations were dispatched (lane-blocked
+/// vs scalar), which is backend-dependent, while the work fields are not.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ExecCounters {
     /// Loop-body iterations executed in fused/original phases.
     pub iters: u64,
+    /// Iterations dispatched through lane-blocked (SIMD) vector blocks;
+    /// a subset of `iters`, zero under the scalar backends.
+    pub vec_iters: u64,
     /// Iterations executed in peeled phases.
     pub peeled_iters: u64,
     /// Arithmetic operations performed.
@@ -58,6 +63,7 @@ impl ExecCounters {
     /// Element-wise sum.
     pub fn merge(&mut self, o: &ExecCounters) {
         self.iters += o.iters;
+        self.vec_iters += o.vec_iters;
         self.peeled_iters += o.peeled_iters;
         self.flops += o.flops;
         self.loads += o.loads;

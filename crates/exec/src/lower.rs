@@ -70,12 +70,14 @@ impl ProgramTape {
                     loads: stmt.rhs.reads().len() as u64,
                 });
             }
+            let lane_safe = lane_safety(&pats.pats, &stmts, depth);
             nests.push(NestTape {
                 depth,
                 elem_bytes: layout.elem_bytes as i64,
                 pats: pats.pats,
                 stmts,
                 max_stack,
+                lane_safe,
             });
         }
         ProgramTape {
@@ -83,6 +85,41 @@ impl ProgramTape {
             lower_nanos: t0.elapsed().as_nanos() as u64,
         }
     }
+}
+
+/// Decides [`NestTape::lane_safe`] for one lowered nest: whether the
+/// lane-blocked runner may execute the interior [`LANES`](crate::tape::LANES)
+/// iterations at a time and still reproduce the scalar backends bit for
+/// bit. The conditions (each documented on [`NestTape`]):
+///
+/// 1. no contracted-array (`wrap`) references;
+/// 2. every pattern's innermost coefficient is exactly 1 (unit stride);
+/// 3. all patterns share one coefficient vector, making every
+///    pattern-to-pattern slot distance a compile-time constant;
+/// 4. for every store pattern `s` and every pattern `p`, the distance
+///    `Δ = s.slot_base - p.slot_base` is `0` or `|Δ| >= LANES`, so no
+///    dependence at distance `1..LANES` can land inside a vector block.
+fn lane_safety(pats: &[AccessPat], stmts: &[StmtTape], depth: usize) -> bool {
+    let Some(first) = pats.first() else {
+        return false;
+    };
+    if pats.iter().any(|p| p.wrap.is_some()) {
+        return false;
+    }
+    if pats.iter().any(|p| p.coeffs[depth - 1] != 1) {
+        return false;
+    }
+    if pats.iter().any(|p| p.coeffs != first.coeffs) {
+        return false;
+    }
+    let lanes = crate::tape::LANES as i64;
+    stmts.iter().all(|st| {
+        let store = &pats[st.store as usize];
+        pats.iter().all(|p| {
+            let delta = store.slot_base - p.slot_base;
+            delta == 0 || delta.abs() >= lanes
+        })
+    })
 }
 
 /// Interns deduplicated access patterns for one nest.
@@ -315,6 +352,49 @@ mod tests {
             assert_eq!(c1.flops, c2.flops, "{layout:?}");
             assert_eq!(c1.loads, c2.loads, "{layout:?}");
         }
+    }
+
+    /// The lane-safety classifier: stencils over distinct arrays and
+    /// outer-carried recurrences vectorize; inner serial recurrences and
+    /// contracted arrays fall back to the scalar runner.
+    #[test]
+    fn lane_safety_classifies_nests() {
+        let n = 16usize;
+        let mut b = SeqBuilder::new("lanes");
+        let a = b.array("a", [n, n]);
+        let c = b.array("c", [n, n]);
+        let v = b.array("v", [n]);
+        // Distinct source/destination arrays: slot distance is the whole
+        // inter-array gap (>= LANES), safe.
+        b.nest("stencil", [(1, 14), (1, 14)], |x| {
+            let r = x.ld(a, [0, -1]) + x.ld(a, [0, 1]);
+            x.assign(c, [0, 0], r);
+        });
+        // Outer-carried recurrence: store a[i][j], load a[i-1][j] — the
+        // slot distance is one row (n >= LANES), safe.
+        b.nest("outer", [(1, 14), (1, 14)], |x| {
+            let r = x.ld(a, [-1, 0]) + x.ld(c, [0, 0]);
+            x.assign(a, [0, 0], r);
+        });
+        // Inner serial recurrence: store v[i], load v[i-1] — distance 1
+        // lands inside a vector block, unsafe.
+        b.nest("serial", [(1, 14)], |x| {
+            let r = x.ld(v, [-1]) + Expr::Const(1.0);
+            x.assign(v, [0], r);
+        });
+        let seq = b.finish();
+        let mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        let tape = ProgramTape::lower(&seq, &mem.layout);
+        assert!(tape.nests[0].lane_safe, "distinct-array stencil");
+        assert!(tape.nests[1].lane_safe, "outer-carried recurrence");
+        assert!(!tape.nests[2].lane_safe, "inner serial recurrence");
+        assert_eq!(tape.lane_safe_nests(), 2);
+        // Contracting an array adds a wrap pattern, which disqualifies
+        // every nest referencing it.
+        let mut wrapped = Memory::new(&seq, LayoutStrategy::Contiguous);
+        wrapped.layout.contract(sp_ir::ArrayId(0), 3);
+        let tape = ProgramTape::lower(&seq, &wrapped.layout);
+        assert!(!tape.nests[0].lane_safe, "wrap pattern disqualifies");
     }
 
     /// Contracted (wrapped) arrays take the modulo slow path and must

@@ -137,6 +137,11 @@ impl RunReport {
             m.iters,
         );
         reg.counter(
+            "spfc_vec_iters_total",
+            "Iterations dispatched through lane-blocked vector blocks",
+            m.vec_iters,
+        );
+        reg.counter(
             "spfc_peeled_iters_total",
             "Peeled-phase iterations executed",
             m.peeled_iters,
@@ -280,11 +285,12 @@ impl RunReport {
             }
             let c = &w.counters;
             s.push_str(&format!(
-                "{{\"proc\":{},\"iters\":{},\"peeled_iters\":{},\"flops\":{},\
+                "{{\"proc\":{},\"iters\":{},\"vec_iters\":{},\"peeled_iters\":{},\"flops\":{},\
                  \"loads\":{},\"stores\":{},\"strips\":{},\"guards\":{},\"barriers\":{},\
                  \"fused_nanos\":{},\"peeled_nanos\":{},\"barrier_wait_nanos\":{}",
                 w.proc,
                 c.iters,
+                c.vec_iters,
                 c.peeled_iters,
                 c.flops,
                 c.loads,
@@ -542,6 +548,7 @@ impl Parser<'_> {
             match key.as_str() {
                 "proc" => w.proc = self.u64_field()? as usize,
                 "iters" => c.iters = self.u64_field()?,
+                "vec_iters" => c.vec_iters = self.u64_field()?,
                 "peeled_iters" => c.peeled_iters = self.u64_field()?,
                 "flops" => c.flops = self.u64_field()?,
                 "loads" => c.loads = self.u64_field()?,

@@ -35,6 +35,17 @@ use crate::memory::{MemView, Memory};
 use crate::sink::AccessSink;
 use sp_ir::{AffineExpr, IterSpace, LoopSequence};
 
+/// Lane width of the SIMD backend's vector blocks.
+///
+/// The lane-blocked runner executes the unit-stride interior of each
+/// nest `LANES` iterations at a time over plain `[f64; LANES]` arrays;
+/// the per-lane loops are shaped for the compiler's autovectorizer, so
+/// no unstable features or intrinsics are involved. Eight `f64` lanes
+/// fill one AVX-512 register or two AVX2 registers — wide enough to
+/// amortize dispatch, narrow enough that the `|Δ| >= LANES` lane-safety
+/// bound (see [`NestTape::lane_safe`]) rarely rejects real stencils.
+pub const LANES: usize = 8;
+
 /// One instruction of a statement tape, operating on a value stack.
 ///
 /// Binary ops pop two values and push one; unary ops replace the top of
@@ -151,6 +162,25 @@ pub struct NestTape {
     pub(crate) stmts: Vec<StmtTape>,
     /// Value-stack slots the deepest statement needs.
     pub(crate) max_stack: usize,
+    /// Whether the lane-blocked (SIMD) runner may execute this nest's
+    /// interior `LANES` iterations at a time and still reproduce the
+    /// scalar backends bit for bit. Decided once at lowering:
+    ///
+    /// * no contracted-array (`wrap`) references — their modulo term is
+    ///   not affine in the lane index;
+    /// * every access pattern's innermost coefficient is exactly 1, so a
+    ///   vector block touches `LANES` consecutive slots per pattern;
+    /// * all patterns share one coefficient vector, so the slot distance
+    ///   between any two patterns is the constant `Δ = slot_base
+    ///   difference` at every iteration point;
+    /// * for every store pattern and every pattern, `Δ == 0` or `|Δ| >=
+    ///   LANES`: no loop-carried dependence at distance `< LANES` can
+    ///   land inside one vector block, and `Δ == 0` (same-iteration
+    ///   use) is benign because the runner preserves statement order
+    ///   and loads all lanes before storing any.
+    ///
+    /// Ineligible nests fall back to the scalar tape runner.
+    pub(crate) lane_safe: bool,
 }
 
 impl NestTape {
@@ -192,12 +222,19 @@ impl ProgramTape {
     pub fn pattern_count(&self) -> usize {
         self.nests.iter().map(|n| n.pats.len()).sum()
     }
+
+    /// Nests the lane-blocked runner accepts (see [`NestTape`] docs);
+    /// the rest run scalar under `Backend::Simd` too.
+    pub fn lane_safe_nests(&self) -> usize {
+        self.nests.iter().filter(|n| n.lane_safe).count()
+    }
 }
 
 /// Which execution backend a driver loop uses for nest bodies: the
-/// recursive interpreter or a compiled [`ProgramTape`].
+/// recursive interpreter, a compiled [`ProgramTape`], or the tape's
+/// lane-blocked SIMD form.
 ///
-/// Both backends are observationally identical (results, access stream,
+/// All backends are observationally identical (results, access stream,
 /// counters); they differ only in speed. The engine is `Copy` so worker
 /// closures can capture it by value.
 #[derive(Clone, Copy, Debug)]
@@ -206,6 +243,9 @@ pub enum Engine<'a> {
     Interp,
     /// Execute pre-lowered micro-op tapes.
     Compiled(&'a ProgramTape),
+    /// Execute tapes with the interior lane-blocked `LANES` iterations
+    /// at a time ([`exec_region_simd`]); ineligible nests run scalar.
+    Simd(&'a ProgramTape),
 }
 
 impl Engine<'_> {
@@ -232,6 +272,21 @@ impl Engine<'_> {
                 // SAFETY: forwarded from caller.
                 unsafe { exec_region_tape(&tape.nests[nest_idx], region, view, sink, counters) }
             }
+            Engine::Simd(tape) => {
+                // SAFETY: forwarded from caller.
+                unsafe { exec_region_simd(&tape.nests[nest_idx], region, view, sink, counters) }
+            }
+        }
+    }
+
+    /// The engine boundary (peel) regions run under: lane-blocking pays
+    /// off only in the dense fused interior, so `Simd` hands its narrow
+    /// peel regions back to the interpreter — legal because every
+    /// backend is observationally identical.
+    pub fn boundary(&self) -> Self {
+        match self {
+            Engine::Simd(_) => Engine::Interp,
+            e => *e,
         }
     }
 
@@ -384,6 +439,364 @@ pub unsafe fn exec_region_tape<S: AccessSink>(
         }
         break;
     }
+}
+
+/// Executes every iteration of `region` through a compiled nest tape
+/// with the innermost loop lane-blocked: a scalar head aligns the inner
+/// index to an absolute multiple of [`LANES`], full blocks then execute
+/// `LANES` iterations at a time over `[f64; LANES]` value stacks (plain
+/// per-lane loops the compiler autovectorizes — each lane performs the
+/// same separately rounded `f64` operations the scalar backends do, so
+/// results are bit for bit identical), and a scalar tail finishes the
+/// remainder. Nests that fail the [`NestTape::lane_safe`] analysis run
+/// through the scalar tape runner unchanged.
+///
+/// Access-stream parity: vector blocks replay their sink accesses in
+/// exact scalar order (iteration → statement → RHS loads → store)
+/// separately from the vectorized compute, so cache simulations observe
+/// the same address sequence as the scalar backends; under
+/// [`crate::sink::NullSink`] the replay is dead code and vanishes.
+///
+/// # Safety
+/// As [`exec_region_tape`]: the caller upholds [`MemView`]'s contract,
+/// and the tape must have been lowered against `view`'s layout.
+pub unsafe fn exec_region_simd<S: AccessSink>(
+    nest: &NestTape,
+    region: &IterSpace,
+    view: &MemView<'_>,
+    sink: &mut S,
+    counters: &mut ExecCounters,
+) {
+    if !nest.lane_safe {
+        // SAFETY: forwarded from caller.
+        return unsafe { exec_region_tape(nest, region, view, sink, counters) };
+    }
+    if region.is_empty() {
+        return;
+    }
+    let depth = region.depth();
+    debug_assert_eq!(
+        depth, nest.depth,
+        "region depth must match the lowered nest"
+    );
+    debug_assert!(
+        nest.pats.iter().all(|p| p.wrap.is_none()),
+        "lane-safe nests have no wrap patterns"
+    );
+    let (ilo, ihi) = region.bounds[depth - 1];
+    let trip = ihi - ilo + 1;
+    // Vector blocks start at absolute multiples of LANES: the scalar
+    // head absorbs `ilo mod LANES` iterations, so shifted (peeled)
+    // regions still produce aligned, reproducible block boundaries.
+    let head = ((LANES as i64 - ilo.rem_euclid(LANES as i64)) % LANES as i64).min(trip);
+    let vec_trip = ((trip - head) / LANES as i64) * (LANES as i64);
+    let lows: Vec<i64> = region.bounds.iter().map(|&(lo, _)| lo).collect();
+    // Linear offset of each pattern at the current outer point with the
+    // inner variable pinned to `ilo`; the span runners add the inner
+    // offset themselves (every innermost coefficient is 1).
+    let mut cur: Vec<i64> = nest.pats.iter().map(|p| dot(&p.coeffs, &lows)).collect();
+    // Outer-level odometer deltas: the inner level stays pinned at
+    // `ilo`, so unlike exec_region_tape only deeper *outer* spans are
+    // subtracted when a level increments.
+    let outer = depth - 1;
+    let deltas: Vec<Vec<i64>> = (0..outer)
+        .map(|l| {
+            nest.pats
+                .iter()
+                .map(|p| {
+                    let mut d = p.coeffs[l];
+                    for m in l + 1..outer {
+                        d -= p.coeffs[m] * (region.bounds[m].1 - region.bounds[m].0);
+                    }
+                    d
+                })
+                .collect()
+        })
+        .collect();
+    let mut stack = vec![0.0f64; nest.max_stack];
+    let mut vstack = vec![[0.0f64; LANES]; nest.max_stack];
+    let mut point = lows;
+    'outer: loop {
+        // SAFETY: forwarded from caller for every span below.
+        unsafe { scalar_span(nest, &cur, 0, head, view, sink, &mut stack, counters) };
+        let mut off = head;
+        while off < head + vec_trip {
+            // SAFETY: forwarded from caller.
+            unsafe { vector_block(nest, &cur, off, view, sink, &mut vstack, counters) };
+            off += LANES as i64;
+        }
+        // SAFETY: forwarded from caller.
+        unsafe {
+            scalar_span(
+                nest,
+                &cur,
+                off,
+                trip - off,
+                view,
+                sink,
+                &mut stack,
+                counters,
+            )
+        };
+        for l in (0..outer).rev() {
+            point[l] += 1;
+            if point[l] <= region.bounds[l].1 {
+                for (c, d) in cur.iter_mut().zip(&deltas[l]) {
+                    *c += *d;
+                }
+                continue 'outer;
+            }
+            point[l] = region.bounds[l].0;
+        }
+        break;
+    }
+}
+
+/// Scalar head/tail spans of the lane-blocked runner: executes `n`
+/// consecutive inner iterations starting `off` slots past each
+/// pattern's `cur` offset. One inner-loop stretch of
+/// [`exec_region_tape`], specialized to lane-safe nests (no wrap
+/// patterns, so the iteration point itself is never consulted).
+///
+/// # Safety
+/// As [`exec_region_tape`], forwarded from [`exec_region_simd`].
+#[allow(clippy::too_many_arguments)]
+unsafe fn scalar_span<S: AccessSink>(
+    nest: &NestTape,
+    cur: &[i64],
+    off: i64,
+    n: i64,
+    view: &MemView<'_>,
+    sink: &mut S,
+    stack: &mut [f64],
+    counters: &mut ExecCounters,
+) {
+    let eb = nest.elem_bytes;
+    for t in off..off + n {
+        for st in &nest.stmts {
+            let mut sp = 0usize;
+            for op in &st.ops {
+                match *op {
+                    MicroOp::Const(c) => {
+                        stack[sp] = c;
+                        sp += 1;
+                    }
+                    MicroOp::Load(j) => {
+                        let j = j as usize;
+                        let pat = &nest.pats[j];
+                        let var = cur[j] + t;
+                        sink.access((pat.addr_base + var * eb) as u64, false);
+                        // SAFETY: forwarded from caller.
+                        stack[sp] = unsafe { view.read_slot((pat.slot_base + var) as usize) };
+                        sp += 1;
+                    }
+                    MicroOp::Add => {
+                        sp -= 1;
+                        stack[sp - 1] += stack[sp];
+                    }
+                    MicroOp::Sub => {
+                        sp -= 1;
+                        stack[sp - 1] -= stack[sp];
+                    }
+                    MicroOp::Mul => {
+                        sp -= 1;
+                        stack[sp - 1] *= stack[sp];
+                    }
+                    MicroOp::Div => {
+                        sp -= 1;
+                        stack[sp - 1] /= stack[sp];
+                    }
+                    MicroOp::Min => {
+                        sp -= 1;
+                        stack[sp - 1] = stack[sp - 1].min(stack[sp]);
+                    }
+                    MicroOp::Max => {
+                        sp -= 1;
+                        stack[sp - 1] = stack[sp - 1].max(stack[sp]);
+                    }
+                    MicroOp::Neg => stack[sp - 1] = -stack[sp - 1],
+                    MicroOp::Abs => stack[sp - 1] = stack[sp - 1].abs(),
+                    MicroOp::Sqrt => stack[sp - 1] = stack[sp - 1].sqrt(),
+                    MicroOp::MulAdd => {
+                        sp -= 2;
+                        stack[sp - 1] = stack[sp - 1] * stack[sp] + stack[sp + 1];
+                    }
+                    MicroOp::AddMul => {
+                        sp -= 2;
+                        stack[sp - 1] += stack[sp] * stack[sp + 1];
+                    }
+                }
+            }
+            debug_assert_eq!(sp, 1, "statement tape must leave exactly one value");
+            let j = st.store as usize;
+            let pat = &nest.pats[j];
+            let var = cur[j] + t;
+            sink.access((pat.addr_base + var * eb) as u64, true);
+            // SAFETY: forwarded from caller.
+            unsafe { view.write_slot((pat.slot_base + var) as usize, stack[0]) };
+            counters.flops += st.flops;
+            counters.loads += st.loads;
+            counters.stores += 1;
+        }
+        counters.iters += 1;
+    }
+}
+
+/// One full-width vector block of the lane-blocked runner: `LANES`
+/// consecutive inner iterations starting `off` slots past `cur`.
+///
+/// The compute loop walks each statement's micro-ops once over
+/// `[f64; LANES]` stack slots; per-lane loops perform the identical
+/// sequence of separately rounded `f64` operations the scalar runners
+/// perform on each lane, and every statement loads all lanes before
+/// storing any, so lane-safe nests (see [`NestTape::lane_safe`])
+/// reproduce scalar results bit for bit.
+///
+/// # Safety
+/// As [`exec_region_tape`], forwarded from [`exec_region_simd`].
+unsafe fn vector_block<S: AccessSink>(
+    nest: &NestTape,
+    cur: &[i64],
+    off: i64,
+    view: &MemView<'_>,
+    sink: &mut S,
+    vstack: &mut [[f64; LANES]],
+    counters: &mut ExecCounters,
+) {
+    let eb = nest.elem_bytes;
+    // Replay the block's access stream in exact scalar order (iteration
+    // → statement → RHS loads → store). The sink is this loop's only
+    // observer: under NullSink the address arithmetic is dead and the
+    // replay compiles away; stateful sinks (cache simulators) observe
+    // the same address sequence as the scalar backends.
+    for k in 0..LANES as i64 {
+        for st in &nest.stmts {
+            for op in &st.ops {
+                if let MicroOp::Load(j) = *op {
+                    let pat = &nest.pats[j as usize];
+                    let var = cur[j as usize] + off + k;
+                    sink.access((pat.addr_base + var * eb) as u64, false);
+                }
+            }
+            let pat = &nest.pats[st.store as usize];
+            let var = cur[st.store as usize] + off + k;
+            sink.access((pat.addr_base + var * eb) as u64, true);
+        }
+    }
+    for st in &nest.stmts {
+        let mut sp = 0usize;
+        for op in &st.ops {
+            match *op {
+                MicroOp::Const(c) => {
+                    vstack[sp] = [c; LANES];
+                    sp += 1;
+                }
+                MicroOp::Load(j) => {
+                    let j = j as usize;
+                    let base = (nest.pats[j].slot_base + cur[j] + off) as usize;
+                    let lane = &mut vstack[sp];
+                    for (k, v) in lane.iter_mut().enumerate() {
+                        // SAFETY: forwarded from caller.
+                        *v = unsafe { view.read_slot(base + k) };
+                    }
+                    sp += 1;
+                }
+                MicroOp::Add => {
+                    sp -= 1;
+                    let (lo, hi) = vstack.split_at_mut(sp);
+                    let (a, b) = (&mut lo[sp - 1], &hi[0]);
+                    for k in 0..LANES {
+                        a[k] += b[k];
+                    }
+                }
+                MicroOp::Sub => {
+                    sp -= 1;
+                    let (lo, hi) = vstack.split_at_mut(sp);
+                    let (a, b) = (&mut lo[sp - 1], &hi[0]);
+                    for k in 0..LANES {
+                        a[k] -= b[k];
+                    }
+                }
+                MicroOp::Mul => {
+                    sp -= 1;
+                    let (lo, hi) = vstack.split_at_mut(sp);
+                    let (a, b) = (&mut lo[sp - 1], &hi[0]);
+                    for k in 0..LANES {
+                        a[k] *= b[k];
+                    }
+                }
+                MicroOp::Div => {
+                    sp -= 1;
+                    let (lo, hi) = vstack.split_at_mut(sp);
+                    let (a, b) = (&mut lo[sp - 1], &hi[0]);
+                    for k in 0..LANES {
+                        a[k] /= b[k];
+                    }
+                }
+                MicroOp::Min => {
+                    sp -= 1;
+                    let (lo, hi) = vstack.split_at_mut(sp);
+                    let (a, b) = (&mut lo[sp - 1], &hi[0]);
+                    for k in 0..LANES {
+                        a[k] = a[k].min(b[k]);
+                    }
+                }
+                MicroOp::Max => {
+                    sp -= 1;
+                    let (lo, hi) = vstack.split_at_mut(sp);
+                    let (a, b) = (&mut lo[sp - 1], &hi[0]);
+                    for k in 0..LANES {
+                        a[k] = a[k].max(b[k]);
+                    }
+                }
+                MicroOp::Neg => {
+                    for a in &mut vstack[sp - 1] {
+                        *a = -*a;
+                    }
+                }
+                MicroOp::Abs => {
+                    for a in &mut vstack[sp - 1] {
+                        *a = a.abs();
+                    }
+                }
+                MicroOp::Sqrt => {
+                    for a in &mut vstack[sp - 1] {
+                        *a = a.sqrt();
+                    }
+                }
+                MicroOp::MulAdd => {
+                    sp -= 2;
+                    let (lo, hi) = vstack.split_at_mut(sp);
+                    let a = &mut lo[sp - 1];
+                    // Two separately rounded operations per lane — never
+                    // a hardware FMA (matches the scalar runners).
+                    for k in 0..LANES {
+                        a[k] = a[k] * hi[0][k] + hi[1][k];
+                    }
+                }
+                MicroOp::AddMul => {
+                    sp -= 2;
+                    let (lo, hi) = vstack.split_at_mut(sp);
+                    let a = &mut lo[sp - 1];
+                    for k in 0..LANES {
+                        a[k] += hi[0][k] * hi[1][k];
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(sp, 1, "statement tape must leave exactly one value");
+        let j = st.store as usize;
+        let base = (nest.pats[j].slot_base + cur[j] + off) as usize;
+        for (k, v) in vstack[0].iter().enumerate() {
+            // SAFETY: forwarded from caller.
+            unsafe { view.write_slot(base + k, *v) };
+        }
+        counters.flops += st.flops * LANES as u64;
+        counters.loads += st.loads * LANES as u64;
+        counters.stores += LANES as u64;
+    }
+    counters.iters += LANES as u64;
+    counters.vec_iters += LANES as u64;
 }
 
 #[inline]

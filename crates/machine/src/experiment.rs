@@ -303,6 +303,10 @@ pub struct RuntimeRow {
     /// same plan and pool as `pooled`, lowered bodies instead of the
     /// interpreter.
     pub compiled: RunReport,
+    /// Pool run with the lane-blocked SIMD backend ([`Backend::Simd`]);
+    /// same plan, pool, and tape as `compiled`, interiors executed
+    /// `LANES` iterations at a time.
+    pub simd: RunReport,
     /// The `compiled` run repeated with per-worker event tracing
     /// enabled: its throughput against `compiled`'s measures the cost of
     /// recording spans (the report carries the trace itself).
@@ -350,6 +354,12 @@ pub fn runtime_sweep(
                 "compiled backend diverged from interpreter at {steps} steps"
             )));
         }
+        let (simd, got) = run(&mut pool, &fused.clone().backend(Backend::Simd))?;
+        if got != want {
+            return Err(ExecError::Config(format!(
+                "simd backend diverged from interpreter at {steps} steps"
+            )));
+        }
         let (traced, got) = run(
             &mut pool,
             &fused.clone().backend(Backend::Compiled).traced(),
@@ -365,6 +375,7 @@ pub fn runtime_sweep(
             scoped,
             pooled,
             compiled,
+            simd,
             traced,
             dynamic,
         });
@@ -379,13 +390,15 @@ pub struct MissParity {
     pub interp: Vec<u64>,
     /// Per-processor misses under the compiled tape backend.
     pub compiled: Vec<u64>,
+    /// Per-processor misses under the lane-blocked SIMD backend.
+    pub simd: Vec<u64>,
 }
 
 impl MissParity {
-    /// Whether the two backends produced identical per-processor counts
-    /// (the compiled backend's correctness contract).
+    /// Whether all backends produced identical per-processor counts
+    /// (the tape backends' correctness contract).
     pub fn equal(&self) -> bool {
-        self.interp == self.compiled
+        self.interp == self.compiled && self.interp == self.simd
     }
 }
 
@@ -425,7 +438,17 @@ pub fn backend_miss_parity(
             "compiled backend diverged from interpreter under cache simulation".into(),
         ));
     }
-    Ok(MissParity { interp, compiled })
+    let (simd, got) = run(Backend::Simd)?;
+    if got != want {
+        return Err(ExecError::Config(
+            "simd backend diverged from interpreter under cache simulation".into(),
+        ));
+    }
+    Ok(MissParity {
+        interp,
+        compiled,
+        simd,
+    })
 }
 
 /// One phase (cold or warm) of a [`serve_sweep`].
@@ -584,12 +607,21 @@ mod tests {
     #[test]
     fn runtime_sweep_includes_verified_compiled_run() {
         let seq = seq3(64);
-        let rows = runtime_sweep(&seq, &[2], 8, &[1, 3]).unwrap();
+        // Strip 16: wide enough that each strip still holds an aligned
+        // LANES-wide interior after its scalar head.
+        let rows = runtime_sweep(&seq, &[2], 16, &[1, 3]).unwrap();
         assert_eq!(rows.len(), 2);
         for row in &rows {
             assert_eq!(row.compiled.backend, "compiled");
             assert!(row.compiled.tape_ops > 0);
             assert_eq!(row.compiled.total_iters(), row.pooled.total_iters());
+            assert_eq!(row.simd.backend, "simd");
+            assert!(row.simd.tape_ops > 0);
+            assert_eq!(row.simd.total_iters(), row.pooled.total_iters());
+            assert!(
+                row.simd.merged_counters().vec_iters > 0,
+                "simd run vectorized some interior iterations"
+            );
         }
     }
 

@@ -32,6 +32,7 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One cached compilation: everything derivable from a [`CacheKey`]'s
 /// inputs. `deps` and `tape` are optional because the disk tier stores
@@ -75,6 +76,9 @@ pub struct CacheCounters {
     pub poisoned: u64,
     /// Key matches rejected by Theorem-1 grid revalidation.
     pub revalidation_rejects: u64,
+    /// Plan entries [`clear_disk`] could not delete (permissions, or a
+    /// directory squatting on an entry name).
+    pub clear_failed: u64,
 }
 
 impl CacheCounters {
@@ -91,6 +95,7 @@ impl CacheCounters {
         self.evictions += o.evictions;
         self.poisoned += o.poisoned;
         self.revalidation_rejects += o.revalidation_rejects;
+        self.clear_failed += o.clear_failed;
     }
 }
 
@@ -256,14 +261,26 @@ impl ArtifactCache {
     /// Persists lifetime counters by *adding* this instance's counts to
     /// `<dir>/stats` (so concurrent and successive processes aggregate),
     /// then zeroes the in-memory counts. No-op without a disk tier.
+    ///
+    /// The read-modify-write runs under an advisory file lock
+    /// ([`StatsLock`]) and the rewrite lands via an atomic rename, so
+    /// concurrent flushers — other threads or other processes — cannot
+    /// lose each other's counts. The in-memory deltas are zeroed only
+    /// after the aggregate is durably on disk; on any failure (lock
+    /// timeout, full disk) they are kept and simply ride along into the
+    /// next flush.
     pub fn flush_stats(&mut self) {
         let Some(dir) = self.cfg.disk_dir.clone() else {
             return;
         };
+        let Some(_lock) = StatsLock::acquire(&dir) else {
+            return;
+        };
         let mut total = disk_stats(&dir);
         total.add(&self.counters);
-        let _ = write_stats(&dir, &total);
-        self.counters = CacheCounters::default();
+        if write_stats(&dir, &total).is_ok() {
+            self.counters = CacheCounters::default();
+        }
     }
 
     /// Registers cache counters and occupancy on `reg` under
@@ -301,6 +318,60 @@ enum DiskLoad {
     Hit(Arc<FusionPlan>),
     Poisoned,
     Absent,
+}
+
+/// Advisory lock over `<dir>/stats`, held for the duration of one
+/// read-modify-write. `O_EXCL` creation of `<dir>/stats.lock` is the
+/// mutual exclusion (atomic on every platform and over NFS); dropping
+/// the guard removes the file. A lock older than [`StatsLock::STALE`]
+/// is presumed abandoned by a crashed process and stolen — stats
+/// flushes are microseconds, not seconds.
+struct StatsLock {
+    path: PathBuf,
+}
+
+impl StatsLock {
+    /// Age beyond which a held lock is treated as leaked.
+    const STALE: Duration = Duration::from_secs(2);
+    /// How long `acquire` spins before giving up.
+    const PATIENCE: Duration = Duration::from_millis(500);
+
+    fn acquire(dir: &Path) -> Option<StatsLock> {
+        let path = dir.join("stats.lock");
+        let deadline = Instant::now() + Self::PATIENCE;
+        loop {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(_) => return Some(StatsLock { path }),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let stale = fs::metadata(&path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|m| m.elapsed().ok())
+                        .is_some_and(|age| age > Self::STALE);
+                    if stale {
+                        // Best-effort steal; the retry re-races the
+                        // create, so two stealers cannot both win.
+                        let _ = fs::remove_file(&path);
+                    } else if Instant::now() >= deadline {
+                        return None;
+                    } else {
+                        std::thread::sleep(Duration::from_micros(500));
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+impl Drop for StatsLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
 }
 
 fn entry_path(dir: &Path, key: CacheKey) -> PathBuf {
@@ -341,38 +412,69 @@ pub fn disk_stats(dir: &Path) -> CacheCounters {
             "evictions" => c.evictions = v,
             "poisoned" => c.poisoned = v,
             "revalidation_rejects" => c.revalidation_rejects = v,
+            "clear_failed" => c.clear_failed = v,
             _ => {}
         }
     }
     c
 }
 
+/// Writes the stats file atomically: a unique temp file in the same
+/// directory, then a rename over `<dir>/stats`, so a reader (or a
+/// crash) never observes a half-written file.
 fn write_stats(dir: &Path, c: &CacheCounters) -> std::io::Result<()> {
-    let mut f = fs::File::create(dir.join("stats"))?;
-    writeln!(f, "spfc-cache-stats-v1")?;
-    writeln!(f, "hits {}", c.hits)?;
-    writeln!(f, "disk_hits {}", c.disk_hits)?;
-    writeln!(f, "misses {}", c.misses)?;
-    writeln!(f, "inserts {}", c.inserts)?;
-    writeln!(f, "evictions {}", c.evictions)?;
-    writeln!(f, "poisoned {}", c.poisoned)?;
-    writeln!(f, "revalidation_rejects {}", c.revalidation_rejects)
+    let tmp = dir.join(format!("stats.tmp.{}", std::process::id()));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        writeln!(f, "spfc-cache-stats-v1")?;
+        writeln!(f, "hits {}", c.hits)?;
+        writeln!(f, "disk_hits {}", c.disk_hits)?;
+        writeln!(f, "misses {}", c.misses)?;
+        writeln!(f, "inserts {}", c.inserts)?;
+        writeln!(f, "evictions {}", c.evictions)?;
+        writeln!(f, "poisoned {}", c.poisoned)?;
+        writeln!(f, "revalidation_rejects {}", c.revalidation_rejects)?;
+        writeln!(f, "clear_failed {}", c.clear_failed)?;
+        f.sync_all()?;
+    }
+    let renamed = fs::rename(&tmp, dir.join("stats"));
+    if renamed.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    renamed
 }
 
-/// Deletes every plan entry and the stats file under `dir`. Returns how
-/// many plan entries were removed.
-pub fn clear_disk(dir: &Path) -> usize {
+/// Deletes every plan entry and the stats file under `dir`. Returns
+/// `(removed, failed)`: how many plan entries were deleted and how many
+/// could not be (permissions, a directory squatting on an entry name).
+/// Failures are not swallowed — the count also persists as the
+/// `clear_failed` stats counter so `spfc cache stats` surfaces them
+/// after the fact; the stats file is only reset when everything went.
+pub fn clear_disk(dir: &Path) -> (usize, usize) {
     let mut removed = 0;
+    let mut failed = 0;
     if let Ok(rd) = fs::read_dir(dir) {
         for e in rd.filter_map(Result::ok) {
             let p = e.path();
-            if p.extension().is_some_and(|x| x == "plan") && fs::remove_file(&p).is_ok() {
-                removed += 1;
+            if p.extension().is_some_and(|x| x == "plan") {
+                match fs::remove_file(&p) {
+                    Ok(()) => removed += 1,
+                    Err(_) => failed += 1,
+                }
             }
         }
     }
-    let _ = fs::remove_file(dir.join("stats"));
-    removed
+    let _lock = StatsLock::acquire(dir);
+    if failed == 0 {
+        let _ = fs::remove_file(dir.join("stats"));
+    } else {
+        let counters = CacheCounters {
+            clear_failed: disk_stats(dir).clear_failed + failed as u64,
+            ..CacheCounters::default()
+        };
+        let _ = write_stats(dir, &counters);
+    }
+    (removed, failed)
 }
 
 // ---------------------------------------------------------------------
@@ -588,9 +690,98 @@ mod tests {
         assert_eq!(total.disk_hits, 1);
         assert_eq!(total.inserts, 1);
 
-        assert_eq!(clear_disk(&dir), 1);
+        assert_eq!(clear_disk(&dir), (1, 0));
         assert_eq!(disk_entry_count(&dir), 0);
         assert_eq!(disk_stats(&dir), CacheCounters::default());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Two flushers racing on the same stats file must not lose counts:
+    /// the read-modify-write is serialized by the advisory lock, and the
+    /// final aggregate equals the sum of everything both sides counted.
+    #[test]
+    fn concurrent_flushes_lose_no_counts() {
+        let dir = tmpdir("race");
+        const ROUNDS: u64 = 40;
+        let spawn = |dir: PathBuf, hits: u64| {
+            std::thread::spawn(move || {
+                let mut c = ArtifactCache::new(ArtifactCacheConfig::memory(4).disk(&dir));
+                for _ in 0..ROUNDS {
+                    c.counters.hits += hits;
+                    c.counters.misses += 1;
+                    c.flush_stats();
+                    assert_eq!(
+                        c.counters(),
+                        CacheCounters::default(),
+                        "deltas zeroed only after a successful flush"
+                    );
+                }
+            })
+        };
+        let a = spawn(dir.clone(), 1);
+        let b = spawn(dir.clone(), 2);
+        a.join().unwrap();
+        b.join().unwrap();
+        let total = disk_stats(&dir);
+        assert_eq!(total.hits, ROUNDS * 3, "no flush overwrote another");
+        assert_eq!(total.misses, ROUNDS * 2);
+        assert!(!dir.join("stats.lock").exists(), "lock released");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A crashed process's leaked lock file must not wedge future
+    /// flushes forever: past the staleness horizon it is stolen.
+    #[test]
+    fn stale_lock_is_stolen() {
+        let dir = tmpdir("stale");
+        fs::write(dir.join("stats.lock"), "").unwrap();
+        // Backdate the lock past the staleness horizon (filetime is not
+        // available offline, so wait it out only if setting mtime via
+        // File::set_modified is unsupported).
+        let back = std::time::SystemTime::now() - (StatsLock::STALE + Duration::from_secs(1));
+        fs::File::options()
+            .write(true)
+            .open(dir.join("stats.lock"))
+            .unwrap()
+            .set_modified(back)
+            .unwrap();
+        let mut c = ArtifactCache::new(ArtifactCacheConfig::memory(4).disk(&dir));
+        c.counters.hits = 7;
+        c.flush_stats();
+        assert_eq!(disk_stats(&dir).hits, 7, "stale lock did not block");
+        assert_eq!(c.counters(), CacheCounters::default());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// `clear_disk` must not swallow delete failures: a directory
+    /// squatting on an entry name (EISDIR even as root) is counted,
+    /// and the count lands in the persisted stats for `cache stats`.
+    #[test]
+    fn clear_reports_undeletable_entries() {
+        let dir = tmpdir("clearfail");
+        let (_, plan, key) = derived(32);
+        let mut c = ArtifactCache::new(ArtifactCacheConfig::memory(4).disk(&dir));
+        c.insert(Artifact {
+            key,
+            plan,
+            deps: None,
+            tape: None,
+        });
+        c.flush_stats();
+        // `remove_file` on a directory fails regardless of privilege.
+        fs::create_dir(dir.join("deadbeefdeadbeef.plan")).unwrap();
+        let (removed, failed) = clear_disk(&dir);
+        assert_eq!((removed, failed), (1, 1));
+        assert_eq!(
+            disk_stats(&dir).clear_failed,
+            1,
+            "failure persisted for cache stats"
+        );
+        assert_eq!(disk_stats(&dir).inserts, 0, "other counters were reset");
+        // A second failing clear accumulates.
+        let (removed, failed) = clear_disk(&dir);
+        assert_eq!((removed, failed), (0, 1));
+        assert_eq!(disk_stats(&dir).clear_failed, 2);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -102,6 +102,11 @@ mod tests {
         // Sensitive to every keyed input.
         assert_ne!(k, CacheKey::compute(&seq, &cfg, Backend::Compiled, 8));
         assert_ne!(k, CacheKey::compute(&seq, &cfg, Backend::Interp, 4));
+        // The SIMD backend keys its own artifact even though the tape it
+        // lowers is identical: backends must never alias in the cache.
+        let ks = CacheKey::compute(&seq, &cfg, Backend::Simd, 4);
+        assert_ne!(k, ks);
+        assert_ne!(ks, CacheKey::compute(&seq, &cfg, Backend::Interp, 4));
         assert_ne!(
             k,
             CacheKey::compute(&seq, &PlanConfig::unfused(2), Backend::Compiled, 4)

@@ -15,7 +15,7 @@
 //! | `procs=N`     | 1-D grid `[N]`                       | `procs=2`    |
 //! | `grid=AxB`    | multi-dim grid (overrides `procs`)   | —            |
 //! | `plan=`       | `fused` / `blocked` / `serial`       | `fused`      |
-//! | `backend=`    | `compiled` / `interp`                | `compiled`   |
+//! | `backend=`    | `compiled` / `interp` / `simd`       | `compiled`   |
 //! | `steps=N`     | timesteps                            | `1`          |
 //! | `strip=N`     | strip size for fused plans           | whole block  |
 //! | `seed=N`      | init seed                            | `7`          |
@@ -95,6 +95,7 @@ pub fn parse_manifest(text: &str) -> Result<Vec<JobSpec>, ServeError> {
                 Some(("plan", v)) => return Err(err(line_no, format!("unknown plan={v:?}"))),
                 Some(("backend", "compiled")) => backend = Backend::Compiled,
                 Some(("backend", "interp")) => backend = Backend::Interp,
+                Some(("backend", "simd")) => backend = Backend::Simd,
                 Some(("backend", v)) => return Err(err(line_no, format!("unknown backend={v:?}"))),
                 Some(("steps", v)) => steps = parse_num(line_no, "steps", v)?,
                 Some(("strip", v)) => strip = parse_num(line_no, "strip", v)?,

@@ -564,11 +564,12 @@ fn run_job(
     if !matches!(spec.plan, ExecPlan::Serial) {
         cfg = cfg.prederived(Arc::clone(&plan));
     }
-    // Compiled backend: a cached tape skips lowering entirely
-    // (`precompiled` → report says cached, lower_nanos 0); otherwise
-    // lower here so the tape can be inserted alongside the plan.
+    // Tape backends (compiled, simd): a cached tape skips lowering
+    // entirely (`precompiled` → report says cached, lower_nanos 0);
+    // otherwise lower here so the tape can be inserted alongside the
+    // plan.
     let mut lowered = None;
-    if spec.backend == Backend::Compiled {
+    if spec.backend != Backend::Interp {
         match cached_tape {
             Some(t) => cfg = cfg.precompiled(t),
             None => {

@@ -99,6 +99,7 @@ mod tests {
             dur_nanos: 1,
             step,
             group: 0,
+            lanes: crate::tracer::NO_INDEX,
         }
     }
 

@@ -96,6 +96,10 @@ pub struct TraceEvent {
     /// Plan group index (or nest index for dynamic runs), or
     /// [`NO_INDEX`].
     pub group: u32,
+    /// Vector lane width of the work this span covered (`lower` spans
+    /// record the backend's lane width: 1 for scalar tapes, the SIMD
+    /// backend's `LANES` otherwise), or [`NO_INDEX`].
+    pub lanes: u32,
 }
 
 /// Per-run tracing parameters.
@@ -162,6 +166,7 @@ impl WorkerTracer {
             dur_nanos,
             step,
             group,
+            lanes: NO_INDEX,
         });
     }
 
@@ -170,6 +175,30 @@ impl WorkerTracer {
     pub fn record_until_now(&mut self, kind: SpanKind, started: Instant, step: u32, group: u32) {
         let dur = started.elapsed().as_nanos() as u64;
         self.record(kind, started, dur, step, group);
+    }
+
+    /// As [`record_until_now`](Self::record_until_now), additionally
+    /// tagging the span with a vector lane width (exported as the
+    /// `lanes` arg in Chrome traces).
+    #[inline]
+    pub fn record_lanes_until_now(
+        &mut self,
+        kind: SpanKind,
+        started: Instant,
+        lanes: u32,
+        step: u32,
+        group: u32,
+    ) {
+        let dur_nanos = started.elapsed().as_nanos() as u64;
+        let start_nanos = started.saturating_duration_since(self.epoch).as_nanos() as u64;
+        self.ring.push(TraceEvent {
+            kind,
+            start_nanos,
+            dur_nanos,
+            step,
+            group,
+            lanes,
+        });
     }
 
     /// Consumes the tracer into the worker's finished trace.
@@ -318,6 +347,9 @@ impl RunTrace {
                 }
                 if e.group != NO_INDEX {
                     s.push_str(&format!("\"group\":{},", e.group));
+                }
+                if e.lanes != NO_INDEX {
+                    s.push_str(&format!("\"lanes\":{},", e.lanes));
                 }
                 if s.ends_with(',') {
                     s.pop();
@@ -758,6 +790,20 @@ mod tests {
         let trace = sample_trace();
         let json = trace.chrome_json();
         assert!(validate_chrome_trace(&json[..json.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn lane_width_surfaces_on_lower_spans() {
+        let epoch = Instant::now();
+        let mut t = WorkerTracer::new(TraceConfig::with_capacity(8), epoch);
+        t.record_lanes_until_now(SpanKind::Lower, epoch, 8, NO_INDEX, NO_INDEX);
+        t.record(SpanKind::Fused, epoch, 10, 0, 0);
+        let trace = RunTrace::assemble(vec![t.finish(CONTROLLER_LANE)]);
+        assert_eq!(trace.workers[0].events[0].lanes, 8);
+        assert_eq!(trace.workers[0].events[1].lanes, NO_INDEX);
+        let json = trace.chrome_json();
+        assert!(json.contains("\"lanes\":8"), "{json}");
+        validate_chrome_trace(&json).expect("valid chrome trace");
     }
 
     #[test]

@@ -3,11 +3,14 @@
 //! A seeded generator produces random loop sequences with uniform affine
 //! references (1-4 nests, 1-3 dimensions, occasional serial recurrences),
 //! and every program is run as original / blocked / shift-and-peel fused
-//! (strip-mined and direct), under the interpreter and the compiled tape
-//! backend, on the deterministic simulator and the pooled threaded
-//! runtime. All of it must agree **bit for bit** with the serial
-//! interpreted reference — f64 results, work counters, and (for the
-//! simulator) per-processor cache miss counts.
+//! (strip-mined and direct), under the interpreter, the compiled tape
+//! backend, and the lane-blocked SIMD backend, on the deterministic
+//! simulator and the pooled threaded runtime. All of it must agree
+//! **bit for bit** with the serial interpreted reference — f64 results,
+//! work counters, and (for the simulator) per-processor cache miss
+//! counts. A deterministic sweep additionally pins the SIMD backend at
+//! every peel width 0..=3 against trip counts that are not multiples of
+//! the lane width, so scalar heads and tails are always exercised.
 
 use proptest::prelude::*;
 use shift_peel::core::CodegenMethod;
@@ -117,22 +120,36 @@ proptest! {
             let (ri, si) = run_config(&seq, &prog, cfg, None);
             let ccfg = cfg.clone().backend(Backend::Compiled);
             let (rc, sc) = run_config(&seq, &prog, &ccfg, None);
+            let vcfg = cfg.clone().backend(Backend::Simd);
+            let (rv, sv) = run_config(&seq, &prog, &vcfg, None);
             prop_assert_eq!(&si, &want, "sim/interp {} diverged (seed {})", name, seed);
             prop_assert_eq!(&sc, &want, "sim/compiled {} diverged (seed {})", name, seed);
-            // Work accounting is backend-independent, per processor.
+            prop_assert_eq!(&sv, &want, "sim/simd {} diverged (seed {})", name, seed);
+            // Work accounting is backend-independent, per processor
+            // (ExecCounters equality ignores vec_iters, which only the
+            // SIMD backend populates).
             prop_assert_eq!(
                 ri.merged_counters(), rc.merged_counters(),
                 "counters diverged for {} (seed {})", name, seed
             );
+            prop_assert_eq!(
+                ri.merged_counters(), rv.merged_counters(),
+                "simd counters diverged for {} (seed {})", name, seed
+            );
             for (wi, wc) in ri.workers.iter().zip(&rc.workers) {
                 prop_assert_eq!(&wi.counters, &wc.counters, "proc {} of {}", wi.proc, name);
+            }
+            for (wi, wv) in ri.workers.iter().zip(&rv.workers) {
+                prop_assert_eq!(&wi.counters, &wv.counters, "simd proc {} of {}", wi.proc, name);
             }
             // Threaded runtimes see the same plans through real barriers.
             if *name != "serial" {
                 let (_, sp) = run_config(&seq, &prog, cfg, Some(&mut pooled));
                 let (_, spc) = run_config(&seq, &prog, &ccfg, Some(&mut pooled));
+                let (_, spv) = run_config(&seq, &prog, &vcfg, Some(&mut pooled));
                 prop_assert_eq!(&sp, &want, "pooled/interp {} diverged (seed {})", name, seed);
                 prop_assert_eq!(&spc, &want, "pooled/compiled {} diverged (seed {})", name, seed);
+                prop_assert_eq!(&spv, &want, "pooled/simd {} diverged (seed {})", name, seed);
             }
         }
 
@@ -142,10 +159,61 @@ proptest! {
         let base = RunConfig::fused([procs]).strip(3).steps(steps).sink(cache);
         let (ri, si) = run_config(&seq, &prog, &base, None);
         let (rc, sc) = run_config(&seq, &prog, &base.clone().backend(Backend::Compiled), None);
+        let (rv, sv) = run_config(&seq, &prog, &base.clone().backend(Backend::Simd), None);
         prop_assert_eq!(&si, &sc, "cache-sink runs diverged (seed {})", seed);
+        prop_assert_eq!(&si, &sv, "simd cache-sink run diverged (seed {})", seed);
         for (wi, wc) in ri.workers.iter().zip(&rc.workers) {
             prop_assert_eq!(wi.cache, wc.cache, "proc {} miss counts (seed {})", wi.proc, seed);
             prop_assert!(wi.cache.is_some(), "cache stats present");
+        }
+        for (wi, wv) in ri.workers.iter().zip(&rv.workers) {
+            prop_assert_eq!(wi.cache, wv.cache, "simd proc {} misses (seed {})", wi.proc, seed);
+        }
+    }
+}
+
+/// Deterministic pin of the SIMD backend's scalar head / tail / peel
+/// machinery: every peel width 0..=3 crossed with trip counts around the
+/// lane width (7, 8, 9) and a non-multiple past two lanes (19). The lane
+/// width is 8, so these cover "no full lane", "exactly one lane",
+/// "lane + scalar tail", and "misaligned head + lanes + tail".
+#[test]
+fn simd_peel_widths_and_ragged_trips_match_interp() {
+    for w in 0..=3i64 {
+        for trip in [7usize, 8, 9, 19] {
+            let n = trip + 8; // bounds (4, n - 5) give exactly `trip` iterations
+            let mut b = SeqBuilder::new("peelsweep");
+            let a = b.array("a", [n]);
+            let c = b.array("c", [n]);
+            let bounds = [(4i64, n as i64 - 5)];
+            b.nest("L1", bounds, |x| {
+                let r = x.ld(a, [0]) * 0.5;
+                x.assign(a, [0], r);
+            });
+            // Reads at +/- w force a shift of w and peel of w when fused.
+            b.nest("L2", bounds, |x| {
+                let r = x.ld(a, [w]) + x.ld(a, [-w]);
+                x.assign(c, [0], r);
+            });
+            let seq = b.finish();
+            let prog = Program::new(&seq, 1).expect("analysis");
+            let (_, want) = run_config(&seq, &prog, &RunConfig::serial().steps(3), None);
+            for procs in [1usize, 2] {
+                let cfg = RunConfig::fused([procs]).steps(3);
+                let (ri, si) = run_config(&seq, &prog, &cfg, None);
+                let vcfg = cfg.clone().backend(Backend::Simd);
+                let (rv, sv) = run_config(&seq, &prog, &vcfg, None);
+                assert_eq!(si, want, "interp w={w} trip={trip} P={procs}");
+                assert_eq!(sv, want, "simd w={w} trip={trip} P={procs}");
+                assert_eq!(
+                    ri.merged_counters(),
+                    rv.merged_counters(),
+                    "counters w={w} trip={trip} P={procs}"
+                );
+                let mut pooled = PooledExecutor::new(procs);
+                let (_, sp) = run_config(&seq, &prog, &vcfg, Some(&mut pooled));
+                assert_eq!(sp, want, "pooled simd w={w} trip={trip} P={procs}");
+            }
         }
     }
 }
