@@ -54,6 +54,13 @@ grep -q '^spfc_iters_total' "$metrics_tmp"
 grep -q '^spfc_barrier_wait_nanos_bucket' "$metrics_tmp"
 rm -f "$trace_tmp" "$metrics_tmp"
 cargo test --release -q -p sp-cli --test explain_golden
+# The same golden end to end through the binary: `spfc explain` now
+# plans through the pass pipeline (Planner), and the rendered trace
+# must stay byte-identical to the pinned file.
+explain_tmp="$(mktemp /tmp/spfc-explain.XXXXXX)"
+cargo run --release -p sp-cli -- explain ll18 > "$explain_tmp"
+diff -u crates/cli/tests/golden/explain_ll18.txt "$explain_tmp"
+rm -f "$explain_tmp"
 
 echo "==> runtime comparison -> results/BENCH_runtime.json"
 mkdir -p results
@@ -80,12 +87,18 @@ serve_out="$(mktemp /tmp/spfc-serve-out.XXXXXX)"
 cargo run --release -p sp-cli -- serve --jobs examples/jobs.manifest \
   --cache-dir "$serve_cache" | tee "$serve_out"
 grep -q '0 failed' "$serve_out"
+# The manifest includes full-key misses over a shared sequence (backend
+# and block-size variants of jacobi): the analysis tier must serve the
+# dependence analysis across them.
+grep -Eq 'analysis: [1-9][0-9]* hits' "$serve_out"
 cargo run --release -p sp-cli -- serve --jobs examples/jobs.manifest \
   --cache-dir "$serve_cache" | tee "$serve_out"
 grep -q '0 failed' "$serve_out"
+grep -Eq 'analysis: [1-9][0-9]* hits' "$serve_out"
 cargo run --release -p sp-cli -- cache stats --cache-dir "$serve_cache" \
   | tee "$serve_out"
 grep -Eq 'lifetime: [1-9][0-9]* hits' "$serve_out"
+grep -Eq 'analysis: [1-9][0-9]* hits' "$serve_out"
 cargo run --release -p sp-cli -- cache clear --cache-dir "$serve_cache" \
   | tee "$serve_out"
 grep -q 'cleared' "$serve_out"

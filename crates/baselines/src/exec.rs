@@ -7,7 +7,7 @@
 //! in Figure 14(c) of the paper.
 
 use crate::transform::AlignedProgram;
-use shift_peel_core::decompose;
+use shift_peel_core::analysis::decompose;
 use sp_cache::{Cache, LayoutStrategy};
 use sp_exec::{exec_region, AccessSink, CacheSink, ExecCounters, MemView, Memory};
 use sp_ir::IterSpace;

@@ -7,7 +7,7 @@
 //! suggestion.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use shift_peel_core::suggest_strip;
+use shift_peel_core::analysis::suggest_strip;
 use sp_kernels::manual::{ll18_fused, Ll18};
 
 fn bench_strip(c: &mut Criterion) {

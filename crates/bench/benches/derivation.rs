@@ -3,7 +3,8 @@
 //! so the derivation must scale gently with sequence length.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use shift_peel_core::{derive_levels, fusion_plan, CodegenMethod};
+use shift_peel_core::analysis::derive_levels;
+use shift_peel_core::{fusion_plan, CodegenMethod};
 use sp_dep::analyze_sequence;
 use sp_ir::{LoopSequence, SeqBuilder};
 

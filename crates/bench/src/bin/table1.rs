@@ -2,7 +2,7 @@
 //! sequence counts, longest sequence, and maximum shift/peel — the
 //! shift/peel columns computed live by the derivation algorithm.
 
-use shift_peel_core::derive_levels;
+use shift_peel_core::analysis::derive_levels;
 use sp_bench::{Opts, Table};
 use sp_dep::analyze_sequence;
 use sp_kernels::all_programs;

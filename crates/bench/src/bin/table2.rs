@@ -1,7 +1,7 @@
 //! Regenerates the paper's **Table 2**: derived per-loop shift and peel
 //! amounts for the LL18, calc, and filter kernels.
 
-use shift_peel_core::derive_levels;
+use shift_peel_core::analysis::derive_levels;
 use sp_bench::Table;
 use sp_dep::analyze_sequence;
 use sp_kernels::{calc, filter, ll18};

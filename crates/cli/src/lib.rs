@@ -15,14 +15,13 @@
 //! The logic lives here (returning strings) so both `main` and the
 //! integration tests drive exactly the same code.
 
-use shift_peel_core::{
-    derive_levels, distribute_sequence, explain_sequence, fusion_plan, render_plan, CodegenMethod,
-};
+use shift_peel_core::analysis::{derive_levels, distribute_sequence, render_plan};
+use shift_peel_core::{CodegenMethod, Planner};
 use sp_cache::LayoutStrategy;
 use sp_dep::{analyze_sequence, describe_deps};
 use sp_exec::{
-    Backend, DynamicExecutor, ExecPlan, Executor, Memory, PooledExecutor, Program, RunConfig,
-    ScopedExecutor, SimExecutor,
+    register_pass_metrics, Backend, DynamicExecutor, ExecPlan, Executor, Memory, PooledExecutor,
+    Program, RunConfig, ScopedExecutor, SimExecutor,
 };
 use sp_ir::{display::render_sequence, parse_sequence, LoopSequence};
 use sp_machine::{simulate, SimPlan, CONVEX_SPP1000, KSR2};
@@ -263,10 +262,11 @@ fn resolve_sequences(path: &str) -> Result<Vec<LoopSequence>, CliError> {
 fn explain_command(opts: &Options) -> Result<String, CliError> {
     let mut out = String::new();
     for seq in resolve_sequences(&opts.path)? {
-        let (plan, trace) = explain_sequence(&seq, 1).map_err(|e| CliError {
+        let (planned, trace) = Planner::fused(1).explain(&seq).map_err(|e| CliError {
             message: e.to_string(),
             code: 1,
         })?;
+        let plan = &planned.plan;
         let _ = writeln!(
             out,
             "explain {}: {} nests, fusing 1 of {} level(s)",
@@ -414,6 +414,11 @@ fn serve_command(opts: &Options) -> Result<String, CliError> {
         c.misses,
         c.inserts,
     );
+    let _ = writeln!(
+        out,
+        "analysis: {} hits, {} misses",
+        c.analysis_hits, c.analysis_misses,
+    );
     Ok(out)
 }
 
@@ -445,6 +450,11 @@ fn cache_command(opts: &Options) -> Result<String, CliError> {
                 c.evictions,
                 c.poisoned,
                 c.revalidation_rejects,
+            );
+            let _ = writeln!(
+                out,
+                "analysis: {} hits, {} misses",
+                c.analysis_hits, c.analysis_misses,
             );
             if c.clear_failed > 0 {
                 let _ = writeln!(
@@ -525,24 +535,30 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
             out.push_str(&render_sequence(&dist));
         }
         "fuse" => {
-            let deps = analyze_sequence(&seq).map_err(|e| CliError {
+            let planned = Planner::fused(1).plan(&seq).map_err(|e| CliError {
                 message: e.to_string(),
                 code: 1,
             })?;
-            let plan =
-                fusion_plan(&seq, &deps, 1, CodegenMethod::StripMined, None).map_err(|e| {
-                    CliError {
-                        message: e.to_string(),
-                        code: 1,
-                    }
-                })?;
-            out.push_str(&render_plan(&seq, &plan, opts.strip));
+            out.push_str(&render_plan(&seq, &planned.plan, opts.strip));
         }
         "run" => {
-            let prog = Program::new(&seq, 1).map_err(|e| CliError {
+            // Plan once through the pass pipeline: the executor gets the
+            // plan prederived and the per-pass timings land in the
+            // exported metrics.
+            let planner = if opts.executor == "dynamic" {
+                Planner::unfused(1)
+            } else {
+                Planner::fused(1)
+            };
+            let planned = planner.plan(&seq).map_err(|e| CliError {
                 message: e.to_string(),
                 code: 1,
             })?;
+            let prog =
+                Program::from_analysis(&seq, (*planned.deps).clone(), 1).map_err(|e| CliError {
+                    message: e.to_string(),
+                    code: 1,
+                })?;
             // The dynamic runtime cannot legally execute fused plans
             // (peeling assumes static block boundaries), so it runs the
             // unfused blocked plan — the scheduling ablation.
@@ -559,6 +575,7 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
                     .strip(opts.strip)
                     .steps(opts.steps)
             }
+            .prederived(planned.plan.clone())
             .backend(backend);
             if opts.trace_out.is_some() {
                 cfg = cfg.traced();
@@ -643,7 +660,9 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
                 );
             }
             if let Some(path) = &opts.metrics_out {
-                std::fs::write(path, report.metrics().to_prometheus()).map_err(|e| CliError {
+                let mut reg = report.metrics();
+                register_pass_metrics(&mut reg, &planned.timings);
+                std::fs::write(path, reg.to_prometheus()).map_err(|e| CliError {
                     message: format!("cannot write {path}: {e}"),
                     code: 1,
                 })?;

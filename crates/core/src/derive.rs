@@ -17,6 +17,7 @@
 //!   the fused loop needs no cross-processor synchronization.
 
 use crate::explain::{DerivePass, ExplainEvent, ExplainTrace};
+use crate::pipeline::PlanObserver;
 use sp_dep::{DepEdge, DepMultigraph, SequenceDeps};
 use sp_ir::LoopSequence;
 use std::fmt;
@@ -210,15 +211,15 @@ pub fn derive_dim(g: &DepMultigraph) -> Result<DimDerivation, DeriveError> {
     })
 }
 
-/// [`derive_dim`] with every traversal step recorded into `trace` as
+/// [`derive_dim`] with every traversal step reported to `obs` as
 /// [`ExplainEvent::EdgeVisit`]s plus a closing
 /// [`ExplainEvent::DimDerived`]. `offset` is added to the recorded nest
 /// indices so window-relative graphs (see `DepMultigraph::build_window`)
 /// report absolute sequence positions.
-pub fn derive_dim_traced(
+pub fn derive_dim_observed(
     g: &DepMultigraph,
     offset: usize,
-    trace: &mut ExplainTrace,
+    obs: &mut dyn PlanObserver,
 ) -> Result<DimDerivation, DeriveError> {
     if let Some(&(src, dst)) = g.nonuniform.first() {
         return Err(DeriveError::NonUniform {
@@ -243,21 +244,21 @@ pub fn derive_dim_traced(
     };
     let min_edges = g.reduce_min();
     let shifts: Vec<i64> = traverse_with(g.n, &min_edges, true, |e, c, after, taken| {
-        trace.push(event(DerivePass::Shift, e, c, after, taken));
+        obs.event(event(DerivePass::Shift, e, c, after, taken));
     })
     .into_iter()
     .map(|w| -w)
     .collect();
     let max_edges = g.reduce_max();
     let peels = traverse_with(g.n, &max_edges, false, |e, c, after, taken| {
-        trace.push(event(DerivePass::Peel, e, c, after, taken));
+        obs.event(event(DerivePass::Peel, e, c, after, taken));
     });
     let dim = DimDerivation {
         level: g.level,
         shifts,
         peels,
     };
-    trace.push(ExplainEvent::DimDerived {
+    obs.event(ExplainEvent::DimDerived {
         level: dim.level,
         start: offset,
         shifts: dim.shifts.clone(),
@@ -265,6 +266,19 @@ pub fn derive_dim_traced(
         nt: dim.nt(),
     });
     Ok(dim)
+}
+
+/// [`derive_dim_observed`] with an [`ExplainTrace`] as the observer.
+#[deprecated(
+    note = "use `derive_dim_observed` (or plan through `pipeline::Planner`); \
+            the traced/untraced function pair is collapsed into one observer path"
+)]
+pub fn derive_dim_traced(
+    g: &DepMultigraph,
+    offset: usize,
+    trace: &mut ExplainTrace,
+) -> Result<DimDerivation, DeriveError> {
+    derive_dim_observed(g, offset, trace)
 }
 
 /// Derives shift-and-peel amounts for the first `levels` dimensions of a

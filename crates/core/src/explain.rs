@@ -11,12 +11,15 @@
 //! text shown by `spfc explain`; tests pin that text as a golden file so
 //! any change to the decision logic surfaces as a reviewable diff.
 //!
-//! Tracing is strictly opt-in: the untraced [`crate::plan::fusion_plan`]
-//! path records nothing and allocates nothing extra.
+//! Tracing is strictly opt-in: [`ExplainTrace`] implements the
+//! pipeline's [`PlanObserver`] and *wants* events, while the untraced
+//! [`crate::plan::fusion_plan`] path runs with the event-less
+//! [`crate::pipeline::NullObserver`] and records nothing and allocates
+//! nothing extra.
 
-use crate::derive::DeriveError;
 use crate::legality::LegalityError;
-use crate::plan::{fusion_plan_traced, CodegenMethod, FusionPlan};
+use crate::pipeline::{PlanObserver, Planner};
+use crate::plan::FusionPlan;
 use sp_dep::DepKind;
 use sp_ir::{ArrayId, LoopSequence};
 use std::fmt::Write as _;
@@ -295,25 +298,29 @@ impl ExplainTrace {
     }
 }
 
+/// [`ExplainTrace`] observes a pipeline run by recording every event;
+/// pass lifecycle notifications are ignored (the trace renders planning
+/// decisions, not scheduling).
+impl PlanObserver for ExplainTrace {
+    fn wants_events(&self) -> bool {
+        true
+    }
+
+    fn event(&mut self, e: ExplainEvent) {
+        self.push(e);
+    }
+}
+
 /// Analyzes `seq`, plans fusion of its first `levels` dimensions, and
 /// returns the plan together with the full decision trace. This is the
-/// one-call entry point behind `spfc explain`.
+/// one-call entry point behind `spfc explain`, running the standard
+/// pass pipeline with the trace as its observer.
 pub fn explain_sequence(
     seq: &LoopSequence,
     levels: usize,
 ) -> Result<(FusionPlan, ExplainTrace), LegalityError> {
-    let deps = sp_dep::analyze_sequence(seq)
-        .map_err(|e| LegalityError::Derive(DeriveError::Analysis(e.to_string())))?;
-    let mut trace = ExplainTrace::new();
-    let plan = fusion_plan_traced(
-        seq,
-        &deps,
-        levels,
-        CodegenMethod::StripMined,
-        None,
-        &mut trace,
-    )?;
-    Ok((plan, trace))
+    let (planned, trace) = Planner::fused(levels).explain(seq)?;
+    Ok(((*planned.plan).clone(), trace))
 }
 
 #[cfg(test)]

@@ -2,55 +2,110 @@
 //!
 //! The primary contribution of Manjikian & Abdelrahman, *"Fusion of Loops
 //! for Parallelism and Locality"* (ICPP 1995), implemented on the `sp-ir`
-//! program model with `sp-dep` dependence analysis:
+//! program model with `sp-dep` dependence analysis.
 //!
-//! * [`derive`] — shift/peel amount derivation by the dependence-chain
-//!   graph traversal of Figure 8 (shifts from minimum-reduced negative
-//!   edges, peels from maximum-reduced positive edges), per fused
-//!   dimension.
-//! * [`legality`] — the admissibility checks and Theorem 1's iteration
-//!   count threshold `Nt`.
-//! * [`schedule`] — the block geometry of parallel execution: per
-//!   processor, per nest, the fused region and the peeled regions
-//!   executed after the single barrier (Figures 12 and 16 generalized to
-//!   any dimensionality via rectangle-difference decomposition).
-//! * [`plan`] — greedy partitioning of a sequence into fusible groups,
-//!   with non-uniform dependences and serial nests breaking groups.
-//! * [`codegen`] — strip-mined vs direct realization (Figure 11) and the
-//!   partition-size-driven strip selection of Section 4.
-//! * [`profit`] — the data-size-vs-cache-size profitability evaluation the
-//!   paper's Section 6 calls for.
+//! The public API is grouped into four modules (downstream crates import
+//! from these, never from file-level paths):
+//!
+//! * [`plan`] — what to execute: [`FusionPlan`]/[`FusedGroup`], the
+//!   [`PlanConfig`] describing how a plan is derived, the codegen method
+//!   choice (Figure 11), and the low-level planning entry points.
+//! * [`pipeline`] — how plans are derived: the [`Pass`] manager with its
+//!   content-keyed [`AnalysisArtifacts`] store, and the [`Planner`]
+//!   builder that is the one planning entry point for the CLI, the
+//!   executors, and the serve tier.
+//! * [`analysis`] — the individual analyses the passes are built from:
+//!   shift/peel derivation (Figure 8), legality and Theorem 1's
+//!   iteration count threshold, block-geometry scheduling (Figures 12
+//!   and 16), strip selection and cost estimation (Section 4),
+//!   profitability (Section 6), array contraction, and loop
+//!   distribution.
 //! * [`explain`] — opt-in decision tracing: structured events recording
 //!   why each pass decided what it did (edge contributions, fusion
 //!   rejections, Theorem 1 threshold checks), rendered by `spfc explain`.
+//!
+//! The most common names are re-exported at the crate root and from
+//! [`prelude`].
 
-pub mod codegen;
-pub mod contract;
-pub mod derive;
-pub mod distribute;
-pub mod emit;
+mod codegen;
+mod contract;
+mod derive;
+mod distribute;
+mod emit;
+mod legality;
+mod profit;
+mod schedule;
+
 pub mod explain;
-pub mod legality;
+pub mod pipeline;
 pub mod plan;
-pub mod profit;
-pub mod schedule;
 
-pub use codegen::{bytes_per_outer_iter, estimate_block_cost, suggest_strip, GroupCost, StripSpec};
-pub use contract::{find_contractable, ContractionCandidate};
-pub use derive::{
-    derive_dim, derive_dim_traced, derive_levels, derive_shift_peel, Derivation, DeriveError,
-    DimDerivation,
+/// The individual analyses behind the pipeline's passes: derivation,
+/// legality, block-geometry scheduling, codegen cost/strip selection,
+/// profitability, array contraction, loop distribution, and plan
+/// rendering.
+pub mod analysis {
+    pub use crate::codegen::{
+        bytes_per_outer_iter, estimate_block_cost, suggest_strip, GroupCost, StripSpec,
+    };
+    pub use crate::contract::{find_contractable, ContractionCandidate};
+    #[allow(deprecated)]
+    pub use crate::derive::derive_dim_traced;
+    pub use crate::derive::{
+        derive_dim, derive_dim_observed, derive_levels, derive_shift_peel, Derivation, DeriveError,
+        DimDerivation,
+    };
+    pub use crate::distribute::{distribute_nest, distribute_sequence, Distribution};
+    pub use crate::emit::render_plan;
+    pub use crate::legality::{
+        check_blocks, check_sequence, max_procs, plan_nt_requirements, revalidate_plan,
+        LegalityError, NtRequirement,
+    };
+    pub use crate::profit::ProfitabilityModel;
+    pub use crate::schedule::{
+        decompose, global_fused_range, nest_regions, NestRegions, ProcBlock,
+    };
+}
+
+/// Glob-import surface for the common planning workflow: build a
+/// [`Planner`](crate::pipeline::Planner), call
+/// [`plan`](crate::pipeline::Planner::plan), consume the
+/// [`Planned`](crate::pipeline::Planned) artifacts.
+///
+/// ```
+/// use shift_peel_core::prelude::*;
+/// # use sp_ir::SeqBuilder;
+/// # let mut b = SeqBuilder::new("ex");
+/// # let a = b.array("a", [16]);
+/// # let c = b.array("c", [16]);
+/// # b.nest("L1", [(1, 14)], |x| { let r = x.ld(a, [0]); x.assign(c, [0], r); });
+/// # b.nest("L2", [(1, 14)], |x| { let r = x.ld(c, [1]); x.assign(a, [0], r); });
+/// # let seq = b.finish();
+/// let planned = Planner::new(PlanConfig::fused(1)).plan(&seq).unwrap();
+/// assert!(planned.plan.fused_group_count() > 0);
+/// ```
+pub mod prelude {
+    pub use crate::analysis::{
+        derive_shift_peel, Derivation, LegalityError, NtRequirement, ProfitabilityModel,
+    };
+    pub use crate::explain::{explain_sequence, ExplainTrace};
+    pub use crate::pipeline::{AnalysisArtifacts, ArtifactKey, Planned, Planner};
+    pub use crate::plan::{CodegenMethod, FusionPlan, PlanConfig};
+}
+
+// Curated root re-exports: the types and entry points nearly every
+// consumer needs. Anything more specialized lives under the grouped
+// modules above.
+pub use analysis::{
+    derive_shift_peel, Derivation, DeriveError, DimDerivation, LegalityError, NtRequirement,
+    ProfitabilityModel,
 };
-pub use distribute::{distribute_nest, distribute_sequence, Distribution};
-pub use emit::render_plan;
-pub use explain::{explain_sequence, DerivePass, ExplainEvent, ExplainTrace, JoinBlocker};
-pub use legality::{
-    check_blocks, check_sequence, max_procs, plan_nt_requirements, revalidate_plan, LegalityError,
-    NtRequirement,
+pub use explain::{explain_sequence, ExplainEvent, ExplainTrace};
+pub use pipeline::{
+    dependence_key, AnalysisArtifacts, ArtifactKey, NullObserver, Pass, PassRequest, PassTiming,
+    PassTimings, Pipeline, PlanObserver, Planned, Planner,
 };
 pub use plan::{
-    fusion_plan, fusion_plan_traced, join_blocker, singleton_plan, CodegenMethod, FusedGroup,
-    FusionPlan, LoweringFootprint, PlanConfig,
+    fusion_plan, singleton_plan, CodegenMethod, FusedGroup, FusionPlan, LoweringFootprint,
+    PlanConfig,
 };
-pub use profit::ProfitabilityModel;
-pub use schedule::{decompose, global_fused_range, nest_regions, NestRegions, ProcBlock};

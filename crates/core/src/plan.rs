@@ -7,9 +7,10 @@
 //! dimension, because the nest is serial in a fused dimension, or because
 //! a profitability model (Section 6) vetoes further fusion.
 
-use crate::derive::{derive_dim, derive_dim_traced, Derivation};
+use crate::derive::{derive_dim, derive_dim_observed, Derivation};
 use crate::explain::{ExplainEvent, ExplainTrace, JoinBlocker};
 use crate::legality::LegalityError;
+use crate::pipeline::{NullObserver, PlanObserver};
 use crate::profit::ProfitabilityModel;
 use sp_dep::{DepMultigraph, SequenceDeps};
 use sp_ir::LoopSequence;
@@ -159,22 +160,24 @@ fn expr_nodes(e: &sp_ir::Expr) -> usize {
 }
 
 /// Derives a [`Derivation`] for the subsequence `[start, end)` using
-/// per-dimension multigraphs restricted to that window. When `trace` is
-/// given, every traversal step is recorded with absolute nest indices.
+/// per-dimension multigraphs restricted to that window. When the
+/// observer wants events, every traversal step is recorded with
+/// absolute nest indices.
 fn derive_window(
     deps: &SequenceDeps,
     start: usize,
     end: usize,
     levels: usize,
-    mut trace: Option<&mut ExplainTrace>,
+    obs: &mut dyn PlanObserver,
 ) -> Result<Derivation, LegalityError> {
     let n = end - start;
     let mut dims = Vec::with_capacity(levels);
     for level in 0..levels {
         let g = DepMultigraph::build_window(deps, start, end, level);
-        let dim = match trace.as_deref_mut() {
-            Some(t) => derive_dim_traced(&g, start, t),
-            None => derive_dim(&g),
+        let dim = if obs.wants_events() {
+            derive_dim_observed(&g, start, obs)
+        } else {
+            derive_dim(&g)
         }
         .map_err(LegalityError::Derive)?;
         dims.push(dim);
@@ -224,32 +227,23 @@ pub fn fusion_plan(
     method: CodegenMethod,
     profit: Option<&ProfitabilityModel>,
 ) -> Result<FusionPlan, LegalityError> {
-    plan_impl(seq, deps, levels, method, profit, None)
+    fusion_plan_observed(seq, deps, levels, method, profit, &mut NullObserver)
 }
 
-/// [`fusion_plan`] with every planning decision recorded into `trace`:
-/// group opens/closes, accepted and rejected joins (with the precise
-/// [`JoinBlocker`]), every derivation traversal step, and Theorem 1's
-/// iteration-count-threshold check per fused dimension of each
-/// multi-member group. Produces exactly the plan [`fusion_plan`] would.
-pub fn fusion_plan_traced(
+/// [`fusion_plan`] with every planning decision reported to `obs` (when
+/// it wants events): group opens/closes, accepted and rejected joins
+/// (with the precise [`JoinBlocker`]), every derivation traversal step,
+/// and Theorem 1's iteration-count-threshold check per fused dimension
+/// of each multi-member group. Produces exactly the plan
+/// [`fusion_plan`] would; this is the single planning path behind both
+/// the untraced API and `spfc explain`.
+pub fn fusion_plan_observed(
     seq: &LoopSequence,
     deps: &SequenceDeps,
     levels: usize,
     method: CodegenMethod,
     profit: Option<&ProfitabilityModel>,
-    trace: &mut ExplainTrace,
-) -> Result<FusionPlan, LegalityError> {
-    plan_impl(seq, deps, levels, method, profit, Some(trace))
-}
-
-fn plan_impl(
-    seq: &LoopSequence,
-    deps: &SequenceDeps,
-    levels: usize,
-    method: CodegenMethod,
-    profit: Option<&ProfitabilityModel>,
-    mut trace: Option<&mut ExplainTrace>,
+    obs: &mut dyn PlanObserver,
 ) -> Result<FusionPlan, LegalityError> {
     if levels < 1 || levels > deps.depth {
         return Err(LegalityError::BadLevels {
@@ -263,45 +257,45 @@ fn plan_impl(
     // A nest that is itself serial in a fused level forms a singleton
     // group (it is left unfused and runs as in the original program).
     while start < n {
-        if let Some(t) = trace.as_deref_mut() {
-            t.push(ExplainEvent::GroupStart { start });
+        if obs.wants_events() {
+            obs.event(ExplainEvent::GroupStart { start });
         }
         let mut end = start + 1;
         let first_blocker = join_blocker(deps, start, start, levels);
         match first_blocker {
             Some(blocker) => {
                 // The opening nest itself is serial: singleton group.
-                if let Some(t) = trace.as_deref_mut() {
-                    t.push(ExplainEvent::JoinRejected { blocker });
+                if obs.wants_events() {
+                    obs.event(ExplainEvent::JoinRejected { blocker });
                 }
             }
             None => {
                 while end < n {
                     if let Some(blocker) = join_blocker(deps, start, end, levels) {
-                        if let Some(t) = trace.as_deref_mut() {
-                            t.push(ExplainEvent::JoinRejected { blocker });
+                        if obs.wants_events() {
+                            obs.event(ExplainEvent::JoinRejected { blocker });
                         }
                         break;
                     }
                     if let Some(p) = profit {
                         if !p.profitable_to_grow(seq, start, end + 1) {
-                            if let Some(t) = trace.as_deref_mut() {
-                                t.push(ExplainEvent::JoinRejected {
+                            if obs.wants_events() {
+                                obs.event(ExplainEvent::JoinRejected {
                                     blocker: JoinBlocker::Unprofitable { nest: end },
                                 });
                             }
                             break;
                         }
                     }
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.push(ExplainEvent::JoinAccepted { nest: end });
+                    if obs.wants_events() {
+                        obs.event(ExplainEvent::JoinAccepted { nest: end });
                     }
                     end += 1;
                 }
             }
         }
-        let derivation = derive_window(deps, start, end, levels, trace.as_deref_mut())?;
-        if let Some(t) = trace.as_deref_mut() {
+        let derivation = derive_window(deps, start, end, levels, obs)?;
+        if obs.wants_events() {
             if end - start > 1 {
                 let members: Vec<usize> = (start..end).collect();
                 let range = crate::schedule::global_fused_range(seq, &members, levels)?;
@@ -309,7 +303,7 @@ fn plan_impl(
                     let (lo, hi) = range[dim.level];
                     let trip = hi - lo + 1;
                     let nt = dim.nt();
-                    t.push(ExplainEvent::Threshold {
+                    obs.event(ExplainEvent::Threshold {
                         level: dim.level,
                         trip,
                         nt,
@@ -317,7 +311,7 @@ fn plan_impl(
                     });
                 }
             }
-            t.push(ExplainEvent::GroupClosed { start, end });
+            obs.event(ExplainEvent::GroupClosed { start, end });
         }
         groups.push(FusedGroup {
             start,
@@ -331,6 +325,22 @@ fn plan_impl(
         groups,
         method,
     })
+}
+
+/// [`fusion_plan_observed`] with an [`ExplainTrace`] as the observer.
+#[deprecated(
+    note = "plan through `pipeline::Planner::explain` (or `fusion_plan_observed`); \
+            the traced/untraced function pair is collapsed into one observer path"
+)]
+pub fn fusion_plan_traced(
+    seq: &LoopSequence,
+    deps: &SequenceDeps,
+    levels: usize,
+    method: CodegenMethod,
+    profit: Option<&ProfitabilityModel>,
+    trace: &mut ExplainTrace,
+) -> Result<FusionPlan, LegalityError> {
+    fusion_plan_observed(seq, deps, levels, method, profit, trace)
 }
 
 /// Everything that determines *which* [`FusionPlan`] a sequence gets —

@@ -20,10 +20,10 @@ use crate::memory::{MemView, Memory};
 use crate::pool::SenseBarrier;
 use crate::sink::{AccessSink, NullSink};
 use crate::tape::Engine;
-use shift_peel_core::{
-    check_blocks, decompose, global_fused_range, nest_regions, CodegenMethod, FusedGroup,
-    FusionPlan, LegalityError, ProcBlock,
+use shift_peel_core::analysis::{
+    check_blocks, decompose, global_fused_range, nest_regions, ProcBlock,
 };
+use shift_peel_core::{CodegenMethod, FusedGroup, FusionPlan, LegalityError};
 use sp_dep::SequenceDeps;
 use sp_ir::{IterSpace, LoopSequence};
 use sp_trace::tracer::NO_INDEX;

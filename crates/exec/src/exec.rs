@@ -13,9 +13,14 @@ use crate::interp::{run_original, ExecCounters};
 use crate::memory::Memory;
 use crate::sink::{AccessSink, NullSink};
 use crate::tape::Engine;
-use shift_peel_core::{fusion_plan, singleton_plan, CodegenMethod, FusionPlan, LegalityError};
+use shift_peel_core::pipeline::pass;
+use shift_peel_core::{
+    dependence_key, singleton_plan, AnalysisArtifacts, CodegenMethod, FusionPlan, LegalityError,
+    NullObserver, Planner,
+};
 use sp_dep::{analyze_sequence, AnalysisError, SequenceDeps};
 use sp_ir::LoopSequence;
+use std::sync::{Arc, Mutex};
 
 /// What to execute.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -143,25 +148,21 @@ impl From<LegalityError> for ExecError {
     }
 }
 
-/// A sequence bound to its dependence analysis, ready to execute under
-/// different plans and executors.
+/// A sequence bound to its dependence analysis (carried as a seeded
+/// artifact store, so repeated planning reuses whatever is still
+/// valid), ready to execute under different plans and executors.
 pub struct Program<'a> {
     seq: &'a LoopSequence,
     deps: SequenceDeps,
     levels: usize,
+    artifacts: Mutex<AnalysisArtifacts>,
 }
 
 impl<'a> Program<'a> {
     /// Analyses `seq` for fusion of its first `levels` loop dimensions.
     pub fn new(seq: &'a LoopSequence, levels: usize) -> Result<Self, ExecError> {
         let deps = analyze_sequence(seq)?;
-        if levels < 1 || levels > deps.depth {
-            return Err(ExecError::Legality(LegalityError::BadLevels {
-                levels,
-                depth: deps.depth,
-            }));
-        }
-        Ok(Program { seq, deps, levels })
+        Program::bind(seq, deps, levels)
     }
 
     /// Binds `seq` to an analysis computed elsewhere (e.g. served from
@@ -174,13 +175,28 @@ impl<'a> Program<'a> {
         deps: SequenceDeps,
         levels: usize,
     ) -> Result<Self, ExecError> {
+        Program::bind(seq, deps, levels)
+    }
+
+    fn bind(seq: &'a LoopSequence, deps: SequenceDeps, levels: usize) -> Result<Self, ExecError> {
         if levels < 1 || levels > deps.depth {
             return Err(ExecError::Legality(LegalityError::BadLevels {
                 levels,
                 depth: deps.depth,
             }));
         }
-        Ok(Program { seq, deps, levels })
+        let mut store = AnalysisArtifacts::new();
+        store.seed(
+            pass::DEPENDENCE,
+            dependence_key(seq),
+            Arc::new(deps.clone()),
+        );
+        Ok(Program {
+            seq,
+            deps,
+            levels,
+            artifacts: Mutex::new(store),
+        })
     }
 
     /// The underlying sequence.
@@ -199,20 +215,26 @@ impl<'a> Program<'a> {
     }
 
     /// The fusion plan an [`ExecPlan`] implies: singleton groups for
-    /// `Serial`/`Blocked`, greedy maximal fusion for `Fused`.
-    pub fn fusion_plan_for(&self, plan: &ExecPlan) -> Result<FusionPlan, ExecError> {
-        match plan {
-            ExecPlan::Serial | ExecPlan::Blocked { .. } => {
-                Ok(singleton_plan(self.seq, &self.deps, self.levels)?)
-            }
-            ExecPlan::Fused { method, .. } => Ok(fusion_plan(
-                self.seq,
-                &self.deps,
-                self.levels,
-                *method,
-                None,
-            )?),
-        }
+    /// `Serial`/`Blocked`, greedy maximal fusion for `Fused`. Planned
+    /// through the pass pipeline against this program's artifact store,
+    /// so the seeded dependence analysis is never recomputed and
+    /// switching between plans only re-derives what the configuration
+    /// change invalidates.
+    pub fn fusion_plan_for(&self, plan: &ExecPlan) -> Result<Arc<FusionPlan>, ExecError> {
+        let planner = match plan {
+            ExecPlan::Serial | ExecPlan::Blocked { .. } => Planner::unfused(self.levels),
+            ExecPlan::Fused { method, .. } => Planner::fused(self.levels).method(*method),
+        };
+        let mut store = self.artifacts.lock().unwrap();
+        let planned = planner.plan_with(self.seq, &mut store, &mut NullObserver)?;
+        Ok(planned.plan)
+    }
+
+    /// `(reused, computed, invalidated)` artifact counts accumulated by
+    /// every planning run against this program (tests and diagnostics).
+    pub fn artifact_counters(&self) -> (u64, u64, u64) {
+        let store = self.artifacts.lock().unwrap();
+        (store.reused(), store.computed(), store.invalidated())
     }
 
     /// Executes deterministically (simulated processors), discarding the

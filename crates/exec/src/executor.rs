@@ -419,7 +419,7 @@ fn plan_of(prog: &Program<'_>, cfg: &RunConfig) -> Result<Arc<FusionPlan>, ExecE
         }
         return Ok(Arc::clone(fp));
     }
-    Ok(Arc::new(prog.fusion_plan_for(cfg.plan())?))
+    prog.fusion_plan_for(cfg.plan())
 }
 
 /// Lowers the program to a micro-op tape when the config asks for a
@@ -1102,7 +1102,7 @@ mod tests {
         let want = mem.snapshot_all(&seq);
         assert!(!fresh.cached);
         // Derive the artifacts the way a cache would, then inject them.
-        let fp = Arc::new(prog.fusion_plan_for(base.plan()).unwrap());
+        let fp = prog.fusion_plan_for(base.plan()).unwrap();
         let mem0 = Memory::new(&seq, LayoutStrategy::Contiguous);
         let tape = Arc::new(ProgramTape::lower_with(
             &seq,
@@ -1164,14 +1164,14 @@ mod tests {
         };
         let other_prog = Program::new(&other, 2).unwrap();
         let cfg = RunConfig::fused([2, 2]).strip(4);
-        let wrong = Arc::new(other_prog.fusion_plan_for(cfg.plan()).unwrap());
+        let wrong = other_prog.fusion_plan_for(cfg.plan()).unwrap();
         let err = SimExecutor
             .run(&prog, &mut mem, &cfg.clone().prederived(wrong))
             .unwrap_err();
         assert!(matches!(err, ExecError::Config(_)), "{err:?}");
         // Wrong fused-levels count is rejected too.
         let prog1 = Program::new(&seq, 1).unwrap();
-        let wrong_levels = Arc::new(prog1.fusion_plan_for(cfg.plan()).unwrap());
+        let wrong_levels = prog1.fusion_plan_for(cfg.plan()).unwrap();
         let err = SimExecutor
             .run(&prog, &mut mem, &cfg.prederived(wrong_levels))
             .unwrap_err();

@@ -21,6 +21,9 @@
 //!   [`SenseBarrier`];
 //! * [`exec`] — [`Program`] (a sequence bound to its analysis) and
 //!   [`ExecPlan`] (what to execute);
+//! * [`pass`] — sp-exec's contributions to the core pass pipeline:
+//!   [`LaneSafetyPass`] and the per-pass timing export
+//!   ([`register_pass_metrics`]);
 //! * [`executor`] — the [`Executor`] trait with its four runtimes
 //!   ([`ScopedExecutor`], [`PooledExecutor`], [`DynamicExecutor`],
 //!   [`SimExecutor`]), driven by a [`RunConfig`];
@@ -46,6 +49,7 @@ pub mod executor;
 pub mod interp;
 pub mod lower;
 pub mod memory;
+pub mod pass;
 pub mod pool;
 pub mod report;
 pub mod sink;
@@ -58,7 +62,9 @@ pub use executor::{
     SinkChoice,
 };
 pub use interp::{exec_region, exec_statement, run_original, ExecCounters};
+pub use lower::analyze_lane_safety;
 pub use memory::{MemView, Memory};
+pub use pass::{register_pass_metrics, LaneSafetyPass, LANE_SAFETY_PASS};
 pub use pool::{SenseBarrier, WorkerPool};
 pub use report::{RunReport, WorkerReport};
 // Tracing types callers need to configure a traced run and consume its

@@ -70,7 +70,8 @@ impl ProgramTape {
                     loads: stmt.rhs.reads().len() as u64,
                 });
             }
-            let lane_safe = lane_safety(&pats.pats, &stmts, depth);
+            let stores: Vec<u32> = stmts.iter().map(|st| st.store).collect();
+            let lane_safe = lane_safety(&pats.pats, &stores, depth);
             nests.push(NestTape {
                 depth,
                 elem_bytes: layout.elem_bytes as i64,
@@ -99,7 +100,7 @@ impl ProgramTape {
 /// 4. for every store pattern `s` and every pattern `p`, the distance
 ///    `Δ = s.slot_base - p.slot_base` is `0` or `|Δ| >= LANES`, so no
 ///    dependence at distance `1..LANES` can land inside a vector block.
-fn lane_safety(pats: &[AccessPat], stmts: &[StmtTape], depth: usize) -> bool {
+fn lane_safety(pats: &[AccessPat], stores: &[u32], depth: usize) -> bool {
     let Some(first) = pats.first() else {
         return false;
     };
@@ -113,13 +114,43 @@ fn lane_safety(pats: &[AccessPat], stmts: &[StmtTape], depth: usize) -> bool {
         return false;
     }
     let lanes = crate::tape::LANES as i64;
-    stmts.iter().all(|st| {
-        let store = &pats[st.store as usize];
+    stores.iter().all(|&idx| {
+        let store = &pats[idx as usize];
         pats.iter().all(|p| {
             let delta = store.slot_base - p.slot_base;
             delta == 0 || delta.abs() >= lanes
         })
     })
+}
+
+/// Per-nest lane safety without lowering statement bodies: the decision
+/// depends only on the interned access-pattern set and which patterns
+/// are stored to, both of which are available straight from the IR.
+/// This is the analysis behind [`crate::LaneSafetyPass`]; lowering
+/// reaches the same verdicts because it interns the same references
+/// against the same layout (constant folding never removes an array
+/// reference, so the pattern sets coincide).
+pub fn analyze_lane_safety(seq: &LoopSequence, layout: &MemoryLayout) -> Vec<bool> {
+    seq.nests
+        .iter()
+        .map(|nest| {
+            let depth = nest.depth();
+            let mut pats = PatTable {
+                layout,
+                depth,
+                refs: Vec::new(),
+                pats: Vec::new(),
+            };
+            let mut stores = Vec::with_capacity(nest.body.len());
+            for stmt in &nest.body {
+                for r in stmt.rhs.reads() {
+                    pats.intern(r);
+                }
+                stores.push(pats.intern(&stmt.lhs));
+            }
+            lane_safety(&pats.pats, &stores, depth)
+        })
+        .collect()
 }
 
 /// Interns deduplicated access patterns for one nest.

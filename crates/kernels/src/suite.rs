@@ -110,7 +110,7 @@ pub fn primary_sequence(app: &App) -> &LoopSequence {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shift_peel_core::derive_levels;
+    use shift_peel_core::analysis::derive_levels;
     use sp_dep::analyze_sequence;
 
     /// The Table 1 regression: every program's sequence count, longest

@@ -67,7 +67,7 @@ pub fn meta() -> KernelMeta {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shift_peel_core::derive_levels;
+    use shift_peel_core::analysis::derive_levels;
     use sp_dep::analyze_sequence;
 
     #[test]

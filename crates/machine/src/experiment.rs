@@ -7,9 +7,8 @@
 
 use crate::config::MachineConfig;
 use crate::sim::{simulate, SimPlan, SimResult};
-use shift_peel_core::{
-    bytes_per_outer_iter, derive_levels, suggest_strip, CodegenMethod, ProfitabilityModel,
-};
+use shift_peel_core::analysis::{bytes_per_outer_iter, derive_levels, suggest_strip};
+use shift_peel_core::{CodegenMethod, ProfitabilityModel};
 use sp_cache::LayoutStrategy;
 use sp_exec::{
     Backend, DynamicExecutor, ExecError, ExecPlan, Executor, Memory, PooledExecutor, Program,

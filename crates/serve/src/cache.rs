@@ -19,10 +19,19 @@
 //! [`revalidate_plan`]. A rejected entry stays cached — it is still
 //! valid for the grid it was derived under — and the lookup degrades to
 //! a miss.
+//!
+//! Alongside the full-artifact tiers sits an *analysis* tier: dependence
+//! analyses keyed by the pipeline's per-artifact
+//! [`ArtifactKey`] (sequence-only, via
+//! [`dependence_key`](shift_peel_core::dependence_key)). A full-key miss
+//! caused by a block-size, grid, or backend change still hits here, so
+//! the expensive dependence analysis is seeded into the planning
+//! pipeline instead of recomputed.
 
 use crate::hash::{fnv1a64, CacheKey, CACHE_FORMAT_VERSION};
+use shift_peel_core::analysis::revalidate_plan;
 use shift_peel_core::{
-    revalidate_plan, CodegenMethod, Derivation, DimDerivation, FusedGroup, FusionPlan,
+    ArtifactKey, CodegenMethod, Derivation, DimDerivation, FusedGroup, FusionPlan,
 };
 use sp_dep::SequenceDeps;
 use sp_exec::ProgramTape;
@@ -79,6 +88,11 @@ pub struct CacheCounters {
     /// Plan entries [`clear_disk`] could not delete (permissions, or a
     /// directory squatting on an entry name).
     pub clear_failed: u64,
+    /// Analysis-tier hits (dependence analysis reused across a full-key
+    /// miss).
+    pub analysis_hits: u64,
+    /// Analysis-tier misses.
+    pub analysis_misses: u64,
 }
 
 impl CacheCounters {
@@ -96,6 +110,8 @@ impl CacheCounters {
         self.poisoned += o.poisoned;
         self.revalidation_rejects += o.revalidation_rejects;
         self.clear_failed += o.clear_failed;
+        self.analysis_hits += o.analysis_hits;
+        self.analysis_misses += o.analysis_misses;
     }
 }
 
@@ -140,6 +156,9 @@ pub struct ArtifactCache {
     cfg: ArtifactCacheConfig,
     /// LRU order: front is coldest, back is hottest.
     entries: Vec<Artifact>,
+    /// Analysis tier, same LRU discipline: dependence analyses keyed by
+    /// the pipeline's sequence-only artifact key.
+    analysis: Vec<(ArtifactKey, Arc<SequenceDeps>)>,
     counters: CacheCounters,
 }
 
@@ -153,6 +172,7 @@ impl ArtifactCache {
         ArtifactCache {
             cfg,
             entries: Vec::new(),
+            analysis: Vec::new(),
             counters: CacheCounters::default(),
         }
     }
@@ -241,6 +261,41 @@ impl ArtifactCache {
         }
     }
 
+    /// Looks up a dependence analysis in the analysis tier. Counted
+    /// separately from full-artifact lookups: callers consult this tier
+    /// only after a full-key miss, so an analysis hit means planning
+    /// starts from a seeded store instead of from scratch.
+    pub fn lookup_analysis(&mut self, key: ArtifactKey) -> Option<Arc<SequenceDeps>> {
+        if let Some(pos) = self.analysis.iter().position(|(k, _)| *k == key) {
+            let e = self.analysis.remove(pos);
+            let deps = Arc::clone(&e.1);
+            self.analysis.push(e);
+            self.counters.analysis_hits += 1;
+            Some(deps)
+        } else {
+            self.counters.analysis_misses += 1;
+            None
+        }
+    }
+
+    /// Inserts (or refreshes) a dependence analysis under its
+    /// per-artifact key. Memory-only: the analysis is cheap to hold and
+    /// expensive to recompute, but not worth a disk format.
+    pub fn insert_analysis(&mut self, key: ArtifactKey, deps: Arc<SequenceDeps>) {
+        if let Some(pos) = self.analysis.iter().position(|(k, _)| *k == key) {
+            self.analysis.remove(pos);
+        }
+        self.analysis.push((key, deps));
+        while self.analysis.len() > self.cfg.memory_entries.max(1) {
+            self.analysis.remove(0);
+        }
+    }
+
+    /// Number of dependence analyses resident in the analysis tier.
+    pub fn analysis_len(&self) -> usize {
+        self.analysis.len()
+    }
+
     fn load_disk(&mut self, dir: &Path, key: CacheKey) -> DiskLoad {
         let path = entry_path(dir, key);
         let text = match fs::read_to_string(&path) {
@@ -305,6 +360,16 @@ impl ArtifactCache {
             "spfc_cache_revalidation_rejects_total",
             "Key matches rejected by Theorem-1 grid revalidation",
             c.revalidation_rejects,
+        );
+        reg.counter(
+            "spfc_cache_analysis_hits_total",
+            "Analysis-tier hits (dependence analysis reused)",
+            c.analysis_hits,
+        );
+        reg.counter(
+            "spfc_cache_analysis_misses_total",
+            "Analysis-tier misses",
+            c.analysis_misses,
         );
         reg.gauge(
             "spfc_cache_entries",
@@ -413,6 +478,8 @@ pub fn disk_stats(dir: &Path) -> CacheCounters {
             "poisoned" => c.poisoned = v,
             "revalidation_rejects" => c.revalidation_rejects = v,
             "clear_failed" => c.clear_failed = v,
+            "analysis_hits" => c.analysis_hits = v,
+            "analysis_misses" => c.analysis_misses = v,
             _ => {}
         }
     }
@@ -435,6 +502,8 @@ fn write_stats(dir: &Path, c: &CacheCounters) -> std::io::Result<()> {
         writeln!(f, "poisoned {}", c.poisoned)?;
         writeln!(f, "revalidation_rejects {}", c.revalidation_rejects)?;
         writeln!(f, "clear_failed {}", c.clear_failed)?;
+        writeln!(f, "analysis_hits {}", c.analysis_hits)?;
+        writeln!(f, "analysis_misses {}", c.analysis_misses)?;
         f.sync_all()?;
     }
     let renamed = fs::rename(&tmp, dir.join("stats"));
@@ -841,6 +910,34 @@ mod tests {
             c.lookup(key, &seq, &[2, 2]).is_some(),
             "entry survives the reject"
         );
+    }
+
+    #[test]
+    fn analysis_tier_hits_survive_full_key_misses() {
+        let seq = jacobi::sequence(32);
+        let deps = Arc::new(analyze_sequence(&seq).unwrap());
+        let akey = shift_peel_core::dependence_key(&seq);
+        let mut c = ArtifactCache::new(ArtifactCacheConfig::memory(2));
+        assert!(c.lookup_analysis(akey).is_none(), "cold tier misses");
+        c.insert_analysis(akey, Arc::clone(&deps));
+        let got = c.lookup_analysis(akey).expect("analysis hit");
+        assert!(Arc::ptr_eq(&got, &deps), "same analysis served");
+        assert_eq!(c.counters().analysis_hits, 1);
+        assert_eq!(c.counters().analysis_misses, 1);
+        // LRU capacity applies to the analysis tier too.
+        c.insert_analysis(ArtifactKey(1), Arc::clone(&deps));
+        c.insert_analysis(ArtifactKey(2), Arc::clone(&deps));
+        assert_eq!(c.analysis_len(), 2);
+        assert!(c.lookup_analysis(akey).is_none(), "coldest evicted");
+        // Counters round-trip through the stats file.
+        let dir = tmpdir("analysis");
+        let mut cd = ArtifactCache::new(ArtifactCacheConfig::memory(2).disk(&dir));
+        cd.counters.analysis_hits = 3;
+        cd.counters.analysis_misses = 5;
+        cd.flush_stats();
+        let total = disk_stats(&dir);
+        assert_eq!((total.analysis_hits, total.analysis_misses), (3, 5));
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -17,12 +17,16 @@
 
 use crate::cache::{Artifact, ArtifactCache, ArtifactCacheConfig, CacheCounters, Tier};
 use crate::hash::{fnv1a64, CacheKey};
-use shift_peel_core::PlanConfig;
+use shift_peel_core::pipeline::pass;
+use shift_peel_core::{
+    dependence_key, AnalysisArtifacts, FusionPlan, NullObserver, PassTiming, PassTimings,
+    PlanConfig, Planner,
+};
 use sp_cache::LayoutStrategy;
 use sp_dep::{analyze_sequence, SequenceDeps};
 use sp_exec::{
-    Backend, ExecError, ExecPlan, Executor, Memory, PooledExecutor, Program, ProgramTape,
-    RunConfig, RunReport,
+    register_pass_metrics, Backend, ExecError, ExecPlan, Executor, Memory, PooledExecutor, Program,
+    ProgramTape, RunConfig, RunReport,
 };
 use sp_ir::LoopSequence;
 use sp_trace::MetricsRegistry;
@@ -312,7 +316,26 @@ struct Shared {
     /// Wakes waiters: a job finished (or was failed administratively).
     done_cv: Condvar,
     cache: Mutex<ArtifactCache>,
+    /// Pipeline pass time accumulated across every planning run this
+    /// service performed (reused passes contribute 0).
+    pass_timings: Mutex<PassTimings>,
     queue_capacity: usize,
+}
+
+/// Folds one planning run's timings into the service-lifetime aggregate.
+fn record_pass_timings(shared: &Shared, run: &PassTimings) {
+    let mut agg = shared.pass_timings.lock().unwrap();
+    for t in &run.passes {
+        if let Some(slot) = agg.passes.iter_mut().find(|p| p.pass == t.pass) {
+            slot.nanos += t.nanos;
+        } else {
+            agg.passes.push(PassTiming {
+                pass: t.pass,
+                nanos: t.nanos,
+                reused: false,
+            });
+        }
+    }
 }
 
 /// The job service. Dropping it drains nothing: pending jobs fail with
@@ -334,6 +357,7 @@ impl Service {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             cache: Mutex::new(ArtifactCache::new(cfg.cache.clone())),
+            pass_timings: Mutex::new(PassTimings::default()),
             queue_capacity: cfg.queue_capacity.max(1),
         });
         let sched = Arc::clone(&shared);
@@ -434,6 +458,7 @@ impl Service {
             );
         }
         self.shared.cache.lock().unwrap().register_metrics(&mut reg);
+        register_pass_metrics(&mut reg, &self.shared.pass_timings.lock().unwrap());
         reg
     }
 }
@@ -537,23 +562,45 @@ fn run_job(
         None => (CacheOutcome::Miss, None, None, None),
     };
 
-    // Analysis: reused from the artifact when present, recomputed
-    // otherwise (disk entries carry the plan only).
-    let deps: Arc<SequenceDeps> = match cached_deps {
-        Some(d) => d,
-        None => Arc::new(
-            analyze_sequence(&spec.seq).map_err(|e| ServeError::Exec(ExecError::Analysis(e)))?,
-        ),
+    // Analysis and plan. A full hit carries both. A disk hit carries the
+    // plan only — the analysis tier (or a recompute) supplies deps. A
+    // full miss plans through the pipeline, seeding the store from the
+    // analysis tier so a dependence analysis computed under a different
+    // block size, grid, or backend is reused rather than redone.
+    let akey = dependence_key(&spec.seq);
+    let (deps, plan): (Arc<SequenceDeps>, Arc<FusionPlan>) = match (cached_plan, cached_deps) {
+        (Some(p), Some(d)) => (d, p),
+        (Some(p), None) => {
+            let tier_hit = shared.cache.lock().unwrap().lookup_analysis(akey);
+            let d = match tier_hit {
+                Some(d) => d,
+                None => Arc::new(
+                    analyze_sequence(&spec.seq)
+                        .map_err(|e| ServeError::Exec(ExecError::Analysis(e)))?,
+                ),
+            };
+            (d, p)
+        }
+        (None, _) => {
+            let mut store = AnalysisArtifacts::new();
+            if let Some(d) = shared.cache.lock().unwrap().lookup_analysis(akey) {
+                store.seed(pass::DEPENDENCE, akey, d);
+            }
+            let planned = Planner::new(spec.plan_config())
+                .plan_with(&spec.seq, &mut store, &mut NullObserver)
+                .map_err(|e| ServeError::Exec(ExecError::Legality(e)))?;
+            record_pass_timings(shared, &planned.timings);
+            (planned.deps, planned.plan)
+        }
     };
+    // Keep the analysis tier warm for future full-key misses on this
+    // sequence.
+    shared
+        .cache
+        .lock()
+        .unwrap()
+        .insert_analysis(akey, Arc::clone(&deps));
     let prog = Program::from_analysis(&spec.seq, (*deps).clone(), spec.levels)?;
-    let plan = match cached_plan {
-        Some(p) => p,
-        None => Arc::new(
-            spec.plan_config()
-                .plan(&spec.seq, &deps)
-                .map_err(|e| ServeError::Exec(ExecError::Legality(e)))?,
-        ),
-    };
 
     let mut mem = Memory::new(&spec.seq, LayoutStrategy::Contiguous);
     mem.init_deterministic(&spec.seq, spec.seed);

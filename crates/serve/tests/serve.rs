@@ -301,3 +301,51 @@ fn waiting_on_an_unsubmitted_id_is_an_error() {
     );
     assert!(service.poll(JobId(99)).is_none());
 }
+
+/// A block-size change — a different processor grid over the same
+/// sequence — misses the full artifact key (it hashes the processor
+/// count) but reuses the dependence analysis: the second job plans from
+/// the seeded analysis tier instead of re-analyzing, and the per-pass
+/// metrics expose where planning time went.
+#[test]
+fn analysis_artifact_survives_a_block_size_change() {
+    let service = Service::new(ServiceConfig::default().workers(8));
+    let seq = jacobi::sequence(48);
+    let a = service
+        .wait(
+            service
+                .submit(JobSpec::new("jacobi", seq.clone(), fused(&[2, 2])).keep_output())
+                .unwrap(),
+        )
+        .unwrap();
+    let b = service
+        .wait(
+            service
+                .submit(JobSpec::new("jacobi", seq, fused(&[2, 4])).keep_output())
+                .unwrap(),
+        )
+        .unwrap();
+    assert_eq!(a.cache, CacheOutcome::Miss);
+    assert_eq!(
+        b.cache,
+        CacheOutcome::Miss,
+        "full key changes with the grid"
+    );
+    assert_eq!(a.digest, b.digest, "grid shape never changes results");
+    let c = service.cache_counters();
+    assert!(
+        c.analysis_hits >= 1,
+        "dependence analysis reused across the grid change: {c:?}"
+    );
+    let reg = service.metrics();
+    assert!(
+        reg.counter_value("spfc_cache_analysis_hits_total")
+            .is_some_and(|v| v >= 1),
+        "analysis hit surfaces in metrics"
+    );
+    assert!(
+        reg.labeled_counter_value("spfc_pass_nanos", ("pass", "dependence"))
+            .is_some(),
+        "per-pass planning time is exported"
+    );
+}

@@ -93,6 +93,9 @@ impl Histogram {
 pub struct MetricsRegistry {
     labels: Vec<(String, String)>,
     counters: Vec<(String, String, u64)>,
+    // (name, help, label key, label value, value): one metric family
+    // fanned out over a per-sample label, e.g. spfc_pass_nanos{pass=...}.
+    labeled: Vec<(String, String, String, String, u64)>,
     gauges: Vec<(String, String, f64)>,
     histograms: Vec<(String, String, Histogram)>,
 }
@@ -140,6 +143,37 @@ impl MetricsRegistry {
         &mut self.histograms.last_mut().unwrap().2
     }
 
+    /// Sets a monotonic counter carrying one extra per-sample label in
+    /// addition to the registry labels (replacing any previous value
+    /// under the same name and label pair). Samples of the same family
+    /// render under a single `# HELP`/`# TYPE` header.
+    pub fn labeled_counter(&mut self, name: &str, help: &str, label: (&str, &str), value: u64) {
+        let (lk, lv) = label;
+        if let Some(slot) = self
+            .labeled
+            .iter_mut()
+            .find(|(n, _, k, v, _)| n == name && k == lk && v == lv)
+        {
+            slot.4 = value;
+        } else {
+            self.labeled.push((
+                name.to_string(),
+                help.to_string(),
+                lk.to_string(),
+                lv.to_string(),
+                value,
+            ));
+        }
+    }
+
+    /// Looks up a labeled counter's value (for tests and assertions).
+    pub fn labeled_counter_value(&self, name: &str, label: (&str, &str)) -> Option<u64> {
+        self.labeled
+            .iter()
+            .find(|(n, _, k, v, _)| n == name && k == label.0 && v == label.1)
+            .map(|(_, _, _, _, value)| *value)
+    }
+
     /// Looks up a counter's value (for tests and assertions).
     pub fn counter_value(&self, name: &str) -> Option<u64> {
         self.counters
@@ -180,6 +214,17 @@ impl MetricsRegistry {
         for (name, help, value) in &self.counters {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
             out.push_str(&format!("{name}{} {value}\n", self.label_str(None)));
+        }
+        let mut seen: Vec<&str> = Vec::new();
+        for (name, help, lk, lv, value) in &self.labeled {
+            if !seen.contains(&name.as_str()) {
+                out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+                seen.push(name);
+            }
+            out.push_str(&format!(
+                "{name}{} {value}\n",
+                self.label_str(Some((lk, lv.clone())))
+            ));
         }
         for (name, help, value) in &self.gauges {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
@@ -278,6 +323,47 @@ mod tests {
         );
         assert!(text.contains("spfc_barrier_wait_nanos_sum"), "{text}");
         assert!(text.contains("spfc_barrier_wait_nanos_count"), "{text}");
+    }
+
+    #[test]
+    fn labeled_counter_shares_one_header_per_family() {
+        let mut reg = MetricsRegistry::new(&[("kernel", "jacobi")]);
+        reg.labeled_counter(
+            "spfc_pass_nanos",
+            "Per-pass planning time",
+            ("pass", "dependence"),
+            120,
+        );
+        reg.labeled_counter(
+            "spfc_pass_nanos",
+            "Per-pass planning time",
+            ("pass", "plan"),
+            340,
+        );
+        reg.labeled_counter(
+            "spfc_pass_nanos",
+            "Per-pass planning time",
+            ("pass", "plan"),
+            350,
+        );
+        assert_eq!(
+            reg.labeled_counter_value("spfc_pass_nanos", ("pass", "plan")),
+            Some(350)
+        );
+        let text = reg.to_prometheus();
+        let headers = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE spfc_pass_nanos "))
+            .count();
+        assert_eq!(headers, 1, "{text}");
+        assert!(
+            text.contains("spfc_pass_nanos{kernel=\"jacobi\",pass=\"dependence\"} 120\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("spfc_pass_nanos{kernel=\"jacobi\",pass=\"plan\"} 350\n"),
+            "{text}"
+        );
     }
 
     #[test]

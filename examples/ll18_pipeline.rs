@@ -7,7 +7,8 @@
 //! Run with: `cargo run --release --example ll18_pipeline`
 
 use shift_peel::cache::group_compatibility;
-use shift_peel::core::{bytes_per_outer_iter, render_plan, suggest_strip, CodegenMethod};
+use shift_peel::core::analysis::{bytes_per_outer_iter, render_plan, suggest_strip};
+use shift_peel::core::CodegenMethod;
 use shift_peel::dep::describe_deps;
 use shift_peel::kernels::ll18;
 use shift_peel::machine::{simulate, SimPlan, CONVEX_SPP1000};

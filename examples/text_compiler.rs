@@ -5,7 +5,8 @@
 //!
 //! Run with: `cargo run --example text_compiler`
 
-use shift_peel::core::{distribute_sequence, fusion_plan, render_plan, CodegenMethod};
+use shift_peel::core::analysis::{distribute_sequence, render_plan};
+use shift_peel::core::{fusion_plan, CodegenMethod};
 use shift_peel::ir::parse_sequence;
 use shift_peel::prelude::*;
 

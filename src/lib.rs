@@ -63,7 +63,7 @@ pub use sp_trace as trace;
 pub mod prelude {
     pub use shift_peel_core::{
         derive_shift_peel, fusion_plan, CodegenMethod, Derivation, FusionPlan, LegalityError,
-        ProfitabilityModel,
+        PlanConfig, Planned, Planner, ProfitabilityModel,
     };
     pub use sp_cache::{Cache, CacheConfig, LayoutStrategy, MemoryLayout};
     pub use sp_dep::{analyze_sequence, DepKind, SequenceDeps};

@@ -5,7 +5,8 @@
 //! read must be refused.
 
 use shift_peel::cache::{Cache, CacheConfig, LayoutStrategy};
-use shift_peel::core::{derive_levels, find_contractable, CodegenMethod, ContractionCandidate};
+use shift_peel::core::analysis::{derive_levels, find_contractable, ContractionCandidate};
+use shift_peel::core::CodegenMethod;
 use shift_peel::exec::CacheSink;
 use shift_peel::kernels::ll18;
 use shift_peel::prelude::*;

@@ -172,6 +172,30 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// API-redesign differential: across the same corpus the backends
+    /// fuzz over, the pipeline's `Planner` must derive exactly the plans
+    /// the seed free-function path (`fusion_plan` / `singleton_plan`)
+    /// does, for both codegen methods, and surface the same dependence
+    /// analysis.
+    #[test]
+    fn pipeline_plans_equal_seed_path_plans(seed in any::<u64>()) {
+        let seq = build(seed);
+        let deps = analyze_sequence(&seq).expect("analysis");
+        for method in [CodegenMethod::StripMined, CodegenMethod::Direct] {
+            let direct = fusion_plan(&seq, &deps, 1, method, None).expect("seed path");
+            let planned = Planner::fused(1).method(method).plan(&seq).expect("pipeline");
+            prop_assert_eq!(&*planned.plan, &direct, "fused plan diverged (seed {})", seed);
+            prop_assert_eq!(&*planned.deps, &deps, "dependence diverged (seed {})", seed);
+        }
+        let single = shift_peel::core::singleton_plan(&seq, &deps, 1).expect("seed path");
+        let planned = Planner::unfused(1).plan(&seq).expect("pipeline");
+        prop_assert_eq!(&*planned.plan, &single, "unfused plan diverged (seed {})", seed);
+    }
+}
+
 /// Deterministic pin of the SIMD backend's scalar head / tail / peel
 /// machinery: every peel width 0..=3 crossed with trip counts around the
 /// lane width (7, 8, 9) and a non-multiple past two lanes (19). The lane

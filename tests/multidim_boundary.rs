@@ -7,7 +7,7 @@
 //! of a fused Jacobi and checks each case's fused and peeled regions
 //! explicitly.
 
-use shift_peel::core::{decompose, derive_shift_peel, global_fused_range, nest_regions};
+use shift_peel::core::analysis::{decompose, derive_shift_peel, global_fused_range, nest_regions};
 use shift_peel::kernels::jacobi;
 
 #[test]

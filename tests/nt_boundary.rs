@@ -152,9 +152,9 @@ fn revalidation_draws_the_same_line() {
     let seq = chain(8); // trip 6, Nt = 2
     let deps = analyze_sequence(&seq).unwrap();
     let plan = fusion_plan(&seq, &deps, 1, CodegenMethod::StripMined, None).unwrap();
-    assert!(shift_peel::core::revalidate_plan(&seq, &plan, &[3]).is_ok());
+    assert!(shift_peel::core::analysis::revalidate_plan(&seq, &plan, &[3]).is_ok());
     assert!(matches!(
-        shift_peel::core::revalidate_plan(&seq, &plan, &[4]),
+        shift_peel::core::analysis::revalidate_plan(&seq, &plan, &[4]),
         Err(LegalityError::BlockTooSmall {
             block_iters: 1,
             nt: 2,

@@ -1,0 +1,95 @@
+//! The deprecated `*_traced` shims must be pure delegations: the plans
+//! and event streams they produce are exactly what the observer path
+//! (and hence the pipeline's `Planner`) produces. A drift here would
+//! mean the shims kept a private copy of the planning logic — the
+//! duplication this redesign removed.
+
+#![allow(deprecated)]
+
+use shift_peel::core::analysis::{derive_dim_observed, derive_dim_traced};
+use shift_peel::core::explain::ExplainTrace;
+use shift_peel::core::plan::{fusion_plan_observed, fusion_plan_traced};
+use shift_peel::core::{CodegenMethod, Planner};
+use shift_peel::dep::{analyze_sequence, DepMultigraph};
+use shift_peel::ir::{LoopSequence, SeqBuilder};
+
+fn fig9(n: usize) -> LoopSequence {
+    let mut b = SeqBuilder::new("fig9");
+    let a = b.array("a", [n]);
+    let bb = b.array("b", [n]);
+    let c = b.array("c", [n]);
+    let d = b.array("d", [n]);
+    let (lo, hi) = (1, n as i64 - 2);
+    b.nest("L1", [(lo, hi)], |x| {
+        let r = x.ld(bb, [0]);
+        x.assign(a, [0], r);
+    });
+    b.nest("L2", [(lo, hi)], |x| {
+        let r = x.ld(a, [1]) + x.ld(a, [-1]);
+        x.assign(c, [0], r);
+    });
+    b.nest("L3", [(lo, hi)], |x| {
+        let r = x.ld(c, [1]) + x.ld(c, [-1]);
+        x.assign(d, [0], r);
+    });
+    b.finish()
+}
+
+#[test]
+fn fusion_plan_traced_delegates_to_the_observer_path() {
+    let seq = fig9(64);
+    let deps = analyze_sequence(&seq).unwrap();
+
+    let mut shim_trace = ExplainTrace::new();
+    let shim_plan = fusion_plan_traced(
+        &seq,
+        &deps,
+        1,
+        CodegenMethod::StripMined,
+        None,
+        &mut shim_trace,
+    )
+    .unwrap();
+
+    let mut obs_trace = ExplainTrace::new();
+    let obs_plan = fusion_plan_observed(
+        &seq,
+        &deps,
+        1,
+        CodegenMethod::StripMined,
+        None,
+        &mut obs_trace,
+    )
+    .unwrap();
+    assert_eq!(shim_plan, obs_plan);
+    assert_eq!(shim_trace, obs_trace, "identical event streams");
+
+    // And the pipeline's Planner tells the same story end to end.
+    let (planned, planner_trace) = Planner::fused(1).explain(&seq).unwrap();
+    assert_eq!(*planned.plan, shim_plan);
+    assert_eq!(planner_trace, shim_trace);
+    assert!(
+        !shim_trace.events.is_empty(),
+        "the traced path actually traced"
+    );
+}
+
+#[test]
+fn derive_dim_traced_delegates_to_the_observer_path() {
+    let seq = fig9(64);
+    let deps = analyze_sequence(&seq).unwrap();
+    let g = DepMultigraph::build(&deps, seq.nests.len(), 0);
+
+    let mut shim_trace = ExplainTrace::new();
+    let shim_dim = derive_dim_traced(&g, 0, &mut shim_trace).unwrap();
+
+    let mut obs_trace = ExplainTrace::new();
+    let obs_dim = derive_dim_observed(&g, 0, &mut obs_trace).unwrap();
+
+    assert_eq!(shim_dim, obs_dim);
+    assert_eq!(shim_trace, obs_trace, "identical event streams");
+    assert!(
+        !shim_trace.events.is_empty(),
+        "edge visits were reported through the observer"
+    );
+}

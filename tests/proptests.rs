@@ -9,9 +9,8 @@
 //!   space exactly once for any grid.
 
 use proptest::prelude::*;
-use shift_peel::core::{
-    decompose, derive_shift_peel, global_fused_range, nest_regions, CodegenMethod,
-};
+use shift_peel::core::analysis::{decompose, derive_shift_peel, global_fused_range, nest_regions};
+use shift_peel::core::CodegenMethod;
 use shift_peel::prelude::*;
 
 /// A randomly generated 1-D loop chain with uniform dependences: each
@@ -168,7 +167,7 @@ proptest! {
 /// `Nt` is rejected; `Nt` itself is accepted.
 #[test]
 fn nt_threshold_is_tight() {
-    use shift_peel::core::{check_blocks, derive_shift_peel};
+    use shift_peel::core::analysis::{check_blocks, derive_shift_peel};
     let chain = RandomChain {
         n: 64,
         offsets: vec![vec![2], vec![1]],

@@ -28,7 +28,7 @@ fn parsed_program_is_analyzable_and_derivable() {
     let seq = &app.sequences[0];
     let parsed = parse_sequence(&render_sequence(seq)).expect("parse");
     let deps = shift_peel::dep::analyze_sequence(&parsed).expect("analysis");
-    let d = shift_peel::core::derive_levels(&deps, parsed.len(), 1).expect("derive");
+    let d = shift_peel::core::analysis::derive_levels(&deps, parsed.len(), 1).expect("derive");
     assert_eq!(d.dims[0].shifts, vec![0, 1, 2]);
     assert_eq!(d.dims[0].peels, vec![0, 0, 1]);
 }

@@ -7,7 +7,7 @@
 //! artifact. Regenerate with `UPDATE_GOLDEN=1 cargo test --test
 //! table2_golden`.
 
-use shift_peel::core::derive_levels;
+use shift_peel::core::analysis::derive_levels;
 use shift_peel::dep::analyze_sequence;
 use shift_peel::kernels::suite::all_programs;
 
