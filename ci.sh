@@ -76,6 +76,24 @@ awk '/simd\/interp throughput/ {
   if (ratio + 0 < 2.0) { print "FAIL: simd below 2x interp: " $0; bad = 1 }
 }
 END { if (n == 0) { print "FAIL: no simd/interp acceptance lines"; exit 1 } exit bad }' "$runtime_out"
+# Adaptive scheduling gate: the skewed-load sweep (same seed, all three
+# schedules, bit-for-bit verified inside the binary) must show stealing
+# strictly flattening the busy-time imbalance relative to static
+# blocking, with at least one steal actually happening. The schedule
+# differential gate itself runs in the fuzzing step above
+# (adaptive_schedules_agree in tests/differential.rs).
+grep -q '"skewed"' results/BENCH_runtime.json
+awk '/^skewed: time imbalance/ {
+  n += 1
+  for (i = 1; i <= NF; i++) {
+    if ($i ~ /^static=/)   { st = $i;    sub(/^static=/, "", st) }
+    if ($i ~ /^stealing=/) { steal = $i; sub(/^stealing=/, "", steal) }
+    if ($i ~ /^steals=/)   { cnt = $i;   sub(/^steals=/, "", cnt) }
+  }
+  if (steal + 0 >= st + 0) { print "FAIL: stealing imbalance " steal " not below static " st; bad = 1 }
+  if (cnt + 0 < 1) { print "FAIL: no steals recorded on the skewed load"; bad = 1 }
+}
+END { if (n == 0) { print "FAIL: no skewed acceptance line"; exit 1 } exit bad }' "$runtime_out"
 rm -f "$runtime_out"
 
 echo "==> serving: manifest smoke x2, persistent cache must hit on the rerun"

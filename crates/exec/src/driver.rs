@@ -225,9 +225,16 @@ pub(crate) fn build_work(
 
 /// Phase-boundary synchronization used by [`worker_pass`]: either a
 /// `std::sync::Barrier` (scoped runtime) or a [`SenseBarrier`] (pooled
-/// runtime). `wait` returns the nanoseconds spent waiting.
+/// runtime). `wait` returns the nanoseconds spent waiting;
+/// `wait_outcome` additionally reports whether the wait parked on a
+/// condvar after exhausting a spin budget (always `false` for barriers
+/// that cannot tell).
 pub(crate) trait PhaseSync: Sync {
     fn wait(&self, sense: &mut bool) -> u64;
+
+    fn wait_outcome(&self, sense: &mut bool) -> (u64, bool) {
+        (self.wait(sense), false)
+    }
 }
 
 impl PhaseSync for Barrier {
@@ -241,6 +248,10 @@ impl PhaseSync for Barrier {
 impl PhaseSync for SenseBarrier {
     fn wait(&self, sense: &mut bool) -> u64 {
         SenseBarrier::wait(self, sense)
+    }
+
+    fn wait_outcome(&self, sense: &mut bool) -> (u64, bool) {
+        SenseBarrier::wait_outcome(self, sense)
     }
 }
 
@@ -432,6 +443,13 @@ pub(crate) fn scoped_pass(
 /// product. When `tracers` is populated (one per simulated processor),
 /// phase spans are recorded per processor; barrier waits are not, since
 /// nothing waits in a serialized simulation.
+///
+/// Under an adaptive `schedule`, each parallel group's blocks are
+/// subdivided into the same chunk decomposition the threaded runtimes
+/// use ([`crate::schedule::build_chunks`]) and every chunk's work is
+/// attributed to its *owner* — the per-processor counters and access
+/// streams this produces are the reference the threaded adaptive
+/// schedules must reproduce exactly.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn sim_pass<S: AccessSink>(
     seq: &LoopSequence,
@@ -439,6 +457,8 @@ pub(crate) fn sim_pass<S: AccessSink>(
     plan: &FusionPlan,
     grid: &[usize],
     strip: i64,
+    schedule: crate::schedule::Schedule,
+    chunk: Option<i64>,
     engine: Engine<'_>,
     mem: &mut Memory,
     sinks: &mut [S],
@@ -453,6 +473,12 @@ pub(crate) fn sim_pass<S: AccessSink>(
         });
     }
     let work = build_work(seq, deps, plan, grid)?;
+    let chunked = match schedule {
+        crate::schedule::Schedule::Static => None,
+        _ => Some(crate::schedule::build_chunks(
+            plan, &work, schedule, chunk, nprocs,
+        )?),
+    };
     let mut counters = vec![ExecCounters::default(); nprocs];
     let view = MemView::new(mem);
     let record =
@@ -478,7 +504,21 @@ pub(crate) fn sim_pass<S: AccessSink>(
             }
             GroupWork::Parallel { blocks, has_peel } => {
                 let group = &plan.groups[gi];
-                for (p, block) in blocks.iter().enumerate() {
+                // Under an adaptive schedule, iterate the group's chunks
+                // (owner-major, front to back) attributing each chunk to
+                // its owner; statically, one block per processor.
+                let assignments: Vec<(usize, &ProcBlock)> = match &chunked {
+                    Some(chunks) => {
+                        let gc = chunks[gi].as_ref().expect("parallel group chunked");
+                        gc.owner
+                            .iter()
+                            .zip(gc.chunks.iter())
+                            .map(|(&o, c)| (o, c))
+                            .collect()
+                    }
+                    None => blocks.iter().enumerate().collect(),
+                };
+                for &(p, block) in &assignments {
                     let t0 = Instant::now();
                     // SAFETY: simulated execution is single-threaded.
                     unsafe {
@@ -500,7 +540,7 @@ pub(crate) fn sim_pass<S: AccessSink>(
                     c.barriers += 1;
                 }
                 if *has_peel {
-                    for (p, block) in blocks.iter().enumerate() {
+                    for &(p, block) in &assignments {
                         let t0 = Instant::now();
                         // SAFETY: simulated execution is single-threaded.
                         unsafe {

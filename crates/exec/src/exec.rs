@@ -270,6 +270,8 @@ impl<'a> Program<'a> {
                     &fp,
                     grid,
                     i64::MAX,
+                    crate::schedule::Schedule::Static,
+                    None,
                     Engine::Interp,
                     mem,
                     sinks,
@@ -289,6 +291,8 @@ impl<'a> Program<'a> {
                     &fp,
                     grid,
                     *strip,
+                    crate::schedule::Schedule::Static,
+                    None,
                     Engine::Interp,
                     mem,
                     sinks,

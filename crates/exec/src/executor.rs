@@ -27,6 +27,10 @@ use crate::interp::ExecCounters;
 use crate::memory::{MemView, Memory};
 use crate::pool::{SenseBarrier, WorkerPool};
 use crate::report::{RunReport, WorkerReport};
+use crate::schedule::{
+    adaptive_worker_pass, build_chunks, claimable_phases, scoped_adaptive_pass, Schedule,
+    SharedChunks, VictimSelector, DEFAULT_STEAL_SEED,
+};
 use crate::sink::{CacheSink, NullSink};
 use crate::tape::{Engine, ProgramTape};
 use shift_peel_core::{CodegenMethod, FusionPlan};
@@ -107,6 +111,12 @@ pub struct RunConfig {
     sink: SinkChoice,
     backend: Backend,
     trace: Option<TraceConfig>,
+    // Adaptive scheduling (crate::schedule): which claim discipline the
+    // run uses, the chunk-size override (None lets each schedule pick),
+    // and the seed of the work-stealing victim-selection stream.
+    schedule: Schedule,
+    chunk: Option<i64>,
+    steal_seed: u64,
     // Cache-injection points (sp-serve): a plan derived elsewhere and a
     // tape lowered elsewhere. `tape_cached` marks the tape as served
     // from an artifact cache, which zeroes the report's `lower_nanos`
@@ -147,10 +157,39 @@ impl RunConfig {
             sink: SinkChoice::Null,
             backend: Backend::default(),
             trace: None,
+            schedule: Schedule::default(),
+            chunk: None,
+            steal_seed: DEFAULT_STEAL_SEED,
             fusion: None,
             tape: None,
             tape_cached: false,
         }
+    }
+
+    /// Chooses the scheduling discipline (static by default). The
+    /// adaptive schedules subdivide each static block into `Nt`-legal
+    /// chunks and let workers claim or steal them; results stay
+    /// bit-for-bit identical to static execution.
+    pub fn schedule(mut self, s: Schedule) -> Self {
+        self.schedule = s;
+        self
+    }
+
+    /// Overrides the chunk size (outer-level iterations per chunk) the
+    /// adaptive schedules subdivide blocks into. Clamped to the
+    /// Theorem-1 `Nt` floor; ignored by the static schedule. The
+    /// `sp-machine` auto-tuner picks this from the cost model.
+    pub fn chunk(mut self, c: i64) -> Self {
+        self.chunk = Some(c);
+        self
+    }
+
+    /// Seeds the work-stealing victim-selection stream (a fixed default
+    /// otherwise). Affects only which worker executes which chunk, never
+    /// results.
+    pub fn steal_seed(mut self, seed: u64) -> Self {
+        self.steal_seed = seed;
+        self
     }
 
     /// Sets the codegen method (fused plans only; no-op otherwise).
@@ -262,6 +301,21 @@ impl RunConfig {
         self.trace
     }
 
+    /// The configured scheduling discipline.
+    pub fn schedule_choice(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// The configured chunk-size override, if any.
+    pub fn chunk_size(&self) -> Option<i64> {
+        self.chunk
+    }
+
+    /// The victim-selection seed.
+    pub fn victim_seed(&self) -> u64 {
+        self.steal_seed
+    }
+
     /// The injected fusion plan, if one was supplied.
     pub fn prederived_plan(&self) -> Option<&Arc<FusionPlan>> {
         self.fusion.as_ref()
@@ -292,6 +346,11 @@ impl RunConfig {
             return Err(ExecError::Config(
                 "processor grid has a zero dimension".into(),
             ));
+        }
+        if let Some(c) = self.chunk {
+            if c < 1 {
+                return Err(ExecError::Config(format!("chunk must be >= 1, got {c}")));
+            }
         }
         Ok(())
     }
@@ -472,6 +531,7 @@ fn finish_report(
     RunReport {
         executor: name.into(),
         backend: cfg.backend_choice().name().into(),
+        schedule: cfg.schedule_choice().name().into(),
         procs: cfg.plan().procs(),
         steps: cfg.step_count(),
         wall_nanos,
@@ -530,22 +590,51 @@ impl Executor for ScopedExecutor {
                 let work = build_work(prog.seq(), prog.deps(), &fp, grid)?;
                 let nprocs = plan.procs();
                 let view = MemView::new(mem);
-                let mut totals = vec![ExecCounters::default(); nprocs];
-                for step in 0..cfg.step_count() {
-                    let results = scoped_pass(
-                        prog.seq(),
+                let chunked = match cfg.schedule_choice() {
+                    Schedule::Static => None,
+                    s => Some(SharedChunks::new(build_chunks(
                         &fp,
                         &work,
+                        s,
+                        cfg.chunk_size(),
                         nprocs,
-                        strip,
-                        engine,
-                        &view,
-                        pass_trace(&tracing, step as u32),
-                    )?;
+                    )?)),
+                };
+                let phases = claimable_phases(&work);
+                let mut totals = vec![ExecCounters::default(); nprocs];
+                for step in 0..cfg.step_count() {
+                    let results = match &chunked {
+                        None => scoped_pass(
+                            prog.seq(),
+                            &fp,
+                            &work,
+                            nprocs,
+                            strip,
+                            engine,
+                            &view,
+                            pass_trace(&tracing, step as u32),
+                        )?,
+                        Some(shared) => scoped_adaptive_pass(
+                            prog.seq(),
+                            &fp,
+                            &work,
+                            shared,
+                            nprocs,
+                            strip,
+                            engine,
+                            &view,
+                            cfg.victim_seed(),
+                            step as u64 * phases,
+                            pass_trace(&tracing, step as u32),
+                        )?,
+                    };
                     for (t, (c, lane)) in totals.iter_mut().zip(results) {
                         t.merge(&c);
                         lanes.extend(lane);
                     }
+                }
+                if let Some(shared) = &chunked {
+                    shared.merge_into(&mut totals);
                 }
                 totals
                     .into_iter()
@@ -629,18 +718,36 @@ impl Executor for PooledExecutor {
                 };
                 let work = build_work(prog.seq(), prog.deps(), &fp, plan.grid())?;
                 let view = MemView::new(mem);
-                let barrier = SenseBarrier::new(nprocs);
+                // Adaptive schedules share one chunk/claim state across
+                // all steps of the dispatch and use the contention-aware
+                // barrier (imbalanced phases are the whole point).
+                let chunked = match cfg.schedule_choice() {
+                    Schedule::Static => None,
+                    s => Some(SharedChunks::new(build_chunks(
+                        &fp,
+                        &work,
+                        s,
+                        cfg.chunk_size(),
+                        nprocs,
+                    )?)),
+                };
+                let barrier = match cfg.schedule_choice() {
+                    Schedule::Static => SenseBarrier::new(nprocs),
+                    _ => SenseBarrier::adaptive(nprocs),
+                };
                 type Slot = (ExecCounters, Option<WorkerTrace>);
                 let slots: Vec<Mutex<Slot>> =
                     (0..nprocs).map(|_| Mutex::new(Slot::default())).collect();
                 let seq = prog.seq();
                 let steps = cfg.step_count();
+                let seed = cfg.victim_seed();
                 let worker_trace = tracing.as_ref().map(|tr| (tr.cfg, tr.epoch));
                 let fp = &fp;
                 let work = &work;
                 let barrier = &barrier;
                 let slots_ref = &slots;
                 let view_ref = &view;
+                let chunked_ref = chunked.as_ref();
                 self.pool.run(&move |p: usize| {
                     if p >= nprocs {
                         return; // surplus workers idle through this run
@@ -650,30 +757,66 @@ impl Executor for PooledExecutor {
                     let mut sense = false;
                     let mut tracer = worker_trace.map(|(tc, epoch)| WorkerTracer::new(tc, epoch));
                     let job_t0 = Instant::now();
-                    for step in 0..steps {
-                        // SAFETY: the `nprocs` participating workers run
-                        // the same work list in lockstep through the
-                        // sense barrier; phases never conflict
-                        // (Theorem 1, checked by `build_work`). Each
-                        // timestep ends with a barrier, ordering it
-                        // before the next.
-                        unsafe {
-                            worker_pass(
-                                seq,
-                                fp,
-                                work,
-                                strip,
-                                p,
-                                engine,
-                                view_ref,
-                                barrier,
-                                &mut sense,
-                                &mut sink,
-                                &mut counters,
-                                step as u32,
-                                &mut tracer,
-                            )
-                        };
+                    match chunked_ref {
+                        None => {
+                            for step in 0..steps {
+                                // SAFETY: the `nprocs` participating
+                                // workers run the same work list in
+                                // lockstep through the sense barrier;
+                                // phases never conflict (Theorem 1,
+                                // checked by `build_work`). Each timestep
+                                // ends with a barrier, ordering it before
+                                // the next.
+                                unsafe {
+                                    worker_pass(
+                                        seq,
+                                        fp,
+                                        work,
+                                        strip,
+                                        p,
+                                        engine,
+                                        view_ref,
+                                        barrier,
+                                        &mut sense,
+                                        &mut sink,
+                                        &mut counters,
+                                        step as u32,
+                                        &mut tracer,
+                                    )
+                                };
+                            }
+                        }
+                        Some(shared) => {
+                            let mut selector = VictimSelector::new(seed, p, nprocs);
+                            let mut epoch = 0u64;
+                            for step in 0..steps {
+                                // SAFETY: as above; additionally the claim
+                                // protocol hands each chunk to exactly one
+                                // worker per phase, and distinct chunks
+                                // never conflict (checked by
+                                // `build_chunks`).
+                                unsafe {
+                                    adaptive_worker_pass(
+                                        seq,
+                                        fp,
+                                        work,
+                                        shared,
+                                        strip,
+                                        p,
+                                        engine,
+                                        view_ref,
+                                        barrier,
+                                        &mut sense,
+                                        &mut sink,
+                                        &mut counters,
+                                        &mut selector,
+                                        &mut epoch,
+                                        step as u32,
+                                        &mut tracer,
+                                    )
+                                };
+                            }
+                        }
                     }
                     if let Some(t) = &mut tracer {
                         t.record_until_now(SpanKind::Dispatch, job_t0, NO_INDEX, NO_INDEX);
@@ -681,17 +824,22 @@ impl Executor for PooledExecutor {
                     // One write at job end keeps the hot path lock-free.
                     *slots_ref[p].lock().unwrap() = (counters, tracer.map(|t| t.finish(p)));
                 })?;
-                slots
+                let mut totals = Vec::with_capacity(nprocs);
+                for s in slots {
+                    let (counters, lane) = s.into_inner().unwrap();
+                    lanes.extend(lane);
+                    totals.push(counters);
+                }
+                if let Some(shared) = &chunked {
+                    shared.merge_into(&mut totals);
+                }
+                totals
                     .into_iter()
                     .enumerate()
-                    .map(|(p, s)| {
-                        let (counters, lane) = s.into_inner().unwrap();
-                        lanes.extend(lane);
-                        WorkerReport {
-                            proc: p,
-                            counters,
-                            cache: None,
-                        }
+                    .map(|(p, counters)| WorkerReport {
+                        proc: p,
+                        counters,
+                        cache: None,
                     })
                     .collect()
             }
@@ -737,6 +885,14 @@ impl Executor for DynamicExecutor {
     ) -> Result<RunReport, ExecError> {
         cfg.validate()?;
         cfg.reject_cache_sink(self.name())?;
+        if cfg.schedule_choice() != Schedule::Static {
+            return Err(ExecError::Unsupported {
+                executor: self.name(),
+                reason: "the self-scheduled ablation has its own chunking; \
+                         `schedule` selects among the block-legal runtimes"
+                    .into(),
+            });
+        }
         if self.chunk < 1 {
             return Err(ExecError::Config(format!(
                 "chunk must be >= 1, got {}",
@@ -892,6 +1048,8 @@ fn run_sim_steps<S: crate::sink::AccessSink>(
                     fp.as_ref().expect("non-serial plan derived above"),
                     plan.grid(),
                     strip,
+                    cfg.schedule_choice(),
+                    cfg.chunk_size(),
                     engine,
                     mem,
                     sinks,
@@ -971,6 +1129,113 @@ mod tests {
             snapshot_after(&mut PooledExecutor::new(4), &cfg, &seq),
             want
         );
+    }
+
+    #[test]
+    fn adaptive_schedules_match_static_results() {
+        let seq = jacobi(32);
+        let base = RunConfig::fused([2, 2]).strip(4).steps(3);
+        let want = snapshot_after(&mut SimExecutor, &base, &seq);
+        for sched in [Schedule::Guided, Schedule::Stealing] {
+            let cfg = base.clone().schedule(sched);
+            assert_eq!(
+                snapshot_after(&mut SimExecutor, &cfg, &seq),
+                want,
+                "{sched:?} sim"
+            );
+            assert_eq!(
+                snapshot_after(&mut ScopedExecutor, &cfg, &seq),
+                want,
+                "{sched:?} scoped"
+            );
+            assert_eq!(
+                snapshot_after(&mut PooledExecutor::new(4), &cfg, &seq),
+                want,
+                "{sched:?} pooled"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_owner_counters_match_sim_reference() {
+        // Work counters are attributed to chunk *owners*, so the racy
+        // threaded runtimes must report exactly what the deterministic
+        // simulator reports, per processor, at the same schedule.
+        let seq = jacobi(32);
+        let prog = Program::new(&seq, 2).unwrap();
+        for sched in [Schedule::Guided, Schedule::Stealing] {
+            let cfg = RunConfig::fused([2, 2]).strip(4).steps(2).schedule(sched);
+            let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+            mem.init_deterministic(&seq, 7);
+            let sim = SimExecutor.run(&prog, &mut mem, &cfg).unwrap();
+            assert_eq!(sim.schedule, cfg.schedule_choice().name());
+            let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+            mem.init_deterministic(&seq, 7);
+            let pooled = PooledExecutor::new(4).run(&prog, &mut mem, &cfg).unwrap();
+            let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+            mem.init_deterministic(&seq, 7);
+            let scoped = ScopedExecutor.run(&prog, &mut mem, &cfg).unwrap();
+            for p in 0..4 {
+                assert_eq!(
+                    pooled.workers[p].counters, sim.workers[p].counters,
+                    "{sched:?} pooled proc {p}"
+                );
+                assert_eq!(
+                    scoped.workers[p].counters, sim.workers[p].counters,
+                    "{sched:?} scoped proc {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stealing_chunk_override_and_seed_keep_results() {
+        let seq = jacobi(32);
+        let base = RunConfig::fused([2, 2]).strip(4).steps(2);
+        let want = snapshot_after(&mut SimExecutor, &base, &seq);
+        let cfg = base
+            .clone()
+            .schedule(Schedule::Stealing)
+            .chunk(3)
+            .steal_seed(0xDEAD);
+        assert_eq!(snapshot_after(&mut SimExecutor, &cfg, &seq), want);
+        assert_eq!(
+            snapshot_after(&mut PooledExecutor::new(4), &cfg, &seq),
+            want
+        );
+    }
+
+    #[test]
+    fn dynamic_rejects_adaptive_schedules() {
+        let seq = jacobi(24);
+        let prog = Program::new(&seq, 2).unwrap();
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 7);
+        let cfg = RunConfig::blocked([2]).schedule(Schedule::Stealing);
+        let err = DynamicExecutor::default()
+            .run(&prog, &mut mem, &cfg)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ExecError::Unsupported {
+                    executor: "dynamic",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn zero_chunk_is_a_config_error() {
+        let seq = jacobi(24);
+        let prog = Program::new(&seq, 2).unwrap();
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 7);
+        let cfg = RunConfig::fused([4]).schedule(Schedule::Guided).chunk(0);
+        let err = SimExecutor.run(&prog, &mut mem, &cfg).unwrap_err();
+        assert!(matches!(err, ExecError::Config(_)), "{err:?}");
     }
 
     #[test]

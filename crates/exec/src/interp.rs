@@ -16,9 +16,10 @@ use sp_ir::{Expr, IterSpace, LoopSequence, Statement};
 /// The `*_nanos` fields hold wall-clock phase timings gathered by the
 /// parallel runtimes (zero under the deterministic simulators). They are
 /// **excluded from equality**: two runs performing identical work compare
-/// equal even though their timings differ. `vec_iters` is likewise
-/// excluded — it records *how* iterations were dispatched (lane-blocked
-/// vs scalar), which is backend-dependent, while the work fields are not.
+/// equal even though their timings differ. `vec_iters`, `steals`, and
+/// `parks` are likewise excluded — they record *how* work was dispatched
+/// (lane-blocked vs scalar, stolen vs owned, parked vs spun), which is
+/// backend- and schedule-dependent, while the work fields are not.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ExecCounters {
     /// Loop-body iterations executed in fused/original phases.
@@ -40,6 +41,14 @@ pub struct ExecCounters {
     pub guards: u64,
     /// Barriers participated in.
     pub barriers: u64,
+    /// Chunks this worker executed that it did not own (work-stealing
+    /// schedules only; zero under static scheduling). Like `vec_iters`,
+    /// this records *how* work was dispatched, not what work ran, so it
+    /// is excluded from equality.
+    pub steals: u64,
+    /// Barrier waits that exhausted their spin budget and parked on the
+    /// condvar. Dispatch accounting, excluded from equality.
+    pub parks: u64,
     /// Wall time spent in fused (and serial/original) phases.
     pub fused_nanos: u64,
     /// Wall time spent in peeled phases.
@@ -71,6 +80,8 @@ impl ExecCounters {
         self.strips += o.strips;
         self.guards += o.guards;
         self.barriers += o.barriers;
+        self.steals += o.steals;
+        self.parks += o.parks;
         self.fused_nanos += o.fused_nanos;
         self.peeled_nanos += o.peeled_nanos;
         self.barrier_wait_nanos += o.barrier_wait_nanos;

@@ -36,11 +36,16 @@
 //!   timeline) in their report, and the untraced default records
 //!   nothing.
 //!
-//! The runtimes deliberately implement *static blocked* scheduling rather
-//! than work stealing: the shift-and-peel transformation's legality
-//! argument (paper Section 3.2) places peeled iterations at known block
-//! boundaries. The one dynamic (self-scheduled) runtime is restricted to
-//! the unfused program and exists as the scheduling ablation.
+//! *Static blocked* scheduling remains the legality unit: the
+//! shift-and-peel transformation's legality argument (paper Section 3.2)
+//! places peeled iterations at known block boundaries, so the classic
+//! dynamic (self-scheduled) runtime is restricted to the unfused program
+//! and exists as the scheduling ablation. The adaptive schedules in
+//! [`schedule`] ([`Schedule::Guided`] and [`Schedule::Stealing`],
+//! selectable via [`RunConfig::schedule`]) stay inside that argument by
+//! only re-assigning *whole legal blocks*: each static block is pre-split
+//! into chunks that respect the Theorem-1 `Nt` lower bound, and workers
+//! claim or steal chunks without ever changing what any chunk computes.
 
 pub mod driver;
 pub mod dynamic;
@@ -52,6 +57,7 @@ pub mod memory;
 pub mod pass;
 pub mod pool;
 pub mod report;
+pub mod schedule;
 pub mod sink;
 pub mod tape;
 
@@ -67,6 +73,10 @@ pub use memory::{MemView, Memory};
 pub use pass::{register_pass_metrics, LaneSafetyPass, LANE_SAFETY_PASS};
 pub use pool::{SenseBarrier, WorkerPool};
 pub use report::{RunReport, WorkerReport};
+pub use schedule::{
+    simulate_stealing, static_busy, Schedule, SimClock, StealEvent, StealSimReport, StealSimSpec,
+    VictimSelector, DEFAULT_STEAL_SEED,
+};
 // Tracing types callers need to configure a traced run and consume its
 // result, re-exported so `sp-exec` users don't name `sp-trace` directly.
 pub use sink::{

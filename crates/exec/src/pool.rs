@@ -19,7 +19,7 @@
 
 use crate::exec::ExecError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::thread;
 use std::time::Instant;
@@ -37,23 +37,57 @@ use std::time::Instant;
 /// has more participants than the host has cores, the spin budget is cut
 /// to near zero: spinning on an oversubscribed core only steals cycles
 /// from the peers the waiter is waiting *for*.
+///
+/// An [`adaptive`](SenseBarrier::adaptive) barrier additionally adjusts
+/// the spin budget from observed contention: every wait that has to park
+/// on the condvar halves the budget (spinning clearly wasn't going to
+/// succeed), every wait satisfied within the spin phase nudges it back
+/// up. The budget is shared by all participants and only influences
+/// *timing*, never results, so adaptivity cannot perturb determinism of
+/// the work performed between barriers.
 pub struct SenseBarrier {
     count: AtomicUsize,
     sense: AtomicBool,
     n: usize,
-    spin: u32,
+    spin: AtomicU32,
+    adaptive: bool,
     lock: Mutex<()>,
     cv: Condvar,
 }
 
+/// Floor of the adaptive spin budget: never stop spinning entirely, the
+/// first few iterations catch near-simultaneous arrivals for free.
+const MIN_SPIN: u32 = 64;
+/// Ceiling of the adaptive spin budget.
+const MAX_SPIN: u32 = 1 << 16;
+
 impl SenseBarrier {
     /// A barrier for `n` participants.
     pub fn new(n: usize) -> Self {
+        SenseBarrier::with_spin(n, Self::default_spin(n))
+    }
+
+    /// A barrier whose spin budget adapts to contention (see type docs).
+    pub fn adaptive(n: usize) -> Self {
+        SenseBarrier::adaptive_with_spin(n, Self::default_spin(n))
+    }
+
+    /// An adaptive barrier with an explicit initial spin budget.
+    pub fn adaptive_with_spin(n: usize, spin: u32) -> Self {
+        let mut b = SenseBarrier::with_spin(n, spin);
+        b.adaptive = true;
+        b
+    }
+
+    fn default_spin(n: usize) -> u32 {
         let cores = thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1);
-        let spin = if n <= cores { 1 << 14 } else { 64 };
-        SenseBarrier::with_spin(n, spin)
+        if n <= cores {
+            1 << 14
+        } else {
+            64
+        }
     }
 
     /// A barrier with an explicit spin budget before blocking.
@@ -63,7 +97,8 @@ impl SenseBarrier {
             count: AtomicUsize::new(0),
             sense: AtomicBool::new(false),
             n,
-            spin,
+            spin: AtomicU32::new(spin),
+            adaptive: false,
             lock: Mutex::new(()),
             cv: Condvar::new(),
         }
@@ -74,6 +109,11 @@ impl SenseBarrier {
         self.n
     }
 
+    /// The current spin budget (varies over time on an adaptive barrier).
+    pub fn spin_budget(&self) -> u32 {
+        self.spin.load(Ordering::Relaxed)
+    }
+
     /// Waits until all `n` participants have arrived. `local` is the
     /// caller's sense flag: initialize it to `false` before the first
     /// wait and pass the same flag to every subsequent wait.
@@ -81,6 +121,12 @@ impl SenseBarrier {
     /// Returns the nanoseconds this caller spent waiting (the last
     /// arriver waits ~0).
     pub fn wait(&self, local: &mut bool) -> u64 {
+        self.wait_outcome(local).0
+    }
+
+    /// As [`wait`](SenseBarrier::wait), but also reports whether this
+    /// caller exhausted its spin budget and parked on the condvar.
+    pub fn wait_outcome(&self, local: &mut bool) -> (u64, bool) {
         let sense = !*local;
         *local = sense;
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
@@ -92,18 +138,21 @@ impl SenseBarrier {
             self.sense.store(sense, Ordering::Release);
             drop(guard);
             self.cv.notify_all();
-            return 0;
+            return (0, false);
         }
         let t0 = Instant::now();
+        let budget = self.spin.load(Ordering::Relaxed);
         let mut spins = 0u32;
+        let mut parked = false;
         loop {
             if self.sense.load(Ordering::Acquire) == sense {
                 break;
             }
-            if spins < self.spin {
+            if spins < budget {
                 spins += 1;
                 std::hint::spin_loop();
             } else {
+                parked = true;
                 let mut guard = self.lock.lock().unwrap();
                 while self.sense.load(Ordering::Acquire) != sense {
                     guard = self.cv.wait(guard).unwrap();
@@ -111,7 +160,19 @@ impl SenseBarrier {
                 break;
             }
         }
-        t0.elapsed().as_nanos() as u64
+        if self.adaptive {
+            if parked {
+                // Spinning lost the race to the condvar; shrink the budget
+                // so the next imbalanced phase parks sooner.
+                self.spin
+                    .store((budget / 2).max(MIN_SPIN), Ordering::Relaxed);
+            } else if spins > 0 {
+                // The spin paid off; let the budget recover.
+                self.spin
+                    .store(budget.saturating_mul(2).min(MAX_SPIN), Ordering::Relaxed);
+            }
+        }
+        (t0.elapsed().as_nanos() as u64, parked)
     }
 }
 
@@ -312,6 +373,43 @@ mod tests {
         })
         .unwrap();
         assert_eq!(ok.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn adaptive_barrier_parks_and_shrinks_budget() {
+        // Explicit initial budget: the core-count default may already sit
+        // at the floor on small hosts, where a park cannot shrink it.
+        let b = SenseBarrier::adaptive_with_spin(2, 4096);
+        let initial = b.spin_budget();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut sense = false;
+                let (waited, parked) = b.wait_outcome(&mut sense);
+                assert!(parked, "waiter should outlive its spin budget");
+                assert!(waited > 0);
+            });
+            // Arrive long after the waiter's spin budget is exhausted.
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            let mut sense = false;
+            let (_, parked) = b.wait_outcome(&mut sense);
+            assert!(!parked, "the last arriver never parks");
+        });
+        assert!(b.spin_budget() < initial, "park shrinks the budget");
+    }
+
+    #[test]
+    fn fixed_barrier_keeps_its_spin_budget() {
+        let b = SenseBarrier::with_spin(2, 1024);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut sense = false;
+                b.wait_outcome(&mut sense);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            let mut sense = false;
+            b.wait_outcome(&mut sense);
+        });
+        assert_eq!(b.spin_budget(), 1024, "non-adaptive budget is fixed");
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub struct RunReport {
     pub executor: String,
     /// Execution backend (`interp` or `compiled`).
     pub backend: String,
+    /// Scheduling discipline (`static`, `guided`, or `stealing`).
+    pub schedule: String,
     /// Processors the plan executed on.
     pub procs: usize,
     /// Timesteps executed (the plan ran this many times back to back).
@@ -113,6 +115,42 @@ impl RunReport {
         *iters.iter().max().unwrap() as f64 / mean
     }
 
+    /// Time imbalance: the ratio of the busiest worker's compute wall
+    /// time (fused + peeled) to the mean. Unlike [`imbalance`]
+    /// (iteration counts, which adaptive schedules attribute to chunk
+    /// *owners* and therefore hold constant across schedules), this
+    /// measures where time was actually spent — the quantity work
+    /// stealing drives toward 1.0 on skewed loads. Zero when no timing
+    /// was gathered (deterministic simulators).
+    ///
+    /// [`imbalance`]: RunReport::imbalance
+    pub fn time_imbalance(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 0.0;
+        }
+        let busy: Vec<u64> = self
+            .workers
+            .iter()
+            .map(|w| w.counters.busy_nanos())
+            .collect();
+        let mean = busy.iter().sum::<u64>() as f64 / busy.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        *busy.iter().max().unwrap() as f64 / mean
+    }
+
+    /// Total chunks executed by workers that did not own them (zero
+    /// under static scheduling).
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.counters.steals).sum()
+    }
+
+    /// Total barrier waits that parked on a condvar.
+    pub fn total_parks(&self) -> u64 {
+        self.workers.iter().map(|w| w.counters.parks).sum()
+    }
+
     /// Sustained throughput in iterations per second.
     pub fn iters_per_sec(&self) -> f64 {
         if self.wall_nanos == 0 {
@@ -128,8 +166,11 @@ impl RunReport {
     /// histograms see one observation per span; without one they fall
     /// back to per-worker totals (coarser, but still comparable).
     pub fn metrics(&self) -> MetricsRegistry {
-        let mut reg =
-            MetricsRegistry::new(&[("executor", &self.executor), ("backend", &self.backend)]);
+        let mut reg = MetricsRegistry::new(&[
+            ("executor", &self.executor),
+            ("backend", &self.backend),
+            ("schedule", &self.schedule),
+        ]);
         let m = self.merged_counters();
         reg.counter(
             "spfc_iters_total",
@@ -164,6 +205,16 @@ impl RunReport {
             "Barrier crossings per worker, summed",
             m.barriers,
         );
+        reg.counter(
+            "spfc_steals_total",
+            "Chunks executed by workers that did not own them",
+            m.steals,
+        );
+        reg.counter(
+            "spfc_parks_total",
+            "Barrier waits that parked on a condvar",
+            m.parks,
+        );
         reg.counter("spfc_steps_total", "Timesteps executed", self.steps as u64);
         reg.counter(
             "spfc_wall_nanos_total",
@@ -189,6 +240,11 @@ impl RunReport {
             "spfc_imbalance_ratio",
             "Busiest worker's iterations over the mean",
             self.imbalance(),
+        );
+        reg.gauge(
+            "spfc_time_imbalance_ratio",
+            "Busiest worker's compute wall time over the mean",
+            self.time_imbalance(),
         );
         reg.gauge(
             "spfc_iters_per_second",
@@ -261,10 +317,11 @@ impl RunReport {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256 + 256 * self.workers.len());
         s.push_str(&format!(
-            "{{\"executor\":\"{}\",\"backend\":\"{}\",\"procs\":{},\"steps\":{},\
-             \"wall_nanos\":{},\"lower_nanos\":{},\"tape_ops\":{},\"cached\":{},",
+            "{{\"executor\":\"{}\",\"backend\":\"{}\",\"schedule\":\"{}\",\"procs\":{},\
+             \"steps\":{},\"wall_nanos\":{},\"lower_nanos\":{},\"tape_ops\":{},\"cached\":{},",
             json_escape(&self.executor),
             json_escape(&self.backend),
+            json_escape(&self.schedule),
             self.procs,
             self.steps,
             self.wall_nanos,
@@ -273,9 +330,11 @@ impl RunReport {
             self.cached
         ));
         s.push_str(&format!(
-            "\"iters_per_sec\":{:.1},\"imbalance\":{:.4},\"max_barrier_wait_nanos\":{},",
+            "\"iters_per_sec\":{:.1},\"imbalance\":{:.4},\"time_imbalance\":{:.4},\
+             \"max_barrier_wait_nanos\":{},",
             self.iters_per_sec(),
             self.imbalance(),
+            self.time_imbalance(),
             self.max_barrier_wait_nanos()
         ));
         s.push_str("\"workers\":[");
@@ -287,7 +346,8 @@ impl RunReport {
             s.push_str(&format!(
                 "{{\"proc\":{},\"iters\":{},\"vec_iters\":{},\"peeled_iters\":{},\"flops\":{},\
                  \"loads\":{},\"stores\":{},\"strips\":{},\"guards\":{},\"barriers\":{},\
-                 \"fused_nanos\":{},\"peeled_nanos\":{},\"barrier_wait_nanos\":{}",
+                 \"steals\":{},\"parks\":{},\"fused_nanos\":{},\"peeled_nanos\":{},\
+                 \"barrier_wait_nanos\":{}",
                 w.proc,
                 c.iters,
                 c.vec_iters,
@@ -298,6 +358,8 @@ impl RunReport {
                 c.strips,
                 c.guards,
                 c.barriers,
+                c.steals,
+                c.parks,
                 c.fused_nanos,
                 c.peeled_nanos,
                 c.barrier_wait_nanos
@@ -505,6 +567,7 @@ impl Parser<'_> {
             match key.as_str() {
                 "executor" => r.executor = self.string()?,
                 "backend" => r.backend = self.string()?,
+                "schedule" => r.schedule = self.string()?,
                 "procs" => r.procs = self.u64_field()? as usize,
                 "steps" => r.steps = self.u64_field()? as usize,
                 "wall_nanos" => r.wall_nanos = self.u64_field()?,
@@ -556,6 +619,8 @@ impl Parser<'_> {
                 "strips" => c.strips = self.u64_field()?,
                 "guards" => c.guards = self.u64_field()?,
                 "barriers" => c.barriers = self.u64_field()?,
+                "steals" => c.steals = self.u64_field()?,
+                "parks" => c.parks = self.u64_field()?,
                 "fused_nanos" => c.fused_nanos = self.u64_field()?,
                 "peeled_nanos" => c.peeled_nanos = self.u64_field()?,
                 "barrier_wait_nanos" => c.barrier_wait_nanos = self.u64_field()?,
@@ -622,6 +687,7 @@ mod tests {
         RunReport {
             executor: "pooled".into(),
             backend: "interp".into(),
+            schedule: "static".into(),
             procs: 2,
             steps: 3,
             wall_nanos: 1_000_000,
@@ -653,6 +719,9 @@ mod tests {
         for key in [
             "\"executor\":\"pooled\"",
             "\"backend\":\"interp\"",
+            "\"schedule\":\"static\"",
+            "\"steals\":0",
+            "\"parks\":0",
             "\"procs\":2",
             "\"steps\":3",
             "\"wall_nanos\":1000000",
@@ -680,6 +749,8 @@ mod tests {
                 wa.counters.barrier_wait_nanos,
                 wb.counters.barrier_wait_nanos
             );
+            assert_eq!(wa.counters.steals, wb.counters.steals);
+            assert_eq!(wa.counters.parks, wb.counters.parks);
         }
     }
 
@@ -723,6 +794,26 @@ mod tests {
         assert!(parsed.cached);
         // A malformed literal is rejected, not silently skipped.
         assert!(RunReport::from_json(&j.replace("\"cached\":true", "\"cached\":tru")).is_err());
+    }
+
+    #[test]
+    fn schedule_and_steal_fields_round_trip() {
+        let mut r = report();
+        r.schedule = "stealing".into();
+        r.workers[0].counters.steals = 3;
+        r.workers[1].counters.parks = 2;
+        r.workers[0].counters.fused_nanos = 100;
+        r.workers[1].counters.fused_nanos = 300;
+        let j = r.to_json();
+        assert!(j.contains("\"schedule\":\"stealing\""), "{j}");
+        // Busy times 100 and 300: max 300 over mean 200.
+        assert!(j.contains("\"time_imbalance\":1.5000"), "{j}");
+        let parsed = RunReport::from_json(&j).unwrap();
+        assert_reports_equal(&r, &parsed);
+        assert_eq!(parsed.schedule, "stealing");
+        assert_eq!(parsed.total_steals(), 3);
+        assert_eq!(parsed.total_parks(), 2);
+        assert!((parsed.time_imbalance() - 1.5).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,962 @@
+//! Adaptive scheduling of legal blocks: guided self-scheduling and
+//! work stealing over block-granular chunks of the fused iteration
+//! space.
+//!
+//! Static blocked scheduling (the paper's Section 3.2 model) remains the
+//! legality unit: a chunk is a [`ProcBlock`] whose width satisfies the
+//! Theorem-1 `Nt` lower bound on every fused level, produced by
+//! subdividing a static block along the outermost fused level. Executing
+//! the fused phases of all chunks, a barrier, then the peeled phases of
+//! all chunks is exactly the static schedule on a finer processor grid —
+//! so *any* assignment of chunks to workers produces bit-for-bit
+//! identical memory results, and re-assigning whole chunks is the only
+//! freedom the adaptive schedules exercise.
+//!
+//! Determinism is split in two:
+//!
+//! * **Result-affecting decisions** (the chunk decomposition itself) are
+//!   pure functions of the run configuration and the plan, so the
+//!   deterministic [`SimExecutor`](crate::executor::SimExecutor) and the
+//!   threaded runtimes agree on per-owner work counters exactly. Work
+//!   counters are attributed to a chunk's *owner* (the static block it
+//!   was carved from), not the worker that happened to execute it.
+//! * **Timing-only decisions** (which worker steals which chunk, when a
+//!   barrier wait parks) are free to race; they are observable only
+//!   through equality-exempt counters (`steals`, `parks`, `*_nanos`)
+//!   and trace spans.
+//!
+//! Steal behavior itself is made testable by [`simulate_stealing`]: a
+//! [`SimClock`]-driven discrete-event simulation of the same victim
+//! selection ([`VictimSelector`]) and claim policy (owners walk their
+//! chunk list front to back, thieves steal from the back) the runtime
+//! uses, with scripted per-chunk durations — a fixed seed reproduces an
+//! identical steal log in `cargo test`.
+
+use crate::driver::{run_fused_phase, run_peeled_phase, GroupWork, PassTrace, PhaseSync};
+use crate::exec::ExecError;
+use crate::interp::ExecCounters;
+use crate::memory::MemView;
+use crate::sink::{AccessSink, NullSink};
+use crate::tape::Engine;
+use shift_peel_core::analysis::{check_blocks, ProcBlock};
+use shift_peel_core::{FusionPlan, LegalityError};
+use sp_ir::LoopSequence;
+use sp_trace::tracer::NO_INDEX;
+use sp_trace::{SpanKind, WorkerTrace, WorkerTracer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+
+/// How parallel phases are assigned to workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// One block per processor, fixed for the whole run (the paper's
+    /// model; the default).
+    #[default]
+    Static,
+    /// Guided self-scheduling: each static block is pre-split into
+    /// chunks of geometrically decreasing size (never below the `Nt`
+    /// floor) and workers claim chunks from a shared list, own chunks
+    /// first.
+    Guided,
+    /// Work stealing: each static block is split into uniform chunks;
+    /// every worker walks its own chunk list front to back and, when it
+    /// runs dry, steals whole chunks from the back of seeded-randomly
+    /// chosen victims' lists.
+    Stealing,
+}
+
+impl Schedule {
+    /// Short stable name (`static` / `guided` / `stealing`) used in
+    /// reports and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Schedule::Static => "static",
+            Schedule::Guided => "guided",
+            Schedule::Stealing => "stealing",
+        }
+    }
+
+    /// Parses the name [`Schedule::name`] emits.
+    pub fn parse(s: &str) -> Option<Schedule> {
+        match s {
+            "static" => Some(Schedule::Static),
+            "guided" => Some(Schedule::Guided),
+            "stealing" => Some(Schedule::Stealing),
+            _ => None,
+        }
+    }
+
+    /// Every schedule, in display order.
+    pub fn all() -> [Schedule; 3] {
+        [Schedule::Static, Schedule::Guided, Schedule::Stealing]
+    }
+}
+
+/// The default seed for stealing victim selection when the run config
+/// does not override it.
+pub const DEFAULT_STEAL_SEED: u64 = 0x005E_EDBA_5E0F_CAFE;
+
+/// Uniform chunks per owner when no explicit chunk size is configured
+/// (the `sp-machine` auto-tuner picks a better size from the cost
+/// model).
+const DEFAULT_CHUNKS_PER_OWNER: i64 = 4;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeded victim selection shared by the runtime steal loop and the
+/// deterministic scheduler simulation: a splitmix64 stream over
+/// `0..workers`, seeded per worker so distinct thieves probe distinct
+/// victim orders.
+#[derive(Clone, Debug)]
+pub struct VictimSelector {
+    state: u64,
+    workers: usize,
+}
+
+impl VictimSelector {
+    /// A selector for worker `me` of `workers`, derived from `seed`.
+    pub fn new(seed: u64, me: usize, workers: usize) -> Self {
+        let mut state = seed ^ (me as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+        // Warm the stream so nearby worker ids decorrelate immediately.
+        splitmix64(&mut state);
+        VictimSelector {
+            state,
+            workers: workers.max(1),
+        }
+    }
+
+    /// The next victim candidate in `0..workers` (callers skip
+    /// themselves).
+    pub fn next_victim(&mut self) -> usize {
+        (splitmix64(&mut self.state) % self.workers as u64) as usize
+    }
+}
+
+fn ceil_div(a: i64, b: i64) -> i64 {
+    (a + b - 1) / b
+}
+
+/// Splits `trip` iterations into guided self-scheduling sizes: each
+/// chunk takes half the remaining work, never below `min`, and a tail
+/// that would fall below `min` is absorbed into the previous chunk.
+fn guided_sizes(trip: i64, min: i64) -> Vec<i64> {
+    debug_assert!(trip >= min && min >= 1);
+    let mut sizes = Vec::new();
+    let mut r = trip;
+    while r > 0 {
+        let mut take = ceil_div(r, 2).max(min).min(r);
+        if r - take < min {
+            take = r; // absorb a sub-Nt tail
+        }
+        sizes.push(take);
+        r -= take;
+    }
+    sizes
+}
+
+/// Splits `trip` iterations into uniform chunks of roughly `target`
+/// iterations, never below `min` (sizes differ by at most one, exactly
+/// like the static decomposition).
+fn uniform_sizes(trip: i64, target: i64, min: i64) -> Vec<i64> {
+    debug_assert!(trip >= min && min >= 1);
+    let target = target.clamp(min, trip);
+    // k <= trip/min guarantees every chunk holds at least `min`.
+    let k = (trip / target).clamp(1, trip / min);
+    let base = trip / k;
+    let rem = trip % k;
+    (0..k).map(|i| base + i64::from(i < rem)).collect()
+}
+
+/// Subdivides one static block along the outermost fused level into
+/// chunks of the given sizes. Boundary flags split with the range: only
+/// the first chunk can touch the global low end, only the last the
+/// global high end — interior chunk boundaries peel exactly like the
+/// static block boundaries they mirror.
+fn split_block(block: &ProcBlock, sizes: &[i64], first_chunk_id: usize) -> Vec<ProcBlock> {
+    let (lo, hi) = block.range[0];
+    debug_assert_eq!(sizes.iter().sum::<i64>(), hi - lo + 1);
+    let mut chunks = Vec::with_capacity(sizes.len());
+    let mut start = lo;
+    for (i, &len) in sizes.iter().enumerate() {
+        let end = start + len - 1;
+        let mut range = block.range.clone();
+        range[0] = (start, end);
+        let mut low = block.low_boundary.clone();
+        let mut high = block.high_boundary.clone();
+        low[0] = block.low_boundary[0] && i == 0;
+        high[0] = block.high_boundary[0] && i == sizes.len() - 1;
+        chunks.push(ProcBlock {
+            proc: first_chunk_id + i,
+            range,
+            low_boundary: low,
+            high_boundary: high,
+        });
+        start = end + 1;
+    }
+    chunks
+}
+
+/// One parallel group's chunk decomposition: the chunks (each a legal
+/// block), each chunk's owner (the static block it was carved from),
+/// and per owner the ids of its chunks in iteration order.
+#[derive(Clone, Debug)]
+pub(crate) struct GroupChunks {
+    pub chunks: Vec<ProcBlock>,
+    pub owner: Vec<usize>,
+    pub by_owner: Vec<Vec<u32>>,
+}
+
+impl GroupChunks {
+    /// Builds the chunk decomposition of one parallel group under
+    /// `schedule`. `chunk` is the configured chunk size (`None` picks a
+    /// default); `nworkers` sizes the per-owner index (owners are the
+    /// group's static blocks, which never outnumber the workers).
+    pub(crate) fn build(
+        group: &shift_peel_core::FusedGroup,
+        blocks: &[ProcBlock],
+        schedule: Schedule,
+        chunk: Option<i64>,
+        nworkers: usize,
+    ) -> Result<GroupChunks, LegalityError> {
+        let nt0 = group.derivation.dims.first().map_or(1, |d| d.nt()).max(1);
+        let mut chunks = Vec::new();
+        let mut owner = Vec::new();
+        let mut by_owner: Vec<Vec<u32>> = vec![Vec::new(); nworkers.max(blocks.len())];
+        for (p, block) in blocks.iter().enumerate() {
+            let trip = block.range[0].1 - block.range[0].0 + 1;
+            let sizes = match schedule {
+                Schedule::Static => vec![trip],
+                // A configured floor larger than this block's trip
+                // degrades to one whole-block chunk (still Nt-legal:
+                // static legality already guarantees trip >= Nt).
+                Schedule::Guided => guided_sizes(trip, chunk.unwrap_or(1).max(nt0).min(trip)),
+                Schedule::Stealing => {
+                    let target = chunk.unwrap_or(ceil_div(trip, DEFAULT_CHUNKS_PER_OWNER));
+                    uniform_sizes(trip, target.min(trip), nt0)
+                }
+            };
+            for c in split_block(block, &sizes, chunks.len()) {
+                by_owner[p].push(chunks.len() as u32);
+                chunks.push(c);
+                owner.push(p);
+            }
+        }
+        // Defense in depth: the sizing rules above keep every chunk at or
+        // above the Nt floor, but the legality check stays authoritative.
+        check_blocks(&group.derivation, &chunks)?;
+        Ok(GroupChunks {
+            chunks,
+            owner,
+            by_owner,
+        })
+    }
+
+    /// Number of chunks.
+    pub(crate) fn len(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+/// Chunk decompositions for a whole work list (`None` for serial
+/// groups), shared by every worker of a run.
+pub(crate) fn build_chunks(
+    plan: &FusionPlan,
+    work: &[GroupWork],
+    schedule: Schedule,
+    chunk: Option<i64>,
+    nworkers: usize,
+) -> Result<Vec<Option<GroupChunks>>, ExecError> {
+    work.iter()
+        .enumerate()
+        .map(|(gi, w)| match w {
+            GroupWork::Serial { .. } => Ok(None),
+            GroupWork::Parallel { blocks, .. } => Ok(Some(GroupChunks::build(
+                &plan.groups[gi],
+                blocks,
+                schedule,
+                chunk,
+                nworkers,
+            )?)),
+        })
+        .collect()
+}
+
+/// The shared claim state of one adaptive run: per chunk, the phase
+/// epoch it was last claimed in (phases are numbered identically by
+/// every worker, so a claim word below the current epoch means
+/// unclaimed) and a per-chunk accumulator for owner-attributed work
+/// counters. Claims are `fetch_max` races — the winner executes the
+/// chunk exactly once per phase.
+pub(crate) struct SharedChunks {
+    pub groups: Vec<Option<GroupChunks>>,
+    claims: Vec<Vec<AtomicU64>>,
+    slots: Vec<Vec<Mutex<ExecCounters>>>,
+}
+
+impl SharedChunks {
+    pub(crate) fn new(groups: Vec<Option<GroupChunks>>) -> SharedChunks {
+        let claims = groups
+            .iter()
+            .map(|g| {
+                let n = g.as_ref().map_or(0, |g| g.len());
+                (0..n).map(|_| AtomicU64::new(0)).collect()
+            })
+            .collect();
+        let slots = groups
+            .iter()
+            .map(|g| {
+                let n = g.as_ref().map_or(0, |g| g.len());
+                (0..n)
+                    .map(|_| Mutex::new(ExecCounters::default()))
+                    .collect()
+            })
+            .collect();
+        SharedChunks {
+            groups,
+            claims,
+            slots,
+        }
+    }
+
+    /// Merges every chunk's accumulated work counters into its owner's
+    /// total. Call once, after all workers finished.
+    pub(crate) fn merge_into(&self, totals: &mut [ExecCounters]) {
+        for (gi, g) in self.groups.iter().enumerate() {
+            let Some(g) = g else { continue };
+            for (c, &o) in g.owner.iter().enumerate() {
+                totals[o].merge(&self.slots[gi][c].lock().unwrap());
+            }
+        }
+    }
+
+    fn try_claim(&self, gi: usize, c: usize, epoch: u64) -> bool {
+        self.claims[gi][c].fetch_max(epoch, Ordering::AcqRel) < epoch
+    }
+
+    fn unclaimed(&self, gi: usize, c: usize, epoch: u64) -> bool {
+        self.claims[gi][c].load(Ordering::Acquire) < epoch
+    }
+}
+
+/// What one worker does with a claimed chunk (fused or peeled phase of
+/// the current group).
+enum Phase {
+    Fused,
+    Peeled,
+}
+
+/// One worker's traversal of a work list under an adaptive schedule:
+/// for each parallel group, the worker claims chunks — its own list
+/// front to back, then steals from the back of victims' lists — runs
+/// the fused phase of every chunk it wins, meets the others at the
+/// barrier, and (when the group peels) repeats the claim loop for the
+/// peeled phase.
+///
+/// Work counters of each chunk accumulate into the chunk's shared slot
+/// (merged per owner after the run); `counters` receives only this
+/// worker's dispatch accounting — barriers, waits, parks, steals, and
+/// phase wall time.
+///
+/// # Safety
+/// As [`crate::driver::worker_pass`]: all participants must execute the
+/// same work list in lockstep through the same barrier. Distinct chunks
+/// never conflict within a phase (Theorem 1, checked by
+/// [`GroupChunks::build`]), and the claim protocol hands each chunk to
+/// exactly one worker per phase.
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn adaptive_worker_pass<B: PhaseSync, S: AccessSink>(
+    seq: &LoopSequence,
+    plan: &FusionPlan,
+    work: &[GroupWork],
+    shared: &SharedChunks,
+    strip: i64,
+    p: usize,
+    engine: Engine<'_>,
+    view: &MemView<'_>,
+    barrier: &B,
+    sense: &mut bool,
+    sink: &mut S,
+    counters: &mut ExecCounters,
+    selector: &mut VictimSelector,
+    epoch: &mut u64,
+    step: u32,
+    tracer: &mut Option<WorkerTracer>,
+) {
+    let wait_at_barrier = |barrier: &B,
+                           sense: &mut bool,
+                           counters: &mut ExecCounters,
+                           tracer: &mut Option<WorkerTracer>,
+                           g: u32| {
+        let bt0 = Instant::now();
+        let (waited, parked) = barrier.wait_outcome(sense);
+        counters.barrier_wait_nanos += waited;
+        counters.barriers += 1;
+        if parked {
+            counters.parks += 1;
+        }
+        if let Some(t) = tracer {
+            t.record(SpanKind::BarrierWait, bt0, waited, step, g);
+            if parked {
+                t.record(SpanKind::Park, bt0, waited, step, g);
+            }
+        }
+    };
+    for (gi, w) in work.iter().enumerate() {
+        let g = gi as u32;
+        match w {
+            GroupWork::Serial { nest } => {
+                if p == 0 {
+                    let t0 = Instant::now();
+                    let space = seq.nests[*nest].space();
+                    // SAFETY: all other workers are parked at the barrier
+                    // below; no concurrent access.
+                    unsafe { engine.exec_region(seq, view, *nest, &space, sink, counters) };
+                    let dur = t0.elapsed().as_nanos() as u64;
+                    counters.fused_nanos += dur;
+                    if let Some(t) = tracer {
+                        t.record(SpanKind::Serial, t0, dur, step, g);
+                    }
+                }
+                wait_at_barrier(barrier, sense, counters, tracer, g);
+            }
+            GroupWork::Parallel { has_peel, .. } => {
+                let group = &plan.groups[gi];
+                let chunks = shared.groups[gi].as_ref().expect("parallel group chunked");
+                *epoch += 1;
+                // SAFETY: forwarded from caller (see function contract).
+                unsafe {
+                    claim_and_run_phase(
+                        seq,
+                        group,
+                        chunks,
+                        shared,
+                        gi,
+                        strip,
+                        plan.method,
+                        Phase::Fused,
+                        p,
+                        engine,
+                        view,
+                        sink,
+                        counters,
+                        selector,
+                        *epoch,
+                        step,
+                        g,
+                        tracer,
+                    )
+                };
+                wait_at_barrier(barrier, sense, counters, tracer, g);
+                if *has_peel {
+                    *epoch += 1;
+                    // SAFETY: forwarded from caller.
+                    unsafe {
+                        claim_and_run_phase(
+                            seq,
+                            group,
+                            chunks,
+                            shared,
+                            gi,
+                            strip,
+                            plan.method,
+                            Phase::Peeled,
+                            p,
+                            engine,
+                            view,
+                            sink,
+                            counters,
+                            selector,
+                            *epoch,
+                            step,
+                            g,
+                            tracer,
+                        )
+                    };
+                    wait_at_barrier(barrier, sense, counters, tracer, g);
+                }
+            }
+        }
+    }
+}
+
+/// The claim loop of one phase: own chunks front to back, then steal
+/// from victims' backs, with a deterministic low-to-high sweep as the
+/// livelock-free fallback; exits when every chunk of the group carries
+/// the current epoch.
+#[allow(clippy::too_many_arguments)]
+unsafe fn claim_and_run_phase<S: AccessSink>(
+    seq: &LoopSequence,
+    group: &shift_peel_core::FusedGroup,
+    chunks: &GroupChunks,
+    shared: &SharedChunks,
+    gi: usize,
+    strip: i64,
+    method: shift_peel_core::CodegenMethod,
+    phase: Phase,
+    p: usize,
+    engine: Engine<'_>,
+    view: &MemView<'_>,
+    sink: &mut S,
+    counters: &mut ExecCounters,
+    selector: &mut VictimSelector,
+    epoch: u64,
+    step: u32,
+    g: u32,
+    tracer: &mut Option<WorkerTracer>,
+) {
+    let nworkers = chunks.by_owner.len();
+    let mut run_chunk =
+        |c: usize, counters: &mut ExecCounters, tracer: &mut Option<WorkerTracer>| {
+            let block = &chunks.chunks[c];
+            let mut work = ExecCounters::default();
+            let t0 = Instant::now();
+            match phase {
+                Phase::Fused => {
+                    // SAFETY: forwarded from caller; the claim made this
+                    // worker the chunk's only executor this phase.
+                    unsafe {
+                        run_fused_phase(
+                            seq, group, block, strip, method, engine, view, sink, &mut work,
+                        )
+                    };
+                }
+                Phase::Peeled => {
+                    // SAFETY: as above.
+                    unsafe { run_peeled_phase(seq, group, block, engine, view, sink, &mut work) };
+                }
+            }
+            let dur = t0.elapsed().as_nanos() as u64;
+            match phase {
+                Phase::Fused => counters.fused_nanos += dur,
+                Phase::Peeled => counters.peeled_nanos += dur,
+            }
+            if let Some(t) = tracer {
+                let kind = match phase {
+                    Phase::Fused => SpanKind::Fused,
+                    Phase::Peeled => SpanKind::Peeled,
+                };
+                t.record(kind, t0, dur, step, g);
+            }
+            shared.slots[gi][c].lock().unwrap().merge(&work);
+        };
+    // Own chunks, front to back (sequential ranges stay cache-friendly).
+    if let Some(own) = chunks.by_owner.get(p) {
+        for &c in own {
+            let c = c as usize;
+            if shared.try_claim(gi, c, epoch) {
+                run_chunk(c, counters, tracer);
+            }
+        }
+    }
+    // Steal until the group's phase is drained.
+    loop {
+        let st0 = Instant::now();
+        let mut claimed = None;
+        for _ in 0..nworkers {
+            let v = selector.next_victim();
+            if v == p {
+                continue;
+            }
+            // Steal from the back: the chunks the owner reaches last.
+            for &c in chunks.by_owner[v].iter().rev() {
+                let c = c as usize;
+                if shared.unclaimed(gi, c, epoch) && shared.try_claim(gi, c, epoch) {
+                    claimed = Some(c);
+                    break;
+                }
+            }
+            if claimed.is_some() {
+                break;
+            }
+        }
+        if claimed.is_none() {
+            // Deterministic sweep: either find leftover work or prove
+            // the phase is drained.
+            for c in 0..chunks.len() {
+                if shared.unclaimed(gi, c, epoch) && shared.try_claim(gi, c, epoch) {
+                    claimed = Some(c);
+                    break;
+                }
+            }
+        }
+        match claimed {
+            Some(c) => {
+                counters.steals += 1;
+                if let Some(t) = tracer {
+                    t.record_until_now(SpanKind::Steal, st0, step, c as u32);
+                }
+                run_chunk(c, counters, tracer);
+            }
+            None => break,
+        }
+    }
+}
+
+/// Number of claimable phases one timestep of `work` contributes to the
+/// epoch sequence (fused + optional peeled phase per parallel group;
+/// serial groups claim nothing).
+pub(crate) fn claimable_phases(work: &[GroupWork]) -> u64 {
+    work.iter()
+        .map(|w| match w {
+            GroupWork::Serial { .. } => 0,
+            GroupWork::Parallel { has_peel, .. } => 1 + u64::from(*has_peel),
+        })
+        .sum()
+}
+
+/// The scoped (spawn-per-timestep) variant of the adaptive runtime: one
+/// pass over the work list with `nprocs` scoped threads claiming chunks
+/// from `shared`. `epoch_base` must advance by [`claimable_phases`] per
+/// timestep so claims from earlier passes stay stale.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scoped_adaptive_pass(
+    seq: &LoopSequence,
+    plan: &FusionPlan,
+    work: &[GroupWork],
+    shared: &SharedChunks,
+    nprocs: usize,
+    strip: i64,
+    engine: Engine<'_>,
+    view: &MemView<'_>,
+    steal_seed: u64,
+    epoch_base: u64,
+    trace: PassTrace,
+) -> Result<Vec<(ExecCounters, Option<WorkerTrace>)>, ExecError> {
+    let barrier = Barrier::new(nprocs);
+    let mut results = Vec::with_capacity(nprocs);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nprocs);
+        for p in 0..nprocs {
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                let mut sink = NullSink;
+                let mut counters = ExecCounters::default();
+                let mut sense = false;
+                let mut selector = VictimSelector::new(steal_seed, p, nprocs);
+                let mut epoch = epoch_base;
+                let mut tracer = trace.map(|(cfg, epoch, _)| WorkerTracer::new(cfg, epoch));
+                let step = trace.map_or(0, |(_, _, s)| s);
+                let job_t0 = Instant::now();
+                // SAFETY: every thread runs the same work list through
+                // the same barrier; distinct chunks never conflict
+                // (Theorem 1, checked by `build_chunks`) and the claim
+                // protocol hands each chunk to exactly one thread per
+                // phase.
+                unsafe {
+                    adaptive_worker_pass(
+                        seq,
+                        plan,
+                        work,
+                        shared,
+                        strip,
+                        p,
+                        engine,
+                        view,
+                        barrier,
+                        &mut sense,
+                        &mut sink,
+                        &mut counters,
+                        &mut selector,
+                        &mut epoch,
+                        step,
+                        &mut tracer,
+                    )
+                };
+                if let Some(t) = &mut tracer {
+                    t.record_until_now(SpanKind::Dispatch, job_t0, step, NO_INDEX);
+                }
+                (counters, tracer.map(|t| t.finish(p)))
+            }));
+        }
+        for (p, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(c) => results.push(c),
+                Err(_) => return Err(ExecError::WorkerPanic { proc: p }),
+            }
+        }
+        Ok(())
+    })?;
+    Ok(results)
+}
+
+// ---------------------------------------------------------------------
+// Deterministic scheduler simulation
+// ---------------------------------------------------------------------
+
+/// Virtual time for the deterministic scheduler simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SimClock(pub u64);
+
+impl SimClock {
+    /// Advances the clock by `nanos` and returns the new time.
+    pub fn advance(&mut self, nanos: u64) -> u64 {
+        self.0 += nanos;
+        self.0
+    }
+}
+
+/// A scripted stealing scenario: `costs[c]` is the virtual duration of
+/// chunk `c`, `owners[c]` the worker whose list it starts in.
+#[derive(Clone, Debug)]
+pub struct StealSimSpec {
+    /// Number of workers.
+    pub workers: usize,
+    /// Victim-selection seed (the same stream the runtime uses).
+    pub seed: u64,
+    /// Virtual duration of each chunk.
+    pub costs: Vec<u64>,
+    /// Initial owner of each chunk.
+    pub owners: Vec<usize>,
+}
+
+/// One steal recorded by the simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StealEvent {
+    /// Virtual time of the claim.
+    pub at: u64,
+    /// The worker that ran out of owned work.
+    pub thief: usize,
+    /// The owner whose list lost the chunk.
+    pub victim: usize,
+    /// The stolen chunk.
+    pub chunk: usize,
+}
+
+/// The outcome of one simulated phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StealSimReport {
+    /// Every steal, in claim order.
+    pub steal_log: Vec<StealEvent>,
+    /// Per worker: total virtual busy time.
+    pub busy: Vec<u64>,
+    /// Per worker: the chunks it executed, in order.
+    pub executed: Vec<Vec<usize>>,
+    /// Virtual completion time of the whole phase.
+    pub makespan: u64,
+}
+
+impl StealSimReport {
+    /// Busiest worker's virtual busy time over the mean — the quantity
+    /// the skewed-load bench tracks toward 1.0.
+    pub fn time_imbalance(&self) -> f64 {
+        let sum: u64 = self.busy.iter().sum();
+        if sum == 0 || self.busy.is_empty() {
+            return 0.0;
+        }
+        let mean = sum as f64 / self.busy.len() as f64;
+        *self.busy.iter().max().unwrap() as f64 / mean
+    }
+}
+
+/// Runs one phase of the stealing scheduler under a [`SimClock`]:
+/// workers claim chunks exactly as the runtime does — own list front to
+/// back, then seeded victim selection stealing from the back, with the
+/// deterministic sweep fallback — but time is scripted per chunk, so a
+/// fixed seed reproduces an identical steal log on every run.
+pub fn simulate_stealing(spec: &StealSimSpec) -> StealSimReport {
+    assert!(spec.workers >= 1, "need at least one worker");
+    assert_eq!(spec.costs.len(), spec.owners.len(), "one owner per chunk");
+    let n = spec.costs.len();
+    let by_owner: Vec<Vec<usize>> = {
+        let mut lists = vec![Vec::new(); spec.workers];
+        for (c, &o) in spec.owners.iter().enumerate() {
+            assert!(o < spec.workers, "owner {o} out of range");
+            lists[o].push(c);
+        }
+        lists
+    };
+    let mut selectors: Vec<VictimSelector> = (0..spec.workers)
+        .map(|w| VictimSelector::new(spec.seed, w, spec.workers))
+        .collect();
+    let mut claimed = vec![false; n];
+    let mut own_pos = vec![0usize; spec.workers];
+    let mut clock: Vec<SimClock> = vec![SimClock(0); spec.workers];
+    let mut done = vec![false; spec.workers];
+    let mut report = StealSimReport {
+        steal_log: Vec::new(),
+        busy: vec![0; spec.workers],
+        executed: vec![Vec::new(); spec.workers],
+        makespan: 0,
+    };
+    let mut remaining = n;
+    while remaining > 0 {
+        // The earliest-free worker claims next; ties break by worker id,
+        // making the whole schedule a deterministic function of the seed
+        // and the scripted costs.
+        let w = (0..spec.workers)
+            .filter(|&w| !done[w])
+            .min_by_key(|&w| (clock[w].0, w))
+            .expect("chunks remain but every worker is done");
+        // Own list, front to back.
+        let mut next = None;
+        while let Some(&c) = by_owner[w].get(own_pos[w]) {
+            own_pos[w] += 1;
+            if !claimed[c] {
+                next = Some(c);
+                break;
+            }
+        }
+        if next.is_none() {
+            // Steal: seeded victim order, back of the victim's list.
+            for _ in 0..spec.workers {
+                let v = selectors[w].next_victim();
+                if v == w {
+                    continue;
+                }
+                if let Some(&c) = by_owner[v].iter().rev().find(|&&c| !claimed[c]) {
+                    report.steal_log.push(StealEvent {
+                        at: clock[w].0,
+                        thief: w,
+                        victim: v,
+                        chunk: c,
+                    });
+                    next = Some(c);
+                    break;
+                }
+            }
+        }
+        if next.is_none() {
+            // Deterministic sweep fallback, exactly like the runtime.
+            if let Some(c) = (0..n).find(|&c| !claimed[c]) {
+                report.steal_log.push(StealEvent {
+                    at: clock[w].0,
+                    thief: w,
+                    victim: spec.owners[c],
+                    chunk: c,
+                });
+                next = Some(c);
+            }
+        }
+        match next {
+            Some(c) => {
+                claimed[c] = true;
+                remaining -= 1;
+                report.executed[w].push(c);
+                report.busy[w] += spec.costs[c];
+                let t = clock[w].advance(spec.costs[c]);
+                report.makespan = report.makespan.max(t);
+            }
+            None => done[w] = true,
+        }
+    }
+    report
+}
+
+/// The per-worker busy times of the *static* schedule on the same
+/// scripted costs: every owner runs exactly its own chunks. The
+/// reference the convergence tests compare stealing against.
+pub fn static_busy(spec: &StealSimSpec) -> Vec<u64> {
+    let mut busy = vec![0u64; spec.workers];
+    for (c, &o) in spec.owners.iter().enumerate() {
+        busy[o] += spec.costs[c];
+    }
+    busy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guided_sizes_decrease_and_respect_floor() {
+        let sizes = guided_sizes(100, 4);
+        assert_eq!(sizes.iter().sum::<i64>(), 100);
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "{sizes:?}");
+        assert!(sizes.iter().all(|&s| s >= 4), "{sizes:?}");
+        assert!(sizes.len() > 2, "guided splits into several chunks");
+        // A sub-floor tail is absorbed, not emitted.
+        for trip in 4..200 {
+            for min in 1..=4 {
+                if trip < min {
+                    continue;
+                }
+                let sizes = guided_sizes(trip, min);
+                assert_eq!(sizes.iter().sum::<i64>(), trip);
+                assert!(sizes.iter().all(|&s| s >= min), "trip {trip} min {min}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_sizes_balance_and_respect_floor() {
+        for trip in 1..200i64 {
+            for min in 1..=5i64.min(trip) {
+                for target in 1..=trip {
+                    let sizes = uniform_sizes(trip, target, min);
+                    assert_eq!(sizes.iter().sum::<i64>(), trip);
+                    assert!(sizes.iter().all(|&s| s >= min));
+                    let (mx, mn) = (sizes.iter().max().unwrap(), sizes.iter().min().unwrap());
+                    assert!(mx - mn <= 1, "uniform within one: {sizes:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_block_partitions_range_and_boundary_flags() {
+        let block = ProcBlock {
+            proc: 0,
+            range: vec![(10, 29), (0, 7)],
+            low_boundary: vec![true, true],
+            high_boundary: vec![true, false],
+        };
+        let chunks = split_block(&block, &[8, 7, 5], 3);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].range[0], (10, 17));
+        assert_eq!(chunks[1].range[0], (18, 24));
+        assert_eq!(chunks[2].range[0], (25, 29));
+        // Level 1 is untouched.
+        assert!(chunks.iter().all(|c| c.range[1] == (0, 7)));
+        // Boundary flags split with the range.
+        assert!(chunks[0].low_boundary[0] && !chunks[0].high_boundary[0]);
+        assert!(!chunks[1].low_boundary[0] && !chunks[1].high_boundary[0]);
+        assert!(!chunks[2].low_boundary[0] && chunks[2].high_boundary[0]);
+        assert!(chunks.iter().all(|c| c.low_boundary[1]));
+        assert!(chunks.iter().all(|c| !c.high_boundary[1]));
+        assert_eq!(chunks[1].proc, 4);
+    }
+
+    #[test]
+    fn victim_selector_is_deterministic_per_seed() {
+        let draws = |seed: u64, me: usize| -> Vec<usize> {
+            let mut s = VictimSelector::new(seed, me, 8);
+            (0..32).map(|_| s.next_victim()).collect()
+        };
+        assert_eq!(draws(7, 0), draws(7, 0));
+        assert_ne!(draws(7, 0), draws(8, 0), "seed changes the stream");
+        assert_ne!(draws(7, 0), draws(7, 1), "worker id changes the stream");
+        assert!(draws(7, 3).iter().all(|&v| v < 8));
+    }
+
+    #[test]
+    fn steal_sim_balances_a_skewed_load() {
+        // Worker 0 owns four heavy chunks; three idle peers steal.
+        let spec = StealSimSpec {
+            workers: 4,
+            seed: 42,
+            costs: vec![100, 100, 100, 100, 10, 10, 10],
+            owners: vec![0, 0, 0, 0, 1, 2, 3],
+        };
+        let report = simulate_stealing(&spec);
+        assert!(!report.steal_log.is_empty(), "peers stole from worker 0");
+        let naive = static_busy(&spec);
+        let naive_imb =
+            *naive.iter().max().unwrap() as f64 / (naive.iter().sum::<u64>() as f64 / 4.0);
+        assert!(
+            report.time_imbalance() < naive_imb,
+            "stealing {:.3} improves on static {naive_imb:.3}",
+            report.time_imbalance()
+        );
+        // Every chunk ran exactly once.
+        let mut all: Vec<usize> = report.executed.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..7).collect::<Vec<_>>());
+    }
+}

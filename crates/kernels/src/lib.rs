@@ -26,6 +26,7 @@ pub mod jacobi;
 pub mod ll18;
 pub mod manual;
 pub mod meta;
+pub mod skewed;
 pub mod spem;
 pub mod suite;
 pub mod tomcatv;

@@ -12,7 +12,7 @@ use shift_peel_core::{CodegenMethod, ProfitabilityModel};
 use sp_cache::LayoutStrategy;
 use sp_exec::{
     Backend, DynamicExecutor, ExecError, ExecPlan, Executor, Memory, PooledExecutor, Program,
-    RunConfig, RunReport, ScopedExecutor, SimExecutor, SinkChoice,
+    RunConfig, RunReport, Schedule, ScopedExecutor, SimExecutor, SinkChoice,
 };
 use sp_ir::LoopSequence;
 
@@ -310,6 +310,12 @@ pub struct RuntimeRow {
     /// enabled: its throughput against `compiled`'s measures the cost of
     /// recording spans (the report carries the trace itself).
     pub traced: RunReport,
+    /// Pool run of the same fused plan under the stealing schedule
+    /// ([`Schedule::Stealing`]): workers claim and steal whole legal
+    /// chunks of the static blocks. Verified bit-for-bit identical to
+    /// the static runs; on these uniform kernels its cost over `pooled`
+    /// is the price of claim traffic.
+    pub stealing: RunReport,
     /// Self-scheduled run of the unfused program ([`DynamicExecutor`]).
     pub dynamic: RunReport,
 }
@@ -368,6 +374,12 @@ pub fn runtime_sweep(
                 "traced run diverged from untraced at {steps} steps"
             )));
         }
+        let (stealing, got) = run(&mut pool, &fused.clone().schedule(Schedule::Stealing))?;
+        if got != want {
+            return Err(ExecError::Config(format!(
+                "stealing schedule diverged from static at {steps} steps"
+            )));
+        }
         let (dynamic, _) = run(&mut DynamicExecutor::default(), &blocked)?;
         rows.push(RuntimeRow {
             steps,
@@ -376,6 +388,7 @@ pub fn runtime_sweep(
             compiled,
             simd,
             traced,
+            stealing,
             dynamic,
         });
     }

@@ -9,11 +9,15 @@
 //! * [`config`] — machine models and the KSR2 / Convex presets;
 //! * [`sim`] — whole-program simulation ([`simulate`]);
 //! * [`experiment`] — the sweep harnesses behind the paper's figures
-//!   (speedup-vs-processors, misses-vs-padding, improvement-vs-size).
+//!   (speedup-vs-processors, misses-vs-padding, improvement-vs-size);
+//! * [`tune`] — the adaptive-schedule auto-tuner: chunk-size bounds from
+//!   the cost model (`Nt` floor to cache-capacity), schedule choice from
+//!   probe runs on the real pool, and the skewed-load sweep harness.
 
 pub mod config;
 pub mod experiment;
 pub mod sim;
+pub mod tune;
 
 pub use config::{MachineConfig, CONVEX_SPP1000, KSR2};
 pub use experiment::{
@@ -22,3 +26,7 @@ pub use experiment::{
     RuntimeRow, ServePhase, SweepOptions, SweepRow,
 };
 pub use sim::{price, simulate, ProcResult, SimPlan, SimResult};
+pub use tune::{
+    auto_tune, chunk_bounds, skewed_sweep, ChunkBounds, SkewRow, TuneChoice, TuneProbe,
+    SKEW_THRESHOLD,
+};

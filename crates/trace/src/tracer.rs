@@ -32,11 +32,17 @@ pub enum SpanKind {
     BarrierWait,
     /// Lowering loop bodies to compiled micro-op tapes.
     Lower,
+    /// A work-stealing victim search that ended in a successful claim
+    /// (`group` holds the stolen chunk's index).
+    Steal,
+    /// A barrier wait that exhausted its spin budget and parked on the
+    /// condvar (recorded alongside the enclosing `BarrierWait` span).
+    Park,
 }
 
 impl SpanKind {
     /// Stable span name used in exporters (`dispatch`, `fused`,
-    /// `peeled`, `serial`, `barrier_wait`, `lower`).
+    /// `peeled`, `serial`, `barrier_wait`, `lower`, `steal`, `park`).
     pub fn name(&self) -> &'static str {
         match self {
             SpanKind::Dispatch => "dispatch",
@@ -45,6 +51,8 @@ impl SpanKind {
             SpanKind::Serial => "serial",
             SpanKind::BarrierWait => "barrier_wait",
             SpanKind::Lower => "lower",
+            SpanKind::Steal => "steal",
+            SpanKind::Park => "park",
         }
     }
 
@@ -57,11 +65,16 @@ impl SpanKind {
             SpanKind::Serial => 'S',
             SpanKind::BarrierWait => '·',
             SpanKind::Lower => 'L',
+            SpanKind::Steal => 's',
+            SpanKind::Park => 'p',
         }
     }
 
+    /// Number of span kinds (the length of [`SpanKind::all`]).
+    pub const COUNT: usize = 8;
+
     /// Every kind, in display order.
-    pub fn all() -> [SpanKind; 6] {
+    pub fn all() -> [SpanKind; Self::COUNT] {
         [
             SpanKind::Dispatch,
             SpanKind::Fused,
@@ -69,6 +82,8 @@ impl SpanKind {
             SpanKind::Serial,
             SpanKind::BarrierWait,
             SpanKind::Lower,
+            SpanKind::Steal,
+            SpanKind::Park,
         ]
     }
 }
@@ -382,7 +397,7 @@ impl RunTrace {
         ));
         for w in &self.workers {
             // Per column, nanoseconds covered by each kind; dominant wins.
-            let mut cover = vec![[0u64; 6]; width];
+            let mut cover = vec![[0u64; SpanKind::COUNT]; width];
             for e in &w.events {
                 if e.kind == SpanKind::Dispatch {
                     continue; // background span; would shadow the phases
@@ -412,7 +427,9 @@ impl RunTrace {
             };
             out.push_str(&format!("{label} |{lane}|\n"));
         }
-        out.push_str("     F fused  P peeled  S serial  · barrier wait  L lower\n");
+        out.push_str(
+            "     F fused  P peeled  S serial  · barrier wait  L lower  s steal  p park\n",
+        );
         out
     }
 }

@@ -14,7 +14,8 @@
 //! * [`exec`] — an interpreter and the static-blocked parallel runtimes
 //!   (spawn-per-step, persistent worker pool, self-scheduled ablation)
 //!   behind one `Executor` trait, driven by a `RunConfig` and reporting
-//!   per-worker `RunReport` instrumentation.
+//!   per-worker `RunReport` instrumentation; adaptive schedules (guided
+//!   and work-stealing over `Nt`-legal chunks) via `RunConfig::schedule`.
 //! * [`machine`] — simulated scalable shared-memory multiprocessors (KSR2
 //!   and Convex SPP-1000 presets) for the paper's speedup/miss experiments.
 //! * [`kernels`] — the paper's kernels and applications (LL18, calc,
@@ -68,9 +69,10 @@ pub mod prelude {
     pub use sp_cache::{Cache, CacheConfig, LayoutStrategy, MemoryLayout};
     pub use sp_dep::{analyze_sequence, DepKind, SequenceDeps};
     pub use sp_exec::{
-        Backend, DynamicExecutor, ExecError, ExecPlan, Executor, Memory, MetricsRegistry,
-        PooledExecutor, Program, RunConfig, RunReport, RunTrace, ScopedExecutor, SimExecutor,
-        SinkChoice, SpanKind, TraceConfig, WorkerReport,
+        simulate_stealing, static_busy, Backend, DynamicExecutor, ExecError, ExecPlan, Executor,
+        Memory, MetricsRegistry, PooledExecutor, Program, RunConfig, RunReport, RunTrace, Schedule,
+        ScopedExecutor, SimExecutor, SinkChoice, SpanKind, StealEvent, StealSimReport,
+        StealSimSpec, TraceConfig, WorkerReport, DEFAULT_STEAL_SEED,
     };
     pub use sp_ir::{ArrayDecl, ArrayId, Expr, LoopSequence, SeqBuilder};
     pub use sp_machine::{simulate, MachineConfig, SimPlan, SimResult};

@@ -173,6 +173,108 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Adaptive-schedule differential: the guided and stealing schedules
+    /// must be bit-for-bit equal to the static interpreter path over the
+    /// same corpus — f64 results against the serial reference, per-proc
+    /// work counters (attributed to chunk *owners*, so the racy threaded
+    /// runtimes must report exactly what the deterministic simulator
+    /// reports at the same schedule), across all three backends, the
+    /// scoped and pooled runtimes, 1-4 processors, and per-proc cache
+    /// miss parity through the simulator's chunked path.
+    #[test]
+    fn adaptive_schedules_agree(seed in any::<u64>()) {
+        let seq = build(seed);
+        let prog = Program::new(&seq, 1).expect("analysis");
+        let procs = 1 + (seed % 4) as usize;
+        let steps = 2;
+        let (_, want) = run_config(&seq, &prog, &RunConfig::serial().steps(steps), None);
+        let mut pooled = PooledExecutor::new(procs);
+        for schedule in [Schedule::Guided, Schedule::Stealing] {
+            // Rotate the chunk override with the seed: the runtime
+            // default (four chunks per block), a fine chunk, a coarse
+            // one. `check_blocks` clamps nothing — illegal chunks would
+            // error, so every accepted size is Nt-legal by construction.
+            let mut cfg = RunConfig::fused([procs])
+                .strip(3)
+                .steps(steps)
+                .schedule(schedule)
+                .steal_seed(seed ^ 0xC0FFEE);
+            match seed % 3 {
+                0 => {}
+                1 => cfg = cfg.chunk(2),
+                _ => cfg = cfg.chunk(5),
+            }
+            let (ri, si) = run_config(&seq, &prog, &cfg, None);
+            let ccfg = cfg.clone().backend(Backend::Compiled);
+            let (rc, sc) = run_config(&seq, &prog, &ccfg, None);
+            let vcfg = cfg.clone().backend(Backend::Simd);
+            let (rv, sv) = run_config(&seq, &prog, &vcfg, None);
+            let name = schedule.name();
+            prop_assert_eq!(&si, &want, "sim/interp {} diverged (seed {})", name, seed);
+            prop_assert_eq!(&sc, &want, "sim/compiled {} diverged (seed {})", name, seed);
+            prop_assert_eq!(&sv, &want, "sim/simd {} diverged (seed {})", name, seed);
+            for (wi, wc) in ri.workers.iter().zip(&rc.workers) {
+                prop_assert_eq!(&wi.counters, &wc.counters, "{} proc {}", name, wi.proc);
+            }
+            for (wi, wv) in ri.workers.iter().zip(&rv.workers) {
+                prop_assert_eq!(&wi.counters, &wv.counters, "simd {} proc {}", name, wi.proc);
+            }
+            // Threaded runtimes: same results, and per-proc owner
+            // counters identical to the simulator's.
+            let (rp, sp) = run_config(&seq, &prog, &cfg, Some(&mut pooled));
+            prop_assert_eq!(&sp, &want, "pooled {} diverged (seed {})", name, seed);
+            prop_assert_eq!(rp.schedule.as_str(), name, "report schedule label");
+            for (wi, wp) in ri.workers.iter().zip(&rp.workers) {
+                prop_assert_eq!(
+                    &wi.counters, &wp.counters,
+                    "pooled {} proc {} counters (seed {})", name, wi.proc, seed
+                );
+            }
+            let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+            mem.init_deterministic(&seq, 5);
+            let rs = ScopedExecutor.run(&prog, &mut mem, &cfg).expect("scoped run");
+            prop_assert_eq!(&mem.snapshot_all(&seq), &want, "scoped {} (seed {})", name, seed);
+            for (wi, ws) in ri.workers.iter().zip(&rs.workers) {
+                prop_assert_eq!(
+                    &wi.counters, &ws.counters,
+                    "scoped {} proc {} counters (seed {})", name, wi.proc, seed
+                );
+            }
+            // Per-proc miss parity at this schedule: the chunked sim
+            // path feeds each chunk's accesses to its owner's cache, so
+            // all three backends must report identical per-processor
+            // miss counts — the same contract the static path pins.
+            // (Miss counts are *not* compared across schedules: chunking
+            // restarts strip-mining at chunk boundaries, which reorders
+            // the access stream as legally as changing `--strip` does.)
+            let cache = SinkChoice::Cache(CacheConfig::new(16 * 1024, 64, 1));
+            let kcfg = cfg.clone().sink(cache);
+            let (rki, ski) = run_config(&seq, &prog, &kcfg, None);
+            let (rkc, skc) = run_config(&seq, &prog, &kcfg.clone().backend(Backend::Compiled), None);
+            let (rkv, skv) = run_config(&seq, &prog, &kcfg.clone().backend(Backend::Simd), None);
+            prop_assert_eq!(&ski, &want, "cache-sink {} diverged (seed {})", name, seed);
+            prop_assert_eq!(&ski, &skc, "cache-sink {} compiled diverged (seed {})", name, seed);
+            prop_assert_eq!(&ski, &skv, "cache-sink {} simd diverged (seed {})", name, seed);
+            for (wi, wc) in rki.workers.iter().zip(&rkc.workers) {
+                prop_assert_eq!(
+                    wi.cache, wc.cache,
+                    "{} proc {} miss counts interp/compiled (seed {})", name, wi.proc, seed
+                );
+                prop_assert!(wi.cache.is_some(), "cache stats present");
+            }
+            for (wi, wv) in rki.workers.iter().zip(&rkv.workers) {
+                prop_assert_eq!(
+                    wi.cache, wv.cache,
+                    "{} proc {} miss counts interp/simd (seed {})", name, wi.proc, seed
+                );
+            }
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// API-redesign differential: across the same corpus the backends

@@ -51,6 +51,42 @@ impl NaiveCache {
     }
 }
 
+/// The pinned shrink from `model_proptests.proptest-regressions`,
+/// promoted to a named unit test so the historical failure is visible
+/// in test output rather than only replayed silently from the seed
+/// file. The original failure was an LRU-update divergence between
+/// `Cache` and the naive reference on a trace that revisits a line
+/// after evictions; the trace is replayed across the full small
+/// associativity/set grid the property fuzzes over.
+#[test]
+fn regression_pinned_lru_update_trace_matches_naive_reference() {
+    const ADDRS: [u64; 30] = [
+        0, 0, 1, 7844, 6069, 7627, 1309, 1057, 156, 8012, 5904, 1686, 6963, 1010, 7444, 5238, 5843,
+        1744, 6391, 3959, 1794, 7654, 2645, 347, 7010, 154, 7279, 2573, 1699, 6070,
+    ];
+    for assoc_pow in 0u32..=3 {
+        for sets_pow in 0u32..=4 {
+            let assoc = 1usize << assoc_pow;
+            let sets = 1usize << sets_pow;
+            let cfg = CacheConfig::new(64 * assoc * sets, 64, assoc);
+            let mut real = Cache::new(cfg);
+            let mut naive = NaiveCache::new(cfg);
+            for &a in &ADDRS {
+                assert_eq!(
+                    real.access(a),
+                    naive.access(a),
+                    "addr {a} (assoc {assoc}, sets {sets})"
+                );
+            }
+            assert_eq!(
+                real.stats().misses,
+                naive.misses,
+                "assoc {assoc}, sets {sets}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

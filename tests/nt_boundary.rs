@@ -111,6 +111,49 @@ fn block_exactly_nt_runs_and_matches_serial() {
     }
 }
 
+/// The adaptive schedules at the boundary: blocks of exactly `Nt`
+/// cannot be subdivided (any sub-chunk would fall below Theorem 1's
+/// floor), so guided and stealing degrade to one whole-block chunk per
+/// worker. Every requested worker still ends up busy — work counters
+/// attribute to chunk *owners*, so even a stolen block counts toward
+/// the worker the static decomposition assigned it to — and results
+/// stay bit-for-bit equal to serial.
+#[test]
+fn adaptive_schedules_keep_all_workers_busy_at_the_nt_boundary() {
+    for schedule in [Schedule::Guided, Schedule::Stealing] {
+        for (n, procs) in [(6usize, 2usize), (10, 4)] {
+            let seq = chain(n); // trip = n - 2 = procs * Nt
+            let prog = Program::new(&seq, 1).unwrap();
+            let mut want = Memory::new(&seq, LayoutStrategy::Contiguous);
+            want.init_deterministic(&seq, 9);
+            for _ in 0..2 {
+                prog.run(&mut want, &ExecPlan::Serial).unwrap();
+            }
+            let cfg = fused(procs).schedule(schedule);
+            for got in run_all(&seq, &cfg) {
+                let report = got.expect("block == Nt stays legal under adaptive schedules");
+                assert_eq!(
+                    report
+                        .workers
+                        .iter()
+                        .filter(|w| w.counters.total_iters() > 0)
+                        .count(),
+                    procs,
+                    "{schedule:?} n={n}: every worker owns work at the boundary"
+                );
+            }
+            let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+            mem.init_deterministic(&seq, 9);
+            SimExecutor.run(&prog, &mut mem, &cfg).unwrap();
+            assert_eq!(
+                mem.snapshot_all(&seq),
+                want.snapshot_all(&seq),
+                "{schedule:?} n={n}"
+            );
+        }
+    }
+}
+
 /// One past the boundary on both axes: blocks of `Nt + 1` run normally,
 /// and asking for one more processor than `floor(trip/Nt)` allows is
 /// clamped to a legal decomposition rather than rejected — the clamp
