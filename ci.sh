@@ -62,6 +62,13 @@ cargo run --release -p sp-cli -- explain ll18 > "$explain_tmp"
 diff -u crates/cli/tests/golden/explain_ll18.txt "$explain_tmp"
 rm -f "$explain_tmp"
 
+echo "==> bench baselines: snapshot committed artifacts before regeneration"
+# The regression gate at the bottom compares freshly regenerated
+# artifacts against the versions committed in the tree, so copy them
+# aside before the bench binaries overwrite them.
+bench_baseline="$(mktemp -d /tmp/spfc-bench-baseline.XXXXXX)"
+cp results/BENCH_runtime.json results/BENCH_serve.json "$bench_baseline"/
+
 echo "==> runtime comparison -> results/BENCH_runtime.json"
 mkdir -p results
 runtime_out="$(mktemp /tmp/spfc-runtime-out.XXXXXX)"
@@ -122,9 +129,64 @@ cargo run --release -p sp-cli -- cache clear --cache-dir "$serve_cache" \
 grep -q 'cleared' "$serve_out"
 rm -rf "$serve_cache" "$serve_out"
 
+echo "==> serve observability: traced session export + overhead gate (<=5%)"
+# A heavier manifest than the smoke (so wall time is ~0.2s, large enough
+# for a stable ratio): the whole traced session must export ONE valid
+# Chrome trace, the metrics snapshot must carry the per-stage labeled
+# histograms and outcome counters, and tracing the session must not cost
+# more than 5% wall time (best-of-3 each way).
+load_manifest="$(mktemp /tmp/spfc-load.XXXXXX.manifest)"
+cat > "$load_manifest" <<'MANIFEST'
+job load-jacobi kernel=jacobi grid=2x2 steps=6 strip=8 repeat=40
+job load-ll18   kernel=ll18   procs=4  steps=6 repeat=25
+MANIFEST
+session_trace="$(mktemp /tmp/spfc-session.XXXXXX.json)"
+session_prom="$(mktemp /tmp/spfc-session.XXXXXX.prom)"
+plain_best=1e9
+traced_best=1e9
+for _ in 1 2 3; do
+  s="$(cargo run --release -q -p sp-cli -- serve --jobs "$load_manifest" \
+    | grep -Eo 'in [0-9.]+ s' | awk '{print $2}')"
+  plain_best="$(awk -v a="$plain_best" -v b="$s" 'BEGIN{print (b+0 < a+0) ? b : a}')"
+done
+for _ in 1 2 3; do
+  s="$(cargo run --release -q -p sp-cli -- serve --jobs "$load_manifest" \
+    --trace-out "$session_trace" --metrics-out "$session_prom" \
+    | grep -Eo 'in [0-9.]+ s' | awk '{print $2}')"
+  traced_best="$(awk -v a="$traced_best" -v b="$s" 'BEGIN{print (b+0 < a+0) ? b : a}')"
+done
+awk -v p="$plain_best" -v t="$traced_best" 'BEGIN {
+  ratio = t / p
+  printf "traced/untraced serve wall: %.3f (traced %.3fs, untraced %.3fs)\n", ratio, t, p
+  if (ratio > 1.05) { print "FAIL: traced serve overhead above 5%"; exit 1 }
+}'
+cargo run --release -p sp-cli -- trace-check "$session_trace"
+grep -q '^spfc_serve_jobs_total{component="sp-serve",outcome="ok"} 65$' "$session_prom"
+grep -q '^spfc_serve_stage_nanos_bucket{component="sp-serve",stage="execute",le="+Inf"} 65$' "$session_prom"
+grep -q '^spfc_serve_stage_nanos_bucket{component="sp-serve",stage="queue_wait"' "$session_prom"
+rm -f "$load_manifest" "$session_trace" "$session_prom"
+
 echo "==> serving benchmark -> results/BENCH_serve.json (warm must beat cold)"
 cargo run --release -p sp-bench --bin serve -- --quick
 test -s results/BENCH_serve.json
 grep -q '"digest_match":true' results/BENCH_serve.json
+
+echo "==> bench regression gate: fresh results vs committed baselines"
+verdict="$(mktemp /tmp/spfc-verdict.XXXXXX.json)"
+cargo run --release -p sp-cli -- bench check \
+  --baseline-dir "$bench_baseline" --current-dir results --json-out "$verdict"
+grep -q '"passed":true' "$verdict"
+# The gate must actually gate: inject a warm-over-cold collapse into a
+# scratch copy of the fresh results and require a nonzero exit.
+corrupt="$(mktemp -d /tmp/spfc-bench-corrupt.XXXXXX)"
+cp results/BENCH_runtime.json "$corrupt"/
+sed 's/"warm_over_cold":[0-9.eE+-]*/"warm_over_cold":0.01/' \
+  results/BENCH_serve.json > "$corrupt/BENCH_serve.json"
+if cargo run --release -q -p sp-cli -- bench check \
+  --baseline-dir "$bench_baseline" --current-dir "$corrupt" >/dev/null 2>&1; then
+  echo "FAIL: bench check passed an injected regression"
+  exit 1
+fi
+rm -rf "$corrupt" "$verdict" "$bench_baseline"
 
 echo "==> ci.sh: all green"

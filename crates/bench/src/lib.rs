@@ -10,6 +10,10 @@
 //! paper's array sizes (default 1.0 = paper size) and `--quick` as a
 //! shorthand for `--scale 0.25` with thinner sweeps.
 
+pub mod regression;
+
+pub use regression::{check_dirs, CheckReport, Json, MetricCheck, DEFAULT_BAND, RATIO_BAND};
+
 use std::fmt::Write as _;
 
 /// Command-line options shared by the figure binaries.

@@ -98,6 +98,19 @@ pub struct Options {
     pub workers: usize,
     /// `--queue N`: bounded queue capacity for `serve` (default 64).
     pub queue: usize,
+    /// `--listen-metrics ADDR`: serve `/metrics` + `/healthz` over HTTP
+    /// for the duration of the `serve` run.
+    pub listen_metrics: Option<String>,
+    /// `--baseline-dir DIR`: committed bench artifacts for `bench check`.
+    pub baseline_dir: Option<String>,
+    /// `--current-dir DIR`: fresh bench artifacts for `bench check`
+    /// (default `results`).
+    pub current_dir: Option<String>,
+    /// `--tolerance F`: fractional regression band override for raw
+    /// throughput metrics in `bench check`.
+    pub tolerance: Option<f64>,
+    /// `--json-out FILE`: machine-readable `bench check` verdict.
+    pub json_out: Option<String>,
 }
 
 impl Options {
@@ -107,8 +120,9 @@ impl Options {
         let Some(command) = it.next() else {
             return usage(USAGE);
         };
-        // `list` and `serve` take no positional argument; `cache` takes
-        // an action (`stats`/`clear`) in the path slot.
+        // `list` and `serve` take no positional argument; `cache` and
+        // `bench` take an action (`stats`/`clear`, `check`) in the path
+        // slot.
         let path = if matches!(command.as_str(), "list" | "serve") {
             String::new()
         } else {
@@ -116,6 +130,9 @@ impl Options {
                 Some(p) => p.clone(),
                 None if command == "cache" => {
                     return usage(format!("cache needs an action (stats|clear)\n{USAGE}"))
+                }
+                None if command == "bench" => {
+                    return usage(format!("bench needs an action (check)\n{USAGE}"))
                 }
                 None => return usage(format!("missing program path\n{USAGE}")),
             }
@@ -137,6 +154,11 @@ impl Options {
             cache_dir: None,
             workers: 4,
             queue: 64,
+            listen_metrics: None,
+            baseline_dir: None,
+            current_dir: None,
+            tolerance: None,
+            json_out: None,
         };
         while let Some(flag) = it.next() {
             let mut take = || -> Result<&String, CliError> {
@@ -209,6 +231,28 @@ impl Options {
                         code: 2,
                     })?;
                 }
+                "--listen-metrics" => {
+                    opts.listen_metrics = Some(take()?.clone());
+                }
+                "--baseline-dir" => {
+                    opts.baseline_dir = Some(take()?.clone());
+                }
+                "--current-dir" => {
+                    opts.current_dir = Some(take()?.clone());
+                }
+                "--tolerance" => {
+                    let v: f64 = take()?.parse().map_err(|_| CliError {
+                        message: "bad --tolerance".into(),
+                        code: 2,
+                    })?;
+                    if !(0.0..1.0).contains(&v) {
+                        return usage("--tolerance must be in [0, 1)");
+                    }
+                    opts.tolerance = Some(v);
+                }
+                "--json-out" => {
+                    opts.json_out = Some(take()?.clone());
+                }
                 other => return usage(format!("unknown flag {other}\n{USAGE}")),
             }
         }
@@ -224,14 +268,23 @@ pub const USAGE: &str = "usage: spfc \
 [--schedule static|guided|stealing] [--chunk N] \
 [--trace-out FILE] [--metrics-out FILE]\n\
        spfc list\n\
-       spfc serve --jobs FILE [--cache-dir DIR] [--workers N] [--queue N]\n\
+       spfc serve --jobs FILE [--cache-dir DIR] [--workers N] [--queue N] \
+[--trace-out FILE] [--metrics-out FILE] [--listen-metrics ADDR]\n\
        spfc cache <stats|clear> --cache-dir DIR\n\
+       spfc bench check --baseline-dir DIR [--current-dir DIR] \
+[--tolerance F] [--json-out FILE]\n\
   explain takes a .loop path or a suite kernel name (ll18, calc, filter, \
 tomcatv, hydro2d, spem, jacobi) and prints every fusion/derivation decision.\n\
-  trace-check validates a Chrome trace-event JSON written by --trace-out.\n\
+  trace-check validates a Chrome trace-event JSON written by --trace-out \
+(single-run or serve-session).\n\
   list prints the suite kernels a job manifest's kernel= can name.\n\
-  serve runs a job manifest through the caching job service; cache \
-inspects or clears an on-disk artifact cache.";
+  serve runs a job manifest through the caching job service; --trace-out \
+exports the whole session as one Chrome trace, --listen-metrics serves \
+/metrics and /healthz over HTTP while the manifest runs; cache \
+inspects or clears an on-disk artifact cache (stats includes serve stage \
+latencies).\n\
+  bench check gates fresh results/BENCH_*.json against a committed \
+baseline copy with per-metric tolerance bands; nonzero exit on regression.";
 
 fn load(path: &str) -> Result<LoopSequence, CliError> {
     let src = std::fs::read_to_string(path).map_err(|e| CliError {
@@ -348,7 +401,10 @@ fn list_command() -> Result<String, CliError> {
 }
 
 /// `spfc serve --jobs FILE`: run a job manifest through the caching job
-/// service and report one line per job plus a throughput summary.
+/// service and report one line per job plus throughput, stage-latency,
+/// and outcome summaries. `--trace-out` exports the whole session as
+/// one Chrome trace; `--listen-metrics` serves live Prometheus text
+/// over HTTP while the manifest runs.
 fn serve_command(opts: &Options) -> Result<String, CliError> {
     let Some(jobs_path) = &opts.jobs else {
         return usage(format!("serve needs --jobs FILE\n{USAGE}"));
@@ -373,12 +429,28 @@ fn serve_command(opts: &Options) -> Result<String, CliError> {
         .max()
         .unwrap_or(1)
         .max(opts.workers);
-    let service = Service::new(
-        ServiceConfig::default()
-            .workers(workers)
-            .queue_capacity(opts.queue)
-            .cache(cache),
-    );
+    let mut cfg = ServiceConfig::default()
+        .workers(workers)
+        .queue_capacity(opts.queue)
+        .cache(cache);
+    if opts.trace_out.is_some() {
+        cfg = cfg.traced();
+    }
+    let service = std::sync::Arc::new(Service::new(cfg));
+    let scraper = match &opts.listen_metrics {
+        Some(addr) => {
+            let svc = std::sync::Arc::clone(&service);
+            let render: sp_serve::MetricsRender =
+                std::sync::Arc::new(move || svc.metrics().to_prometheus());
+            Some(
+                sp_serve::MetricsServer::start(addr, render).map_err(|e| CliError {
+                    message: format!("cannot listen on {addr}: {e}"),
+                    code: 1,
+                })?,
+            )
+        }
+        None => None,
+    };
 
     let started = std::time::Instant::now();
     let mut ids = Vec::with_capacity(specs.len());
@@ -436,7 +508,81 @@ fn serve_command(opts: &Options) -> Result<String, CliError> {
         "analysis: {} hits, {} misses",
         c.analysis_hits, c.analysis_misses,
     );
+    let stats = service.stage_stats();
+    let _ = writeln!(
+        out,
+        "outcomes: {} ok, {} deadline, {} rejected",
+        stats.ok, stats.deadline, stats.rejected,
+    );
+    let summary = stats.render_summary();
+    if !summary.is_empty() {
+        let _ = writeln!(out, "stage latency (p-bounds at log2 resolution):");
+        out.push_str(&summary);
+    }
+    if let Some(path) = &opts.trace_out {
+        let session = service.session_trace().ok_or_else(|| CliError {
+            message: "traced serve produced no session trace".into(),
+            code: 1,
+        })?;
+        std::fs::write(path, session.chrome_json()).map_err(|e| CliError {
+            message: format!("cannot write {path}: {e}"),
+            code: 1,
+        })?;
+        let _ = writeln!(
+            out,
+            "wrote {path}: {} jobs across {} worker lane(s) ({} dropped events)",
+            session.job_count(),
+            session.worker_lanes().len(),
+            session.dropped(),
+        );
+    }
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, service.metrics().to_prometheus()).map_err(|e| CliError {
+            message: format!("cannot write {path}: {e}"),
+            code: 1,
+        })?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    if let Some(server) = scraper {
+        let _ = writeln!(out, "metrics endpoint served on {}", server.addr());
+        server.shutdown();
+    }
     Ok(out)
+}
+
+/// `spfc bench check`: gate fresh bench artifacts against a committed
+/// baseline. Prints the verdict table; a regression (or a missing
+/// metric) is a nonzero exit with the same table on stderr.
+fn bench_command(opts: &Options) -> Result<String, CliError> {
+    if opts.path != "check" {
+        return usage(format!(
+            "unknown bench action {} (check)\n{USAGE}",
+            opts.path
+        ));
+    }
+    let Some(baseline) = &opts.baseline_dir else {
+        return usage(format!("bench check needs --baseline-dir DIR\n{USAGE}"));
+    };
+    let current = opts.current_dir.as_deref().unwrap_or("results");
+    let report = sp_bench::check_dirs(
+        std::path::Path::new(baseline),
+        std::path::Path::new(current),
+        opts.tolerance,
+    );
+    if let Some(path) = &opts.json_out {
+        std::fs::write(path, report.to_json()).map_err(|e| CliError {
+            message: format!("cannot write {path}: {e}"),
+            code: 1,
+        })?;
+    }
+    if report.passed() {
+        Ok(report.render_text())
+    } else {
+        fail(format!(
+            "bench regression detected\n{}",
+            report.render_text()
+        ))
+    }
 }
 
 /// `spfc cache <stats|clear> --cache-dir DIR`: inspect or clear the
@@ -480,6 +626,16 @@ fn cache_command(opts: &Options) -> Result<String, CliError> {
                     c.clear_failed
                 );
             }
+            let stages = sp_serve::disk_stage_stats(dir);
+            if !stages.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "serve outcomes: {} ok, {} deadline, {} rejected",
+                    stages.ok, stages.deadline, stages.rejected,
+                );
+                let _ = writeln!(out, "serve stage latency (lifetime, all processes):");
+                out.push_str(&stages.render_summary());
+            }
         }
         "clear" => {
             let (removed, failed) = clear_disk(dir);
@@ -514,6 +670,7 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
         "list" => return list_command(),
         "serve" => return serve_command(opts),
         "cache" => return cache_command(opts),
+        "bench" => return bench_command(opts),
         _ => {}
     }
     let seq = load(&opts.path)?;

@@ -344,3 +344,177 @@ fn serve_and_cache_report_usage_errors() {
     assert_eq!(e.code, 1);
     assert!(e.message.contains("cannot read"), "{}", e.message);
 }
+
+/// ISSUE 8 tentpole, CLI surface: a traced multi-job serve run exports
+/// one session Chrome trace that `spfc trace-check` validates, reports
+/// stage latencies and outcomes inline, and `cache stats` surfaces the
+/// persisted stage latencies afterwards.
+#[test]
+fn traced_serve_exports_a_session_trace_and_stage_stats() {
+    let dir = std::env::temp_dir().join(format!("spfc-serve-obs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let manifest = dir.join("jobs.manifest");
+    std::fs::write(
+        &manifest,
+        "job a kernel=jacobi grid=2x2 steps=2 repeat=2\n\
+         job b kernel=ll18 client=alice procs=2\n",
+    )
+    .expect("write manifest");
+    let cache_dir = dir.join("cache");
+    let trace = dir.join("session.trace.json");
+    let metrics = dir.join("serve.prom");
+
+    let out = run(&[
+        "serve",
+        "--jobs",
+        manifest.to_str().unwrap(),
+        "--cache-dir",
+        cache_dir.to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ])
+    .expect("traced serve");
+    assert!(out.contains("3 ok, 0 failed"), "{out}");
+    assert!(
+        out.contains("outcomes: 3 ok, 0 deadline, 0 rejected"),
+        "{out}"
+    );
+    assert!(out.contains("stage latency"), "{out}");
+    assert!(out.contains("execute"), "{out}");
+    assert!(out.contains("wrote"), "{out}");
+    assert!(out.contains("3 jobs across"), "{out}");
+
+    // The session trace passes the same schema gate single-run traces do.
+    let check = run(&["trace-check", trace.to_str().unwrap()]).expect("trace-check");
+    assert!(check.starts_with("OK:"), "{check}");
+    for stage in ["enqueue", "queue_wait", "execute", "respond"] {
+        assert!(check.contains(stage), "missing {stage}: {check}");
+    }
+
+    // The Prometheus snapshot has the stage histograms + outcome totals.
+    let prom = std::fs::read_to_string(&metrics).expect("metrics file");
+    assert!(
+        prom.contains("spfc_serve_jobs_total{component=\"sp-serve\",outcome=\"ok\"} 3"),
+        "{prom}"
+    );
+    assert!(prom.contains("spfc_serve_stage_nanos_bucket"), "{prom}");
+
+    // Stage latencies persisted beside the cache stats.
+    let stats =
+        run(&["cache", "stats", "--cache-dir", cache_dir.to_str().unwrap()]).expect("cache stats");
+    assert!(stats.contains("serve outcomes: 3 ok"), "{stats}");
+    assert!(stats.contains("serve stage latency"), "{stats}");
+    assert!(stats.contains("queue_wait"), "{stats}");
+
+    // `cache clear` also resets the stage stats.
+    run(&["cache", "clear", "--cache-dir", cache_dir.to_str().unwrap()]).expect("clear");
+    let stats = run(&["cache", "stats", "--cache-dir", cache_dir.to_str().unwrap()])
+        .expect("stats after clear");
+    assert!(!stats.contains("serve stage latency"), "{stats}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `spfc bench check`: identical artifact sets pass, an injected
+/// regression fails with a nonzero exit and a machine-readable verdict.
+#[test]
+fn bench_check_gates_regressions() {
+    let dir = std::env::temp_dir().join(format!("spfc-bench-check-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (base, cur) = (dir.join("base"), dir.join("cur"));
+    std::fs::create_dir_all(&base).expect("mkdir");
+    std::fs::create_dir_all(&cur).expect("mkdir");
+    let runtime = r#"{"kernels":[{"kernel":"jacobi","rows":[
+        {"steps":4,"pooled":{"iters_per_sec":100.0},"compiled":{"iters_per_sec":200.0},
+         "simd":{"iters_per_sec":400.0}}]}]}"#;
+    let serve = r#"{"warm":{"jobs_per_sec":1400.0},"warm_over_cold":1.3,
+        "hit_rate_warm":1.0,"digest_match":true}"#;
+    for d in [&base, &cur] {
+        std::fs::write(d.join("BENCH_runtime.json"), runtime).expect("write");
+        std::fs::write(d.join("BENCH_serve.json"), serve).expect("write");
+    }
+    let verdict = dir.join("verdict.json");
+
+    let out = run(&[
+        "bench",
+        "check",
+        "--baseline-dir",
+        base.to_str().unwrap(),
+        "--current-dir",
+        cur.to_str().unwrap(),
+        "--json-out",
+        verdict.to_str().unwrap(),
+    ])
+    .expect("identical artifacts pass");
+    assert!(out.contains("bench check: PASS"), "{out}");
+    let json = std::fs::read_to_string(&verdict).expect("verdict");
+    assert!(json.contains("\"passed\":true"), "{json}");
+
+    // Inject a collapse in the current artifacts: the gate must fail.
+    std::fs::write(
+        cur.join("BENCH_serve.json"),
+        serve.replace("\"hit_rate_warm\":1.0", "\"hit_rate_warm\":0.1"),
+    )
+    .expect("write");
+    let err = run(&[
+        "bench",
+        "check",
+        "--baseline-dir",
+        base.to_str().unwrap(),
+        "--current-dir",
+        cur.to_str().unwrap(),
+        "--json-out",
+        verdict.to_str().unwrap(),
+    ])
+    .unwrap_err();
+    assert_eq!(err.code, 1);
+    assert!(
+        err.message.contains("bench regression detected"),
+        "{}",
+        err.message
+    );
+    assert!(
+        err.message.contains("serve.hit_rate_warm"),
+        "{}",
+        err.message
+    );
+    let json = std::fs::read_to_string(&verdict).expect("verdict");
+    assert!(json.contains("\"passed\":false"), "{json}");
+
+    // Usage errors.
+    let e = run(&["bench", "check"]).unwrap_err();
+    assert_eq!(e.code, 2);
+    assert!(e.message.contains("--baseline-dir"), "{}", e.message);
+    let e = run(&["bench", "tune", "--baseline-dir", "/tmp"]).unwrap_err();
+    assert_eq!(e.code, 2);
+    assert!(e.message.contains("unknown bench action"), "{}", e.message);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--listen-metrics` binds an ephemeral port and reports it; the serve
+/// output confirms the endpoint lived for the run.
+#[test]
+fn serve_listen_metrics_binds_and_reports() {
+    let dir = std::env::temp_dir().join(format!("spfc-serve-http-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let manifest = dir.join("jobs.manifest");
+    std::fs::write(&manifest, "job a kernel=jacobi grid=2x2\n").expect("write manifest");
+    let out = run(&[
+        "serve",
+        "--jobs",
+        manifest.to_str().unwrap(),
+        "--listen-metrics",
+        "127.0.0.1:0",
+    ])
+    .expect("serve with endpoint");
+    assert!(
+        out.contains("metrics endpoint served on 127.0.0.1:"),
+        "{out}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -544,6 +544,10 @@ fn finish_report(
         },
         tape_ops: tape.as_ref().map_or(0, |t| t.total_ops()),
         cached: cfg.tape_cached(),
+        // The queue-wait/execute split belongs to the serve tier; a
+        // direct executor run has no queue to wait in.
+        queue_wait_nanos: 0,
+        exec_nanos: 0,
         workers,
         trace,
     }

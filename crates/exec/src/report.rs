@@ -49,6 +49,13 @@ pub struct RunReport {
     /// (`RunConfig::precompiled`): no lowering happened for this run and
     /// `lower_nanos` is 0.
     pub cached: bool,
+    /// Time the job waited in a service queue before its run started.
+    /// 0 for direct executor runs — only the serve tier queues.
+    pub queue_wait_nanos: u64,
+    /// Wall time of the executor run alone when the run came through the
+    /// service (its `wall_nanos` then also covers cache lookup, planning,
+    /// and lowering). 0 for direct executor runs.
+    pub exec_nanos: u64,
     /// Per-worker breakdown, indexed by processor id.
     pub workers: Vec<WorkerReport>,
     /// The recorded event trace, when the run asked for one
@@ -227,6 +234,16 @@ impl RunReport {
             self.lower_nanos,
         );
         reg.counter(
+            "spfc_queue_wait_nanos_total",
+            "Time queued in a service before the run started",
+            self.queue_wait_nanos,
+        );
+        reg.counter(
+            "spfc_exec_nanos_total",
+            "Executor-run wall time alone for service runs",
+            self.exec_nanos,
+        );
+        reg.counter(
             "spfc_tape_ops_total",
             "Micro-ops across lowered tapes",
             self.tape_ops,
@@ -318,7 +335,8 @@ impl RunReport {
         let mut s = String::with_capacity(256 + 256 * self.workers.len());
         s.push_str(&format!(
             "{{\"executor\":\"{}\",\"backend\":\"{}\",\"schedule\":\"{}\",\"procs\":{},\
-             \"steps\":{},\"wall_nanos\":{},\"lower_nanos\":{},\"tape_ops\":{},\"cached\":{},",
+             \"steps\":{},\"wall_nanos\":{},\"lower_nanos\":{},\"tape_ops\":{},\"cached\":{},\
+             \"queue_wait_nanos\":{},\"exec_nanos\":{},",
             json_escape(&self.executor),
             json_escape(&self.backend),
             json_escape(&self.schedule),
@@ -327,7 +345,9 @@ impl RunReport {
             self.wall_nanos,
             self.lower_nanos,
             self.tape_ops,
-            self.cached
+            self.cached,
+            self.queue_wait_nanos,
+            self.exec_nanos
         ));
         s.push_str(&format!(
             "\"iters_per_sec\":{:.1},\"imbalance\":{:.4},\"time_imbalance\":{:.4},\
@@ -574,6 +594,8 @@ impl Parser<'_> {
                 "lower_nanos" => r.lower_nanos = self.u64_field()?,
                 "tape_ops" => r.tape_ops = self.u64_field()?,
                 "cached" => r.cached = self.bool_field()?,
+                "queue_wait_nanos" => r.queue_wait_nanos = self.u64_field()?,
+                "exec_nanos" => r.exec_nanos = self.u64_field()?,
                 "workers" => {
                     self.eat(b'[')?;
                     if self.peek() == Some(b']') {
@@ -694,6 +716,8 @@ mod tests {
             lower_nanos: 0,
             tape_ops: 0,
             cached: false,
+            queue_wait_nanos: 0,
+            exec_nanos: 0,
             workers: vec![w0, w1],
             trace: None,
         }
@@ -794,6 +818,43 @@ mod tests {
         assert!(parsed.cached);
         // A malformed literal is rejected, not silently skipped.
         assert!(RunReport::from_json(&j.replace("\"cached\":true", "\"cached\":tru")).is_err());
+    }
+
+    #[test]
+    fn queue_wait_and_exec_split_round_trips() {
+        let mut r = report();
+        r.queue_wait_nanos = 4_200;
+        r.exec_nanos = 900_000;
+        let j = r.to_json();
+        assert!(j.contains("\"queue_wait_nanos\":4200"), "{j}");
+        assert!(j.contains("\"exec_nanos\":900000"), "{j}");
+        let parsed = RunReport::from_json(&j).unwrap();
+        assert_eq!(parsed.queue_wait_nanos, 4_200);
+        assert_eq!(parsed.exec_nanos, 900_000);
+        // Invalid values are rejected like every other counter.
+        let bad = j.replace("\"queue_wait_nanos\":4200", "\"queue_wait_nanos\":-1");
+        assert!(RunReport::from_json(&bad).unwrap_err().contains("negative"));
+        let bad = j.replace("\"exec_nanos\":900000", "\"exec_nanos\":1e999");
+        assert!(RunReport::from_json(&bad)
+            .unwrap_err()
+            .contains("non-finite"));
+        let bad = j.replace("\"exec_nanos\":900000", "\"exec_nanos\":0.5");
+        assert!(RunReport::from_json(&bad)
+            .unwrap_err()
+            .contains("non-integer"));
+        // Old artifacts without the split still parse (fields default 0).
+        let old = report()
+            .to_json()
+            .replace("\"queue_wait_nanos\":0,\"exec_nanos\":0,", "");
+        let parsed = RunReport::from_json(&old).unwrap();
+        assert_eq!((parsed.queue_wait_nanos, parsed.exec_nanos), (0, 0));
+        // Metrics carry the split.
+        let reg = r.metrics();
+        assert_eq!(
+            reg.counter_value("spfc_queue_wait_nanos_total"),
+            Some(4_200)
+        );
+        assert_eq!(reg.counter_value("spfc_exec_nanos_total"), Some(900_000));
     }
 
     #[test]

@@ -328,12 +328,23 @@ impl ArtifactCache {
         let Some(dir) = self.cfg.disk_dir.clone() else {
             return;
         };
-        let Some(_lock) = StatsLock::acquire(&dir) else {
+        self.flush_stats_to(&dir);
+    }
+
+    /// The disk-tier directory, if this cache has one. The serve tier
+    /// uses it to co-locate its stage-latency stats with the cache
+    /// counters.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.cfg.disk_dir.as_deref()
+    }
+
+    fn flush_stats_to(&mut self, dir: &Path) {
+        let Some(_lock) = StatsLock::acquire(dir) else {
             return;
         };
-        let mut total = disk_stats(&dir);
+        let mut total = disk_stats(dir);
         total.add(&self.counters);
-        if write_stats(&dir, &total).is_ok() {
+        if write_stats(dir, &total).is_ok() {
             self.counters = CacheCounters::default();
         }
     }
@@ -391,7 +402,7 @@ enum DiskLoad {
 /// the guard removes the file. A lock older than [`StatsLock::STALE`]
 /// is presumed abandoned by a crashed process and stolen — stats
 /// flushes are microseconds, not seconds.
-struct StatsLock {
+pub(crate) struct StatsLock {
     path: PathBuf,
 }
 
@@ -401,7 +412,7 @@ impl StatsLock {
     /// How long `acquire` spins before giving up.
     const PATIENCE: Duration = Duration::from_millis(500);
 
-    fn acquire(dir: &Path) -> Option<StatsLock> {
+    pub(crate) fn acquire(dir: &Path) -> Option<StatsLock> {
         let path = dir.join("stats.lock");
         let deadline = Instant::now() + Self::PATIENCE;
         loop {
@@ -513,7 +524,8 @@ fn write_stats(dir: &Path, c: &CacheCounters) -> std::io::Result<()> {
     renamed
 }
 
-/// Deletes every plan entry and the stats file under `dir`. Returns
+/// Deletes every plan entry, the stats file, and the serve-tier
+/// stage-stats file under `dir`. Returns
 /// `(removed, failed)`: how many plan entries were deleted and how many
 /// could not be (permissions, a directory squatting on an entry name).
 /// Failures are not swallowed — the count also persists as the
@@ -534,6 +546,7 @@ pub fn clear_disk(dir: &Path) -> (usize, usize) {
         }
     }
     let _lock = StatsLock::acquire(dir);
+    let _ = fs::remove_file(dir.join("stage-stats"));
     if failed == 0 {
         let _ = fs::remove_file(dir.join("stats"));
     } else {

@@ -1,0 +1,179 @@
+//! A minimal, dependency-free HTTP/1.0 scrape endpoint.
+//!
+//! `spfc serve --listen-metrics ADDR` needs exactly two routes —
+//! `/metrics` (Prometheus text format) and `/healthz` — and must not
+//! pull an HTTP stack into a workspace that builds offline. So this is
+//! the smallest correct server: one `std::net::TcpListener` accept loop
+//! on a named thread, one short-lived connection per scrape
+//! (`Connection: close`, explicit `Content-Length`), a render closure
+//! evaluated per request so every scrape sees live counters.
+//!
+//! Shutdown is cooperative: a stop flag plus a self-connect to unblock
+//! the accept call, then a join. Binding port 0 works (tests bind
+//! `127.0.0.1:0` and read back the real port from [`MetricsServer::addr`]).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Producer of the `/metrics` body, called once per scrape.
+pub type MetricsRender = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// A running scrape endpoint. Dropping it (or calling
+/// [`shutdown`](MetricsServer::shutdown)) stops the accept loop and
+/// joins the serving thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9090`, port 0 for ephemeral) and
+    /// starts serving `/metrics` from `render` and `/healthz` on a
+    /// background thread.
+    pub fn start(addr: &str, render: MetricsRender) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("spfc-metrics".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    // One bad connection must not kill the endpoint.
+                    if let Ok(stream) = conn {
+                        let _ = serve_one(stream, &*render);
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop only observes the flag between connections;
+        // poke it with a throwaway connect so it wakes immediately.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        let _ = handle.join();
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_one(mut stream: TcpStream, render: &dyn Fn() -> String) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    // Read the request head; 4 KiB is generous for `GET /metrics`.
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        head.extend_from_slice(&chunk[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= 4096 {
+            break;
+        }
+    }
+    let text = String::from_utf8_lossy(&head);
+    let mut request = text.lines().next().unwrap_or("").split_whitespace();
+    let method = request.next().unwrap_or("");
+    let path = request.next().unwrap_or("");
+    let (status, ctype, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render(),
+        ),
+        ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        ("GET", _) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        ),
+    };
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn scrape_endpoint_serves_metrics_health_and_404() {
+        let body = "# HELP spfc_up 1\nspfc_up 1\n";
+        let server =
+            MetricsServer::start("127.0.0.1:0", Arc::new(move || body.to_string())).unwrap();
+        let addr = server.addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.0 200 OK\r\n"), "{metrics}");
+        assert!(metrics.contains("text/plain; version=0.0.4"), "{metrics}");
+        assert!(metrics.contains(&format!("Content-Length: {}", body.len())));
+        assert!(metrics.ends_with(body), "{metrics}");
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(health.ends_with("ok\n"));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404 Not Found\r\n"));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_even_with_no_traffic() {
+        let server = MetricsServer::start("127.0.0.1:0", Arc::new(|| String::new())).unwrap();
+        // Drop path: must not hang waiting for a connection.
+        drop(server);
+    }
+}

@@ -22,7 +22,16 @@
 //!   FIFO + per-client fair-share scheduling, bounded-queue backpressure
 //!   ([`ServeError::QueueFull`]), per-job deadlines, and graceful drain;
 //! * [`manifest`] — the line-oriented job-manifest format behind
-//!   `spfc serve --jobs <file>`.
+//!   `spfc serve --jobs <file>`;
+//! * [`obs`] — serve-tier observability: per-stage latency histograms
+//!   ([`StageStats`]) and outcome counters, persisted next to the cache
+//!   stats so `spfc cache stats` reports latency quantiles across
+//!   processes; the service additionally accumulates a
+//!   [`SessionTrace`](sp_trace::SessionTrace) (one Chrome trace for the
+//!   whole session) when built with [`ServiceConfig::traced`];
+//! * [`http`] — [`MetricsServer`], a dependency-free HTTP/1.0 scrape
+//!   endpoint (`/metrics`, `/healthz`) behind
+//!   `spfc serve --listen-metrics ADDR`.
 //!
 //! The one legality subtlety: the cache key includes the processor
 //! *count* but not the grid *shape*, so every lookup revalidates the
@@ -34,10 +43,14 @@
 
 pub mod cache;
 pub mod hash;
+pub mod http;
 pub mod manifest;
+pub mod obs;
 pub mod service;
 
 pub use cache::{Artifact, ArtifactCache, ArtifactCacheConfig, CacheCounters, Tier};
 pub use hash::{fnv1a64, CacheKey, CACHE_FORMAT_VERSION};
+pub use http::{MetricsRender, MetricsServer};
 pub use manifest::parse_manifest;
+pub use obs::{disk_stage_stats, StageStats};
 pub use service::{CacheOutcome, JobId, JobResult, JobSpec, ServeError, Service, ServiceConfig};

@@ -1,0 +1,259 @@
+//! Serve-tier observability state: per-stage latency histograms,
+//! outcome counters, and their cross-process persistence.
+//!
+//! Every job's trip through the service is timed stage by stage
+//! ([`JobStage`]); the durations land in log2-bucket [`Histogram`]s that
+//! feed the service summary, the Prometheus rendering
+//! (`spfc_serve_stage_nanos{stage=...}`), and — like the cache counters
+//! — a stats file under the cache directory so `spfc cache stats`
+//! reports stage latency quantiles aggregated across processes.
+//!
+//! The file (`<dir>/stage-stats`) uses the same discipline as the cache
+//! stats file: a versioned line format, read-modify-write under the
+//! shared advisory [`StatsLock`](crate::cache), and an atomic rename, so
+//! concurrent flushers cannot lose each other's observations.
+
+use crate::cache::StatsLock;
+use sp_trace::{Histogram, JobStage, SessionTrace};
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Version header of the stage-stats file.
+pub const STAGE_STATS_VERSION: &str = "spfc-serve-stage-stats-v1";
+
+/// Aggregated stage latencies and job outcomes for one service (or, via
+/// [`disk_stage_stats`], for every process that shared a cache dir).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StageStats {
+    /// One histogram per [`JobStage`], indexed by [`JobStage::index`].
+    pub stages: Vec<Histogram>,
+    /// Jobs that completed successfully.
+    pub ok: u64,
+    /// Jobs that missed their deadline (in the queue or overrunning).
+    pub deadline: u64,
+    /// Submissions rejected by bounded-queue backpressure.
+    pub rejected: u64,
+}
+
+impl StageStats {
+    /// Empty stats with one histogram slot per stage.
+    pub fn new() -> StageStats {
+        StageStats {
+            stages: vec![Histogram::new(); JobStage::COUNT],
+            ..StageStats::default()
+        }
+    }
+
+    /// Records one stage duration.
+    pub fn observe(&mut self, stage: JobStage, dur_nanos: u64) {
+        if self.stages.len() < JobStage::COUNT {
+            self.stages.resize(JobStage::COUNT, Histogram::new());
+        }
+        self.stages[stage.index()].observe(dur_nanos);
+    }
+
+    /// The histogram of `stage`.
+    pub fn stage(&self, stage: JobStage) -> Option<&Histogram> {
+        self.stages.get(stage.index())
+    }
+
+    /// Adds every observation and outcome of `other` into this.
+    pub fn merge(&mut self, other: &StageStats) {
+        if self.stages.len() < other.stages.len() {
+            self.stages.resize(other.stages.len(), Histogram::new());
+        }
+        for (slot, h) in self.stages.iter_mut().zip(&other.stages) {
+            slot.merge(h);
+        }
+        self.ok += other.ok;
+        self.deadline += other.deadline;
+        self.rejected += other.rejected;
+    }
+
+    /// True when nothing was ever observed or counted.
+    pub fn is_empty(&self) -> bool {
+        self.ok == 0
+            && self.deadline == 0
+            && self.rejected == 0
+            && self.stages.iter().all(|h| h.count() == 0)
+    }
+
+    /// A compact multi-line latency summary: per populated stage, the
+    /// observation count, mean, and log2-resolution p50/p95/p99 bounds
+    /// in milliseconds.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        let ms = |n: u64| n as f64 / 1e6;
+        for stage in JobStage::all() {
+            let Some(h) = self.stage(stage) else { continue };
+            if h.count() == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<12} n={:<5} mean={:.3}ms p50<={:.3}ms p95<={:.3}ms p99<={:.3}ms\n",
+                stage.name(),
+                h.count(),
+                h.mean() / 1e6,
+                ms(h.quantile_bound(0.50)),
+                ms(h.quantile_bound(0.95)),
+                ms(h.quantile_bound(0.99)),
+            ));
+        }
+        out
+    }
+}
+
+/// The service's live observability state, behind one mutex off the
+/// execution hot path (stages are recorded once per job, not per
+/// iteration).
+#[derive(Debug, Default)]
+pub(crate) struct ServeObs {
+    /// Stage latencies + outcome counts for this service's lifetime.
+    pub stats: StageStats,
+    /// The session trace, accumulated only when the service was built
+    /// with tracing on ([`ServiceConfig::traced`](crate::ServiceConfig)).
+    pub session: Option<SessionTrace>,
+}
+
+impl ServeObs {
+    pub(crate) fn new(tracing: bool) -> ServeObs {
+        ServeObs {
+            stats: StageStats::new(),
+            session: tracing.then(SessionTrace::new),
+        }
+    }
+}
+
+/// Stage stats previously flushed to `dir`. Empty if absent, unreadable,
+/// or version-skewed (a future format is ignored, never misparsed).
+pub fn disk_stage_stats(dir: &Path) -> StageStats {
+    let mut s = StageStats::new();
+    let Ok(text) = fs::read_to_string(dir.join("stage-stats")) else {
+        return s;
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(STAGE_STATS_VERSION) {
+        return s;
+    }
+    for line in lines {
+        let w: Vec<&str> = line.split_whitespace().collect();
+        match w.as_slice() {
+            ["outcome", "ok", n] => s.ok = n.parse().unwrap_or(0),
+            ["outcome", "deadline", n] => s.deadline = n.parse().unwrap_or(0),
+            ["outcome", "rejected", n] => s.rejected = n.parse().unwrap_or(0),
+            ["stage", name, sum, buckets] => {
+                let Some(stage) = JobStage::from_name(name) else {
+                    continue;
+                };
+                let Ok(sum) = sum.parse::<u64>() else {
+                    continue;
+                };
+                let counts: Vec<u64> = if *buckets == "-" {
+                    Vec::new()
+                } else {
+                    buckets
+                        .split(',')
+                        .filter_map(|t| t.parse::<u64>().ok())
+                        .collect()
+                };
+                s.stages[stage.index()] = Histogram::from_parts(counts, sum);
+            }
+            _ => {}
+        }
+    }
+    s
+}
+
+/// Persists `stats` by *adding* it to `<dir>/stage-stats` (the same
+/// aggregate-across-processes discipline as the cache stats file), then
+/// zeroes the in-memory copy. On any failure the deltas are kept and
+/// ride into the next flush.
+pub(crate) fn flush_stage_stats(dir: &Path, stats: &mut StageStats) {
+    if stats.is_empty() {
+        return;
+    }
+    let Some(_lock) = StatsLock::acquire(dir) else {
+        return;
+    };
+    let mut total = disk_stage_stats(dir);
+    total.merge(stats);
+    if write_stage_stats(dir, &total).is_ok() {
+        *stats = StageStats::new();
+    }
+}
+
+fn write_stage_stats(dir: &Path, s: &StageStats) -> std::io::Result<()> {
+    let tmp = dir.join(format!("stage-stats.tmp.{}", std::process::id()));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        writeln!(f, "{STAGE_STATS_VERSION}")?;
+        writeln!(f, "outcome ok {}", s.ok)?;
+        writeln!(f, "outcome deadline {}", s.deadline)?;
+        writeln!(f, "outcome rejected {}", s.rejected)?;
+        for stage in JobStage::all() {
+            let Some(h) = s.stage(stage) else { continue };
+            let buckets = if h.bucket_counts().is_empty() {
+                "-".to_string()
+            } else {
+                h.bucket_counts()
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            writeln!(f, "stage {} {} {}", stage.name(), h.sum(), buckets)?;
+        }
+        f.sync_all()?;
+    }
+    let renamed = fs::rename(&tmp, dir.join("stage-stats"));
+    if renamed.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    renamed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("sp-serve-obs-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn stage_stats_aggregate_across_flushes() {
+        let dir = tmpdir("agg");
+        let mut a = StageStats::new();
+        a.observe(JobStage::QueueWait, 1_000);
+        a.observe(JobStage::Execute, 50_000);
+        a.ok = 2;
+        flush_stage_stats(&dir, &mut a);
+        assert!(a.is_empty(), "deltas zeroed after a successful flush");
+        let mut b = StageStats::new();
+        b.observe(JobStage::Execute, 70_000);
+        b.deadline = 1;
+        b.rejected = 3;
+        flush_stage_stats(&dir, &mut b);
+        let total = disk_stage_stats(&dir);
+        assert_eq!((total.ok, total.deadline, total.rejected), (2, 1, 3));
+        let exec = total.stage(JobStage::Execute).unwrap();
+        assert_eq!(exec.count(), 2);
+        assert_eq!(exec.sum(), 120_000);
+        assert_eq!(total.stage(JobStage::QueueWait).unwrap().count(), 1);
+        assert!(!total.render_summary().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_skew_reads_as_empty() {
+        let dir = tmpdir("skew");
+        fs::write(dir.join("stage-stats"), "spfc-serve-stage-stats-v999\n").unwrap();
+        assert!(disk_stage_stats(&dir).is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

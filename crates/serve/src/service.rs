@@ -17,6 +17,7 @@
 
 use crate::cache::{Artifact, ArtifactCache, ArtifactCacheConfig, CacheCounters, Tier};
 use crate::hash::{fnv1a64, CacheKey};
+use crate::obs::{flush_stage_stats, ServeObs, StageStats};
 use shift_peel_core::pipeline::pass;
 use shift_peel_core::{
     dependence_key, AnalysisArtifacts, FusionPlan, NullObserver, PassTiming, PassTimings,
@@ -29,7 +30,7 @@ use sp_exec::{
     ProgramTape, RunConfig, RunReport,
 };
 use sp_ir::LoopSequence;
-use sp_trace::MetricsRegistry;
+use sp_trace::{JobSpans, JobStage, MetricsRegistry, SessionTrace};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
@@ -257,6 +258,10 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Artifact-cache placement and sizing.
     pub cache: ArtifactCacheConfig,
+    /// Trace every run and accumulate a [`SessionTrace`] (one Chrome
+    /// trace for the whole session, retrievable via
+    /// [`Service::session_trace`]).
+    pub tracing: bool,
 }
 
 impl Default for ServiceConfig {
@@ -265,6 +270,7 @@ impl Default for ServiceConfig {
             workers: 4,
             queue_capacity: 64,
             cache: ArtifactCacheConfig::default(),
+            tracing: false,
         }
     }
 }
@@ -287,12 +293,22 @@ impl ServiceConfig {
         self.cache = c;
         self
     }
+
+    /// Enables per-run tracing and session-trace accumulation.
+    pub fn traced(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
 }
 
 struct QueuedJob {
     id: JobId,
     spec: JobSpec,
     enqueued: Instant,
+    /// Session-epoch offset of the submit call (the enqueue span start).
+    enqueue_start: u64,
+    /// Duration of the submit call itself (the enqueue span).
+    enqueue_dur: u64,
 }
 
 #[derive(Default)]
@@ -320,6 +336,17 @@ struct Shared {
     /// service performed (reused passes contribute 0).
     pass_timings: Mutex<PassTimings>,
     queue_capacity: usize,
+    /// The session epoch every stage span is timestamped against.
+    epoch: Instant,
+    /// Trace runs and collect a [`SessionTrace`]?
+    tracing: bool,
+    /// Stage histograms, outcome counters, and the session trace.
+    obs: Mutex<ServeObs>,
+}
+
+/// Nanoseconds from the session epoch to now.
+fn since_epoch(epoch: Instant) -> u64 {
+    Instant::now().saturating_duration_since(epoch).as_nanos() as u64
 }
 
 /// Folds one planning run's timings into the service-lifetime aggregate.
@@ -359,6 +386,9 @@ impl Service {
             cache: Mutex::new(ArtifactCache::new(cfg.cache.clone())),
             pass_timings: Mutex::new(PassTimings::default()),
             queue_capacity: cfg.queue_capacity.max(1),
+            epoch: Instant::now(),
+            tracing: cfg.tracing,
+            obs: Mutex::new(ServeObs::new(cfg.tracing)),
         });
         let sched = Arc::clone(&shared);
         let workers = cfg.workers.max(1);
@@ -376,11 +406,17 @@ impl Service {
     /// bounded queue is at capacity and [`ServeError::ShuttingDown`]
     /// after [`Service::drain`].
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, ServeError> {
+        let entered = Instant::now();
+        let enqueue_start = since_epoch(self.shared.epoch);
         let mut st = self.shared.state.lock().unwrap();
         if !st.accepting || st.shutdown {
             return Err(ServeError::ShuttingDown);
         }
         if st.pending.len() >= self.shared.queue_capacity {
+            // Count the rejection after releasing the state lock: the
+            // obs mutex is only ever taken alone.
+            drop(st);
+            self.shared.obs.lock().unwrap().stats.rejected += 1;
             return Err(ServeError::QueueFull {
                 capacity: self.shared.queue_capacity,
             });
@@ -391,6 +427,8 @@ impl Service {
             id,
             spec,
             enqueued: Instant::now(),
+            enqueue_start,
+            enqueue_dur: entered.elapsed().as_nanos() as u64,
         });
         self.shared.work_cv.notify_all();
         Ok(id)
@@ -435,7 +473,8 @@ impl Service {
         self.shared.cache.lock().unwrap().counters()
     }
 
-    /// A metrics registry covering the cache and the job counters.
+    /// A metrics registry covering the cache, the job counters, the
+    /// per-outcome totals, and the per-stage latency histograms.
     pub fn metrics(&self) -> MetricsRegistry {
         let mut reg = MetricsRegistry::new(&[("component", "sp-serve")]);
         {
@@ -457,9 +496,48 @@ impl Service {
                 st.pending.len() as f64,
             );
         }
+        {
+            let obs = self.shared.obs.lock().unwrap();
+            const JOBS_TOTAL: &str = "spfc_serve_jobs_total";
+            const JOBS_HELP: &str = "Jobs by terminal outcome";
+            reg.labeled_counter(JOBS_TOTAL, JOBS_HELP, ("outcome", "ok"), obs.stats.ok);
+            reg.labeled_counter(
+                JOBS_TOTAL,
+                JOBS_HELP,
+                ("outcome", "deadline"),
+                obs.stats.deadline,
+            );
+            reg.labeled_counter(
+                JOBS_TOTAL,
+                JOBS_HELP,
+                ("outcome", "rejected"),
+                obs.stats.rejected,
+            );
+            for stage in JobStage::all() {
+                let h = reg.labeled_histogram(
+                    "spfc_serve_stage_nanos",
+                    "Per-stage job latency in nanoseconds",
+                    ("stage", stage.name()),
+                );
+                if let Some(src) = obs.stats.stage(stage) {
+                    h.merge(src);
+                }
+            }
+        }
         self.shared.cache.lock().unwrap().register_metrics(&mut reg);
         register_pass_metrics(&mut reg, &self.shared.pass_timings.lock().unwrap());
         reg
+    }
+
+    /// Stage latency histograms and outcome counters accumulated so far.
+    pub fn stage_stats(&self) -> StageStats {
+        self.shared.obs.lock().unwrap().stats.clone()
+    }
+
+    /// The session trace collected so far, when the service was built
+    /// with [`ServiceConfig::traced`]. `None` when tracing is off.
+    pub fn session_trace(&self) -> Option<SessionTrace> {
+        self.shared.obs.lock().unwrap().session.clone()
     }
 }
 
@@ -481,8 +559,15 @@ impl Drop for Service {
         if let Some(h) = self.scheduler.take() {
             let _ = h.join();
         }
-        // Persist lifetime cache stats for `spfc cache stats`.
-        self.shared.cache.lock().unwrap().flush_stats();
+        // Persist lifetime cache stats for `spfc cache stats`, and the
+        // stage-latency stats alongside them when a disk tier exists.
+        let mut cache = self.shared.cache.lock().unwrap();
+        cache.flush_stats();
+        if let Some(dir) = cache.disk_dir().map(std::path::Path::to_path_buf) {
+            drop(cache);
+            let mut obs = self.shared.obs.lock().unwrap();
+            flush_stage_stats(&dir, &mut obs.stats);
+        }
     }
 }
 
@@ -532,30 +617,74 @@ fn scheduler_loop(shared: &Shared, workers: usize) {
     }
 }
 
-/// Compiles (or fetches) and runs one job on the shared pool.
+/// Compiles (or fetches) and runs one job on the shared pool, then
+/// folds its stage spans into the observability state: every stage
+/// duration lands in the histograms, the terminal outcome is counted,
+/// and (when tracing) the spans join the session trace.
 fn run_job(
     shared: &Shared,
     exec: &mut PooledExecutor,
     job: &QueuedJob,
 ) -> Result<JobResult, ServeError> {
+    let mut spans = JobSpans::new(job.id.0, &job.spec.name, &job.spec.client);
+    spans.stage(JobStage::Enqueue, job.enqueue_start, job.enqueue_dur);
+    let res = run_job_stages(shared, exec, job, &mut spans);
+    let mut obs = shared.obs.lock().unwrap();
+    for sp in &spans.stages {
+        obs.stats.observe(sp.stage, sp.dur_nanos);
+    }
+    match &res {
+        Ok(_) => obs.stats.ok += 1,
+        Err(ServeError::Deadline { .. }) => obs.stats.deadline += 1,
+        Err(_) => {}
+    }
+    if let Some(session) = obs.session.as_mut() {
+        session.push(spans);
+    }
+    res
+}
+
+/// The staged body of [`run_job`]: each pipeline stage is timed on the
+/// session epoch and appended to `spans` as it completes, so even an
+/// early deadline return carries the stages the job did reach.
+fn run_job_stages(
+    shared: &Shared,
+    exec: &mut PooledExecutor,
+    job: &QueuedJob,
+    spans: &mut JobSpans,
+) -> Result<JobResult, ServeError> {
     let spec = &job.spec;
+    let epoch = shared.epoch;
     let deadline_err = || ServeError::Deadline {
         job: job.id,
         budget: spec.deadline.unwrap_or_default(),
     };
+    let queue_start = job.enqueued.saturating_duration_since(epoch).as_nanos() as u64;
     // Pre-check: a job that aged out while queued never starts.
     if spec.deadline.is_some_and(|d| job.enqueued.elapsed() > d) {
+        spans.stage(
+            JobStage::QueueWait,
+            queue_start,
+            job.enqueued.elapsed().as_nanos() as u64,
+        );
         return Err(deadline_err());
     }
     let started = Instant::now();
     let queued_nanos = started.duration_since(job.enqueued).as_nanos() as u64;
+    spans.stage(JobStage::QueueWait, queue_start, queued_nanos);
 
     let key = spec.cache_key();
+    let t_lookup = since_epoch(epoch);
     let hit = shared
         .cache
         .lock()
         .unwrap()
         .lookup(key, &spec.seq, spec.plan.grid());
+    spans.stage(
+        JobStage::CacheLookup,
+        t_lookup,
+        since_epoch(epoch) - t_lookup,
+    );
     let (outcome, cached_plan, cached_deps, cached_tape) = match hit {
         Some((art, Tier::Memory)) => (CacheOutcome::Memory, Some(art.plan), art.deps, art.tape),
         Some((art, Tier::Disk)) => (CacheOutcome::Disk, Some(art.plan), art.deps, art.tape),
@@ -567,9 +696,18 @@ fn run_job(
     // full miss plans through the pipeline, seeding the store from the
     // analysis tier so a dependence analysis computed under a different
     // block size, grid, or backend is reused rather than redone.
+    //
+    // Hit paths record their skipped stages as zero-duration spans so
+    // every job exports all eight stages and the histograms keep a
+    // truthful per-stage sample count.
     let akey = dependence_key(&spec.seq);
+    let t_plan = since_epoch(epoch);
     let (deps, plan): (Arc<SequenceDeps>, Arc<FusionPlan>) = match (cached_plan, cached_deps) {
-        (Some(p), Some(d)) => (d, p),
+        (Some(p), Some(d)) => {
+            spans.stage(JobStage::Analysis, t_plan, 0);
+            spans.stage(JobStage::Plan, t_plan, 0);
+            (d, p)
+        }
         (Some(p), None) => {
             let tier_hit = shared.cache.lock().unwrap().lookup_analysis(akey);
             let d = match tier_hit {
@@ -579,6 +717,9 @@ fn run_job(
                         .map_err(|e| ServeError::Exec(ExecError::Analysis(e)))?,
                 ),
             };
+            let dur = since_epoch(epoch) - t_plan;
+            spans.stage(JobStage::Analysis, t_plan, dur);
+            spans.stage(JobStage::Plan, t_plan + dur, 0);
             (d, p)
         }
         (None, _) => {
@@ -589,6 +730,19 @@ fn run_job(
             let planned = Planner::new(spec.plan_config())
                 .plan_with(&spec.seq, &mut store, &mut NullObserver)
                 .map_err(|e| ServeError::Exec(ExecError::Legality(e)))?;
+            let total = since_epoch(epoch) - t_plan;
+            // The pipeline's own dependence-pass timing splits the
+            // plan_with wall time into analysis vs planning; a reused
+            // (seeded) dependence pass costs ~0 and attributes to plan.
+            let analysis = planned
+                .timings
+                .passes
+                .iter()
+                .find(|p| p.pass == pass::DEPENDENCE && !p.reused)
+                .map_or(0, |p| p.nanos)
+                .min(total);
+            spans.stage(JobStage::Analysis, t_plan, analysis);
+            spans.stage(JobStage::Plan, t_plan + analysis, total - analysis);
             record_pass_timings(shared, &planned.timings);
             (planned.deps, planned.plan)
         }
@@ -600,6 +754,10 @@ fn run_job(
         .lock()
         .unwrap()
         .insert_analysis(akey, Arc::clone(&deps));
+
+    // Lower: everything between the plan and a runnable configuration —
+    // program construction, memory init, and (tape backends) lowering.
+    let t_lower = since_epoch(epoch);
     let prog = Program::from_analysis(&spec.seq, (*deps).clone(), spec.levels)?;
 
     let mut mem = Memory::new(&spec.seq, LayoutStrategy::Contiguous);
@@ -610,6 +768,9 @@ fn run_job(
         .backend(spec.backend);
     if !matches!(spec.plan, ExecPlan::Serial) {
         cfg = cfg.prederived(Arc::clone(&plan));
+    }
+    if shared.tracing {
+        cfg = cfg.traced();
     }
     // Tape backends (compiled, simd): a cached tape skips lowering
     // entirely (`precompiled` → report says cached, lower_nanos 0);
@@ -627,8 +788,20 @@ fn run_job(
             }
         }
     }
+    spans.stage(JobStage::Lower, t_lower, since_epoch(epoch) - t_lower);
 
-    let report = exec.run(&prog, &mut mem, &cfg)?;
+    let t_exec = since_epoch(epoch);
+    let mut report = exec.run(&prog, &mut mem, &cfg)?;
+    let exec_nanos = since_epoch(epoch) - t_exec;
+    spans.stage(JobStage::Execute, t_exec, exec_nanos);
+    spans.exec_offset_nanos = t_exec;
+    if shared.tracing {
+        // The session trace owns the run's worker lanes; the per-job
+        // report keeps everything else.
+        spans.run_trace = report.trace.take();
+    }
+    report.queue_wait_nanos = queued_nanos;
+    report.exec_nanos = exec_nanos;
     let run_nanos = started.elapsed().as_nanos() as u64;
 
     // Post-check: the run always completes (the pool is never poisoned
@@ -637,6 +810,8 @@ fn run_job(
         return Err(deadline_err());
     }
 
+    // Respond: cache population, snapshot, digest.
+    let t_respond = since_epoch(epoch);
     // Misses populate the cache; disk hits upgrade into the memory tier
     // with their freshly lowered tape and recomputed analysis.
     if outcome != CacheOutcome::Memory {
@@ -650,6 +825,7 @@ fn run_job(
 
     let snapshot = mem.snapshot_all(&spec.seq);
     let digest = snapshot_digest(&snapshot);
+    spans.stage(JobStage::Respond, t_respond, since_epoch(epoch) - t_respond);
     Ok(JobResult {
         id: job.id,
         name: spec.name.clone(),

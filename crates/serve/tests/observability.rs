@@ -1,0 +1,240 @@
+//! End-to-end tests of serve-tier observability (ISSUE 8).
+//!
+//! The acceptance bar: a multi-job traced serve session must export ONE
+//! valid Chrome trace carrying every job's eight lifecycle stages plus
+//! the worker lanes that ran it, with flow events resolving from each
+//! job lane to real worker lanes; the metrics registry must expose
+//! per-stage latency histograms and per-outcome job counters; the
+//! scrape endpoint must serve exactly that text over HTTP; and the
+//! stage stats must persist across processes via the cache directory.
+
+use shift_peel_core::CodegenMethod;
+use sp_exec::{Backend, ExecPlan};
+use sp_kernels::{jacobi, ll18};
+use sp_serve::{
+    disk_stage_stats, ArtifactCacheConfig, JobSpec, MetricsServer, ServeError, Service,
+    ServiceConfig,
+};
+use sp_trace::{validate_chrome_trace, JobStage};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fused(grid: &[usize]) -> ExecPlan {
+    ExecPlan::Fused {
+        grid: grid.to_vec(),
+        method: CodegenMethod::StripMined,
+        strip: 8,
+    }
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("sp-serve-obs-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Tentpole acceptance: several jobs through a traced service export as
+/// one Chrome trace — all stage spans present per job, flow starts on
+/// the jobs process resolving to finishes on worker lanes that carry
+/// real execution spans.
+#[test]
+fn traced_session_exports_one_chrome_trace_with_flows() {
+    let service = Service::new(ServiceConfig::default().workers(2).traced());
+    let mut ids = Vec::new();
+    for (i, seq) in [
+        jacobi::sequence(32),
+        ll18::sequence(48),
+        jacobi::sequence(32),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let spec = JobSpec::new(format!("job-{i}"), seq, fused(&[2]))
+            .backend(Backend::Compiled)
+            .steps(2)
+            .client(if i % 2 == 0 { "alice" } else { "bob" });
+        ids.push(service.submit(spec).unwrap());
+    }
+    for id in &ids {
+        service.wait(*id).unwrap();
+    }
+    let session = service.session_trace().expect("tracing service");
+    assert_eq!(session.job_count(), 3);
+    // Every job carries all eight stages and a run trace.
+    for job in &session.jobs {
+        for stage in JobStage::all() {
+            assert!(
+                job.stage_dur(stage).is_some(),
+                "job {} missing {}",
+                job.job_id,
+                stage.name()
+            );
+        }
+        assert!(job.run_trace.is_some(), "traced run attaches worker lanes");
+    }
+    let lanes = session.worker_lanes();
+    assert!(!lanes.is_empty(), "some worker lane recorded spans");
+
+    let json = session.chrome_json();
+    let summary = validate_chrome_trace(&json).expect("valid chrome trace");
+    assert!(summary.span_count >= 3 * JobStage::COUNT);
+    for stage in JobStage::all() {
+        assert!(summary.has(stage.name()), "missing {}", stage.name());
+    }
+    // One flow start per traced job, each resolving to >=1 finish on a
+    // real worker lane of the workers process (pid 0).
+    assert_eq!(summary.flow_starts.len(), 3);
+    for (id, pid, _) in &summary.flow_starts {
+        assert_eq!(*pid, 1, "flow starts on the jobs process");
+        let targets: Vec<u64> = summary
+            .flow_finishes
+            .iter()
+            .filter(|(fid, fpid, _)| fid == id && *fpid == 0)
+            .map(|(_, _, tid)| *tid)
+            .collect();
+        assert!(!targets.is_empty(), "job {id} links to no worker lane");
+        for tid in targets {
+            assert!(
+                lanes.contains(&(tid as usize)),
+                "flow finish on unknown lane {tid}"
+            );
+        }
+    }
+}
+
+/// Satellite 1 + tentpole metrics: outcome counters and per-stage
+/// histograms appear in the registry and its Prometheus rendering.
+#[test]
+fn metrics_report_stage_histograms_and_outcomes() {
+    let service = Service::new(ServiceConfig::default().workers(2).queue_capacity(1));
+    let seq = jacobi::sequence(32);
+    let ok = service
+        .submit(JobSpec::new("ok", seq.clone(), fused(&[2])))
+        .unwrap();
+    service.wait(ok).unwrap();
+    // A zero deadline trips the queue-age pre-check deterministically.
+    let late = service
+        .submit(JobSpec::new("late", seq.clone(), fused(&[2])).deadline(Duration::ZERO))
+        .unwrap();
+    assert!(matches!(
+        service.wait(late),
+        Err(ServeError::Deadline { .. })
+    ));
+
+    let stats = service.stage_stats();
+    assert_eq!((stats.ok, stats.deadline), (1, 1));
+    let exec = stats.stage(JobStage::Execute).unwrap();
+    assert_eq!(exec.count(), 1, "only the ok job reached execute");
+    assert!(exec.sum() > 0);
+    // The deadline job still recorded enqueue + queue-wait.
+    assert_eq!(stats.stage(JobStage::QueueWait).unwrap().count(), 2);
+
+    let text = service.metrics().to_prometheus();
+    assert!(text.contains("spfc_serve_jobs_total{component=\"sp-serve\",outcome=\"ok\"} 1"));
+    assert!(text.contains("spfc_serve_jobs_total{component=\"sp-serve\",outcome=\"deadline\"} 1"));
+    assert!(text.contains("spfc_serve_jobs_total{component=\"sp-serve\",outcome=\"rejected\"} 0"));
+    assert!(text.contains("spfc_serve_stage_nanos_bucket{component=\"sp-serve\",stage=\"execute\""));
+    assert!(
+        text.contains("spfc_serve_stage_nanos_count{component=\"sp-serve\",stage=\"execute\"} 1")
+    );
+}
+
+/// Backpressure rejections count under `outcome="rejected"` even though
+/// no job object ever exists for them.
+#[test]
+fn rejected_submissions_are_counted() {
+    let service = Service::new(ServiceConfig::default().workers(1).queue_capacity(1));
+    let seq = jacobi::sequence(48);
+    // Saturate: many rapid submissions against a capacity-1 queue must
+    // reject at least once while the first job occupies the scheduler.
+    let mut rejected = 0;
+    let mut accepted = Vec::new();
+    for i in 0..64 {
+        match service.submit(JobSpec::new(format!("j{i}"), seq.clone(), fused(&[1])).steps(4)) {
+            Ok(id) => accepted.push(id),
+            Err(ServeError::QueueFull { .. }) => rejected += 1,
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+    for id in accepted {
+        let _ = service.wait(id);
+    }
+    if rejected > 0 {
+        assert_eq!(service.stage_stats().rejected, rejected);
+    }
+    let text = service.metrics().to_prometheus();
+    assert!(text.contains(&format!(
+        "spfc_serve_jobs_total{{component=\"sp-serve\",outcome=\"rejected\"}} {rejected}"
+    )));
+}
+
+/// The scrape endpoint serves the service's live Prometheus text.
+#[test]
+fn http_endpoint_scrapes_live_service_metrics() {
+    let service = Arc::new(Service::new(ServiceConfig::default().workers(2)));
+    let render = {
+        let service = Arc::clone(&service);
+        Arc::new(move || service.metrics().to_prometheus()) as sp_serve::MetricsRender
+    };
+    let server = MetricsServer::start("127.0.0.1:0", render).unwrap();
+    let addr = server.addr();
+
+    let id = service
+        .submit(JobSpec::new("scraped", jacobi::sequence(32), fused(&[2])))
+        .unwrap();
+    service.wait(id).unwrap();
+
+    let mut conn = TcpStream::connect(addr).unwrap();
+    write!(conn, "GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.0 200 OK\r\n"));
+    assert!(response.contains("spfc_serve_jobs_total{component=\"sp-serve\",outcome=\"ok\"} 1"));
+    assert!(response.contains("spfc_serve_stage_nanos_bucket"));
+    assert!(response.contains("spfc_serve_jobs_completed_total"));
+    server.shutdown();
+}
+
+/// Stage stats persist to the cache dir on drop and aggregate across
+/// service lifetimes, the same way cache counters do.
+#[test]
+fn stage_stats_persist_across_services_sharing_a_cache_dir() {
+    let dir = tmpdir("persist");
+    let cache = ArtifactCacheConfig::default().disk(&dir);
+    for _ in 0..2 {
+        let service = Service::new(ServiceConfig::default().workers(2).cache(cache.clone()));
+        let id = service
+            .submit(JobSpec::new("persisted", jacobi::sequence(32), fused(&[2])))
+            .unwrap();
+        service.wait(id).unwrap();
+        drop(service);
+    }
+    let total = disk_stage_stats(&dir);
+    assert_eq!(total.ok, 2, "both lifetimes flushed");
+    assert_eq!(total.stage(JobStage::Execute).unwrap().count(), 2);
+    assert!(total.stage(JobStage::Execute).unwrap().sum() > 0);
+    assert!(!total.render_summary().is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An untraced service keeps reports lean: no session trace, no
+/// run-trace theft, but histograms still populate.
+#[test]
+fn untraced_service_has_no_session_but_full_histograms() {
+    let service = Service::new(ServiceConfig::default().workers(2));
+    let id = service
+        .submit(JobSpec::new("plain", jacobi::sequence(32), fused(&[2])))
+        .unwrap();
+    let res = service.wait(id).unwrap();
+    assert!(res.report.trace.is_none(), "untraced run");
+    assert!(res.report.queue_wait_nanos > 0, "queue split recorded");
+    assert!(res.report.exec_nanos > 0, "exec split recorded");
+    assert!(service.session_trace().is_none());
+    let stats = service.stage_stats();
+    for stage in JobStage::all() {
+        assert_eq!(stats.stage(stage).unwrap().count(), 1, "{}", stage.name());
+    }
+}

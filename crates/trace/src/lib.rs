@@ -16,6 +16,10 @@
 //!   check CI runs against emitted traces.
 //! * [`metrics`] — a small registry of named counters and log2-bucket
 //!   histograms with a Prometheus text exporter.
+//! * [`session`] — serve-tier session traces: per-job lifecycle stage
+//!   spans ([`JobStage`]) plus every traced run's worker lanes, merged
+//!   onto one epoch and exported as a single Chrome trace with flow
+//!   events linking jobs to the workers that ran them.
 //!
 //! Tracing is opt-in per run and the crate is deliberately free of
 //! dependencies: the default (untraced) execution path constructs
@@ -23,10 +27,12 @@
 
 pub mod metrics;
 pub mod ring;
+pub mod session;
 pub mod tracer;
 
 pub use metrics::{Histogram, MetricsRegistry};
 pub use ring::EventRing;
+pub use session::{JobSpans, JobStage, SessionTrace, StageSpan};
 pub use tracer::{
     validate_chrome_trace, RunTrace, SpanKind, TraceConfig, TraceEvent, TraceSummary, WorkerTrace,
     WorkerTracer, CONTROLLER_LANE,

@@ -72,6 +72,31 @@ impl Histogram {
         1u64 << (self.counts.len().saturating_sub(1))
     }
 
+    /// Raw per-bucket counts (bucket `i` holds `2^(i-1) < v <= 2^i`),
+    /// the persistence-friendly inverse of [`Histogram::from_parts`].
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Reconstructs a histogram from persisted parts: per-bucket counts
+    /// plus the observation sum (the count is the bucket total).
+    pub fn from_parts(counts: Vec<u64>, sum: u64) -> Histogram {
+        let count = counts.iter().sum();
+        Histogram { counts, count, sum }
+    }
+
+    /// Adds every observation of `other` into this histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
     /// `(upper_bound, cumulative_count)` pairs for the populated bucket
     /// range, cumulative as Prometheus expects.
     pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
@@ -98,6 +123,9 @@ pub struct MetricsRegistry {
     labeled: Vec<(String, String, String, String, u64)>,
     gauges: Vec<(String, String, f64)>,
     histograms: Vec<(String, String, Histogram)>,
+    // Histogram families fanned out over a per-sample label, e.g.
+    // spfc_serve_stage_nanos{stage=...}; one HELP/TYPE header per family.
+    labeled_hists: Vec<(String, String, String, String, Histogram)>,
 }
 
 impl MetricsRegistry {
@@ -166,6 +194,41 @@ impl MetricsRegistry {
         }
     }
 
+    /// The histogram registered under `name` with one extra per-sample
+    /// label, creating it empty if new. Families of the same name render
+    /// under a single `# HELP`/`# TYPE` header.
+    pub fn labeled_histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        label: (&str, &str),
+    ) -> &mut Histogram {
+        let (lk, lv) = label;
+        if let Some(i) = self
+            .labeled_hists
+            .iter()
+            .position(|(n, _, k, v, _)| n == name && k == lk && v == lv)
+        {
+            return &mut self.labeled_hists[i].4;
+        }
+        self.labeled_hists.push((
+            name.to_string(),
+            help.to_string(),
+            lk.to_string(),
+            lv.to_string(),
+            Histogram::new(),
+        ));
+        &mut self.labeled_hists.last_mut().unwrap().4
+    }
+
+    /// Looks up a labeled histogram (for tests and assertions).
+    pub fn labeled_histogram_value(&self, name: &str, label: (&str, &str)) -> Option<&Histogram> {
+        self.labeled_hists
+            .iter()
+            .find(|(n, _, k, v, _)| n == name && k == label.0 && v == label.1)
+            .map(|(_, _, _, _, h)| h)
+    }
+
     /// Looks up a labeled counter's value (for tests and assertions).
     pub fn labeled_counter_value(&self, name: &str, label: (&str, &str)) -> Option<u64> {
         self.labeled
@@ -191,13 +254,20 @@ impl MetricsRegistry {
     }
 
     fn label_str(&self, extra: Option<(&str, String)>) -> String {
+        match extra {
+            Some(pair) => self.label_str_with(&[pair]),
+            None => self.label_str_with(&[]),
+        }
+    }
+
+    fn label_str_with(&self, extras: &[(&str, String)]) -> String {
         let mut pairs: Vec<String> = self
             .labels
             .iter()
             .map(|(k, v)| format!("{k}=\"{v}\"", v = v.replace('"', "'")))
             .collect();
-        if let Some((k, v)) = extra {
-            pairs.push(format!("{k}=\"{v}\""));
+        for (k, v) in extras {
+            pairs.push(format!("{k}=\"{v}\"", v = v.replace('"', "'")));
         }
         if pairs.is_empty() {
             String::new()
@@ -254,6 +324,25 @@ impl MetricsRegistry {
                 hist.count()
             ));
         }
+        let mut seen_hist: Vec<&str> = Vec::new();
+        for (name, help, lk, lv, hist) in &self.labeled_hists {
+            if !seen_hist.contains(&name.as_str()) {
+                out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+                seen_hist.push(name);
+            }
+            let sample = |le: String| self.label_str_with(&[(lk.as_str(), lv.clone()), ("le", le)]);
+            for (le, cum) in hist.cumulative_buckets() {
+                out.push_str(&format!("{name}_bucket{} {cum}\n", sample(le.to_string())));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{} {}\n",
+                sample("+Inf".to_string()),
+                hist.count()
+            ));
+            let plain = self.label_str_with(&[(lk.as_str(), lv.clone())]);
+            out.push_str(&format!("{name}_sum{plain} {}\n", hist.sum()));
+            out.push_str(&format!("{name}_count{plain} {}\n", hist.count()));
+        }
         out
     }
 }
@@ -277,6 +366,22 @@ mod tests {
         assert_eq!(buckets[1], (2, 3));
         assert_eq!(buckets[2], (4, 5));
         assert_eq!(*buckets.last().unwrap(), (1024, 6));
+    }
+
+    #[test]
+    fn histogram_parts_round_trip_and_merge() {
+        let mut a = Histogram::new();
+        for v in [1, 5, 900] {
+            a.observe(v);
+        }
+        let rebuilt = Histogram::from_parts(a.bucket_counts().to_vec(), a.sum());
+        assert_eq!(rebuilt, a);
+        let mut b = Histogram::new();
+        b.observe(70_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 906 + 70_000);
+        assert_eq!(a.quantile_bound(1.0), 131_072);
     }
 
     #[test]
@@ -362,6 +467,56 @@ mod tests {
         );
         assert!(
             text.contains("spfc_pass_nanos{kernel=\"jacobi\",pass=\"plan\"} 350\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn labeled_histogram_shares_one_header_per_family() {
+        let mut reg = MetricsRegistry::new(&[("service", "spfc")]);
+        reg.labeled_histogram(
+            "spfc_serve_stage_nanos",
+            "Per-stage latency",
+            ("stage", "queue_wait"),
+        )
+        .observe(900);
+        reg.labeled_histogram(
+            "spfc_serve_stage_nanos",
+            "Per-stage latency",
+            ("stage", "execute"),
+        )
+        .observe(3000);
+        reg.labeled_histogram(
+            "spfc_serve_stage_nanos",
+            "Per-stage latency",
+            ("stage", "execute"),
+        )
+        .observe(5000);
+        assert_eq!(
+            reg.labeled_histogram_value("spfc_serve_stage_nanos", ("stage", "execute"))
+                .map(|h| h.count()),
+            Some(2)
+        );
+        let text = reg.to_prometheus();
+        let headers = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE spfc_serve_stage_nanos "))
+            .count();
+        assert_eq!(headers, 1, "{text}");
+        assert!(
+            text.contains(
+                "spfc_serve_stage_nanos_bucket{service=\"spfc\",stage=\"queue_wait\",le=\"1024\"} 1\n"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "spfc_serve_stage_nanos_bucket{service=\"spfc\",stage=\"execute\",le=\"+Inf\"} 2\n"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("spfc_serve_stage_nanos_count{service=\"spfc\",stage=\"execute\"} 2\n"),
             "{text}"
         );
     }

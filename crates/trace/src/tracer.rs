@@ -449,6 +449,12 @@ pub struct TraceSummary {
     /// (`otherData.droppedEvents`); 0 when the file carries no such
     /// metadata.
     pub dropped_events: u64,
+    /// Flow-start (`"ph":"s"`) events as `(id, pid, tid)` — serve
+    /// sessions anchor one per traced job on the job's lane.
+    pub flow_starts: Vec<(u64, u64, u64)>,
+    /// Flow-finish (`"ph":"f"`) events as `(id, pid, tid)` — one per
+    /// worker lane a traced job executed on.
+    pub flow_finishes: Vec<(u64, u64, u64)>,
 }
 
 impl TraceSummary {
@@ -511,6 +517,27 @@ pub fn validate_chrome_trace(json: &str) -> Result<TraceSummary, String> {
             match get(key) {
                 Some(Json::Number(_)) => {}
                 _ => return Err(format!("traceEvents[{i}] has no numeric {key}")),
+            }
+        }
+        if ph == "s" || ph == "f" {
+            // Flow events must carry a numeric id (it is what pairs a
+            // start with its finishes) and a timestamp to anchor to.
+            let Some(Json::Number(id)) = get("id") else {
+                return Err(format!("traceEvents[{i}] ({name}) flow has no numeric id"));
+            };
+            match get("ts") {
+                Some(Json::Number(n)) if n.is_finite() && *n >= 0.0 => {}
+                _ => return Err(format!("traceEvents[{i}] ({name}) flow has no valid ts")),
+            }
+            let (Some(Json::Number(pid)), Some(Json::Number(tid))) = (get("pid"), get("tid"))
+            else {
+                unreachable!("pid/tid checked numeric above");
+            };
+            let entry = (*id as u64, *pid as u64, *tid as u64);
+            if ph == "s" {
+                summary.flow_starts.push(entry);
+            } else {
+                summary.flow_finishes.push(entry);
             }
         }
         if ph == "X" {

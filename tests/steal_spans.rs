@@ -1,0 +1,103 @@
+//! Steal observability: the trace must account for every steal the
+//! runtime reports (ISSUE 8, satellite 4).
+//!
+//! Two layers pin the same invariant. On the real pool, a traced
+//! stealing run's `SpanKind::Steal` span count must equal the report's
+//! steal counter — the trace and the counters are two views of one
+//! event stream and may not drift. On the deterministic `SimClock`
+//! harness, a fixed seed's steal log converts span-for-span into trace
+//! lanes, so the schedule the simulation pinned is exactly the schedule
+//! a trace viewer would show.
+
+use shift_peel::kernels::jacobi;
+use shift_peel::prelude::*;
+use shift_peel::trace::{validate_chrome_trace, WorkerTracer};
+use std::time::{Duration, Instant};
+
+/// On a traced pooled run under the stealing schedule, every steal the
+/// counters saw is a `steal` span in some worker's lane (and vice
+/// versa), run after run at a fixed seed.
+#[test]
+fn traced_stealing_run_has_one_steal_span_per_reported_steal() {
+    let seq = jacobi::sequence(64);
+    for seed in [DEFAULT_STEAL_SEED, 0xFEED] {
+        let cfg = RunConfig::fused([4])
+            .strip(8)
+            .steps(2)
+            .backend(Backend::Compiled)
+            .schedule(Schedule::Stealing)
+            .steal_seed(seed)
+            .traced();
+        let prog = Program::new(&seq, 1).expect("analysis");
+        let mut mem = Memory::new(&seq, LayoutStrategy::Contiguous);
+        mem.init_deterministic(&seq, 11);
+        let report = PooledExecutor::new(4)
+            .run(&prog, &mut mem, &cfg)
+            .expect("run");
+        let trace = report.trace.as_ref().expect("traced run");
+        let steal_spans = trace.events_of(SpanKind::Steal).count() as u64;
+        assert_eq!(
+            steal_spans,
+            report.total_steals(),
+            "seed {seed:#x}: trace and counters disagree on steals"
+        );
+        assert_eq!(trace.dropped(), 0, "ring overflow would hide steals");
+        validate_chrome_trace(&trace.chrome_json()).expect("valid chrome trace");
+    }
+}
+
+/// The `SimClock` steal log round-trips into trace lanes: one `steal`
+/// span per logged event, on the thief's lane, with per-thief counts
+/// intact — and identically for the identical schedule a fixed seed
+/// must reproduce.
+#[test]
+fn sim_steal_log_converts_span_for_span_into_trace_lanes() {
+    let spec = StealSimSpec {
+        workers: 4,
+        seed: DEFAULT_STEAL_SEED,
+        costs: vec![100, 100, 100, 100, 10, 10, 10, 10, 10, 10],
+        owners: vec![0, 0, 0, 0, 1, 1, 2, 2, 3, 3],
+    };
+    let sim = simulate_stealing(&spec);
+    assert!(!sim.steal_log.is_empty(), "skewed load provokes steals");
+    assert_eq!(
+        sim,
+        simulate_stealing(&spec),
+        "fixed seed reproduces the schedule the trace will show"
+    );
+
+    // Convert: one tracer per worker, one steal span per logged event
+    // on the thief's lane (virtual time mapped onto the shared epoch,
+    // duration 1 ns).
+    let epoch = Instant::now();
+    let mut tracers: Vec<WorkerTracer> = (0..spec.workers)
+        .map(|_| WorkerTracer::new(TraceConfig::with_capacity(64), epoch))
+        .collect();
+    for ev in &sim.steal_log {
+        let at = epoch + Duration::from_nanos(ev.at);
+        tracers[ev.thief].record(SpanKind::Steal, at, 1, 0, ev.chunk as u32);
+    }
+    let trace = RunTrace::assemble(
+        tracers
+            .into_iter()
+            .enumerate()
+            .map(|(p, t)| t.finish(p))
+            .collect(),
+    );
+
+    assert_eq!(
+        trace.events_of(SpanKind::Steal).count(),
+        sim.steal_log.len(),
+        "span-for-span"
+    );
+    for proc in 0..spec.workers {
+        let logged = sim.steal_log.iter().filter(|e| e.thief == proc).count();
+        let traced = trace
+            .workers
+            .iter()
+            .find(|w| w.proc == proc)
+            .map_or(0, |w| w.events.len());
+        assert_eq!(traced, logged, "worker {proc} lane count");
+    }
+    validate_chrome_trace(&trace.chrome_json()).expect("valid chrome trace");
+}
