@@ -14,10 +14,10 @@ echo "==> format: first-party crates must be rustfmt-clean (vendor/ excluded)"
 cargo fmt --check \
   -p shift-peel -p sp-ir -p sp-dep -p shift-peel-core -p sp-cache \
   -p sp-exec -p sp-trace -p sp-kernels -p sp-baselines -p sp-machine \
-  -p sp-bench -p sp-cli -p sp-serve
+  -p sp-bench -p sp-cli -p sp-serve -p sp-net
 
 echo "==> lint wall: runtime + observability + serving crates must be clippy-clean"
-cargo clippy -p sp-exec -p sp-trace -p sp-cli -p sp-serve -- -D warnings
+cargo clippy -p sp-exec -p sp-trace -p sp-cli -p sp-serve -p sp-net -- -D warnings
 
 echo "==> differential fuzzing: backends (interp/compiled/simd) x schedules x runtimes"
 # The vendored proptest derives its seed from the test name, so this
@@ -67,7 +67,8 @@ echo "==> bench baselines: snapshot committed artifacts before regeneration"
 # artifacts against the versions committed in the tree, so copy them
 # aside before the bench binaries overwrite them.
 bench_baseline="$(mktemp -d /tmp/spfc-bench-baseline.XXXXXX)"
-cp results/BENCH_runtime.json results/BENCH_serve.json "$bench_baseline"/
+cp results/BENCH_runtime.json results/BENCH_serve.json \
+  results/BENCH_net.json "$bench_baseline"/
 
 echo "==> runtime comparison -> results/BENCH_runtime.json"
 mkdir -p results
@@ -166,10 +167,66 @@ grep -q '^spfc_serve_stage_nanos_bucket{component="sp-serve",stage="execute",le=
 grep -q '^spfc_serve_stage_nanos_bucket{component="sp-serve",stage="queue_wait"' "$session_prom"
 rm -f "$load_manifest" "$session_trace" "$session_prom"
 
+echo "==> wire tier: socket server smoke, concurrent submits, drain over TCP"
+# A real SPFC server on an ephemeral port, two tenants submitting
+# concurrently over separate connections. The first submission of each
+# program compiles (miss); repeats must come back from the artifact
+# cache (hit). The drain frame must quiesce the server, whose summary
+# accounts for both tenants.
+net_addr="$(mktemp /tmp/spfc-net-addr.XXXXXX)"
+net_log="$(mktemp /tmp/spfc-net-serve.XXXXXX)"
+sub_a="$(mktemp /tmp/spfc-net-suba.XXXXXX)"
+sub_b="$(mktemp /tmp/spfc-net-subb.XXXXXX)"
+: > "$net_addr"
+cargo run --release -q -p sp-cli -- serve --listen 127.0.0.1:0 \
+  --addr-file "$net_addr" --workers 2 > "$net_log" 2>&1 &
+net_pid=$!
+for _ in $(seq 100); do
+  [ -s "$net_addr" ] && break
+  sleep 0.1
+done
+[ -s "$net_addr" ] || { echo "FAIL: wire server never published its address"; exit 1; }
+addr="$(cat "$net_addr")"
+( for _ in 1 2 3; do
+    cargo run --release -q -p sp-cli -- submit --connect "$addr" jacobi \
+      --tenant ci-a --procs 2 --steps 3
+  done ) > "$sub_a" 2>&1 &
+pid_a=$!
+( for _ in 1 2 3; do
+    cargo run --release -q -p sp-cli -- submit --connect "$addr" \
+      examples/programs/jacobi.loop --tenant ci-b --procs 2 --steps 3
+  done ) > "$sub_b" 2>&1 &
+pid_b=$!
+wait "$pid_a"
+wait "$pid_b"
+# Every submit line carries a digest; someone compiled (miss) and the
+# repeats must come back from the artifact cache (hit) on both tenants.
+grep -q 'tenant=ci-a' "$sub_a"
+grep -q 'tenant=ci-b' "$sub_b"
+grep -qh ' miss ' "$sub_a" "$sub_b"
+grep -q ' hit ' "$sub_a"
+grep -q ' hit ' "$sub_b"
+if grep -qi 'error' "$sub_a" "$sub_b"; then
+  echo "FAIL: wire submissions reported protocol errors"
+  exit 1
+fi
+cargo run --release -q -p sp-cli -- submit --connect "$addr" drain
+wait "$net_pid"
+grep -q 'drained:' "$net_log"
+grep -q 'tenant ci-a' "$net_log"
+grep -q 'tenant ci-b' "$net_log"
+rm -f "$net_addr" "$net_log" "$sub_a" "$sub_b"
+
 echo "==> serving benchmark -> results/BENCH_serve.json (warm must beat cold)"
 cargo run --release -p sp-bench --bin serve -- --quick
 test -s results/BENCH_serve.json
 grep -q '"digest_match":true' results/BENCH_serve.json
+
+echo "==> wire-tier benchmark -> results/BENCH_net.json (digests must match)"
+cargo run --release -p sp-bench --bin net -- --quick
+test -s results/BENCH_net.json
+grep -q '"digest_match":true' results/BENCH_net.json
+grep -q '"clients":4' results/BENCH_net.json
 
 echo "==> bench regression gate: fresh results vs committed baselines"
 verdict="$(mktemp /tmp/spfc-verdict.XXXXXX.json)"
@@ -179,7 +236,7 @@ grep -q '"passed":true' "$verdict"
 # The gate must actually gate: inject a warm-over-cold collapse into a
 # scratch copy of the fresh results and require a nonzero exit.
 corrupt="$(mktemp -d /tmp/spfc-bench-corrupt.XXXXXX)"
-cp results/BENCH_runtime.json "$corrupt"/
+cp results/BENCH_runtime.json results/BENCH_net.json "$corrupt"/
 sed 's/"warm_over_cold":[0-9.eE+-]*/"warm_over_cold":0.01/' \
   results/BENCH_serve.json > "$corrupt/BENCH_serve.json"
 if cargo run --release -q -p sp-cli -- bench check \

@@ -1,0 +1,144 @@
+//! Wire-tier serving: N concurrent socket clients versus the in-process
+//! ceiling on the identical workload.
+//!
+//! Builds a batch of distinct jobs (jacobi and tomcatv at several
+//! sizes), then drives them through [`net_sweep`]: an in-process
+//! baseline first, then `clients` concurrent TCP clients each
+//! submitting the list `rounds` times against one `sp-net` server — a
+//! cold/warm mix, since the first touch of each spec compiles and every
+//! later submission hits the artifact cache. Reports wire jobs/sec,
+//! p50/p99 round-trip latency, and the wire/in-process throughput
+//! ratio; `net_sweep` itself errors if any wire digest diverges from
+//! the in-process digest, so `digest_match` in the artifact is a hard
+//! guarantee, not a sample.
+//!
+//! Prints the table and writes `results/BENCH_net.json` for
+//! `spfc bench check`.
+
+use sp_bench::{Opts, Table};
+use sp_exec::{Backend, ExecPlan};
+use sp_kernels::{jacobi, tomcatv};
+use sp_machine::net_sweep;
+use sp_serve::JobSpec;
+use std::fmt::Write as _;
+
+fn batch(n0: usize, sizes: usize) -> Vec<JobSpec> {
+    let mut specs = Vec::new();
+    let plan = ExecPlan::Fused {
+        grid: vec![2, 2],
+        method: shift_peel_core::CodegenMethod::StripMined,
+        strip: 8,
+    };
+    for i in 0..sizes {
+        // Consecutive sizes: each (kernel, size) pair is a distinct
+        // cache key, so the cold fraction really compiles.
+        let n = n0 + 2 * i;
+        specs.push(
+            JobSpec::new(format!("jacobi-{n}"), jacobi::sequence(n + 2), plan.clone())
+                .backend(Backend::Compiled),
+        );
+        specs.push(
+            JobSpec::new(format!("tomcatv-{n}"), tomcatv::sequence(n), plan.clone())
+                .backend(Backend::Compiled),
+        );
+    }
+    specs
+}
+
+fn main() {
+    let opts = Opts::from_args();
+    let n0 = opts.size(if opts.quick { 24 } else { 32 });
+    let sizes = if opts.quick { 2 } else { 3 };
+    // The acceptance bar asks for at least 4 concurrent clients.
+    let clients = 4;
+    let rounds = if opts.quick { 2 } else { 4 };
+    let specs = batch(n0, sizes);
+
+    // Best-of-reps: every rep builds fresh services on both sides, so
+    // cold/warm composition is identical; the best rep discards host
+    // descheduling noise on millisecond phases.
+    let reps = if opts.quick { 2 } else { 3 };
+    let mut sweep = net_sweep(&specs, clients, rounds).expect("net sweep");
+    for _ in 1..reps {
+        let s = net_sweep(&specs, clients, rounds).expect("net sweep");
+        if s.jobs_per_sec() > sweep.jobs_per_sec() {
+            sweep = s;
+        }
+    }
+
+    let mut t = Table::new(
+        format!(
+            "wire tier: {} specs x {rounds} rounds x {clients} clients ({} jobs)",
+            specs.len(),
+            sweep.jobs
+        ),
+        &["tier", "seconds", "jobs/s", "p50 rt ms", "p99 rt ms"],
+    );
+    t.row(vec![
+        "net".to_string(),
+        format!("{:.4}", sweep.seconds),
+        format!("{:.1}", sweep.jobs_per_sec()),
+        format!("{:.3}", sweep.p50_rt_nanos() as f64 / 1e6),
+        format!("{:.3}", sweep.p99_rt_nanos() as f64 / 1e6),
+    ]);
+    t.row(vec![
+        "in-process".to_string(),
+        format!("{:.4}", sweep.inproc_seconds),
+        format!("{:.1}", sweep.inproc_jobs_per_sec()),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+    t.print();
+    println!();
+
+    let mut json = String::from("{");
+    let _ = write!(
+        json,
+        "\"clients\":{clients},\"rounds\":{rounds},\"jobs\":{},",
+        sweep.jobs
+    );
+    let _ = write!(
+        json,
+        "\"net\":{{\"seconds\":{:.6},\"jobs_per_sec\":{:.3},\"p50_rt_ms\":{:.4},\"p99_rt_ms\":{:.4}}},",
+        sweep.seconds,
+        sweep.jobs_per_sec(),
+        sweep.p50_rt_nanos() as f64 / 1e6,
+        sweep.p99_rt_nanos() as f64 / 1e6,
+    );
+    let _ = write!(
+        json,
+        "\"inproc_jobs_per_sec\":{:.3},\"net_over_inproc\":{:.4},",
+        sweep.inproc_jobs_per_sec(),
+        sweep.jobs_per_sec() / sweep.inproc_jobs_per_sec().max(1e-9),
+    );
+    let _ = write!(
+        json,
+        "\"warm_hits\":{},\"cold_misses\":{},\"digest_match\":{}}}",
+        sweep.warm_hits, sweep.cold_misses, sweep.digest_match,
+    );
+    let path = "results/BENCH_net.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+
+    println!(
+        "wire tier: {:.1} jobs/s over TCP vs {:.1} in-process ({:.0}% of ceiling), \
+p99 round trip {:.2} ms, {} warm hits / {} cold misses, digests identical",
+        sweep.jobs_per_sec(),
+        sweep.inproc_jobs_per_sec(),
+        100.0 * sweep.jobs_per_sec() / sweep.inproc_jobs_per_sec().max(1e-9),
+        sweep.p99_rt_nanos() as f64 / 1e6,
+        sweep.warm_hits,
+        sweep.cold_misses,
+    );
+    // Acceptance: every spec compiled exactly once across the whole
+    // wire phase — the artifact cache, not the clients, absorbed the
+    // repeat traffic.
+    assert_eq!(
+        sweep.cold_misses as usize,
+        specs.len(),
+        "each spec must compile exactly once"
+    );
+    assert!(sweep.digest_match);
+}

@@ -1,7 +1,7 @@
 //! Bench-regression gating: compare freshly generated bench artifacts
-//! (`results/BENCH_runtime.json`, `results/BENCH_serve.json`) against a
-//! committed baseline copy, with per-metric tolerance bands and a
-//! machine-readable verdict.
+//! (`results/BENCH_runtime.json`, `results/BENCH_serve.json`,
+//! `results/BENCH_net.json`) against a committed baseline copy, with
+//! per-metric tolerance bands and a machine-readable verdict.
 //!
 //! All gated metrics are higher-is-better (throughputs, speedup ratios,
 //! hit rates), so a check passes when
@@ -249,7 +249,11 @@ impl Parser<'_> {
 // Metric extraction.
 
 /// The gated metrics of one artifact set, flattened to dotted names.
-pub fn extract_metrics(runtime: Option<&Json>, serve: Option<&Json>) -> Vec<(String, f64, f64)> {
+pub fn extract_metrics(
+    runtime: Option<&Json>,
+    serve: Option<&Json>,
+    net: Option<&Json>,
+) -> Vec<(String, f64, f64)> {
     let mut out = Vec::new();
     if let Some(doc) = runtime {
         for k in doc
@@ -305,6 +309,20 @@ pub fn extract_metrics(runtime: Option<&Json>, serve: Option<&Json>) -> Vec<(Str
             if let Some(v) = metric(path) {
                 out.push((name.to_string(), v, band));
             }
+        }
+    }
+    if let Some(doc) = net {
+        if let Some(v) = doc
+            .get("net")
+            .and_then(|n| n.get("jobs_per_sec"))
+            .and_then(Json::as_f64)
+        {
+            out.push(("net.jobs_per_sec".to_string(), v, DEFAULT_BAND));
+        }
+        // digest_match is 0/1 and a hard guarantee of the wire tier:
+        // current must be 1 whenever the baseline was.
+        if let Some(v) = doc.get("digest_match").and_then(Json::as_f64) {
+            out.push(("net.digest_match".to_string(), v, 0.0));
         }
     }
     out
@@ -474,18 +492,24 @@ fn load(dir: &Path, file: &str, errors: &mut Vec<String>) -> Option<Json> {
 }
 
 /// Runs the gate over two artifact directories, each expected to hold
-/// `BENCH_runtime.json` and/or `BENCH_serve.json`. A baseline file that
-/// does not exist contributes no checks (nothing committed to gate
-/// against); a baseline file the current side lacks fails every one of
-/// its metrics as missing.
+/// some of `BENCH_runtime.json`, `BENCH_serve.json`, and
+/// `BENCH_net.json`. A baseline file that does not exist contributes no
+/// checks (nothing committed to gate against); a baseline file the
+/// current side lacks fails every one of its metrics as missing.
 pub fn check_dirs(baseline_dir: &Path, current_dir: &Path, tolerance: Option<f64>) -> CheckReport {
     let mut errors = Vec::new();
     let base_runtime = load(baseline_dir, "BENCH_runtime.json", &mut errors);
     let base_serve = load(baseline_dir, "BENCH_serve.json", &mut errors);
+    let base_net = load(baseline_dir, "BENCH_net.json", &mut errors);
     let cur_runtime = load(current_dir, "BENCH_runtime.json", &mut errors);
     let cur_serve = load(current_dir, "BENCH_serve.json", &mut errors);
-    let baseline = extract_metrics(base_runtime.as_ref(), base_serve.as_ref());
-    let current = extract_metrics(cur_runtime.as_ref(), cur_serve.as_ref());
+    let cur_net = load(current_dir, "BENCH_net.json", &mut errors);
+    let baseline = extract_metrics(
+        base_runtime.as_ref(),
+        base_serve.as_ref(),
+        base_net.as_ref(),
+    );
+    let current = extract_metrics(cur_runtime.as_ref(), cur_serve.as_ref(), cur_net.as_ref());
     if baseline.is_empty() {
         errors.push(format!(
             "{}: no gated metrics found in baseline",
@@ -511,10 +535,20 @@ mod tests {
         {"steps":4,"pooled":{"iters_per_sec":100.0},"compiled":{"iters_per_sec":200.0},
          "simd":{"iters_per_sec":400.0}}],"miss_parity":true}],"skewed":{}}"#;
 
+    const NET: &str = r#"{"clients":4,"rounds":4,"jobs":96,
+        "net":{"seconds":0.04,"jobs_per_sec":2400.0,"p50_rt_ms":1.1,"p99_rt_ms":2.1},
+        "inproc_jobs_per_sec":3400.0,"net_over_inproc":0.7,
+        "warm_hits":90,"cold_misses":6,"digest_match":true}"#;
+
     fn metrics(runtime: &str, serve: &str) -> Vec<(String, f64, f64)> {
+        metrics3(runtime, serve, NET)
+    }
+
+    fn metrics3(runtime: &str, serve: &str, net: &str) -> Vec<(String, f64, f64)> {
         extract_metrics(
             Some(&Json::parse(runtime).unwrap()),
             Some(&Json::parse(serve).unwrap()),
+            Some(&Json::parse(net).unwrap()),
         )
     }
 
@@ -545,11 +579,39 @@ mod tests {
                 "serve.warm_over_cold",
                 "serve.hit_rate_warm",
                 "serve.digest_match",
+                "net.jobs_per_sec",
+                "net.digest_match",
             ]
         );
         // Last row, not first: 100, not 10.
         assert_eq!(m[0].1, 100.0);
         assert_eq!(m[6].1, 1.0);
+        // net.jobs_per_sec comes from the nested "net" object, with the
+        // default throughput band; net.digest_match is exact.
+        assert_eq!(m[7], ("net.jobs_per_sec".to_string(), 2400.0, DEFAULT_BAND));
+        assert_eq!(m[8], ("net.digest_match".to_string(), 1.0, 0.0));
+    }
+
+    #[test]
+    fn a_broken_wire_digest_fails_even_under_loose_tolerance() {
+        let base = metrics(RUNTIME, SERVE);
+        let broken = NET.replace("\"digest_match\":true", "\"digest_match\":false");
+        let report = compare(&base, &metrics3(RUNTIME, SERVE, &broken), Some(0.9));
+        assert_eq!(report.regressions(), 1);
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.name == "net.digest_match" && !c.ok));
+        // A net artifact the current run lost entirely is a failure, not
+        // a skip.
+        let without = extract_metrics(
+            Some(&Json::parse(RUNTIME).unwrap()),
+            Some(&Json::parse(SERVE).unwrap()),
+            None,
+        );
+        let report = compare(&base, &without, None);
+        assert!(!report.passed());
+        assert!(report.missing.contains(&"net.jobs_per_sec".to_string()));
     }
 
     #[test]
@@ -617,6 +679,7 @@ mod tests {
         for dir in [&bdir, &cdir] {
             fs::write(dir.join("BENCH_runtime.json"), RUNTIME).unwrap();
             fs::write(dir.join("BENCH_serve.json"), SERVE).unwrap();
+            fs::write(dir.join("BENCH_net.json"), NET).unwrap();
         }
         assert!(check_dirs(&bdir, &cdir, None).passed());
 

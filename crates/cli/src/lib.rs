@@ -10,6 +10,8 @@
 //! spfc run      prog.loop [--procs N] # execute fused vs serial, verify
 //! spfc simulate prog.loop [--machine ksr2|convex] [--procs N]
 //! spfc distribute prog.loop           # loop fission, print the result
+//! spfc serve --listen ADDR            # SPFC wire server until drained
+//! spfc submit --connect ADDR jacobi   # run a job on a remote server
 //! ```
 //!
 //! The logic lives here (returning strings) so both `main` and the
@@ -25,9 +27,10 @@ use sp_exec::{
 };
 use sp_ir::{display::render_sequence, parse_sequence, LoopSequence};
 use sp_machine::{simulate, SimPlan, CONVEX_SPP1000, KSR2};
+use sp_net::{Client, ClientConfig, NetServer};
 use sp_serve::{
     cache::{clear_disk, disk_entry_count, disk_stats},
-    parse_manifest, ArtifactCacheConfig, ServeError, Service, ServiceConfig,
+    parse_manifest, ArtifactCacheConfig, JobSpec, ServeError, Service, ServiceConfig,
 };
 use std::fmt::Write as _;
 
@@ -101,6 +104,19 @@ pub struct Options {
     /// `--listen-metrics ADDR`: serve `/metrics` + `/healthz` over HTTP
     /// for the duration of the `serve` run.
     pub listen_metrics: Option<String>,
+    /// `--listen ADDR`: run `serve` as a wire server for remote
+    /// `spfc submit` clients instead of a job manifest.
+    pub listen: Option<String>,
+    /// `--addr-file FILE`: write the bound listen address here once the
+    /// wire server is up (port discovery for scripts and tests).
+    pub addr_file: Option<String>,
+    /// `--connect ADDR`: the wire server `submit` talks to.
+    pub connect: Option<String>,
+    /// `--tenant NAME`: the tenant id `submit` runs under (fair-share
+    /// bucket and quota key on the server; default "default").
+    pub tenant: String,
+    /// `--deadline-ms N`: round-trip deadline budget for `submit`.
+    pub deadline_ms: Option<u64>,
     /// `--baseline-dir DIR`: committed bench artifacts for `bench check`.
     pub baseline_dir: Option<String>,
     /// `--current-dir DIR`: fresh bench artifacts for `bench check`
@@ -120,26 +136,9 @@ impl Options {
         let Some(command) = it.next() else {
             return usage(USAGE);
         };
-        // `list` and `serve` take no positional argument; `cache` and
-        // `bench` take an action (`stats`/`clear`, `check`) in the path
-        // slot.
-        let path = if matches!(command.as_str(), "list" | "serve") {
-            String::new()
-        } else {
-            match it.next() {
-                Some(p) => p.clone(),
-                None if command == "cache" => {
-                    return usage(format!("cache needs an action (stats|clear)\n{USAGE}"))
-                }
-                None if command == "bench" => {
-                    return usage(format!("bench needs an action (check)\n{USAGE}"))
-                }
-                None => return usage(format!("missing program path\n{USAGE}")),
-            }
-        };
         let mut opts = Options {
             command: command.clone(),
-            path,
+            path: String::new(),
             procs: 4,
             strip: 16,
             machine: "convex".to_string(),
@@ -155,12 +154,24 @@ impl Options {
             workers: 4,
             queue: 64,
             listen_metrics: None,
+            listen: None,
+            addr_file: None,
+            connect: None,
+            tenant: "default".to_string(),
+            deadline_ms: None,
             baseline_dir: None,
             current_dir: None,
             tolerance: None,
             json_out: None,
         };
+        // The first non-flag token is the positional argument: the
+        // program path, a `cache`/`bench` action, or a `submit` target.
+        // It may come before or after the flags.
         while let Some(flag) = it.next() {
+            if !flag.starts_with("--") && opts.path.is_empty() {
+                opts.path = flag.clone();
+                continue;
+            }
             let mut take = || -> Result<&String, CliError> {
                 match it.next() {
                     Some(v) => Ok(v),
@@ -234,6 +245,24 @@ impl Options {
                 "--listen-metrics" => {
                     opts.listen_metrics = Some(take()?.clone());
                 }
+                "--listen" => {
+                    opts.listen = Some(take()?.clone());
+                }
+                "--addr-file" => {
+                    opts.addr_file = Some(take()?.clone());
+                }
+                "--connect" => {
+                    opts.connect = Some(take()?.clone());
+                }
+                "--tenant" => {
+                    opts.tenant = take()?.clone();
+                }
+                "--deadline-ms" => {
+                    opts.deadline_ms = Some(take()?.parse().map_err(|_| CliError {
+                        message: "bad --deadline-ms".into(),
+                        code: 2,
+                    })?);
+                }
                 "--baseline-dir" => {
                     opts.baseline_dir = Some(take()?.clone());
                 }
@@ -256,6 +285,21 @@ impl Options {
                 other => return usage(format!("unknown flag {other}\n{USAGE}")),
             }
         }
+        // `list` and `serve` take no positional argument; everything
+        // else needs one.
+        if opts.path.is_empty() {
+            match command.as_str() {
+                "list" | "serve" => {}
+                "cache" => return usage(format!("cache needs an action (stats|clear)\n{USAGE}")),
+                "bench" => return usage(format!("bench needs an action (check)\n{USAGE}")),
+                "submit" => {
+                    return usage(format!(
+                        "submit needs a program, kernel name, drain, or ping\n{USAGE}"
+                    ))
+                }
+                _ => return usage(format!("missing program path\n{USAGE}")),
+            }
+        }
         Ok(opts)
     }
 }
@@ -270,6 +314,12 @@ pub const USAGE: &str = "usage: spfc \
        spfc list\n\
        spfc serve --jobs FILE [--cache-dir DIR] [--workers N] [--queue N] \
 [--trace-out FILE] [--metrics-out FILE] [--listen-metrics ADDR]\n\
+       spfc serve --listen ADDR [--cache-dir DIR] [--workers N] [--queue N] \
+[--trace-out FILE] [--metrics-out FILE] [--listen-metrics ADDR] [--addr-file FILE]\n\
+       spfc submit --connect ADDR <prog.loop|kernel|drain|ping> \
+[--tenant NAME] [--procs N] [--strip N] [--steps N] \
+[--backend interp|compiled|simd] [--schedule static|guided|stealing] \
+[--deadline-ms N]\n\
        spfc cache <stats|clear> --cache-dir DIR\n\
        spfc bench check --baseline-dir DIR [--current-dir DIR] \
 [--tolerance F] [--json-out FILE]\n\
@@ -280,11 +330,31 @@ tomcatv, hydro2d, spem, jacobi) and prints every fusion/derivation decision.\n\
   list prints the suite kernels a job manifest's kernel= can name.\n\
   serve runs a job manifest through the caching job service; --trace-out \
 exports the whole session as one Chrome trace, --listen-metrics serves \
-/metrics and /healthz over HTTP while the manifest runs; cache \
+/metrics and /healthz over HTTP while the manifest runs; with --listen it \
+instead serves the SPFC wire protocol until a client drains it; cache \
 inspects or clears an on-disk artifact cache (stats includes serve stage \
 latencies).\n\
+  submit sends a program (a .loop file or suite kernel name) to a \
+`serve --listen` server over TCP and prints the returned run report; \
+`submit drain` quiesces the server, `submit ping` measures the round trip.\n\
   bench check gates fresh results/BENCH_*.json against a committed \
 baseline copy with per-metric tolerance bands; nonzero exit on regression.";
+
+fn parse_backend(s: &str) -> Result<Backend, CliError> {
+    match s {
+        "interp" => Ok(Backend::Interp),
+        "compiled" => Ok(Backend::Compiled),
+        "simd" => Ok(Backend::Simd),
+        other => usage(format!("unknown backend {other} (interp|compiled|simd)")),
+    }
+}
+
+fn parse_schedule(s: &str) -> Result<Schedule, CliError> {
+    match Schedule::parse(s) {
+        Some(sched) => Ok(sched),
+        None => usage(format!("unknown schedule {s} (static|guided|stealing)")),
+    }
+}
 
 fn load(path: &str) -> Result<LoopSequence, CliError> {
     let src = std::fs::read_to_string(path).map_err(|e| CliError {
@@ -406,8 +476,16 @@ fn list_command() -> Result<String, CliError> {
 /// one Chrome trace; `--listen-metrics` serves live Prometheus text
 /// over HTTP while the manifest runs.
 fn serve_command(opts: &Options) -> Result<String, CliError> {
+    if opts.listen.is_some() {
+        if opts.jobs.is_some() {
+            return usage(
+                "serve takes either --jobs (manifest mode) or --listen (wire mode), not both",
+            );
+        }
+        return serve_listen_command(opts);
+    }
     let Some(jobs_path) = &opts.jobs else {
-        return usage(format!("serve needs --jobs FILE\n{USAGE}"));
+        return usage(format!("serve needs --jobs FILE or --listen ADDR\n{USAGE}"));
     };
     let text = std::fs::read_to_string(jobs_path).map_err(|e| CliError {
         message: format!("cannot read {jobs_path}: {e}"),
@@ -550,6 +628,198 @@ fn serve_command(opts: &Options) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `spfc serve --listen ADDR`: run the wire server until some client
+/// drains it, then print the session summary (outcomes, per-tenant
+/// counts, cache counters, stage latency). The bound address goes to
+/// stderr immediately — and to `--addr-file` when given — so scripts
+/// can discover an ephemeral port.
+fn serve_listen_command(opts: &Options) -> Result<String, CliError> {
+    let addr = opts.listen.as_deref().unwrap();
+    let mut cache = ArtifactCacheConfig::default();
+    if let Some(dir) = &opts.cache_dir {
+        cache = cache.disk(dir);
+    }
+    let mut cfg = ServiceConfig::default()
+        .workers(opts.workers)
+        .queue_capacity(opts.queue)
+        .cache(cache);
+    if opts.trace_out.is_some() {
+        cfg = cfg.traced();
+    }
+    let service = std::sync::Arc::new(Service::new(cfg));
+    let server = NetServer::start(addr, std::sync::Arc::clone(&service)).map_err(|e| CliError {
+        message: format!("cannot listen on {addr}: {e}"),
+        code: 1,
+    })?;
+    let bound = server.addr();
+    eprintln!("spfc serve: listening on {bound}");
+    if let Some(path) = &opts.addr_file {
+        std::fs::write(path, bound.to_string()).map_err(|e| CliError {
+            message: format!("cannot write {path}: {e}"),
+            code: 1,
+        })?;
+    }
+    let scraper = match &opts.listen_metrics {
+        Some(addr) => {
+            let svc = std::sync::Arc::clone(&service);
+            let render: sp_serve::MetricsRender =
+                std::sync::Arc::new(move || svc.metrics().to_prometheus());
+            Some(
+                sp_serve::MetricsServer::start(addr, render).map_err(|e| CliError {
+                    message: format!("cannot listen on {addr}: {e}"),
+                    code: 1,
+                })?,
+            )
+        }
+        None => None,
+    };
+
+    server.wait_drained();
+
+    let mut out = String::new();
+    let stats = service.stage_stats();
+    let _ = writeln!(
+        out,
+        "drained: {} ok, {} deadline, {} rejected, {} quota on {} workers",
+        stats.ok, stats.deadline, stats.rejected, stats.quota, opts.workers,
+    );
+    for t in &stats.tenants {
+        let _ = writeln!(
+            out,
+            "tenant {:<12} {} ok, {} deadline, {} quota",
+            t.name, t.ok, t.deadline, t.quota,
+        );
+    }
+    let c = service.cache_counters();
+    let _ = writeln!(
+        out,
+        "cache: {} hits ({} disk), {} misses, {} inserts",
+        c.total_hits(),
+        c.disk_hits,
+        c.misses,
+        c.inserts,
+    );
+    let summary = stats.render_summary();
+    if !summary.is_empty() {
+        let _ = writeln!(out, "stage latency (p-bounds at log2 resolution):");
+        out.push_str(&summary);
+    }
+    if let Some(path) = &opts.trace_out {
+        let session = service.session_trace().ok_or_else(|| CliError {
+            message: "traced serve produced no session trace".into(),
+            code: 1,
+        })?;
+        std::fs::write(path, session.chrome_json()).map_err(|e| CliError {
+            message: format!("cannot write {path}: {e}"),
+            code: 1,
+        })?;
+        let _ = writeln!(
+            out,
+            "wrote {path}: {} jobs across {} worker lane(s) ({} dropped events)",
+            session.job_count(),
+            session.worker_lanes().len(),
+            session.dropped(),
+        );
+    }
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, service.metrics().to_prometheus()).map_err(|e| CliError {
+            message: format!("cannot write {path}: {e}"),
+            code: 1,
+        })?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    if let Some(metrics) = scraper {
+        let _ = writeln!(out, "metrics endpoint served on {}", metrics.addr());
+        metrics.shutdown();
+    }
+    server.shutdown();
+    Ok(out)
+}
+
+/// `spfc submit --connect ADDR <prog.loop|kernel|drain|ping>`: send a
+/// program to a `serve --listen` server and print the returned run
+/// report; `drain` and `ping` are wire control actions.
+fn submit_command(opts: &Options) -> Result<String, CliError> {
+    let Some(addr) = &opts.connect else {
+        return usage(format!("submit needs --connect ADDR\n{USAGE}"));
+    };
+    let mut client =
+        Client::connect(addr, ClientConfig::default().tenant(&opts.tenant)).map_err(|e| {
+            CliError {
+                message: format!("cannot connect to {addr}: {e}"),
+                code: 1,
+            }
+        })?;
+    let mut out = String::new();
+    match opts.path.as_str() {
+        "drain" => {
+            client.drain().map_err(|e| CliError {
+                message: format!("drain {addr}: {e}"),
+                code: 1,
+            })?;
+            let _ = writeln!(out, "drained {addr}");
+            return Ok(out);
+        }
+        "ping" => {
+            let rtt = client.ping().map_err(|e| CliError {
+                message: format!("ping {addr}: {e}"),
+                code: 1,
+            })?;
+            let _ = writeln!(out, "ping {addr}: {} us", rtt.as_micros());
+            return Ok(out);
+        }
+        _ => {}
+    }
+    let backend = parse_backend(&opts.backend)?;
+    let schedule = parse_schedule(&opts.schedule)?;
+    for seq in resolve_sequences(&opts.path)? {
+        let name = seq.name.clone();
+        let plan = ExecPlan::Fused {
+            grid: vec![opts.procs],
+            method: CodegenMethod::StripMined,
+            strip: opts.strip,
+        };
+        let mut spec = JobSpec::new(&name, seq, plan)
+            .backend(backend)
+            .schedule(schedule)
+            .steps(opts.steps);
+        if let Some(ms) = opts.deadline_ms {
+            spec = spec.deadline(std::time::Duration::from_millis(ms));
+        }
+        let res = client.submit(&spec).map_err(|e| CliError {
+            message: format!("submit {name}: {e}"),
+            code: 1,
+        })?;
+        let _ = writeln!(
+            out,
+            "job {} {:<12} tenant={} {:<8} digest={:016x} run {:>8} us (queued {} us)",
+            res.job,
+            res.name,
+            res.tenant,
+            res.cache.name(),
+            res.digest,
+            res.run_nanos / 1_000,
+            res.queued_nanos / 1_000,
+        );
+        let r = &res.report;
+        let c = r.merged_counters();
+        let _ = writeln!(
+            out,
+            "  report: {} backend {} schedule {} on {} procs x {} steps, \
+{} iters (+{} peeled), wall {} us",
+            r.executor,
+            r.backend,
+            r.schedule,
+            r.procs,
+            r.steps,
+            c.iters,
+            c.peeled_iters,
+            r.wall_nanos / 1_000,
+        );
+    }
+    Ok(out)
+}
+
 /// `spfc bench check`: gate fresh bench artifacts against a committed
 /// baseline. Prints the verdict table; a regression (or a missing
 /// metric) is a nonzero exit with the same table on stderr.
@@ -669,6 +939,7 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
         "trace-check" => return trace_check_command(opts),
         "list" => return list_command(),
         "serve" => return serve_command(opts),
+        "submit" => return submit_command(opts),
         "cache" => return cache_command(opts),
         "bench" => return bench_command(opts),
         _ => {}
@@ -736,18 +1007,8 @@ pub fn run_command(opts: &Options) -> Result<String, CliError> {
             // The dynamic runtime cannot legally execute fused plans
             // (peeling assumes static block boundaries), so it runs the
             // unfused blocked plan — the scheduling ablation.
-            let backend = match opts.backend.as_str() {
-                "interp" => Backend::Interp,
-                "compiled" => Backend::Compiled,
-                "simd" => Backend::Simd,
-                other => return usage(format!("unknown backend {other} (interp|compiled|simd)")),
-            };
-            let Some(schedule) = Schedule::parse(&opts.schedule) else {
-                return usage(format!(
-                    "unknown schedule {} (static|guided|stealing)",
-                    opts.schedule
-                ));
-            };
+            let backend = parse_backend(&opts.backend)?;
+            let schedule = parse_schedule(&opts.schedule)?;
             let mut cfg = if opts.executor == "dynamic" {
                 RunConfig::blocked([opts.procs]).steps(opts.steps)
             } else {

@@ -518,3 +518,138 @@ fn serve_listen_metrics_binds_and_reports() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The wire tier end to end through the CLI: `serve --listen` on an
+/// ephemeral port (discovered via --addr-file), kernel and .loop
+/// submissions with a warm resubmit, ping, and a drain that unblocks
+/// the server and yields the per-tenant summary.
+#[test]
+fn serve_listen_and_submit_round_trip() {
+    let dir = std::env::temp_dir().join(format!("spfc-net-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let addr_file = dir.join("addr");
+    let metrics = dir.join("metrics.prom");
+
+    let serve_args: Vec<String> = [
+        "serve",
+        "--listen",
+        "127.0.0.1:0",
+        "--addr-file",
+        addr_file.to_str().unwrap(),
+        "--workers",
+        "2",
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let server = std::thread::spawn(move || {
+        run_command(&Options::parse(&serve_args).expect("parse serve")).expect("serve --listen")
+    });
+
+    // Port discovery: the server writes its bound address once up.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let addr = loop {
+        if let Ok(s) = std::fs::read_to_string(&addr_file) {
+            if !s.is_empty() {
+                break s;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never wrote {addr_file:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+
+    // A suite kernel by name, cold then warm.
+    let cold = run(&[
+        "submit",
+        "--connect",
+        &addr,
+        "jacobi",
+        "--tenant",
+        "alice",
+        "--procs",
+        "2",
+    ])
+    .expect("cold submit");
+    assert!(cold.contains("tenant=alice"), "{cold}");
+    assert!(cold.contains("miss"), "{cold}");
+    assert!(cold.contains("report:"), "{cold}");
+    assert!(cold.contains("digest="), "{cold}");
+    let warm = run(&[
+        "submit",
+        "--connect",
+        &addr,
+        "jacobi",
+        "--tenant",
+        "alice",
+        "--procs",
+        "2",
+    ])
+    .expect("warm submit");
+    assert!(warm.contains("hit"), "{warm}");
+
+    // A .loop file goes over the wire too, under another tenant.
+    with_program(|path| {
+        let out = run(&[
+            "submit",
+            "--connect",
+            &addr,
+            path,
+            "--tenant",
+            "bob",
+            "--backend",
+            "compiled",
+            "--procs",
+            "2",
+        ])
+        .expect("file submit");
+        assert!(out.contains("tenant=bob"), "{out}");
+        assert!(out.contains("backend compiled"), "{out}");
+    });
+
+    let ping = run(&["submit", "--connect", &addr, "ping"]).expect("ping");
+    assert!(ping.contains("us"), "{ping}");
+
+    let drain = run(&["submit", "--connect", &addr, "drain"]).expect("drain");
+    assert!(drain.contains("drained"), "{drain}");
+
+    let summary = server.join().expect("server thread");
+    assert!(summary.contains("drained:"), "{summary}");
+    assert!(summary.contains("tenant alice"), "{summary}");
+    assert!(summary.contains("tenant bob"), "{summary}");
+    let prom = std::fs::read_to_string(&metrics).expect("metrics file");
+    assert!(prom.contains("spfc_serve_tenant_jobs_total"), "{prom}");
+    assert!(prom.contains("tenant=\"alice\""), "{prom}");
+    assert!(prom.contains("tenant=\"bob\""), "{prom}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Usage errors for the wire commands: submit without --connect, serve
+/// with both modes at once, and unreachable servers fail cleanly.
+#[test]
+fn wire_commands_report_usage_errors() {
+    let e = run(&["submit", "jacobi"]).unwrap_err();
+    assert_eq!(e.code, 2);
+    assert!(e.message.contains("--connect"), "{}", e.message);
+
+    let e = run(&[
+        "serve",
+        "--listen",
+        "127.0.0.1:0",
+        "--jobs",
+        "/nonexistent.manifest",
+    ])
+    .unwrap_err();
+    assert_eq!(e.code, 2);
+    assert!(e.message.contains("not both"), "{}", e.message);
+
+    // Nothing listens on a reserved port of the discard range.
+    let e = run(&["submit", "--connect", "127.0.0.1:9", "jacobi"]).unwrap_err();
+    assert_eq!(e.code, 1);
+    assert!(e.message.contains("cannot connect"), "{}", e.message);
+}

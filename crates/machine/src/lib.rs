@@ -12,10 +12,13 @@
 //!   (speedup-vs-processors, misses-vs-padding, improvement-vs-size);
 //! * [`tune`] — the adaptive-schedule auto-tuner: chunk-size bounds from
 //!   the cost model (`Nt` floor to cache-capacity), schedule choice from
-//!   probe runs on the real pool, and the skewed-load sweep harness.
+//!   probe runs on the real pool, and the skewed-load sweep harness;
+//! * [`net`] — the wire-tier sweep: concurrent socket clients against an
+//!   `sp-net` server, measured against the in-process ceiling.
 
 pub mod config;
 pub mod experiment;
+pub mod net;
 pub mod sim;
 pub mod tune;
 
@@ -25,6 +28,7 @@ pub use experiment::{
     runtime_sweep, serve_sweep, speedup_sweep, sum_results, MissParity, PaddingRow, PaddingSweep,
     RuntimeRow, ServePhase, SweepOptions, SweepRow,
 };
+pub use net::{net_sweep, NetSweep};
 pub use sim::{price, simulate, ProcResult, SimPlan, SimResult};
 pub use tune::{
     auto_tune, chunk_bounds, skewed_sweep, ChunkBounds, SkewRow, TuneChoice, TuneProbe,

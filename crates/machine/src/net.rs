@@ -1,0 +1,254 @@
+//! The wire-tier serving benchmark: N concurrent socket clients against
+//! one [`NetServer`], with an in-process baseline on the same workload.
+//!
+//! [`net_sweep`] runs the same job list two ways:
+//!
+//! 1. **In-process**: every copy of every spec goes straight into a
+//!    fresh [`Service`] — the ceiling the wire tier is measured against.
+//! 2. **Over the wire**: `clients` threads each own a TCP connection to
+//!    a fresh server and submit the list `rounds` times, recording the
+//!    round-trip latency of every job. The first completion of each
+//!    spec compiles (cold); every later one must hit the artifact cache
+//!    (warm) — so the sweep exercises the cold/warm mix the serve tier
+//!    sees in practice.
+//!
+//! The sweep fails rather than returning numbers if any wire digest
+//! differs from the in-process digest for the same spec: the protocol
+//! must not change results, only transport them.
+
+use sp_net::{Client, ClientConfig, NetServer};
+use sp_serve::{ArtifactCacheConfig, CacheOutcome, JobSpec, Service, ServiceConfig};
+use std::sync::Arc;
+
+/// The result of one [`net_sweep`]: wire-tier throughput and latency
+/// next to the in-process baseline on the identical workload.
+#[derive(Clone, Debug)]
+pub struct NetSweep {
+    /// Concurrent wire clients.
+    pub clients: usize,
+    /// Rounds of the spec list each client submitted.
+    pub rounds: usize,
+    /// Total wire jobs completed (`clients * rounds * specs`).
+    pub jobs: usize,
+    /// Wall time of the wire phase (first submission to last result).
+    pub seconds: f64,
+    /// Every job's client-observed round trip, sorted ascending.
+    pub rt_nanos: Vec<u64>,
+    /// Wire jobs served from the artifact cache.
+    pub warm_hits: u64,
+    /// Wire jobs that compiled (the first touch of each spec).
+    pub cold_misses: u64,
+    /// Jobs completed by the in-process baseline (same count).
+    pub inproc_jobs: usize,
+    /// Wall time of the in-process baseline.
+    pub inproc_seconds: f64,
+    /// Every wire digest matched the in-process digest of its spec.
+    /// Always true on a returned sweep (divergence is an error), kept
+    /// as a field so the bench artifact can gate on it.
+    pub digest_match: bool,
+}
+
+impl NetSweep {
+    /// Wire jobs per second of wall time.
+    pub fn jobs_per_sec(&self) -> f64 {
+        self.jobs as f64 / self.seconds.max(1e-9)
+    }
+
+    /// In-process jobs per second on the same workload.
+    pub fn inproc_jobs_per_sec(&self) -> f64 {
+        self.inproc_jobs as f64 / self.inproc_seconds.max(1e-9)
+    }
+
+    /// The `p`-quantile (0.0–1.0) of the round-trip distribution.
+    pub fn rt_quantile_nanos(&self, p: f64) -> u64 {
+        if self.rt_nanos.is_empty() {
+            return 0;
+        }
+        let idx = ((self.rt_nanos.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        self.rt_nanos[idx]
+    }
+
+    /// Median round trip.
+    pub fn p50_rt_nanos(&self) -> u64 {
+        self.rt_quantile_nanos(0.50)
+    }
+
+    /// Tail round trip.
+    pub fn p99_rt_nanos(&self) -> u64 {
+        self.rt_quantile_nanos(0.99)
+    }
+}
+
+fn service_for(specs: &[JobSpec], queue: usize) -> Service {
+    let widest = specs.iter().map(|s| s.plan.procs()).max().unwrap_or(1);
+    Service::new(
+        ServiceConfig::default()
+            .workers(widest.max(2))
+            .queue_capacity(queue.max(8))
+            // Memory-only and big enough that warm rounds never miss
+            // for capacity reasons.
+            .cache(ArtifactCacheConfig::memory(2 * specs.len().max(1))),
+    )
+}
+
+/// Runs `specs` through the wire tier with `clients` concurrent TCP
+/// clients submitting the list `rounds` times each, and the identical
+/// workload through a fresh in-process service. Errors if any job fails
+/// or any wire digest diverges from its in-process counterpart.
+pub fn net_sweep(specs: &[JobSpec], clients: usize, rounds: usize) -> Result<NetSweep, String> {
+    if specs.is_empty() || clients == 0 || rounds == 0 {
+        return Err("net_sweep needs specs, clients >= 1, and rounds >= 1".into());
+    }
+
+    // In-process baseline: the same total volume, submitted all at
+    // once — the queue-and-run ceiling without sockets. The queue must
+    // hold the whole burst.
+    let total = clients * rounds * specs.len();
+    let baseline = service_for(specs, total);
+    let t0 = std::time::Instant::now();
+    let mut ids = Vec::with_capacity(clients * rounds * specs.len());
+    for _ in 0..clients * rounds {
+        for spec in specs {
+            ids.push(
+                baseline
+                    .submit(spec.clone())
+                    .map_err(|e| format!("baseline submit: {e}"))?,
+            );
+        }
+    }
+    let mut inproc_digests = vec![0u64; specs.len()];
+    for (i, id) in ids.into_iter().enumerate() {
+        let res = baseline
+            .wait(id)
+            .map_err(|e| format!("baseline job: {e}"))?;
+        inproc_digests[i % specs.len()] = res.digest;
+    }
+    let inproc_seconds = t0.elapsed().as_secs_f64();
+    let inproc_jobs = total;
+
+    // Wire phase: a fresh (cold) server, `clients` connections (each
+    // client has at most one job outstanding, so `clients` bounds the
+    // server's queue pressure).
+    let server = NetServer::start("127.0.0.1:0", Arc::new(service_for(specs, clients)))
+        .map_err(|e| format!("cannot bind the sweep server: {e}"))?;
+    let addr = server.addr().to_string();
+    let t0 = std::time::Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let specs = specs.to_vec();
+            std::thread::spawn(
+                move || -> Result<Vec<(usize, u64, u64, CacheOutcome)>, String> {
+                    let mut client = Client::connect(
+                        &addr,
+                        ClientConfig::default().tenant(format!("client-{c}")),
+                    )
+                    .map_err(|e| format!("client {c} connect: {e}"))?;
+                    let mut done = Vec::with_capacity(rounds * specs.len());
+                    for _ in 0..rounds {
+                        for (i, spec) in specs.iter().enumerate() {
+                            let t = std::time::Instant::now();
+                            let res = client
+                                .submit(spec)
+                                .map_err(|e| format!("client {c} submit {}: {e}", spec.name))?;
+                            let rt = t.elapsed().as_nanos() as u64;
+                            done.push((i, rt, res.digest, res.cache));
+                        }
+                    }
+                    Ok(done)
+                },
+            )
+        })
+        .collect();
+    let mut rt_nanos = Vec::with_capacity(clients * rounds * specs.len());
+    let mut warm_hits = 0u64;
+    let mut cold_misses = 0u64;
+    for t in threads {
+        for (i, rt, digest, cache) in t.join().map_err(|_| "a client thread panicked")?? {
+            if digest != inproc_digests[i] {
+                return Err(format!(
+                    "digest divergence on {}: wire {digest:016x} != in-process {:016x}",
+                    specs[i].name, inproc_digests[i]
+                ));
+            }
+            rt_nanos.push(rt);
+            match cache {
+                CacheOutcome::Miss => cold_misses += 1,
+                CacheOutcome::Memory | CacheOutcome::Disk => warm_hits += 1,
+            }
+        }
+    }
+    let seconds = t0.elapsed().as_secs_f64();
+    server.shutdown();
+    rt_nanos.sort_unstable();
+
+    Ok(NetSweep {
+        clients,
+        rounds,
+        jobs: rt_nanos.len(),
+        seconds,
+        rt_nanos,
+        warm_hits,
+        cold_misses,
+        inproc_jobs,
+        inproc_seconds,
+        digest_match: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shift_peel_core::CodegenMethod;
+    use sp_exec::ExecPlan;
+    use sp_ir::SeqBuilder;
+
+    fn stencil(n: usize) -> sp_ir::LoopSequence {
+        let mut b = SeqBuilder::new(format!("st{n}"));
+        let a = b.array("a", [n]);
+        let c = b.array("c", [n]);
+        let (lo, hi) = (1, n as i64 - 2);
+        b.nest("L1", [(lo, hi)], |x| {
+            let r = x.ld(a, [1]) + x.ld(a, [-1]);
+            x.assign(c, [0], r);
+        });
+        b.finish()
+    }
+
+    fn specs() -> Vec<JobSpec> {
+        [32, 48]
+            .iter()
+            .map(|&n| {
+                JobSpec::new(
+                    format!("st{n}"),
+                    stencil(n),
+                    ExecPlan::Fused {
+                        grid: vec![2],
+                        method: CodegenMethod::StripMined,
+                        strip: 8,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn net_sweep_matches_digests_and_mixes_cold_and_warm() {
+        let sweep = net_sweep(&specs(), 2, 2).unwrap();
+        assert_eq!(sweep.jobs, 2 * 2 * 2);
+        assert_eq!(sweep.inproc_jobs, sweep.jobs);
+        assert!(sweep.digest_match);
+        // The first touch of each spec is cold, everything after warm.
+        assert_eq!(sweep.cold_misses, 2);
+        assert_eq!(sweep.warm_hits as usize, sweep.jobs - 2);
+        assert_eq!(sweep.rt_nanos.len(), sweep.jobs);
+        assert!(sweep.p99_rt_nanos() >= sweep.p50_rt_nanos());
+        assert!(sweep.jobs_per_sec() > 0.0 && sweep.inproc_jobs_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn net_sweep_rejects_a_degenerate_call() {
+        assert!(net_sweep(&[], 2, 2).is_err());
+        assert!(net_sweep(&specs(), 0, 1).is_err());
+    }
+}

@@ -1,0 +1,386 @@
+//! The blocking wire client: connect/submit timeouts, bounded
+//! exponential-backoff retries, and deadline propagation.
+//!
+//! One [`Client`] owns one connection and submits one job at a time
+//! (concurrency = more clients, mirroring the server's
+//! thread-per-connection model). Transient failures — transport errors
+//! and the server's back-off codes (`QueueFull`, `QuotaExceeded`) — are
+//! retried up to [`ClientConfig::retries`] times with exponential
+//! backoff; everything else surfaces immediately as a typed
+//! [`NetError`].
+//!
+//! Deadline propagation: [`Client::submit`] treats
+//! [`JobSpec::deadline`](sp_serve::JobSpec) as a budget for the *whole*
+//! round trip, started at the first attempt. Each attempt re-encodes
+//! the remaining budget into the frame, so time burned on retries,
+//! connection setup, and the server's queue all count against the same
+//! clock; a budget that runs out client-side fails fast with
+//! [`NetError::DeadlineExhausted`] without bothering the server.
+
+use crate::wire::{
+    program_digest, read_frame, write_frame, Frame, ProgramRef, ReadError, ResultFrame, SubmitJob,
+    WireError,
+};
+use sp_exec::RunReport;
+use sp_serve::{CacheOutcome, JobSpec};
+use std::fmt;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Client-side failure modes.
+#[derive(Debug)]
+pub enum NetError {
+    /// Transport failure (connect, read, or write) after all retries.
+    Io(String),
+    /// The server's bytes were not a valid frame.
+    Wire(WireError),
+    /// The server answered with a typed error.
+    Serve {
+        /// Stable error code ([`ServeError::code`] or a net-level
+        /// `CODE_*`).
+        ///
+        /// [`ServeError::code`]: sp_serve::ServeError::code
+        code: u16,
+        /// The job the error concerns (0 = none was created).
+        job: u64,
+        /// The offending tenant.
+        tenant: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The deadline budget ran out client-side (before or between
+    /// attempts).
+    DeadlineExhausted,
+    /// Transient *transport* failures outlasted the retry budget.
+    /// (Server-side transient rejections — queue full, over quota —
+    /// surface as [`NetError::Serve`] with their typed code once
+    /// retries run out, so callers can still tell them apart.)
+    RetriesExhausted {
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// The final rejection.
+        last: String,
+    },
+    /// The server closed the connection without answering.
+    Closed,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(m) => write!(f, "transport error: {m}"),
+            NetError::Wire(e) => write!(f, "protocol error: {e}"),
+            NetError::Serve {
+                code,
+                job,
+                tenant,
+                message,
+            } => write!(
+                f,
+                "server error [code {code}, job {job}, tenant {tenant}]: {message}"
+            ),
+            NetError::DeadlineExhausted => write!(f, "deadline budget exhausted client-side"),
+            NetError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            NetError::Closed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Connection and retry policy.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Tenant id sent with every submission (the fair-share bucket and
+    /// quota key on the server).
+    pub tenant: String,
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-frame read/write timeout. Generous: a submit blocks for the
+    /// whole job.
+    pub io_timeout: Duration,
+    /// Extra attempts after the first, for transient errors only.
+    pub retries: u32,
+    /// First backoff; doubles per retry, capped at 1 s.
+    pub backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            tenant: "default".into(),
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(60),
+            retries: 4,
+            backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Sets the tenant id.
+    pub fn tenant(mut self, t: impl Into<String>) -> Self {
+        self.tenant = t.into();
+        self
+    }
+
+    /// Sets the retry budget.
+    pub fn retries(mut self, n: u32) -> Self {
+        self.retries = n;
+        self
+    }
+
+    /// Sets the base backoff.
+    pub fn backoff(mut self, d: Duration) -> Self {
+        self.backoff = d;
+        self
+    }
+
+    /// Sets the per-frame io timeout.
+    pub fn io_timeout(mut self, d: Duration) -> Self {
+        self.io_timeout = d;
+        self
+    }
+}
+
+/// A successful round trip: the server-side identifiers plus the full
+/// [`RunReport`], decoded.
+#[derive(Clone, Debug)]
+pub struct NetJobResult {
+    /// Server-side job id.
+    pub job: u64,
+    /// Job name, echoed.
+    pub name: String,
+    /// Tenant, echoed.
+    pub tenant: String,
+    /// Which cache tier served the compilation.
+    pub cache: CacheOutcome,
+    /// FNV digest of the final array snapshot.
+    pub digest: u64,
+    /// Queue wait on the server.
+    pub queued_nanos: u64,
+    /// Wall time of the run on the server.
+    pub run_nanos: u64,
+    /// 1-based completion order across the service.
+    pub order: u64,
+    /// The run's full instrumentation.
+    pub report: RunReport,
+}
+
+/// A blocking wire client over one connection.
+pub struct Client {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    conn: Option<TcpStream>,
+}
+
+impl Client {
+    /// Resolves `addr` and connects eagerly (so configuration errors
+    /// surface here, not on first submit).
+    pub fn connect(addr: &str, cfg: ClientConfig) -> Result<Client, NetError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| NetError::Io(format!("cannot resolve {addr}: {e}")))?
+            .next()
+            .ok_or_else(|| NetError::Io(format!("{addr} resolves to nothing")))?;
+        let mut client = Client {
+            addr,
+            cfg,
+            conn: None,
+        };
+        client.ensure_conn()?;
+        Ok(client)
+    }
+
+    /// The resolved server address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn ensure_conn(&mut self) -> Result<&mut TcpStream, NetError> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout)
+                .map_err(|e| NetError::Io(format!("connect {}: {e}", self.addr)))?;
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_read_timeout(Some(self.cfg.io_timeout));
+            let _ = stream.set_write_timeout(Some(self.cfg.io_timeout));
+            self.conn = Some(stream);
+        }
+        Ok(self.conn.as_mut().unwrap())
+    }
+
+    /// One request/response exchange. Io failures poison the
+    /// connection so the next attempt reconnects.
+    fn exchange(&mut self, frame: &Frame) -> Result<Frame, NetError> {
+        let stream = self.ensure_conn()?;
+        if let Err(e) = write_frame(stream, frame) {
+            self.conn = None;
+            return Err(NetError::Io(format!("write: {e}")));
+        }
+        match read_frame(stream) {
+            Ok(f) => Ok(f),
+            Err(ReadError::Closed) => {
+                self.conn = None;
+                Err(NetError::Closed)
+            }
+            Err(ReadError::Io(e)) => {
+                self.conn = None;
+                Err(NetError::Io(format!("read: {e}")))
+            }
+            Err(ReadError::Wire(e)) => {
+                // Desynchronized; never reuse the stream.
+                self.conn = None;
+                Err(NetError::Wire(e))
+            }
+        }
+    }
+
+    /// Submits `spec`'s program by full text under this client's
+    /// tenant, with retries and deadline propagation.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<NetJobResult, NetError> {
+        self.submit_request(&self.request_for(spec, false))
+    }
+
+    /// Submits by content digest alone — valid once the server has seen
+    /// the text (a prior [`Client::submit`] from any connection).
+    pub fn submit_by_digest(&mut self, spec: &JobSpec) -> Result<NetJobResult, NetError> {
+        self.submit_request(&self.request_for(spec, true))
+    }
+
+    fn request_for(&self, spec: &JobSpec, by_digest: bool) -> SubmitJob {
+        SubmitJob {
+            tenant: self.cfg.tenant.clone(),
+            name: spec.name.clone(),
+            program: if by_digest {
+                ProgramRef::Digest(program_digest(&spec.seq))
+            } else {
+                ProgramRef::Text(sp_ir::display::render_sequence(&spec.seq))
+            },
+            plan: spec.plan.clone(),
+            backend: spec.backend,
+            schedule: spec.schedule,
+            steps: spec.steps as u64,
+            seed: spec.seed,
+            deadline_nanos: spec
+                .deadline
+                .map_or(0, |d| d.as_nanos().min(u64::MAX as u128) as u64),
+        }
+    }
+
+    /// The retry loop shared by the submit paths.
+    fn submit_request(&mut self, req: &SubmitJob) -> Result<NetJobResult, NetError> {
+        let started = Instant::now();
+        let budget = (req.deadline_nanos > 0).then(|| Duration::from_nanos(req.deadline_nanos));
+        let attempts = 1 + self.cfg.retries;
+        let mut backoff = self.cfg.backoff;
+        let mut last: Option<NetError> = None;
+        for attempt in 0..attempts {
+            // Re-encode the remaining budget so server queue time and
+            // client retry time share one clock.
+            let mut frame_req = req.clone();
+            if let Some(total) = budget {
+                let Some(remaining) = total.checked_sub(started.elapsed()) else {
+                    return Err(NetError::DeadlineExhausted);
+                };
+                frame_req.deadline_nanos = remaining.as_nanos().min(u64::MAX as u128) as u64;
+            }
+            let outcome = self.exchange(&Frame::Submit(frame_req));
+            let transient = match outcome {
+                Ok(Frame::Result(r)) => return decode_result(r),
+                Ok(Frame::Error(e)) if is_transient_code(e.code) => {
+                    last = Some(NetError::Serve {
+                        code: e.code,
+                        job: e.job,
+                        tenant: e.tenant,
+                        message: e.message,
+                    });
+                    true
+                }
+                Ok(Frame::Error(e)) => {
+                    return Err(NetError::Serve {
+                        code: e.code,
+                        job: e.job,
+                        tenant: e.tenant,
+                        message: e.message,
+                    })
+                }
+                Ok(other) => {
+                    return Err(NetError::Wire(WireError::Malformed(format!(
+                        "unexpected reply frame type {}",
+                        other.frame_type()
+                    ))))
+                }
+                Err(e @ (NetError::Io(_) | NetError::Closed)) => {
+                    last = Some(e);
+                    true
+                }
+                Err(e) => return Err(e),
+            };
+            if transient && attempt + 1 < attempts {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(1));
+            }
+        }
+        // Typed server rejections stay typed; only transport churn
+        // collapses into the retries-exhausted summary.
+        match last {
+            Some(e @ NetError::Serve { .. }) => Err(e),
+            Some(e) => Err(NetError::RetriesExhausted {
+                attempts,
+                last: e.to_string(),
+            }),
+            None => Err(NetError::RetriesExhausted {
+                attempts,
+                last: "no attempt was made".into(),
+            }),
+        }
+    }
+
+    /// Round-trip liveness probe.
+    pub fn ping(&mut self) -> Result<Duration, NetError> {
+        let t0 = Instant::now();
+        match self.exchange(&Frame::Ping)? {
+            Frame::Ping => Ok(t0.elapsed()),
+            f => Err(NetError::Wire(WireError::Malformed(format!(
+                "unexpected reply frame type {}",
+                f.frame_type()
+            )))),
+        }
+    }
+
+    /// Drains the server over the wire: returns once every job admitted
+    /// before the drain has completed and the server confirmed.
+    pub fn drain(&mut self) -> Result<(), NetError> {
+        match self.exchange(&Frame::Drain)? {
+            Frame::Drain => Ok(()),
+            f => Err(NetError::Wire(WireError::Malformed(format!(
+                "unexpected reply frame type {}",
+                f.frame_type()
+            )))),
+        }
+    }
+}
+
+/// The server's transient codes: back off and retry.
+fn is_transient_code(code: u16) -> bool {
+    // 1 = QueueFull, 7 = QuotaExceeded (ServeError::code).
+    code == 1 || code == 7
+}
+
+fn decode_result(r: ResultFrame) -> Result<NetJobResult, NetError> {
+    let report = RunReport::from_json(&r.report_json)
+        .map_err(|e| NetError::Wire(WireError::Malformed(format!("bad report json: {e}"))))?;
+    Ok(NetJobResult {
+        job: r.job,
+        name: r.name,
+        tenant: r.tenant,
+        cache: r.cache,
+        digest: r.digest,
+        queued_nanos: r.queued_nanos,
+        run_nanos: r.run_nanos,
+        order: r.order,
+        report,
+    })
+}

@@ -1,0 +1,42 @@
+//! # sp-net — socket wire protocol and network tier for the serve
+//! subsystem
+//!
+//! The paper's economics — fuse once, reuse the schedule — extend past
+//! one process: a plan compiled and cached by [`sp_serve::Service`] is
+//! worth serving to a fleet. sp-net is the std-only network front door
+//! (no async runtime, matching `sp_serve::MetricsServer`):
+//!
+//! * [`wire`] — the `SPFC` length-prefixed binary frame format:
+//!   versioned header, CRC-32 integrity check, and five frame types
+//!   (SubmitJob / JobResult / Error / Drain / Ping). Submissions carry
+//!   the program (full text, or the content digest of text the server
+//!   has already seen), the execution plan, backend, schedule, and the
+//!   *remaining* deadline budget. Decoding is total: garbage maps to
+//!   typed [`WireError`]s, never panics.
+//! * [`server`] — [`NetServer`]: the shared
+//!   [`SocketServer`](sp_serve::SocketServer) accept loop plus one
+//!   reader thread per connection, feeding the service's multi-tenant
+//!   fair-share queue. Wire jobs gain `decode` and `respond_wire`
+//!   stage spans in the serve-tier observability.
+//! * [`client`] — [`Client`]: blocking, with connect/io timeouts,
+//!   bounded exponential-backoff retries on transient errors
+//!   (transport failures, `QueueFull`, `QuotaExceeded`), and deadline
+//!   propagation — each retry re-encodes the remaining budget so
+//!   server queue time counts against the caller's clock.
+//!
+//! A job submitted over the wire returns a result bit-identical to the
+//! same job run in-process: the snapshot digest and the per-worker
+//! counters travel in the frame, and the full `RunReport` rides along
+//! as canonical JSON.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientConfig, NetError, NetJobResult};
+pub use server::NetServer;
+pub use wire::{
+    crc32, decode_frame, encode_frame, program_digest, read_frame, write_frame, ErrorFrame, Frame,
+    FrameHeader, ProgramRef, ReadError, ResultFrame, SubmitJob, WireError, CODE_MALFORMED,
+    CODE_UNKNOWN_PROGRAM, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,
+};

@@ -1,0 +1,326 @@
+//! The network front door: a threaded wire server over
+//! [`sp_serve::Service`].
+//!
+//! One acceptor thread (the shared [`SocketServer`] skeleton from
+//! sp-serve) plus one reader thread per connection. Each reader decodes
+//! [`Frame::Submit`] requests, resolves the program (text, or digest of
+//! previously seen text), feeds the service's fair-share queue via
+//! `submit_wire` — so the decode time lands in the job's `decode` stage
+//! span — blocks on the result, and writes it back, recording the
+//! `respond_wire` span post-hoc. Requests on one connection are served
+//! in order; concurrency comes from connections, exactly like the
+//! in-process service's one-job-per-client threads.
+//!
+//! Deadlines: the submit frame carries the *remaining* budget in
+//! nanoseconds; the server re-arms it as a service deadline on arrival,
+//! so queue time here counts against the client's budget.
+//!
+//! Protocol errors (bad magic, CRC mismatch, version skew, garbage
+//! payloads) are answered with a typed [`Frame::Error`] (code
+//! [`CODE_MALFORMED`]) when the stream is still framable, and the
+//! connection is closed cleanly either way — one bad peer never takes
+//! the server down.
+
+use crate::wire::{
+    program_digest, write_frame, ErrorFrame, Frame, FrameHeader, ProgramRef, ResultFrame,
+    SubmitJob, WireError, CODE_MALFORMED, CODE_UNKNOWN_PROGRAM, HEADER_LEN,
+};
+use sp_ir::{parse_sequence, LoopSequence};
+use sp_serve::{JobSpec, Service, SocketServer};
+use sp_trace::JobStage;
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How long a connection reader blocks in one `read` before polling the
+/// stop flag. Short enough for prompt shutdown, long enough to be off
+/// the hot path.
+const POLL_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// A running wire server. Dropping it stops the acceptor and joins
+/// every connection thread; the wrapped [`Service`] is left running
+/// (callers own its lifecycle).
+pub struct NetServer {
+    service: Arc<Service>,
+    inner: SocketServer,
+    drained: Arc<(Mutex<bool>, Condvar)>,
+}
+
+/// State shared by every connection thread.
+struct ServerShared {
+    service: Arc<Service>,
+    /// Digest → program text registry, populated by text submissions so
+    /// later jobs can submit by digest alone.
+    programs: Mutex<HashMap<u64, LoopSequence>>,
+    drained: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl NetServer {
+    /// Binds `addr` (port 0 for ephemeral) and starts serving jobs into
+    /// `service`.
+    pub fn start(addr: &str, service: Arc<Service>) -> std::io::Result<NetServer> {
+        let drained = Arc::new((Mutex::new(false), Condvar::new()));
+        let shared = Arc::new(ServerShared {
+            service: Arc::clone(&service),
+            programs: Mutex::new(HashMap::new()),
+            drained: Arc::clone(&drained),
+        });
+        let inner = SocketServer::start(
+            addr,
+            "spfc-net",
+            Arc::new(move |stream, stop| serve_conn(&shared, stream, stop)),
+        )?;
+        Ok(NetServer {
+            service,
+            inner,
+            drained,
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr()
+    }
+
+    /// The wrapped service (for stats, metrics, and drains from the
+    /// hosting process).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Blocks until some client drains the service over the wire.
+    pub fn wait_drained(&self) {
+        let (flag, cv) = &*self.drained;
+        let mut done = flag.lock().unwrap();
+        while !*done {
+            done = cv.wait(done).unwrap();
+        }
+    }
+
+    /// Stops accepting, closes every connection, joins the threads.
+    pub fn shutdown(self) {
+        self.inner.shutdown();
+    }
+}
+
+/// One connection's request loop.
+fn serve_conn(shared: &ServerShared, stream: TcpStream, stop: &AtomicBool) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_TIMEOUT));
+    let mut stream = stream;
+    loop {
+        // Phase 1: wait for a header, polling the stop flag between
+        // timeouts. The decode span starts once the header is in.
+        let mut raw = [0u8; HEADER_LEN];
+        match read_polling(&mut stream, &mut raw, stop, true) {
+            PollRead::Done => {}
+            PollRead::Closed | PollRead::Stopping | PollRead::Err => return,
+        }
+        let decode_start = shared.service.since_epoch();
+        let header = match FrameHeader::parse(raw) {
+            Ok(h) => h,
+            Err(e) => {
+                // The stream is desynchronized; answer typed and close.
+                reject(&mut stream, 0, "", &e);
+                return;
+            }
+        };
+        let mut body = vec![0u8; header.payload_len as usize + 4];
+        match read_polling(&mut stream, &mut body, stop, false) {
+            PollRead::Done => {}
+            PollRead::Closed | PollRead::Stopping | PollRead::Err => return,
+        }
+        let frame = match header.decode_body(&body) {
+            Ok(f) => f,
+            Err(e) => {
+                reject(&mut stream, 0, "", &e);
+                return;
+            }
+        };
+        let decode_dur = shared.service.since_epoch() - decode_start;
+        match frame {
+            Frame::Ping => {
+                if write_frame(&mut stream, &Frame::Ping).is_err() {
+                    return;
+                }
+            }
+            Frame::Drain => {
+                shared.service.drain();
+                {
+                    let (flag, cv) = &*shared.drained;
+                    *flag.lock().unwrap() = true;
+                    cv.notify_all();
+                }
+                let _ = write_frame(&mut stream, &Frame::Drain);
+                return;
+            }
+            Frame::Submit(submit) => {
+                if !handle_submit(shared, &mut stream, submit, (decode_start, decode_dur)) {
+                    return;
+                }
+            }
+            // Server-to-client frames arriving at the server are a
+            // protocol violation.
+            Frame::Result(_) | Frame::Error(_) => {
+                let e = WireError::Malformed("unexpected server-side frame".into());
+                reject(&mut stream, 0, "", &e);
+                return;
+            }
+        }
+    }
+}
+
+/// Runs one submission to completion. Returns false when the
+/// connection should close (write failure).
+fn handle_submit(
+    shared: &ServerShared,
+    stream: &mut TcpStream,
+    submit: SubmitJob,
+    decode: (u64, u64),
+) -> bool {
+    let tenant = submit.tenant.clone();
+    let seq = match resolve_program(shared, &submit.program) {
+        Ok(seq) => seq,
+        Err(err) => return write_frame(stream, &Frame::Error(err)).is_ok(),
+    };
+    let mut spec = JobSpec::new(&submit.name, seq, submit.plan.clone())
+        .client(&tenant)
+        .backend(submit.backend)
+        .schedule(submit.schedule)
+        .steps(submit.steps as usize)
+        .seed(submit.seed);
+    if submit.deadline_nanos > 0 {
+        spec = spec.deadline(Duration::from_nanos(submit.deadline_nanos));
+    }
+    let id = match shared.service.submit_wire(spec, decode) {
+        Ok(id) => id,
+        Err(e) => {
+            return write_frame(
+                stream,
+                &Frame::Error(ErrorFrame {
+                    code: e.code(),
+                    job: 0,
+                    tenant,
+                    message: e.to_string(),
+                }),
+            )
+            .is_ok();
+        }
+    };
+    let reply = match shared.service.wait(id) {
+        Ok(res) => Frame::Result(ResultFrame {
+            job: res.id.0,
+            name: res.name,
+            tenant,
+            cache: res.cache,
+            digest: res.digest,
+            queued_nanos: res.queued_nanos,
+            run_nanos: res.run_nanos,
+            order: res.order,
+            report_json: res.report.to_json(),
+        }),
+        Err(e) => Frame::Error(ErrorFrame {
+            code: e.code(),
+            job: id.0,
+            tenant,
+            message: e.to_string(),
+        }),
+    };
+    // respond_wire: result encoding + the write back onto the socket.
+    let t0 = shared.service.since_epoch();
+    let ok = write_frame(stream, &reply).is_ok();
+    let dur = shared.service.since_epoch() - t0;
+    shared
+        .service
+        .record_wire_stage(id, JobStage::RespondWire, t0, dur);
+    ok
+}
+
+/// Text registers the program under its digest; a digest looks it up.
+fn resolve_program(
+    shared: &ServerShared,
+    program: &ProgramRef,
+) -> Result<LoopSequence, ErrorFrame> {
+    match program {
+        ProgramRef::Text(text) => {
+            let seq = parse_sequence(text).map_err(|e| ErrorFrame {
+                code: CODE_MALFORMED,
+                job: 0,
+                tenant: String::new(),
+                message: format!("program parse error: {e}"),
+            })?;
+            let digest = program_digest(&seq);
+            shared
+                .programs
+                .lock()
+                .unwrap()
+                .entry(digest)
+                .or_insert_with(|| seq.clone());
+            Ok(seq)
+        }
+        ProgramRef::Digest(d) => shared
+            .programs
+            .lock()
+            .unwrap()
+            .get(d)
+            .cloned()
+            .ok_or_else(|| ErrorFrame {
+                code: CODE_UNKNOWN_PROGRAM,
+                job: 0,
+                tenant: String::new(),
+                message: format!("unknown program digest {d:#018x}; submit the text once first"),
+            }),
+    }
+}
+
+fn reject(stream: &mut TcpStream, job: u64, tenant: &str, e: &WireError) {
+    let _ = write_frame(
+        stream,
+        &Frame::Error(ErrorFrame {
+            code: CODE_MALFORMED,
+            job,
+            tenant: tenant.to_string(),
+            message: e.to_string(),
+        }),
+    );
+}
+
+enum PollRead {
+    Done,
+    Closed,
+    Stopping,
+    Err,
+}
+
+/// Fills `buf` from `stream`, polling `stop` on read timeouts. When
+/// `at_boundary`, a clean close before the first byte is `Closed` (the
+/// peer just hung up between frames); mid-buffer EOF is `Err`.
+fn read_polling(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    at_boundary: bool,
+) -> PollRead {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 && at_boundary => return PollRead::Closed,
+            Ok(0) => return PollRead::Err,
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return PollRead::Stopping;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return PollRead::Err,
+        }
+    }
+    PollRead::Done
+}

@@ -3,20 +3,19 @@
 //! `spfc serve --listen-metrics ADDR` needs exactly two routes —
 //! `/metrics` (Prometheus text format) and `/healthz` — and must not
 //! pull an HTTP stack into a workspace that builds offline. So this is
-//! the smallest correct server: one `std::net::TcpListener` accept loop
-//! on a named thread, one short-lived connection per scrape
-//! (`Connection: close`, explicit `Content-Length`), a render closure
-//! evaluated per request so every scrape sees live counters.
+//! the smallest correct server: the shared [`SocketServer`] accept loop
+//! (one named thread, stop flag + self-connect shutdown), one
+//! short-lived connection per scrape (`Connection: close`, explicit
+//! `Content-Length`), a render closure evaluated per request so every
+//! scrape sees live counters.
 //!
-//! Shutdown is cooperative: a stop flag plus a self-connect to unblock
-//! the accept call, then a join. Binding port 0 works (tests bind
-//! `127.0.0.1:0` and read back the real port from [`MetricsServer::addr`]).
+//! Binding port 0 works (tests bind `127.0.0.1:0` and read back the
+//! real port from [`MetricsServer::addr`]).
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::listener::{parse_request_line, read_http_head, SocketServer};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::thread;
 use std::time::Duration;
 
 /// Producer of the `/metrics` body, called once per scrape.
@@ -24,11 +23,9 @@ pub type MetricsRender = Arc<dyn Fn() -> String + Send + Sync>;
 
 /// A running scrape endpoint. Dropping it (or calling
 /// [`shutdown`](MetricsServer::shutdown)) stops the accept loop and
-/// joins the serving thread.
+/// joins the serving threads.
 pub struct MetricsServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<thread::JoinHandle<()>>,
+    inner: SocketServer,
 }
 
 impl MetricsServer {
@@ -36,80 +33,33 @@ impl MetricsServer {
     /// starts serving `/metrics` from `render` and `/healthz` on a
     /// background thread.
     pub fn start(addr: &str, render: MetricsRender) -> std::io::Result<MetricsServer> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&stop);
-        let handle = thread::Builder::new()
-            .name("spfc-metrics".into())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if flag.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    // One bad connection must not kill the endpoint.
-                    if let Ok(stream) = conn {
-                        let _ = serve_one(stream, &*render);
-                    }
-                }
-            })?;
-        Ok(MetricsServer {
-            addr: local,
-            stop,
-            handle: Some(handle),
-        })
+        let inner = SocketServer::start(
+            addr,
+            "spfc-metrics",
+            Arc::new(move |stream, _stop| {
+                let _ = serve_one(stream, &*render);
+            }),
+        )?;
+        Ok(MetricsServer { inner })
     }
 
     /// The address actually bound (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.addr()
     }
 
-    /// Stops the accept loop and joins the serving thread.
-    pub fn shutdown(mut self) {
-        self.stop_and_join();
-    }
-
-    fn stop_and_join(&mut self) {
-        let Some(handle) = self.handle.take() else {
-            return;
-        };
-        self.stop.store(true, Ordering::SeqCst);
-        // The accept loop only observes the flag between connections;
-        // poke it with a throwaway connect so it wakes immediately.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
-        let _ = handle.join();
-    }
-}
-
-impl Drop for MetricsServer {
-    fn drop(&mut self) {
-        self.stop_and_join();
+    /// Stops the accept loop and joins the serving threads.
+    pub fn shutdown(self) {
+        self.inner.shutdown();
     }
 }
 
 fn serve_one(mut stream: TcpStream, render: &dyn Fn() -> String) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_millis(500)))?;
-    // Read the request head; 4 KiB is generous for `GET /metrics`.
-    let mut head = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    loop {
-        let n = match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => n,
-            Err(_) => break,
-        };
-        head.extend_from_slice(&chunk[..n]);
-        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= 4096 {
-            break;
-        }
-    }
-    let text = String::from_utf8_lossy(&head);
-    let mut request = text.lines().next().unwrap_or("").split_whitespace();
-    let method = request.next().unwrap_or("");
-    let path = request.next().unwrap_or("");
-    let (status, ctype, body) = match (method, path) {
+    let head = read_http_head(&mut stream);
+    let (method, path) = parse_request_line(&head);
+    let (status, ctype, body) = match (method.as_str(), path.as_str()) {
         ("GET", "/metrics") => (
             "200 OK",
             "text/plain; version=0.0.4; charset=utf-8",
@@ -138,6 +88,7 @@ fn serve_one(mut stream: TcpStream, render: &dyn Fn() -> String) -> std::io::Res
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Read;
 
     fn get(addr: SocketAddr, path: &str) -> String {
         let mut s = TcpStream::connect(addr).unwrap();

@@ -29,6 +29,10 @@
 //!   processes; the service additionally accumulates a
 //!   [`SessionTrace`](sp_trace::SessionTrace) (one Chrome trace for the
 //!   whole session) when built with [`ServiceConfig::traced`];
+//! * [`listener`] — [`SocketServer`], the shared dependency-free TCP
+//!   accept-loop skeleton (named acceptor thread, per-connection
+//!   threads, stop-flag + self-connect shutdown) under both socket
+//!   servers in the workspace;
 //! * [`http`] — [`MetricsServer`], a dependency-free HTTP/1.0 scrape
 //!   endpoint (`/metrics`, `/healthz`) behind
 //!   `spfc serve --listen-metrics ADDR`.
@@ -44,6 +48,7 @@
 pub mod cache;
 pub mod hash;
 pub mod http;
+pub mod listener;
 pub mod manifest;
 pub mod obs;
 pub mod service;
@@ -51,6 +56,9 @@ pub mod service;
 pub use cache::{Artifact, ArtifactCache, ArtifactCacheConfig, CacheCounters, Tier};
 pub use hash::{fnv1a64, CacheKey, CACHE_FORMAT_VERSION};
 pub use http::{MetricsRender, MetricsServer};
+pub use listener::{parse_request_line, read_http_head, ConnHandler, SocketServer};
 pub use manifest::parse_manifest;
-pub use obs::{disk_stage_stats, StageStats};
-pub use service::{CacheOutcome, JobId, JobResult, JobSpec, ServeError, Service, ServiceConfig};
+pub use obs::{disk_stage_stats, StageStats, TenantStats};
+pub use service::{
+    CacheOutcome, JobId, JobResult, JobSpec, ServeError, Service, ServiceConfig, TenantQuota,
+};

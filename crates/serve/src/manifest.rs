@@ -16,6 +16,7 @@
 //! | `grid=AxB`    | multi-dim grid (overrides `procs`)   | —            |
 //! | `plan=`       | `fused` / `blocked` / `serial`       | `fused`      |
 //! | `backend=`    | `compiled` / `interp` / `simd`       | `compiled`   |
+//! | `schedule=`   | `static` / `guided` / `stealing`     | `static`     |
 //! | `steps=N`     | timesteps                            | `1`          |
 //! | `strip=N`     | strip size for fused plans           | whole block  |
 //! | `seed=N`      | init seed                            | `7`          |
@@ -31,7 +32,7 @@
 
 use crate::service::{JobSpec, ServeError};
 use shift_peel_core::CodegenMethod;
-use sp_exec::{Backend, ExecPlan};
+use sp_exec::{Backend, ExecPlan, Schedule};
 use sp_ir::parse_sequence;
 use sp_kernels::suite::{all_programs, primary_sequence};
 use std::time::Duration;
@@ -69,6 +70,7 @@ pub fn parse_manifest(text: &str) -> Result<Vec<JobSpec>, ServeError> {
         let mut grid = vec![2usize];
         let mut plan_kind = "fused";
         let mut backend = Backend::Compiled;
+        let mut schedule = Schedule::default();
         let mut steps = 1usize;
         let mut strip = i64::MAX;
         let mut seed = 7u64;
@@ -97,6 +99,10 @@ pub fn parse_manifest(text: &str) -> Result<Vec<JobSpec>, ServeError> {
                 Some(("backend", "interp")) => backend = Backend::Interp,
                 Some(("backend", "simd")) => backend = Backend::Simd,
                 Some(("backend", v)) => return Err(err(line_no, format!("unknown backend={v:?}"))),
+                Some(("schedule", v)) => {
+                    schedule = Schedule::parse(v)
+                        .ok_or_else(|| err(line_no, format!("unknown schedule={v:?}")))?;
+                }
                 Some(("steps", v)) => steps = parse_num(line_no, "steps", v)?,
                 Some(("strip", v)) => strip = parse_num(line_no, "strip", v)?,
                 Some(("seed", v)) => seed = parse_num(line_no, "seed", v)?,
@@ -143,6 +149,7 @@ pub fn parse_manifest(text: &str) -> Result<Vec<JobSpec>, ServeError> {
         let mut spec = JobSpec::new(name, seq, plan)
             .client(client)
             .backend(backend)
+            .schedule(schedule)
             .steps(steps)
             .seed(seed);
         if let Some(d) = deadline {

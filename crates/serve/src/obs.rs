@@ -22,6 +22,19 @@ use std::path::Path;
 /// Version header of the stage-stats file.
 pub const STAGE_STATS_VERSION: &str = "spfc-serve-stage-stats-v1";
 
+/// Per-tenant job outcome counters (multi-tenant serve tier, ISSUE 9).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantStats {
+    /// The tenant/client id.
+    pub name: String,
+    /// Jobs that completed successfully.
+    pub ok: u64,
+    /// Jobs that missed their deadline.
+    pub deadline: u64,
+    /// Submissions rejected by the tenant's admission quota.
+    pub quota: u64,
+}
+
 /// Aggregated stage latencies and job outcomes for one service (or, via
 /// [`disk_stage_stats`], for every process that shared a cache dir).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -34,6 +47,10 @@ pub struct StageStats {
     pub deadline: u64,
     /// Submissions rejected by bounded-queue backpressure.
     pub rejected: u64,
+    /// Submissions rejected by per-tenant quotas.
+    pub quota: u64,
+    /// Per-tenant outcome counters, in first-seen order.
+    pub tenants: Vec<TenantStats>,
 }
 
 impl StageStats {
@@ -58,6 +75,23 @@ impl StageStats {
         self.stages.get(stage.index())
     }
 
+    /// The counters of `tenant`, created on first touch.
+    pub fn tenant_mut(&mut self, tenant: &str) -> &mut TenantStats {
+        if let Some(i) = self.tenants.iter().position(|t| t.name == tenant) {
+            return &mut self.tenants[i];
+        }
+        self.tenants.push(TenantStats {
+            name: tenant.to_string(),
+            ..TenantStats::default()
+        });
+        self.tenants.last_mut().unwrap()
+    }
+
+    /// The counters of `tenant`, if any job or rejection touched it.
+    pub fn tenant(&self, tenant: &str) -> Option<&TenantStats> {
+        self.tenants.iter().find(|t| t.name == tenant)
+    }
+
     /// Adds every observation and outcome of `other` into this.
     pub fn merge(&mut self, other: &StageStats) {
         if self.stages.len() < other.stages.len() {
@@ -69,6 +103,13 @@ impl StageStats {
         self.ok += other.ok;
         self.deadline += other.deadline;
         self.rejected += other.rejected;
+        self.quota += other.quota;
+        for t in &other.tenants {
+            let slot = self.tenant_mut(&t.name);
+            slot.ok += t.ok;
+            slot.deadline += t.deadline;
+            slot.quota += t.quota;
+        }
     }
 
     /// True when nothing was ever observed or counted.
@@ -76,6 +117,8 @@ impl StageStats {
         self.ok == 0
             && self.deadline == 0
             && self.rejected == 0
+            && self.quota == 0
+            && self.tenants.is_empty()
             && self.stages.iter().all(|h| h.count() == 0)
     }
 
@@ -142,6 +185,13 @@ pub fn disk_stage_stats(dir: &Path) -> StageStats {
             ["outcome", "ok", n] => s.ok = n.parse().unwrap_or(0),
             ["outcome", "deadline", n] => s.deadline = n.parse().unwrap_or(0),
             ["outcome", "rejected", n] => s.rejected = n.parse().unwrap_or(0),
+            ["outcome", "quota", n] => s.quota = n.parse().unwrap_or(0),
+            ["tenant", name, ok, deadline, quota] => {
+                let t = s.tenant_mut(name);
+                t.ok = ok.parse().unwrap_or(0);
+                t.deadline = deadline.parse().unwrap_or(0);
+                t.quota = quota.parse().unwrap_or(0);
+            }
             ["stage", name, sum, buckets] => {
                 let Some(stage) = JobStage::from_name(name) else {
                     continue;
@@ -191,6 +241,12 @@ fn write_stage_stats(dir: &Path, s: &StageStats) -> std::io::Result<()> {
         writeln!(f, "outcome ok {}", s.ok)?;
         writeln!(f, "outcome deadline {}", s.deadline)?;
         writeln!(f, "outcome rejected {}", s.rejected)?;
+        writeln!(f, "outcome quota {}", s.quota)?;
+        for t in &s.tenants {
+            // The line format is whitespace-split; keep names one token.
+            let name = t.name.replace(char::is_whitespace, "_");
+            writeln!(f, "tenant {} {} {} {}", name, t.ok, t.deadline, t.quota)?;
+        }
         for stage in JobStage::all() {
             let Some(h) = s.stage(stage) else { continue };
             let buckets = if h.bucket_counts().is_empty() {

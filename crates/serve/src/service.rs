@@ -27,7 +27,7 @@ use sp_cache::LayoutStrategy;
 use sp_dep::{analyze_sequence, SequenceDeps};
 use sp_exec::{
     register_pass_metrics, Backend, ExecError, ExecPlan, Executor, Memory, PooledExecutor, Program,
-    ProgramTape, RunConfig, RunReport,
+    ProgramTape, RunConfig, RunReport, Schedule,
 };
 use sp_ir::LoopSequence;
 use sp_trace::{JobSpans, JobStage, MetricsRegistry, SessionTrace};
@@ -60,21 +60,63 @@ pub enum ServeError {
     Exec(ExecError),
     /// A job manifest could not be parsed.
     Manifest(String),
+    /// The submitting tenant is over its quota; back off and resubmit.
+    QuotaExceeded {
+        /// The tenant that hit its limit.
+        tenant: String,
+        /// Jobs the tenant currently has pending or running.
+        in_flight: usize,
+        /// The quota that was exhausted.
+        limit: usize,
+    },
+}
+
+impl ServeError {
+    /// Stable numeric code for the wire protocol. Codes are append-only:
+    /// a value, once assigned, never changes meaning.
+    pub fn code(&self) -> u16 {
+        match self {
+            ServeError::QueueFull { .. } => 1,
+            ServeError::Deadline { .. } => 2,
+            ServeError::ShuttingDown => 3,
+            ServeError::UnknownJob(_) => 4,
+            ServeError::Exec(_) => 5,
+            ServeError::Manifest(_) => 6,
+            ServeError::QuotaExceeded { .. } => 7,
+        }
+    }
+
+    /// True for errors a client may retry after backing off (transient
+    /// load conditions rather than permanent request defects).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ServeError::QueueFull { .. } | ServeError::QuotaExceeded { .. }
+        )
+    }
 }
 
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::QueueFull { capacity } => {
-                write!(f, "job queue is full ({capacity} pending)")
+                write!(f, "job queue is full ({capacity} pending) [code 1]")
             }
             ServeError::Deadline { job, budget } => {
-                write!(f, "job {job} exceeded its {:?} deadline", budget)
+                write!(f, "job {job} exceeded its {:?} deadline [code 2]", budget)
             }
-            ServeError::ShuttingDown => write!(f, "service is shutting down"),
-            ServeError::UnknownJob(id) => write!(f, "unknown job {id}"),
-            ServeError::Exec(e) => write!(f, "execution failed: {e}"),
-            ServeError::Manifest(m) => write!(f, "manifest error: {m}"),
+            ServeError::ShuttingDown => write!(f, "service is shutting down [code 3]"),
+            ServeError::UnknownJob(id) => write!(f, "unknown job {id} [code 4]"),
+            ServeError::Exec(e) => write!(f, "execution failed: {e} [code 5]"),
+            ServeError::Manifest(m) => write!(f, "manifest error: {m} [code 6]"),
+            ServeError::QuotaExceeded {
+                tenant,
+                in_flight,
+                limit,
+            } => write!(
+                f,
+                "tenant {tenant} is over quota ({in_flight} in flight, limit {limit}) [code 7]"
+            ),
         }
     }
 }
@@ -112,6 +154,10 @@ pub struct JobSpec {
     pub plan: ExecPlan,
     /// Interpreter or compiled micro-op tapes.
     pub backend: Backend,
+    /// Work-distribution discipline for parallel runs (static, guided,
+    /// stealing). Not part of the cache key: every schedule derives the
+    /// same plan and produces bit-identical results.
+    pub schedule: Schedule,
     /// Timesteps.
     pub steps: usize,
     /// Deterministic initialization seed.
@@ -134,6 +180,7 @@ impl JobSpec {
             levels,
             plan,
             backend: Backend::Compiled,
+            schedule: Schedule::default(),
             steps: 1,
             seed: 7,
             deadline: None,
@@ -150,6 +197,12 @@ impl JobSpec {
     /// Sets the execution backend.
     pub fn backend(mut self, b: Backend) -> Self {
         self.backend = b;
+        self
+    }
+
+    /// Sets the work-distribution schedule.
+    pub fn schedule(mut self, s: Schedule) -> Self {
+        self.schedule = s;
         self
     }
 
@@ -249,6 +302,61 @@ pub struct JobResult {
     pub order: u64,
 }
 
+/// Per-tenant admission limits. The default is unlimited; a configured
+/// quota bounds how much of the service one tenant can occupy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TenantQuota {
+    /// Max jobs the tenant may have pending + running at once
+    /// (0 = unlimited).
+    pub max_in_flight: usize,
+    /// Max fraction of the bounded queue the tenant's pending jobs may
+    /// occupy, applied on top of `max_in_flight` (1.0 = the whole
+    /// queue).
+    pub queue_share: f64,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota {
+            max_in_flight: 0,
+            queue_share: 1.0,
+        }
+    }
+}
+
+impl TenantQuota {
+    /// A quota bounding in-flight jobs.
+    pub fn in_flight(n: usize) -> TenantQuota {
+        TenantQuota {
+            max_in_flight: n,
+            ..TenantQuota::default()
+        }
+    }
+
+    /// Caps the tenant's share of the pending queue.
+    pub fn queue_share(mut self, f: f64) -> Self {
+        self.queue_share = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The effective in-flight limit given the queue capacity, or
+    /// `None` when unlimited.
+    fn limit(&self, queue_capacity: usize) -> Option<usize> {
+        let share = if self.queue_share < 1.0 {
+            // At least one slot so a capped tenant is throttled, not
+            // locked out.
+            Some(((queue_capacity as f64 * self.queue_share) as usize).max(1))
+        } else {
+            None
+        };
+        match (self.max_in_flight, share) {
+            (0, s) => s,
+            (n, None) => Some(n),
+            (n, Some(s)) => Some(n.min(s)),
+        }
+    }
+}
+
 /// Service sizing.
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
@@ -262,6 +370,10 @@ pub struct ServiceConfig {
     /// trace for the whole session, retrievable via
     /// [`Service::session_trace`]).
     pub tracing: bool,
+    /// Per-tenant admission quotas, keyed by client/tenant id.
+    pub quotas: HashMap<String, TenantQuota>,
+    /// Quota applied to tenants with no explicit entry in `quotas`.
+    pub default_quota: TenantQuota,
 }
 
 impl Default for ServiceConfig {
@@ -271,6 +383,8 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             cache: ArtifactCacheConfig::default(),
             tracing: false,
+            quotas: HashMap::new(),
+            default_quota: TenantQuota::default(),
         }
     }
 }
@@ -299,12 +413,27 @@ impl ServiceConfig {
         self.tracing = true;
         self
     }
+
+    /// Sets the quota for one named tenant.
+    pub fn quota(mut self, tenant: impl Into<String>, q: TenantQuota) -> Self {
+        self.quotas.insert(tenant.into(), q);
+        self
+    }
+
+    /// Sets the quota for tenants without an explicit entry.
+    pub fn default_quota(mut self, q: TenantQuota) -> Self {
+        self.default_quota = q;
+        self
+    }
 }
 
 struct QueuedJob {
     id: JobId,
     spec: JobSpec,
     enqueued: Instant,
+    /// Wire-decode span (epoch offset + duration) for jobs that arrived
+    /// over a socket; zero-width for in-process submissions.
+    decode: (u64, u64),
     /// Session-epoch offset of the submit call (the enqueue span start).
     enqueue_start: u64,
     /// Duration of the submit call itself (the enqueue span).
@@ -318,11 +447,26 @@ struct State {
     /// Jobs started per client — the fair-share balance.
     served: HashMap<String, u64>,
     running: Option<JobId>,
+    /// Tenant of the running job (for in-flight quota accounting).
+    running_client: Option<String>,
     next_id: u64,
     completed: u64,
     failed: u64,
     accepting: bool,
     shutdown: bool,
+}
+
+impl State {
+    /// Jobs the tenant currently has pending or running.
+    fn in_flight(&self, tenant: &str) -> usize {
+        let pending = self
+            .pending
+            .iter()
+            .filter(|j| j.spec.client == tenant)
+            .count();
+        let running = usize::from(self.running_client.as_deref() == Some(tenant));
+        pending + running
+    }
 }
 
 struct Shared {
@@ -336,12 +480,27 @@ struct Shared {
     /// service performed (reused passes contribute 0).
     pass_timings: Mutex<PassTimings>,
     queue_capacity: usize,
+    /// Per-tenant admission quotas.
+    quotas: HashMap<String, TenantQuota>,
+    /// Quota for tenants absent from `quotas`.
+    default_quota: TenantQuota,
     /// The session epoch every stage span is timestamped against.
     epoch: Instant,
     /// Trace runs and collect a [`SessionTrace`]?
     tracing: bool,
     /// Stage histograms, outcome counters, and the session trace.
     obs: Mutex<ServeObs>,
+}
+
+impl Shared {
+    /// The effective in-flight limit for `tenant`, or `None` when
+    /// unlimited.
+    fn quota_limit(&self, tenant: &str) -> Option<usize> {
+        self.quotas
+            .get(tenant)
+            .unwrap_or(&self.default_quota)
+            .limit(self.queue_capacity)
+    }
 }
 
 /// Nanoseconds from the session epoch to now.
@@ -386,6 +545,8 @@ impl Service {
             cache: Mutex::new(ArtifactCache::new(cfg.cache.clone())),
             pass_timings: Mutex::new(PassTimings::default()),
             queue_capacity: cfg.queue_capacity.max(1),
+            quotas: cfg.quotas.clone(),
+            default_quota: cfg.default_quota,
             epoch: Instant::now(),
             tracing: cfg.tracing,
             obs: Mutex::new(ServeObs::new(cfg.tracing)),
@@ -402,19 +563,46 @@ impl Service {
         }
     }
 
-    /// Enqueues a job. Fails fast with [`ServeError::QueueFull`] when the
-    /// bounded queue is at capacity and [`ServeError::ShuttingDown`]
-    /// after [`Service::drain`].
+    /// Enqueues a job. Fails fast with [`ServeError::QueueFull`] when
+    /// the bounded queue is at capacity, [`ServeError::QuotaExceeded`]
+    /// when the tenant is over its admission quota, and
+    /// [`ServeError::ShuttingDown`] after [`Service::drain`].
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, ServeError> {
+        self.submit_with_decode(spec, (since_epoch(self.shared.epoch), 0))
+    }
+
+    /// [`Service::submit`] for jobs that arrived over a socket: `decode`
+    /// is the (epoch-offset, duration) of reading + decoding the
+    /// submission frame, recorded as the job's `decode` stage span.
+    pub fn submit_wire(&self, spec: JobSpec, decode: (u64, u64)) -> Result<JobId, ServeError> {
+        self.submit_with_decode(spec, decode)
+    }
+
+    fn submit_with_decode(&self, spec: JobSpec, decode: (u64, u64)) -> Result<JobId, ServeError> {
         let entered = Instant::now();
         let enqueue_start = since_epoch(self.shared.epoch);
         let mut st = self.shared.state.lock().unwrap();
         if !st.accepting || st.shutdown {
             return Err(ServeError::ShuttingDown);
         }
+        if let Some(limit) = self.shared.quota_limit(&spec.client) {
+            let in_flight = st.in_flight(&spec.client);
+            if in_flight >= limit {
+                let tenant = spec.client.clone();
+                // Count the rejection after releasing the state lock:
+                // the obs mutex is only ever taken alone.
+                drop(st);
+                let mut obs = self.shared.obs.lock().unwrap();
+                obs.stats.quota += 1;
+                obs.stats.tenant_mut(&tenant).quota += 1;
+                return Err(ServeError::QuotaExceeded {
+                    tenant,
+                    in_flight,
+                    limit,
+                });
+            }
+        }
         if st.pending.len() >= self.shared.queue_capacity {
-            // Count the rejection after releasing the state lock: the
-            // obs mutex is only ever taken alone.
             drop(st);
             self.shared.obs.lock().unwrap().stats.rejected += 1;
             return Err(ServeError::QueueFull {
@@ -427,11 +615,31 @@ impl Service {
             id,
             spec,
             enqueued: Instant::now(),
+            decode,
             enqueue_start,
             enqueue_dur: entered.elapsed().as_nanos() as u64,
         });
         self.shared.work_cv.notify_all();
         Ok(id)
+    }
+
+    /// Nanoseconds from this service's session epoch to now — the
+    /// timebase wire servers use to stamp `decode`/`respond_wire` spans.
+    pub fn since_epoch(&self) -> u64 {
+        since_epoch(self.shared.epoch)
+    }
+
+    /// Records a post-completion wire stage (`respond_wire`) for `id`:
+    /// the duration lands in the stage histograms and, when tracing, the
+    /// span is appended to the job's session lane.
+    pub fn record_wire_stage(&self, id: JobId, stage: JobStage, start: u64, dur_nanos: u64) {
+        let mut obs = self.shared.obs.lock().unwrap();
+        obs.stats.observe(stage, dur_nanos);
+        if let Some(session) = obs.session.as_mut() {
+            if let Some(job) = session.jobs.iter_mut().rev().find(|j| j.job_id == id.0) {
+                job.stage(stage, start, dur_nanos);
+            }
+        }
     }
 
     /// Non-blocking completion check. `None` while queued or running.
@@ -513,6 +721,21 @@ impl Service {
                 ("outcome", "rejected"),
                 obs.stats.rejected,
             );
+            reg.labeled_counter(JOBS_TOTAL, JOBS_HELP, ("outcome", "quota"), obs.stats.quota);
+            for t in &obs.stats.tenants {
+                reg.labeled_counter(
+                    "spfc_serve_tenant_jobs_total",
+                    "Completed jobs by tenant",
+                    ("tenant", &t.name),
+                    t.ok + t.deadline,
+                );
+                reg.labeled_counter(
+                    "spfc_serve_tenant_quota_total",
+                    "Quota rejections by tenant",
+                    ("tenant", &t.name),
+                    t.quota,
+                );
+            }
             for stage in JobStage::all() {
                 let h = reg.labeled_histogram(
                     "spfc_serve_stage_nanos",
@@ -590,6 +813,7 @@ fn scheduler_loop(shared: &Shared, workers: usize) {
                 if let Some(i) = pick_next(&st) {
                     let job = st.pending.remove(i).expect("picked index is pending");
                     st.running = Some(job.id);
+                    st.running_client = Some(job.spec.client.clone());
                     *st.served.entry(job.spec.client.clone()).or_insert(0) += 1;
                     break job;
                 }
@@ -602,6 +826,7 @@ fn scheduler_loop(shared: &Shared, workers: usize) {
         let res = run_job(shared, &mut exec, &job);
         let mut st = shared.state.lock().unwrap();
         st.running = None;
+        st.running_client = None;
         match res {
             Ok(mut r) => {
                 st.completed += 1;
@@ -627,6 +852,7 @@ fn run_job(
     job: &QueuedJob,
 ) -> Result<JobResult, ServeError> {
     let mut spans = JobSpans::new(job.id.0, &job.spec.name, &job.spec.client);
+    spans.stage(JobStage::Decode, job.decode.0, job.decode.1);
     spans.stage(JobStage::Enqueue, job.enqueue_start, job.enqueue_dur);
     let res = run_job_stages(shared, exec, job, &mut spans);
     let mut obs = shared.obs.lock().unwrap();
@@ -634,8 +860,14 @@ fn run_job(
         obs.stats.observe(sp.stage, sp.dur_nanos);
     }
     match &res {
-        Ok(_) => obs.stats.ok += 1,
-        Err(ServeError::Deadline { .. }) => obs.stats.deadline += 1,
+        Ok(_) => {
+            obs.stats.ok += 1;
+            obs.stats.tenant_mut(&job.spec.client).ok += 1;
+        }
+        Err(ServeError::Deadline { .. }) => {
+            obs.stats.deadline += 1;
+            obs.stats.tenant_mut(&job.spec.client).deadline += 1;
+        }
         Err(_) => {}
     }
     if let Some(session) = obs.session.as_mut() {
@@ -765,7 +997,8 @@ fn run_job_stages(
 
     let mut cfg = RunConfig::from_plan(spec.plan.clone())
         .steps(spec.steps)
-        .backend(spec.backend);
+        .backend(spec.backend)
+        .schedule(spec.schedule);
     if !matches!(spec.plan, ExecPlan::Serial) {
         cfg = cfg.prederived(Arc::clone(&plan));
     }

@@ -21,6 +21,9 @@ use crate::tracer::{RunTrace, CONTROLLER_LANE};
 /// A serve-tier job's lifecycle stage, in pipeline order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum JobStage {
+    /// Reading and decoding the submission frame off the socket
+    /// (zero-width for in-process submissions).
+    Decode,
     /// Admission into the bounded queue (the submit call itself).
     Enqueue,
     /// Waiting in the queue for the scheduler to pick the job.
@@ -37,15 +40,19 @@ pub enum JobStage {
     Execute,
     /// Post-run bookkeeping: cache insert, snapshot, digest.
     Respond,
+    /// Encoding and writing the result frame back onto the socket
+    /// (recorded only for jobs submitted over the wire).
+    RespondWire,
 }
 
 impl JobStage {
     /// Number of stages (the length of [`JobStage::all`]).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 10;
 
     /// Every stage, in pipeline order.
     pub fn all() -> [JobStage; Self::COUNT] {
         [
+            JobStage::Decode,
             JobStage::Enqueue,
             JobStage::QueueWait,
             JobStage::CacheLookup,
@@ -54,6 +61,7 @@ impl JobStage {
             JobStage::Lower,
             JobStage::Execute,
             JobStage::Respond,
+            JobStage::RespondWire,
         ]
     }
 
@@ -61,6 +69,7 @@ impl JobStage {
     /// (`spfc_serve_stage_nanos{stage=...}`), and the stats file.
     pub fn name(&self) -> &'static str {
         match self {
+            JobStage::Decode => "decode",
             JobStage::Enqueue => "enqueue",
             JobStage::QueueWait => "queue_wait",
             JobStage::CacheLookup => "cache_lookup",
@@ -69,6 +78,7 @@ impl JobStage {
             JobStage::Lower => "lower",
             JobStage::Execute => "execute",
             JobStage::Respond => "respond",
+            JobStage::RespondWire => "respond_wire",
         }
     }
 
