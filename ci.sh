@@ -167,12 +167,14 @@ grep -q '^spfc_serve_stage_nanos_bucket{component="sp-serve",stage="execute",le=
 grep -q '^spfc_serve_stage_nanos_bucket{component="sp-serve",stage="queue_wait"' "$session_prom"
 rm -f "$load_manifest" "$session_trace" "$session_prom"
 
-echo "==> wire tier: socket server smoke, concurrent submits, drain over TCP"
+echo "==> wire tier: socket server smoke, pipelined + serial submits, drain over TCP"
 # A real SPFC server on an ephemeral port, two tenants submitting
-# concurrently over separate connections. The first submission of each
-# program compiles (miss); repeats must come back from the artifact
-# cache (hit). The drain frame must quiesce the server, whose summary
-# accounts for both tenants.
+# concurrently over separate connections — one pipelining its jobs
+# through a single keep-alive connection (--window), one submitting
+# serially. The first submission of each program compiles (miss);
+# repeats must come back from the artifact cache (hit). The drain frame
+# must quiesce the server, whose summary accounts for both tenants and
+# the program registry.
 net_addr="$(mktemp /tmp/spfc-net-addr.XXXXXX)"
 net_log="$(mktemp /tmp/spfc-net-serve.XXXXXX)"
 sub_a="$(mktemp /tmp/spfc-net-suba.XXXXXX)"
@@ -187,10 +189,8 @@ for _ in $(seq 100); do
 done
 [ -s "$net_addr" ] || { echo "FAIL: wire server never published its address"; exit 1; }
 addr="$(cat "$net_addr")"
-( for _ in 1 2 3; do
-    cargo run --release -q -p sp-cli -- submit --connect "$addr" jacobi \
-      --tenant ci-a --procs 2 --steps 3
-  done ) > "$sub_a" 2>&1 &
+cargo run --release -q -p sp-cli -- submit --connect "$addr" jacobi \
+  --tenant ci-a --procs 2 --steps 3 --window 4 --repeat 3 > "$sub_a" 2>&1 &
 pid_a=$!
 ( for _ in 1 2 3; do
     cargo run --release -q -p sp-cli -- submit --connect "$addr" \
@@ -206,6 +206,8 @@ grep -q 'tenant=ci-b' "$sub_b"
 grep -qh ' miss ' "$sub_a" "$sub_b"
 grep -q ' hit ' "$sub_a"
 grep -q ' hit ' "$sub_b"
+# The pipelined tenant reports its window and throughput.
+grep -q 'pipelined 3 jobs, window 4' "$sub_a"
 if grep -qi 'error' "$sub_a" "$sub_b"; then
   echo "FAIL: wire submissions reported protocol errors"
   exit 1
@@ -215,6 +217,8 @@ wait "$net_pid"
 grep -q 'drained:' "$net_log"
 grep -q 'tenant ci-a' "$net_log"
 grep -q 'tenant ci-b' "$net_log"
+# The drained summary surfaces the bounded program registry's counters.
+grep -q 'programs: .* registered' "$net_log"
 rm -f "$net_addr" "$net_log" "$sub_a" "$sub_b"
 
 echo "==> serving benchmark -> results/BENCH_serve.json (warm must beat cold)"
@@ -226,7 +230,11 @@ echo "==> wire-tier benchmark -> results/BENCH_net.json (digests must match)"
 cargo run --release -p sp-bench --bin net -- --quick
 test -s results/BENCH_net.json
 grep -q '"digest_match":true' results/BENCH_net.json
-grep -q '"clients":4' results/BENCH_net.json
+grep -q '"clients":1' results/BENCH_net.json
+# The pipelined column must be present (bench check fails on a missing
+# metric) and must have beaten the single-in-flight column.
+grep -q '"pipelined":{"window":4' results/BENCH_net.json
+grep -q '"speedup_over_serial":1\.[2-9]' results/BENCH_net.json
 
 echo "==> bench regression gate: fresh results vs committed baselines"
 verdict="$(mktemp /tmp/spfc-verdict.XXXXXX.json)"

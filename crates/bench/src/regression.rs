@@ -319,6 +319,15 @@ pub fn extract_metrics(
         {
             out.push(("net.jobs_per_sec".to_string(), v, DEFAULT_BAND));
         }
+        // The pipelined column: losing it (the bench silently dropping
+        // the phase) is a missing-metric failure, same as any other.
+        if let Some(v) = doc
+            .get("pipelined")
+            .and_then(|n| n.get("jobs_per_sec"))
+            .and_then(Json::as_f64)
+        {
+            out.push(("net.pipelined.jobs_per_sec".to_string(), v, DEFAULT_BAND));
+        }
         // digest_match is 0/1 and a hard guarantee of the wire tier:
         // current must be 1 whenever the baseline was.
         if let Some(v) = doc.get("digest_match").and_then(Json::as_f64) {
@@ -537,6 +546,7 @@ mod tests {
 
     const NET: &str = r#"{"clients":4,"rounds":4,"jobs":96,
         "net":{"seconds":0.04,"jobs_per_sec":2400.0,"p50_rt_ms":1.1,"p99_rt_ms":2.1},
+        "pipelined":{"window":4,"seconds":0.03,"jobs_per_sec":3200.0,"speedup_over_serial":1.33},
         "inproc_jobs_per_sec":3400.0,"net_over_inproc":0.7,
         "warm_hits":90,"cold_misses":6,"digest_match":true}"#;
 
@@ -580,16 +590,26 @@ mod tests {
                 "serve.hit_rate_warm",
                 "serve.digest_match",
                 "net.jobs_per_sec",
+                "net.pipelined.jobs_per_sec",
                 "net.digest_match",
             ]
         );
         // Last row, not first: 100, not 10.
         assert_eq!(m[0].1, 100.0);
         assert_eq!(m[6].1, 1.0);
-        // net.jobs_per_sec comes from the nested "net" object, with the
-        // default throughput band; net.digest_match is exact.
+        // net.jobs_per_sec and the pipelined column come from their
+        // nested objects, with the default throughput band;
+        // net.digest_match is exact.
         assert_eq!(m[7], ("net.jobs_per_sec".to_string(), 2400.0, DEFAULT_BAND));
-        assert_eq!(m[8], ("net.digest_match".to_string(), 1.0, 0.0));
+        assert_eq!(
+            m[8],
+            (
+                "net.pipelined.jobs_per_sec".to_string(),
+                3200.0,
+                DEFAULT_BAND
+            )
+        );
+        assert_eq!(m[9], ("net.digest_match".to_string(), 1.0, 0.0));
     }
 
     #[test]

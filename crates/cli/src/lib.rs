@@ -117,6 +117,12 @@ pub struct Options {
     pub tenant: String,
     /// `--deadline-ms N`: round-trip deadline budget for `submit`.
     pub deadline_ms: Option<u64>,
+    /// `--window N`: keep up to N submissions in flight on the one
+    /// `submit` connection (1 = classic request/response).
+    pub window: usize,
+    /// `--repeat N`: submit the resolved job list N times (gives a
+    /// pipelining window something to fill).
+    pub repeat: usize,
     /// `--baseline-dir DIR`: committed bench artifacts for `bench check`.
     pub baseline_dir: Option<String>,
     /// `--current-dir DIR`: fresh bench artifacts for `bench check`
@@ -159,6 +165,8 @@ impl Options {
             connect: None,
             tenant: "default".to_string(),
             deadline_ms: None,
+            window: 1,
+            repeat: 1,
             baseline_dir: None,
             current_dir: None,
             tolerance: None,
@@ -263,6 +271,24 @@ impl Options {
                         code: 2,
                     })?);
                 }
+                "--window" => {
+                    opts.window = take()?.parse().map_err(|_| CliError {
+                        message: "bad --window".into(),
+                        code: 2,
+                    })?;
+                    if opts.window == 0 {
+                        return usage("--window must be >= 1");
+                    }
+                }
+                "--repeat" => {
+                    opts.repeat = take()?.parse().map_err(|_| CliError {
+                        message: "bad --repeat".into(),
+                        code: 2,
+                    })?;
+                    if opts.repeat == 0 {
+                        return usage("--repeat must be >= 1");
+                    }
+                }
                 "--baseline-dir" => {
                     opts.baseline_dir = Some(take()?.clone());
                 }
@@ -319,7 +345,7 @@ pub const USAGE: &str = "usage: spfc \
        spfc submit --connect ADDR <prog.loop|kernel|drain|ping> \
 [--tenant NAME] [--procs N] [--strip N] [--steps N] \
 [--backend interp|compiled|simd] [--schedule static|guided|stealing] \
-[--deadline-ms N]\n\
+[--deadline-ms N] [--window N] [--repeat N]\n\
        spfc cache <stats|clear> --cache-dir DIR\n\
        spfc bench check --baseline-dir DIR [--current-dir DIR] \
 [--tolerance F] [--json-out FILE]\n\
@@ -336,7 +362,9 @@ inspects or clears an on-disk artifact cache (stats includes serve stage \
 latencies).\n\
   submit sends a program (a .loop file or suite kernel name) to a \
 `serve --listen` server over TCP and prints the returned run report; \
-`submit drain` quiesces the server, `submit ping` measures the round trip.\n\
+`submit drain` quiesces the server, `submit ping` measures the round trip; \
+--window N pipelines up to N submissions on the one connection and \
+--repeat N submits the job list N times.\n\
   bench check gates fresh results/BENCH_*.json against a committed \
 baseline copy with per-metric tolerance bands; nonzero exit on regression.";
 
@@ -662,8 +690,14 @@ fn serve_listen_command(opts: &Options) -> Result<String, CliError> {
     let scraper = match &opts.listen_metrics {
         Some(addr) => {
             let svc = std::sync::Arc::clone(&service);
-            let render: sp_serve::MetricsRender =
-                std::sync::Arc::new(move || svc.metrics().to_prometheus());
+            let net = server.stats_handle();
+            let render: sp_serve::MetricsRender = std::sync::Arc::new(move || {
+                format!(
+                    "{}{}",
+                    svc.metrics().to_prometheus(),
+                    net.metrics().to_prometheus()
+                )
+            });
             Some(
                 sp_serve::MetricsServer::start(addr, render).map_err(|e| CliError {
                     message: format!("cannot listen on {addr}: {e}"),
@@ -682,6 +716,12 @@ fn serve_listen_command(opts: &Options) -> Result<String, CliError> {
         out,
         "drained: {} ok, {} deadline, {} rejected, {} quota on {} workers",
         stats.ok, stats.deadline, stats.rejected, stats.quota, opts.workers,
+    );
+    let n = server.stats();
+    let _ = writeln!(
+        out,
+        "programs: {} registered, {} evicted, {} live, {} digest hits, {} dedupe hits",
+        n.programs_registered, n.programs_evicted, n.programs_live, n.digest_hits, n.dedupe_hits,
     );
     for t in &stats.tenants {
         let _ = writeln!(
@@ -722,7 +762,12 @@ fn serve_listen_command(opts: &Options) -> Result<String, CliError> {
         );
     }
     if let Some(path) = &opts.metrics_out {
-        std::fs::write(path, service.metrics().to_prometheus()).map_err(|e| CliError {
+        let text = format!(
+            "{}{}",
+            service.metrics().to_prometheus(),
+            server.stats_handle().metrics().to_prometheus()
+        );
+        std::fs::write(path, text).map_err(|e| CliError {
             message: format!("cannot write {path}: {e}"),
             code: 1,
         })?;
@@ -772,6 +817,7 @@ fn submit_command(opts: &Options) -> Result<String, CliError> {
     }
     let backend = parse_backend(&opts.backend)?;
     let schedule = parse_schedule(&opts.schedule)?;
+    let mut specs = Vec::new();
     for seq in resolve_sequences(&opts.path)? {
         let name = seq.name.clone();
         let plan = ExecPlan::Fused {
@@ -786,38 +832,70 @@ fn submit_command(opts: &Options) -> Result<String, CliError> {
         if let Some(ms) = opts.deadline_ms {
             spec = spec.deadline(std::time::Duration::from_millis(ms));
         }
-        let res = client.submit(&spec).map_err(|e| CliError {
-            message: format!("submit {name}: {e}"),
-            code: 1,
-        })?;
+        specs.push(spec);
+    }
+    let specs: Vec<JobSpec> = (0..opts.repeat).flat_map(|_| specs.clone()).collect();
+    if opts.window > 1 {
+        let t0 = std::time::Instant::now();
+        let outcomes = client.submit_pipelined(&specs, opts.window);
+        let secs = t0.elapsed().as_secs_f64();
+        let mut results = Vec::with_capacity(outcomes.len());
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            results.push(outcome.map_err(|e| CliError {
+                message: format!("submit {}: {e}", specs[i].name),
+                code: 1,
+            })?);
+        }
+        for res in &results {
+            render_wire_result(&mut out, res);
+        }
         let _ = writeln!(
             out,
-            "job {} {:<12} tenant={} {:<8} digest={:016x} run {:>8} us (queued {} us)",
-            res.job,
-            res.name,
-            res.tenant,
-            res.cache.name(),
-            res.digest,
-            res.run_nanos / 1_000,
-            res.queued_nanos / 1_000,
+            "pipelined {} jobs, window {}: {:.1} ms ({:.0} jobs/s)",
+            results.len(),
+            opts.window,
+            secs * 1e3,
+            results.len() as f64 / secs.max(1e-9),
         );
-        let r = &res.report;
-        let c = r.merged_counters();
-        let _ = writeln!(
-            out,
-            "  report: {} backend {} schedule {} on {} procs x {} steps, \
-{} iters (+{} peeled), wall {} us",
-            r.executor,
-            r.backend,
-            r.schedule,
-            r.procs,
-            r.steps,
-            c.iters,
-            c.peeled_iters,
-            r.wall_nanos / 1_000,
-        );
+    } else {
+        for spec in &specs {
+            let res = client.submit(spec).map_err(|e| CliError {
+                message: format!("submit {}: {e}", spec.name),
+                code: 1,
+            })?;
+            render_wire_result(&mut out, &res);
+        }
     }
     Ok(out)
+}
+
+fn render_wire_result(out: &mut String, res: &sp_net::NetJobResult) {
+    let _ = writeln!(
+        out,
+        "job {} {:<12} tenant={} {:<8} digest={:016x} run {:>8} us (queued {} us)",
+        res.job,
+        res.name,
+        res.tenant,
+        res.cache.name(),
+        res.digest,
+        res.run_nanos / 1_000,
+        res.queued_nanos / 1_000,
+    );
+    let r = &res.report;
+    let c = r.merged_counters();
+    let _ = writeln!(
+        out,
+        "  report: {} backend {} schedule {} on {} procs x {} steps, \
+{} iters (+{} peeled), wall {} us",
+        r.executor,
+        r.backend,
+        r.schedule,
+        r.procs,
+        r.steps,
+        c.iters,
+        c.peeled_iters,
+        r.wall_nanos / 1_000,
+    );
 }
 
 /// `spfc bench check`: gate fresh bench artifacts against a committed

@@ -1,16 +1,27 @@
 //! The wire-tier serving benchmark: N concurrent socket clients against
 //! one [`NetServer`], with an in-process baseline on the same workload.
 //!
-//! [`net_sweep`] runs the same job list two ways:
+//! [`net_sweep`] runs the same job list three ways:
 //!
 //! 1. **In-process**: every copy of every spec goes straight into a
 //!    fresh [`Service`] — the ceiling the wire tier is measured against.
-//! 2. **Over the wire**: `clients` threads each own a TCP connection to
-//!    a fresh server and submit the list `rounds` times, recording the
-//!    round-trip latency of every job. The first completion of each
-//!    spec compiles (cold); every later one must hit the artifact cache
-//!    (warm) — so the sweep exercises the cold/warm mix the serve tier
-//!    sees in practice.
+//! 2. **Over the wire, serial**: `clients` threads each own a TCP
+//!    connection and submit the list `rounds` times one job at a time,
+//!    recording the round-trip latency of every job.
+//! 3. **Over the wire, pipelined** (when `window > 1`): the same total
+//!    volume, but each client keeps up to `window` requests in flight
+//!    on its one connection — the keep-alive pipelining column that
+//!    shows how much of the serial tier's gap to the in-process
+//!    ceiling is per-connection turnaround.
+//!
+//! The two wire disciplines share one server and run in **alternating
+//! chunks** (serial chunk, pipelined chunk, serial chunk, …) behind a
+//! barrier, so slow drift in host speed lands on both columns equally
+//! and their ratio stays meaningful even on a noisy machine. An
+//! untimed warmup submission compiles each spec once before the clock
+//! starts: both columns then run against the same warm artifact cache,
+//! and the warmup's cold outcomes are still tallied so "each spec
+//! compiled exactly once" remains checkable downstream.
 //!
 //! The sweep fails rather than returning numbers if any wire digest
 //! differs from the in-process digest for the same spec: the protocol
@@ -18,7 +29,13 @@
 
 use sp_net::{Client, ClientConfig, NetServer};
 use sp_serve::{ArtifactCacheConfig, CacheOutcome, JobSpec, Service, ServiceConfig};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
+
+/// How many alternating serial/pipelined chunks the rounds are split
+/// into (capped by the round count). More chunks cancel drift at finer
+/// grain; each chunk still has to be long enough that the barrier
+/// handoff is off the hot path.
+const SWEEP_CHUNKS: usize = 8;
 
 /// The result of one [`net_sweep`]: wire-tier throughput and latency
 /// next to the in-process baseline on the identical workload.
@@ -42,6 +59,12 @@ pub struct NetSweep {
     pub inproc_jobs: usize,
     /// Wall time of the in-process baseline.
     pub inproc_seconds: f64,
+    /// In-flight window of the pipelined phase (≤ 1 = phase skipped).
+    pub window: usize,
+    /// Jobs completed by the pipelined phase (0 when skipped).
+    pub pipelined_jobs: usize,
+    /// Wall time of the pipelined phase.
+    pub pipelined_seconds: f64,
     /// Every wire digest matched the in-process digest of its spec.
     /// Always true on a returned sweep (divergence is an error), kept
     /// as a field so the bench artifact can gate on it.
@@ -57,6 +80,14 @@ impl NetSweep {
     /// In-process jobs per second on the same workload.
     pub fn inproc_jobs_per_sec(&self) -> f64 {
         self.inproc_jobs as f64 / self.inproc_seconds.max(1e-9)
+    }
+
+    /// Pipelined wire jobs per second (0.0 when the phase was skipped).
+    pub fn pipelined_jobs_per_sec(&self) -> f64 {
+        if self.pipelined_jobs == 0 {
+            return 0.0;
+        }
+        self.pipelined_jobs as f64 / self.pipelined_seconds.max(1e-9)
     }
 
     /// The `p`-quantile (0.0–1.0) of the round-trip distribution.
@@ -91,11 +122,27 @@ fn service_for(specs: &[JobSpec], queue: usize) -> Service {
     )
 }
 
+/// What one client thread brings back from the interleaved wire phase.
+struct ClientTally {
+    /// Serial jobs: (spec index, round trip, digest, cache outcome).
+    serial: Vec<(usize, u64, u64, CacheOutcome)>,
+    /// Pipelined jobs: (spec index, digest).
+    pipelined: Vec<(usize, u64)>,
+}
+
 /// Runs `specs` through the wire tier with `clients` concurrent TCP
-/// clients submitting the list `rounds` times each, and the identical
-/// workload through a fresh in-process service. Errors if any job fails
-/// or any wire digest diverges from its in-process counterpart.
-pub fn net_sweep(specs: &[JobSpec], clients: usize, rounds: usize) -> Result<NetSweep, String> {
+/// clients submitting the list `rounds` times each — serially, and
+/// (when `window > 1`) again pipelined `window`-deep per connection,
+/// the two disciplines alternating in chunks on one shared server —
+/// plus the identical workload through a fresh in-process service.
+/// Errors if any job fails or any wire digest diverges from its
+/// in-process counterpart.
+pub fn net_sweep(
+    specs: &[JobSpec],
+    clients: usize,
+    rounds: usize,
+    window: usize,
+) -> Result<NetSweep, String> {
     if specs.is_empty() || clients == 0 || rounds == 0 {
         return Err("net_sweep needs specs, clients >= 1, and rounds >= 1".into());
     }
@@ -106,7 +153,7 @@ pub fn net_sweep(specs: &[JobSpec], clients: usize, rounds: usize) -> Result<Net
     let total = clients * rounds * specs.len();
     let baseline = service_for(specs, total);
     let t0 = std::time::Instant::now();
-    let mut ids = Vec::with_capacity(clients * rounds * specs.len());
+    let mut ids = Vec::with_capacity(total);
     for _ in 0..clients * rounds {
         for spec in specs {
             ids.push(
@@ -126,45 +173,119 @@ pub fn net_sweep(specs: &[JobSpec], clients: usize, rounds: usize) -> Result<Net
     let inproc_seconds = t0.elapsed().as_secs_f64();
     let inproc_jobs = total;
 
-    // Wire phase: a fresh (cold) server, `clients` connections (each
-    // client has at most one job outstanding, so `clients` bounds the
-    // server's queue pressure).
-    let server = NetServer::start("127.0.0.1:0", Arc::new(service_for(specs, clients)))
-        .map_err(|e| format!("cannot bind the sweep server: {e}"))?;
+    // One server hosts both wire disciplines. Queue capacity covers
+    // every client's full window plus a serial job each.
+    let server = NetServer::start(
+        "127.0.0.1:0",
+        Arc::new(service_for(specs, clients * (window.max(1) + 1))),
+    )
+    .map_err(|e| format!("cannot bind the sweep server: {e}"))?;
     let addr = server.addr().to_string();
-    let t0 = std::time::Instant::now();
+
+    // Untimed warmup: compile each spec once so both timed columns run
+    // against the same warm cache. The cache outcomes count toward the
+    // cold/warm tallies (downstream gates on "each spec compiled
+    // exactly once"), the round trips do not.
+    let mut warm_hits = 0u64;
+    let mut cold_misses = 0u64;
+    {
+        let mut warm = Client::connect(&addr, ClientConfig::default().tenant("warmup"))
+            .map_err(|e| format!("warmup connect: {e}"))?;
+        for (i, spec) in specs.iter().enumerate() {
+            let res = warm
+                .submit(spec)
+                .map_err(|e| format!("warmup submit {}: {e}", spec.name))?;
+            if res.digest != inproc_digests[i] {
+                return Err(format!(
+                    "digest divergence on {}: wire {:016x} != in-process {:016x}",
+                    spec.name, res.digest, inproc_digests[i]
+                ));
+            }
+            match res.cache {
+                CacheOutcome::Miss => cold_misses += 1,
+                CacheOutcome::Memory | CacheOutcome::Disk => warm_hits += 1,
+            }
+        }
+    }
+
+    // Distribute the rounds over alternating chunks. Every chunk runs
+    // its serial slice on all clients, then (window > 1) its pipelined
+    // slice, with the main thread timing each slice across the barrier.
+    let chunks = rounds.min(SWEEP_CHUNKS);
+    let mut chunk_rounds = vec![rounds / chunks; chunks];
+    for extra in chunk_rounds.iter_mut().take(rounds % chunks) {
+        *extra += 1;
+    }
+    let chunk_rounds = Arc::new(chunk_rounds);
+    let barrier = Arc::new(Barrier::new(clients + 1));
+
     let threads: Vec<_> = (0..clients)
         .map(|c| {
             let addr = addr.clone();
             let specs = specs.to_vec();
-            std::thread::spawn(
-                move || -> Result<Vec<(usize, u64, u64, CacheOutcome)>, String> {
-                    let mut client = Client::connect(
-                        &addr,
-                        ClientConfig::default().tenant(format!("client-{c}")),
-                    )
-                    .map_err(|e| format!("client {c} connect: {e}"))?;
-                    let mut done = Vec::with_capacity(rounds * specs.len());
-                    for _ in 0..rounds {
+            let barrier = Arc::clone(&barrier);
+            let chunk_rounds = Arc::clone(&chunk_rounds);
+            std::thread::spawn(move || -> Result<ClientTally, String> {
+                let mut client =
+                    Client::connect(&addr, ClientConfig::default().tenant(format!("client-{c}")))
+                        .map_err(|e| format!("client {c} connect: {e}"))?;
+                let mut tally = ClientTally {
+                    serial: Vec::new(),
+                    pipelined: Vec::new(),
+                };
+                for &r in chunk_rounds.iter() {
+                    barrier.wait();
+                    for _ in 0..r {
                         for (i, spec) in specs.iter().enumerate() {
                             let t = std::time::Instant::now();
                             let res = client
                                 .submit(spec)
                                 .map_err(|e| format!("client {c} submit {}: {e}", spec.name))?;
                             let rt = t.elapsed().as_nanos() as u64;
-                            done.push((i, rt, res.digest, res.cache));
+                            tally.serial.push((i, rt, res.digest, res.cache));
                         }
                     }
-                    Ok(done)
-                },
-            )
+                    barrier.wait();
+                    if window > 1 {
+                        let batch: Vec<JobSpec> = (0..r).flat_map(|_| specs.clone()).collect();
+                        barrier.wait();
+                        let outcomes = client.submit_pipelined(&batch, window);
+                        barrier.wait();
+                        for (j, outcome) in outcomes.into_iter().enumerate() {
+                            let res = outcome.map_err(|e| {
+                                format!("pipelined client {c} job {}: {e}", batch[j].name)
+                            })?;
+                            tally.pipelined.push((j % specs.len(), res.digest));
+                        }
+                    }
+                }
+                Ok(tally)
+            })
         })
         .collect();
-    let mut rt_nanos = Vec::with_capacity(clients * rounds * specs.len());
-    let mut warm_hits = 0u64;
-    let mut cold_misses = 0u64;
+
+    // The timing side of the barriers: each slice's wall time spans
+    // from every client being ready to the slowest client finishing.
+    let mut seconds = 0.0f64;
+    let mut pipelined_seconds = 0.0f64;
+    for _ in 0..chunks {
+        barrier.wait();
+        let t = std::time::Instant::now();
+        barrier.wait();
+        seconds += t.elapsed().as_secs_f64();
+        if window > 1 {
+            barrier.wait();
+            let t = std::time::Instant::now();
+            barrier.wait();
+            pipelined_seconds += t.elapsed().as_secs_f64();
+        }
+    }
+
+    let mut rt_nanos = Vec::with_capacity(total);
+    let mut pipelined_jobs = 0usize;
     for t in threads {
-        for (i, rt, digest, cache) in t.join().map_err(|_| "a client thread panicked")?? {
+        let tally = t.join().map_err(|_| "a client thread panicked")??;
+        for (i, rt, digest, cache) in tally.serial {
             if digest != inproc_digests[i] {
                 return Err(format!(
                     "digest divergence on {}: wire {digest:016x} != in-process {:016x}",
@@ -177,8 +298,16 @@ pub fn net_sweep(specs: &[JobSpec], clients: usize, rounds: usize) -> Result<Net
                 CacheOutcome::Memory | CacheOutcome::Disk => warm_hits += 1,
             }
         }
+        for (i, digest) in tally.pipelined {
+            if digest != inproc_digests[i] {
+                return Err(format!(
+                    "pipelined digest divergence on {}: wire {digest:016x} != in-process {:016x}",
+                    specs[i].name, inproc_digests[i]
+                ));
+            }
+            pipelined_jobs += 1;
+        }
     }
-    let seconds = t0.elapsed().as_secs_f64();
     server.shutdown();
     rt_nanos.sort_unstable();
 
@@ -192,6 +321,9 @@ pub fn net_sweep(specs: &[JobSpec], clients: usize, rounds: usize) -> Result<Net
         cold_misses,
         inproc_jobs,
         inproc_seconds,
+        window,
+        pipelined_jobs,
+        pipelined_seconds,
         digest_match: true,
     })
 }
@@ -234,21 +366,34 @@ mod tests {
 
     #[test]
     fn net_sweep_matches_digests_and_mixes_cold_and_warm() {
-        let sweep = net_sweep(&specs(), 2, 2).unwrap();
+        let sweep = net_sweep(&specs(), 2, 2, 1).unwrap();
         assert_eq!(sweep.jobs, 2 * 2 * 2);
         assert_eq!(sweep.inproc_jobs, sweep.jobs);
         assert!(sweep.digest_match);
-        // The first touch of each spec is cold, everything after warm.
+        // The untimed warmup compiled each spec once; every timed job
+        // after it must be warm.
         assert_eq!(sweep.cold_misses, 2);
-        assert_eq!(sweep.warm_hits as usize, sweep.jobs - 2);
+        assert_eq!(sweep.warm_hits as usize, sweep.jobs);
         assert_eq!(sweep.rt_nanos.len(), sweep.jobs);
         assert!(sweep.p99_rt_nanos() >= sweep.p50_rt_nanos());
         assert!(sweep.jobs_per_sec() > 0.0 && sweep.inproc_jobs_per_sec() > 0.0);
+        // Window 1 skips the pipelined phase.
+        assert_eq!(sweep.pipelined_jobs, 0);
+        assert_eq!(sweep.pipelined_jobs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn net_sweep_pipelined_phase_covers_the_same_volume() {
+        let sweep = net_sweep(&specs(), 2, 2, 4).unwrap();
+        assert_eq!(sweep.window, 4);
+        assert_eq!(sweep.pipelined_jobs, sweep.jobs, "same total volume");
+        assert!(sweep.pipelined_jobs_per_sec() > 0.0);
+        assert!(sweep.digest_match);
     }
 
     #[test]
     fn net_sweep_rejects_a_degenerate_call() {
-        assert!(net_sweep(&[], 2, 2).is_err());
-        assert!(net_sweep(&specs(), 0, 1).is_err());
+        assert!(net_sweep(&[], 2, 2, 1).is_err());
+        assert!(net_sweep(&specs(), 0, 1, 1).is_err());
     }
 }

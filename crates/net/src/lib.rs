@@ -6,23 +6,29 @@
 //! worth serving to a fleet. sp-net is the std-only network front door
 //! (no async runtime, matching `sp_serve::MetricsServer`):
 //!
-//! * [`wire`] — the `SPFC` length-prefixed binary frame format:
-//!   versioned header, CRC-32 integrity check, and five frame types
-//!   (SubmitJob / JobResult / Error / Drain / Ping). Submissions carry
-//!   the program (full text, or the content digest of text the server
-//!   has already seen), the execution plan, backend, schedule, and the
-//!   *remaining* deadline budget. Decoding is total: garbage maps to
-//!   typed [`WireError`]s, never panics.
+//! * [`wire`] — the `SPFC` length-prefixed binary frame format
+//!   (version 2): versioned header, CRC-32 integrity check, and five
+//!   frame types (SubmitJob / JobResult / Error / Drain / Ping).
+//!   Submissions carry a client-assigned `request_id` (echoed on the
+//!   reply so many requests can share one connection), the program
+//!   (full text, or the content digest of text the server has already
+//!   seen), the execution plan, backend, schedule, and the *remaining*
+//!   deadline budget. Decoding is total: garbage maps to typed
+//!   [`WireError`]s, never panics.
 //! * [`server`] — [`NetServer`]: the shared
-//!   [`SocketServer`](sp_serve::SocketServer) accept loop plus one
-//!   reader thread per connection, feeding the service's multi-tenant
-//!   fair-share queue. Wire jobs gain `decode` and `respond_wire`
-//!   stage spans in the serve-tier observability.
+//!   [`SocketServer`](sp_serve::SocketServer) accept loop plus, per
+//!   connection, a reader thread (decode + submit) and a completion
+//!   pump that writes replies out-of-order as jobs finish. Program
+//!   texts live in a bounded LRU registry; a retried `request_id` is
+//!   deduped against the job already admitted. Wire jobs gain `decode`
+//!   and `respond_wire` stage spans in the serve-tier observability.
 //! * [`client`] — [`Client`]: blocking, with connect/io timeouts,
 //!   bounded exponential-backoff retries on transient errors
 //!   (transport failures, `QueueFull`, `QuotaExceeded`), and deadline
-//!   propagation — each retry re-encodes the remaining budget so
-//!   server queue time counts against the caller's clock.
+//!   propagation — each retry re-encodes the remaining budget, clamps
+//!   backoff sleeps to it, and reuses the request id so the server
+//!   dedupes instead of re-executing. [`Client::submit_pipelined`]
+//!   keeps a window of requests in flight on one connection.
 //!
 //! A job submitted over the wire returns a result bit-identical to the
 //! same job run in-process: the snapshot digest and the per-worker
@@ -34,7 +40,7 @@ pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientConfig, NetError, NetJobResult};
-pub use server::NetServer;
+pub use server::{NetServer, NetServerConfig, NetServerStats, NetStatsHandle};
 pub use wire::{
     crc32, decode_frame, encode_frame, program_digest, read_frame, write_frame, ErrorFrame, Frame,
     FrameHeader, ProgramRef, ReadError, ResultFrame, SubmitJob, WireError, CODE_MALFORMED,

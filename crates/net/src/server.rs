@@ -2,14 +2,36 @@
 //! [`sp_serve::Service`].
 //!
 //! One acceptor thread (the shared [`SocketServer`] skeleton from
-//! sp-serve) plus one reader thread per connection. Each reader decodes
-//! [`Frame::Submit`] requests, resolves the program (text, or digest of
-//! previously seen text), feeds the service's fair-share queue via
-//! `submit_wire` — so the decode time lands in the job's `decode` stage
-//! span — blocks on the result, and writes it back, recording the
-//! `respond_wire` span post-hoc. Requests on one connection are served
-//! in order; concurrency comes from connections, exactly like the
-//! in-process service's one-job-per-client threads.
+//! sp-serve) plus **two** threads per connection: a reader and a
+//! completion pump. The reader decodes [`Frame::Submit`] requests,
+//! resolves the program (text, or digest of previously seen text), and
+//! feeds the service's fair-share queue via `submit_wire` — so the
+//! decode time lands in the job's `decode` stage span — then goes
+//! straight back to reading. The pump parks in
+//! [`Service::wait_any`](sp_serve::Service::wait_any) on the
+//! connection's in-flight window and writes each reply (tagged with the
+//! request's `request_id`) as its job finishes, out of order when jobs
+//! finish out of order, recording the `respond_wire` span. Both halves
+//! share the socket's write side behind one mutex, so pump replies and
+//! reader-side rejections never interleave bytes. Pipelining depth is
+//! the client's choice; a v1-style one-at-a-time client sees exactly
+//! the old in-order behavior.
+//!
+//! Retried submissions: a client that resends a request (same tenant,
+//! same nonzero `request_id`) after a transport failure may race a job
+//! the server is still running — or already finished. The server keeps
+//! a bounded FIFO of recently submitted `(tenant, request_id)` keys and
+//! answers a resubmission with the *existing* job instead of executing
+//! it twice; a fingerprint of the request body guards against an id
+//! accidentally reused for different work.
+//!
+//! Programs: text submissions register the parsed sequence under its
+//! content digest so later jobs can submit by digest alone. The
+//! registry is a bounded LRU ([`NetServerConfig::program_capacity`]);
+//! an evicted digest is a typed [`CODE_UNKNOWN_PROGRAM`] rejection and
+//! the client re-registers transparently by resubmitting the text.
+//! Registration, eviction, and dedupe counters surface through
+//! [`NetServer::stats`] and the [`NetStatsHandle`] metrics registry.
 //!
 //! Deadlines: the submit frame carries the *remaining* budget in
 //! nanoseconds; the server re-arms it as a service deadline on arrival,
@@ -22,17 +44,19 @@
 //! the server down.
 
 use crate::wire::{
-    program_digest, write_frame, ErrorFrame, Frame, FrameHeader, ProgramRef, ResultFrame,
-    SubmitJob, WireError, CODE_MALFORMED, CODE_UNKNOWN_PROGRAM, HEADER_LEN,
+    encode_frame, encode_payload_for_fingerprint, program_digest, write_frame, ErrorFrame, Frame,
+    FrameHeader, ProgramRef, ResultFrame, SubmitJob, WireError, CODE_MALFORMED,
+    CODE_UNKNOWN_PROGRAM, HEADER_LEN,
 };
 use sp_ir::{parse_sequence, LoopSequence};
-use sp_serve::{JobSpec, Service, SocketServer};
-use sp_trace::JobStage;
-use std::collections::HashMap;
+use sp_serve::{JobId, JobSpec, Service, SocketServer};
+use sp_trace::{JobStage, MetricsRegistry};
+use std::collections::{HashMap, VecDeque};
 use std::io::Read;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
 use std::time::Duration;
 
 /// How long a connection reader blocks in one `read` before polling the
@@ -40,42 +64,256 @@ use std::time::Duration;
 /// the hot path.
 const POLL_TIMEOUT: Duration = Duration::from_millis(100);
 
+/// How long the completion pump parks in `wait_any` before re-merging
+/// newly submitted requests into its watch set. Completions wake it
+/// immediately through the service condvar; the timeout only bounds the
+/// window where a job submitted *during* a park finishes before the
+/// pump watches it.
+const PUMP_REARM: Duration = Duration::from_millis(10);
+
+/// Bound on the retry-dedupe FIFO: how many recently submitted
+/// `(tenant, request_id)` keys the server remembers. Old entries fall
+/// off the front, so the map cannot reintroduce the unbounded-growth
+/// bug the program registry had.
+const DEDUPE_CAPACITY: usize = 4096;
+
+/// Tunables for [`NetServer::start_with`].
+#[derive(Clone, Debug)]
+pub struct NetServerConfig {
+    /// Max programs retained in the digest registry (LRU eviction).
+    pub program_capacity: usize,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            program_capacity: 256,
+        }
+    }
+}
+
+/// A snapshot of the wire tier's own counters (the service's job
+/// counters live in [`Service::metrics`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetServerStats {
+    /// Text submissions that registered (or re-registered) a program.
+    pub programs_registered: u64,
+    /// Programs evicted from the LRU registry.
+    pub programs_evicted: u64,
+    /// Programs currently resident in the registry.
+    pub programs_live: u64,
+    /// By-digest submissions served from the registry.
+    pub digest_hits: u64,
+    /// Resubmitted requests answered from an existing job instead of
+    /// executing twice.
+    pub dedupe_hits: u64,
+}
+
+/// A clonable handle onto a running server's counters — hand it to a
+/// metrics scrape endpoint or a shutdown summary without keeping the
+/// [`NetServer`] itself borrowed.
+#[derive(Clone)]
+pub struct NetStatsHandle {
+    shared: Arc<ServerShared>,
+}
+
+impl NetStatsHandle {
+    /// The counters right now.
+    pub fn snapshot(&self) -> NetServerStats {
+        let reg = self.shared.programs.lock().unwrap();
+        let dedupe = self.shared.dedupe.lock().unwrap();
+        NetServerStats {
+            programs_registered: reg.registered,
+            programs_evicted: reg.evictions,
+            programs_live: reg.map.len() as u64,
+            digest_hits: reg.digest_hits,
+            dedupe_hits: dedupe.hits,
+        }
+    }
+
+    /// The counters as a labeled Prometheus registry (component
+    /// `sp-net`), for concatenation with the service's registry on a
+    /// scrape endpoint.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let s = self.snapshot();
+        let mut reg = MetricsRegistry::new(&[("component", "sp-net")]);
+        reg.counter(
+            "spfc_net_programs_registered_total",
+            "Program texts registered in the digest registry",
+            s.programs_registered,
+        );
+        reg.counter(
+            "spfc_net_program_evictions_total",
+            "Programs evicted from the bounded registry",
+            s.programs_evicted,
+        );
+        reg.gauge(
+            "spfc_net_programs_live",
+            "Programs currently resident in the registry",
+            s.programs_live as f64,
+        );
+        reg.counter(
+            "spfc_net_digest_hits_total",
+            "By-digest submissions resolved from the registry",
+            s.digest_hits,
+        );
+        reg.counter(
+            "spfc_net_dedupe_hits_total",
+            "Retried submissions answered from an existing job",
+            s.dedupe_hits,
+        );
+        reg
+    }
+}
+
 /// A running wire server. Dropping it stops the acceptor and joins
 /// every connection thread; the wrapped [`Service`] is left running
 /// (callers own its lifecycle).
 pub struct NetServer {
     service: Arc<Service>,
     inner: SocketServer,
+    shared: Arc<ServerShared>,
     drained: Arc<(Mutex<bool>, Condvar)>,
+}
+
+/// Digest → program registry with LRU eviction. `lru` holds digests in
+/// recency order (front = coldest); it may carry stale entries for
+/// digests that were re-touched, which `touch` compacts away.
+struct ProgramRegistry {
+    capacity: usize,
+    map: HashMap<u64, LoopSequence>,
+    lru: VecDeque<u64>,
+    registered: u64,
+    evictions: u64,
+    digest_hits: u64,
+}
+
+impl ProgramRegistry {
+    fn new(capacity: usize) -> ProgramRegistry {
+        ProgramRegistry {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            lru: VecDeque::new(),
+            registered: 0,
+            evictions: 0,
+            digest_hits: 0,
+        }
+    }
+
+    fn touch(&mut self, digest: u64) {
+        self.lru.retain(|&d| d != digest);
+        self.lru.push_back(digest);
+    }
+
+    /// Registers (or refreshes) a program, evicting the coldest entries
+    /// past capacity.
+    fn insert(&mut self, digest: u64, seq: &LoopSequence) {
+        self.registered += 1;
+        if self.map.insert(digest, seq.clone()).is_none() {
+            while self.map.len() > self.capacity {
+                let Some(cold) = self.lru.pop_front() else {
+                    break;
+                };
+                if self.map.remove(&cold).is_some() {
+                    self.evictions += 1;
+                }
+            }
+        }
+        self.touch(digest);
+    }
+
+    fn get(&mut self, digest: u64) -> Option<LoopSequence> {
+        let seq = self.map.get(&digest).cloned()?;
+        self.digest_hits += 1;
+        self.touch(digest);
+        Some(seq)
+    }
+}
+
+/// The retry-dedupe ledger: recently submitted `(tenant, request_id)`
+/// keys mapped to the job they created, FIFO-capped. `order` may hold
+/// stale keys for entries that were overwritten; eviction just skips
+/// them.
+struct DedupeMap {
+    map: HashMap<(String, u64), (JobId, u64)>,
+    order: VecDeque<(String, u64)>,
+    hits: u64,
+}
+
+impl DedupeMap {
+    fn new() -> DedupeMap {
+        DedupeMap {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+        }
+    }
+
+    /// The existing job for a resubmission of (`tenant`, `request_id`)
+    /// with the same request body, if the server still remembers it.
+    fn lookup(&mut self, tenant: &str, request_id: u64, fingerprint: u64) -> Option<JobId> {
+        let key = (tenant.to_string(), request_id);
+        match self.map.get(&key) {
+            Some(&(job, fp)) if fp == fingerprint => {
+                self.hits += 1;
+                Some(job)
+            }
+            _ => None,
+        }
+    }
+
+    fn record(&mut self, tenant: &str, request_id: u64, job: JobId, fingerprint: u64) {
+        let key = (tenant.to_string(), request_id);
+        if self.map.insert(key.clone(), (job, fingerprint)).is_none() {
+            self.order.push_back(key);
+            while self.map.len() > DEDUPE_CAPACITY {
+                let Some(old) = self.order.pop_front() else {
+                    break;
+                };
+                self.map.remove(&old);
+            }
+        }
+    }
 }
 
 /// State shared by every connection thread.
 struct ServerShared {
     service: Arc<Service>,
-    /// Digest → program text registry, populated by text submissions so
-    /// later jobs can submit by digest alone.
-    programs: Mutex<HashMap<u64, LoopSequence>>,
+    programs: Mutex<ProgramRegistry>,
+    dedupe: Mutex<DedupeMap>,
     drained: Arc<(Mutex<bool>, Condvar)>,
 }
 
 impl NetServer {
     /// Binds `addr` (port 0 for ephemeral) and starts serving jobs into
-    /// `service`.
+    /// `service` with the default [`NetServerConfig`].
     pub fn start(addr: &str, service: Arc<Service>) -> std::io::Result<NetServer> {
+        NetServer::start_with(addr, service, NetServerConfig::default())
+    }
+
+    /// [`NetServer::start`] with explicit tunables.
+    pub fn start_with(
+        addr: &str,
+        service: Arc<Service>,
+        cfg: NetServerConfig,
+    ) -> std::io::Result<NetServer> {
         let drained = Arc::new((Mutex::new(false), Condvar::new()));
         let shared = Arc::new(ServerShared {
             service: Arc::clone(&service),
-            programs: Mutex::new(HashMap::new()),
+            programs: Mutex::new(ProgramRegistry::new(cfg.program_capacity)),
+            dedupe: Mutex::new(DedupeMap::new()),
             drained: Arc::clone(&drained),
         });
+        let conn_shared = Arc::clone(&shared);
         let inner = SocketServer::start(
             addr,
             "spfc-net",
-            Arc::new(move |stream, stop| serve_conn(&shared, stream, stop)),
+            Arc::new(move |stream, stop| serve_conn(&conn_shared, stream, stop)),
         )?;
         Ok(NetServer {
             service,
             inner,
+            shared,
             drained,
         })
     }
@@ -89,6 +327,19 @@ impl NetServer {
     /// hosting process).
     pub fn service(&self) -> &Arc<Service> {
         &self.service
+    }
+
+    /// The wire tier's own counters right now.
+    pub fn stats(&self) -> NetServerStats {
+        self.stats_handle().snapshot()
+    }
+
+    /// A clonable handle onto the counters that outlives this borrow
+    /// (for metrics render closures).
+    pub fn stats_handle(&self) -> NetStatsHandle {
+        NetStatsHandle {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Blocks until some client drains the service over the wire.
@@ -106,16 +357,87 @@ impl NetServer {
     }
 }
 
-/// One connection's request loop.
-fn serve_conn(shared: &ServerShared, stream: TcpStream, stop: &AtomicBool) {
+/// One request the reader has handed to the pump: the correlation id to
+/// echo, the job to wait on, and the tenant for the reply frame.
+struct InFlight {
+    request_id: u64,
+    job: JobId,
+    tenant: String,
+}
+
+/// The reader→pump handoff for one connection.
+#[derive(Default)]
+struct PumpQueue {
+    pending: Vec<InFlight>,
+    /// Requests the pump has accepted but not yet replied to.
+    in_pump: usize,
+    closed: bool,
+}
+
+struct ConnShared {
+    queue: Mutex<PumpQueue>,
+    cv: Condvar,
+    /// The socket's write side; pump replies and reader rejections
+    /// serialize here.
+    writer: Mutex<TcpStream>,
+}
+
+impl ConnShared {
+    fn write(&self, frame: &Frame) -> bool {
+        write_frame(&mut *self.writer.lock().unwrap(), frame).is_ok()
+    }
+
+    /// One syscall for a whole batch of already-encoded frames.
+    fn write_bytes(&self, bytes: &[u8]) -> bool {
+        use std::io::Write as _;
+        self.writer.lock().unwrap().write_all(bytes).is_ok()
+    }
+}
+
+/// One connection's request loop (the reader half).
+fn serve_conn(shared: &Arc<ServerShared>, stream: TcpStream, stop: &AtomicBool) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_TIMEOUT));
-    let mut stream = stream;
+    let Ok(writer) = stream.try_clone() else {
+        return;
+    };
+    let conn = Arc::new(ConnShared {
+        queue: Mutex::new(PumpQueue::default()),
+        cv: Condvar::new(),
+        writer: Mutex::new(writer),
+    });
+    let pump = {
+        let shared = Arc::clone(shared);
+        let conn = Arc::clone(&conn);
+        thread::Builder::new()
+            .name("spfc-net-pump".into())
+            .spawn(move || pump_loop(&shared, &conn))
+    };
+    // Buffer the read side: a pipelining client coalesces its burst
+    // into one packet, so one syscall here can ingest many frames.
+    let mut stream = std::io::BufReader::new(stream);
+    read_loop(shared, &mut stream, &conn, stop);
+    {
+        let mut q = conn.queue.lock().unwrap();
+        q.closed = true;
+        conn.cv.notify_all();
+    }
+    if let Ok(handle) = pump {
+        let _ = handle.join();
+    }
+}
+
+fn read_loop(
+    shared: &Arc<ServerShared>,
+    stream: &mut impl Read,
+    conn: &Arc<ConnShared>,
+    stop: &AtomicBool,
+) {
     loop {
         // Phase 1: wait for a header, polling the stop flag between
         // timeouts. The decode span starts once the header is in.
         let mut raw = [0u8; HEADER_LEN];
-        match read_polling(&mut stream, &mut raw, stop, true) {
+        match read_polling(stream, &mut raw, stop, true) {
             PollRead::Done => {}
             PollRead::Closed | PollRead::Stopping | PollRead::Err => return,
         }
@@ -124,41 +446,49 @@ fn serve_conn(shared: &ServerShared, stream: TcpStream, stop: &AtomicBool) {
             Ok(h) => h,
             Err(e) => {
                 // The stream is desynchronized; answer typed and close.
-                reject(&mut stream, 0, "", &e);
+                reject(conn, 0, "", &e);
                 return;
             }
         };
         let mut body = vec![0u8; header.payload_len as usize + 4];
-        match read_polling(&mut stream, &mut body, stop, false) {
+        match read_polling(stream, &mut body, stop, false) {
             PollRead::Done => {}
             PollRead::Closed | PollRead::Stopping | PollRead::Err => return,
         }
         let frame = match header.decode_body(&body) {
             Ok(f) => f,
             Err(e) => {
-                reject(&mut stream, 0, "", &e);
+                reject(conn, 0, "", &e);
                 return;
             }
         };
         let decode_dur = shared.service.since_epoch() - decode_start;
         match frame {
             Frame::Ping => {
-                if write_frame(&mut stream, &Frame::Ping).is_err() {
+                if !conn.write(&Frame::Ping) {
                     return;
                 }
             }
             Frame::Drain => {
                 shared.service.drain();
+                // Let the pump flush every reply this connection is
+                // still owed before confirming the drain.
+                {
+                    let mut q = conn.queue.lock().unwrap();
+                    while q.pending.len() + q.in_pump > 0 {
+                        q = conn.cv.wait(q).unwrap();
+                    }
+                }
                 {
                     let (flag, cv) = &*shared.drained;
                     *flag.lock().unwrap() = true;
                     cv.notify_all();
                 }
-                let _ = write_frame(&mut stream, &Frame::Drain);
+                let _ = conn.write(&Frame::Drain);
                 return;
             }
             Frame::Submit(submit) => {
-                if !handle_submit(shared, &mut stream, submit, (decode_start, decode_dur)) {
+                if !handle_submit(shared, conn, submit, (decode_start, decode_dur)) {
                     return;
                 }
             }
@@ -166,25 +496,45 @@ fn serve_conn(shared: &ServerShared, stream: TcpStream, stop: &AtomicBool) {
             // protocol violation.
             Frame::Result(_) | Frame::Error(_) => {
                 let e = WireError::Malformed("unexpected server-side frame".into());
-                reject(&mut stream, 0, "", &e);
+                reject(conn, 0, "", &e);
                 return;
             }
         }
     }
 }
 
-/// Runs one submission to completion. Returns false when the
-/// connection should close (write failure).
+/// Admits one submission and hands it to the pump. Returns false when
+/// the connection should close (write failure on an immediate
+/// rejection).
 fn handle_submit(
     shared: &ServerShared,
-    stream: &mut TcpStream,
+    conn: &Arc<ConnShared>,
     submit: SubmitJob,
     decode: (u64, u64),
 ) -> bool {
+    let request_id = submit.request_id;
     let tenant = submit.tenant.clone();
+    // A retried request (same tenant + nonzero id + same body) attaches
+    // to the job the earlier attempt created instead of running twice.
+    let fingerprint = request_fingerprint(&submit);
+    if request_id != 0 {
+        let existing = shared
+            .dedupe
+            .lock()
+            .unwrap()
+            .lookup(&tenant, request_id, fingerprint);
+        if let Some(job) = existing {
+            enqueue_reply(conn, request_id, job, tenant);
+            return true;
+        }
+    }
     let seq = match resolve_program(shared, &submit.program) {
         Ok(seq) => seq,
-        Err(err) => return write_frame(stream, &Frame::Error(err)).is_ok(),
+        Err(mut err) => {
+            err.request_id = request_id;
+            err.tenant = tenant;
+            return conn.write(&Frame::Error(err));
+        }
     };
     let mut spec = JobSpec::new(&submit.name, seq, submit.plan.clone())
         .client(&tenant)
@@ -198,45 +548,151 @@ fn handle_submit(
     let id = match shared.service.submit_wire(spec, decode) {
         Ok(id) => id,
         Err(e) => {
-            return write_frame(
-                stream,
-                &Frame::Error(ErrorFrame {
-                    code: e.code(),
-                    job: 0,
-                    tenant,
-                    message: e.to_string(),
-                }),
-            )
-            .is_ok();
+            return conn.write(&Frame::Error(ErrorFrame {
+                request_id,
+                code: e.code(),
+                job: 0,
+                tenant,
+                message: e.to_string(),
+            }));
         }
     };
-    let reply = match shared.service.wait(id) {
-        Ok(res) => Frame::Result(ResultFrame {
-            job: res.id.0,
-            name: res.name,
-            tenant,
-            cache: res.cache,
-            digest: res.digest,
-            queued_nanos: res.queued_nanos,
-            run_nanos: res.run_nanos,
-            order: res.order,
-            report_json: res.report.to_json(),
-        }),
-        Err(e) => Frame::Error(ErrorFrame {
-            code: e.code(),
-            job: id.0,
-            tenant,
-            message: e.to_string(),
-        }),
-    };
-    // respond_wire: result encoding + the write back onto the socket.
-    let t0 = shared.service.since_epoch();
-    let ok = write_frame(stream, &reply).is_ok();
-    let dur = shared.service.since_epoch() - t0;
-    shared
-        .service
-        .record_wire_stage(id, JobStage::RespondWire, t0, dur);
-    ok
+    if request_id != 0 {
+        shared
+            .dedupe
+            .lock()
+            .unwrap()
+            .record(&tenant, request_id, id, fingerprint);
+    }
+    enqueue_reply(conn, request_id, id, tenant);
+    true
+}
+
+fn enqueue_reply(conn: &Arc<ConnShared>, request_id: u64, job: JobId, tenant: String) {
+    let mut q = conn.queue.lock().unwrap();
+    q.pending.push(InFlight {
+        request_id,
+        job,
+        tenant,
+    });
+    conn.cv.notify_all();
+}
+
+/// The identity of a request's *work*, deadline excluded (retries
+/// re-encode the remaining budget, which must not defeat dedupe).
+fn request_fingerprint(submit: &SubmitJob) -> u64 {
+    let mut canon = submit.clone();
+    canon.deadline_nanos = 0;
+    sp_serve::fnv1a64(&encode_payload_for_fingerprint(&canon))
+}
+
+/// The completion pump: waits on the connection's in-flight window and
+/// writes replies as jobs finish, out of order. Exits once the reader
+/// has closed and every accepted request is answered.
+fn pump_loop(shared: &Arc<ServerShared>, conn: &Arc<ConnShared>) {
+    let mut inflight: Vec<InFlight> = Vec::new();
+    loop {
+        {
+            let mut q = conn.queue.lock().unwrap();
+            loop {
+                if !q.pending.is_empty() {
+                    let drained: Vec<InFlight> = q.pending.drain(..).collect();
+                    q.in_pump += drained.len();
+                    inflight.extend(drained);
+                    break;
+                }
+                if !inflight.is_empty() {
+                    break;
+                }
+                if q.closed {
+                    return;
+                }
+                q = conn.cv.wait(q).unwrap();
+            }
+        }
+        let ids: Vec<JobId> = inflight.iter().map(|f| f.job).collect();
+        // PUMP_REARM bounds how long a submission that arrived during
+        // this park waits to join the watch set; completions of watched
+        // jobs wake the wait immediately.
+        let Some(first) = shared.service.wait_any(&ids, PUMP_REARM) else {
+            continue;
+        };
+        // Sweep up every other completion that is already done — their
+        // replies coalesce into one socket write. Zero-timeout only:
+        // waiting here for stragglers would delay the replies that are
+        // ready, and the client refills its window from exactly those.
+        let mut ready = vec![first];
+        loop {
+            let rest: Vec<JobId> = inflight
+                .iter()
+                .map(|f| f.job)
+                .filter(|j| !ready.iter().any(|(d, _)| d == j))
+                .collect();
+            if rest.is_empty() {
+                break;
+            }
+            match shared.service.wait_any(&rest, Duration::ZERO) {
+                Some(more) => ready.push(more),
+                None => break,
+            }
+        }
+        let t0 = shared.service.since_epoch();
+        let mut batch = Vec::new();
+        let mut replied = Vec::new();
+        for (done, result) in ready {
+            let pos = inflight
+                .iter()
+                .position(|f| f.job == done)
+                .expect("wait_any returns a watched id");
+            let f = inflight.remove(pos);
+            let reply = match result {
+                Ok(res) => Frame::Result(ResultFrame {
+                    request_id: f.request_id,
+                    job: res.id.0,
+                    name: res.name,
+                    tenant: f.tenant,
+                    cache: res.cache,
+                    digest: res.digest,
+                    queued_nanos: res.queued_nanos,
+                    run_nanos: res.run_nanos,
+                    order: res.order,
+                    report_json: res.report.to_json(),
+                }),
+                Err(e) => Frame::Error(ErrorFrame {
+                    request_id: f.request_id,
+                    code: e.code(),
+                    job: f.job.0,
+                    tenant: f.tenant,
+                    message: e.to_string(),
+                }),
+            };
+            batch.extend_from_slice(&encode_frame(&reply));
+            replied.push(f.job);
+        }
+        // respond_wire: result encoding + the write back onto the socket.
+        let ok = conn.write_bytes(&batch);
+        let dur = shared.service.since_epoch() - t0;
+        for job in &replied {
+            shared
+                .service
+                .record_wire_stage(*job, JobStage::RespondWire, t0, dur);
+        }
+        {
+            let mut q = conn.queue.lock().unwrap();
+            q.in_pump -= replied.len();
+            conn.cv.notify_all();
+        }
+        if !ok {
+            // The peer is gone; drop the remaining window and let the
+            // reader notice EOF. Mark the dropped requests answered so
+            // a drain on this connection cannot hang.
+            let mut q = conn.queue.lock().unwrap();
+            q.in_pump -= inflight.len();
+            q.pending.clear();
+            conn.cv.notify_all();
+            return;
+        }
+    }
 }
 
 /// Text registers the program under its digest; a digest looks it up.
@@ -247,45 +703,43 @@ fn resolve_program(
     match program {
         ProgramRef::Text(text) => {
             let seq = parse_sequence(text).map_err(|e| ErrorFrame {
+                request_id: 0,
                 code: CODE_MALFORMED,
                 job: 0,
                 tenant: String::new(),
                 message: format!("program parse error: {e}"),
             })?;
             let digest = program_digest(&seq);
+            shared.programs.lock().unwrap().insert(digest, &seq);
+            Ok(seq)
+        }
+        ProgramRef::Digest(d) => {
             shared
                 .programs
                 .lock()
                 .unwrap()
-                .entry(digest)
-                .or_insert_with(|| seq.clone());
-            Ok(seq)
+                .get(*d)
+                .ok_or_else(|| ErrorFrame {
+                    request_id: 0,
+                    code: CODE_UNKNOWN_PROGRAM,
+                    job: 0,
+                    tenant: String::new(),
+                    message: format!(
+                        "unknown program digest {d:#018x}; submit the text once first"
+                    ),
+                })
         }
-        ProgramRef::Digest(d) => shared
-            .programs
-            .lock()
-            .unwrap()
-            .get(d)
-            .cloned()
-            .ok_or_else(|| ErrorFrame {
-                code: CODE_UNKNOWN_PROGRAM,
-                job: 0,
-                tenant: String::new(),
-                message: format!("unknown program digest {d:#018x}; submit the text once first"),
-            }),
     }
 }
 
-fn reject(stream: &mut TcpStream, job: u64, tenant: &str, e: &WireError) {
-    let _ = write_frame(
-        stream,
-        &Frame::Error(ErrorFrame {
-            code: CODE_MALFORMED,
-            job,
-            tenant: tenant.to_string(),
-            message: e.to_string(),
-        }),
-    );
+fn reject(conn: &Arc<ConnShared>, job: u64, tenant: &str, e: &WireError) {
+    let _ = conn.write(&Frame::Error(ErrorFrame {
+        request_id: 0,
+        code: CODE_MALFORMED,
+        job,
+        tenant: tenant.to_string(),
+        message: e.to_string(),
+    }));
 }
 
 enum PollRead {
@@ -299,7 +753,7 @@ enum PollRead {
 /// `at_boundary`, a clean close before the first byte is `Closed` (the
 /// peer just hung up between frames); mid-buffer EOF is `Err`.
 fn read_polling(
-    stream: &mut TcpStream,
+    stream: &mut impl Read,
     buf: &mut [u8],
     stop: &AtomicBool,
     at_boundary: bool,
@@ -323,4 +777,50 @@ fn read_polling(
         }
     }
     PollRead::Done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize) -> LoopSequence {
+        use sp_ir::SeqBuilder;
+        let mut b = SeqBuilder::new(format!("p{n}"));
+        let a = b.array("a", [n]);
+        let c = b.array("c", [n]);
+        b.nest("L1", [(1, n as i64 - 2)], |x| {
+            let r = x.ld(a, [1]) + x.ld(a, [-1]);
+            x.assign(c, [0], r);
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn program_registry_evicts_in_lru_order() {
+        let mut reg = ProgramRegistry::new(2);
+        let (s1, s2, s3) = (seq(8), seq(9), seq(10));
+        reg.insert(1, &s1);
+        reg.insert(2, &s2);
+        assert!(reg.get(1).is_some(), "touch 1 so 2 is coldest");
+        reg.insert(3, &s3);
+        assert_eq!(reg.evictions, 1);
+        assert!(reg.get(2).is_none(), "2 was coldest");
+        assert!(reg.get(1).is_some() && reg.get(3).is_some());
+        // Re-registering an evicted program is transparent.
+        reg.insert(2, &s2);
+        assert_eq!(reg.evictions, 2);
+        assert!(reg.get(2).is_some());
+        assert_eq!(reg.registered, 4);
+    }
+
+    #[test]
+    fn dedupe_map_matches_only_same_tenant_id_and_body() {
+        let mut d = DedupeMap::new();
+        d.record("a", 7, JobId(1), 0xAB);
+        assert_eq!(d.lookup("a", 7, 0xAB), Some(JobId(1)));
+        assert_eq!(d.lookup("a", 7, 0xCD), None, "different body");
+        assert_eq!(d.lookup("b", 7, 0xAB), None, "different tenant");
+        assert_eq!(d.lookup("a", 8, 0xAB), None, "different id");
+        assert_eq!(d.hits, 1);
+    }
 }

@@ -5,7 +5,7 @@
 //! ```text
 //!  offset  size  field
 //!  0       4     magic  "SPFC"
-//!  4       2     protocol version (little-endian, currently 1)
+//!  4       2     protocol version (little-endian, currently 2)
 //!  6       1     frame type (1 SubmitJob, 2 JobResult, 3 Error,
 //!                            4 Drain, 5 Ping)
 //!  7       1     reserved (must be 0)
@@ -22,6 +22,16 @@
 //! anything else past the magic: a future format bumps the version and
 //! old peers reject it with [`WireError::Version`] instead of
 //! misparsing.
+//!
+//! Version 2 prepends a client-assigned `request_id` (u64) to the
+//! `SubmitJob`, `JobResult`, and `Error` payloads so several requests
+//! can be in flight on one connection and replies can arrive out of
+//! order: the server echoes the id verbatim on whichever reply the
+//! request produces. Id 0 means "unpipelined" (one request in flight,
+//! replies in order). A client reuses the id when it retries a request,
+//! which lets the server recognize a resubmission of work it is already
+//! running (or has finished) instead of executing it twice. Version 1
+//! peers reject v2 frames with the typed [`WireError::Version`].
 
 use shift_peel_core::CodegenMethod;
 use sp_exec::{Backend, ExecPlan, Schedule};
@@ -31,8 +41,9 @@ use std::io::{Read, Write};
 
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"SPFC";
-/// Current protocol version.
-pub const VERSION: u16 = 1;
+/// Current protocol version. Version 2 added the `request_id`
+/// correlation field to submit/result/error payloads (pipelining).
+pub const VERSION: u16 = 2;
 /// Fixed header size (magic + version + type + reserved + length).
 pub const HEADER_LEN: usize = 12;
 /// Largest accepted payload. Program text is at most a few hundred KiB;
@@ -125,6 +136,10 @@ pub enum ProgramRef {
 /// plan's grid rank, exactly as `JobSpec::new` does.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SubmitJob {
+    /// Client-assigned correlation id, echoed on the reply. 0 means
+    /// unpipelined. A retry of the same logical request reuses the id
+    /// so the server can dedupe an in-flight resubmission.
+    pub request_id: u64,
     /// Tenant id: the fair-share bucket and quota key.
     pub tenant: String,
     /// Display name for the job.
@@ -150,6 +165,8 @@ pub struct SubmitJob {
 /// A completed job, echoed back over the wire.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ResultFrame {
+    /// The submit frame's `request_id`, echoed (0 = unpipelined).
+    pub request_id: u64,
     /// Server-side job id.
     pub job: u64,
     /// Job name, echoed.
@@ -176,6 +193,9 @@ pub struct ResultFrame {
 /// [`ServeError::code`]: sp_serve::ServeError::code
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ErrorFrame {
+    /// The submit frame's `request_id`, echoed (0 = unpipelined, or a
+    /// connection-level failure not tied to one request).
+    pub request_id: u64,
     /// Stable numeric error code.
     pub code: u16,
     /// The job the error concerns (0 = no job was created).
@@ -307,6 +327,7 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
     let mut e = Enc::new();
     match frame {
         Frame::Submit(s) => {
+            e.u64(s.request_id);
             e.str(&s.tenant);
             e.str(&s.name);
             match &s.program {
@@ -335,6 +356,7 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             e.u64(s.deadline_nanos);
         }
         Frame::Result(r) => {
+            e.u64(r.request_id);
             e.u64(r.job);
             e.str(&r.name);
             e.str(&r.tenant);
@@ -350,6 +372,7 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
             e.str(&r.report_json);
         }
         Frame::Error(err) => {
+            e.u64(err.request_id);
             e.u16(err.code);
             e.u64(err.job);
             e.str(&err.tenant);
@@ -358,6 +381,14 @@ fn encode_payload(frame: &Frame) -> Vec<u8> {
         Frame::Drain | Frame::Ping => {}
     }
     e.buf
+}
+
+/// The canonical payload bytes of a submission, for server-side
+/// request fingerprinting: a retry that reuses a `request_id` must
+/// carry the same work, and hashing the encoded payload is how the
+/// server checks without a field-by-field compare.
+pub(crate) fn encode_payload_for_fingerprint(submit: &SubmitJob) -> Vec<u8> {
+    encode_payload(&Frame::Submit(submit.clone()))
 }
 
 /// Encodes `frame` into a complete wire frame (header, payload, CRC).
@@ -464,6 +495,7 @@ fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
     let mut d = Dec::new(payload);
     let frame = match frame_type {
         1 => {
+            let request_id = d.u64()?;
             let tenant = d.str()?;
             let name = d.str()?;
             let program = match d.u8()? {
@@ -485,6 +517,7 @@ fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
                 s => return Err(WireError::Malformed(format!("bad schedule {s}"))),
             };
             Frame::Submit(SubmitJob {
+                request_id,
                 tenant,
                 name,
                 program,
@@ -497,6 +530,7 @@ fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
             })
         }
         2 => Frame::Result(ResultFrame {
+            request_id: d.u64()?,
             job: d.u64()?,
             name: d.str()?,
             tenant: d.str()?,
@@ -513,6 +547,7 @@ fn decode_payload(frame_type: u8, payload: &[u8]) -> Result<Frame, WireError> {
             report_json: d.str()?,
         }),
         3 => Frame::Error(ErrorFrame {
+            request_id: d.u64()?,
             code: d.u16()?,
             job: d.u64()?,
             tenant: d.str()?,
@@ -694,6 +729,7 @@ mod tests {
     #[test]
     fn error_frame_round_trips() {
         let f = Frame::Error(ErrorFrame {
+            request_id: 3,
             code: 7,
             job: 42,
             tenant: "alice".into(),

@@ -11,11 +11,11 @@
 use shift_peel_core::CodegenMethod;
 use sp_exec::{Backend, ExecPlan};
 use sp_kernels::jacobi;
-use sp_net::{Client, ClientConfig, NetError, NetServer};
+use sp_net::{Client, ClientConfig, NetError, NetServer, NetServerConfig};
 use sp_serve::{CacheOutcome, JobSpec, Service, ServiceConfig};
 use sp_trace::JobStage;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn fused(grid: &[usize]) -> ExecPlan {
     ExecPlan::Fused {
@@ -202,5 +202,149 @@ fn wire_jobs_record_decode_and_respond_wire_stages() {
         .expect("job lane");
     assert!(job.stage_dur(JobStage::Decode).is_some());
     assert!(job.stage_dur(JobStage::RespondWire).is_some());
+    server.shutdown();
+}
+
+/// Regression (ISSUE 10 satellite): the retry loop's backoff sleeps are
+/// clamped to the remaining deadline budget. A 50 ms budget against a
+/// full queue must come back as DeadlineExhausted in ≈budget — the old
+/// unclamped loop slept 20+40+80+160 ms of backoff first.
+#[test]
+fn backoff_is_clamped_to_the_deadline_budget() {
+    let one = ExecPlan::Fused {
+        grid: vec![1],
+        method: CodegenMethod::StripMined,
+        strip: 8,
+    };
+    let server = start_server(ServiceConfig::default().workers(1).queue_capacity(1));
+    let service = Arc::clone(server.service());
+
+    // Occupy the single worker (~0.4 s of interpreter time), then fill
+    // the one queue slot, so every wire submission gets QueueFull.
+    let occupier = JobSpec::new("occupier", jacobi::sequence(128), one.clone())
+        .backend(Backend::Interp)
+        .steps(250);
+    let occupier_id = service.submit(occupier).unwrap();
+    while service.queue_depth() > 0 {
+        std::thread::yield_now();
+    }
+    let filler = JobSpec::new("filler", jacobi::sequence(32), one.clone());
+    let filler_id = service.submit(filler).unwrap();
+
+    let mut c = client(&server, "hurried");
+    let spec =
+        JobSpec::new("budgeted", jacobi::sequence(32), one).deadline(Duration::from_millis(50));
+    let t0 = Instant::now();
+    let err = c.submit(&spec).expect_err("queue stays full past 50ms");
+    let elapsed = t0.elapsed();
+    assert!(
+        matches!(err, NetError::DeadlineExhausted),
+        "expected DeadlineExhausted, got {err:?}"
+    );
+    assert!(
+        elapsed < Duration::from_millis(200),
+        "budget-clamped retries must give up in ≈budget, took {elapsed:?}"
+    );
+
+    // Let the occupier and filler finish so shutdown is quick and the
+    // pool proves itself intact.
+    service.wait(occupier_id).unwrap();
+    service.wait(filler_id).unwrap();
+    server.shutdown();
+}
+
+/// Regression (ISSUE 10 satellite): the digest→program registry is a
+/// bounded LRU. With capacity 1, a second program text evicts the
+/// first; the evicted digest is a typed unknown-program error until the
+/// text is resubmitted, which re-registers it transparently.
+#[test]
+fn program_registry_evicts_and_reregisters_over_tcp() {
+    let service = Arc::new(Service::new(ServiceConfig::default().workers(2)));
+    let server = NetServer::start_with(
+        "127.0.0.1:0",
+        service,
+        NetServerConfig {
+            program_capacity: 1,
+        },
+    )
+    .expect("bind ephemeral port");
+    let mut c = client(&server, "evictee");
+
+    let spec_a = JobSpec::new("a", jacobi::sequence(32), fused(&[2])).steps(2);
+    let spec_b = JobSpec::new("b", jacobi::sequence(40), fused(&[2])).steps(2);
+
+    c.submit(&spec_a).expect("text A registers");
+    c.submit(&spec_b).expect("text B registers, evicting A");
+
+    let err = c.submit_by_digest(&spec_a).expect_err("A was evicted");
+    let NetError::Serve { code, .. } = err else {
+        panic!("expected a server error, got {err}");
+    };
+    assert_eq!(code, sp_net::CODE_UNKNOWN_PROGRAM);
+
+    // Resubmitting the text re-registers the digest transparently …
+    c.submit(&spec_a).expect("text A re-registers");
+    // … and by-digest works again (B is the eviction victim now).
+    let warm = c.submit_by_digest(&spec_a).expect("digest A known again");
+    assert_eq!(warm.cache, CacheOutcome::Memory, "service cache survived");
+
+    let stats = server.stats();
+    assert_eq!(stats.programs_registered, 3, "A, B, A again");
+    assert_eq!(stats.programs_evicted, 2, "A (by B), then B (by A)");
+    assert_eq!(stats.programs_live, 1, "capacity is the ceiling");
+    assert_eq!(stats.digest_hits, 1, "the one by-digest success");
+    server.shutdown();
+}
+
+/// Tentpole acceptance: N jobs pipelined through one connection return
+/// bit-identical digests and per-proc counters to serial submission.
+#[test]
+fn pipelined_jobs_match_serial_bit_for_bit() {
+    let specs: Vec<JobSpec> = (0..8)
+        .map(|i| {
+            JobSpec::new(
+                format!("pipe-{i}"),
+                jacobi::sequence(if i % 2 == 0 { 32 } else { 48 }),
+                fused(&[2]),
+            )
+            .backend(Backend::Compiled)
+            .steps(2 + i % 3)
+            .seed(100 + i as u64)
+        })
+        .collect();
+
+    // Serial reference over its own cold server.
+    let serial_server = start_server(ServiceConfig::default().workers(2));
+    let mut serial_client = client(&serial_server, "pipeliner");
+    let serial: Vec<_> = specs
+        .iter()
+        .map(|s| serial_client.submit(s).expect("serial submit"))
+        .collect();
+    serial_server.shutdown();
+
+    // The same specs, windowed 4-deep on one connection, cold again.
+    let server = start_server(ServiceConfig::default().workers(2).queue_capacity(16));
+    let mut c = client(&server, "pipeliner");
+    let piped = c.submit_pipelined(&specs, 4);
+    assert_eq!(piped.len(), specs.len(), "one outcome per spec, in order");
+    for ((spec, got), want) in specs.iter().zip(&piped).zip(&serial) {
+        let got = got.as_ref().expect("pipelined submit");
+        assert_eq!(got.name, spec.name, "answers line up with their specs");
+        assert_eq!(
+            got.digest, want.digest,
+            "{}: bit-identical snapshot",
+            spec.name
+        );
+        assert_eq!(got.report.workers.len(), want.report.workers.len());
+        for (r, l) in got.report.workers.iter().zip(&want.report.workers) {
+            assert_eq!(r.proc, l.proc);
+            assert_eq!(r.counters, l.counters, "{} proc {}", spec.name, r.proc);
+        }
+    }
+    // The ids were fresh, so nothing deduped; the registry saw both
+    // distinct program texts.
+    let stats = server.stats();
+    assert_eq!(stats.dedupe_hits, 0);
+    assert_eq!(stats.programs_live, 2);
     server.shutdown();
 }

@@ -35,14 +35,14 @@ fn submit_strategy() -> impl Strategy<Value = SubmitJob> {
         ),
         (
             (0u8..=2, 0u8..=2),
-            (any::<u64>(), any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         ),
     )
         .prop_map(
             |(
                 (tenant, name, (ptag, text, digest)),
                 (pkind, grid, direct, strip),
-                ((bsel, ssel), (steps, seed, deadline_nanos)),
+                ((bsel, ssel), (request_id, steps, seed, deadline_nanos)),
             )| {
                 let program = if ptag == 0 {
                     ProgramRef::Text(text)
@@ -73,6 +73,7 @@ fn submit_strategy() -> impl Strategy<Value = SubmitJob> {
                     _ => Schedule::Stealing,
                 };
                 SubmitJob {
+                    request_id,
                     tenant,
                     name,
                     program,
@@ -89,13 +90,23 @@ fn submit_strategy() -> impl Strategy<Value = SubmitJob> {
 
 fn result_strategy() -> impl Strategy<Value = ResultFrame> {
     (
-        (any::<u64>(), string_strat(40), string_strat(24)),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            string_strat(40),
+            string_strat(24),
+        ),
         (0u8..=2, any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>(), string_strat(200)),
     )
         .prop_map(
-            |((job, name, tenant), (csel, digest), (queued, run, order, report_json))| {
+            |(
+                (request_id, job, name, tenant),
+                (csel, digest),
+                (queued, run, order, report_json),
+            )| {
                 ResultFrame {
+                    request_id,
                     job,
                     name,
                     tenant,
@@ -116,12 +127,14 @@ fn result_strategy() -> impl Strategy<Value = ResultFrame> {
 
 fn error_strategy() -> impl Strategy<Value = ErrorFrame> {
     (
+        any::<u64>(),
         any::<u16>(),
         any::<u64>(),
         string_strat(24),
         string_strat(120),
     )
-        .prop_map(|(code, job, tenant, message)| ErrorFrame {
+        .prop_map(|(request_id, code, job, tenant, message)| ErrorFrame {
+            request_id,
             code,
             job,
             tenant,
@@ -206,6 +219,7 @@ fn version_skew_is_rejected_before_anything_else() {
 #[test]
 fn crc_mismatch_is_rejected() {
     let bytes = encode_frame(&Frame::Error(ErrorFrame {
+        request_id: 7,
         code: 1,
         job: 9,
         tenant: "t".into(),

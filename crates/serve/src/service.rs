@@ -647,6 +647,36 @@ impl Service {
         self.shared.state.lock().unwrap().done.get(&id.0).cloned()
     }
 
+    /// Blocks until *any* of `ids` completes (or fails), or `timeout`
+    /// elapses — the completion primitive for wire-tier pipelining: a
+    /// connection's pump parks one thread here for its whole in-flight
+    /// window instead of one thread per job. Returns `None` on timeout
+    /// or when `ids` is empty; completed results stay available, so a
+    /// job that finished before the call returns immediately.
+    pub fn wait_any(
+        &self,
+        ids: &[JobId],
+        timeout: Duration,
+    ) -> Option<(JobId, Result<JobResult, ServeError>)> {
+        if ids.is_empty() {
+            return None;
+        }
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            for id in ids {
+                if let Some(res) = st.done.get(&id.0) {
+                    return Some((*id, res.clone()));
+                }
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            st = self.shared.done_cv.wait_timeout(st, left).unwrap().0;
+        }
+    }
+
     /// Blocks until `id` completes (or fails).
     pub fn wait(&self, id: JobId) -> Result<JobResult, ServeError> {
         let mut st = self.shared.state.lock().unwrap();
